@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks of the cattle platform: collar ingest,
+//! farm-to-fork tracing (the model A graph walk), and model B reads and
+//! transfers.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aodb_cattle::model_b::{CreateCutB, GetLocalCut, TransferCutB};
+use aodb_cattle::types::{Breed, CollarReading, GeoPoint, MeatCutData};
+use aodb_cattle::{register_all, CattleClient, CattleEnv, CutHolder};
+use aodb_runtime::Runtime;
+use aodb_store::MemStore;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn readings(n: u64) -> Vec<CollarReading> {
+    (0..n)
+        .map(|i| CollarReading {
+            ts_ms: i * 1000,
+            position: GeoPoint { lat: 55.0 + i as f64 * 1e-6, lon: 8.0 },
+            speed: 0.2,
+            temperature: 38.6,
+        })
+        .collect()
+}
+
+fn bench_cattle(c: &mut Criterion) {
+    let rt = Runtime::single(2);
+    register_all(&rt, CattleEnv::new(Arc::new(MemStore::new())));
+    let client = CattleClient::new(rt.handle());
+    client.create_farmer("b/farm", "F").unwrap();
+    client.create_slaughterhouse("b/house", "H").unwrap();
+    client.create_retailer("b/retail", "R").unwrap();
+    client.register_cow("b/cow", "b/farm", Breed::Angus, 0).unwrap();
+    client.register_cow("b/traced", "b/farm", Breed::Angus, 0).unwrap();
+
+    let mut group = c.benchmark_group("cattle");
+
+    group.throughput(Throughput::Elements(10));
+    group.bench_function("collar_report_10_fixes", |b| {
+        let batch = readings(10);
+        b.iter(|| {
+            client
+                .collar_report("b/cow", batch.clone())
+                .unwrap()
+                .wait_for(Duration::from_secs(10))
+                .unwrap()
+        })
+    });
+
+    // Build a complete chain once, then measure the trace walk.
+    let cuts = client
+        .slaughter("b/house", "b/traced", 1)
+        .unwrap()
+        .wait_for(Duration::from_secs(10))
+        .unwrap()
+        .unwrap();
+    let product = client
+        .create_product("b/retail", cuts, "pack", 2)
+        .unwrap()
+        .wait_for(Duration::from_secs(10))
+        .unwrap();
+    rt.quiesce(Duration::from_secs(10));
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("trace_product_4_cuts", |b| {
+        b.iter(|| client.trace_product(&product).unwrap())
+    });
+
+    // Model B: local read and transfer.
+    let house = rt.actor_ref::<CutHolder>("b2/house");
+    let dist = rt.actor_ref::<CutHolder>("b2/dist");
+    house
+        .call(CreateCutB {
+            entity: "cut-hot".into(),
+            data: MeatCutData {
+                cow: "b/cow".into(),
+                slaughterhouse: "b2/house".into(),
+                cut_type: "ribeye".into(),
+                weight_kg: 10.0,
+            },
+        })
+        .unwrap();
+    group.bench_function("model_b_local_read", |b| {
+        b.iter(|| house.call(GetLocalCut("cut-hot".into())).unwrap())
+    });
+
+    let mut i = 0u64;
+    group.bench_function("model_b_transfer_roundtrip", |b| {
+        b.iter(|| {
+            i += 1;
+            let entity = format!("cut-{i}");
+            house
+                .call(CreateCutB {
+                    entity: entity.clone(),
+                    data: MeatCutData {
+                        cow: "b/cow".into(),
+                        slaughterhouse: "b2/house".into(),
+                        cut_type: "ribeye".into(),
+                        weight_kg: 10.0,
+                    },
+                })
+                .unwrap();
+            house
+                .call(TransferCutB { entity, to: "b2/dist".into(), ts_ms: i })
+                .unwrap()
+        })
+    });
+    drop(dist);
+
+    group.finish();
+    rt.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .sample_size(20);
+    targets = bench_cattle
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the metrics histogram — it sits on every
+//! request completion path of the harness, so recording must stay in the
+//! tens of nanoseconds.
+
+use std::time::Duration;
+
+use aodb_runtime::Histogram;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram");
+
+    let h = Histogram::new();
+    let mut v = 1u64;
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(v % 1_000_000);
+        })
+    });
+
+    let filled = Histogram::new();
+    for i in 0..1_000_000u64 {
+        filled.record(i % 100_000);
+    }
+    group.bench_function("snapshot", |b| b.iter(|| filled.snapshot()));
+    let snap = filled.snapshot();
+    group.bench_function("percentiles", |b| b.iter(|| snap.percentiles()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_histogram
+}
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks of the storage substrate: in-memory and
+//! log-structured stores, codec framing, and the provisioned-throughput
+//! decorator's overhead.
+
+use std::time::Duration;
+
+use aodb_store::codec::{crc32, decode_state, encode_state, frame_record, parse_record};
+use aodb_store::{
+    Bytes, ExhaustionBehavior, Key, LogStore, LogStoreConfig, MemStore, ProvisionedConfig,
+    ProvisionedStore, StateStore,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct ChannelBlob {
+    org: String,
+    points: Vec<(u64, f64)>,
+}
+
+fn blob(points: usize) -> ChannelBlob {
+    ChannelBlob {
+        org: "org-1".into(),
+        points: (0..points as u64).map(|i| (i * 100, i as f64 * 0.5)).collect(),
+    }
+}
+
+fn bench_mem(c: &mut Criterion) {
+    let store = MemStore::new();
+    let value = Bytes::from(vec![7u8; 512]);
+    for i in 0..10_000 {
+        store
+            .put(&Key::with_sort("t", "p", &format!("{i:06}")), value.clone())
+            .unwrap();
+    }
+    let mut group = c.benchmark_group("mem_store");
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0u64;
+    group.bench_function("put_512B", |b| {
+        b.iter(|| {
+            i += 1;
+            store
+                .put(&Key::with_sort("t", "q", &format!("{i:06}")), value.clone())
+                .unwrap()
+        })
+    });
+    group.bench_function("get_hit", |b| {
+        let key = Key::with_sort("t", "p", "005000");
+        b.iter(|| store.get(&key).unwrap())
+    });
+    group.bench_function("scan_prefix_10k", |b| {
+        let prefix = Key::partition_prefix("t", "p");
+        b.iter(|| store.scan_prefix(&prefix).unwrap().len())
+    });
+    group.finish();
+}
+
+fn bench_log(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("aodb-bench-log-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
+    let value = Bytes::from(vec![7u8; 512]);
+    let mut group = c.benchmark_group("log_store");
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0u64;
+    group.bench_function("put_512B_nosync", |b| {
+        b.iter(|| {
+            i += 1;
+            store
+                .put(&Key::with_sort("t", "p", &format!("{i:08}")), value.clone())
+                .unwrap()
+        })
+    });
+    group.bench_function("get_hit", |b| {
+        let key = Key::with_sort("t", "p", "00000001");
+        b.iter(|| store.get(&key).unwrap())
+    });
+    group.finish();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let small = blob(10);
+    let large = blob(1000);
+    let small_bytes = encode_state(&small).unwrap();
+    let large_bytes = encode_state(&large).unwrap();
+
+    group.bench_function("encode_state_10pt", |b| b.iter(|| encode_state(&small).unwrap()));
+    group.bench_function("encode_state_1000pt", |b| b.iter(|| encode_state(&large).unwrap()));
+    group.bench_function("decode_state_1000pt", |b| {
+        b.iter(|| decode_state::<ChannelBlob>(&large_bytes).unwrap())
+    });
+    group.throughput(Throughput::Bytes(large_bytes.len() as u64));
+    group.bench_function("crc32_blob", |b| b.iter(|| crc32(&large_bytes)));
+    group.bench_function("frame_and_parse", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(small_bytes.len() + 8);
+            frame_record(&small_bytes, &mut buf);
+            parse_record(&buf).unwrap().unwrap().1
+        })
+    });
+    group.finish();
+}
+
+fn bench_provisioned(c: &mut Criterion) {
+    let store = ProvisionedStore::new(
+        MemStore::new(),
+        ProvisionedConfig {
+            read_units: u32::MAX,
+            write_units: u32::MAX,
+            burst_seconds: 1.0,
+            on_exhausted: ExhaustionBehavior::Block,
+            request_latency: Duration::ZERO,
+        },
+    );
+    let value = Bytes::from(vec![7u8; 512]);
+    let mut group = c.benchmark_group("provisioned_overhead");
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0u64;
+    group.bench_function("put_512B_uncapped", |b| {
+        b.iter(|| {
+            i += 1;
+            store
+                .put(&Key::with_sort("t", "p", &format!("{i:08}")), value.clone())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .sample_size(20);
+    targets = bench_mem, bench_log, bench_codec, bench_provisioned
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! `repro` — regenerates the paper's evaluation figures and the ablation
+//! studies.
+//!
+//! ```text
+//! repro [EXPERIMENTS...] [--quick] [--json DIR]
+//!
+//! EXPERIMENTS: all (default) | fig6 | fig7 | fig8 | fig9 | fig89
+//!            | placement | durability | granularity | constraints
+//! --quick      shorter sweeps and durations (CI-friendly)
+//! --json DIR   additionally write each experiment's raw results as JSON
+//! ```
+
+use std::path::PathBuf;
+
+use aodb_bench::experiments::{ablations, fig6, fig7, fig89};
+
+fn write_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
+    let Some(dir) = dir else { return };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("  → wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let mut selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| json_dir.as_deref().map(|d| d.as_os_str() != a.as_str()).unwrap_or(true))
+        .cloned()
+        .collect();
+    if selected.is_empty() {
+        selected.push("all".to_string());
+    }
+    let wants = |name: &str| {
+        selected.iter().any(|s| s == name || s == "all")
+            || (name == "fig89" && selected.iter().any(|s| s == "fig8" || s == "fig9"))
+    };
+
+    println!(
+        "IoT-AODB reproduction harness — EDBT 2019 \"Modeling and Building IoT Data \
+         Platforms with Actor-Oriented Databases\"{}",
+        if quick { " (quick mode)" } else { "" }
+    );
+
+    if wants("fig6") {
+        let points = fig6::run(quick);
+        write_json(&json_dir, "fig6", &points);
+    }
+    if wants("fig7") {
+        let points = fig7::run(quick);
+        write_json(&json_dir, "fig7", &points);
+    }
+    if wants("fig89") {
+        let points = fig89::run(quick);
+        write_json(&json_dir, "fig89", &points);
+    }
+    if wants("placement") {
+        let points = ablations::run_placement(quick);
+        write_json(&json_dir, "placement", &points);
+    }
+    if wants("durability") {
+        let points = ablations::run_durability(quick);
+        write_json(&json_dir, "durability", &points);
+    }
+    if wants("granularity") {
+        let points = ablations::run_granularity(quick);
+        write_json(&json_dir, "granularity", &points);
+    }
+    if wants("constraints") {
+        let points = ablations::run_constraints(quick);
+        write_json(&json_dir, "constraints", &points);
+    }
+    println!("\ndone.");
+}

@@ -1,0 +1,79 @@
+//! **Figure 6 — single-server throughput.**
+//!
+//! Paper: one m5.large silo; the offered load (simulated sensors, each
+//! sending 1 request/s with 20 data points) is swept upward; throughput
+//! rises with the number of sensors and saturates at ≈1,800 requests/s.
+//!
+//! Here: one 2-worker silo with 0.5 ms simulated ingest service time
+//! (capacity ≈2,000 requests/s); the same sweep must show the same shape —
+//! linear tracking of offered load followed by a plateau at the capacity
+//! ceiling.
+
+use serde::Serialize;
+
+use crate::experiments::common::{build_single_silo, teardown, SimHw};
+use crate::measure::{fmt_f, print_table, LatencyRow, WindowedThroughput};
+use crate::workload::{run_load, LoadConfig};
+
+/// One sweep point.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig6Point {
+    /// Simulated sensors (x-axis).
+    pub sensors: usize,
+    /// Offered rate (requests/s).
+    pub offered: f64,
+    /// Sustained throughput (the paper's y-axis).
+    pub throughput: WindowedThroughput,
+    /// Ingest latency at this load.
+    pub ingest: LatencyRow,
+}
+
+/// Runs the Figure 6 sweep.
+pub fn run(quick: bool) -> Vec<Fig6Point> {
+    let hw = SimHw::default();
+    let sweep: &[usize] = if quick {
+        &[200, 1000, 1800, 2600]
+    } else {
+        &[200, 500, 1000, 1400, 1800, 2200, 2600, 3000]
+    };
+    let secs = if quick { 6 } else { 10 };
+    println!(
+        "\nFig 6: single-server throughput — 1 silo × {} workers, \
+         service {:?}/ingest (est. capacity {:.0} req/s)",
+        hw.large_workers,
+        hw.service_time,
+        hw.capacity(hw.large_workers)
+    );
+
+    let mut points = Vec::with_capacity(sweep.len());
+    for &sensors in sweep {
+        let testbed = build_single_silo(sensors, hw.large_workers, hw);
+        let report = run_load(&testbed.fleet, LoadConfig::sensors(sensors, secs));
+        points.push(Fig6Point {
+            sensors,
+            offered: sensors as f64,
+            throughput: report.throughput,
+            ingest: report.ingest,
+        });
+        teardown(testbed);
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.sensors.to_string(),
+                fmt_f(p.offered),
+                format!("{} ± {}", fmt_f(p.throughput.mean), fmt_f(p.throughput.std_dev)),
+                fmt_f(p.ingest.p50_ms),
+                fmt_f(p.ingest.p99_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 6 — single-server throughput (m5.large-class silo)",
+        &["sensors", "offered req/s", "throughput req/s", "p50 ms", "p99 ms"],
+        &rows,
+    );
+    points
+}

@@ -1,0 +1,90 @@
+//! **Figures 8 & 9 — online query latency percentiles under mixed load.**
+//!
+//! Paper: one silo serving the 98 % ingest / 1 % live-data / 1 % raw-range
+//! mix at 500–2,000 simulated sensors. Figure 8 plots raw-range request
+//! latency percentiles (often well below 0.5 s); Figure 9 plots
+//! organization live-data percentiles (below ≈1 s at 2,000 sensors);
+//! both grow with load and blow up at the 99.9th percentile near
+//! saturation.
+//!
+//! Here: identical mix on a 3-worker silo (capacity ≈3,000 req/s, so
+//! 2,000 sensors ≈ 80 % utilization exactly as the paper targets).
+
+use serde::Serialize;
+
+use crate::experiments::common::{build_single_silo, teardown, SimHw};
+use crate::measure::{fmt_f, print_table, LatencyRow, WindowedThroughput};
+use crate::workload::{run_load, LoadConfig, MixSpec};
+
+/// One load point of the mixed-workload run.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig89Point {
+    /// Simulated sensors.
+    pub sensors: usize,
+    /// Sustained total throughput.
+    pub throughput: WindowedThroughput,
+    /// Figure 8 series: raw-range request latency.
+    pub raw: LatencyRow,
+    /// Figure 9 series: live-data request latency.
+    pub live: LatencyRow,
+    /// Ingest latency for context.
+    pub ingest: LatencyRow,
+}
+
+/// Runs the Figure 8/9 sweep. The same run produces both figures.
+pub fn run(quick: bool) -> Vec<Fig89Point> {
+    let hw = SimHw::default();
+    let sweep: &[usize] = if quick { &[500, 2000] } else { &[500, 1000, 1500, 2000] };
+    let secs = if quick { 8 } else { 12 };
+    println!(
+        "\nFig 8/9: query latency under mixed load — 1 silo × {} workers, \
+         98% ingest / 1% live / 1% raw",
+        hw.xlarge_workers
+    );
+
+    let mut points = Vec::with_capacity(sweep.len());
+    for &sensors in sweep {
+        let testbed = build_single_silo(sensors, hw.xlarge_workers, hw);
+        let mut config = LoadConfig::sensors(sensors, secs);
+        config.mix = MixSpec::PAPER_MIXED;
+        let report = run_load(&testbed.fleet, config);
+        points.push(Fig89Point {
+            sensors,
+            throughput: report.throughput,
+            raw: report.raw,
+            live: report.live,
+            ingest: report.ingest,
+        });
+        teardown(testbed);
+    }
+
+    let latency_rows = |select: fn(&Fig89Point) -> &LatencyRow| {
+        points
+            .iter()
+            .map(|p| {
+                let l = select(p);
+                vec![
+                    p.sensors.to_string(),
+                    fmt_f(l.p50_ms),
+                    fmt_f(l.p90_ms),
+                    fmt_f(l.p95_ms),
+                    fmt_f(l.p99_ms),
+                    fmt_f(l.p999_ms),
+                    l.count.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>()
+    };
+    let headers = ["sensors", "p50 ms", "p90 ms", "p95 ms", "p99 ms", "p99.9 ms", "samples"];
+    print_table(
+        "Figure 8 — raw sensor-channel time-range request latency",
+        &headers,
+        &latency_rows(|p| &p.raw),
+    );
+    print_table(
+        "Figure 9 — organization live-data request latency",
+        &headers,
+        &latency_rows(|p| &p.live),
+    );
+    points
+}

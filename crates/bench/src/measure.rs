@@ -1,0 +1,152 @@
+//! Measurement utilities: windowed throughput accounting and result
+//! tables, following the paper's method (Section 6.1): the run is split
+//! into fixed windows, the first and last windows are dropped, and the
+//! mean ± standard deviation over the remaining windows is reported.
+
+use aodb_runtime::Percentiles;
+use serde::Serialize;
+
+/// Mean and standard deviation over per-window throughput samples with the
+/// paper's first/last-window trimming.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct WindowedThroughput {
+    /// Mean completed requests/s over the kept windows.
+    pub mean: f64,
+    /// Standard deviation across the kept windows (the paper's error
+    /// bars).
+    pub std_dev: f64,
+    /// Number of windows kept.
+    pub windows: usize,
+}
+
+/// Computes trimmed windowed throughput from per-window completion counts.
+pub fn windowed_throughput(per_window: &[u64], window_secs: f64) -> WindowedThroughput {
+    let kept: &[u64] = if per_window.len() > 2 {
+        &per_window[1..per_window.len() - 1]
+    } else {
+        per_window
+    };
+    if kept.is_empty() {
+        return WindowedThroughput::default();
+    }
+    let rates: Vec<f64> = kept.iter().map(|&c| c as f64 / window_secs).collect();
+    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    let var = rates.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / rates.len() as f64;
+    WindowedThroughput { mean, std_dev: var.sqrt(), windows: rates.len() }
+}
+
+/// Latency percentiles rendered for a table row (values in ms).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct LatencyRow {
+    /// Median (ms).
+    pub p50_ms: f64,
+    /// 90th percentile (ms).
+    pub p90_ms: f64,
+    /// 95th percentile (ms).
+    pub p95_ms: f64,
+    /// 99th percentile (ms).
+    pub p99_ms: f64,
+    /// 99.9th percentile (ms).
+    pub p999_ms: f64,
+    /// Mean (ms).
+    pub mean_ms: f64,
+    /// Sample count.
+    pub count: u64,
+}
+
+impl From<Percentiles> for LatencyRow {
+    fn from(p: Percentiles) -> Self {
+        LatencyRow {
+            p50_ms: p.p50 as f64 / 1000.0,
+            p90_ms: p.p90 as f64 / 1000.0,
+            p95_ms: p.p95 as f64 / 1000.0,
+            p99_ms: p.p99 as f64 / 1000.0,
+            p999_ms: p.p999 as f64 / 1000.0,
+            mean_ms: p.mean / 1000.0,
+            count: p.count,
+        }
+    }
+}
+
+/// Pretty-prints a simple aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let parts: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", parts.join("  "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt_f(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trims_first_and_last_windows() {
+        // Warmup and teardown windows are outliers and must be dropped.
+        let tp = windowed_throughput(&[5, 100, 102, 98, 3], 1.0);
+        assert_eq!(tp.windows, 3);
+        assert!((tp.mean - 100.0).abs() < 0.1, "mean = {}", tp.mean);
+        assert!(tp.std_dev < 2.0);
+    }
+
+    #[test]
+    fn short_runs_keep_everything() {
+        let tp = windowed_throughput(&[50, 60], 2.0);
+        assert_eq!(tp.windows, 2);
+        assert!((tp.mean - 27.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let tp = windowed_throughput(&[], 1.0);
+        assert_eq!(tp.mean, 0.0);
+        assert_eq!(tp.windows, 0);
+    }
+
+    #[test]
+    fn latency_row_converts_to_ms() {
+        let p = Percentiles {
+            p50: 1500,
+            p90: 2000,
+            p95: 2500,
+            p99: 5000,
+            p999: 50_000,
+            max: 60_000,
+            mean: 1800.0,
+            count: 10,
+        };
+        let row = LatencyRow::from(p);
+        assert_eq!(row.p50_ms, 1.5);
+        assert_eq!(row.p999_ms, 50.0);
+        assert_eq!(row.mean_ms, 1.8);
+    }
+}

@@ -1,0 +1,374 @@
+//! The benchmarking workload generator — our reimplementation of the
+//! paper's .NET command-line tool (Section 6.1).
+//!
+//! Sensors are simulated open-loop: every simulated sensor emits one
+//! request per second carrying 10 data points per physical channel
+//! (modelling 10 Hz sampling). A configurable request mix adds the two
+//! online query types of Figures 8–9: organization live-data requests and
+//! raw time-range requests (98 % / 1 % / 1 % at the paper's setting).
+//!
+//! Requests are fired fire-and-forget with completion callbacks, so the
+//! generator never blocks on the platform: measured latency includes
+//! queueing delay, which is exactly what produces the saturation and tail
+//! behaviour the paper plots.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aodb_runtime::{ActorRef, Collector, Histogram, ReplyTo, Runtime, SiloId};
+use aodb_shm::messages::{GetLiveData, Ingest, QueryRange};
+use aodb_shm::types::DataPoint;
+use aodb_shm::{Organization, PhysicalSensorChannel, Topology};
+
+use crate::measure::{windowed_throughput, LatencyRow, WindowedThroughput};
+
+/// Pre-resolved actor references for the whole simulated fleet, built once
+/// so the request hot loop performs no key formatting or registry lookups.
+pub struct FleetRefs {
+    /// Per sensor: its physical channel references.
+    pub sensors: Vec<Vec<ActorRef<PhysicalSensorChannel>>>,
+    /// Organization references (live-data targets).
+    pub orgs: Vec<ActorRef<Organization>>,
+    /// Flat channel list (raw-range targets).
+    pub channels: Vec<ActorRef<PhysicalSensorChannel>>,
+}
+
+impl FleetRefs {
+    /// Resolves references for `topology`. `silo_of_org` gives each
+    /// organization's gateway silo (as in provisioning), so requests
+    /// originate silo-locally under prefer-local deployment.
+    pub fn build(
+        rt: &Runtime,
+        topology: &Topology,
+        silo_of_org: impl Fn(usize) -> Option<SiloId>,
+    ) -> FleetRefs {
+        let mut per_org_sensors: Vec<Vec<Vec<ActorRef<PhysicalSensorChannel>>>> =
+            Vec::with_capacity(topology.orgs.len());
+        let mut orgs = Vec::with_capacity(topology.orgs.len());
+        let mut channels = Vec::new();
+        for (org_idx, org) in topology.orgs.iter().enumerate() {
+            let handle = match silo_of_org(org_idx) {
+                Some(silo) => rt.handle_on(silo),
+                None => rt.handle(),
+            };
+            orgs.push(handle.actor_ref::<Organization>(org.key.as_str()));
+            let mut org_sensors = Vec::with_capacity(org.sensors.len());
+            for sensor in &org.sensors {
+                let refs: Vec<ActorRef<PhysicalSensorChannel>> = sensor
+                    .physical
+                    .iter()
+                    .map(|c| handle.actor_ref::<PhysicalSensorChannel>(c.as_str()))
+                    .collect();
+                channels.extend(refs.iter().cloned());
+                org_sensors.push(refs);
+            }
+            per_org_sensors.push(org_sensors);
+        }
+        // Interleave sensors round-robin across organizations. Real
+        // sensors report independently; without this, the generator's
+        // sequential sweep would hit each organization's (and under
+        // prefer-local placement, each silo's) sensors in one contiguous
+        // burst, fabricating queueing spikes that no real fleet exhibits.
+        let total: usize = per_org_sensors.iter().map(Vec::len).sum();
+        let mut sensors = Vec::with_capacity(total);
+        let max_len = per_org_sensors.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..max_len {
+            for org_sensors in &per_org_sensors {
+                if let Some(refs) = org_sensors.get(i) {
+                    sensors.push(refs.clone());
+                }
+            }
+        }
+        FleetRefs { sensors, orgs, channels }
+    }
+}
+
+/// Request mix in per-mille; the remainder is sensor ingest.
+#[derive(Clone, Copy, Debug)]
+pub struct MixSpec {
+    /// Live-data requests per 1000 (paper: 10).
+    pub live_per_mille: u32,
+    /// Raw-range requests per 1000 (paper: 10).
+    pub raw_per_mille: u32,
+}
+
+impl MixSpec {
+    /// Ingest only (Figures 6–7).
+    pub const INGEST_ONLY: MixSpec = MixSpec { live_per_mille: 0, raw_per_mille: 0 };
+    /// The paper's 98 % / 1 % / 1 % mix (Figures 8–9).
+    pub const PAPER_MIXED: MixSpec = MixSpec { live_per_mille: 10, raw_per_mille: 10 };
+}
+
+/// One load phase.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadConfig {
+    /// Total sensor-request rate (requests/s across the whole fleet; the
+    /// paper's "N simulated sensors" ≡ rate N at 1 request/s/sensor).
+    pub rate_per_sec: f64,
+    /// Total run time (including warmup/cooldown windows that get
+    /// trimmed).
+    pub duration: Duration,
+    /// Window length for throughput accounting.
+    pub window: Duration,
+    /// Data points per physical channel per request (paper: 10).
+    pub points_per_channel: usize,
+    /// Query mix.
+    pub mix: MixSpec,
+    /// Generator threads.
+    pub generators: usize,
+}
+
+impl LoadConfig {
+    /// Ingest-only load at `sensors` simulated sensors for `secs` seconds.
+    pub fn sensors(sensors: usize, secs: u64) -> LoadConfig {
+        LoadConfig {
+            rate_per_sec: sensors as f64,
+            duration: Duration::from_secs(secs),
+            window: Duration::from_secs(1),
+            points_per_channel: 10,
+            mix: MixSpec::INGEST_ONLY,
+            generators: 2,
+        }
+    }
+}
+
+/// Outcome of one load phase.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Requests offered by the generators.
+    pub offered: u64,
+    /// Requests completed (all replies received).
+    pub completed: u64,
+    /// Trimmed windowed completion throughput.
+    pub throughput: WindowedThroughput,
+    /// Ingest request latency (send → both channel acks).
+    pub ingest: LatencyRow,
+    /// Live-data request latency.
+    pub live: LatencyRow,
+    /// Raw-range request latency.
+    pub raw: LatencyRow,
+    /// Requests that failed to dispatch.
+    pub send_errors: u64,
+}
+
+struct Shared {
+    completed: AtomicU64,
+    offered: AtomicU64,
+    send_errors: AtomicU64,
+    recording: AtomicBool,
+    ingest_hist: Histogram,
+    live_hist: Histogram,
+    raw_hist: Histogram,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Runs one open-loop load phase against a provisioned fleet.
+pub fn run_load(fleet: &FleetRefs, config: LoadConfig) -> LoadReport {
+    assert!(!fleet.sensors.is_empty(), "fleet has no sensors");
+    let shared = Arc::new(Shared {
+        completed: AtomicU64::new(0),
+        offered: AtomicU64::new(0),
+        send_errors: AtomicU64::new(0),
+        recording: AtomicBool::new(false),
+        ingest_hist: Histogram::new(),
+        live_hist: Histogram::new(),
+        raw_hist: Histogram::new(),
+    });
+
+    let start = Instant::now();
+    let gens = config.generators.max(1);
+    let mut threads = Vec::with_capacity(gens);
+    for g in 0..gens {
+        let shared = Arc::clone(&shared);
+        let sensors: Vec<Vec<ActorRef<PhysicalSensorChannel>>> = fleet
+            .sensors
+            .iter()
+            .skip(g)
+            .step_by(gens)
+            .cloned()
+            .collect();
+        let orgs = fleet.orgs.clone();
+        let channels: Vec<ActorRef<PhysicalSensorChannel>> = fleet
+            .channels
+            .iter()
+            .skip(g)
+            .step_by(gens)
+            .cloned()
+            .collect();
+        let config = config;
+        threads.push(std::thread::spawn(move || {
+            generator_loop(&shared, &sensors, &orgs, &channels, config, g, start)
+        }));
+    }
+
+    // Monitor thread: window the completion counter for throughput stats,
+    // and gate latency recording to the interior of the run (the paper's
+    // drop-first/last-window method applied to latencies too).
+    let window_secs = config.window.as_secs_f64();
+    let n_windows = (config.duration.as_secs_f64() / window_secs).ceil() as usize;
+    let mut per_window = Vec::with_capacity(n_windows);
+    let mut last_completed = 0u64;
+    for w in 0..n_windows {
+        if w == 1 {
+            shared.recording.store(true, Ordering::Release);
+        }
+        if w + 1 == n_windows {
+            shared.recording.store(false, Ordering::Release);
+        }
+        let next = start + config.window.mul_f64((w + 1) as f64);
+        let now = Instant::now();
+        if next > now {
+            std::thread::sleep(next - now);
+        }
+        let completed = shared.completed.load(Ordering::Relaxed);
+        per_window.push(completed - last_completed);
+        last_completed = completed;
+    }
+    shared.recording.store(false, Ordering::Release);
+    for t in threads {
+        let _ = t.join();
+    }
+    // Let the last in-flight requests finish for the completion counter.
+    std::thread::sleep(Duration::from_millis(100));
+
+    LoadReport {
+        offered: shared.offered.load(Ordering::Relaxed),
+        completed: shared.completed.load(Ordering::Relaxed),
+        throughput: windowed_throughput(&per_window, window_secs),
+        ingest: LatencyRow::from(shared.ingest_hist.snapshot().percentiles()),
+        live: LatencyRow::from(shared.live_hist.snapshot().percentiles()),
+        raw: LatencyRow::from(shared.raw_hist.snapshot().percentiles()),
+        send_errors: shared.send_errors.load(Ordering::Relaxed),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn generator_loop(
+    shared: &Arc<Shared>,
+    sensors: &[Vec<ActorRef<PhysicalSensorChannel>>],
+    orgs: &[ActorRef<Organization>],
+    channels: &[ActorRef<PhysicalSensorChannel>],
+    config: LoadConfig,
+    seed: usize,
+    start: Instant,
+) {
+    if sensors.is_empty() {
+        return;
+    }
+    let gens = config.generators.max(1) as f64;
+    let interval = Duration::from_secs_f64(gens / config.rate_per_sec.max(1.0));
+    let mut rng: u64 = 0x9E37_79B9 ^ ((seed as u64) << 32 | 0x5EED);
+    let mut next = start;
+    let mut sensor_idx = 0usize;
+    let deadline = start + config.duration;
+
+    while Instant::now() < deadline {
+        let now = Instant::now();
+        if next > now {
+            std::thread::sleep((next - now).min(Duration::from_millis(1)));
+            continue;
+        }
+        next += interval;
+
+        let draw = xorshift(&mut rng) % 1000;
+        let ts_ms = start.elapsed().as_millis() as u64;
+        if draw < config.mix.live_per_mille as u64 {
+            fire_live(shared, orgs, &mut rng);
+        } else if draw < (config.mix.live_per_mille + config.mix.raw_per_mille) as u64 {
+            fire_raw(shared, channels, &mut rng, ts_ms);
+        } else {
+            fire_ingest(shared, &sensors[sensor_idx], config.points_per_channel, ts_ms, &mut rng);
+            sensor_idx += 1;
+            if sensor_idx >= sensors.len() {
+                sensor_idx = 0;
+            }
+        }
+        shared.offered.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn fire_ingest(
+    shared: &Arc<Shared>,
+    channels: &[ActorRef<PhysicalSensorChannel>],
+    points_per_channel: usize,
+    ts_ms: u64,
+    rng: &mut u64,
+) {
+    let sent_at = Instant::now();
+    let shared2 = Arc::clone(shared);
+    // One sensor request completes when every channel acked (the paper's
+    // "task calls a sensor grain and inserts 10 data points" per channel).
+    let collector = Collector::new(channels.len(), move |_acks: Vec<u32>| {
+        if shared2.recording.load(Ordering::Acquire) {
+            shared2.ingest_hist.record_duration(sent_at.elapsed());
+        }
+        shared2.completed.fetch_add(1, Ordering::Relaxed);
+    });
+    for channel in channels {
+        let base = (xorshift(rng) % 1000) as f64 / 100.0;
+        let points: Vec<DataPoint> = (0..points_per_channel)
+            .map(|i| DataPoint {
+                ts_ms: ts_ms + (i as u64) * 100, // 10 Hz sampling
+                value: base + (i as f64) * 0.01,
+            })
+            .collect();
+        if channel.ask_with(Ingest { points }, collector.slot()).is_err() {
+            shared.send_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn fire_live(shared: &Arc<Shared>, orgs: &[ActorRef<Organization>], rng: &mut u64) {
+    if orgs.is_empty() {
+        return;
+    }
+    let org = &orgs[(xorshift(rng) as usize) % orgs.len()];
+    let sent_at = Instant::now();
+    let shared2 = Arc::clone(shared);
+    let reply = ReplyTo::Callback(Box::new(move |_report| {
+        if shared2.recording.load(Ordering::Acquire) {
+            shared2.live_hist.record_duration(sent_at.elapsed());
+        }
+        shared2.completed.fetch_add(1, Ordering::Relaxed);
+    }));
+    if org.ask_with(GetLiveData { reply }, ReplyTo::Ignore).is_err() {
+        shared.send_errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn fire_raw(
+    shared: &Arc<Shared>,
+    channels: &[ActorRef<PhysicalSensorChannel>],
+    rng: &mut u64,
+    ts_ms: u64,
+) {
+    if channels.is_empty() {
+        return;
+    }
+    let channel = &channels[(xorshift(rng) as usize) % channels.len()];
+    let sent_at = Instant::now();
+    let shared2 = Arc::clone(shared);
+    let reply = ReplyTo::Callback(Box::new(move |_points: Vec<DataPoint>| {
+        if shared2.recording.load(Ordering::Acquire) {
+            shared2.raw_hist.record_duration(sent_at.elapsed());
+        }
+        shared2.completed.fetch_add(1, Ordering::Relaxed);
+    }));
+    let query = QueryRange {
+        from_ms: ts_ms.saturating_sub(60_000),
+        to_ms: ts_ms,
+        limit: 1_000,
+    };
+    if channel.ask_with(query, reply).is_err() {
+        shared.send_errors.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,292 @@
+//! `Distributor` and `Delivery` actors.
+//!
+//! Figure 3: a distributor (e.g. a logistics company) manages many
+//! delivery actors; each delivery tracks one transport of meat cuts from a
+//! source to a destination with a vehicle. On arrival the delivery
+//! notifies every transported cut, extending its itinerary (tracking,
+//! functional requirement 4).
+
+use aodb_runtime::{Actor, ActorContext, Handler, Message};
+use serde::{Deserialize, Serialize};
+
+use crate::env::CattleEnv;
+use crate::meatcut::{AddItinerary, MeatCut};
+use crate::types::ItineraryEntry;
+
+/// Initializes a distributor.
+pub struct InitDistributor {
+    /// Display name.
+    pub name: String,
+}
+impl Message for InitDistributor {
+    type Reply = ();
+}
+
+/// Creates a delivery under this distributor; replies with the delivery
+/// actor key.
+pub struct CreateDelivery {
+    /// Cut keys being moved.
+    pub cuts: Vec<String>,
+    /// Origin holder key.
+    pub from: String,
+    /// Destination holder key.
+    pub to: String,
+    /// Vehicle identifier.
+    pub vehicle: String,
+}
+impl Message for CreateDelivery {
+    type Reply = String;
+}
+
+/// Deliveries created by a distributor.
+#[derive(Clone, Copy)]
+pub struct ListDeliveries;
+impl Message for ListDeliveries {
+    type Reply = Vec<String>;
+}
+
+#[derive(Default, Serialize, Deserialize)]
+struct DistributorState {
+    name: String,
+    deliveries: Vec<String>,
+    next_delivery: u64,
+}
+
+/// The distributor actor.
+pub struct Distributor {
+    state: aodb_core::Persisted<DistributorState>,
+}
+
+impl Distributor {
+    /// Registers the actor type.
+    pub fn register(rt: &aodb_runtime::Runtime, env: CattleEnv) {
+        rt.register(move |id| Distributor {
+            state: env.persisted_registry(Self::TYPE_NAME, &id.key),
+        });
+    }
+}
+
+impl Actor for Distributor {
+    const TYPE_NAME: &'static str = "cattle.distributor";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.flush();
+    }
+}
+
+impl Handler<InitDistributor> for Distributor {
+    fn handle(&mut self, msg: InitDistributor, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| s.name = msg.name);
+    }
+}
+
+impl Handler<CreateDelivery> for Distributor {
+    fn handle(&mut self, msg: CreateDelivery, ctx: &mut ActorContext<'_>) -> String {
+        let me = ctx.key().to_string();
+        let delivery_key = self.state.mutate(|s| {
+            let key = format!("{me}/d-{}", s.next_delivery);
+            s.next_delivery += 1;
+            s.deliveries.push(key.clone());
+            key
+        });
+        let _ = ctx
+            .actor_ref::<Delivery>(delivery_key.as_str())
+            .tell(InitDelivery {
+                distributor: me,
+                cuts: msg.cuts,
+                from: msg.from,
+                to: msg.to,
+                vehicle: msg.vehicle,
+            });
+        delivery_key
+    }
+}
+
+impl Handler<ListDeliveries> for Distributor {
+    fn handle(&mut self, _msg: ListDeliveries, _ctx: &mut ActorContext<'_>) -> Vec<String> {
+        self.state.get().deliveries.clone()
+    }
+}
+
+// ---------------------------------------------------------------- delivery
+
+/// Delivery lifecycle status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DeliveryStatus {
+    /// Created, not yet departed.
+    #[default]
+    Planned,
+    /// On the road.
+    InTransit,
+    /// Completed.
+    Delivered,
+}
+
+/// Initializes a delivery (sent by its distributor).
+pub struct InitDelivery {
+    /// Managing distributor key.
+    pub distributor: String,
+    /// Transported cut keys.
+    pub cuts: Vec<String>,
+    /// Origin holder.
+    pub from: String,
+    /// Destination holder.
+    pub to: String,
+    /// Vehicle identifier.
+    pub vehicle: String,
+}
+impl Message for InitDelivery {
+    type Reply = ();
+}
+
+/// Marks departure.
+pub struct Depart {
+    /// Departure time (ms).
+    pub ts_ms: u64,
+}
+impl Message for Depart {
+    type Reply = ();
+}
+
+/// Marks arrival: transfers every transported cut to the destination.
+pub struct Arrive {
+    /// Arrival time (ms).
+    pub ts_ms: u64,
+}
+impl Message for Arrive {
+    type Reply = ();
+}
+
+/// Delivery snapshot.
+#[derive(Clone, Copy)]
+pub struct GetDeliveryInfo;
+impl Message for GetDeliveryInfo {
+    type Reply = DeliveryInfo;
+}
+
+/// Reply of [`GetDeliveryInfo`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeliveryInfo {
+    /// Managing distributor.
+    pub distributor: String,
+    /// Transported cuts.
+    pub cuts: Vec<String>,
+    /// Origin holder.
+    pub from: String,
+    /// Destination holder.
+    pub to: String,
+    /// Vehicle identifier.
+    pub vehicle: String,
+    /// Lifecycle status.
+    pub status: DeliveryStatus,
+    /// Departure time, when departed.
+    pub departed_ms: Option<u64>,
+    /// Arrival time, when delivered.
+    pub arrived_ms: Option<u64>,
+}
+
+#[derive(Default, Serialize, Deserialize)]
+struct DeliveryState {
+    distributor: String,
+    cuts: Vec<String>,
+    from: String,
+    to: String,
+    vehicle: String,
+    status: DeliveryStatus,
+    departed_ms: Option<u64>,
+    arrived_ms: Option<u64>,
+}
+
+/// The delivery actor.
+pub struct Delivery {
+    state: aodb_core::Persisted<DeliveryState>,
+}
+
+impl Delivery {
+    /// Registers the actor type.
+    pub fn register(rt: &aodb_runtime::Runtime, env: CattleEnv) {
+        rt.register(move |id| Delivery {
+            state: env.persisted_registry(Self::TYPE_NAME, &id.key),
+        });
+    }
+}
+
+impl Actor for Delivery {
+    const TYPE_NAME: &'static str = "cattle.delivery";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.flush();
+    }
+}
+
+impl Handler<InitDelivery> for Delivery {
+    fn handle(&mut self, msg: InitDelivery, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| {
+            s.distributor = msg.distributor;
+            s.cuts = msg.cuts;
+            s.from = msg.from;
+            s.to = msg.to;
+            s.vehicle = msg.vehicle;
+        });
+    }
+}
+
+impl Handler<Depart> for Delivery {
+    fn handle(&mut self, msg: Depart, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| {
+            if s.status == DeliveryStatus::Planned {
+                s.status = DeliveryStatus::InTransit;
+                s.departed_ms = Some(msg.ts_ms);
+            }
+        });
+    }
+}
+
+impl Handler<Arrive> for Delivery {
+    fn handle(&mut self, msg: Arrive, ctx: &mut ActorContext<'_>) {
+        let delivery_key = ctx.key().to_string();
+        let already_delivered = self.state.get().status == DeliveryStatus::Delivered;
+        if already_delivered {
+            return; // idempotent
+        }
+        self.state.mutate(|s| {
+            s.status = DeliveryStatus::Delivered;
+            s.arrived_ms = Some(msg.ts_ms);
+        });
+        let s = self.state.get();
+        for cut in &s.cuts {
+            let _ = ctx.actor_ref::<MeatCut>(cut.as_str()).tell(AddItinerary(
+                ItineraryEntry {
+                    delivery: delivery_key.clone(),
+                    from: s.from.clone(),
+                    to: s.to.clone(),
+                    arrived_ms: msg.ts_ms,
+                },
+            ));
+        }
+    }
+}
+
+impl Handler<GetDeliveryInfo> for Delivery {
+    fn handle(&mut self, _msg: GetDeliveryInfo, _ctx: &mut ActorContext<'_>) -> DeliveryInfo {
+        let s = self.state.get();
+        DeliveryInfo {
+            distributor: s.distributor.clone(),
+            cuts: s.cuts.clone(),
+            from: s.from.clone(),
+            to: s.to.clone(),
+            vehicle: s.vehicle.clone(),
+            status: s.status,
+            departed_ms: s.departed_ms,
+            arrived_ms: s.arrived_ms,
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Shared construction environment for the cattle actor factories.
+
+use std::sync::Arc;
+
+use aodb_core::{Persisted, PersistentState, WritePolicy};
+use aodb_runtime::ActorKey;
+use aodb_store::StateStore;
+
+/// Store + policies handed to every cattle actor factory. Registry data
+/// (ownership, provenance) is written immediately; sensor streams follow
+/// the windowed policy, mirroring the SHM platform's two durability
+/// classes.
+#[derive(Clone)]
+pub struct CattleEnv {
+    /// The grain-state store.
+    pub store: Arc<dyn StateStore>,
+    /// Policy for registry/provenance state.
+    pub registry_policy: WritePolicy,
+    /// Policy for collar-stream state.
+    pub stream_policy: WritePolicy,
+    /// Collar readings kept in a cow's in-memory window.
+    pub window_capacity: usize,
+    /// Trajectory points retained per cow.
+    pub trajectory_capacity: usize,
+}
+
+impl CattleEnv {
+    /// Sensible defaults for tests and examples.
+    pub fn new(store: Arc<dyn StateStore>) -> Self {
+        CattleEnv {
+            store,
+            registry_policy: WritePolicy::EveryChange,
+            stream_policy: WritePolicy::OnDeactivate,
+            window_capacity: 8_640, // a day of 10-second collar fixes
+            trajectory_capacity: 4_096,
+        }
+    }
+
+    /// Persisted cell following the registry policy.
+    pub fn persisted_registry<S: PersistentState>(
+        &self,
+        type_name: &str,
+        key: &ActorKey,
+    ) -> Persisted<S> {
+        Persisted::for_actor(Arc::clone(&self.store), type_name, key, self.registry_policy)
+    }
+
+    /// Persisted cell following the stream policy.
+    pub fn persisted_stream<S: PersistentState>(
+        &self,
+        type_name: &str,
+        key: &ActorKey,
+    ) -> Persisted<S> {
+        Persisted::for_actor(Arc::clone(&self.store), type_name, key, self.stream_policy)
+    }
+}

@@ -1,0 +1,206 @@
+//! The `Farmer` actor: one farm unit (an individual farmer or a
+//! cooperative managed as a unit, per the paper's footnote in §4.1).
+//!
+//! Owns the herd membership list and the pasture geo-fences, and
+//! participates in ownership-transfer transactions and workflows.
+
+use aodb_core::{Decide, IdempotenceGuard, Prepare, StepResult, TxnLock, Vote, WorkStep};
+use aodb_runtime::{Actor, ActorContext, Handler, Message};
+use serde::{Deserialize, Serialize};
+
+use crate::env::CattleEnv;
+use crate::types::GeoFence;
+
+/// Initializes a farm unit.
+pub struct InitFarmer {
+    /// Display name.
+    pub name: String,
+}
+impl Message for InitFarmer {
+    type Reply = ();
+}
+
+/// Adds a cow to the herd (registration or purchase settlement).
+pub struct AddCow(pub String);
+impl Message for AddCow {
+    type Reply = ();
+}
+
+/// The herd, sorted.
+#[derive(Clone, Copy)]
+pub struct ListCows;
+impl Message for ListCows {
+    type Reply = Vec<String>;
+}
+
+/// Installs a named pasture fence.
+pub struct SetPastureFence {
+    /// Pasture name.
+    pub pasture: String,
+    /// The fence geometry.
+    pub fence: GeoFence,
+}
+impl Message for SetPastureFence {
+    type Reply = ();
+}
+
+/// Looks up a named pasture fence.
+pub struct GetPastureFence(pub String);
+impl Message for GetPastureFence {
+    type Reply = Option<GeoFence>;
+}
+
+#[derive(Default, Serialize, Deserialize)]
+struct FarmerState {
+    name: String,
+    cows: Vec<String>,
+    pastures: Vec<(String, GeoFence)>,
+    transfer_guard: IdempotenceGuard,
+}
+
+/// Pending transfer op decoded from a transaction payload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub(crate) enum HerdChange {
+    Add(String),
+    Remove(String),
+}
+
+/// The farmer actor.
+pub struct Farmer {
+    state: aodb_core::Persisted<FarmerState>,
+    lock: TxnLock<HerdChange>,
+}
+
+impl Farmer {
+    /// Registers the actor type.
+    pub fn register(rt: &aodb_runtime::Runtime, env: CattleEnv) {
+        rt.register(move |id| Farmer {
+            state: env.persisted_registry(Self::TYPE_NAME, &id.key),
+            lock: TxnLock::new(),
+        });
+    }
+
+    fn apply(&mut self, change: &HerdChange) {
+        self.state.mutate(|s| match change {
+            HerdChange::Add(cow) => {
+                if !s.cows.contains(cow) {
+                    s.cows.push(cow.clone());
+                }
+            }
+            HerdChange::Remove(cow) => s.cows.retain(|c| c != cow),
+        });
+    }
+}
+
+impl Actor for Farmer {
+    const TYPE_NAME: &'static str = "cattle.farmer";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.flush();
+    }
+}
+
+impl Handler<InitFarmer> for Farmer {
+    fn handle(&mut self, msg: InitFarmer, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| s.name = msg.name);
+    }
+}
+
+impl Handler<AddCow> for Farmer {
+    fn handle(&mut self, msg: AddCow, _ctx: &mut ActorContext<'_>) {
+        self.apply(&HerdChange::Add(msg.0));
+    }
+}
+
+impl Handler<ListCows> for Farmer {
+    fn handle(&mut self, _msg: ListCows, _ctx: &mut ActorContext<'_>) -> Vec<String> {
+        let mut cows = self.state.get().cows.clone();
+        cows.sort();
+        cows
+    }
+}
+
+impl Handler<SetPastureFence> for Farmer {
+    fn handle(&mut self, msg: SetPastureFence, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| {
+            if let Some(slot) = s.pastures.iter_mut().find(|(p, _)| p == &msg.pasture) {
+                slot.1 = msg.fence;
+            } else {
+                s.pastures.push((msg.pasture, msg.fence));
+            }
+        });
+    }
+}
+
+impl Handler<GetPastureFence> for Farmer {
+    fn handle(&mut self, msg: GetPastureFence, _ctx: &mut ActorContext<'_>) -> Option<GeoFence> {
+        self.state
+            .get()
+            .pastures
+            .iter()
+            .find(|(p, _)| p == &msg.0)
+            .map(|(_, f)| *f)
+    }
+}
+
+// ----------------------------------------------------- transaction support
+
+fn decode_herd_change(op: &serde_json::Value) -> Result<HerdChange, String> {
+    let cow = op
+        .get("cow")
+        .and_then(|v| v.as_str())
+        .ok_or("malformed op: missing cow")?
+        .to_string();
+    match op.get("action").and_then(|v| v.as_str()) {
+        Some("add-cow") => Ok(HerdChange::Add(cow)),
+        Some("remove-cow") => Ok(HerdChange::Remove(cow)),
+        other => Err(format!("unknown herd action: {other:?}")),
+    }
+}
+
+/// Transaction op schema: `{"action": "add-cow"|"remove-cow", "cow": …}`.
+impl Handler<Prepare> for Farmer {
+    fn handle(&mut self, msg: Prepare, _ctx: &mut ActorContext<'_>) -> Vote {
+        let change = match decode_herd_change(&msg.op.0) {
+            Ok(c) => c,
+            Err(e) => return Vote::No(e),
+        };
+        if let HerdChange::Remove(cow) = &change {
+            if !self.state.get().cows.contains(cow) {
+                return Vote::No(format!("cow {cow} is not in this herd"));
+            }
+        }
+        self.lock.try_prepare(msg.txn, change)
+    }
+}
+
+impl Handler<Decide> for Farmer {
+    fn handle(&mut self, msg: Decide, _ctx: &mut ActorContext<'_>) {
+        if let Some(change) = self.lock.decide(&msg.txn, msg.commit) {
+            self.apply(&change);
+        }
+    }
+}
+
+/// Workflow step schema: same as the transaction op.
+impl Handler<WorkStep> for Farmer {
+    fn handle(&mut self, msg: WorkStep, _ctx: &mut ActorContext<'_>) -> StepResult {
+        let change = match decode_herd_change(&msg.payload) {
+            Ok(c) => c,
+            Err(e) => return StepResult::Failed(e),
+        };
+        if self
+            .state
+            .get_mut_untracked()
+            .transfer_guard
+            .first_time(&msg.idempotence)
+        {
+            self.apply(&change);
+        }
+        StepResult::Done
+    }
+}

@@ -1,0 +1,154 @@
+//! Spatial indexing of cow locations.
+//!
+//! The paper's challenge list (§2.3) explicitly includes "spatial queries
+//! for cow locations". The AODB answer: a secondary index (maintained by
+//! the generic [`aodb_core::IndexShard`] actors) over *grid cells* — each
+//! cow's collar stream keeps the index entry for its current cell up to
+//! date (eventually consistent, like all IoT location data), and a
+//! proximity query unions the postings of the cells covering the search
+//! area.
+
+use aodb_core::{IndexShard, IndexUpdate};
+use aodb_runtime::{ActorContext, Collector, Promise, RuntimeHandle, SendError};
+
+use crate::types::GeoPoint;
+
+/// Name of the location index.
+pub const LOCATION_INDEX: &str = "cow-location";
+/// Shards of the location index. All writers and readers must agree.
+pub const LOCATION_BUCKETS: u32 = 16;
+/// Grid cell edge in degrees (~1.1 km of latitude).
+pub const CELL_DEG: f64 = 0.01;
+
+/// The grid cell containing `p`.
+pub fn grid_cell(p: &GeoPoint) -> String {
+    let lat = (p.lat / CELL_DEG).floor() as i64;
+    let lon = (p.lon / CELL_DEG).floor() as i64;
+    format!("g:{lat}:{lon}")
+}
+
+/// The cells within `radius` cells (Chebyshev) of the cell containing
+/// `p` — the search cover for a proximity query.
+pub fn covering_cells(p: &GeoPoint, radius: i64) -> Vec<String> {
+    let lat = (p.lat / CELL_DEG).floor() as i64;
+    let lon = (p.lon / CELL_DEG).floor() as i64;
+    let mut cells = Vec::with_capacity(((2 * radius + 1) * (2 * radius + 1)) as usize);
+    for dlat in -radius..=radius {
+        for dlon in -radius..=radius {
+            cells.push(format!("g:{}:{}", lat + dlat, lon + dlon));
+        }
+    }
+    cells
+}
+
+fn shard_of(value: &str) -> String {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in value.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("{LOCATION_INDEX}:{}", hash % LOCATION_BUCKETS as u64)
+}
+
+/// Index maintenance used by the `Cow` actor from inside its turn:
+/// moves `cow` from `old_cell` to `new_cell` (eventual consistency).
+pub(crate) fn update_location_index(
+    ctx: &ActorContext<'_>,
+    cow: &str,
+    old_cell: Option<&str>,
+    new_cell: &str,
+) {
+    // One message per touched shard; old and new cell may share one.
+    let new_shard = shard_of(new_cell);
+    match old_cell {
+        Some(old) if shard_of(old) == new_shard => {
+            let _ = ctx.actor_ref::<IndexShard>(new_shard).tell(IndexUpdate {
+                index: LOCATION_INDEX.into(),
+                remove: Some(old.to_string()),
+                add: Some(new_cell.to_string()),
+                entity: cow.to_string(),
+            });
+        }
+        Some(old) => {
+            let _ = ctx.actor_ref::<IndexShard>(shard_of(old)).tell(IndexUpdate {
+                index: LOCATION_INDEX.into(),
+                remove: Some(old.to_string()),
+                add: None,
+                entity: cow.to_string(),
+            });
+            let _ = ctx.actor_ref::<IndexShard>(new_shard).tell(IndexUpdate {
+                index: LOCATION_INDEX.into(),
+                remove: None,
+                add: Some(new_cell.to_string()),
+                entity: cow.to_string(),
+            });
+        }
+        None => {
+            let _ = ctx.actor_ref::<IndexShard>(new_shard).tell(IndexUpdate {
+                index: LOCATION_INDEX.into(),
+                remove: None,
+                add: Some(new_cell.to_string()),
+                entity: cow.to_string(),
+            });
+        }
+    }
+}
+
+/// Finds the cows currently indexed within `radius_cells` grid cells of
+/// `center`. The promise yields the (deduplicated, sorted) cow keys.
+pub fn cows_near(
+    handle: &RuntimeHandle,
+    center: &GeoPoint,
+    radius_cells: i64,
+) -> Result<Promise<Vec<String>>, SendError> {
+    let cells = covering_cells(center, radius_cells);
+    let (sink, out) = aodb_runtime::ReplyTo::promise();
+    // The collector's completion closure flattens and deduplicates the
+    // per-cell postings before resolving the caller's promise.
+    let collector = Collector::new(cells.len(), move |nested: Vec<Vec<String>>| {
+        let mut cows: Vec<String> = nested.into_iter().flatten().collect();
+        cows.sort();
+        cows.dedup();
+        sink.deliver(cows);
+    });
+    for cell in &cells {
+        handle
+            .try_actor_ref::<IndexShard>(shard_of(cell))?
+            .ask_with(
+                aodb_core::IndexLookup { index: LOCATION_INDEX.into(), value: cell.clone() },
+                collector.slot(),
+            )?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_cell_is_stable_and_distinct() {
+        let a = GeoPoint { lat: 55.4812, lon: 8.6823 };
+        let b = GeoPoint { lat: 55.4813, lon: 8.6824 }; // same cell
+        let c = GeoPoint { lat: 55.4912, lon: 8.6823 }; // different lat cell
+        assert_eq!(grid_cell(&a), grid_cell(&b));
+        assert_ne!(grid_cell(&a), grid_cell(&c));
+    }
+
+    #[test]
+    fn negative_coordinates_floor_correctly() {
+        let p = GeoPoint { lat: -0.001, lon: -0.001 };
+        assert_eq!(grid_cell(&p), "g:-1:-1");
+        let q = GeoPoint { lat: 0.001, lon: 0.001 };
+        assert_eq!(grid_cell(&q), "g:0:0");
+    }
+
+    #[test]
+    fn covering_cells_counts() {
+        let p = GeoPoint { lat: 1.0, lon: 2.0 };
+        assert_eq!(covering_cells(&p, 0).len(), 1);
+        assert_eq!(covering_cells(&p, 1).len(), 9);
+        assert_eq!(covering_cells(&p, 2).len(), 25);
+        assert!(covering_cells(&p, 1).contains(&grid_cell(&p)));
+    }
+}

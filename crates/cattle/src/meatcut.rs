@@ -1,0 +1,125 @@
+//! The `MeatCut` actor — model A (Figure 3), where meat cuts are actors.
+//!
+//! Section 4.3 discusses the cost of this choice: every read of cut
+//! information is a message exchange. The `granularity` ablation bench
+//! contrasts this model with the versioned-object model B in
+//! [`crate::model_b`].
+
+use aodb_runtime::{Actor, ActorContext, Handler, Message};
+use serde::{Deserialize, Serialize};
+
+use crate::env::CattleEnv;
+use crate::types::{ItineraryEntry, MeatCutData};
+
+/// Creates the cut (sent by the slaughterhouse).
+pub struct InitMeatCut(pub MeatCutData);
+impl Message for InitMeatCut {
+    type Reply = ();
+}
+
+/// Appends a completed transport leg (sent by `Delivery` actors).
+pub struct AddItinerary(pub ItineraryEntry);
+impl Message for AddItinerary {
+    type Reply = ();
+}
+
+/// Links the cut into a consumer product (sent by retailers).
+pub struct SetProduct(pub String);
+impl Message for SetProduct {
+    type Reply = ();
+}
+
+/// Full cut snapshot: provenance + tracking.
+#[derive(Clone, Copy)]
+pub struct GetCutInfo;
+impl Message for GetCutInfo {
+    type Reply = CutInfo;
+}
+
+/// Reply of [`GetCutInfo`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CutInfo {
+    /// Cut payload (cow, slaughterhouse, type, weight).
+    pub data: MeatCutData,
+    /// Completed transport legs, oldest first.
+    pub itinerary: Vec<ItineraryEntry>,
+    /// Current holder (slaughterhouse, distributor, or retailer key).
+    pub holder: String,
+    /// Product this cut became part of, if any.
+    pub product: Option<String>,
+}
+
+#[derive(Default, Serialize, Deserialize)]
+struct CutState {
+    data: Option<MeatCutData>,
+    itinerary: Vec<ItineraryEntry>,
+    holder: String,
+    product: Option<String>,
+}
+
+/// The meat-cut actor (model A).
+pub struct MeatCut {
+    state: aodb_core::Persisted<CutState>,
+}
+
+impl MeatCut {
+    /// Registers the actor type.
+    pub fn register(rt: &aodb_runtime::Runtime, env: CattleEnv) {
+        rt.register(move |id| MeatCut {
+            state: env.persisted_registry(Self::TYPE_NAME, &id.key),
+        });
+    }
+}
+
+impl Actor for MeatCut {
+    const TYPE_NAME: &'static str = "cattle.meat-cut";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.flush();
+    }
+}
+
+impl Handler<InitMeatCut> for MeatCut {
+    fn handle(&mut self, msg: InitMeatCut, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| {
+            s.holder = msg.0.slaughterhouse.clone();
+            s.data = Some(msg.0);
+        });
+    }
+}
+
+impl Handler<AddItinerary> for MeatCut {
+    fn handle(&mut self, msg: AddItinerary, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| {
+            s.holder = msg.0.to.clone();
+            s.itinerary.push(msg.0);
+        });
+    }
+}
+
+impl Handler<SetProduct> for MeatCut {
+    fn handle(&mut self, msg: SetProduct, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| s.product = Some(msg.0));
+    }
+}
+
+impl Handler<GetCutInfo> for MeatCut {
+    fn handle(&mut self, _msg: GetCutInfo, _ctx: &mut ActorContext<'_>) -> CutInfo {
+        let s = self.state.get();
+        CutInfo {
+            data: s.data.clone().unwrap_or(MeatCutData {
+                cow: String::new(),
+                slaughterhouse: String::new(),
+                cut_type: String::new(),
+                weight_kg: 0.0,
+            }),
+            itinerary: s.itinerary.clone(),
+            holder: s.holder.clone(),
+            product: s.product.clone(),
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Model B (Figure 5): meat cuts as **versioned non-actor objects**.
+//!
+//! The paper's alternative model for frequently accessed inanimate
+//! entities (Section 4.3): instead of a `MeatCut` actor that every
+//! participant must message, each responsible actor holds its own
+//! *version* of the cut object. Transfers copy the object to the next
+//! holder (bumping the version and recording provenance); reads are local
+//! state access. The `granularity` ablation bench measures the resulting
+//! trade-off: fewer messages and more read concurrency versus copy
+//! overhead and redundancy.
+//!
+//! One generic [`CutHolder`] actor type plays every chain role here
+//! (slaughterhouse, distributor, retailer); the role lives in the key.
+
+use std::collections::HashMap;
+
+use aodb_core::Versioned;
+use aodb_runtime::{Actor, ActorContext, Handler, Message};
+use serde::{Deserialize, Serialize};
+
+use crate::env::CattleEnv;
+use crate::types::MeatCutData;
+
+/// Creates a cut object at this holder (version 0).
+pub struct CreateCutB {
+    /// Stable entity id of the cut.
+    pub entity: String,
+    /// Cut payload.
+    pub data: MeatCutData,
+}
+impl Message for CreateCutB {
+    type Reply = ();
+}
+
+/// Transfers the holder's current version of `entity` to holder `to`.
+/// Replies `false` when this holder has no live version of the entity.
+pub struct TransferCutB {
+    /// The cut entity id.
+    pub entity: String,
+    /// Destination holder key.
+    pub to: String,
+    /// Hand-over time.
+    pub ts_ms: u64,
+}
+impl Message for TransferCutB {
+    type Reply = bool;
+}
+
+/// Receives a copied version from the previous holder.
+pub struct ReceiveCutB(pub Versioned<MeatCutData>);
+impl Message for ReceiveCutB {
+    type Reply = ();
+}
+
+/// Local read of the holder's version of `entity` — **no further
+/// messaging**, this is the whole point of model B.
+pub struct GetLocalCut(pub String);
+impl Message for GetLocalCut {
+    type Reply = Option<Versioned<MeatCutData>>;
+}
+
+/// Updates the local version's payload (e.g. trimming weight), which is a
+/// purely local mutation in model B.
+pub struct UpdateLocalCut {
+    /// The cut entity id.
+    pub entity: String,
+    /// New weight.
+    pub weight_kg: f64,
+}
+impl Message for UpdateLocalCut {
+    type Reply = bool;
+}
+
+/// Number of cut versions (live + historical) this holder retains.
+#[derive(Clone, Copy)]
+pub struct CountCutVersions;
+impl Message for CountCutVersions {
+    type Reply = usize;
+}
+
+/// Snapshot of **all** cuts this holder currently owns — the aggregate
+/// read that model B answers with a single message where model A needs a
+/// fan-out over every cut actor.
+#[derive(Clone, Copy)]
+pub struct SnapshotCuts;
+impl Message for SnapshotCuts {
+    type Reply = Vec<Versioned<MeatCutData>>;
+}
+
+#[derive(Default, Serialize, Deserialize)]
+struct HolderState {
+    /// Live versions this holder currently owns.
+    live: HashMap<String, Versioned<MeatCutData>>,
+    /// Historical versions kept after transfer (the redundancy the paper
+    /// notes as model B's cost).
+    history: Vec<Versioned<MeatCutData>>,
+}
+
+/// A supply-chain participant in model B.
+pub struct CutHolder {
+    state: aodb_core::Persisted<HolderState>,
+}
+
+impl CutHolder {
+    /// Registers the actor type.
+    pub fn register(rt: &aodb_runtime::Runtime, env: CattleEnv) {
+        rt.register(move |id| CutHolder {
+            state: env.persisted_registry(Self::TYPE_NAME, &id.key),
+        });
+    }
+}
+
+impl Actor for CutHolder {
+    const TYPE_NAME: &'static str = "cattle.cut-holder";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.flush();
+    }
+}
+
+impl Handler<CreateCutB> for CutHolder {
+    fn handle(&mut self, msg: CreateCutB, ctx: &mut ActorContext<'_>) {
+        let me = ctx.key().to_string();
+        self.state.mutate(|s| {
+            s.live
+                .insert(msg.entity.clone(), Versioned::new(msg.entity, me, msg.data));
+        });
+    }
+}
+
+impl Handler<TransferCutB> for CutHolder {
+    fn handle(&mut self, msg: TransferCutB, ctx: &mut ActorContext<'_>) -> bool {
+        let copy = self.state.mutate(|s| {
+            let current = s.live.remove(&msg.entity)?;
+            let next = current.transfer_to(&msg.to, msg.ts_ms);
+            s.history.push(current);
+            Some(next)
+        });
+        match copy {
+            Some(next) => {
+                let _ = ctx
+                    .actor_ref::<CutHolder>(msg.to.as_str())
+                    .tell(ReceiveCutB(next));
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Handler<ReceiveCutB> for CutHolder {
+    fn handle(&mut self, msg: ReceiveCutB, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| {
+            s.live.insert(msg.0.entity.clone(), msg.0);
+        });
+    }
+}
+
+impl Handler<GetLocalCut> for CutHolder {
+    fn handle(&mut self, msg: GetLocalCut, _ctx: &mut ActorContext<'_>) -> Option<Versioned<MeatCutData>> {
+        let s = self.state.get();
+        s.live
+            .get(&msg.0)
+            .cloned()
+            .or_else(|| s.history.iter().rev().find(|v| v.entity == msg.0).cloned())
+    }
+}
+
+impl Handler<UpdateLocalCut> for CutHolder {
+    fn handle(&mut self, msg: UpdateLocalCut, _ctx: &mut ActorContext<'_>) -> bool {
+        self.state.mutate(|s| match s.live.get_mut(&msg.entity) {
+            Some(v) => {
+                v.payload.weight_kg = msg.weight_kg;
+                true
+            }
+            None => false,
+        })
+    }
+}
+
+impl Handler<SnapshotCuts> for CutHolder {
+    fn handle(&mut self, _msg: SnapshotCuts, _ctx: &mut ActorContext<'_>) -> Vec<Versioned<MeatCutData>> {
+        self.state.get().live.values().cloned().collect()
+    }
+}
+
+impl Handler<CountCutVersions> for CutHolder {
+    fn handle(&mut self, _msg: CountCutVersions, _ctx: &mut ActorContext<'_>) -> usize {
+        let s = self.state.get();
+        s.live.len() + s.history.len()
+    }
+}

@@ -1,0 +1,261 @@
+//! Platform facade: registration and a typed client for the beef-chain
+//! API.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aodb_core::{TxnCoordinator, WorkflowEngine};
+use aodb_runtime::{Promise, ReplyTo, Runtime, RuntimeHandle, SendError};
+
+use crate::cow::{CollarReport, Cow, CowInfo, GetCowInfo, GetTrajectory, InitCow, SetFence};
+use crate::distribution::{
+    Arrive, CreateDelivery, Delivery, DeliveryInfo, Depart, Distributor, GetDeliveryInfo,
+    InitDistributor,
+};
+use crate::env::CattleEnv;
+use crate::farmer::{AddCow, Farmer, InitFarmer, ListCows};
+use crate::meatcut::MeatCut;
+use crate::model_b::CutHolder;
+use crate::retail::{CreateProduct, InitRetailer, MeatProduct, Retailer};
+use crate::slaughterhouse::{InitSlaughterhouse, Slaughter, Slaughterhouse};
+use crate::types::{Breed, CollarReading, GeoFence, GeoPoint};
+
+/// Registers every cattle actor type (both models) plus the transaction
+/// coordinator and workflow engine the transfers need.
+pub fn register_all(rt: &Runtime, env: CattleEnv) {
+    Farmer::register(rt, env.clone());
+    Cow::register(rt, env.clone());
+    Slaughterhouse::register(rt, env.clone());
+    MeatCut::register(rt, env.clone());
+    Distributor::register(rt, env.clone());
+    Delivery::register(rt, env.clone());
+    Retailer::register(rt, env.clone());
+    MeatProduct::register(rt, env.clone());
+    CutHolder::register(rt, env.clone());
+    TxnCoordinator::register(rt);
+    aodb_core::IndexShard::register(rt, Arc::clone(&env.store));
+    WorkflowEngine::register(rt, env.store);
+}
+
+/// Typed client facade over the beef-chain API.
+#[derive(Clone)]
+pub struct CattleClient {
+    handle: RuntimeHandle,
+}
+
+impl CattleClient {
+    /// Client using `handle`'s origin.
+    pub fn new(handle: RuntimeHandle) -> Self {
+        CattleClient { handle }
+    }
+
+    /// Creates a farm unit.
+    pub fn create_farmer(&self, key: &str, name: &str) -> Result<(), SendError> {
+        self.handle
+            .try_actor_ref::<Farmer>(key)?
+            .tell(InitFarmer { name: name.to_string() })
+    }
+
+    /// Registers a cow at a farm (both sides updated; initial
+    /// registration needs no transaction because nothing is concurrent
+    /// yet).
+    pub fn register_cow(
+        &self,
+        cow: &str,
+        farmer: &str,
+        breed: Breed,
+        born_ms: u64,
+    ) -> Result<(), SendError> {
+        self.handle.try_actor_ref::<Cow>(cow)?.tell(InitCow {
+            farmer: farmer.to_string(),
+            breed,
+            born_ms,
+        })?;
+        self.handle
+            .try_actor_ref::<Farmer>(farmer)?
+            .tell(AddCow(cow.to_string()))
+    }
+
+    /// The farmer's herd.
+    pub fn herd(&self, farmer: &str) -> Result<Promise<Vec<String>>, SendError> {
+        self.handle.try_actor_ref::<Farmer>(farmer)?.ask(ListCows)
+    }
+
+    /// Streams collar readings into a cow.
+    pub fn collar_report(
+        &self,
+        cow: &str,
+        readings: Vec<CollarReading>,
+    ) -> Result<Promise<u32>, SendError> {
+        self.handle
+            .try_actor_ref::<Cow>(cow)?
+            .ask(CollarReport { readings })
+    }
+
+    /// Installs a geo-fence on a cow.
+    pub fn set_fence(&self, cow: &str, fence: Option<GeoFence>) -> Result<(), SendError> {
+        self.handle.try_actor_ref::<Cow>(cow)?.tell(SetFence(fence))
+    }
+
+    /// Cow snapshot.
+    pub fn cow_info(&self, cow: &str) -> Result<Promise<CowInfo>, SendError> {
+        self.handle.try_actor_ref::<Cow>(cow)?.ask(GetCowInfo)
+    }
+
+    /// Cow trajectory (most recent `limit` fixes; 0 = all retained).
+    pub fn trajectory(
+        &self,
+        cow: &str,
+        limit: usize,
+    ) -> Result<Promise<Vec<(u64, GeoPoint)>>, SendError> {
+        self.handle
+            .try_actor_ref::<Cow>(cow)?
+            .ask(GetTrajectory { limit })
+    }
+
+    /// Creates a slaughterhouse.
+    pub fn create_slaughterhouse(&self, key: &str, name: &str) -> Result<(), SendError> {
+        self.handle
+            .try_actor_ref::<Slaughterhouse>(key)?
+            .tell(InitSlaughterhouse { name: name.to_string() })
+    }
+
+    /// Slaughters a cow; the promise yields the created cut keys, or
+    /// `None` when the cow was already slaughtered.
+    pub fn slaughter(
+        &self,
+        slaughterhouse: &str,
+        cow: &str,
+        ts_ms: u64,
+    ) -> Result<Promise<Option<Vec<String>>>, SendError> {
+        let (reply, promise) = ReplyTo::promise();
+        self.handle
+            .try_actor_ref::<Slaughterhouse>(slaughterhouse)?
+            .tell(Slaughter { cow: cow.to_string(), ts_ms, reply })?;
+        Ok(promise)
+    }
+
+    /// Creates a distributor.
+    pub fn create_distributor(&self, key: &str, name: &str) -> Result<(), SendError> {
+        self.handle
+            .try_actor_ref::<Distributor>(key)?
+            .tell(InitDistributor { name: name.to_string() })
+    }
+
+    /// Plans a delivery; the promise yields the delivery key.
+    pub fn create_delivery(
+        &self,
+        distributor: &str,
+        cuts: Vec<String>,
+        from: &str,
+        to: &str,
+        vehicle: &str,
+    ) -> Result<Promise<String>, SendError> {
+        self.handle
+            .try_actor_ref::<Distributor>(distributor)?
+            .ask(CreateDelivery {
+                cuts,
+                from: from.to_string(),
+                to: to.to_string(),
+                vehicle: vehicle.to_string(),
+            })
+    }
+
+    /// Departs a delivery.
+    pub fn depart(&self, delivery: &str, ts_ms: u64) -> Result<(), SendError> {
+        self.handle
+            .try_actor_ref::<Delivery>(delivery)?
+            .tell(Depart { ts_ms })
+    }
+
+    /// Completes a delivery (updates every transported cut's itinerary).
+    pub fn arrive(&self, delivery: &str, ts_ms: u64) -> Result<(), SendError> {
+        self.handle
+            .try_actor_ref::<Delivery>(delivery)?
+            .tell(Arrive { ts_ms })
+    }
+
+    /// Delivery snapshot.
+    pub fn delivery_info(&self, delivery: &str) -> Result<Promise<DeliveryInfo>, SendError> {
+        self.handle
+            .try_actor_ref::<Delivery>(delivery)?
+            .ask(GetDeliveryInfo)
+    }
+
+    /// Creates a retailer.
+    pub fn create_retailer(&self, key: &str, name: &str) -> Result<(), SendError> {
+        self.handle
+            .try_actor_ref::<Retailer>(key)?
+            .tell(InitRetailer { name: name.to_string() })
+    }
+
+    /// Assembles a consumer product from cuts; the promise yields the
+    /// product key.
+    pub fn create_product(
+        &self,
+        retailer: &str,
+        cuts: Vec<String>,
+        name: &str,
+        ts_ms: u64,
+    ) -> Result<Promise<String>, SendError> {
+        self.handle
+            .try_actor_ref::<Retailer>(retailer)?
+            .ask(CreateProduct { cuts, name: name.to_string(), ts_ms })
+    }
+
+    /// Full provenance of a product (model A graph walk).
+    pub fn trace_product(
+        &self,
+        product: &str,
+    ) -> Result<crate::tracing::TraceReport, crate::tracing::TraceError> {
+        crate::tracing::trace_product(&self.handle, product)
+    }
+
+    /// Where a cut is now, and how it got there.
+    pub fn track_cut(
+        &self,
+        cut: &str,
+    ) -> Result<(String, Vec<crate::types::ItineraryEntry>), crate::tracing::TraceError> {
+        crate::tracing::track_cut(&self.handle, cut)
+    }
+
+    /// Atomic ownership transfer (2PC).
+    pub fn transfer_cow_txn(
+        &self,
+        cow: &str,
+        from: &str,
+        to: &str,
+    ) -> Result<Promise<aodb_core::TxnOutcome>, SendError> {
+        crate::transfer::transfer_cow_txn(
+            &self.handle,
+            "cattle-coordinator",
+            cow,
+            from,
+            to,
+            Duration::from_secs(10),
+        )
+    }
+
+    /// Workflow-based ownership transfer.
+    pub fn transfer_cow_workflow(
+        &self,
+        transfer_id: &str,
+        cow: &str,
+        from: &str,
+        to: &str,
+    ) -> Result<Promise<aodb_core::WorkflowOutcome>, SendError> {
+        crate::transfer::transfer_cow_workflow(
+            &self.handle,
+            "cattle-engine",
+            transfer_id,
+            cow,
+            from,
+            to,
+        )
+    }
+
+    /// The underlying handle.
+    pub fn handle(&self) -> &RuntimeHandle {
+        &self.handle
+    }
+}

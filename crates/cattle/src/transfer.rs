@@ -1,0 +1,87 @@
+//! Cow ownership transfer — the paper's Section 4.4 worked example of
+//! cross-actor constraint enforcement, implemented **both** ways the
+//! principle describes:
+//!
+//! 1. [`transfer_cow_txn`]: a 2PC transaction over the cow and both
+//!    farmers — atomic; either all three actors reflect the sale or none
+//!    does.
+//! 2. [`transfer_cow_workflow`]: a multi-actor workflow — eventually
+//!    consistent with retries and idempotence, for deployments without
+//!    transactions.
+
+use std::time::Duration;
+
+use aodb_core::{
+    run_transaction, run_workflow, Participant, TxnCoordinator, TxnOp, TxnOutcome, WorkflowEngine,
+    WorkflowOutcome,
+};
+use aodb_runtime::{Promise, RuntimeHandle, SendError};
+use serde_json::json;
+
+use crate::cow::Cow;
+use crate::farmer::Farmer;
+
+/// Atomically transfers `cow` from `from` to `to` (2PC).
+pub fn transfer_cow_txn(
+    handle: &RuntimeHandle,
+    coordinator: &str,
+    cow: &str,
+    from: &str,
+    to: &str,
+    timeout: Duration,
+) -> Result<Promise<TxnOutcome>, SendError> {
+    let coordinator = handle.try_actor_ref::<TxnCoordinator>(coordinator)?;
+    let cow_ref = handle.try_actor_ref::<Cow>(cow)?;
+    let from_ref = handle.try_actor_ref::<Farmer>(from)?;
+    let to_ref = handle.try_actor_ref::<Farmer>(to)?;
+    run_transaction(
+        &coordinator,
+        vec![
+            (
+                Participant::of(&cow_ref),
+                TxnOp(json!({ "action": "set-owner", "new_owner": to })),
+            ),
+            (
+                Participant::of(&from_ref),
+                TxnOp(json!({ "action": "remove-cow", "cow": cow })),
+            ),
+            (
+                Participant::of(&to_ref),
+                TxnOp(json!({ "action": "add-cow", "cow": cow })),
+            ),
+        ],
+        timeout,
+    )
+}
+
+/// Eventually transfers `cow` from `from` to `to` through the workflow
+/// engine, with per-step retries. `transfer_id` must be unique per sale
+/// (it doubles as the idempotence scope).
+pub fn transfer_cow_workflow(
+    handle: &RuntimeHandle,
+    engine: &str,
+    transfer_id: &str,
+    cow: &str,
+    from: &str,
+    to: &str,
+) -> Result<Promise<WorkflowOutcome>, SendError> {
+    let engine = handle.try_actor_ref::<WorkflowEngine>(engine)?;
+    let cow_ref = handle.try_actor_ref::<Cow>(cow)?;
+    let from_ref = handle.try_actor_ref::<Farmer>(from)?;
+    let to_ref = handle.try_actor_ref::<Farmer>(to)?;
+    run_workflow(
+        &engine,
+        transfer_id,
+        vec![
+            // Order matters for intermediate observability: the herd lists
+            // change first, the cow's owner pointer last, so a half-done
+            // workflow never shows a cow owned by a farmer whose herd list
+            // lacks it on the *new* side for long.
+            (from_ref.recipient(), json!({ "action": "remove-cow", "cow": cow })),
+            (to_ref.recipient(), json!({ "action": "add-cow", "cow": cow })),
+            (cow_ref.recipient(), json!({ "action": "set-owner", "new_owner": to })),
+        ],
+        5,
+        Duration::from_millis(10),
+    )
+}

@@ -1,0 +1,182 @@
+//! Domain types of the beef-cattle tracking & tracing platform.
+
+use serde::{Deserialize, Serialize};
+
+/// A GPS location (degrees).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub struct GeoPoint {
+    /// Latitude.
+    pub lat: f64,
+    /// Longitude.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Euclidean distance in degree space — adequate for the pasture-scale
+    /// geometry the geo-fence checks operate on.
+    pub fn distance(&self, other: &GeoPoint) -> f64 {
+        let dlat = self.lat - other.lat;
+        let dlon = self.lon - other.lon;
+        (dlat * dlat + dlon * dlon).sqrt()
+    }
+}
+
+/// One collar sensor report (the paper: movement, speed, location; plus
+/// ingestible sensors measuring temperature).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CollarReading {
+    /// Sample timestamp (ms).
+    pub ts_ms: u64,
+    /// Location fix.
+    pub position: GeoPoint,
+    /// Movement speed (m/s).
+    pub speed: f64,
+    /// Body temperature (°C) from the rumen bolus.
+    pub temperature: f64,
+}
+
+/// A pasture geo-fence (functional requirement 2: "Geo-fencing can help
+/// identify whether a cow is in an appropriate area").
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum GeoFence {
+    /// Circle: center + radius (degree space).
+    Circle {
+        /// Center of the allowed area.
+        center: GeoPoint,
+        /// Radius in degrees.
+        radius: f64,
+    },
+    /// Axis-aligned rectangle.
+    Rect {
+        /// South-west corner.
+        min: GeoPoint,
+        /// North-east corner.
+        max: GeoPoint,
+    },
+}
+
+impl GeoFence {
+    /// Whether `p` lies inside the fence.
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        match self {
+            GeoFence::Circle { center, radius } => center.distance(p) <= *radius,
+            GeoFence::Rect { min, max } => {
+                p.lat >= min.lat && p.lat <= max.lat && p.lon >= min.lon && p.lon <= max.lon
+            }
+        }
+    }
+}
+
+/// Cattle breed (tracing information consumers care about).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Breed {
+    /// Aberdeen Angus.
+    Angus,
+    /// Hereford.
+    Hereford,
+    /// Nelore (the dominant Brazilian beef breed — the Embrapa case).
+    Nelore,
+    /// Danish Holstein crossbreed.
+    HolsteinCross,
+}
+
+/// Lifecycle status of a cow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CowStatus {
+    /// On pasture, reporting collar data.
+    #[default]
+    Alive,
+    /// Slaughtered; terminal.
+    Slaughtered,
+}
+
+/// A GS1-EPCIS-style supply-chain event: who did what to which entity,
+/// where and when. Every actor appends these to its event log, and the
+/// tracing queries stitch them together.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChainEvent {
+    /// The entity the event is about (cow, cut, or product key).
+    pub entity: String,
+    /// What happened.
+    pub kind: ChainEventKind,
+    /// The responsible actor (farmer, slaughterhouse, … key).
+    pub actor: String,
+    /// Event time (ms).
+    pub ts_ms: u64,
+}
+
+/// GS1-style event vocabulary for the beef chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChainEventKind {
+    /// Animal registered at a farm.
+    Born,
+    /// Ownership transferred between farmers.
+    OwnershipTransferred,
+    /// Animal slaughtered.
+    Slaughtered,
+    /// Cut created from a carcass.
+    CutCreated,
+    /// Cut departed on a delivery.
+    Departed,
+    /// Cut arrived at a destination.
+    Arrived,
+    /// Product assembled from cuts.
+    ProductCreated,
+}
+
+/// Payload of a meat cut (the inanimate entity of Section 4.3).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeatCutData {
+    /// Source cow key.
+    pub cow: String,
+    /// Slaughterhouse key that produced it.
+    pub slaughterhouse: String,
+    /// Cut type, e.g. `"ribeye"`.
+    pub cut_type: String,
+    /// Weight in kilograms (may be trimmed during handling).
+    pub weight_kg: f64,
+}
+
+/// One leg of a meat cut's journey.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ItineraryEntry {
+    /// Delivery key that moved the cut.
+    pub delivery: String,
+    /// Origin holder.
+    pub from: String,
+    /// Destination holder.
+    pub to: String,
+    /// Arrival time (ms).
+    pub arrived_ms: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circle_fence() {
+        let fence = GeoFence::Circle { center: GeoPoint { lat: 0.0, lon: 0.0 }, radius: 1.0 };
+        assert!(fence.contains(&GeoPoint { lat: 0.5, lon: 0.5 }));
+        assert!(!fence.contains(&GeoPoint { lat: 1.0, lon: 1.0 }));
+    }
+
+    #[test]
+    fn rect_fence() {
+        let fence = GeoFence::Rect {
+            min: GeoPoint { lat: 0.0, lon: 0.0 },
+            max: GeoPoint { lat: 2.0, lon: 3.0 },
+        };
+        assert!(fence.contains(&GeoPoint { lat: 1.0, lon: 2.9 }));
+        assert!(!fence.contains(&GeoPoint { lat: -0.1, lon: 1.0 }));
+        assert!(!fence.contains(&GeoPoint { lat: 1.0, lon: 3.1 }));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint { lat: 1.0, lon: 2.0 };
+        let b = GeoPoint { lat: 4.0, lon: 6.0 };
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert_eq!(a.distance(&b), 5.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Spatial-query tests: the collar stream maintains the location index,
+//! and proximity queries find cows by grid neighbourhood.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aodb_cattle::geo::{cows_near, covering_cells, grid_cell};
+use aodb_cattle::types::{Breed, CollarReading, GeoPoint};
+use aodb_cattle::{register_all, CattleClient, CattleEnv};
+use aodb_runtime::Runtime;
+use aodb_store::MemStore;
+
+const T: Duration = Duration::from_secs(10);
+
+fn reading(ts_ms: u64, lat: f64, lon: f64) -> CollarReading {
+    CollarReading { ts_ms, position: GeoPoint { lat, lon }, speed: 0.1, temperature: 38.5 }
+}
+
+fn setup() -> (Runtime, CattleClient) {
+    let rt = Runtime::single(2);
+    register_all(&rt, CattleEnv::new(Arc::new(MemStore::new())));
+    let client = CattleClient::new(rt.handle());
+    client.create_farmer("g/farm", "F").unwrap();
+    (rt, client)
+}
+
+#[test]
+fn collar_reports_populate_the_location_index() {
+    let (rt, client) = setup();
+    // Three cows: two in the same pasture corner, one far away.
+    for (cow, lat, lon) in [
+        ("g/cow-a", 55.480, 8.680),
+        ("g/cow-b", 55.481, 8.681),
+        ("g/cow-c", 56.200, 9.500),
+    ] {
+        client.register_cow(cow, "g/farm", Breed::Angus, 0).unwrap();
+        client.collar_report(cow, vec![reading(0, lat, lon)]).unwrap().wait_for(T).unwrap();
+    }
+    assert!(rt.quiesce(T));
+
+    let near = cows_near(&rt.handle(), &GeoPoint { lat: 55.480, lon: 8.680 }, 1)
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    assert_eq!(near, vec!["g/cow-a", "g/cow-b"], "far cow must not appear");
+
+    let far = cows_near(&rt.handle(), &GeoPoint { lat: 56.200, lon: 9.500 }, 0)
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    assert_eq!(far, vec!["g/cow-c"]);
+    rt.shutdown();
+}
+
+#[test]
+fn moving_cow_changes_cells() {
+    let (rt, client) = setup();
+    client.register_cow("g/walker", "g/farm", Breed::Hereford, 0).unwrap();
+    client
+        .collar_report("g/walker", vec![reading(0, 10.005, 10.005)])
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    assert!(rt.quiesce(T));
+    let here = GeoPoint { lat: 10.005, lon: 10.005 };
+    assert_eq!(
+        cows_near(&rt.handle(), &here, 0).unwrap().wait_for(T).unwrap(),
+        vec!["g/walker"]
+    );
+
+    // Walk several cells away; the old cell must be vacated.
+    client
+        .collar_report("g/walker", vec![reading(1, 10.055, 10.005)])
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    assert!(rt.quiesce(T));
+    assert!(cows_near(&rt.handle(), &here, 0).unwrap().wait_for(T).unwrap().is_empty());
+    let there = GeoPoint { lat: 10.055, lon: 10.005 };
+    assert_eq!(
+        cows_near(&rt.handle(), &there, 0).unwrap().wait_for(T).unwrap(),
+        vec!["g/walker"]
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn movement_within_a_cell_causes_no_index_traffic() {
+    let (rt, client) = setup();
+    client.register_cow("g/grazer", "g/farm", Breed::Nelore, 0).unwrap();
+    client
+        .collar_report("g/grazer", vec![reading(0, 20.0051, 20.0051)])
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    assert!(rt.quiesce(T));
+    let baseline = rt.metrics().messages_processed;
+
+    // 50 reports, all inside the same 0.01° cell.
+    for i in 1..=50u64 {
+        client
+            .collar_report(
+                "g/grazer",
+                vec![reading(i, 20.0051 + (i as f64) * 1e-5, 20.0051)],
+            )
+            .unwrap()
+            .wait_for(T)
+            .unwrap();
+    }
+    assert!(rt.quiesce(T));
+    let delta = rt.metrics().messages_processed - baseline;
+    // 50 collar reports; allow a couple of stray messages but no per-report
+    // index updates (which would add ≥50).
+    assert!(delta < 55, "unexpected index chatter: {delta} messages for 50 reports");
+    rt.shutdown();
+}
+
+#[test]
+fn covering_cells_geometry_matches_queries() {
+    // A cow on a cell border is found from the adjacent cell with r=1.
+    let (rt, client) = setup();
+    client.register_cow("g/border", "g/farm", Breed::Angus, 0).unwrap();
+    client
+        .collar_report("g/border", vec![reading(0, 30.0101, 30.0001)])
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    assert!(rt.quiesce(T));
+
+    let neighbour_point = GeoPoint { lat: 30.0099, lon: 30.0001 }; // one cell south
+    assert_ne!(
+        grid_cell(&neighbour_point),
+        grid_cell(&GeoPoint { lat: 30.0101, lon: 30.0001 })
+    );
+    assert!(cows_near(&rt.handle(), &neighbour_point, 0)
+        .unwrap()
+        .wait_for(T)
+        .unwrap()
+        .is_empty());
+    assert_eq!(
+        cows_near(&rt.handle(), &neighbour_point, 1).unwrap().wait_for(T).unwrap(),
+        vec!["g/border"]
+    );
+    assert_eq!(covering_cells(&neighbour_point, 1).len(), 9);
+    rt.shutdown();
+}

@@ -1,0 +1,115 @@
+//! Coverage for the supply-chain bookkeeping actors: slaughter event logs,
+//! distributor delivery listings, retailer product listings, and pasture
+//! fence management on farms.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aodb_cattle::distribution::{Distributor, ListDeliveries};
+use aodb_cattle::farmer::{Farmer, GetPastureFence, SetPastureFence};
+use aodb_cattle::retail::{ListProducts, Retailer};
+use aodb_cattle::slaughterhouse::{GetSlaughterLog, Slaughterhouse};
+use aodb_cattle::types::{Breed, ChainEventKind, GeoFence, GeoPoint};
+use aodb_cattle::{register_all, CattleClient, CattleEnv, CUT_TYPES};
+use aodb_runtime::Runtime;
+use aodb_store::MemStore;
+
+const T: Duration = Duration::from_secs(10);
+
+fn setup() -> (Runtime, CattleClient) {
+    let rt = Runtime::single(2);
+    register_all(&rt, CattleEnv::new(Arc::new(MemStore::new())));
+    let client = CattleClient::new(rt.handle());
+    (rt, client)
+}
+
+#[test]
+fn slaughterhouse_logs_gs1_events() {
+    let (rt, client) = setup();
+    client.create_farmer("r/farm", "F").unwrap();
+    client.create_slaughterhouse("r/house", "H").unwrap();
+    for i in 0..2 {
+        let cow = format!("r/cow-{i}");
+        client.register_cow(&cow, "r/farm", Breed::Angus, 0).unwrap();
+        client.slaughter("r/house", &cow, 100 + i).unwrap().wait_for(T).unwrap().unwrap();
+    }
+    let log = rt
+        .actor_ref::<Slaughterhouse>("r/house")
+        .call(GetSlaughterLog)
+        .unwrap();
+    let slaughters = log.iter().filter(|e| e.kind == ChainEventKind::Slaughtered).count();
+    let cuts = log.iter().filter(|e| e.kind == ChainEventKind::CutCreated).count();
+    assert_eq!(slaughters, 2);
+    assert_eq!(cuts, 2 * CUT_TYPES.len());
+    rt.shutdown();
+}
+
+#[test]
+fn distributor_lists_its_deliveries() {
+    let (rt, client) = setup();
+    client.create_distributor("r/dist", "D").unwrap();
+    let d1 = client
+        .create_delivery("r/dist", vec!["cut-a".into()], "x", "y", "truck-1")
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    let d2 = client
+        .create_delivery("r/dist", vec!["cut-b".into()], "y", "z", "truck-2")
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    assert_ne!(d1, d2);
+    let listed = rt
+        .actor_ref::<Distributor>("r/dist")
+        .call(ListDeliveries)
+        .unwrap();
+    assert_eq!(listed, vec![d1, d2]);
+    rt.shutdown();
+}
+
+#[test]
+fn retailer_lists_its_products() {
+    let (rt, client) = setup();
+    client.create_retailer("r/retail", "R").unwrap();
+    let p1 = client
+        .create_product("r/retail", vec!["cut-1".into()], "pack A", 1)
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    let p2 = client
+        .create_product("r/retail", vec!["cut-2".into()], "pack B", 2)
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    let listed = rt.actor_ref::<Retailer>("r/retail").call(ListProducts).unwrap();
+    assert_eq!(listed, vec![p1, p2]);
+    rt.shutdown();
+}
+
+#[test]
+fn farm_pasture_fences_are_named_and_updatable() {
+    let (rt, client) = setup();
+    client.create_farmer("r/fences", "F").unwrap();
+    let farmer = rt.actor_ref::<Farmer>("r/fences");
+    let north = GeoFence::Circle { center: GeoPoint { lat: 1.0, lon: 1.0 }, radius: 0.5 };
+    let south = GeoFence::Circle { center: GeoPoint { lat: -1.0, lon: 1.0 }, radius: 0.25 };
+    farmer
+        .call(SetPastureFence { pasture: "north".into(), fence: north })
+        .unwrap();
+    farmer
+        .call(SetPastureFence { pasture: "south".into(), fence: south })
+        .unwrap();
+    assert_eq!(farmer.call(GetPastureFence("north".into())).unwrap(), Some(north));
+    assert_eq!(farmer.call(GetPastureFence("nowhere".into())).unwrap(), None);
+
+    // Rotating pasture grounds (FR 2): the fence is replaced in place.
+    let north2 = GeoFence::Rect {
+        min: GeoPoint { lat: 0.5, lon: 0.5 },
+        max: GeoPoint { lat: 1.5, lon: 1.5 },
+    };
+    farmer
+        .call(SetPastureFence { pasture: "north".into(), fence: north2 })
+        .unwrap();
+    assert_eq!(farmer.call(GetPastureFence("north".into())).unwrap(), Some(north2));
+    rt.shutdown();
+}

@@ -1,0 +1,356 @@
+//! End-to-end tests of the beef supply chain: collar streams, geo-fencing,
+//! slaughter, distribution, retail, farm-to-fork tracing, ownership
+//! transfers (2PC and workflow), and the model A vs model B contrast.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aodb_cattle::model_b::{
+    CountCutVersions, CreateCutB, GetLocalCut, TransferCutB, UpdateLocalCut,
+};
+use aodb_cattle::types::{
+    Breed, ChainEventKind, CollarReading, CowStatus, GeoFence, GeoPoint, MeatCutData,
+};
+use aodb_cattle::{register_all, CattleClient, CattleEnv, CutHolder, DeliveryStatus, CUT_TYPES};
+use aodb_core::{TxnOutcome, WorkflowOutcome};
+use aodb_runtime::Runtime;
+use aodb_store::{MemStore, StateStore};
+
+const T: Duration = Duration::from_secs(10);
+
+fn reading(ts_ms: u64, lat: f64, lon: f64) -> CollarReading {
+    CollarReading { ts_ms, position: GeoPoint { lat, lon }, speed: 0.5, temperature: 38.6 }
+}
+
+fn setup() -> (Runtime, CattleClient, Arc<dyn StateStore>) {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = Runtime::single(4);
+    register_all(&rt, CattleEnv::new(Arc::clone(&store)));
+    let client = CattleClient::new(rt.handle());
+    (rt, client, store)
+}
+
+#[test]
+fn collar_stream_builds_trajectory() {
+    let (rt, client, _) = setup();
+    client.create_farmer("farm-1", "Nørgaard").unwrap();
+    client.register_cow("cow-1", "farm-1", Breed::Angus, 0).unwrap();
+
+    let readings: Vec<CollarReading> =
+        (0..50).map(|i| reading(i * 10_000, 55.0 + i as f64 * 0.001, 10.0)).collect();
+    let n = client.collar_report("cow-1", readings).unwrap().wait_for(T).unwrap();
+    assert_eq!(n, 50);
+
+    let trajectory = client.trajectory("cow-1", 10).unwrap().wait_for(T).unwrap();
+    assert_eq!(trajectory.len(), 10);
+    assert_eq!(trajectory.last().unwrap().0, 49 * 10_000);
+
+    let info = client.cow_info("cow-1").unwrap().wait_for(T).unwrap();
+    assert_eq!(info.total_readings, 50);
+    assert_eq!(info.farmer, "farm-1");
+    assert_eq!(info.status, CowStatus::Alive);
+    rt.shutdown();
+}
+
+#[test]
+fn geofence_violations_are_counted() {
+    let (rt, client, _) = setup();
+    client.create_farmer("farm-1", "F").unwrap();
+    client.register_cow("cow-2", "farm-1", Breed::Hereford, 0).unwrap();
+    client
+        .set_fence(
+            "cow-2",
+            Some(GeoFence::Rect {
+                min: GeoPoint { lat: 0.0, lon: 0.0 },
+                max: GeoPoint { lat: 1.0, lon: 1.0 },
+            }),
+        )
+        .unwrap();
+
+    client
+        .collar_report(
+            "cow-2",
+            vec![
+                reading(0, 0.5, 0.5),  // in
+                reading(1, 1.5, 0.5),  // out
+                reading(2, 0.9, 0.9),  // in
+                reading(3, -0.1, 0.0), // out
+            ],
+        )
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+
+    let info = client.cow_info("cow-2").unwrap().wait_for(T).unwrap();
+    assert_eq!(info.fence_violations, 2);
+    rt.shutdown();
+}
+
+#[test]
+fn slaughter_creates_cuts_and_is_single_use() {
+    let (rt, client, _) = setup();
+    client.create_farmer("farm-1", "F").unwrap();
+    client.register_cow("cow-3", "farm-1", Breed::Nelore, 0).unwrap();
+    client.create_slaughterhouse("house-1", "Danish Crown").unwrap();
+
+    let cuts = client
+        .slaughter("house-1", "cow-3", 1000)
+        .unwrap()
+        .wait_for(T)
+        .unwrap()
+        .expect("first slaughter succeeds");
+    assert_eq!(cuts.len(), CUT_TYPES.len());
+
+    // A cow can be slaughtered only once (FR 3).
+    let again = client.slaughter("house-1", "cow-3", 2000).unwrap().wait_for(T).unwrap();
+    assert_eq!(again, None);
+
+    let info = client.cow_info("cow-3").unwrap().wait_for(T).unwrap();
+    assert_eq!(info.status, CowStatus::Slaughtered);
+    assert!(info.events.iter().any(|e| e.kind == ChainEventKind::Slaughtered));
+    rt.shutdown();
+}
+
+#[test]
+fn delivery_extends_cut_itineraries() {
+    let (rt, client, _) = setup();
+    client.create_farmer("farm-1", "F").unwrap();
+    client.register_cow("cow-4", "farm-1", Breed::Angus, 0).unwrap();
+    client.create_slaughterhouse("house-1", "H").unwrap();
+    client.create_distributor("dist-1", "DSV").unwrap();
+
+    let cuts = client
+        .slaughter("house-1", "cow-4", 10)
+        .unwrap()
+        .wait_for(T)
+        .unwrap()
+        .unwrap();
+
+    let delivery = client
+        .create_delivery("dist-1", cuts.clone(), "house-1", "retail-1", "truck-7")
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    client.depart(&delivery, 20).unwrap();
+    client.arrive(&delivery, 30).unwrap();
+    assert!(rt.quiesce(T));
+
+    let info = client.delivery_info(&delivery).unwrap().wait_for(T).unwrap();
+    assert_eq!(info.status, DeliveryStatus::Delivered);
+    assert_eq!(info.departed_ms, Some(20));
+    assert_eq!(info.arrived_ms, Some(30));
+
+    let (holder, legs) = client.track_cut(&cuts[0]).unwrap();
+    assert_eq!(holder, "retail-1");
+    assert_eq!(legs.len(), 1);
+    assert_eq!(legs[0].from, "house-1");
+    assert_eq!(legs[0].to, "retail-1");
+    rt.shutdown();
+}
+
+#[test]
+fn farm_to_fork_trace() {
+    let (rt, client, _) = setup();
+    client.create_farmer("farm-9", "Fazenda Boa Vista").unwrap();
+    client.register_cow("cow-9", "farm-9", Breed::Nelore, 5).unwrap();
+    client.create_slaughterhouse("house-9", "H9").unwrap();
+    client.create_distributor("dist-9", "D9").unwrap();
+    client.create_retailer("retail-9", "SuperBrugsen").unwrap();
+
+    let cuts = client
+        .slaughter("house-9", "cow-9", 100)
+        .unwrap()
+        .wait_for(T)
+        .unwrap()
+        .unwrap();
+    let delivery = client
+        .create_delivery("dist-9", cuts.clone(), "house-9", "retail-9", "truck-1")
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    client.depart(&delivery, 110).unwrap();
+    client.arrive(&delivery, 150).unwrap();
+    assert!(rt.quiesce(T));
+
+    let product = client
+        .create_product("retail-9", cuts[..2].to_vec(), "Mixed grill pack", 200)
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    assert!(rt.quiesce(T));
+
+    let report = client.trace_product(&product).unwrap();
+    assert_eq!(report.product_info.retailer, "retail-9");
+    assert_eq!(report.cuts.len(), 2);
+    assert_eq!(report.farms(), vec!["farm-9"]);
+    assert_eq!(report.slaughterhouses(), vec!["house-9"]);
+    for cut in &report.cuts {
+        assert_eq!(cut.cow.status, CowStatus::Slaughtered);
+        assert_eq!(cut.info.product.as_deref(), Some(product.as_str()));
+        assert_eq!(cut.info.itinerary.len(), 1);
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn txn_transfer_moves_cow_atomically() {
+    let (rt, client, _) = setup();
+    client.create_farmer("farm-a", "A").unwrap();
+    client.create_farmer("farm-b", "B").unwrap();
+    client.register_cow("cow-t", "farm-a", Breed::Angus, 0).unwrap();
+
+    let outcome = client
+        .transfer_cow_txn("cow-t", "farm-a", "farm-b")
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    assert_eq!(outcome, TxnOutcome::Committed);
+
+    assert_eq!(client.herd("farm-a").unwrap().wait_for(T).unwrap(), Vec::<String>::new());
+    assert_eq!(client.herd("farm-b").unwrap().wait_for(T).unwrap(), vec!["cow-t"]);
+    let info = client.cow_info("cow-t").unwrap().wait_for(T).unwrap();
+    assert_eq!(info.farmer, "farm-b");
+    rt.shutdown();
+}
+
+#[test]
+fn txn_transfer_aborts_when_cow_not_in_herd() {
+    let (rt, client, _) = setup();
+    client.create_farmer("farm-a", "A").unwrap();
+    client.create_farmer("farm-b", "B").unwrap();
+    client.register_cow("cow-u", "farm-a", Breed::Angus, 0).unwrap();
+
+    // farm-b does not own cow-u; selling from farm-b must abort.
+    let outcome = client
+        .transfer_cow_txn("cow-u", "farm-b", "farm-a")
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    match outcome {
+        TxnOutcome::Aborted(reason) => assert!(reason.contains("not in this herd"), "{reason}"),
+        other => panic!("expected abort, got {other:?}"),
+    }
+    // Ownership unchanged.
+    let info = client.cow_info("cow-u").unwrap().wait_for(T).unwrap();
+    assert_eq!(info.farmer, "farm-a");
+    assert_eq!(client.herd("farm-a").unwrap().wait_for(T).unwrap(), vec!["cow-u"]);
+    rt.shutdown();
+}
+
+#[test]
+fn workflow_transfer_converges() {
+    let (rt, client, _) = setup();
+    client.create_farmer("farm-a", "A").unwrap();
+    client.create_farmer("farm-b", "B").unwrap();
+    client.register_cow("cow-w", "farm-a", Breed::HolsteinCross, 0).unwrap();
+
+    let outcome = client
+        .transfer_cow_workflow("sale-2026-001", "cow-w", "farm-a", "farm-b")
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    assert_eq!(outcome, WorkflowOutcome::Completed);
+
+    assert_eq!(client.herd("farm-a").unwrap().wait_for(T).unwrap(), Vec::<String>::new());
+    assert_eq!(client.herd("farm-b").unwrap().wait_for(T).unwrap(), vec!["cow-w"]);
+    let info = client.cow_info("cow-w").unwrap().wait_for(T).unwrap();
+    assert_eq!(info.farmer, "farm-b");
+
+    // Replaying the same sale id is idempotent.
+    let outcome = client
+        .transfer_cow_workflow("sale-2026-001", "cow-w", "farm-a", "farm-b")
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    assert_eq!(outcome, WorkflowOutcome::Completed);
+    assert_eq!(client.herd("farm-b").unwrap().wait_for(T).unwrap(), vec!["cow-w"]);
+    rt.shutdown();
+}
+
+#[test]
+fn model_b_transfer_copies_versions_and_reads_stay_local() {
+    let (rt, _client, _) = setup();
+    let house = rt.actor_ref::<CutHolder>("b/house-1");
+    let dist = rt.actor_ref::<CutHolder>("b/dist-1");
+    let retail = rt.actor_ref::<CutHolder>("b/retail-1");
+
+    house
+        .call(CreateCutB {
+            entity: "cut-77".into(),
+            data: MeatCutData {
+                cow: "cow-77".into(),
+                slaughterhouse: "b/house-1".into(),
+                cut_type: "ribeye".into(),
+                weight_kg: 12.0,
+            },
+        })
+        .unwrap();
+
+    assert!(house.call(TransferCutB { entity: "cut-77".into(), to: "b/dist-1".into(), ts_ms: 10 }).unwrap());
+    assert!(rt.quiesce(T));
+    // The distributor trims the cut locally — no cross-actor messaging.
+    assert!(dist.call(UpdateLocalCut { entity: "cut-77".into(), weight_kg: 11.5 }).unwrap());
+    assert!(dist.call(TransferCutB { entity: "cut-77".into(), to: "b/retail-1".into(), ts_ms: 20 }).unwrap());
+    assert!(rt.quiesce(T));
+
+    let at_retail = retail.call(GetLocalCut("cut-77".into())).unwrap().expect("retail holds v2");
+    assert_eq!(at_retail.version, 2);
+    assert_eq!(at_retail.payload.weight_kg, 11.5);
+    assert_eq!(
+        at_retail.provenance(),
+        vec!["b/house-1", "b/dist-1", "b/retail-1"]
+    );
+
+    // The house still holds its historical version 0 with original weight.
+    let at_house = house.call(GetLocalCut("cut-77".into())).unwrap().expect("history kept");
+    assert_eq!(at_house.version, 0);
+    assert_eq!(at_house.payload.weight_kg, 12.0);
+
+    // Redundancy is real: three holders retain a version each.
+    let total: usize = [&house, &dist, &retail]
+        .iter()
+        .map(|h| h.call(CountCutVersions).unwrap())
+        .sum();
+    assert_eq!(total, 3);
+
+    // Transferring an entity you do not hold fails.
+    assert!(!house
+        .call(TransferCutB { entity: "cut-77".into(), to: "b/dist-1".into(), ts_ms: 30 })
+        .unwrap());
+    rt.shutdown();
+}
+
+#[test]
+fn chain_state_survives_restart() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let product;
+    {
+        let rt = Runtime::single(4);
+        register_all(&rt, CattleEnv::new(Arc::clone(&store)));
+        let client = CattleClient::new(rt.handle());
+        client.create_farmer("farm-p", "P").unwrap();
+        client.register_cow("cow-p", "farm-p", Breed::Angus, 0).unwrap();
+        client.create_slaughterhouse("house-p", "H").unwrap();
+        client.create_retailer("retail-p", "R").unwrap();
+        let cuts = client
+            .slaughter("house-p", "cow-p", 1)
+            .unwrap()
+            .wait_for(T)
+            .unwrap()
+            .unwrap();
+        product = client
+            .create_product("retail-p", cuts, "pack", 2)
+            .unwrap()
+            .wait_for(T)
+            .unwrap();
+        rt.quiesce(T);
+        rt.shutdown();
+    }
+    let rt = Runtime::single(4);
+    register_all(&rt, CattleEnv::new(Arc::clone(&store)));
+    let client = CattleClient::new(rt.handle());
+    let report = client.trace_product(&product).unwrap();
+    assert_eq!(report.cuts.len(), CUT_TYPES.len());
+    assert_eq!(report.farms(), vec!["farm-p"]);
+    rt.shutdown();
+}

@@ -1,0 +1,272 @@
+//! Secondary indexes as actors.
+//!
+//! Following the AODB vision the paper builds on (Bernstein et al.,
+//! indexing in actor runtimes), an index over actor state is itself
+//! maintained by actors: the index is hash-partitioned over `buckets`
+//! [`IndexShard`] actors, each owning the postings for the values that
+//! hash to it. Maintenance can be *eventual* (fire-and-forget, the common
+//! IoT case) or *synchronous* (the caller awaits the acknowledgement).
+//!
+//! An index maps string values → sets of entity keys, e.g.
+//! `breed = "angus" → {cow-3, cow-17}` or `silo-area = "pasture-A" →
+//! {sensor-…}`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use aodb_runtime::{
+    gather, Actor, ActorContext, Handler, Message, Promise, Runtime, RuntimeHandle, SendError,
+};
+use aodb_store::StateStore;
+use serde::{Deserialize, Serialize};
+
+use crate::persist::{Persisted, WritePolicy};
+
+/// Posting-list mutation applied to a shard.
+#[derive(Clone, Debug)]
+pub struct IndexUpdate {
+    /// Index name (namespace within the shard).
+    pub index: String,
+    /// Value to remove `entity` from (the entity's previous value).
+    pub remove: Option<String>,
+    /// Value to add `entity` to (the entity's new value).
+    pub add: Option<String>,
+    /// The indexed entity key.
+    pub entity: String,
+}
+
+impl Message for IndexUpdate {
+    type Reply = ();
+}
+
+/// Point lookup on a shard.
+#[derive(Clone, Debug)]
+pub struct IndexLookup {
+    /// Index name.
+    pub index: String,
+    /// Value to look up.
+    pub value: String,
+}
+
+impl Message for IndexLookup {
+    type Reply = Vec<String>;
+}
+
+/// Full enumeration of a shard's postings for one index (debugging,
+/// cross-shard queries).
+#[derive(Clone, Debug)]
+pub struct IndexDump {
+    /// Index name.
+    pub index: String,
+}
+
+impl Message for IndexDump {
+    type Reply = Vec<(String, Vec<String>)>;
+}
+
+#[derive(Default, Serialize, Deserialize)]
+struct ShardState {
+    /// index name → value → posting set.
+    postings: BTreeMap<String, BTreeMap<String, BTreeSet<String>>>,
+}
+
+/// One hash partition of a secondary index.
+pub struct IndexShard {
+    state: Persisted<ShardState>,
+}
+
+impl IndexShard {
+    /// Registers the shard actor type, persisting postings in `store`.
+    pub fn register(rt: &Runtime, store: Arc<dyn StateStore>) {
+        rt.register(move |id| IndexShard {
+            state: Persisted::for_actor(
+                Arc::clone(&store),
+                Self::TYPE_NAME,
+                &id.key,
+                WritePolicy::OnDeactivate,
+            ),
+        });
+    }
+}
+
+impl Actor for IndexShard {
+    const TYPE_NAME: &'static str = "aodb.index-shard";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.flush();
+    }
+}
+
+impl Handler<IndexUpdate> for IndexShard {
+    fn handle(&mut self, msg: IndexUpdate, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| {
+            let index = s.postings.entry(msg.index).or_default();
+            if let Some(old) = &msg.remove {
+                if let Some(set) = index.get_mut(old) {
+                    set.remove(&msg.entity);
+                    if set.is_empty() {
+                        index.remove(old);
+                    }
+                }
+            }
+            if let Some(new) = &msg.add {
+                index.entry(new.clone()).or_default().insert(msg.entity);
+            }
+        });
+    }
+}
+
+impl Handler<IndexLookup> for IndexShard {
+    fn handle(&mut self, msg: IndexLookup, _ctx: &mut ActorContext<'_>) -> Vec<String> {
+        self.state
+            .get()
+            .postings
+            .get(&msg.index)
+            .and_then(|index| index.get(&msg.value))
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+}
+
+impl Handler<IndexDump> for IndexShard {
+    fn handle(&mut self, msg: IndexDump, _ctx: &mut ActorContext<'_>) -> Vec<(String, Vec<String>)> {
+        self.state
+            .get()
+            .postings
+            .get(&msg.index)
+            .map(|index| {
+                index
+                    .iter()
+                    .map(|(value, set)| (value.clone(), set.iter().cloned().collect()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Maintenance mode for [`IndexClient::update`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum IndexMode {
+    /// Fire-and-forget: the index converges eventually.
+    #[default]
+    Eventual,
+    /// The returned promise resolves once the shard applied the update.
+    Synchronous,
+}
+
+/// Client handle for one named index.
+#[derive(Clone)]
+pub struct IndexClient {
+    handle: RuntimeHandle,
+    name: String,
+    buckets: u32,
+}
+
+impl IndexClient {
+    /// Creates a handle for index `name` over `buckets` shards.
+    ///
+    /// All clients of an index must agree on `buckets`; it determines
+    /// value→shard routing.
+    pub fn new(handle: RuntimeHandle, name: impl Into<String>, buckets: u32) -> Self {
+        IndexClient { handle, name: name.into(), buckets: buckets.max(1) }
+    }
+
+    fn shard_key(&self, value: &str) -> String {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in value.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        format!("{}:{}", self.name, hash % self.buckets as u64)
+    }
+
+    /// Updates the entity's indexed value. `old == new` still routes both
+    /// sides correctly (they may live on different shards).
+    ///
+    /// In [`IndexMode::Eventual`] the returned promise is already
+    /// resolved; in [`IndexMode::Synchronous`] it resolves when every
+    /// touched shard acknowledged.
+    pub fn update(
+        &self,
+        entity: &str,
+        old: Option<&str>,
+        new: Option<&str>,
+        mode: IndexMode,
+    ) -> Result<Promise<Vec<()>>, SendError> {
+        // Group by shard so an old/new pair on one shard is one message
+        // (atomic within the shard's turn).
+        let mut per_shard: BTreeMap<String, IndexUpdate> = BTreeMap::new();
+        if let Some(old) = old {
+            per_shard
+                .entry(self.shard_key(old))
+                .or_insert_with(|| IndexUpdate {
+                    index: self.name.clone(),
+                    remove: None,
+                    add: None,
+                    entity: entity.to_string(),
+                })
+                .remove = Some(old.to_string());
+        }
+        if let Some(new) = new {
+            per_shard
+                .entry(self.shard_key(new))
+                .or_insert_with(|| IndexUpdate {
+                    index: self.name.clone(),
+                    remove: None,
+                    add: None,
+                    entity: entity.to_string(),
+                })
+                .add = Some(new.to_string());
+        }
+        match mode {
+            IndexMode::Eventual => {
+                for (shard, update) in per_shard {
+                    self.handle.try_actor_ref::<IndexShard>(shard)?.tell(update)?;
+                }
+                Ok(aodb_runtime::resolved(Vec::new()))
+            }
+            IndexMode::Synchronous => {
+                let (collector, promise) = gather::<()>(per_shard.len());
+                for (shard, update) in per_shard {
+                    self.handle
+                        .try_actor_ref::<IndexShard>(shard)?
+                        .ask_with(update, collector.slot())?;
+                }
+                Ok(promise)
+            }
+        }
+    }
+
+    /// Looks up the entity keys currently indexed under `value`.
+    pub fn lookup(&self, value: &str) -> Result<Promise<Vec<String>>, SendError> {
+        self.handle
+            .try_actor_ref::<IndexShard>(self.shard_key(value))?
+            .ask(IndexLookup { index: self.name.clone(), value: value.to_string() })
+    }
+
+    /// Enumerates all `(value, entities)` postings across every shard.
+    pub fn dump(&self) -> Result<Promise<Vec<Vec<(String, Vec<String>)>>>, SendError> {
+        let (collector, promise) = gather(self.buckets as usize);
+        for bucket in 0..self.buckets {
+            let shard = format!("{}:{}", self.name, bucket);
+            self.handle
+                .try_actor_ref::<IndexShard>(shard)?
+                .ask_with(IndexDump { index: self.name.clone() }, collector.slot())?;
+        }
+        Ok(promise)
+    }
+
+    /// The index name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shard count.
+    pub fn buckets(&self) -> u32 {
+        self.buckets
+    }
+}

@@ -1,0 +1,199 @@
+//! Durable reminders: persistent periodic callbacks.
+//!
+//! Orleans distinguishes *timers* (in-memory, die with the activation)
+//! from *reminders* (persistent, re-armed after restarts — the paper's
+//! setup stores them in RDS as part of "Orleans system storage"). Here a
+//! [`ReminderTable`] actor persists reminder registrations, and
+//! [`restore_reminders`] re-arms them on a fresh runtime, delivering
+//! [`ReminderFired`] messages to the target actors on their period.
+//!
+//! The SHM platform's periodic aggregate flushes or health pings are the
+//! kind of work this exists for.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aodb_runtime::{
+    Actor, ActorContext, Handler, Message, Runtime, SendError, TimerHandle,
+};
+use aodb_store::StateStore;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use crate::persist::{Persisted, WritePolicy};
+
+/// The message a reminder delivers on each firing.
+#[derive(Clone, Debug)]
+pub struct ReminderFired {
+    /// Reminder name (unique within its table).
+    pub name: String,
+    /// Payload captured at registration.
+    pub payload: Value,
+}
+
+impl Message for ReminderFired {
+    type Reply = ();
+}
+
+/// A persisted reminder registration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReminderSpec {
+    /// Unique name within the table.
+    pub name: String,
+    /// Registered type name of the target actor.
+    pub target_type: String,
+    /// Key of the target actor.
+    pub target_key: String,
+    /// Firing period in milliseconds.
+    pub period_ms: u64,
+    /// Payload delivered on each firing.
+    pub payload: Value,
+}
+
+/// Inserts (or replaces) a reminder registration.
+pub struct PutReminder(pub ReminderSpec);
+impl Message for PutReminder {
+    type Reply = ();
+}
+
+/// Removes a registration; replies whether it existed.
+pub struct RemoveReminder(pub String);
+impl Message for RemoveReminder {
+    type Reply = bool;
+}
+
+/// Lists all registrations.
+#[derive(Clone, Copy)]
+pub struct ListReminders;
+impl Message for ListReminders {
+    type Reply = Vec<ReminderSpec>;
+}
+
+#[derive(Default, Serialize, Deserialize)]
+struct TableState {
+    reminders: Vec<ReminderSpec>,
+}
+
+/// The persistent reminder registry actor.
+pub struct ReminderTable {
+    state: Persisted<TableState>,
+}
+
+impl ReminderTable {
+    /// Registers the table actor type.
+    pub fn register(rt: &Runtime, store: Arc<dyn StateStore>) {
+        rt.register(move |id| ReminderTable {
+            state: Persisted::for_actor(
+                Arc::clone(&store),
+                Self::TYPE_NAME,
+                &id.key,
+                WritePolicy::EveryChange,
+            ),
+        });
+    }
+}
+
+impl Actor for ReminderTable {
+    const TYPE_NAME: &'static str = "aodb.reminder-table";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.flush();
+    }
+}
+
+impl Handler<PutReminder> for ReminderTable {
+    fn handle(&mut self, msg: PutReminder, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| {
+            s.reminders.retain(|r| r.name != msg.0.name);
+            s.reminders.push(msg.0);
+        });
+    }
+}
+
+impl Handler<RemoveReminder> for ReminderTable {
+    fn handle(&mut self, msg: RemoveReminder, _ctx: &mut ActorContext<'_>) -> bool {
+        self.state.mutate(|s| {
+            let before = s.reminders.len();
+            s.reminders.retain(|r| r.name != msg.0);
+            s.reminders.len() != before
+        })
+    }
+}
+
+impl Handler<ListReminders> for ReminderTable {
+    fn handle(&mut self, _msg: ListReminders, _ctx: &mut ActorContext<'_>) -> Vec<ReminderSpec> {
+        self.state.get().reminders.clone()
+    }
+}
+
+fn arm<A>(rt: &Runtime, spec: &ReminderSpec) -> TimerHandle
+where
+    A: Actor + Handler<ReminderFired>,
+{
+    let target = rt.actor_ref::<A>(spec.target_key.as_str());
+    rt.schedule_interval(
+        &target,
+        ReminderFired { name: spec.name.clone(), payload: spec.payload.clone() },
+        Duration::from_millis(spec.period_ms.max(1)),
+    )
+}
+
+/// Registers a durable reminder: persists the spec in `table` and arms it
+/// on the current runtime. Returns the (cancellable) timer handle for this
+/// runtime's lifetime; after a restart, [`restore_reminders`] re-arms it.
+pub fn register_reminder<A>(
+    rt: &Runtime,
+    table: &str,
+    name: &str,
+    target_key: &str,
+    period: Duration,
+    payload: Value,
+) -> Result<TimerHandle, SendError>
+where
+    A: Actor + Handler<ReminderFired>,
+{
+    let spec = ReminderSpec {
+        name: name.to_string(),
+        target_type: A::TYPE_NAME.to_string(),
+        target_key: target_key.to_string(),
+        period_ms: period.as_millis() as u64,
+        payload,
+    };
+    rt.try_actor_ref::<ReminderTable>(table)?
+        .tell(PutReminder(spec.clone()))?;
+    Ok(arm::<A>(rt, &spec))
+}
+
+/// Unregisters a reminder from the table. The caller should also cancel
+/// any live [`TimerHandle`] for it on this runtime.
+pub fn unregister_reminder(
+    rt: &Runtime,
+    table: &str,
+    name: &str,
+) -> Result<aodb_runtime::Promise<bool>, SendError> {
+    rt.try_actor_ref::<ReminderTable>(table)?
+        .ask(RemoveReminder(name.to_string()))
+}
+
+/// Re-arms every reminder in `table` whose target type is `A` (each actor
+/// type participating in reminders calls this once at startup, mirroring
+/// Orleans' reminder-service bootstrap). Returns the live timer handles.
+pub fn restore_reminders<A>(rt: &Runtime, table: &str) -> Result<Vec<TimerHandle>, SendError>
+where
+    A: Actor + Handler<ReminderFired>,
+{
+    let specs = rt
+        .try_actor_ref::<ReminderTable>(table)?
+        .ask(ListReminders)?
+        .wait_for(Duration::from_secs(10))
+        .map_err(|_| SendError::RuntimeShutdown)?;
+    Ok(specs
+        .iter()
+        .filter(|s| s.target_type == A::TYPE_NAME)
+        .map(|s| arm::<A>(rt, s))
+        .collect())
+}

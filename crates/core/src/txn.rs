@@ -1,0 +1,325 @@
+//! Multi-actor ACID transactions via two-phase commit.
+//!
+//! The paper's fourth modeling principle (Section 4.4): *"Employ
+//! transactions to update data across actors consistently"* — e.g. selling
+//! a cow must atomically update the `Cow` actor and both `Farmer` actors.
+//! Orleans was growing distributed transactions at the time; here we
+//! implement the classic presumed-abort 2PC as actors:
+//!
+//! * A [`TxnCoordinator`] actor drives prepare → decide without ever
+//!   blocking a turn: votes and acks come back through [`Collector`]s that
+//!   feed continuation messages to the coordinator.
+//! * Participants are any actors handling [`Prepare`] and [`Decide`];
+//!   the [`TxnLock`] helper gives them correct lock/vote/apply behaviour.
+//! * Lock conflicts vote **No** immediately (no lock waiting), so
+//!   transactions never deadlock; contended transactions abort and the
+//!   caller retries — the standard optimistic pattern.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+use aodb_runtime::{
+    Actor, ActorContext, ActorRef, Collector, Handler, Message, Promise, Recipient, ReplyTo,
+    SendError,
+};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// Globally unique transaction identifier.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct TxnId {
+    /// Key of the coordinating actor.
+    pub coordinator: String,
+    /// Sequence number within that coordinator.
+    pub seq: u64,
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.coordinator, self.seq)
+    }
+}
+
+/// Operation payload carried to a participant during prepare. The schema
+/// is application-defined JSON, keeping the protocol uniform across actor
+/// types.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TxnOp(pub Value);
+
+/// Phase-1 message: participant must lock and validate.
+pub struct Prepare {
+    /// Transaction identity.
+    pub txn: TxnId,
+    /// The operation this participant would apply on commit.
+    pub op: TxnOp,
+}
+
+impl Message for Prepare {
+    type Reply = Vote;
+}
+
+/// A participant's phase-1 vote.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Vote {
+    /// Locked and validated; will apply on commit.
+    Yes,
+    /// Refused (lock conflict or validation failure); transaction aborts.
+    No(String),
+}
+
+/// Phase-2 message: apply (`commit == true`) or discard the prepared
+/// operation. Idempotent: deciding an unknown transaction is a no-op.
+pub struct Decide {
+    /// Transaction identity.
+    pub txn: TxnId,
+    /// Commit or abort.
+    pub commit: bool,
+}
+
+impl Message for Decide {
+    type Reply = ();
+}
+
+/// Type-erased handle to one transaction participant.
+#[derive(Clone)]
+pub struct Participant {
+    prepare: Recipient<Prepare>,
+    decide: Recipient<Decide>,
+}
+
+impl Participant {
+    /// Builds a participant handle from a typed actor reference.
+    pub fn of<A>(actor: &ActorRef<A>) -> Participant
+    where
+        A: Actor + Handler<Prepare> + Handler<Decide>,
+    {
+        Participant { prepare: actor.recipient(), decide: actor.recipient() }
+    }
+}
+
+/// Final transaction outcome delivered to the initiator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// All participants prepared and applied.
+    Committed,
+    /// Aborted; the string explains why (first No vote, or timeout).
+    Aborted(String),
+}
+
+/// Starts a transaction. `ops` pairs each participant with the operation
+/// it should apply. The promise resolves after phase 2 completes at every
+/// participant.
+pub fn run_transaction(
+    coordinator: &ActorRef<TxnCoordinator>,
+    ops: Vec<(Participant, TxnOp)>,
+    timeout: Duration,
+) -> Result<Promise<TxnOutcome>, SendError> {
+    let (done, promise) = ReplyTo::promise();
+    coordinator.tell(Begin { ops, done, timeout })?;
+    Ok(promise)
+}
+
+// ------------------------------------------------------- coordinator actor
+
+/// Client request starting a transaction.
+pub struct Begin {
+    /// Participants and their operations.
+    pub ops: Vec<(Participant, TxnOp)>,
+    /// Where the outcome goes.
+    pub done: ReplyTo<TxnOutcome>,
+    /// Abort the transaction if votes do not arrive within this budget.
+    pub timeout: Duration,
+}
+
+impl Message for Begin {
+    type Reply = ();
+}
+
+struct VotesIn {
+    seq: u64,
+    votes: Vec<Vote>,
+}
+impl Message for VotesIn {
+    type Reply = ();
+}
+
+struct AcksIn {
+    seq: u64,
+}
+impl Message for AcksIn {
+    type Reply = ();
+}
+
+struct TxnTimeout {
+    seq: u64,
+}
+impl Message for TxnTimeout {
+    type Reply = ();
+}
+
+struct PendingTxn {
+    participants: Vec<Participant>,
+    done: Option<ReplyTo<TxnOutcome>>,
+    outcome: Option<TxnOutcome>,
+}
+
+/// The 2PC coordinator. Stateless across transactions (presumed abort):
+/// a coordinator crash before decision implicitly aborts via participant
+/// timeouts, so no coordinator log is kept.
+#[derive(Default)]
+pub struct TxnCoordinator {
+    next_seq: u64,
+    pending: HashMap<u64, PendingTxn>,
+}
+
+impl TxnCoordinator {
+    /// Registers the coordinator type with a runtime.
+    pub fn register(rt: &aodb_runtime::Runtime) {
+        rt.register(|_id| TxnCoordinator::default());
+    }
+
+    fn decide(
+        &mut self,
+        seq: u64,
+        commit: bool,
+        reason: Option<String>,
+        ctx: &mut ActorContext<'_>,
+    ) {
+        let Some(pending) = self.pending.get_mut(&seq) else { return };
+        if pending.outcome.is_some() {
+            return; // already decided (timeout raced with votes)
+        }
+        pending.outcome = Some(if commit {
+            TxnOutcome::Committed
+        } else {
+            TxnOutcome::Aborted(reason.unwrap_or_else(|| "aborted".into()))
+        });
+        let me = ctx.actor_ref::<TxnCoordinator>(ctx.key().clone());
+        let acks = Collector::new(pending.participants.len(), move |_acks: Vec<()>| {
+            let _ = me.tell(AcksIn { seq });
+        });
+        let txn = TxnId { coordinator: ctx.key().to_string(), seq };
+        for p in &pending.participants {
+            let _ = p
+                .decide
+                .ask_with(Decide { txn: txn.clone(), commit }, acks.slot());
+        }
+    }
+}
+
+impl Actor for TxnCoordinator {
+    const TYPE_NAME: &'static str = "aodb.txn-coordinator";
+}
+
+impl Handler<Begin> for TxnCoordinator {
+    fn handle(&mut self, msg: Begin, ctx: &mut ActorContext<'_>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let txn = TxnId { coordinator: ctx.key().to_string(), seq };
+
+        let me = ctx.actor_ref::<TxnCoordinator>(ctx.key().clone());
+        let votes = Collector::new(msg.ops.len(), move |votes: Vec<Vote>| {
+            let _ = me.tell(VotesIn { seq, votes });
+        });
+        for (participant, op) in &msg.ops {
+            let _ = participant
+                .prepare
+                .ask_with(Prepare { txn: txn.clone(), op: op.clone() }, votes.slot());
+        }
+        self.pending.insert(
+            seq,
+            PendingTxn {
+                participants: msg.ops.into_iter().map(|(p, _)| p).collect(),
+                done: Some(msg.done),
+                outcome: None,
+            },
+        );
+        ctx.notify_self_after::<TxnCoordinator, TxnTimeout>(TxnTimeout { seq }, msg.timeout);
+    }
+}
+
+impl Handler<VotesIn> for TxnCoordinator {
+    fn handle(&mut self, msg: VotesIn, ctx: &mut ActorContext<'_>) {
+        let veto = msg.votes.iter().find_map(|v| match v {
+            Vote::Yes => None,
+            Vote::No(reason) => Some(reason.clone()),
+        });
+        self.decide(msg.seq, veto.is_none(), veto, ctx);
+    }
+}
+
+impl Handler<AcksIn> for TxnCoordinator {
+    fn handle(&mut self, msg: AcksIn, _ctx: &mut ActorContext<'_>) {
+        if let Some(mut pending) = self.pending.remove(&msg.seq) {
+            let outcome = pending.outcome.take().unwrap_or_else(|| {
+                TxnOutcome::Aborted("acks arrived without decision".into())
+            });
+            if let Some(done) = pending.done.take() {
+                done.deliver(outcome);
+            }
+        }
+    }
+}
+
+impl Handler<TxnTimeout> for TxnCoordinator {
+    fn handle(&mut self, msg: TxnTimeout, ctx: &mut ActorContext<'_>) {
+        // Only bites if the transaction is still undecided.
+        self.decide(msg.seq, false, Some("transaction timed out".into()), ctx);
+    }
+}
+
+// ------------------------------------------------------- participant side
+
+/// Per-participant transaction lock: one prepared transaction at a time.
+///
+/// Embed one `TxnLock<P>` in each transactional actor, where `P` is the
+/// decoded pending operation. The actor:
+///
+/// 1. on [`Prepare`]: validates the op, then [`TxnLock::try_prepare`] —
+///    vote [`Vote::Yes`] on success, [`Vote::No`] on conflict/invalid;
+/// 2. on [`Decide`]: [`TxnLock::decide`] — applies the returned payload
+///    when it yields one.
+#[derive(Default, Debug, Serialize, Deserialize)]
+pub struct TxnLock<P> {
+    holder: Option<(TxnId, P)>,
+}
+
+impl<P> TxnLock<P> {
+    /// Fresh, unlocked.
+    pub fn new() -> Self {
+        TxnLock { holder: None }
+    }
+
+    /// Attempts to lock for `txn` with pending payload. Re-preparing the
+    /// same transaction replaces the payload (message retry).
+    pub fn try_prepare(&mut self, txn: TxnId, pending: P) -> Vote {
+        match &self.holder {
+            Some((held, _)) if *held != txn => {
+                Vote::No(format!("locked by transaction {held}"))
+            }
+            _ => {
+                self.holder = Some((txn, pending));
+                Vote::Yes
+            }
+        }
+    }
+
+    /// Processes phase 2. Returns `Some(payload)` exactly when `txn` held
+    /// the lock **and** the decision is commit; the caller applies it.
+    /// Unknown transactions are ignored (idempotence).
+    pub fn decide(&mut self, txn: &TxnId, commit: bool) -> Option<P> {
+        match &self.holder {
+            Some((held, _)) if held == txn => {
+                let (_, payload) = self.holder.take().expect("holder checked");
+                commit.then_some(payload)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether a transaction currently holds the lock.
+    pub fn is_locked(&self) -> bool {
+        self.holder.is_some()
+    }
+}

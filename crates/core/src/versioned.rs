@@ -1,0 +1,153 @@
+//! Versioned non-actor objects.
+//!
+//! The paper's third modeling principle (Section 4.3): frequently accessed
+//! *inanimate* entities (meat cuts, meat products) can be modeled as
+//! non-actor objects encapsulated in the responsible actor's state instead
+//! of as actors. State mutation across the supply chain is captured by
+//! **object versions**: on transfer, the object is *copied* from the
+//! sending actor to the receiving actor, which owns a new version it can
+//! update locally. Reads become local state access (no messaging), at the
+//! cost of copy overhead and controlled redundancy.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+/// One transfer edge in a version chain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Responsible actor before the transfer (display form).
+    pub from: String,
+    /// Responsible actor after the transfer.
+    pub to: String,
+    /// Version number created by the transfer.
+    pub version: u32,
+    /// Application timestamp (ms) of the hand-over.
+    pub at_ms: u64,
+}
+
+/// A versioned copy of an inanimate entity, living inside some actor's
+/// state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Versioned<T> {
+    /// Stable identity of the real-world entity (e.g. a GS1 code): shared
+    /// by all versions across all actors.
+    pub entity: String,
+    /// Monotone version number; bumped on every transfer.
+    pub version: u32,
+    /// The actor currently responsible for this version.
+    pub owner: String,
+    /// Provenance: every transfer this entity went through, oldest first.
+    pub history: Vec<TransferRecord>,
+    /// The entity data itself; the owning actor mutates it freely.
+    pub payload: T,
+}
+
+impl<T> Versioned<T> {
+    /// Creates version 0, owned by `owner`.
+    pub fn new(entity: impl Into<String>, owner: impl Into<String>, payload: T) -> Self {
+        Versioned {
+            entity: entity.into(),
+            version: 0,
+            owner: owner.into(),
+            history: Vec::new(),
+            payload,
+        }
+    }
+
+    /// Produces the next version for `new_owner`, recording provenance.
+    /// The source keeps its (now historical) version; the returned copy is
+    /// what crosses the actor boundary.
+    pub fn transfer_to(&self, new_owner: impl Into<String>, at_ms: u64) -> Self
+    where
+        T: Clone,
+    {
+        let new_owner = new_owner.into();
+        let mut history = self.history.clone();
+        history.push(TransferRecord {
+            from: self.owner.clone(),
+            to: new_owner.clone(),
+            version: self.version + 1,
+            at_ms,
+        });
+        Versioned {
+            entity: self.entity.clone(),
+            version: self.version + 1,
+            owner: new_owner,
+            history,
+            payload: self.payload.clone(),
+        }
+    }
+
+    /// Every actor that has ever been responsible, in order (origin first,
+    /// current owner last). This is the tracing walk consumers ask for.
+    pub fn provenance(&self) -> Vec<String> {
+        let mut chain = Vec::with_capacity(self.history.len() + 1);
+        match self.history.first() {
+            Some(first) => chain.push(first.from.clone()),
+            None => {
+                chain.push(self.owner.clone());
+                return chain;
+            }
+        }
+        chain.extend(self.history.iter().map(|t| t.to.clone()));
+        chain
+    }
+}
+
+impl<T: Serialize + DeserializeOwned> Versioned<T> {
+    /// Serializes for crossing an actor boundary inside a message.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("versioned object serializes")
+    }
+
+    /// Deserializes a copy received from another actor.
+    pub fn from_json(value: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        serde_json::from_value(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+    struct Cut {
+        weight_kg: f64,
+    }
+
+    #[test]
+    fn new_object_is_version_zero() {
+        let v = Versioned::new("cut-1", "slaughterhouse:7", Cut { weight_kg: 12.0 });
+        assert_eq!(v.version, 0);
+        assert_eq!(v.provenance(), vec!["slaughterhouse:7"]);
+    }
+
+    #[test]
+    fn transfer_bumps_version_and_records_history() {
+        let v0 = Versioned::new("cut-1", "sh:1", Cut { weight_kg: 12.0 });
+        let v1 = v0.transfer_to("dist:2", 1000);
+        let v2 = v1.transfer_to("retail:3", 2000);
+        assert_eq!(v2.version, 2);
+        assert_eq!(v2.owner, "retail:3");
+        assert_eq!(v2.provenance(), vec!["sh:1", "dist:2", "retail:3"]);
+        // The source version is untouched (it is a copy semantics model).
+        assert_eq!(v0.version, 0);
+        assert_eq!(v1.owner, "dist:2");
+    }
+
+    #[test]
+    fn payload_mutation_is_local_to_a_version() {
+        let v0 = Versioned::new("cut-1", "sh:1", Cut { weight_kg: 12.0 });
+        let mut v1 = v0.transfer_to("dist:2", 5);
+        v1.payload.weight_kg = 11.5; // trimming during transport
+        assert_eq!(v0.payload.weight_kg, 12.0);
+        assert_eq!(v1.payload.weight_kg, 11.5);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let v = Versioned::new("cut-9", "sh:1", Cut { weight_kg: 3.25 }).transfer_to("d:1", 7);
+        let back: Versioned<Cut> = Versioned::from_json(&v.to_json()).unwrap();
+        assert_eq!(back, v);
+    }
+}

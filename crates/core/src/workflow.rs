@@ -1,0 +1,340 @@
+//! Asynchronous multi-actor update workflows.
+//!
+//! The paper's fallback for cross-actor constraint maintenance when
+//! transactions are unavailable (Section 4.4): *"design a multi-actor
+//! workflow for updates"* that drives every affected actor to a consistent
+//! state eventually. The [`WorkflowEngine`] actor executes a sequence of
+//! steps against participant actors with bounded retries, exponential
+//! backoff, and idempotence tokens, and persists per-workflow progress so a
+//! resubmitted workflow resumes where it left off instead of re-running
+//! completed steps.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use aodb_runtime::{
+    Actor, ActorContext, ActorRef, Handler, Message, Promise, Recipient, ReplyTo, SendError,
+};
+use aodb_store::StateStore;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use crate::persist::{Persisted, WritePolicy};
+
+/// One unit of work sent to a participant actor.
+pub struct WorkStep {
+    /// Workflow instance id.
+    pub workflow: String,
+    /// Zero-based step index within the workflow.
+    pub step: u32,
+    /// Idempotence token: `"{workflow}/{step}"`. Participants must treat a
+    /// token they have already applied as an immediate success.
+    pub idempotence: String,
+    /// Application-defined step payload.
+    pub payload: Value,
+}
+
+impl Message for WorkStep {
+    type Reply = StepResult;
+}
+
+/// Participant's verdict on one step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepResult {
+    /// Applied (or previously applied — idempotent success).
+    Done,
+    /// Transient failure; the engine retries with backoff.
+    Retry(String),
+    /// Permanent failure; the workflow fails at this step.
+    Failed(String),
+}
+
+/// Final outcome delivered to the submitter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkflowOutcome {
+    /// Every step applied.
+    Completed,
+    /// The workflow stopped permanently.
+    Failed {
+        /// Index of the failing step.
+        step: u32,
+        /// Participant-provided reason.
+        reason: String,
+    },
+}
+
+/// Submission message for the engine.
+pub struct StartWorkflow {
+    /// Workflow instance id. Resubmitting an id resumes after its last
+    /// completed step.
+    pub id: String,
+    /// Ordered steps: each pairs a participant with its payload.
+    pub steps: Vec<(Recipient<WorkStep>, Value)>,
+    /// Outcome sink.
+    pub done: ReplyTo<WorkflowOutcome>,
+    /// Per-step retry budget.
+    pub max_retries: u32,
+    /// Base backoff; attempt `k` waits `backoff × k`.
+    pub backoff: Duration,
+}
+
+impl Message for StartWorkflow {
+    type Reply = ();
+}
+
+struct StepDone {
+    id: String,
+    step: u32,
+    result: StepResult,
+}
+impl Message for StepDone {
+    type Reply = ();
+}
+
+struct RetryStep {
+    id: String,
+    step: u32,
+}
+impl Message for RetryStep {
+    type Reply = ();
+}
+
+struct ActiveWorkflow {
+    steps: Vec<(Recipient<WorkStep>, Value)>,
+    next: u32,
+    attempts: u32,
+    max_retries: u32,
+    backoff: Duration,
+    done: Option<ReplyTo<WorkflowOutcome>>,
+}
+
+/// Durable progress: workflow id → number of completed steps.
+#[derive(Default, Serialize, Deserialize)]
+struct EngineState {
+    completed: HashMap<String, u32>,
+}
+
+/// The workflow engine actor.
+pub struct WorkflowEngine {
+    progress: Persisted<EngineState>,
+    active: HashMap<String, ActiveWorkflow>,
+}
+
+impl WorkflowEngine {
+    /// Registers the engine type, persisting progress in `store`.
+    pub fn register(rt: &aodb_runtime::Runtime, store: Arc<dyn StateStore>) {
+        rt.register(move |id| WorkflowEngine {
+            progress: Persisted::for_actor(
+                Arc::clone(&store),
+                Self::TYPE_NAME,
+                &id.key,
+                WritePolicy::EveryChange,
+            ),
+            active: HashMap::new(),
+        });
+    }
+
+    fn dispatch_step(&mut self, id: &str, ctx: &mut ActorContext<'_>) {
+        let Some(wf) = self.active.get(id) else { return };
+        let step = wf.next;
+        if step as usize >= wf.steps.len() {
+            self.finish(id, WorkflowOutcome::Completed);
+            return;
+        }
+        let (recipient, payload) = &wf.steps[step as usize];
+        let me = ctx.actor_ref::<WorkflowEngine>(ctx.key().clone());
+        let id_owned = id.to_string();
+        let reply = ReplyTo::Callback(Box::new(move |result: StepResult| {
+            let _ = me.tell(StepDone { id: id_owned, step, result });
+        }));
+        let send = recipient.ask_with(
+            WorkStep {
+                workflow: id.to_string(),
+                step,
+                idempotence: format!("{id}/{step}"),
+                payload: payload.clone(),
+            },
+            reply,
+        );
+        if let Err(e) = send {
+            // Participant unreachable: treat as transient and go through
+            // the retry machinery.
+            let me = ctx.actor_ref::<WorkflowEngine>(ctx.key().clone());
+            let _ = me.tell(StepDone {
+                id: id.to_string(),
+                step,
+                result: StepResult::Retry(format!("dispatch failed: {e}")),
+            });
+        }
+    }
+
+    fn finish(&mut self, id: &str, outcome: WorkflowOutcome) {
+        if let Some(mut wf) = self.active.remove(id) {
+            if let Some(done) = wf.done.take() {
+                done.deliver(outcome);
+            }
+        }
+    }
+}
+
+impl Actor for WorkflowEngine {
+    const TYPE_NAME: &'static str = "aodb.workflow-engine";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.progress.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.progress.flush();
+    }
+}
+
+impl Handler<StartWorkflow> for WorkflowEngine {
+    fn handle(&mut self, msg: StartWorkflow, ctx: &mut ActorContext<'_>) {
+        if self.active.contains_key(&msg.id) {
+            msg.done.deliver(WorkflowOutcome::Failed {
+                step: 0,
+                reason: format!("workflow `{}` already running", msg.id),
+            });
+            return;
+        }
+        // Resume support: skip steps already recorded as completed.
+        let start = self
+            .progress
+            .get()
+            .completed
+            .get(&msg.id)
+            .copied()
+            .unwrap_or(0)
+            .min(msg.steps.len() as u32);
+        self.active.insert(
+            msg.id.clone(),
+            ActiveWorkflow {
+                steps: msg.steps,
+                next: start,
+                attempts: 0,
+                max_retries: msg.max_retries,
+                backoff: msg.backoff,
+                done: Some(msg.done),
+            },
+        );
+        self.dispatch_step(&msg.id, ctx);
+    }
+}
+
+impl Handler<StepDone> for WorkflowEngine {
+    fn handle(&mut self, msg: StepDone, ctx: &mut ActorContext<'_>) {
+        let Some(wf) = self.active.get_mut(&msg.id) else { return };
+        if wf.next != msg.step {
+            return; // stale completion from a superseded attempt
+        }
+        match msg.result {
+            StepResult::Done => {
+                wf.next += 1;
+                wf.attempts = 0;
+                let completed = wf.next;
+                self.progress
+                    .mutate(|s| *s.completed.entry(msg.id.clone()).or_insert(0) = completed);
+                self.dispatch_step(&msg.id, ctx);
+            }
+            StepResult::Retry(reason) => {
+                wf.attempts += 1;
+                if wf.attempts > wf.max_retries {
+                    let step = wf.next;
+                    self.finish(
+                        &msg.id,
+                        WorkflowOutcome::Failed {
+                            step,
+                            reason: format!("retry budget exhausted: {reason}"),
+                        },
+                    );
+                } else {
+                    let delay = wf.backoff * wf.attempts;
+                    ctx.notify_self_after::<WorkflowEngine, RetryStep>(
+                        RetryStep { id: msg.id, step: msg.step },
+                        delay,
+                    );
+                }
+            }
+            StepResult::Failed(reason) => {
+                let step = wf.next;
+                self.finish(&msg.id, WorkflowOutcome::Failed { step, reason });
+            }
+        }
+    }
+}
+
+impl Handler<RetryStep> for WorkflowEngine {
+    fn handle(&mut self, msg: RetryStep, ctx: &mut ActorContext<'_>) {
+        if self.active.get(&msg.id).is_some_and(|wf| wf.next == msg.step) {
+            self.dispatch_step(&msg.id, ctx);
+        }
+    }
+}
+
+/// Submits a workflow and returns the outcome promise.
+pub fn run_workflow(
+    engine: &ActorRef<WorkflowEngine>,
+    id: impl Into<String>,
+    steps: Vec<(Recipient<WorkStep>, Value)>,
+    max_retries: u32,
+    backoff: Duration,
+) -> Result<Promise<WorkflowOutcome>, SendError> {
+    let (done, promise) = ReplyTo::promise();
+    engine.tell(StartWorkflow { id: id.into(), steps, done, max_retries, backoff })?;
+    Ok(promise)
+}
+
+/// Participant-side idempotence guard: remembers applied tokens.
+///
+/// `apply` runs the closure only for unseen tokens, recording the token
+/// either way and reporting [`StepResult::Done`] for duplicates, which is
+/// what makes engine retries safe.
+#[derive(Default, Debug, Serialize, Deserialize)]
+pub struct IdempotenceGuard {
+    seen: std::collections::HashSet<String>,
+}
+
+impl IdempotenceGuard {
+    /// Fresh guard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` unless `token` was already applied.
+    pub fn apply(&mut self, token: &str, f: impl FnOnce() -> StepResult) -> StepResult {
+        if self.seen.contains(token) {
+            return StepResult::Done;
+        }
+        let result = f();
+        if result == StepResult::Done {
+            self.seen.insert(token.to_string());
+        }
+        result
+    }
+
+    /// Records `token` and reports whether it was fresh. Use when the
+    /// side-effect cannot run inside an [`IdempotenceGuard::apply`]
+    /// closure for borrow reasons:
+    ///
+    /// ```ignore
+    /// if state.guard.first_time(&msg.idempotence) {
+    ///     apply_side_effect();
+    /// }
+    /// StepResult::Done
+    /// ```
+    pub fn first_time(&mut self, token: &str) -> bool {
+        self.seen.insert(token.to_string())
+    }
+
+    /// Number of applied tokens.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True when no token has been applied.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}

@@ -1,0 +1,694 @@
+//! Integration tests for the AODB layer: persistent actors, two-phase
+//! commit across actors, multi-actor workflows, secondary indexes, and key
+//! registries — all running on a real multi-worker runtime.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aodb_core::{
+    broadcast, run_transaction, run_workflow, CountKeys, Decide, IdempotenceGuard, IndexClient,
+    IndexMode, IndexShard, KeyRegistry, ListKeys, Participant, Persisted, Prepare, RegisterKey,
+    StepResult, TxnCoordinator, TxnLock, TxnOp, TxnOutcome, Vote, WorkStep, WorkflowEngine,
+    WorkflowOutcome, WritePolicy,
+};
+use aodb_runtime::{Actor, ActorContext, Handler, Message, Runtime};
+use aodb_store::{MemStore, StateStore};
+use serde::{Deserialize, Serialize};
+use serde_json::json;
+
+// ----------------------------------------------------------- test fixture
+
+/// A bank-account-like actor: persistent balance + transaction lock.
+/// Stands in for the paper's Farmer/Cow ownership updates.
+struct Account {
+    state: Persisted<AccountState>,
+    lock: TxnLock<i64>,
+}
+
+#[derive(Default, Serialize, Deserialize)]
+struct AccountState {
+    balance: i64,
+    applied: IdempotenceGuard,
+}
+
+impl Actor for Account {
+    const TYPE_NAME: &'static str = "test.account";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.flush();
+    }
+}
+
+struct Deposit(i64);
+impl Message for Deposit {
+    type Reply = i64;
+}
+impl Handler<Deposit> for Account {
+    fn handle(&mut self, msg: Deposit, _ctx: &mut ActorContext<'_>) -> i64 {
+        self.state.mutate(|s| {
+            s.balance += msg.0;
+            s.balance
+        })
+    }
+}
+
+#[derive(Clone)]
+struct Balance;
+impl Message for Balance {
+    type Reply = i64;
+}
+impl Handler<Balance> for Account {
+    fn handle(&mut self, _msg: Balance, _ctx: &mut ActorContext<'_>) -> i64 {
+        self.state.get().balance
+    }
+}
+
+struct Kill;
+impl Message for Kill {
+    type Reply = ();
+}
+impl Handler<Kill> for Account {
+    fn handle(&mut self, _msg: Kill, ctx: &mut ActorContext<'_>) {
+        ctx.deactivate();
+    }
+}
+
+impl Handler<Prepare> for Account {
+    fn handle(&mut self, msg: Prepare, _ctx: &mut ActorContext<'_>) -> Vote {
+        let delta = match msg.op.0.get("delta").and_then(|v| v.as_i64()) {
+            Some(d) => d,
+            None => return Vote::No("malformed op: missing delta".into()),
+        };
+        if self.state.get().balance + delta < 0 {
+            return Vote::No("insufficient funds".into());
+        }
+        self.lock.try_prepare(msg.txn, delta)
+    }
+}
+
+impl Handler<Decide> for Account {
+    fn handle(&mut self, msg: Decide, _ctx: &mut ActorContext<'_>) {
+        if let Some(delta) = self.lock.decide(&msg.txn, msg.commit) {
+            self.state.mutate(|s| s.balance += delta);
+        }
+    }
+}
+
+/// Workflow participant behaviour: apply a delta exactly once per
+/// idempotence token; `permanent_failure` in the payload injects a
+/// permanent rejection.
+impl Handler<WorkStep> for Account {
+    fn handle(&mut self, msg: WorkStep, _ctx: &mut ActorContext<'_>) -> StepResult {
+        let delta = msg.payload.get("delta").and_then(|v| v.as_i64()).unwrap_or(0);
+        let permanent = msg
+            .payload
+            .get("permanent_failure")
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false);
+        if permanent {
+            return StepResult::Failed("permanently rejected".into());
+        }
+        if self
+            .state
+            .get_mut_untracked()
+            .applied
+            .first_time(&msg.idempotence)
+        {
+            self.state.mutate(|s| s.balance += delta);
+        }
+        StepResult::Done
+    }
+}
+
+/// A workflow participant that reports transient failure the first
+/// `fail_first` times it sees a token, then succeeds — exercising the
+/// engine's retry/backoff machinery.
+struct FlakyWorker {
+    fail_first: u32,
+    attempts: std::collections::HashMap<String, u32>,
+    applied: Vec<String>,
+}
+
+impl Actor for FlakyWorker {
+    const TYPE_NAME: &'static str = "test.flaky";
+}
+
+impl Handler<WorkStep> for FlakyWorker {
+    fn handle(&mut self, msg: WorkStep, _ctx: &mut ActorContext<'_>) -> StepResult {
+        let attempts = self.attempts.entry(msg.idempotence.clone()).or_insert(0);
+        *attempts += 1;
+        if *attempts <= self.fail_first {
+            StepResult::Retry(format!("transient glitch #{attempts}"))
+        } else {
+            self.applied.push(msg.idempotence);
+            StepResult::Done
+        }
+    }
+}
+
+#[derive(Clone)]
+struct AppliedCount;
+impl Message for AppliedCount {
+    type Reply = usize;
+}
+impl Handler<AppliedCount> for FlakyWorker {
+    fn handle(&mut self, _msg: AppliedCount, _ctx: &mut ActorContext<'_>) -> usize {
+        self.applied.len()
+    }
+}
+
+fn setup(store: &Arc<dyn StateStore>) -> Runtime {
+    let rt = Runtime::single(4);
+    {
+        let store = Arc::clone(store);
+        rt.register(move |id| Account {
+            state: Persisted::for_actor(
+                Arc::clone(&store),
+                Account::TYPE_NAME,
+                &id.key,
+                WritePolicy::EveryChange,
+            ),
+            lock: TxnLock::new(),
+        });
+    }
+    TxnCoordinator::register(&rt);
+    WorkflowEngine::register(&rt, Arc::clone(store));
+    IndexShard::register(&rt, Arc::clone(store));
+    KeyRegistry::register(&rt, Arc::clone(store));
+    rt
+}
+
+// ------------------------------------------------------------ persistence
+
+#[test]
+fn persistent_actor_state_survives_deactivation() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = setup(&store);
+    let acct = rt.actor_ref::<Account>("alice");
+    assert_eq!(acct.call(Deposit(120)).unwrap(), 120);
+    acct.call(Kill).unwrap();
+    assert!(rt.quiesce(Duration::from_secs(5)));
+    // Reactivation loads the persisted balance.
+    assert_eq!(acct.call(Balance).unwrap(), 120);
+    rt.shutdown();
+}
+
+#[test]
+fn persistent_actor_state_survives_runtime_restart() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    {
+        let rt = setup(&store);
+        rt.actor_ref::<Account>("bob").call(Deposit(55)).unwrap();
+        rt.shutdown(); // flushes every activation
+    }
+    let rt = setup(&store);
+    assert_eq!(rt.actor_ref::<Account>("bob").call(Balance).unwrap(), 55);
+    rt.shutdown();
+}
+
+// ------------------------------------------------------------ transactions
+
+fn transfer_op(delta: i64) -> TxnOp {
+    TxnOp(json!({ "delta": delta }))
+}
+
+#[test]
+fn two_phase_commit_transfers_atomically() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = setup(&store);
+    let a = rt.actor_ref::<Account>("a");
+    let b = rt.actor_ref::<Account>("b");
+    a.call(Deposit(100)).unwrap();
+
+    let coord = rt.actor_ref::<TxnCoordinator>("coord-1");
+    let outcome = run_transaction(
+        &coord,
+        vec![
+            (Participant::of(&a), transfer_op(-40)),
+            (Participant::of(&b), transfer_op(40)),
+        ],
+        Duration::from_secs(5),
+    )
+    .unwrap()
+    .wait_for(Duration::from_secs(5))
+    .unwrap();
+
+    assert_eq!(outcome, TxnOutcome::Committed);
+    assert_eq!(a.call(Balance).unwrap(), 60);
+    assert_eq!(b.call(Balance).unwrap(), 40);
+    rt.shutdown();
+}
+
+#[test]
+fn transaction_aborts_on_no_vote_and_nothing_applies() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = setup(&store);
+    let a = rt.actor_ref::<Account>("poor");
+    let b = rt.actor_ref::<Account>("rich");
+    a.call(Deposit(10)).unwrap();
+
+    let coord = rt.actor_ref::<TxnCoordinator>("coord-2");
+    let outcome = run_transaction(
+        &coord,
+        vec![
+            (Participant::of(&a), transfer_op(-40)), // would go negative
+            (Participant::of(&b), transfer_op(40)),
+        ],
+        Duration::from_secs(5),
+    )
+    .unwrap()
+    .wait_for(Duration::from_secs(5))
+    .unwrap();
+
+    match outcome {
+        TxnOutcome::Aborted(reason) => assert!(reason.contains("insufficient")),
+        other => panic!("expected abort, got {other:?}"),
+    }
+    assert_eq!(a.call(Balance).unwrap(), 10);
+    assert_eq!(b.call(Balance).unwrap(), 0);
+    rt.shutdown();
+}
+
+#[test]
+fn conflicting_transactions_do_not_deadlock() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = setup(&store);
+    let a = rt.actor_ref::<Account>("x");
+    let b = rt.actor_ref::<Account>("y");
+    a.call(Deposit(1000)).unwrap();
+    b.call(Deposit(1000)).unwrap();
+
+    // Fire 20 concurrent transfers over the same two accounts through two
+    // coordinators; every one must terminate (commit or abort), and money
+    // must be conserved.
+    let mut promises = Vec::new();
+    for i in 0..20 {
+        let coord = rt.actor_ref::<TxnCoordinator>(format!("coord-c{}", i % 2));
+        let (from, to) = if i % 2 == 0 { (&a, &b) } else { (&b, &a) };
+        promises.push(
+            run_transaction(
+                &coord,
+                vec![
+                    (Participant::of(from), transfer_op(-10)),
+                    (Participant::of(to), transfer_op(10)),
+                ],
+                Duration::from_secs(5),
+            )
+            .unwrap(),
+        );
+    }
+    let mut committed = 0;
+    for p in promises {
+        match p.wait_for(Duration::from_secs(10)).unwrap() {
+            TxnOutcome::Committed => committed += 1,
+            TxnOutcome::Aborted(_) => {}
+        }
+    }
+    assert!(committed >= 1, "at least some transfers must commit");
+    let total = a.call(Balance).unwrap() + b.call(Balance).unwrap();
+    assert_eq!(total, 2000, "2PC must conserve the total balance");
+    rt.shutdown();
+}
+
+/// A participant that never votes (its Prepare handler panics, losing the
+/// reply): the coordinator's timeout must abort the transaction.
+struct BlackHole;
+impl Actor for BlackHole {
+    const TYPE_NAME: &'static str = "test.blackhole";
+}
+impl Handler<Prepare> for BlackHole {
+    fn handle(&mut self, _msg: Prepare, _ctx: &mut ActorContext<'_>) -> Vote {
+        panic!("swallowing the prepare");
+    }
+}
+impl Handler<Decide> for BlackHole {
+    fn handle(&mut self, _msg: Decide, _ctx: &mut ActorContext<'_>) {}
+}
+
+#[test]
+fn transaction_times_out_when_participant_never_votes() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = setup(&store);
+    rt.register(|_id| BlackHole);
+    let a = rt.actor_ref::<Account>("victim");
+    a.call(Deposit(50)).unwrap();
+    let hole = rt.actor_ref::<BlackHole>("hole");
+
+    let coord = rt.actor_ref::<TxnCoordinator>("coord-t");
+    let outcome = run_transaction(
+        &coord,
+        vec![
+            (Participant::of(&a), transfer_op(-10)),
+            (Participant::of(&hole), transfer_op(10)),
+        ],
+        Duration::from_millis(200),
+    )
+    .unwrap()
+    .wait_for(Duration::from_secs(5))
+    .unwrap();
+
+    match outcome {
+        TxnOutcome::Aborted(reason) => assert!(reason.contains("timed out"), "{reason}"),
+        other => panic!("expected timeout abort, got {other:?}"),
+    }
+    // The prepared participant must have been released and rolled back.
+    assert_eq!(a.call(Balance).unwrap(), 50);
+    rt.shutdown();
+}
+
+// --------------------------------------------------------------- workflows
+
+#[test]
+fn workflow_applies_all_steps_in_order() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = setup(&store);
+    let a = rt.actor_ref::<Account>("wf-a");
+    let b = rt.actor_ref::<Account>("wf-b");
+    let engine = rt.actor_ref::<WorkflowEngine>("engine");
+
+    let outcome = run_workflow(
+        &engine,
+        "transfer-1",
+        vec![
+            (a.recipient(), json!({ "delta": -30 })),
+            (b.recipient(), json!({ "delta": 30 })),
+        ],
+        3,
+        Duration::from_millis(10),
+    )
+    .unwrap()
+    .wait_for(Duration::from_secs(5))
+    .unwrap();
+
+    assert_eq!(outcome, WorkflowOutcome::Completed);
+    assert_eq!(a.call(Balance).unwrap(), -30);
+    assert_eq!(b.call(Balance).unwrap(), 30);
+    rt.shutdown();
+}
+
+#[test]
+fn workflow_retries_transient_failures_with_backoff() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = setup(&store);
+    rt.register(|_id| FlakyWorker {
+        fail_first: 2,
+        attempts: Default::default(),
+        applied: Vec::new(),
+    });
+    let flaky = rt.actor_ref::<FlakyWorker>("glitchy");
+    let sink = rt.actor_ref::<Account>("after-flaky");
+    let engine = rt.actor_ref::<WorkflowEngine>("engine-retry");
+
+    let outcome = run_workflow(
+        &engine,
+        "bumpy",
+        vec![
+            (flaky.recipient(), json!({})),
+            (sink.recipient(), json!({ "delta": 9 })),
+        ],
+        5,
+        Duration::from_millis(5),
+    )
+    .unwrap()
+    .wait_for(Duration::from_secs(10))
+    .unwrap();
+
+    assert_eq!(outcome, WorkflowOutcome::Completed);
+    assert_eq!(flaky.call(AppliedCount).unwrap(), 1, "applied exactly once");
+    assert_eq!(sink.call(Balance).unwrap(), 9);
+    rt.shutdown();
+}
+
+#[test]
+fn workflow_exhausts_retry_budget() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = setup(&store);
+    rt.register(|_id| FlakyWorker {
+        fail_first: 100, // never recovers within budget
+        attempts: Default::default(),
+        applied: Vec::new(),
+    });
+    let flaky = rt.actor_ref::<FlakyWorker>("hopeless");
+    let engine = rt.actor_ref::<WorkflowEngine>("engine-budget");
+
+    let outcome = run_workflow(
+        &engine,
+        "lost-cause",
+        vec![(flaky.recipient(), json!({}))],
+        3,
+        Duration::from_millis(2),
+    )
+    .unwrap()
+    .wait_for(Duration::from_secs(10))
+    .unwrap();
+
+    match outcome {
+        WorkflowOutcome::Failed { step, reason } => {
+            assert_eq!(step, 0);
+            assert!(reason.contains("retry budget"), "{reason}");
+        }
+        other => panic!("expected retry exhaustion, got {other:?}"),
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn workflow_fails_permanently_at_failing_step() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = setup(&store);
+    let a = rt.actor_ref::<Account>("wff-a");
+    let b = rt.actor_ref::<Account>("wff-b");
+    let engine = rt.actor_ref::<WorkflowEngine>("engine-f");
+
+    let outcome = run_workflow(
+        &engine,
+        "doomed",
+        vec![
+            (a.recipient(), json!({ "delta": 5 })),
+            (b.recipient(), json!({ "permanent_failure": true })),
+        ],
+        2,
+        Duration::from_millis(5),
+    )
+    .unwrap()
+    .wait_for(Duration::from_secs(5))
+    .unwrap();
+
+    match outcome {
+        WorkflowOutcome::Failed { step, reason } => {
+            assert_eq!(step, 1);
+            assert!(reason.contains("permanently"));
+        }
+        other => panic!("expected failure, got {other:?}"),
+    }
+    // Step 0 applied (workflows are not atomic — that is the point of the
+    // paper's contrast with transactions).
+    assert_eq!(a.call(Balance).unwrap(), 5);
+    rt.shutdown();
+}
+
+#[test]
+fn workflow_resume_skips_completed_steps() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = setup(&store);
+    let a = rt.actor_ref::<Account>("res-a");
+    let b = rt.actor_ref::<Account>("res-b");
+    let engine = rt.actor_ref::<WorkflowEngine>("engine-r");
+
+    // First run completes both steps.
+    let outcome = run_workflow(
+        &engine,
+        "resumable",
+        vec![
+            (a.recipient(), json!({ "delta": 7 })),
+            (b.recipient(), json!({ "delta": 7 })),
+        ],
+        1,
+        Duration::from_millis(5),
+    )
+    .unwrap()
+    .wait_for(Duration::from_secs(5))
+    .unwrap();
+    assert_eq!(outcome, WorkflowOutcome::Completed);
+
+    // Resubmission of the same id: progress says "2 completed" → no step
+    // re-runs (and participants would dedup by idempotence token anyway).
+    let outcome = run_workflow(
+        &engine,
+        "resumable",
+        vec![
+            (a.recipient(), json!({ "delta": 7 })),
+            (b.recipient(), json!({ "delta": 7 })),
+        ],
+        1,
+        Duration::from_millis(5),
+    )
+    .unwrap()
+    .wait_for(Duration::from_secs(5))
+    .unwrap();
+    assert_eq!(outcome, WorkflowOutcome::Completed);
+    assert_eq!(a.call(Balance).unwrap(), 7, "step must not double-apply");
+    assert_eq!(b.call(Balance).unwrap(), 7);
+    rt.shutdown();
+}
+
+#[test]
+fn idempotence_guard_dedups() {
+    let mut guard = IdempotenceGuard::new();
+    let mut runs = 0;
+    for _ in 0..3 {
+        let r = guard.apply("wf/0", || {
+            runs += 1;
+            StepResult::Done
+        });
+        assert_eq!(r, StepResult::Done);
+    }
+    assert_eq!(runs, 1);
+    assert_eq!(guard.len(), 1);
+}
+
+#[test]
+fn idempotence_guard_does_not_record_failures() {
+    let mut guard = IdempotenceGuard::new();
+    let r = guard.apply("wf/1", || StepResult::Retry("later".into()));
+    assert_eq!(r, StepResult::Retry("later".into()));
+    // A retry of the same token runs again.
+    let r = guard.apply("wf/1", || StepResult::Done);
+    assert_eq!(r, StepResult::Done);
+}
+
+// ------------------------------------------------------------------ index
+
+#[test]
+fn index_update_and_lookup() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = setup(&store);
+    let idx = IndexClient::new(rt.handle(), "breed", 4);
+
+    idx.update("cow-1", None, Some("angus"), IndexMode::Synchronous)
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
+    idx.update("cow-2", None, Some("angus"), IndexMode::Synchronous)
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
+    idx.update("cow-3", None, Some("hereford"), IndexMode::Synchronous)
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
+
+    let mut angus = idx.lookup("angus").unwrap().wait_for(Duration::from_secs(5)).unwrap();
+    angus.sort();
+    assert_eq!(angus, vec!["cow-1", "cow-2"]);
+    rt.shutdown();
+}
+
+#[test]
+fn index_value_change_moves_entity() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = setup(&store);
+    let idx = IndexClient::new(rt.handle(), "pasture", 8);
+
+    idx.update("cow-9", None, Some("north"), IndexMode::Synchronous)
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
+    idx.update("cow-9", Some("north"), Some("south"), IndexMode::Synchronous)
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
+
+    assert!(idx.lookup("north").unwrap().wait().unwrap().is_empty());
+    assert_eq!(idx.lookup("south").unwrap().wait().unwrap(), vec!["cow-9"]);
+    rt.shutdown();
+}
+
+#[test]
+fn index_survives_restart() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    {
+        let rt = setup(&store);
+        let idx = IndexClient::new(rt.handle(), "owner", 2);
+        idx.update("cow-5", None, Some("farm-1"), IndexMode::Synchronous)
+            .unwrap()
+            .wait_for(Duration::from_secs(5))
+            .unwrap();
+        rt.shutdown();
+    }
+    let rt = setup(&store);
+    let idx = IndexClient::new(rt.handle(), "owner", 2);
+    assert_eq!(idx.lookup("farm-1").unwrap().wait().unwrap(), vec!["cow-5"]);
+    rt.shutdown();
+}
+
+#[test]
+fn index_dump_covers_all_shards() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = setup(&store);
+    let idx = IndexClient::new(rt.handle(), "status", 4);
+    for i in 0..20 {
+        idx.update(
+            &format!("e{i}"),
+            None,
+            Some(if i % 2 == 0 { "ok" } else { "warn" }),
+            IndexMode::Synchronous,
+        )
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
+    }
+    let shards = idx.dump().unwrap().wait_for(Duration::from_secs(5)).unwrap();
+    let total: usize = shards
+        .iter()
+        .flat_map(|postings| postings.iter().map(|(_, es)| es.len()))
+        .sum();
+    assert_eq!(total, 20);
+    rt.shutdown();
+}
+
+// --------------------------------------------------------------- registry
+
+#[test]
+fn key_registry_lists_and_persists() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    {
+        let rt = setup(&store);
+        let reg = rt.actor_ref::<KeyRegistry>("cows-of:farm-1");
+        reg.call(RegisterKey("cow-1".into())).unwrap();
+        reg.call(RegisterKey("cow-2".into())).unwrap();
+        reg.call(RegisterKey("cow-1".into())).unwrap(); // duplicate ok
+        assert_eq!(reg.call(CountKeys).unwrap(), 2);
+        rt.shutdown();
+    }
+    let rt = setup(&store);
+    let reg = rt.actor_ref::<KeyRegistry>("cows-of:farm-1");
+    assert_eq!(
+        reg.call(ListKeys).unwrap(),
+        vec!["cow-1".to_string(), "cow-2".to_string()]
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn broadcast_gathers_from_heterogeneous_keys() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = setup(&store);
+    let mut recipients = Vec::new();
+    for i in 0..10u64 {
+        let acct = rt.actor_ref::<Account>(format!("bc-{i}"));
+        acct.call(Deposit(i as i64)).unwrap();
+        recipients.push(acct.recipient::<Balance>());
+    }
+    let mut balances = broadcast(&recipients, Balance)
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
+    balances.sort_unstable();
+    assert_eq!(balances, (0..10).collect::<Vec<i64>>());
+    rt.shutdown();
+}

@@ -1,0 +1,211 @@
+//! Failure-injection tests: a store that fails on command, driven through
+//! the persistence layer and the platform machinery built on it. The
+//! paper's platform must keep serving when the cloud store misbehaves
+//! (DynamoDB throttling is a *normal* operating condition, not an
+//! outage) — these tests pin that behaviour down.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use aodb_core::{Persisted, WritePolicy};
+use aodb_runtime::{Actor, ActorContext, Handler, Message, Runtime};
+use aodb_store::{Bytes, Key, MemStore, StateStore, StoreError, StoreResult};
+
+/// A store decorator that fails reads and/or writes while the respective
+/// flag is up.
+struct FaultyStore {
+    inner: MemStore,
+    fail_writes: AtomicBool,
+    fail_reads: AtomicBool,
+    write_attempts: AtomicU64,
+}
+
+impl FaultyStore {
+    fn new() -> Self {
+        FaultyStore {
+            inner: MemStore::new(),
+            fail_writes: AtomicBool::new(false),
+            fail_reads: AtomicBool::new(false),
+            write_attempts: AtomicU64::new(0),
+        }
+    }
+}
+
+impl StateStore for FaultyStore {
+    fn get(&self, key: &Key) -> StoreResult<Option<Bytes>> {
+        if self.fail_reads.load(Ordering::Acquire) {
+            return Err(StoreError::Io("injected read failure".into()));
+        }
+        self.inner.get(key)
+    }
+
+    fn put(&self, key: &Key, value: Bytes) -> StoreResult<()> {
+        self.write_attempts.fetch_add(1, Ordering::Relaxed);
+        if self.fail_writes.load(Ordering::Acquire) {
+            return Err(StoreError::Io("injected write failure".into()));
+        }
+        self.inner.put(key, value)
+    }
+
+    fn delete(&self, key: &Key) -> StoreResult<()> {
+        if self.fail_writes.load(Ordering::Acquire) {
+            return Err(StoreError::Io("injected write failure".into()));
+        }
+        self.inner.delete(key)
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> StoreResult<Vec<(Key, Bytes)>> {
+        if self.fail_reads.load(Ordering::Acquire) {
+            return Err(StoreError::Io("injected read failure".into()));
+        }
+        self.inner.scan_prefix(prefix)
+    }
+}
+
+struct Counter {
+    state: Persisted<u64>,
+}
+
+impl Actor for Counter {
+    const TYPE_NAME: &'static str = "test.faulty-counter";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.flush();
+    }
+}
+
+struct Bump;
+impl Message for Bump {
+    type Reply = u64;
+}
+impl Handler<Bump> for Counter {
+    fn handle(&mut self, _msg: Bump, _ctx: &mut ActorContext<'_>) -> u64 {
+        self.state.mutate(|v| {
+            *v += 1;
+            *v
+        })
+    }
+}
+
+struct Errors;
+impl Message for Errors {
+    type Reply = u64;
+}
+impl Handler<Errors> for Counter {
+    fn handle(&mut self, _msg: Errors, _ctx: &mut ActorContext<'_>) -> u64 {
+        self.state.save_errors()
+    }
+}
+
+struct Kill;
+impl Message for Kill {
+    type Reply = ();
+}
+impl Handler<Kill> for Counter {
+    fn handle(&mut self, _msg: Kill, ctx: &mut ActorContext<'_>) {
+        ctx.deactivate();
+    }
+}
+
+fn setup(faulty: &Arc<FaultyStore>) -> Runtime {
+    let rt = Runtime::single(2);
+    {
+        let store: Arc<dyn StateStore> = Arc::clone(faulty) as Arc<dyn StateStore>;
+        rt.register(move |id| Counter {
+            state: Persisted::for_actor(
+                Arc::clone(&store),
+                Counter::TYPE_NAME,
+                &id.key,
+                WritePolicy::EveryChange,
+            ),
+        });
+    }
+    rt
+}
+
+#[test]
+fn actor_keeps_serving_while_writes_fail() {
+    let faulty = Arc::new(FaultyStore::new());
+    let rt = setup(&faulty);
+    let actor = rt.actor_ref::<Counter>("w");
+    assert_eq!(actor.call(Bump).unwrap(), 1);
+
+    // The store goes dark for writes: the actor keeps mutating in memory
+    // and records the failures instead of crashing or losing requests.
+    faulty.fail_writes.store(true, Ordering::Release);
+    for i in 2..=10 {
+        assert_eq!(actor.call(Bump).unwrap(), i);
+    }
+    assert_eq!(actor.call(Errors).unwrap(), 9);
+
+    // Store heals: the next mutation persists the *current* state.
+    faulty.fail_writes.store(false, Ordering::Release);
+    assert_eq!(actor.call(Bump).unwrap(), 11);
+    actor.call(Kill).unwrap();
+    assert!(rt.quiesce(Duration::from_secs(5)));
+    // Reactivation reads 11 back: no window of the outage was lost at the
+    // end, because EveryChange re-writes full state.
+    assert_eq!(actor.call(Errors).unwrap(), 0);
+    assert_eq!(actor.call(Bump).unwrap(), 12);
+    rt.shutdown();
+}
+
+#[test]
+fn outage_spanning_deactivation_loses_only_unflushed_window() {
+    let faulty = Arc::new(FaultyStore::new());
+    let rt = setup(&faulty);
+    let actor = rt.actor_ref::<Counter>("d");
+    assert_eq!(actor.call(Bump).unwrap(), 1); // persisted: 1
+
+    faulty.fail_writes.store(true, Ordering::Release);
+    assert_eq!(actor.call(Bump).unwrap(), 2); // in-memory only
+    actor.call(Kill).unwrap(); // flush also fails during the outage
+    assert!(rt.quiesce(Duration::from_secs(5)));
+    faulty.fail_writes.store(false, Ordering::Release);
+
+    // The documented semantics of a full-outage deactivation: state rolls
+    // back to the last durable write.
+    assert_eq!(actor.call(Bump).unwrap(), 2);
+    rt.shutdown();
+}
+
+#[test]
+fn activation_with_failing_reads_starts_from_default() {
+    let faulty = Arc::new(FaultyStore::new());
+    {
+        let rt = setup(&faulty);
+        rt.actor_ref::<Counter>("r").call(Bump).unwrap();
+        rt.shutdown();
+    }
+    faulty.fail_reads.store(true, Ordering::Release);
+    let rt = setup(&faulty);
+    let actor = rt.actor_ref::<Counter>("r");
+    // load_or_default records the failure and serves from defaults rather
+    // than refusing activation (availability over freshness).
+    assert_eq!(actor.call(Bump).unwrap(), 1);
+    assert!(actor.call(Errors).unwrap() >= 1);
+    rt.shutdown();
+}
+
+#[test]
+fn write_failures_do_not_amplify_attempts() {
+    // One mutation = one write attempt, even while failing (no internal
+    // hot retry loop that would hammer a throttled store).
+    let faulty = Arc::new(FaultyStore::new());
+    let rt = setup(&faulty);
+    let actor = rt.actor_ref::<Counter>("a");
+    actor.call(Bump).unwrap();
+    let baseline = faulty.write_attempts.load(Ordering::Relaxed);
+    faulty.fail_writes.store(true, Ordering::Release);
+    for _ in 0..20 {
+        actor.call(Bump).unwrap();
+    }
+    let attempts = faulty.write_attempts.load(Ordering::Relaxed) - baseline;
+    assert_eq!(attempts, 20);
+    rt.shutdown();
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the AODB layer's pure data structures:
+//! versioned objects, transaction locks, and idempotence guards.
+
+use aodb_core::{IdempotenceGuard, StepResult, TxnId, TxnLock, Versioned};
+use proptest::prelude::*;
+
+fn txn_id(seq: u64) -> TxnId {
+    TxnId { coordinator: "c".into(), seq }
+}
+
+proptest! {
+    /// A transfer chain of any length yields version == number of
+    /// transfers, provenance of length transfers + 1 starting at the
+    /// origin and ending at the current owner.
+    #[test]
+    fn versioned_chain_invariants(owners in proptest::collection::vec("[a-z]{1,8}", 1..20)) {
+        let mut v = Versioned::new("entity", owners[0].clone(), 42u32);
+        for (i, owner) in owners.iter().enumerate().skip(1) {
+            v = v.transfer_to(owner.clone(), i as u64);
+        }
+        prop_assert_eq!(v.version as usize, owners.len() - 1);
+        prop_assert_eq!(&v.owner, owners.last().unwrap());
+        let provenance = v.provenance();
+        prop_assert_eq!(provenance.len(), owners.len());
+        prop_assert_eq!(&provenance, &owners);
+        // History timestamps are the ones we supplied, in order.
+        let ts: Vec<u64> = v.history.iter().map(|t| t.at_ms).collect();
+        prop_assert_eq!(ts, (1..owners.len() as u64).collect::<Vec<_>>());
+    }
+
+    /// JSON round-trips preserve versioned objects exactly.
+    #[test]
+    fn versioned_json_roundtrip(
+        owners in proptest::collection::vec("[a-z]{1,6}", 1..6),
+        payload in any::<i64>(),
+    ) {
+        let mut v = Versioned::new("e", owners[0].clone(), payload);
+        for owner in owners.iter().skip(1) {
+            v = v.transfer_to(owner.clone(), 1);
+        }
+        let back: Versioned<i64> = Versioned::from_json(&v.to_json()).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// TxnLock: under any interleaving of prepares and decisions, at most
+    /// one transaction's payload is ever applied per acquisition, and a
+    /// commit only applies the payload of the transaction that holds the
+    /// lock.
+    #[test]
+    fn txn_lock_safety(ops in proptest::collection::vec((0u64..4, any::<bool>(), any::<bool>()), 0..40)) {
+        let mut lock: TxnLock<u64> = TxnLock::new();
+        let mut holder: Option<u64> = None;
+        for (seq, is_prepare, commit) in ops {
+            if is_prepare {
+                let vote = lock.try_prepare(txn_id(seq), seq * 10);
+                match holder {
+                    None => {
+                        prop_assert_eq!(vote, aodb_core::Vote::Yes);
+                        holder = Some(seq);
+                    }
+                    Some(h) if h == seq => prop_assert_eq!(vote, aodb_core::Vote::Yes),
+                    Some(_) => prop_assert!(matches!(vote, aodb_core::Vote::No(_))),
+                }
+            } else {
+                let applied = lock.decide(&txn_id(seq), commit);
+                match holder {
+                    Some(h) if h == seq => {
+                        if commit {
+                            prop_assert_eq!(applied, Some(seq * 10));
+                        } else {
+                            prop_assert_eq!(applied, None);
+                        }
+                        holder = None;
+                    }
+                    _ => prop_assert_eq!(applied, None),
+                }
+            }
+            prop_assert_eq!(lock.is_locked(), holder.is_some());
+        }
+    }
+
+    /// IdempotenceGuard: any sequence of tokens applies each distinct
+    /// token exactly once, regardless of duplication pattern.
+    #[test]
+    fn idempotence_guard_applies_once(tokens in proptest::collection::vec("[a-d]{1,2}", 0..50)) {
+        let mut guard = IdempotenceGuard::new();
+        let mut applied = Vec::new();
+        for token in &tokens {
+            let mut ran = false;
+            let result = guard.apply(token, || {
+                ran = true;
+                StepResult::Done
+            });
+            prop_assert_eq!(result, StepResult::Done);
+            if ran {
+                applied.push(token.clone());
+            }
+        }
+        let mut distinct: Vec<String> = tokens.clone();
+        distinct.sort();
+        distinct.dedup();
+        let mut applied_sorted = applied.clone();
+        applied_sorted.sort();
+        prop_assert_eq!(applied_sorted, distinct);
+        prop_assert_eq!(guard.len(), applied.len());
+    }
+
+    /// `first_time` agrees with a set-based model.
+    #[test]
+    fn first_time_matches_set_model(tokens in proptest::collection::vec("[a-c]{1,2}", 0..40)) {
+        let mut guard = IdempotenceGuard::new();
+        let mut model = std::collections::HashSet::new();
+        for token in &tokens {
+            prop_assert_eq!(guard.first_time(token), model.insert(token.clone()));
+        }
+    }
+}

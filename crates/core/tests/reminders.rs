@@ -1,0 +1,190 @@
+//! Durable-reminder tests: firing, cancellation, unregistration, and —
+//! the point of reminders over timers — survival across runtime restarts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aodb_core::{
+    register_reminder, restore_reminders, unregister_reminder, ReminderFired, ReminderTable,
+};
+use aodb_runtime::{Actor, ActorContext, Handler, Runtime};
+use aodb_store::{MemStore, StateStore};
+use serde_json::json;
+
+struct Pinged {
+    fires: Arc<AtomicU64>,
+    last_payload: Option<serde_json::Value>,
+}
+
+impl Actor for Pinged {
+    const TYPE_NAME: &'static str = "test.pinged";
+}
+
+impl Handler<ReminderFired> for Pinged {
+    fn handle(&mut self, msg: ReminderFired, _ctx: &mut ActorContext<'_>) {
+        self.fires.fetch_add(1, Ordering::SeqCst);
+        self.last_payload = Some(msg.payload);
+    }
+}
+
+fn setup(store: &Arc<dyn StateStore>, fires: &Arc<AtomicU64>) -> Runtime {
+    let rt = Runtime::single(2);
+    ReminderTable::register(&rt, Arc::clone(store));
+    {
+        let fires = Arc::clone(fires);
+        rt.register(move |_id| Pinged { fires: Arc::clone(&fires), last_payload: None });
+    }
+    rt
+}
+
+fn wait_for_fires(fires: &Arc<AtomicU64>, at_least: u64) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while fires.load(Ordering::SeqCst) < at_least {
+        if Instant::now() > deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    true
+}
+
+#[test]
+fn reminder_fires_periodically_with_payload() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let fires = Arc::new(AtomicU64::new(0));
+    let rt = setup(&store, &fires);
+    let _handle = register_reminder::<Pinged>(
+        &rt,
+        "reminders",
+        "health-check",
+        "node-1",
+        Duration::from_millis(15),
+        json!({"check": "health"}),
+    )
+    .unwrap();
+    assert!(wait_for_fires(&fires, 3), "reminder never fired 3 times");
+    rt.shutdown();
+}
+
+#[test]
+fn cancelling_the_handle_stops_firing() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let fires = Arc::new(AtomicU64::new(0));
+    let rt = setup(&store, &fires);
+    let handle = register_reminder::<Pinged>(
+        &rt,
+        "reminders",
+        "short-lived",
+        "node-2",
+        Duration::from_millis(10),
+        json!(null),
+    )
+    .unwrap();
+    assert!(wait_for_fires(&fires, 2));
+    handle.cancel();
+    std::thread::sleep(Duration::from_millis(50));
+    let after = fires.load(Ordering::SeqCst);
+    std::thread::sleep(Duration::from_millis(60));
+    assert!(
+        fires.load(Ordering::SeqCst) <= after + 1,
+        "reminder kept firing after cancel"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn reminders_survive_runtime_restart() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let fires = Arc::new(AtomicU64::new(0));
+    {
+        let rt = setup(&store, &fires);
+        register_reminder::<Pinged>(
+            &rt,
+            "reminders",
+            "durable-ping",
+            "node-3",
+            Duration::from_millis(10),
+            json!({"gen": 1}),
+        )
+        .unwrap();
+        assert!(wait_for_fires(&fires, 1));
+        rt.shutdown(); // timers die with the runtime…
+    }
+    fires.store(0, Ordering::SeqCst);
+
+    // …but the registration survived in the store. A fresh runtime
+    // restores and the reminder fires again.
+    let rt = setup(&store, &fires);
+    let handles = restore_reminders::<Pinged>(&rt, "reminders").unwrap();
+    assert_eq!(handles.len(), 1);
+    assert!(wait_for_fires(&fires, 2), "restored reminder never fired");
+    rt.shutdown();
+}
+
+#[test]
+fn unregistered_reminders_are_not_restored() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let fires = Arc::new(AtomicU64::new(0));
+    {
+        let rt = setup(&store, &fires);
+        let handle = register_reminder::<Pinged>(
+            &rt,
+            "reminders",
+            "doomed",
+            "node-4",
+            Duration::from_millis(10),
+            json!(null),
+        )
+        .unwrap();
+        handle.cancel();
+        assert!(unregister_reminder(&rt, "reminders", "doomed")
+            .unwrap()
+            .wait_for(Duration::from_secs(5))
+            .unwrap());
+        rt.shutdown();
+    }
+    let rt = setup(&store, &fires);
+    let handles = restore_reminders::<Pinged>(&rt, "reminders").unwrap();
+    assert!(handles.is_empty());
+    rt.shutdown();
+}
+
+#[test]
+fn restore_filters_by_target_type() {
+    struct Other;
+    impl Actor for Other {
+        const TYPE_NAME: &'static str = "test.other";
+    }
+    impl Handler<ReminderFired> for Other {
+        fn handle(&mut self, _msg: ReminderFired, _ctx: &mut ActorContext<'_>) {}
+    }
+
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let fires = Arc::new(AtomicU64::new(0));
+    let rt = setup(&store, &fires);
+    rt.register(|_id| Other);
+    let h1 = register_reminder::<Pinged>(
+        &rt,
+        "reminders",
+        "for-pinged",
+        "k",
+        Duration::from_secs(30),
+        json!(null),
+    )
+    .unwrap();
+    let h2 = register_reminder::<Other>(
+        &rt,
+        "reminders",
+        "for-other",
+        "k",
+        Duration::from_secs(30),
+        json!(null),
+    )
+    .unwrap();
+    h1.cancel();
+    h2.cancel();
+    assert_eq!(restore_reminders::<Pinged>(&rt, "reminders").unwrap().len(), 1);
+    assert_eq!(restore_reminders::<Other>(&rt, "reminders").unwrap().len(), 1);
+    rt.shutdown();
+}

@@ -1,0 +1,73 @@
+//! Type-erased message envelopes.
+//!
+//! An [`Envelope`] packages a typed message, the knowledge of which
+//! `Handler` impl processes it, and the reply sink, into a single boxed
+//! closure the scheduler can run against a `dyn` actor. The typed-to-erased
+//! boundary lives entirely here; everything downstream (mailboxes, silos,
+//! the simulated network) moves opaque envelopes.
+
+use crate::actor::{ActorContext, AnyActor, Handler, Message};
+use crate::promise::ReplyTo;
+
+type RunFn = Box<dyn FnOnce(&mut dyn AnyActor, &mut ActorContext<'_>) + Send>;
+
+/// What kind of turn an envelope triggers; used for scheduling bookkeeping
+/// and metrics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum EnvelopeKind {
+    /// The synthetic first turn of a fresh activation (`on_activate`).
+    Lifecycle,
+    /// An application message.
+    User,
+}
+
+/// A message on its way to an activation.
+pub struct Envelope {
+    run: RunFn,
+    kind: EnvelopeKind,
+}
+
+impl Envelope {
+    /// Wraps message `msg` for actor type `A`.
+    pub fn of<A, M>(msg: M, reply: ReplyTo<M::Reply>) -> Envelope
+    where
+        A: Handler<M>,
+        M: Message,
+    {
+        Envelope {
+            run: Box::new(move |actor, ctx| {
+                let actor = actor
+                    .as_any_mut()
+                    .downcast_mut::<A>()
+                    .expect("envelope executed against wrong actor type");
+                let out = actor.handle(msg, ctx);
+                reply.deliver(out);
+            }),
+            kind: EnvelopeKind::User,
+        }
+    }
+
+    /// The synthetic `on_activate` turn enqueued as the first message of
+    /// every fresh activation.
+    pub(crate) fn lifecycle_activate() -> Envelope {
+        Envelope {
+            run: Box::new(|actor, ctx| actor.activate(ctx)),
+            kind: EnvelopeKind::Lifecycle,
+        }
+    }
+
+    pub(crate) fn kind(&self) -> EnvelopeKind {
+        self.kind
+    }
+
+    /// Executes the turn.
+    pub(crate) fn run(self, actor: &mut dyn AnyActor, ctx: &mut ActorContext<'_>) {
+        (self.run)(actor, ctx);
+    }
+}
+
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope").field("kind", &self.kind).finish()
+    }
+}

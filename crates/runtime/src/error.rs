@@ -1,0 +1,88 @@
+//! Error types for the virtual-actor runtime.
+
+use std::fmt;
+
+/// Errors that can occur when dispatching a message to an actor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The target actor type was never registered with the runtime.
+    NotRegistered(String),
+    /// The runtime is shutting down and no longer accepts messages.
+    RuntimeShutdown,
+    /// The activation kept retiring under our feet; the dispatch retry
+    /// budget was exhausted. This indicates pathological idle-timeout
+    /// configuration rather than a transient condition.
+    ActivationRace,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::NotRegistered(name) => {
+                write!(f, "actor type `{name}` is not registered with the runtime")
+            }
+            SendError::RuntimeShutdown => write!(f, "runtime is shut down"),
+            SendError::ActivationRace => {
+                write!(f, "dispatch retry budget exhausted due to activation races")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Errors produced while waiting on a [`crate::Promise`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromiseError {
+    /// The reply side was dropped without ever producing a value.
+    ///
+    /// This happens when the target actor panicked during the turn that
+    /// should have produced the reply, or when the runtime shut down.
+    Lost,
+    /// The timeout passed to [`crate::Promise::wait_for`] elapsed.
+    Timeout,
+}
+
+impl fmt::Display for PromiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PromiseError::Lost => write!(f, "reply was lost (target panicked or shut down)"),
+            PromiseError::Timeout => write!(f, "timed out waiting for reply"),
+        }
+    }
+}
+
+impl std::error::Error for PromiseError {}
+
+/// Convenience alias for call results: dispatch may fail, and waiting on
+/// the reply may fail independently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// The message could not be enqueued at all.
+    Send(SendError),
+    /// The message was enqueued but no reply arrived.
+    Reply(PromiseError),
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::Send(e) => write!(f, "send failed: {e}"),
+            CallError::Reply(e) => write!(f, "reply failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+impl From<SendError> for CallError {
+    fn from(e: SendError) -> Self {
+        CallError::Send(e)
+    }
+}
+
+impl From<PromiseError> for CallError {
+    fn from(e: PromiseError) -> Self {
+        CallError::Reply(e)
+    }
+}

@@ -1,0 +1,241 @@
+//! Actor identity: type identifiers and per-instance keys.
+//!
+//! Virtual actors are *named*: an [`ActorId`] denotes an actor that logically
+//! always exists, whether or not an in-memory activation currently backs it
+//! (the Orleans "virtual actor" abstraction the paper builds on).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Dense identifier assigned to an actor *type* at registration time.
+///
+/// Using a small integer instead of the type name keeps [`ActorId`] hashing
+/// and comparison cheap on the hot dispatch path.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ActorTypeId(pub(crate) u16);
+
+impl ActorTypeId {
+    /// Raw index into the runtime's type registry.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a type id from a raw registry index. Only useful for
+    /// building [`ActorId`]s outside a runtime (tests, tooling); ids made
+    /// this way are only meaningful against a runtime whose registration
+    /// order matches.
+    pub const fn from_raw(index: u16) -> ActorTypeId {
+        ActorTypeId(index)
+    }
+}
+
+/// Per-instance key of a virtual actor.
+///
+/// Keys are either integers (cheap, preferred for synthetic fleets such as
+/// simulated sensors) or interned strings (natural for domain entities such
+/// as `"org:great-belt"`).
+#[derive(Clone, Debug)]
+pub enum ActorKey {
+    /// Numeric key.
+    U64(u64),
+    /// String key (reference counted so clones are cheap).
+    Str(Arc<str>),
+}
+
+impl ActorKey {
+    /// Renders the key for diagnostics and storage-key composition.
+    pub fn as_display(&self) -> String {
+        match self {
+            ActorKey::U64(v) => v.to_string(),
+            ActorKey::Str(s) => s.to_string(),
+        }
+    }
+
+    /// Stable 64-bit hash of the key, used by hash-based placement.
+    pub fn stable_hash(&self) -> u64 {
+        match self {
+            ActorKey::U64(v) => splitmix64(*v),
+            ActorKey::Str(s) => fnv1a(s.as_bytes()),
+        }
+    }
+}
+
+impl PartialEq for ActorKey {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ActorKey::U64(a), ActorKey::U64(b)) => a == b,
+            (ActorKey::Str(a), ActorKey::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for ActorKey {}
+
+impl Hash for ActorKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            ActorKey::U64(v) => {
+                state.write_u8(0);
+                state.write_u64(*v);
+            }
+            ActorKey::Str(s) => {
+                state.write_u8(1);
+                state.write(s.as_bytes());
+            }
+        }
+    }
+}
+
+impl From<u64> for ActorKey {
+    fn from(v: u64) -> Self {
+        ActorKey::U64(v)
+    }
+}
+
+impl From<&str> for ActorKey {
+    fn from(s: &str) -> Self {
+        ActorKey::Str(Arc::from(s))
+    }
+}
+
+impl From<String> for ActorKey {
+    fn from(s: String) -> Self {
+        ActorKey::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Display for ActorKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActorKey::U64(v) => write!(f, "{v}"),
+            ActorKey::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Fully-qualified identity of a virtual actor: `(type, key)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ActorId {
+    /// The registered type of the actor.
+    pub type_id: ActorTypeId,
+    /// The instance key within the type.
+    pub key: ActorKey,
+}
+
+impl ActorId {
+    /// Creates an identity from its parts.
+    pub fn new(type_id: ActorTypeId, key: ActorKey) -> Self {
+        ActorId { type_id, key }
+    }
+
+    /// Stable hash combining type and key; drives consistent-hash placement
+    /// and directory sharding.
+    pub fn stable_hash(&self) -> u64 {
+        splitmix64(self.key.stable_hash() ^ (self.type_id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}:{}", self.type_id.0, self.key)
+    }
+}
+
+/// Identifier of a silo (one simulated server) within the runtime.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SiloId(pub u32);
+
+impl SiloId {
+    /// Index into the runtime's silo table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiloId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "silo-{}", self.0)
+    }
+}
+
+/// Where a message originates, which determines whether it pays simulated
+/// network latency and which silo "prefer-local" placement favours.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Origin {
+    /// An external client (the benchmarking tool, an example binary, a test).
+    Client,
+    /// Another actor (or an affine client gateway) running on the given silo.
+    Silo(SiloId),
+}
+
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn u64_and_str_keys_are_distinct() {
+        assert_ne!(ActorKey::from(7u64), ActorKey::from("7"));
+    }
+
+    #[test]
+    fn equal_keys_hash_equally() {
+        let a = ActorKey::from("cow-42");
+        let b = ActorKey::from(String::from("cow-42"));
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic() {
+        let id = ActorId::new(ActorTypeId(3), ActorKey::from(99u64));
+        assert_eq!(id.stable_hash(), id.stable_hash());
+        let id2 = ActorId::new(ActorTypeId(4), ActorKey::from(99u64));
+        assert_ne!(id.stable_hash(), id2.stable_hash());
+    }
+
+    #[test]
+    fn stable_hash_spreads_sequential_keys() {
+        // Sequential sensor keys must not collapse onto one silo.
+        let mut silos = [0usize; 4];
+        for k in 0..1000u64 {
+            let id = ActorId::new(ActorTypeId(1), ActorKey::from(k));
+            silos[(id.stable_hash() % 4) as usize] += 1;
+        }
+        for &count in &silos {
+            assert!(count > 150, "skewed placement distribution: {silos:?}");
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        let id = ActorId::new(ActorTypeId(2), ActorKey::from("bridge"));
+        assert_eq!(id.to_string(), "#2:bridge");
+        assert_eq!(SiloId(3).to_string(), "silo-3");
+    }
+}

@@ -1,0 +1,150 @@
+//! Activation placement strategies.
+//!
+//! When a message targets a virtual actor with no current activation, the
+//! placement strategy chooses which silo hosts the new activation. The
+//! paper (Section 5, "Virtual actor durability and deployment") reports
+//! that Orleans' default random placement spreads load but inflates
+//! cross-silo communication for chatty actor pairs, and that the SHM
+//! platform switched sensor channels and aggregators to *prefer-local*
+//! placement. The `placement` ablation bench quantifies that choice.
+
+use std::cell::Cell;
+
+use crate::identity::{ActorId, Origin, SiloId};
+
+/// Chooses a silo for a fresh activation.
+pub trait Placement: Send + Sync + 'static {
+    /// Picks a silo among `n_silos` for actor `id`, given where the
+    /// triggering message originated.
+    fn place(&self, id: &ActorId, origin: Origin, n_silos: usize) -> SiloId;
+
+    /// Human-readable name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Uniform random placement (the Orleans default).
+#[derive(Default)]
+pub struct RandomPlacement;
+
+thread_local! {
+    static PLACEMENT_RNG: Cell<u64> = const { Cell::new(0x853C_49E6_748F_EA9B) };
+}
+
+fn thread_rand() -> u64 {
+    PLACEMENT_RNG.with(|cell| {
+        // xorshift64*: tiny, fast, good enough for load spreading. Seeded
+        // per thread with a fixed constant XORed with the thread's stack
+        // address entropy on first use would be overkill — determinism per
+        // thread is actually desirable for reproducible experiments.
+        let mut x = cell.get();
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        cell.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    })
+}
+
+impl Placement for RandomPlacement {
+    fn place(&self, _id: &ActorId, _origin: Origin, n_silos: usize) -> SiloId {
+        SiloId((thread_rand() % n_silos as u64) as u32)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Prefer the silo the triggering message came from; fall back to
+/// consistent hashing for client-originated messages.
+///
+/// This is the strategy the paper adopted for sensor channels and
+/// aggregators: a sensor's ingest gateway and its channel actors end up
+/// co-located, eliminating remote hops on the hot path.
+#[derive(Default)]
+pub struct PreferLocalPlacement;
+
+impl Placement for PreferLocalPlacement {
+    fn place(&self, id: &ActorId, origin: Origin, n_silos: usize) -> SiloId {
+        match origin {
+            Origin::Silo(s) if s.index() < n_silos => s,
+            _ => SiloId((id.stable_hash() % n_silos as u64) as u32),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "prefer-local"
+    }
+}
+
+/// Deterministic placement by stable hash of the actor identity.
+///
+/// Guarantees that related keys can be *engineered* to co-locate (e.g. all
+/// actors of one organization share a hash prefix) and that placement is
+/// reproducible across runs.
+#[derive(Default)]
+pub struct ConsistentHashPlacement;
+
+impl Placement for ConsistentHashPlacement {
+    fn place(&self, id: &ActorId, _origin: Origin, n_silos: usize) -> SiloId {
+        SiloId((id.stable_hash() % n_silos as u64) as u32)
+    }
+
+    fn name(&self) -> &'static str {
+        "consistent-hash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::{ActorKey, ActorTypeId};
+
+    fn id(k: u64) -> ActorId {
+        ActorId::new(ActorTypeId(1), ActorKey::from(k))
+    }
+
+    #[test]
+    fn random_spreads_over_silos() {
+        let p = RandomPlacement;
+        let mut counts = [0usize; 4];
+        for k in 0..4000 {
+            counts[p.place(&id(k), Origin::Client, 4).index()] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700, "distribution too skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn prefer_local_uses_origin_silo() {
+        let p = PreferLocalPlacement;
+        assert_eq!(p.place(&id(1), Origin::Silo(SiloId(2)), 4), SiloId(2));
+    }
+
+    #[test]
+    fn prefer_local_falls_back_for_clients() {
+        let p = PreferLocalPlacement;
+        let s1 = p.place(&id(1), Origin::Client, 4);
+        let s2 = p.place(&id(1), Origin::Client, 4);
+        assert_eq!(s1, s2, "client fallback must be deterministic");
+    }
+
+    #[test]
+    fn prefer_local_ignores_out_of_range_origin() {
+        let p = PreferLocalPlacement;
+        let s = p.place(&id(1), Origin::Silo(SiloId(9)), 2);
+        assert!(s.index() < 2);
+    }
+
+    #[test]
+    fn consistent_hash_is_stable() {
+        let p = ConsistentHashPlacement;
+        for k in 0..100 {
+            assert_eq!(
+                p.place(&id(k), Origin::Client, 8),
+                p.place(&id(k), Origin::Silo(SiloId(3)), 8)
+            );
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Request/response plumbing: reply sinks, promises, and scatter/gather
+//! collectors.
+//!
+//! The runtime's core reply primitive is a *callback* ([`ReplyTo`]): the
+//! worker thread that finishes handling a request invokes the callback with
+//! the reply value. [`Promise`] layers a blocking wait on top of that for
+//! external clients, and [`Collector`] provides deadlock-free fan-in for
+//! multi-actor scatter/gather (an actor must never block its turn waiting
+//! for another actor — see the paper's discussion of non-blocking
+//! interactions in Section 3).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::error::PromiseError;
+
+/// Destination for a reply value.
+pub enum ReplyTo<R> {
+    /// The sender does not care about the reply (one-way `tell`).
+    Ignore,
+    /// Invoke this callback with the reply, on the worker thread that
+    /// produced it. Callbacks must be cheap and non-blocking.
+    Callback(Box<dyn FnOnce(R) + Send>),
+}
+
+impl<R> ReplyTo<R> {
+    /// Delivers the reply, consuming the sink.
+    pub fn deliver(self, value: R) {
+        match self {
+            ReplyTo::Ignore => {}
+            ReplyTo::Callback(f) => f(value),
+        }
+    }
+
+    /// True when a reply is actually wanted; lets handlers skip building
+    /// expensive reply values for one-way messages.
+    pub fn is_wanted(&self) -> bool {
+        matches!(self, ReplyTo::Callback(_))
+    }
+}
+
+impl<R: Send + 'static> ReplyTo<R> {
+    /// Creates a promise/reply pair. The promise resolves when the reply
+    /// sink is delivered, and fails with [`PromiseError::Lost`] if the sink
+    /// is dropped undelivered (e.g. the target actor panicked).
+    pub fn promise() -> (ReplyTo<R>, Promise<R>) {
+        let (tx, rx) = bounded(1);
+        let sink = ReplyTo::Callback(Box::new(move |value| {
+            let _ = tx.send(value);
+        }));
+        (sink, Promise { rx })
+    }
+}
+
+/// A value that will arrive later, produced by an actor turn.
+///
+/// Only external clients should block on promises. Actors must use
+/// [`Collector`] or continuation messages instead; blocking a worker thread
+/// inside an actor turn can starve the scheduler.
+#[derive(Debug)]
+pub struct Promise<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> Promise<T> {
+    /// Blocks until the reply arrives.
+    pub fn wait(self) -> Result<T, PromiseError> {
+        self.rx.recv().map_err(|_| PromiseError::Lost)
+    }
+
+    /// Blocks up to `timeout` for the reply.
+    pub fn wait_for(self, timeout: Duration) -> Result<T, PromiseError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => PromiseError::Timeout,
+            RecvTimeoutError::Disconnected => PromiseError::Lost,
+        })
+    }
+
+    /// Non-blocking poll.
+    pub fn try_take(&self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Creates a promise resolved immediately with `value`; useful in tests and
+/// for code paths that sometimes answer locally.
+pub fn resolved<T: Send + 'static>(value: T) -> Promise<T> {
+    let (sink, promise) = ReplyTo::promise();
+    sink.deliver(value);
+    promise
+}
+
+struct CollectorInner<T, F: FnOnce(Vec<T>)> {
+    items: Vec<T>,
+    expected: usize,
+    on_complete: Option<F>,
+}
+
+/// Deadlock-free fan-in for scatter/gather queries.
+///
+/// Create a collector expecting `n` replies with a completion closure, hand
+/// each target a [`ReplyTo`] obtained from [`Collector::slot`], and the
+/// closure runs (exactly once, on whichever worker thread delivers the
+/// final reply) once all `n` replies have arrived.
+///
+/// The canonical use, from the SHM platform's live-data query: an
+/// `Organization` actor receives `GetLiveData` with a reply sink, creates a
+/// collector over its channels whose completion closure forwards the
+/// aggregate into the original sink, and fans out `GetLatest` to every
+/// channel actor with collector slots as reply sinks. No actor ever blocks.
+pub struct Collector<T, F: FnOnce(Vec<T>)> {
+    inner: Arc<Mutex<CollectorInner<T, F>>>,
+}
+
+impl<T, F: FnOnce(Vec<T>)> Clone for Collector<T, F> {
+    fn clone(&self) -> Self {
+        Collector { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Send + 'static, F: FnOnce(Vec<T>) + Send + 'static> Collector<T, F> {
+    /// Creates a collector expecting `expected` replies.
+    ///
+    /// If `expected` is zero the completion closure runs immediately with an
+    /// empty vector (an organization with no sensors still answers live-data
+    /// queries).
+    pub fn new(expected: usize, on_complete: F) -> Self {
+        if expected == 0 {
+            on_complete(Vec::new());
+            return Collector {
+                inner: Arc::new(Mutex::new(CollectorInner {
+                    items: Vec::new(),
+                    expected: 0,
+                    on_complete: None,
+                })),
+            };
+        }
+        Collector {
+            inner: Arc::new(Mutex::new(CollectorInner {
+                items: Vec::with_capacity(expected),
+                expected,
+                on_complete: Some(on_complete),
+            })),
+        }
+    }
+
+    /// Produces a reply sink feeding this collector.
+    pub fn slot(&self) -> ReplyTo<T> {
+        let inner = Arc::clone(&self.inner);
+        ReplyTo::Callback(Box::new(move |value| {
+            let complete = {
+                let mut guard = inner.lock();
+                guard.items.push(value);
+                if guard.items.len() >= guard.expected {
+                    guard.on_complete.take().map(|f| (f, std::mem::take(&mut guard.items)))
+                } else {
+                    None
+                }
+            };
+            if let Some((f, items)) = complete {
+                f(items);
+            }
+        }))
+    }
+
+    /// Feeds a value directly (for mixed local/remote gathers).
+    pub fn push(&self, value: T) {
+        self.slot().deliver(value);
+    }
+}
+
+/// Convenience: a collector that resolves a [`Promise`] with all replies.
+pub fn gather<T: Send + 'static>(
+    expected: usize,
+) -> (Collector<T, impl FnOnce(Vec<T>) + Send + 'static>, Promise<Vec<T>>) {
+    let (tx, rx) = bounded(1);
+    let collector = Collector::new(expected, move |items: Vec<T>| {
+        let _ = tx.send(items);
+    });
+    (collector, Promise { rx })
+}
+
+#[allow(dead_code)]
+pub(crate) fn promise_from_channel<T>(rx: Receiver<T>) -> Promise<T> {
+    Promise { rx }
+}
+
+#[allow(dead_code)]
+pub(crate) fn channel_pair<T>() -> (Sender<T>, Promise<T>) {
+    let (tx, rx) = bounded(1);
+    (tx, Promise { rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promise_resolves() {
+        let (sink, promise) = ReplyTo::<u32>::promise();
+        sink.deliver(7);
+        assert_eq!(promise.wait(), Ok(7));
+    }
+
+    #[test]
+    fn dropped_sink_is_lost() {
+        let (sink, promise) = ReplyTo::<u32>::promise();
+        drop(sink);
+        assert_eq!(promise.wait(), Err(PromiseError::Lost));
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let (_sink, promise) = ReplyTo::<u32>::promise();
+        assert_eq!(
+            promise.wait_for(Duration::from_millis(10)),
+            Err(PromiseError::Timeout)
+        );
+    }
+
+    #[test]
+    fn ignore_discards() {
+        ReplyTo::<String>::Ignore.deliver("dropped".into());
+    }
+
+    #[test]
+    fn collector_completes_on_last_reply() {
+        let (collector, promise) = gather::<u32>(3);
+        collector.slot().deliver(1);
+        collector.slot().deliver(2);
+        assert!(promise.try_take().is_none());
+        collector.slot().deliver(3);
+        let mut got = promise.wait().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_collector_completes_immediately() {
+        let (_collector, promise) = gather::<u32>(0);
+        assert_eq!(promise.wait().unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn collector_from_many_threads() {
+        let n = 64;
+        let (collector, promise) = gather::<usize>(n);
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let slot = collector.slot();
+                std::thread::spawn(move || slot.deliver(i))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = promise.wait().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resolved_promise() {
+        assert_eq!(resolved(42).wait(), Ok(42));
+    }
+}

@@ -1,0 +1,788 @@
+//! The runtime: type registry, dispatch, lifecycle management, and the
+//! public [`Runtime`] / [`RuntimeBuilder`] / [`ActorRef`] API.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use crate::actor::{Actor, AnyActor, Handler, Message};
+use crate::directory::Directory;
+use crate::envelope::Envelope;
+use crate::error::{CallError, SendError};
+use crate::identity::{ActorId, ActorKey, ActorTypeId, Origin, SiloId};
+use crate::mailbox::PushOutcome;
+use crate::metrics::{RuntimeMetrics, RuntimeMetricsSnapshot};
+use crate::net::{clock_channel, clock_loop, ClockHandle, NetConfig, TimerHandle};
+use crate::placement::{Placement, PreferLocalPlacement};
+use crate::promise::{Promise, ReplyTo};
+use crate::silo::{finalize_deactivation, worker_loop, Activation, SiloConfig, SiloUnit};
+
+/// How many times dispatch re-resolves an activation after losing a race
+/// with deactivation. Each retry creates a fresh activation, so more than a
+/// couple of iterations indicates a misconfigured idle timeout.
+const DISPATCH_RETRIES: usize = 16;
+
+type Factory = Arc<dyn Fn(&ActorId) -> Box<dyn AnyActor> + Send + Sync>;
+
+struct TypeEntry {
+    name: &'static str,
+    factory: Factory,
+}
+
+#[derive(Default)]
+struct Registry {
+    entries: RwLock<Vec<TypeEntry>>,
+}
+
+impl Registry {
+    fn register(&self, name: &'static str, factory: Factory) -> ActorTypeId {
+        let mut entries = self.entries.write();
+        if let Some(pos) = entries.iter().position(|e| e.name == name) {
+            // Re-registration replaces the factory: this supports tests that
+            // rebuild fixtures, and matches Orleans' last-writer-wins code
+            // deployment semantics.
+            entries[pos].factory = factory;
+            return ActorTypeId(pos as u16);
+        }
+        assert!(entries.len() < u16::MAX as usize, "too many actor types");
+        entries.push(TypeEntry { name, factory });
+        ActorTypeId((entries.len() - 1) as u16)
+    }
+
+    fn lookup(&self, name: &'static str) -> Option<ActorTypeId> {
+        self.entries
+            .read()
+            .iter()
+            .position(|e| e.name == name)
+            .map(|i| ActorTypeId(i as u16))
+    }
+
+    fn factory(&self, type_id: ActorTypeId) -> Option<Factory> {
+        self.entries.read().get(type_id.index()).map(|e| Arc::clone(&e.factory))
+    }
+
+    fn name(&self, type_id: ActorTypeId) -> Option<&'static str> {
+        self.entries.read().get(type_id.index()).map(|e| e.name)
+    }
+}
+
+/// What happens to an activation whose handler panicked.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PanicPolicy {
+    /// Keep the activation alive with its in-memory state (the message
+    /// that panicked is lost; its reply resolves as `Lost`).
+    #[default]
+    Keep,
+    /// Deactivate the activation after the faulted turn **without**
+    /// running `on_deactivate` (the in-memory state is suspect, so it is
+    /// not flushed); the next message re-activates from the last durable
+    /// state — Orleans' faulted-grain behaviour.
+    Deactivate,
+}
+
+/// Runtime-wide configuration derived from the builder.
+pub(crate) struct CoreConfig {
+    /// Max envelopes one scheduling slice processes before yielding.
+    pub max_batch: usize,
+    /// Activations idle longer than this are reclaimed; `None` disables
+    /// idle deactivation.
+    pub idle_timeout: Option<Duration>,
+    /// How often the janitor scans for idle activations.
+    pub janitor_interval: Duration,
+    /// Faulted-activation policy.
+    pub panic_policy: PanicPolicy,
+}
+
+/// Shared state of the runtime; everything threads need.
+pub(crate) struct RuntimeCore {
+    pub silos: Vec<SiloUnit>,
+    pub directory: Directory,
+    registry: Registry,
+    placement: Box<dyn Placement>,
+    pub clock: ClockHandle,
+    pub config: CoreConfig,
+    pub metrics: RuntimeMetrics,
+    /// Refuses *client* dispatches once shutdown begins, while letting
+    /// in-flight actor-to-actor cascades complete.
+    accepting: AtomicBool,
+    shutdown: AtomicBool,
+    start: Instant,
+}
+
+impl RuntimeCore {
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    pub fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// Typed reference construction (shared by `Runtime`, handles, and
+    /// actor contexts).
+    pub(crate) fn typed_ref<A: Actor>(
+        self: &Arc<Self>,
+        key: ActorKey,
+        origin: Origin,
+    ) -> Result<ActorRef<A>, SendError> {
+        let type_id = self
+            .registry
+            .lookup(A::TYPE_NAME)
+            .ok_or_else(|| SendError::NotRegistered(A::TYPE_NAME.to_string()))?;
+        Ok(ActorRef {
+            core: Arc::clone(self),
+            id: ActorId::new(type_id, key),
+            origin,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Dispatch with network-latency accounting.
+    pub(crate) fn dispatch(
+        self: &Arc<Self>,
+        id: ActorId,
+        env: Envelope,
+        origin: Origin,
+    ) -> Result<(), SendError> {
+        self.dispatch_inner(id, env, origin, true)
+    }
+
+    /// Dispatch that never charges latency (deliveries whose latency was
+    /// already paid, timers, self-notifications).
+    pub(crate) fn dispatch_free(
+        self: &Arc<Self>,
+        id: ActorId,
+        env: Envelope,
+        origin: Origin,
+    ) -> Result<(), SendError> {
+        self.dispatch_inner(id, env, origin, false)
+    }
+
+    fn dispatch_inner(
+        self: &Arc<Self>,
+        id: ActorId,
+        mut env: Envelope,
+        origin: Origin,
+        charge_latency: bool,
+    ) -> Result<(), SendError> {
+        if self.is_shutdown() {
+            return Err(SendError::RuntimeShutdown);
+        }
+        if origin == Origin::Client && !self.accepting.load(Ordering::Acquire) {
+            return Err(SendError::RuntimeShutdown);
+        }
+        for _ in 0..DISPATCH_RETRIES {
+            let act = self.lookup_or_activate(&id, origin)?;
+            if charge_latency {
+                if let Some(delay) = self.clock.hop_delay(origin, act.silo) {
+                    self.metrics.remote_messages.fetch_add(1, Ordering::Relaxed);
+                    // Redeliver as if originating on the target silo so the
+                    // hop is charged exactly once.
+                    self.clock.deliver_after(id, Origin::Silo(act.silo), env, delay);
+                    return Ok(());
+                }
+            }
+            self.metrics.local_messages.fetch_add(1, Ordering::Relaxed);
+            match act.mailbox.push(env) {
+                PushOutcome::Enqueued => return Ok(()),
+                PushOutcome::EnqueuedNeedsSchedule => {
+                    self.silos[act.silo.index()].enqueue_run(Arc::clone(&act));
+                    return Ok(());
+                }
+                PushOutcome::Retired(back) => {
+                    // Lost the race with deactivation: unlink the corpse and
+                    // retry, which re-activates.
+                    self.directory.remove_entry(&id, &act);
+                    env = back;
+                }
+            }
+        }
+        Err(SendError::ActivationRace)
+    }
+
+    fn lookup_or_activate(
+        self: &Arc<Self>,
+        id: &ActorId,
+        origin: Origin,
+    ) -> Result<Arc<Activation>, SendError> {
+        if let Some(act) = self.directory.get(id) {
+            return Ok(act);
+        }
+        let factory = self.registry.factory(id.type_id).ok_or_else(|| {
+            SendError::NotRegistered(format!("type #{}", id.type_id.index()))
+        })?;
+        let silo = self.placement.place(id, origin, self.silos.len());
+        let now = self.now_ms();
+        let (act, created) = self.directory.get_or_insert_with(id, || {
+            Arc::new(Activation::new(id.clone(), silo, factory(id), now))
+        });
+        if created {
+            self.metrics.activations.fetch_add(1, Ordering::Relaxed);
+            // The mailbox was born Scheduled holding the activate turn;
+            // this is its one matching run-queue insertion.
+            self.silos[act.silo.index()].enqueue_run(Arc::clone(&act));
+        }
+        Ok(act)
+    }
+
+    /// Retires (if needed) and finalizes one activation.
+    pub(crate) fn deactivate(self: &Arc<Self>, act: &Arc<Activation>) {
+        // Unlink first so new messages create a fresh activation instead of
+        // piling onto the retired mailbox.
+        self.directory.remove_entry(&act.id, act);
+        finalize_deactivation(self, act);
+    }
+
+    /// Discards a faulted activation without running `on_deactivate`
+    /// (its in-memory state is suspect and must not be flushed).
+    pub(crate) fn discard_faulted(self: &Arc<Self>, act: &Arc<Activation>) {
+        self.directory.remove_entry(&act.id, act);
+        crate::silo::discard_activation(self, act);
+    }
+
+    pub(crate) fn schedule_delayed(self: &Arc<Self>, id: ActorId, env: Envelope, delay: Duration) {
+        // Deliver with a placement hint of "wherever it was" — Origin::Client
+        // placement fallback is deterministic hashing.
+        self.clock.deliver_after(id, Origin::Client, env, delay);
+    }
+
+    fn janitor_pass(self: &Arc<Self>) {
+        let Some(idle) = self.config.idle_timeout else { return };
+        let now = self.now_ms();
+        let cutoff = now.saturating_sub(idle.as_millis() as u64);
+        for act in self.directory.collect_idle(cutoff) {
+            if act.mailbox.try_retire() {
+                self.deactivate(&act);
+            }
+        }
+    }
+}
+
+fn janitor_loop(core: Arc<RuntimeCore>) {
+    loop {
+        std::thread::sleep(core.config.janitor_interval);
+        if core.is_shutdown() {
+            return;
+        }
+        core.janitor_pass();
+    }
+}
+
+/// Builder for a [`Runtime`].
+pub struct RuntimeBuilder {
+    silos: Vec<SiloConfig>,
+    placement: Box<dyn Placement>,
+    net: NetConfig,
+    max_batch: usize,
+    idle_timeout: Option<Duration>,
+    janitor_interval: Duration,
+    panic_policy: PanicPolicy,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuntimeBuilder {
+    /// Starts from a single 2-worker silo, prefer-local placement, no
+    /// simulated network, no idle deactivation.
+    pub fn new() -> Self {
+        RuntimeBuilder {
+            silos: vec![SiloConfig::default()],
+            placement: Box::new(PreferLocalPlacement),
+            net: NetConfig::disabled(),
+            max_batch: 16,
+            idle_timeout: None,
+            janitor_interval: Duration::from_millis(100),
+            panic_policy: PanicPolicy::Keep,
+        }
+    }
+
+    /// Replaces the silo layout with `count` identical silos of
+    /// `workers_each` worker threads.
+    pub fn silos(mut self, count: usize, workers_each: usize) -> Self {
+        assert!(count > 0, "at least one silo required");
+        assert!(workers_each > 0, "at least one worker per silo required");
+        self.silos = vec![SiloConfig { workers: workers_each }; count];
+        self
+    }
+
+    /// Appends one silo with the given worker count (heterogeneous
+    /// clusters).
+    pub fn add_silo(mut self, workers: usize) -> Self {
+        assert!(workers > 0);
+        self.silos.push(SiloConfig { workers });
+        self
+    }
+
+    /// Sets the placement strategy.
+    pub fn placement(mut self, p: impl Placement) -> Self {
+        self.placement = Box::new(p);
+        self
+    }
+
+    /// Sets the simulated-network profile.
+    pub fn network(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Enables idle deactivation after `timeout` of inactivity.
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// How often the janitor scans for idle activations.
+    pub fn janitor_interval(mut self, interval: Duration) -> Self {
+        self.janitor_interval = interval;
+        self
+    }
+
+    /// Max envelopes per scheduling slice (fairness/throughput knob).
+    pub fn max_batch(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.max_batch = n;
+        self
+    }
+
+    /// Sets what happens to activations whose handlers panic.
+    pub fn panic_policy(mut self, policy: PanicPolicy) -> Self {
+        self.panic_policy = policy;
+        self
+    }
+
+    /// Spawns worker, clock, and janitor threads and returns the runtime.
+    pub fn build(self) -> Runtime {
+        let (clock, clock_rx) = clock_channel(self.net);
+        let core = Arc::new(RuntimeCore {
+            silos: self
+                .silos
+                .iter()
+                .enumerate()
+                .map(|(i, cfg)| SiloUnit::new(SiloId(i as u32), *cfg))
+                .collect(),
+            directory: Directory::new(),
+            registry: Registry::default(),
+            placement: self.placement,
+            clock,
+            config: CoreConfig {
+                max_batch: self.max_batch,
+                idle_timeout: self.idle_timeout,
+                janitor_interval: self.janitor_interval,
+                panic_policy: self.panic_policy,
+            },
+            metrics: RuntimeMetrics::default(),
+            accepting: AtomicBool::new(true),
+            shutdown: AtomicBool::new(false),
+            start: Instant::now(),
+        });
+
+        let mut threads = Vec::new();
+        for silo in &core.silos {
+            for w in 0..silo.config.workers {
+                let core = Arc::clone(&core);
+                let silo_id = silo.id;
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("aodb-{silo_id}-w{w}"))
+                        .spawn(move || worker_loop(core, silo_id))
+                        .expect("spawn worker"),
+                );
+            }
+        }
+        {
+            let weak = Arc::downgrade(&core);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("aodb-clock".into())
+                    .spawn(move || clock_loop(weak, clock_rx))
+                    .expect("spawn clock"),
+            );
+        }
+        {
+            let core = Arc::clone(&core);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("aodb-janitor".into())
+                    .spawn(move || janitor_loop(core))
+                    .expect("spawn janitor"),
+            );
+        }
+        Runtime { core, threads: Some(threads) }
+    }
+}
+
+/// A running actor-oriented database runtime.
+///
+/// Dropping the runtime performs an orderly shutdown: client traffic is
+/// refused, in-flight work drains, every activation is deactivated (running
+/// `on_deactivate`, where persistent actors flush state), and all threads
+/// join.
+pub struct Runtime {
+    core: Arc<RuntimeCore>,
+    threads: Option<Vec<JoinHandle<()>>>,
+}
+
+impl Runtime {
+    /// Entry point: a builder with sensible defaults.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::new()
+    }
+
+    /// Single-silo runtime with `workers` threads; the common test fixture.
+    pub fn single(workers: usize) -> Runtime {
+        RuntimeBuilder::new().silos(1, workers).build()
+    }
+
+    /// Registers actor type `A` with its activation factory. The factory
+    /// runs when a message targets an identity with no live activation.
+    pub fn register<A: Actor>(
+        &self,
+        factory: impl Fn(&ActorId) -> A + Send + Sync + 'static,
+    ) -> ActorTypeId {
+        self.core
+            .registry
+            .register(A::TYPE_NAME, Arc::new(move |id| Box::new(factory(id))))
+    }
+
+    /// Typed reference from an external client (pays client latency if the
+    /// network profile defines one).
+    pub fn actor_ref<A: Actor>(&self, key: impl Into<ActorKey>) -> ActorRef<A> {
+        self.try_actor_ref(key).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Runtime::actor_ref`].
+    pub fn try_actor_ref<A: Actor>(
+        &self,
+        key: impl Into<ActorKey>,
+    ) -> Result<ActorRef<A>, SendError> {
+        self.core.typed_ref(key.into(), Origin::Client)
+    }
+
+    /// A client handle with silo affinity: references minted from it
+    /// originate on `silo`, modelling a co-located ingest gateway
+    /// (prefer-local placement will pin new activations there).
+    pub fn handle_on(&self, silo: SiloId) -> RuntimeHandle {
+        assert!(silo.index() < self.core.silos.len(), "no such silo: {silo}");
+        RuntimeHandle { core: Arc::clone(&self.core), origin: Origin::Silo(silo) }
+    }
+
+    /// A plain external-client handle.
+    pub fn handle(&self) -> RuntimeHandle {
+        RuntimeHandle { core: Arc::clone(&self.core), origin: Origin::Client }
+    }
+
+    /// Number of silos.
+    pub fn silo_count(&self) -> usize {
+        self.core.silos.len()
+    }
+
+    /// Number of live activations.
+    pub fn active_actors(&self) -> usize {
+        self.core.directory.len()
+    }
+
+    /// Runtime counter snapshot.
+    pub fn metrics(&self) -> RuntimeMetricsSnapshot {
+        self.core.metrics.read()
+    }
+
+    /// Registered name of an actor type id, if any (diagnostics).
+    pub fn type_name(&self, type_id: ActorTypeId) -> Option<&'static str> {
+        self.core.registry.name(type_id)
+    }
+
+    /// Schedules `msg` to `target` every `every`, until cancelled. The
+    /// message is rebuilt via `Clone` for each firing.
+    pub fn schedule_interval<A, M>(
+        &self,
+        target: &ActorRef<A>,
+        msg: M,
+        every: Duration,
+    ) -> TimerHandle
+    where
+        A: Actor + Handler<M>,
+        M: Message + Clone,
+    {
+        let make = Box::new(move || Envelope::of::<A, M>(msg.clone(), ReplyTo::Ignore));
+        self.core.clock.repeat(target.id.clone(), make, every)
+    }
+
+    /// Blocks until all mailboxes are drained or `timeout` elapses.
+    /// Returns whether the system quiesced.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut calm_rounds = 0;
+        while Instant::now() < deadline {
+            let busy_queue = self.core.silos.iter().any(|s| s.queue_len() > 0);
+            let busy_mail = self
+                .core
+                .directory
+                .collect_all()
+                .iter()
+                .any(|a| !a.mailbox.is_quiescent());
+            if !busy_queue && !busy_mail {
+                calm_rounds += 1;
+                if calm_rounds >= 3 {
+                    return true;
+                }
+            } else {
+                calm_rounds = 0;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
+    /// Orderly shutdown (also performed on drop). Refuses new client
+    /// traffic, waits up to `drain` for in-flight work, deactivates all
+    /// activations (persisting their state), and joins all threads.
+    pub fn shutdown_with_drain(mut self, drain: Duration) {
+        self.shutdown_impl(drain);
+    }
+
+    /// [`Runtime::shutdown_with_drain`] with a 5 s drain budget.
+    pub fn shutdown(self) {
+        self.shutdown_with_drain(Duration::from_secs(5));
+    }
+
+    fn shutdown_impl(&mut self, drain: Duration) {
+        let Some(threads) = self.threads.take() else { return };
+        self.core.accepting.store(false, Ordering::Release);
+        self.quiesce(drain);
+
+        // Deactivate until the directory is empty: turns may still be
+        // finishing, and `on_deactivate` hooks may themselves send
+        // messages that create *new* activations (e.g. a gateway draining
+        // its buffer into channel actors), which must also be deactivated
+        // — hence the re-collect loop rather than a one-shot snapshot.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let activations = self.core.directory.collect_all();
+            if activations.is_empty() {
+                break;
+            }
+            let mut progressed = false;
+            for act in &activations {
+                if act.mailbox.try_retire() {
+                    self.core.deactivate(act);
+                    progressed = true;
+                }
+            }
+            if Instant::now() > deadline {
+                break; // stuck activations: abandon rather than hang
+            }
+            if !progressed {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+
+        self.core.shutdown.store(true, Ordering::Release);
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown_impl(Duration::from_secs(5));
+    }
+}
+
+/// A clonable client handle with a fixed message origin.
+#[derive(Clone)]
+pub struct RuntimeHandle {
+    core: Arc<RuntimeCore>,
+    origin: Origin,
+}
+
+impl RuntimeHandle {
+    /// Typed reference originating at this handle's origin.
+    pub fn actor_ref<A: Actor>(&self, key: impl Into<ActorKey>) -> ActorRef<A> {
+        self.try_actor_ref(key).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`RuntimeHandle::actor_ref`].
+    pub fn try_actor_ref<A: Actor>(
+        &self,
+        key: impl Into<ActorKey>,
+    ) -> Result<ActorRef<A>, SendError> {
+        self.core.typed_ref(key.into(), self.origin)
+    }
+
+    /// The origin this handle stamps on messages.
+    pub fn origin(&self) -> Origin {
+        self.origin
+    }
+}
+
+/// Typed reference to a virtual actor.
+///
+/// References are cheap to clone and never dangle: the target is an
+/// *identity*, not an activation, so a reference made before the actor's
+/// first activation (or after a deactivation) works transparently.
+pub struct ActorRef<A: Actor> {
+    core: Arc<RuntimeCore>,
+    id: ActorId,
+    origin: Origin,
+    _marker: PhantomData<fn(A)>,
+}
+
+impl<A: Actor> Clone for ActorRef<A> {
+    fn clone(&self) -> Self {
+        ActorRef {
+            core: Arc::clone(&self.core),
+            id: self.id.clone(),
+            origin: self.origin,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<A: Actor> std::fmt::Debug for ActorRef<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ActorRef<{}>({})", A::TYPE_NAME, self.id)
+    }
+}
+
+impl<A: Actor> ActorRef<A> {
+    /// The target identity.
+    pub fn id(&self) -> &ActorId {
+        &self.id
+    }
+
+    /// The target key.
+    pub fn key(&self) -> &ActorKey {
+        &self.id.key
+    }
+
+    /// One-way send; the reply (if the handler produces one) is discarded.
+    pub fn tell<M>(&self, msg: M) -> Result<(), SendError>
+    where
+        A: Handler<M>,
+        M: Message,
+    {
+        self.core
+            .dispatch(self.id.clone(), Envelope::of::<A, M>(msg, ReplyTo::Ignore), self.origin)
+    }
+
+    /// Request/response: returns a promise for the reply.
+    pub fn ask<M>(&self, msg: M) -> Result<Promise<M::Reply>, SendError>
+    where
+        A: Handler<M>,
+        M: Message,
+    {
+        let (sink, promise) = ReplyTo::promise();
+        self.core
+            .dispatch(self.id.clone(), Envelope::of::<A, M>(msg, sink), self.origin)?;
+        Ok(promise)
+    }
+
+    /// Request/response with an explicit reply sink (collector slots,
+    /// forwarding into other actors' mailboxes, …).
+    pub fn ask_with<M>(&self, msg: M, reply: ReplyTo<M::Reply>) -> Result<(), SendError>
+    where
+        A: Handler<M>,
+        M: Message,
+    {
+        self.core
+            .dispatch(self.id.clone(), Envelope::of::<A, M>(msg, reply), self.origin)
+    }
+
+    /// Blocking request/response for external clients. Do **not** call from
+    /// inside actor handlers — use [`ActorRef::ask_with`] plus a
+    /// [`crate::Collector`] instead.
+    pub fn call<M>(&self, msg: M) -> Result<M::Reply, CallError>
+    where
+        A: Handler<M>,
+        M: Message,
+    {
+        Ok(self.ask(msg)?.wait()?)
+    }
+
+    /// Blocking request/response with a timeout.
+    pub fn call_timeout<M>(&self, msg: M, timeout: Duration) -> Result<M::Reply, CallError>
+    where
+        A: Handler<M>,
+        M: Message,
+    {
+        Ok(self.ask(msg)?.wait_for(timeout)?)
+    }
+
+    /// Type-erased recipient for message type `M`: lets heterogeneous actor
+    /// types (e.g. every participant of a transaction) be addressed
+    /// uniformly.
+    pub fn recipient<M>(&self) -> Recipient<M>
+    where
+        A: Handler<M>,
+        M: Message,
+    {
+        Recipient {
+            core: Arc::clone(&self.core),
+            id: self.id.clone(),
+            origin: self.origin,
+            make: Envelope::of::<A, M>,
+        }
+    }
+}
+
+/// Type-erased, message-typed actor reference.
+///
+/// A `Recipient<M>` can address any actor type handling `M`, which is what
+/// multi-actor machinery (transactions, workflows, indexes) needs.
+pub struct Recipient<M: Message> {
+    core: Arc<RuntimeCore>,
+    id: ActorId,
+    origin: Origin,
+    make: fn(M, ReplyTo<M::Reply>) -> Envelope,
+}
+
+impl<M: Message> Clone for Recipient<M> {
+    fn clone(&self) -> Self {
+        Recipient {
+            core: Arc::clone(&self.core),
+            id: self.id.clone(),
+            origin: self.origin,
+            make: self.make,
+        }
+    }
+}
+
+impl<M: Message> std::fmt::Debug for Recipient<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Recipient({})", self.id)
+    }
+}
+
+impl<M: Message> Recipient<M> {
+    /// The target identity.
+    pub fn id(&self) -> &ActorId {
+        &self.id
+    }
+
+    /// One-way send.
+    pub fn tell(&self, msg: M) -> Result<(), SendError> {
+        self.core
+            .dispatch(self.id.clone(), (self.make)(msg, ReplyTo::Ignore), self.origin)
+    }
+
+    /// Request/response.
+    pub fn ask(&self, msg: M) -> Result<Promise<M::Reply>, SendError> {
+        let (sink, promise) = ReplyTo::promise();
+        self.core.dispatch(self.id.clone(), (self.make)(msg, sink), self.origin)?;
+        Ok(promise)
+    }
+
+    /// Request/response with an explicit reply sink.
+    pub fn ask_with(&self, msg: M, reply: ReplyTo<M::Reply>) -> Result<(), SendError> {
+        self.core.dispatch(self.id.clone(), (self.make)(msg, reply), self.origin)
+    }
+}

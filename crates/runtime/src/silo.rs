@@ -1,0 +1,202 @@
+//! Silos: the simulated servers of the cluster.
+//!
+//! Orleans deploys one silo per VM; grain activations live inside silos and
+//! all application logic runs on silo threads. Here a [`SiloUnit`] is a
+//! worker pool plus a run queue. The worker count models the server's CPU
+//! capacity (the paper's m5.large vs m5.xlarge distinction becomes a
+//! worker-count ratio), and cross-silo messages pay simulated network
+//! latency, so scale-out behaviour (Figure 7) is preserved in-process.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::actor::{ActorContext, AnyActor};
+use crate::envelope::{Envelope, EnvelopeKind};
+use crate::identity::{ActorId, SiloId};
+use crate::mailbox::{Mailbox, TurnOutcome};
+use crate::runtime::RuntimeCore;
+
+/// Sizing of one silo.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiloConfig {
+    /// Number of worker threads (the silo's "CPU cores").
+    pub workers: usize,
+}
+
+impl Default for SiloConfig {
+    fn default() -> Self {
+        SiloConfig { workers: 2 }
+    }
+}
+
+/// One in-memory activation of a virtual actor.
+pub(crate) struct Activation {
+    pub id: ActorId,
+    pub silo: SiloId,
+    pub mailbox: Mailbox,
+    /// `None` once deactivated. The mutex is uncontended in steady state —
+    /// the mailbox state machine ensures a single worker runs the actor —
+    /// but protects the worker/janitor handoff during deactivation.
+    actor: Mutex<Option<Box<dyn AnyActor>>>,
+    last_activity_ms: AtomicU64,
+}
+
+impl Activation {
+    pub fn new(id: ActorId, silo: SiloId, actor: Box<dyn AnyActor>, now_ms: u64) -> Self {
+        Activation {
+            id,
+            silo,
+            mailbox: Mailbox::new_scheduled_with(Envelope::lifecycle_activate()),
+            actor: Mutex::new(Some(actor)),
+            last_activity_ms: AtomicU64::new(now_ms),
+        }
+    }
+
+    pub fn last_activity_ms(&self) -> u64 {
+        self.last_activity_ms.load(Ordering::Relaxed)
+    }
+
+    pub fn touch(&self, now_ms: u64) {
+        self.last_activity_ms.store(now_ms, Ordering::Relaxed);
+    }
+}
+
+/// The shared (non-thread) part of a silo.
+pub(crate) struct SiloUnit {
+    pub id: SiloId,
+    pub config: SiloConfig,
+    run_tx: Sender<Arc<Activation>>,
+    run_rx: Receiver<Arc<Activation>>,
+}
+
+impl SiloUnit {
+    pub fn new(id: SiloId, config: SiloConfig) -> Self {
+        let (run_tx, run_rx) = unbounded();
+        SiloUnit { id, config, run_tx, run_rx }
+    }
+
+    /// Puts an activation on this silo's run queue.
+    pub fn enqueue_run(&self, act: Arc<Activation>) {
+        // The receiver lives as long as the silo; send can only fail during
+        // teardown, when dropping the work is correct.
+        let _ = self.run_tx.send(act);
+    }
+
+    /// Pending run-queue length (diagnostics only).
+    pub fn queue_len(&self) -> usize {
+        self.run_rx.len()
+    }
+}
+
+/// Body of each worker thread.
+pub(crate) fn worker_loop(core: Arc<RuntimeCore>, silo: SiloId) {
+    let rx = core.silos[silo.index()].run_rx.clone();
+    let mut batch: Vec<Envelope> = Vec::with_capacity(core.config.max_batch);
+    loop {
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(act) => run_activation_slice(&core, &act, &mut batch),
+            Err(RecvTimeoutError::Timeout) => {
+                if core.is_shutdown() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Runs one scheduling slice (up to `max_batch` turns) of an activation.
+pub(crate) fn run_activation_slice(
+    core: &Arc<RuntimeCore>,
+    act: &Arc<Activation>,
+    batch: &mut Vec<Envelope>,
+) {
+    batch.clear();
+    act.mailbox.drain_batch(core.config.max_batch, batch);
+    let discard_on_panic =
+        core.config.panic_policy == crate::runtime::PanicPolicy::Deactivate;
+    let mut deactivate = false;
+    let mut faulted = false;
+    let mut processed = 0u64;
+    // Envelopes salvaged from a faulted slice, re-dispatched to a fresh
+    // activation below.
+    let mut leftover: Vec<Envelope> = Vec::new();
+    {
+        let mut guard = act.actor.lock();
+        let actor = match guard.as_mut() {
+            Some(a) => a,
+            // Deactivated between scheduling and execution (shutdown path);
+            // drop the messages — their reply sinks resolve as Lost.
+            None => return,
+        };
+        for env in batch.drain(..) {
+            if faulted && discard_on_panic {
+                // An earlier turn in this slice corrupted the actor: run
+                // nothing further against it; salvage instead.
+                leftover.push(env);
+                continue;
+            }
+            let kind = env.kind();
+            let mut ctx = ActorContext::new(core, &act.id, act.silo);
+            let outcome = catch_unwind(AssertUnwindSafe(|| env.run(actor.as_mut(), &mut ctx)));
+            if outcome.is_err() {
+                core.metrics.handler_panics.fetch_add(1, Ordering::Relaxed);
+                faulted = true;
+            }
+            if kind == EnvelopeKind::User {
+                processed += 1;
+            }
+            deactivate |= ctx.deactivate_requested;
+        }
+    }
+    if processed > 0 {
+        core.metrics.messages_processed.fetch_add(processed, Ordering::Relaxed);
+    }
+    act.touch(core.now_ms());
+    if faulted && discard_on_panic {
+        // Orleans faulted-grain behaviour: discard this activation right
+        // away (without flushing its suspect state) and re-dispatch the
+        // salvaged and still-queued messages to a fresh activation built
+        // from the last durable state.
+        leftover.extend(act.mailbox.retire_and_drain());
+        core.discard_faulted(act);
+        for env in leftover {
+            let _ = core.dispatch_free(act.id.clone(), env, crate::identity::Origin::Silo(act.silo));
+        }
+        return;
+    }
+    match act.mailbox.finish_turn(deactivate) {
+        TurnOutcome::Drained => {}
+        TurnOutcome::MorePending => core.silos[act.silo.index()].enqueue_run(Arc::clone(act)),
+        TurnOutcome::RetiredForDeactivation => core.deactivate(act),
+    }
+}
+
+/// Drops a faulted actor instance *without* running `on_deactivate`:
+/// its in-memory state is suspect after a panic and must not overwrite
+/// the last durable state.
+pub(crate) fn discard_activation(core: &Arc<RuntimeCore>, act: &Arc<Activation>) {
+    debug_assert!(act.mailbox.is_retired());
+    if act.actor.lock().take().is_some() {
+        core.metrics.deactivations.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs `on_deactivate` and drops the actor instance. The caller must have
+/// retired the mailbox first (so no worker can be executing the actor).
+pub(crate) fn finalize_deactivation(core: &Arc<RuntimeCore>, act: &Arc<Activation>) {
+    debug_assert!(act.mailbox.is_retired());
+    let taken = act.actor.lock().take();
+    if let Some(mut actor) = taken {
+        let mut ctx = ActorContext::new(core, &act.id, act.silo);
+        if catch_unwind(AssertUnwindSafe(|| actor.deactivate(&mut ctx))).is_err() {
+            core.metrics.handler_panics.fetch_add(1, Ordering::Relaxed);
+        }
+        core.metrics.deactivations.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,145 @@
+//! Edge-case tests: post-shutdown sends, client network latency, run-queue
+//! fairness under flooding, and misuse panics.
+
+use std::time::{Duration, Instant};
+
+use aodb_runtime::{
+    Actor, ActorContext, Handler, LatencyModel, Message, NetConfig, Runtime, SendError,
+};
+
+struct Echo;
+impl Actor for Echo {
+    const TYPE_NAME: &'static str = "edge.echo";
+}
+
+#[derive(Clone)]
+struct Ping;
+impl Message for Ping {
+    type Reply = u64;
+}
+impl Handler<Ping> for Echo {
+    fn handle(&mut self, _msg: Ping, _ctx: &mut ActorContext<'_>) -> u64 {
+        7
+    }
+}
+
+#[test]
+fn handles_outliving_the_runtime_fail_cleanly() {
+    let rt = Runtime::single(1);
+    rt.register(|_id| Echo);
+    let handle = rt.handle();
+    let actor = handle.actor_ref::<Echo>("e");
+    assert_eq!(actor.call(Ping).unwrap(), 7);
+    rt.shutdown();
+    // The clone of the core is still alive, but the runtime is down:
+    // every operation reports shutdown instead of hanging or panicking.
+    assert_eq!(actor.tell(Ping), Err(SendError::RuntimeShutdown));
+    assert!(matches!(
+        handle.actor_ref::<Echo>("other").ask(Ping),
+        Err(SendError::RuntimeShutdown)
+    ));
+}
+
+#[test]
+fn client_latency_is_charged_to_plain_clients_only() {
+    let rt = Runtime::builder()
+        .silos(1, 1)
+        .network(NetConfig {
+            cross_silo: None,
+            client: Some(LatencyModel::fixed(Duration::from_millis(15))),
+        })
+        .build();
+    rt.register(|_id| Echo);
+
+    let plain = rt.actor_ref::<Echo>("c");
+    plain.call(Ping).unwrap(); // activation
+    let t0 = Instant::now();
+    plain.call(Ping).unwrap();
+    assert!(
+        t0.elapsed() >= Duration::from_millis(13),
+        "plain client must pay the client hop, took {:?}",
+        t0.elapsed()
+    );
+
+    // A silo-affine gateway models a co-located proxy: no client hop.
+    let local = rt.handle_on(aodb_runtime::SiloId(0)).actor_ref::<Echo>("c");
+    let t0 = Instant::now();
+    local.call(Ping).unwrap();
+    assert!(
+        t0.elapsed() < Duration::from_millis(10),
+        "affine gateway must not pay the client hop, took {:?}",
+        t0.elapsed()
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn flooded_actor_does_not_starve_neighbours() {
+    // One worker, small batch: a flooded actor must be time-sliced so a
+    // second actor still gets turns promptly.
+    let rt = Runtime::builder().silos(1, 1).max_batch(8).build();
+    rt.register(|_id| Echo);
+    let flooded = rt.actor_ref::<Echo>("flooded");
+    let bystander = rt.actor_ref::<Echo>("bystander");
+    bystander.call(Ping).unwrap(); // pre-activate
+
+    for _ in 0..20_000 {
+        flooded.tell(Ping).unwrap();
+    }
+    let t0 = Instant::now();
+    let reply = bystander.call_timeout(Ping, Duration::from_secs(5));
+    assert_eq!(reply.unwrap(), 7);
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "bystander starved for {:?}",
+        t0.elapsed()
+    );
+    rt.shutdown();
+}
+
+#[test]
+#[should_panic(expected = "no such silo")]
+fn handle_on_unknown_silo_panics() {
+    let rt = Runtime::single(1);
+    let _ = rt.handle_on(aodb_runtime::SiloId(5));
+}
+
+#[test]
+fn quiesce_reports_failure_when_work_never_drains() {
+    struct SelfPerpetuating;
+    impl Actor for SelfPerpetuating {
+        const TYPE_NAME: &'static str = "edge.perpetual";
+    }
+    struct Spin;
+    impl Message for Spin {
+        type Reply = ();
+    }
+    impl Handler<Spin> for SelfPerpetuating {
+        fn handle(&mut self, _msg: Spin, ctx: &mut ActorContext<'_>) {
+            // Re-sends to itself forever.
+            let me = ctx.actor_ref::<SelfPerpetuating>(ctx.key().clone());
+            let _ = me.tell(Spin);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let rt = Runtime::single(1);
+    rt.register(|_id| SelfPerpetuating);
+    rt.actor_ref::<SelfPerpetuating>("p").tell(Spin).unwrap();
+    assert!(
+        !rt.quiesce(Duration::from_millis(300)),
+        "quiesce must report a system that never drains"
+    );
+    rt.shutdown_with_drain(Duration::from_millis(100));
+}
+
+#[test]
+fn duplicate_registration_replaces_factory() {
+    let rt = Runtime::single(1);
+    rt.register(|_id| Echo);
+    let a = rt.actor_ref::<Echo>("x");
+    assert_eq!(a.call(Ping).unwrap(), 7);
+    // Re-registering the same TYPE_NAME must not panic and keeps working.
+    rt.register(|_id| Echo);
+    assert_eq!(a.call(Ping).unwrap(), 7);
+    rt.shutdown();
+}

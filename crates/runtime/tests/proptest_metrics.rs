@@ -1,0 +1,112 @@
+//! Property-based tests for the latency histogram and identity hashing.
+
+use aodb_runtime::metrics::Snapshot;
+use aodb_runtime::{ActorId, ActorKey, ActorTypeId, Histogram};
+use proptest::prelude::*;
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// Histogram quantiles must stay within the bucketing error bound of
+    /// the exact quantile (3.2 % relative, or ±1 for tiny values).
+    #[test]
+    fn quantile_error_is_bounded(
+        mut values in proptest::collection::vec(0u64..10_000_000, 1..500),
+        q in 0.01f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let exact = exact_quantile(&values, q);
+        let approx = h.snapshot().value_at_quantile(q);
+        // The histogram reports the lower bound of the containing bucket,
+        // so it may under-report by the bucket width but never exceed the
+        // true max.
+        prop_assert!(approx <= *values.last().unwrap());
+        let tolerance = (exact as f64 * 0.032).max(1.0);
+        prop_assert!(
+            (approx as f64) >= exact as f64 - tolerance - 1.0,
+            "q={q}: approx {approx} far below exact {exact}"
+        );
+    }
+
+    /// count/sum/max must be exact regardless of input.
+    #[test]
+    fn counters_are_exact(values in proptest::collection::vec(0u64..1_000_000, 0..300)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count(), values.len() as u64);
+        prop_assert_eq!(s.max(), values.iter().copied().max().unwrap_or(0));
+        if !values.is_empty() {
+            let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+            prop_assert!((s.mean() - mean).abs() < 1e-6);
+        }
+    }
+
+    /// Merging per-thread histograms must equal recording everything into
+    /// one histogram.
+    #[test]
+    fn merge_equals_union(
+        a in proptest::collection::vec(0u64..1_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let hu = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        let mut merged = Snapshot::empty();
+        merged.merge(&ha.snapshot());
+        merged.merge(&hb.snapshot());
+        let union = hu.snapshot();
+        prop_assert_eq!(merged.count(), union.count());
+        prop_assert_eq!(merged.max(), union.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(merged.value_at_quantile(q), union.value_at_quantile(q));
+        }
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn quantiles_monotone(values in proptest::collection::vec(0u64..100_000_000, 1..300)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut last = 0;
+        for i in 1..=20 {
+            let v = s.value_at_quantile(i as f64 / 20.0);
+            prop_assert!(v >= last, "quantile decreased at {i}/20");
+            last = v;
+        }
+    }
+
+    /// Actor identity equality implies stable-hash equality, and string
+    /// keys never collide with numeric keys.
+    #[test]
+    fn identity_hash_consistency(n in 0u64..1_000_000, s in "[a-z0-9/-]{1,20}") {
+        let t = ActorTypeId::from_raw(1);
+        let a = ActorId::new(t, ActorKey::from(n));
+        let b = ActorId::new(t, ActorKey::from(n));
+        prop_assert_eq!(a.stable_hash(), b.stable_hash());
+        let c = ActorId::new(t, ActorKey::from(s.as_str()));
+        let d = ActorId::new(t, ActorKey::from(s.clone()));
+        prop_assert_eq!(c.stable_hash(), d.stable_hash());
+        prop_assert_ne!(&a.key, &c.key);
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared construction environment for the SHM actor factories.
+
+use std::sync::Arc;
+
+use aodb_core::{Persisted, PersistentState, WritePolicy};
+use aodb_runtime::ActorKey;
+use aodb_store::StateStore;
+
+/// Everything an SHM actor factory needs: the state store and the write
+/// policies of the two durability classes the paper distinguishes in
+/// Section 5 — structural entities (organizations, sensors, channel
+/// configuration) want immediate durability, while sensor *data* collects
+/// a window of updates before being forced to storage.
+#[derive(Clone)]
+pub struct ShmEnv {
+    /// The grain-state store (the DynamoDB role).
+    pub store: Arc<dyn StateStore>,
+    /// Policy for structural entity state.
+    pub structural_policy: WritePolicy,
+    /// Policy for sensor data state (the paper's benchmark sets this to
+    /// [`WritePolicy::OnDeactivate`]).
+    pub data_policy: WritePolicy,
+    /// Ring-buffer capacity of each channel's in-memory data window.
+    pub window_capacity: usize,
+    /// Simulated per-ingest service time.
+    ///
+    /// The reproduction's stand-in for server CPU capacity: the paper's
+    /// silos run on m5 instances whose vCPUs bound ingest throughput at
+    /// ~1,800 requests/s. On arbitrary (possibly single-core) reproduction
+    /// hardware we model that budget by having the worker *sleep* this
+    /// long inside each `Ingest` turn — occupying the worker exactly as
+    /// CPU work would, without consuming host CPU, so multi-silo scaling
+    /// behaves like the paper's cluster. `None` (the default) disables the
+    /// simulation; the benchmark harness enables it.
+    pub ingest_service_time: Option<std::time::Duration>,
+}
+
+impl ShmEnv {
+    /// The configuration used by the paper's experiments: immediate
+    /// durability for structure, deactivation-time persistence for data,
+    /// and an hour of 10 Hz data in the window.
+    pub fn paper_default(store: Arc<dyn StateStore>) -> Self {
+        ShmEnv {
+            store,
+            structural_policy: WritePolicy::EveryChange,
+            data_policy: WritePolicy::OnDeactivate,
+            window_capacity: 36_000,
+            ingest_service_time: None,
+        }
+    }
+
+    /// Sets the simulated per-ingest service time (see
+    /// [`ShmEnv::ingest_service_time`]).
+    pub fn with_service_time(mut self, d: std::time::Duration) -> Self {
+        self.ingest_service_time = Some(d);
+        self
+    }
+
+    /// Persisted cell for a structural actor.
+    pub fn persisted_structural<S: PersistentState>(
+        &self,
+        type_name: &str,
+        key: &ActorKey,
+    ) -> Persisted<S> {
+        Persisted::for_actor(Arc::clone(&self.store), type_name, key, self.structural_policy)
+    }
+
+    /// Persisted cell for a data-bearing actor.
+    pub fn persisted_data<S: PersistentState>(
+        &self,
+        type_name: &str,
+        key: &ActorKey,
+    ) -> Persisted<S> {
+        Persisted::for_actor(Arc::clone(&self.store), type_name, key, self.data_policy)
+    }
+}

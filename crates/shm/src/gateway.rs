@@ -1,0 +1,200 @@
+//! Burst-absorbing ingest gateway.
+//!
+//! The paper's production sketch (§6.1): sensors reach the platform over
+//! HTTP, and "message queues can be employed to accommodate for bursty
+//! behavior in sensor measurements". The [`IngestGateway`] actor is that
+//! queue: devices fire small packets at it; the gateway coalesces them
+//! into batches per channel, forwards a batch when it reaches
+//! `flush_batch` points, drains the remainder on a periodic flush tick,
+//! and applies backpressure (explicit rejection) when its bounded buffer
+//! is full — the overload contract a lossy sensor network expects.
+
+use std::collections::HashMap;
+
+use aodb_runtime::{Actor, ActorContext, Handler, Message};
+use serde::{Deserialize, Serialize};
+
+use crate::messages::Ingest;
+use crate::physical::PhysicalSensorChannel;
+use crate::types::DataPoint;
+
+/// Gateway sizing.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GatewayConfig {
+    /// Points per channel that trigger an immediate forward.
+    pub flush_batch: usize,
+    /// Total buffered points across all channels before rejections start.
+    pub capacity_points: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig { flush_batch: 10, capacity_points: 100_000 }
+    }
+}
+
+/// Configures the gateway (idempotent).
+pub struct ConfigureGateway(pub GatewayConfig);
+impl Message for ConfigureGateway {
+    type Reply = ();
+}
+
+/// A device packet entering through the gateway.
+pub struct GatewayIngest {
+    /// Target channel key.
+    pub channel: String,
+    /// The points (possibly a partial or bursty batch).
+    pub points: Vec<DataPoint>,
+}
+impl Message for GatewayIngest {
+    type Reply = GatewayAck;
+}
+
+/// Gateway's answer to a device packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GatewayAck {
+    /// Buffered (and possibly already forwarded).
+    Accepted,
+    /// Buffer full: the device must back off and retry.
+    Rejected,
+}
+
+/// Forces all buffered points out (also fired by the periodic flush
+/// timer).
+#[derive(Clone, Copy)]
+pub struct FlushGateway;
+impl Message for FlushGateway {
+    type Reply = u32;
+}
+
+/// Buffer occupancy snapshot.
+#[derive(Clone, Copy)]
+pub struct GatewayStats;
+impl Message for GatewayStats {
+    type Reply = GatewayStatsReply;
+}
+
+/// Reply of [`GatewayStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatewayStatsReply {
+    /// Points currently buffered.
+    pub buffered_points: usize,
+    /// Packets accepted since activation.
+    pub accepted: u64,
+    /// Packets rejected since activation.
+    pub rejected: u64,
+    /// Batches forwarded to channel actors.
+    pub forwarded_batches: u64,
+}
+
+/// The gateway actor. Key it per tenant or per ingest endpoint.
+///
+/// Buffers are deliberately **not** persisted: a gateway models an
+/// in-flight network queue, and its loss semantics on crash (drop the
+/// un-forwarded tail) match a real message broker running without
+/// replication, which is what the paper's burst buffer would be.
+pub struct IngestGateway {
+    config: GatewayConfig,
+    buffers: HashMap<String, Vec<DataPoint>>,
+    buffered_points: usize,
+    accepted: u64,
+    rejected: u64,
+    forwarded_batches: u64,
+}
+
+impl IngestGateway {
+    /// Registers the gateway actor type.
+    pub fn register(rt: &aodb_runtime::Runtime) {
+        rt.register(|_id| IngestGateway {
+            config: GatewayConfig::default(),
+            buffers: HashMap::new(),
+            buffered_points: 0,
+            accepted: 0,
+            rejected: 0,
+            forwarded_batches: 0,
+        });
+    }
+
+    fn forward(&mut self, channel: &str, ctx: &mut ActorContext<'_>) {
+        if let Some(points) = self.buffers.remove(channel) {
+            if points.is_empty() {
+                return;
+            }
+            self.buffered_points -= points.len();
+            self.forwarded_batches += 1;
+            let _ = ctx
+                .actor_ref::<PhysicalSensorChannel>(channel)
+                .tell(Ingest { points });
+        }
+    }
+}
+
+impl Actor for IngestGateway {
+    const TYPE_NAME: &'static str = "shm.ingest-gateway";
+
+    fn on_deactivate(&mut self, ctx: &mut ActorContext<'_>) {
+        // Drain on orderly shutdown so nothing buffered is lost.
+        let channels: Vec<String> = self.buffers.keys().cloned().collect();
+        for channel in channels {
+            self.forward(&channel, ctx);
+        }
+    }
+}
+
+impl Handler<ConfigureGateway> for IngestGateway {
+    fn handle(&mut self, msg: ConfigureGateway, _ctx: &mut ActorContext<'_>) {
+        self.config = msg.0;
+    }
+}
+
+impl Handler<GatewayIngest> for IngestGateway {
+    fn handle(&mut self, msg: GatewayIngest, ctx: &mut ActorContext<'_>) -> GatewayAck {
+        if self.buffered_points + msg.points.len() > self.config.capacity_points {
+            self.rejected += 1;
+            return GatewayAck::Rejected;
+        }
+        self.buffered_points += msg.points.len();
+        self.accepted += 1;
+        let buffer = self.buffers.entry(msg.channel.clone()).or_default();
+        buffer.extend(msg.points);
+        if buffer.len() >= self.config.flush_batch {
+            self.forward(&msg.channel, ctx);
+        }
+        GatewayAck::Accepted
+    }
+}
+
+impl Handler<FlushGateway> for IngestGateway {
+    fn handle(&mut self, _msg: FlushGateway, ctx: &mut ActorContext<'_>) -> u32 {
+        let channels: Vec<String> = self.buffers.keys().cloned().collect();
+        let mut flushed = 0u32;
+        for channel in channels {
+            flushed += self.buffers.get(&channel).map(|b| b.len() as u32).unwrap_or(0);
+            self.forward(&channel, ctx);
+        }
+        flushed
+    }
+}
+
+/// Durable-reminder support: a [`aodb_core::ReminderFired`] delivered to
+/// the gateway acts as a flush tick, so the flush schedule itself can be
+/// persisted (survives restarts) via `aodb_core::register_reminder`.
+impl Handler<aodb_core::ReminderFired> for IngestGateway {
+    fn handle(&mut self, _msg: aodb_core::ReminderFired, ctx: &mut ActorContext<'_>) {
+        let channels: Vec<String> = self.buffers.keys().cloned().collect();
+        for channel in channels {
+            self.forward(&channel, ctx);
+        }
+    }
+}
+
+impl Handler<GatewayStats> for IngestGateway {
+    fn handle(&mut self, _msg: GatewayStats, _ctx: &mut ActorContext<'_>) -> GatewayStatsReply {
+        GatewayStatsReply {
+            buffered_points: self.buffered_points,
+            accepted: self.accepted,
+            rejected: self.rejected,
+            forwarded_batches: self.forwarded_batches,
+        }
+    }
+}

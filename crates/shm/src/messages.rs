@@ -1,0 +1,314 @@
+//! Message vocabulary of the SHM platform.
+
+use aodb_runtime::{Message, ReplyTo};
+use serde::{Deserialize, Serialize};
+
+use crate::types::{
+    Aggregate, Alert, DataPoint, Equation, Position, Project, SensorKind, Threshold, User,
+    UserRole,
+};
+
+// ------------------------------------------------------------ organization
+
+/// Initializes an organization tenant.
+pub struct InitOrg {
+    /// Display name.
+    pub name: String,
+}
+impl Message for InitOrg {
+    type Reply = ();
+}
+
+/// Adds a user to the organization; replies with the user id.
+pub struct AddUser {
+    /// Display name.
+    pub name: String,
+    /// Role.
+    pub role: UserRole,
+}
+impl Message for AddUser {
+    type Reply = u32;
+}
+
+/// Adds a monitoring project; replies with the project id.
+pub struct AddProject {
+    /// Project name.
+    pub name: String,
+    /// Monitored structure.
+    pub structure: String,
+}
+impl Message for AddProject {
+    type Reply = u32;
+}
+
+/// Registers a sensor under this organization.
+pub struct RegisterSensor {
+    /// Sensor actor key.
+    pub sensor: String,
+}
+impl Message for RegisterSensor {
+    type Reply = ();
+}
+
+/// Registers a (physical or virtual) channel for live-data fan-out.
+pub struct RegisterChannel {
+    /// Channel actor key.
+    pub channel: String,
+    /// Whether the channel is virtual.
+    pub virtual_channel: bool,
+}
+impl Message for RegisterChannel {
+    type Reply = ();
+}
+
+/// Live view over all of the organization's channels (functional
+/// requirement 7; the paper's "live data request" in Figure 9).
+///
+/// The reply is produced by scatter/gather over the channels, so it cannot
+/// be returned synchronously from the handler: the reply sink travels in
+/// the message. Use [`crate::ShmClient::live_data`] for the ergonomic form.
+pub struct GetLiveData {
+    /// Where the gathered report goes.
+    pub reply: ReplyTo<LiveDataReport>,
+}
+impl Message for GetLiveData {
+    type Reply = ();
+}
+
+/// Result of [`GetLiveData`]: the most recent point of every channel.
+#[derive(Clone, Debug, Default)]
+pub struct LiveDataReport {
+    /// `(channel key, latest point if any)`, unordered.
+    pub channels: Vec<(String, Option<DataPoint>)>,
+}
+
+/// Structural snapshot of an organization.
+pub struct GetOrgInfo;
+impl Message for GetOrgInfo {
+    type Reply = OrgInfo;
+}
+
+/// Reply of [`GetOrgInfo`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OrgInfo {
+    /// Display name.
+    pub name: String,
+    /// Users (non-actor objects owned by the org).
+    pub users: Vec<User>,
+    /// Projects (non-actor objects owned by the org).
+    pub projects: Vec<Project>,
+    /// Registered sensor keys.
+    pub sensors: Vec<String>,
+    /// Registered channel keys (physical and virtual).
+    pub channels: Vec<String>,
+}
+
+// ------------------------------------------------------------------ sensor
+
+/// Initializes a sensor actor.
+pub struct InitSensor {
+    /// Owning organization key.
+    pub org: String,
+    /// What it measures.
+    pub kind: SensorKind,
+    /// Mounting position.
+    pub position: Position,
+}
+impl Message for InitSensor {
+    type Reply = ();
+}
+
+/// Attaches a channel to the sensor.
+pub struct AttachChannel {
+    /// Channel actor key.
+    pub channel: String,
+}
+impl Message for AttachChannel {
+    type Reply = ();
+}
+
+/// Relocates the sensor (sensors are active entities: they move).
+pub struct UpdatePosition(pub Position);
+impl Message for UpdatePosition {
+    type Reply = ();
+}
+
+/// Sensor metadata snapshot.
+pub struct GetSensorInfo;
+impl Message for GetSensorInfo {
+    type Reply = SensorInfo;
+}
+
+/// Reply of [`GetSensorInfo`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SensorInfo {
+    /// Owning organization key.
+    pub org: String,
+    /// Measured quantity.
+    pub kind: SensorKind,
+    /// Current position.
+    pub position: Position,
+    /// Attached channel keys.
+    pub channels: Vec<String>,
+}
+
+// ---------------------------------------------------------------- channels
+
+/// Configures a physical channel (idempotent; provisioning).
+pub struct ConfigureChannel {
+    /// Owning organization key (alert routing).
+    pub org: String,
+    /// Owning sensor key.
+    pub sensor: String,
+    /// Threshold rules.
+    pub threshold: Threshold,
+    /// Virtual channels subscribed to this channel's stream.
+    pub subscribers: Vec<String>,
+    /// Whether to feed the hourly aggregator cascade.
+    pub aggregates: bool,
+}
+impl Message for ConfigureChannel {
+    type Reply = ();
+}
+
+/// Configures a virtual channel.
+pub struct ConfigureVirtual {
+    /// Owning organization key.
+    pub org: String,
+    /// Input (physical) channel keys, in equation order.
+    pub inputs: Vec<String>,
+    /// The derivation.
+    pub equation: Equation,
+    /// Whether to feed the aggregator cascade.
+    pub aggregates: bool,
+}
+impl Message for ConfigureVirtual {
+    type Reply = ();
+}
+
+/// Sensor data insertion: the workload that dominates the paper's
+/// benchmark (98 % of requests; 10 points per channel per request).
+pub struct Ingest {
+    /// The new points, oldest first.
+    pub points: Vec<DataPoint>,
+}
+impl Message for Ingest {
+    type Reply = u32; // number of points accepted
+}
+
+/// Derived-stream push from a physical channel to a subscribed virtual
+/// channel.
+pub struct PushDerived {
+    /// The source physical channel.
+    pub source: String,
+    /// Its new points.
+    pub points: Vec<DataPoint>,
+}
+impl Message for PushDerived {
+    type Reply = ();
+}
+
+/// Most recent data point of a channel (live-data building block).
+#[derive(Clone, Copy)]
+pub struct GetLatest;
+impl Message for GetLatest {
+    type Reply = Option<DataPoint>;
+}
+
+/// Raw time-range query over a channel's in-memory window (the paper's
+/// "raw data request" in Figure 8).
+#[derive(Clone, Copy)]
+pub struct QueryRange {
+    /// Inclusive start (ms).
+    pub from_ms: u64,
+    /// Inclusive end (ms).
+    pub to_ms: u64,
+    /// Max points returned (0 = unlimited).
+    pub limit: usize,
+}
+impl Message for QueryRange {
+    type Reply = Vec<DataPoint>;
+}
+
+/// Channel statistics (accumulated change — functional requirement 4).
+#[derive(Clone, Copy)]
+pub struct GetChannelStats;
+impl Message for GetChannelStats {
+    type Reply = ChannelStats;
+}
+
+/// Reply of [`GetChannelStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Points ever ingested.
+    pub total_points: u64,
+    /// Points currently held in the window.
+    pub window_len: usize,
+    /// Sum of |Δvalue| over consecutive points (how far the element has
+    /// moved in total).
+    pub accumulated_change: f64,
+    /// Last value minus first-ever value.
+    pub net_change: f64,
+    /// Most recent point.
+    pub last: Option<DataPoint>,
+}
+
+// -------------------------------------------------------------- aggregator
+
+/// A batch of samples entering the hourly aggregator (channels forward
+/// whole ingest batches to keep messaging overhead at one hop per
+/// request, not per point).
+pub struct RecordSamples {
+    /// The samples, oldest first.
+    pub points: Vec<DataPoint>,
+}
+impl Message for RecordSamples {
+    type Reply = ();
+}
+
+/// A closed child bucket rolled up into this (coarser) aggregator.
+pub struct MergeBucket {
+    /// Start of the bucket in *this* aggregator's granularity.
+    pub bucket_start_ms: u64,
+    /// The child summary.
+    pub agg: Aggregate,
+}
+impl Message for MergeBucket {
+    type Reply = ();
+}
+
+/// Statistical buckets in a time range (plot data, functional
+/// requirement 6).
+#[derive(Clone, Copy)]
+pub struct QueryAggregates {
+    /// Inclusive start (ms).
+    pub from_ms: u64,
+    /// Inclusive end (ms).
+    pub to_ms: u64,
+}
+impl Message for QueryAggregates {
+    type Reply = Vec<(u64, Aggregate)>;
+}
+
+// --------------------------------------------------------------- alert log
+
+/// A channel raising an alert into its organization's log.
+pub struct PushAlert(pub Alert);
+impl Message for PushAlert {
+    type Reply = ();
+}
+
+/// Recent alerts, newest first.
+pub struct RecentAlerts {
+    /// Max alerts returned.
+    pub limit: usize,
+}
+impl Message for RecentAlerts {
+    type Reply = Vec<Alert>;
+}
+
+/// Total alerts ever logged.
+pub struct CountAlerts;
+impl Message for CountAlerts {
+    type Reply = u64;
+}

@@ -1,0 +1,153 @@
+//! The `Organization` actor: a tenant of the multi-tenant platform.
+//!
+//! Per the paper's granularity principle (Section 4.2), organizations are
+//! actors while their projects and users are *non-actor objects*
+//! encapsulated in organization state — projects are passive structural
+//! schemes, so separate actors would only add messaging overhead.
+
+use aodb_runtime::{Actor, ActorContext, Collector, Handler};
+use serde::{Deserialize, Serialize};
+
+use crate::env::ShmEnv;
+use crate::messages::{
+    AddProject, AddUser, GetLatest, GetLiveData, GetOrgInfo, InitOrg, LiveDataReport, OrgInfo,
+    RegisterChannel, RegisterSensor,
+};
+use crate::physical::PhysicalSensorChannel;
+use crate::types::{Project, User};
+use crate::virtual_channel::VirtualSensorChannel;
+use aodb_core::Persisted;
+
+#[derive(Default, Serialize, Deserialize)]
+pub(crate) struct OrgState {
+    name: String,
+    users: Vec<User>,
+    projects: Vec<Project>,
+    sensors: Vec<String>,
+    /// `(channel key, is_virtual)` — virtuality decides which actor type
+    /// the live-data fan-out addresses.
+    channels: Vec<(String, bool)>,
+}
+
+/// The organization (tenant) actor.
+pub struct Organization {
+    state: Persisted<OrgState>,
+}
+
+impl Organization {
+    /// Registers the actor type.
+    pub fn register(rt: &aodb_runtime::Runtime, env: ShmEnv) {
+        rt.register(move |id| Organization {
+            state: env.persisted_structural(Self::TYPE_NAME, &id.key),
+        });
+    }
+}
+
+impl Actor for Organization {
+    const TYPE_NAME: &'static str = "shm.organization";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.flush();
+    }
+}
+
+impl Handler<InitOrg> for Organization {
+    fn handle(&mut self, msg: InitOrg, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| s.name = msg.name);
+    }
+}
+
+impl Handler<AddUser> for Organization {
+    fn handle(&mut self, msg: AddUser, _ctx: &mut ActorContext<'_>) -> u32 {
+        self.state.mutate(|s| {
+            let id = s.users.len() as u32;
+            s.users.push(User { id, name: msg.name, role: msg.role });
+            id
+        })
+    }
+}
+
+impl Handler<AddProject> for Organization {
+    fn handle(&mut self, msg: AddProject, _ctx: &mut ActorContext<'_>) -> u32 {
+        self.state.mutate(|s| {
+            let id = s.projects.len() as u32;
+            s.projects.push(Project { id, name: msg.name, structure: msg.structure });
+            id
+        })
+    }
+}
+
+impl Handler<RegisterSensor> for Organization {
+    fn handle(&mut self, msg: RegisterSensor, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| {
+            if !s.sensors.contains(&msg.sensor) {
+                s.sensors.push(msg.sensor);
+            }
+        });
+    }
+}
+
+impl Handler<RegisterChannel> for Organization {
+    fn handle(&mut self, msg: RegisterChannel, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| {
+            if !s.channels.iter().any(|(c, _)| c == &msg.channel) {
+                s.channels.push((msg.channel, msg.virtual_channel));
+            }
+        });
+    }
+}
+
+impl Handler<GetLiveData> for Organization {
+    /// The paper's "live data request": most recent values from **all**
+    /// sensor channels of the organization. Implemented as a non-blocking
+    /// scatter/gather — the organization's turn ends immediately; the
+    /// collector assembles the report as channel replies arrive and
+    /// resolves the caller's promise from whichever worker thread delivers
+    /// the last one.
+    fn handle(&mut self, msg: GetLiveData, ctx: &mut ActorContext<'_>) {
+        let channels = &self.state.get().channels;
+        let keys: Vec<String> = channels.iter().map(|(c, _)| c.clone()).collect();
+        let collector = Collector::new(channels.len(), move |hits: Vec<(usize, Option<crate::types::DataPoint>)>| {
+            let mut report = LiveDataReport { channels: Vec::with_capacity(hits.len()) };
+            for (idx, point) in hits {
+                report.channels.push((keys[idx].clone(), point));
+            }
+            msg.reply.deliver(report);
+        });
+        for (idx, (channel, is_virtual)) in channels.iter().enumerate() {
+            let slot = collector.slot();
+            let tagged = aodb_runtime::ReplyTo::Callback(Box::new(move |point| {
+                slot.deliver((idx, point));
+            }));
+            let sent = if *is_virtual {
+                ctx.actor_ref::<VirtualSensorChannel>(channel.as_str())
+                    .ask_with(GetLatest, tagged)
+            } else {
+                ctx.actor_ref::<PhysicalSensorChannel>(channel.as_str())
+                    .ask_with(GetLatest, tagged)
+            };
+            if sent.is_err() {
+                // Shutdown race: the collector slot for this channel was
+                // consumed by the tagged callback, which is now dropped —
+                // the overall reply resolves as Lost, which is correct.
+            }
+        }
+    }
+}
+
+impl Handler<GetOrgInfo> for Organization {
+    fn handle(&mut self, _msg: GetOrgInfo, _ctx: &mut ActorContext<'_>) -> OrgInfo {
+        let s = self.state.get();
+        OrgInfo {
+            name: s.name.clone(),
+            users: s.users.clone(),
+            projects: s.projects.clone(),
+            sensors: s.sensors.clone(),
+            channels: s.channels.iter().map(|(c, _)| c.clone()).collect(),
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! The `PhysicalSensorChannel` actor: one data stream from one physical
+//! sensor channel.
+//!
+//! This is the hot actor of the whole platform — the paper's benchmark
+//! drives 10 data points per second into each of ~thousands of these. A
+//! channel holds a bounded in-memory window of recent points (the
+//! "programmable cache" role of the AODB), maintains the accumulated
+//! change required by functional requirement 4, raises threshold alerts
+//! (FR 5), feeds subscribed virtual channels, and forwards batches to its
+//! hourly aggregator.
+
+use std::collections::VecDeque;
+
+use aodb_runtime::{Actor, ActorContext, Handler};
+use serde::{Deserialize, Serialize};
+
+use crate::aggregator::{aggregator_key, Aggregator};
+use crate::alerts::AlertLog;
+use crate::env::ShmEnv;
+use crate::messages::{
+    ChannelStats, ConfigureChannel, GetChannelStats, GetLatest, Ingest, PushAlert, PushDerived,
+    QueryRange, RecordSamples,
+};
+use crate::types::{
+    AggregateLevel, Alert, AlertKind, AlertSeverity, DataPoint, Threshold,
+};
+use crate::virtual_channel::VirtualSensorChannel;
+use aodb_core::Persisted;
+
+#[derive(Default, Serialize, Deserialize)]
+pub(crate) struct ChannelState {
+    org: String,
+    sensor: String,
+    threshold: Threshold,
+    subscribers: Vec<String>,
+    aggregates: bool,
+    window: VecDeque<DataPoint>,
+    total_points: u64,
+    accumulated_change: f64,
+    first_value: Option<f64>,
+    last: Option<DataPoint>,
+    /// Hysteresis flags so a sustained breach raises one alert, not one
+    /// per sample.
+    breaching_high: bool,
+    breaching_low: bool,
+    accumulated_alerted: bool,
+}
+
+/// The physical sensor channel actor.
+pub struct PhysicalSensorChannel {
+    state: Persisted<ChannelState>,
+    window_capacity: usize,
+    service_time: Option<std::time::Duration>,
+}
+
+impl PhysicalSensorChannel {
+    /// Registers the actor type.
+    pub fn register(rt: &aodb_runtime::Runtime, env: ShmEnv) {
+        rt.register(move |id| PhysicalSensorChannel {
+            state: env.persisted_data(Self::TYPE_NAME, &id.key),
+            window_capacity: env.window_capacity,
+            service_time: env.ingest_service_time,
+        });
+    }
+
+    /// Shared ingest/alert logic, also used by virtual channels.
+    pub(crate) fn apply_points(
+        state: &mut ChannelState,
+        points: &[DataPoint],
+        window_capacity: usize,
+        alerts: &mut Vec<Alert>,
+        channel_key: &str,
+    ) -> u32 {
+        let mut accepted = 0u32;
+        for p in points {
+            if let Some(last) = state.last {
+                state.accumulated_change += (p.value - last.value).abs();
+            } else {
+                state.first_value = Some(p.value);
+            }
+            state.last = Some(*p);
+            state.window.push_back(*p);
+            if state.window.len() > window_capacity {
+                state.window.pop_front();
+            }
+            state.total_points += 1;
+            accepted += 1;
+            check_thresholds(state, *p, alerts, channel_key);
+        }
+        accepted
+    }
+}
+
+fn check_thresholds(
+    state: &mut ChannelState,
+    p: DataPoint,
+    alerts: &mut Vec<Alert>,
+    channel_key: &str,
+) {
+    let th = state.threshold;
+    if let Some(high) = th.high {
+        let breaching = p.value > high;
+        if breaching && !state.breaching_high {
+            alerts.push(Alert {
+                channel: channel_key.to_string(),
+                ts_ms: p.ts_ms,
+                value: p.value,
+                kind: AlertKind::AboveHigh,
+                severity: AlertSeverity::Critical,
+            });
+        }
+        state.breaching_high = breaching;
+    }
+    if let Some(low) = th.low {
+        let breaching = p.value < low;
+        if breaching && !state.breaching_low {
+            alerts.push(Alert {
+                channel: channel_key.to_string(),
+                ts_ms: p.ts_ms,
+                value: p.value,
+                kind: AlertKind::BelowLow,
+                severity: AlertSeverity::Critical,
+            });
+        }
+        state.breaching_low = breaching;
+    }
+    if let Some(limit) = th.max_accumulated_change {
+        if state.accumulated_change > limit && !state.accumulated_alerted {
+            alerts.push(Alert {
+                channel: channel_key.to_string(),
+                ts_ms: p.ts_ms,
+                value: state.accumulated_change,
+                kind: AlertKind::AccumulatedChange,
+                severity: AlertSeverity::Warning,
+            });
+            state.accumulated_alerted = true;
+        }
+    }
+}
+
+/// Shared window query, also used by virtual channels.
+pub(crate) fn query_window(
+    window: &VecDeque<DataPoint>,
+    q: QueryRange,
+) -> Vec<DataPoint> {
+    // Windows are (quasi-)sorted by timestamp because devices stream
+    // monotonically; binary search the slices for the range bounds.
+    let (a, b) = window.as_slices();
+    let mut out = Vec::new();
+    for slice in [a, b] {
+        let start = slice.partition_point(|p| p.ts_ms < q.from_ms);
+        for p in &slice[start..] {
+            if p.ts_ms > q.to_ms {
+                break;
+            }
+            out.push(*p);
+            if q.limit != 0 && out.len() >= q.limit {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+impl Actor for PhysicalSensorChannel {
+    const TYPE_NAME: &'static str = "shm.channel";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.flush();
+    }
+}
+
+impl Handler<ConfigureChannel> for PhysicalSensorChannel {
+    fn handle(&mut self, msg: ConfigureChannel, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| {
+            s.org = msg.org;
+            s.sensor = msg.sensor;
+            s.threshold = msg.threshold;
+            s.subscribers = msg.subscribers;
+            s.aggregates = msg.aggregates;
+        });
+    }
+}
+
+impl Handler<Ingest> for PhysicalSensorChannel {
+    fn handle(&mut self, msg: Ingest, ctx: &mut ActorContext<'_>) -> u32 {
+        if let Some(service) = self.service_time {
+            // Simulated server CPU cost of one ingest request (see
+            // `ShmEnv::ingest_service_time`).
+            std::thread::sleep(service);
+        }
+        let channel_key = ctx.key().to_string();
+        let capacity = self.window_capacity;
+        let mut alerts = Vec::new();
+        let accepted = self.state.mutate(|s| {
+            Self::apply_points(s, &msg.points, capacity, &mut alerts, &channel_key)
+        });
+
+        let s = self.state.get();
+        if !alerts.is_empty() {
+            let log = ctx.actor_ref::<AlertLog>(s.org.as_str());
+            for alert in alerts {
+                let _ = log.tell(PushAlert(alert));
+            }
+        }
+        for subscriber in &s.subscribers {
+            let _ = ctx.actor_ref::<VirtualSensorChannel>(subscriber.as_str()).tell(
+                PushDerived { source: channel_key.clone(), points: msg.points.clone() },
+            );
+        }
+        if s.aggregates {
+            let agg = ctx.actor_ref::<Aggregator>(aggregator_key(&channel_key, AggregateLevel::Hour));
+            let _ = agg.tell(RecordSamples { points: msg.points });
+        }
+        accepted
+    }
+}
+
+impl Handler<GetLatest> for PhysicalSensorChannel {
+    fn handle(&mut self, _msg: GetLatest, _ctx: &mut ActorContext<'_>) -> Option<DataPoint> {
+        self.state.get().last
+    }
+}
+
+impl Handler<QueryRange> for PhysicalSensorChannel {
+    fn handle(&mut self, msg: QueryRange, _ctx: &mut ActorContext<'_>) -> Vec<DataPoint> {
+        query_window(&self.state.get().window, msg)
+    }
+}
+
+impl Handler<GetChannelStats> for PhysicalSensorChannel {
+    fn handle(&mut self, _msg: GetChannelStats, _ctx: &mut ActorContext<'_>) -> ChannelStats {
+        let s = self.state.get();
+        ChannelStats {
+            total_points: s.total_points,
+            window_len: s.window.len(),
+            accumulated_change: s.accumulated_change,
+            net_change: match (s.first_value, s.last) {
+                (Some(first), Some(last)) => last.value - first,
+                _ => 0.0,
+            },
+            last: s.last,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dp(ts_ms: u64, value: f64) -> DataPoint {
+        DataPoint { ts_ms, value }
+    }
+
+    #[test]
+    fn apply_points_tracks_stats_and_window_bound() {
+        let mut state = ChannelState::default();
+        let mut alerts = Vec::new();
+        let points: Vec<DataPoint> = (0..10).map(|i| dp(i, i as f64)).collect();
+        let n = PhysicalSensorChannel::apply_points(&mut state, &points, 4, &mut alerts, "c");
+        assert_eq!(n, 10);
+        assert_eq!(state.total_points, 10);
+        assert_eq!(state.window.len(), 4, "window must stay bounded");
+        assert_eq!(state.accumulated_change, 9.0);
+        assert_eq!(state.first_value, Some(0.0));
+        assert!(alerts.is_empty());
+    }
+
+    #[test]
+    fn high_threshold_alerts_once_per_breach_episode() {
+        let mut state = ChannelState { threshold: Threshold { high: Some(10.0), ..Default::default() }, ..Default::default() };
+        let mut alerts = Vec::new();
+        let points = [dp(0, 5.0), dp(1, 11.0), dp(2, 12.0), dp(3, 9.0), dp(4, 15.0)];
+        PhysicalSensorChannel::apply_points(&mut state, &points, 100, &mut alerts, "c");
+        // Two episodes: 11→12 (one alert) and 15 (second alert).
+        assert_eq!(alerts.len(), 2);
+        assert!(alerts.iter().all(|a| a.kind == AlertKind::AboveHigh));
+    }
+
+    #[test]
+    fn low_threshold_fires() {
+        let mut state = ChannelState { threshold: Threshold { low: Some(-1.0), ..Default::default() }, ..Default::default() };
+        let mut alerts = Vec::new();
+        PhysicalSensorChannel::apply_points(&mut state, &[dp(0, -2.0)], 100, &mut alerts, "c");
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::BelowLow);
+    }
+
+    #[test]
+    fn accumulated_change_alert_fires_once() {
+        let mut state = ChannelState {
+            threshold: Threshold { max_accumulated_change: Some(5.0), ..Default::default() },
+            ..Default::default()
+        };
+        let mut alerts = Vec::new();
+        let points: Vec<DataPoint> = (0..10).map(|i| dp(i, (i % 2) as f64 * 3.0)).collect();
+        PhysicalSensorChannel::apply_points(&mut state, &points, 100, &mut alerts, "c");
+        let acc: Vec<_> = alerts.iter().filter(|a| a.kind == AlertKind::AccumulatedChange).collect();
+        assert_eq!(acc.len(), 1, "accumulated-change alert must fire exactly once");
+    }
+
+    #[test]
+    fn query_window_respects_range_and_limit() {
+        let mut window = VecDeque::new();
+        for i in 0..100u64 {
+            window.push_back(dp(i * 10, i as f64));
+        }
+        let hits = query_window(&window, QueryRange { from_ms: 200, to_ms: 400, limit: 0 });
+        assert_eq!(hits.len(), 21);
+        assert_eq!(hits.first().unwrap().ts_ms, 200);
+        assert_eq!(hits.last().unwrap().ts_ms, 400);
+        let hits = query_window(&window, QueryRange { from_ms: 200, to_ms: 400, limit: 5 });
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn query_window_straddles_ring_buffer_wrap() {
+        // Force the deque to wrap so as_slices() returns two pieces.
+        let mut window: VecDeque<DataPoint> = VecDeque::with_capacity(8);
+        for i in 0..6u64 {
+            window.push_back(dp(i, 0.0));
+        }
+        for _ in 0..3 {
+            window.pop_front();
+        }
+        for i in 6..10u64 {
+            window.push_back(dp(i, 0.0));
+        }
+        let hits = query_window(&window, QueryRange { from_ms: 0, to_ms: 100, limit: 0 });
+        assert_eq!(hits.len(), window.len());
+    }
+}

@@ -1,0 +1,159 @@
+//! The `VirtualSensorChannel` actor: a continuously derived stream.
+//!
+//! Figure 4 specializes `Sensor Channel` into physical and *virtual*
+//! channels, the latter computing an equation over potentially multiple
+//! physical channels. In the paper's benchmark every tenth sensor carries
+//! a virtual channel summing its two physical channels; physical channels
+//! push their fresh points here, and each incoming point yields one
+//! derived point computed from the latest value of every input.
+
+use std::collections::VecDeque;
+
+use aodb_runtime::{Actor, ActorContext, Handler};
+use serde::{Deserialize, Serialize};
+
+use crate::aggregator::{aggregator_key, Aggregator};
+use crate::env::ShmEnv;
+use crate::messages::{
+    ChannelStats, ConfigureVirtual, GetChannelStats, GetLatest, PushDerived, QueryRange,
+    RecordSamples,
+};
+use crate::physical::query_window;
+use crate::types::{AggregateLevel, DataPoint, Equation};
+use aodb_core::Persisted;
+
+#[derive(Serialize, Deserialize)]
+pub(crate) struct VirtualState {
+    org: String,
+    inputs: Vec<String>,
+    equation: Equation,
+    aggregates: bool,
+    /// Latest value seen per input (equation operands).
+    latest_inputs: Vec<Option<f64>>,
+    window: VecDeque<DataPoint>,
+    total_points: u64,
+    accumulated_change: f64,
+    first_value: Option<f64>,
+    last: Option<DataPoint>,
+}
+
+impl Default for VirtualState {
+    fn default() -> Self {
+        VirtualState {
+            org: String::new(),
+            inputs: Vec::new(),
+            equation: Equation::Sum,
+            aggregates: false,
+            latest_inputs: Vec::new(),
+            window: VecDeque::new(),
+            total_points: 0,
+            accumulated_change: 0.0,
+            first_value: None,
+            last: None,
+        }
+    }
+}
+
+/// The virtual sensor channel actor.
+pub struct VirtualSensorChannel {
+    state: Persisted<VirtualState>,
+    window_capacity: usize,
+}
+
+impl VirtualSensorChannel {
+    /// Registers the actor type.
+    pub fn register(rt: &aodb_runtime::Runtime, env: ShmEnv) {
+        rt.register(move |id| VirtualSensorChannel {
+            state: env.persisted_data(Self::TYPE_NAME, &id.key),
+            window_capacity: env.window_capacity,
+        });
+    }
+}
+
+impl Actor for VirtualSensorChannel {
+    const TYPE_NAME: &'static str = "shm.virtual-channel";
+
+    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.load_or_default();
+    }
+
+    fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
+        self.state.flush();
+    }
+}
+
+impl Handler<ConfigureVirtual> for VirtualSensorChannel {
+    fn handle(&mut self, msg: ConfigureVirtual, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| {
+            s.org = msg.org;
+            s.latest_inputs = vec![None; msg.inputs.len()];
+            s.inputs = msg.inputs;
+            s.equation = msg.equation;
+            s.aggregates = msg.aggregates;
+        });
+    }
+}
+
+impl Handler<PushDerived> for VirtualSensorChannel {
+    fn handle(&mut self, msg: PushDerived, ctx: &mut ActorContext<'_>) {
+        let capacity = self.window_capacity;
+        let derived: Vec<DataPoint> = self.state.mutate(|s| {
+            let Some(idx) = s.inputs.iter().position(|i| i == &msg.source) else {
+                return Vec::new(); // unknown source: configuration race; drop
+            };
+            let mut derived = Vec::with_capacity(msg.points.len());
+            for p in &msg.points {
+                s.latest_inputs[idx] = Some(p.value);
+                let Some(value) = s.equation.apply(&s.latest_inputs) else { continue };
+                let dp = DataPoint { ts_ms: p.ts_ms, value };
+                if let Some(last) = s.last {
+                    s.accumulated_change += (value - last.value).abs();
+                } else {
+                    s.first_value = Some(value);
+                }
+                s.last = Some(dp);
+                s.window.push_back(dp);
+                if s.window.len() > capacity {
+                    s.window.pop_front();
+                }
+                s.total_points += 1;
+                derived.push(dp);
+            }
+            derived
+        });
+        if !derived.is_empty() && self.state.get().aggregates {
+            let key = aggregator_key(&ctx.key().to_string(), AggregateLevel::Hour);
+            let _ = ctx
+                .actor_ref::<Aggregator>(key)
+                .tell(RecordSamples { points: derived });
+        }
+    }
+}
+
+impl Handler<GetLatest> for VirtualSensorChannel {
+    fn handle(&mut self, _msg: GetLatest, _ctx: &mut ActorContext<'_>) -> Option<DataPoint> {
+        self.state.get().last
+    }
+}
+
+impl Handler<QueryRange> for VirtualSensorChannel {
+    fn handle(&mut self, msg: QueryRange, _ctx: &mut ActorContext<'_>) -> Vec<DataPoint> {
+        query_window(&self.state.get().window, msg)
+    }
+}
+
+impl Handler<GetChannelStats> for VirtualSensorChannel {
+    fn handle(&mut self, _msg: GetChannelStats, _ctx: &mut ActorContext<'_>) -> ChannelStats {
+        let s = self.state.get();
+        ChannelStats {
+            total_points: s.total_points,
+            window_len: s.window.len(),
+            accumulated_change: s.accumulated_change,
+            net_change: match (s.first_value, s.last) {
+                (Some(first), Some(last)) => last.value - first,
+                _ => 0.0,
+            },
+            last: s.last,
+        }
+    }
+}

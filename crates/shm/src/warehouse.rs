@@ -1,0 +1,237 @@
+//! Historical analytics export: the third component of the paper's data
+//! platform architecture (Section 5) — "data recorded in the storage
+//! system can be exported into a classic star schema implemented in the
+//! analytical database".
+//!
+//! The star schema lives in the same [`aodb_store::StateStore`] under the
+//! `warehouse` namespace:
+//!
+//! * **Fact table** `fact:{org}` — one row per (channel, time bucket) with
+//!   the additive measures (count, sum, min, max, sum of squares), keyed
+//!   so a partition scan yields an organization's complete history.
+//! * **Dimension tables** `dim-channel` and `dim-org` — descriptive
+//!   attributes joined by key.
+//!
+//! [`WarehouseExporter`] pulls hourly aggregates out of the online
+//! aggregator actors and writes them down; [`WarehouseReader`] serves the
+//! warehouse-style queries (slice by time, roll up by channel or bucket)
+//! that the paper routes *away* from the online actor tier.
+
+use std::sync::Arc;
+
+use aodb_store::{codec, Key, StateStore, StoreError, StoreResult};
+use serde::{Deserialize, Serialize};
+
+use crate::platform::{ShmClient, Topology};
+use crate::types::{Aggregate, AggregateLevel};
+
+/// One fact row: a channel × time-bucket cell of measures.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FactRow {
+    /// Organization key (degenerate dimension; also the partition).
+    pub org: String,
+    /// Channel key (dimension foreign key).
+    pub channel: String,
+    /// Bucket start (ms) at the export granularity.
+    pub bucket_start_ms: u64,
+    /// The additive measures.
+    pub measures: Aggregate,
+}
+
+/// Channel dimension row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChannelDim {
+    /// Channel key.
+    pub channel: String,
+    /// Owning sensor key.
+    pub sensor: String,
+    /// Owning organization key.
+    pub org: String,
+    /// Whether the channel is virtual (derived).
+    pub is_virtual: bool,
+}
+
+/// Organization dimension row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OrgDim {
+    /// Organization key.
+    pub org: String,
+    /// Number of sensors at export time.
+    pub sensors: usize,
+    /// Number of channels at export time.
+    pub channels: usize,
+}
+
+/// Outcome of one export pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExportSummary {
+    /// Fact rows written.
+    pub facts: u64,
+    /// Dimension rows written.
+    pub dims: u64,
+    /// Channels that had no data to export.
+    pub empty_channels: u64,
+}
+
+fn fact_key(org: &str, channel: &str, bucket_start_ms: u64) -> Key {
+    // Zero-padded bucket keeps sort order = time order within a channel.
+    Key::with_sort("warehouse", &format!("fact:{org}"), &format!("{channel}|{bucket_start_ms:020}"))
+}
+
+/// Extract–load job from the online aggregator actors into the warehouse.
+pub struct WarehouseExporter {
+    store: Arc<dyn StateStore>,
+}
+
+impl WarehouseExporter {
+    /// Exporter writing to `store`.
+    pub fn new(store: Arc<dyn StateStore>) -> Self {
+        WarehouseExporter { store }
+    }
+
+    /// Exports every channel of `topology` at `level` granularity over
+    /// `[from_ms, to_ms]`. Re-exporting the same range is idempotent
+    /// (facts are upserts keyed by channel × bucket).
+    pub fn export(
+        &self,
+        client: &ShmClient,
+        topology: &Topology,
+        level: AggregateLevel,
+        from_ms: u64,
+        to_ms: u64,
+    ) -> StoreResult<ExportSummary> {
+        let mut summary = ExportSummary::default();
+        for org in &topology.orgs {
+            let mut channel_count = 0usize;
+            for sensor in &org.sensors {
+                let channels = sensor
+                    .physical
+                    .iter()
+                    .map(|c| (c.clone(), false))
+                    .chain(sensor.virtual_channel.iter().map(|c| (c.clone(), true)));
+                for (channel, is_virtual) in channels {
+                    channel_count += 1;
+                    let buckets = client
+                        .aggregates(&channel, level, from_ms, to_ms)
+                        .map_err(|e| StoreError::Io(e.to_string()))?
+                        .wait_for(std::time::Duration::from_secs(30))
+                        .map_err(|e| StoreError::Io(e.to_string()))?;
+                    if buckets.is_empty() {
+                        summary.empty_channels += 1;
+                    }
+                    for (bucket_start_ms, measures) in buckets {
+                        let row = FactRow {
+                            org: org.key.clone(),
+                            channel: channel.clone(),
+                            bucket_start_ms,
+                            measures,
+                        };
+                        self.store.put(
+                            &fact_key(&org.key, &channel, bucket_start_ms),
+                            codec::encode_state(&row)?,
+                        )?;
+                        summary.facts += 1;
+                    }
+                    let dim = ChannelDim {
+                        channel: channel.clone(),
+                        sensor: sensor.key.clone(),
+                        org: org.key.clone(),
+                        is_virtual,
+                    };
+                    self.store.put(
+                        &Key::with_sort("warehouse", "dim-channel", &channel),
+                        codec::encode_state(&dim)?,
+                    )?;
+                    summary.dims += 1;
+                }
+            }
+            let dim = OrgDim {
+                org: org.key.clone(),
+                sensors: org.sensors.len(),
+                channels: channel_count,
+            };
+            self.store.put(
+                &Key::with_sort("warehouse", "dim-org", &org.key),
+                codec::encode_state(&dim)?,
+            )?;
+            summary.dims += 1;
+        }
+        Ok(summary)
+    }
+}
+
+/// Read side of the warehouse: the historical queries the paper keeps off
+/// the online actor tier.
+pub struct WarehouseReader {
+    store: Arc<dyn StateStore>,
+}
+
+impl WarehouseReader {
+    /// Reader over `store`.
+    pub fn new(store: Arc<dyn StateStore>) -> Self {
+        WarehouseReader { store }
+    }
+
+    /// All fact rows of an organization in `[from_ms, to_ms]`, in
+    /// (channel, time) order.
+    pub fn facts(&self, org: &str, from_ms: u64, to_ms: u64) -> StoreResult<Vec<FactRow>> {
+        let prefix = Key::partition_prefix("warehouse", &format!("fact:{org}"));
+        let mut rows = Vec::new();
+        for (_, bytes) in self.store.scan_prefix(&prefix)? {
+            let row: FactRow = codec::decode_state(&bytes)?;
+            if row.bucket_start_ms >= from_ms && row.bucket_start_ms <= to_ms {
+                rows.push(row);
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Rolls an organization's facts up per channel (the "which channel
+    /// moved most" analyst query).
+    pub fn rollup_by_channel(
+        &self,
+        org: &str,
+        from_ms: u64,
+        to_ms: u64,
+    ) -> StoreResult<Vec<(String, Aggregate)>> {
+        let mut by_channel: std::collections::BTreeMap<String, Aggregate> = Default::default();
+        for row in self.facts(org, from_ms, to_ms)? {
+            by_channel.entry(row.channel).or_default().merge(&row.measures);
+        }
+        Ok(by_channel.into_iter().collect())
+    }
+
+    /// Rolls an organization's facts up per time bucket (the trend-plot
+    /// query).
+    pub fn rollup_by_bucket(
+        &self,
+        org: &str,
+        from_ms: u64,
+        to_ms: u64,
+    ) -> StoreResult<Vec<(u64, Aggregate)>> {
+        let mut by_bucket: std::collections::BTreeMap<u64, Aggregate> = Default::default();
+        for row in self.facts(org, from_ms, to_ms)? {
+            by_bucket.entry(row.bucket_start_ms).or_default().merge(&row.measures);
+        }
+        Ok(by_bucket.into_iter().collect())
+    }
+
+    /// Channel dimension lookup.
+    pub fn channel_dim(&self, channel: &str) -> StoreResult<Option<ChannelDim>> {
+        match self
+            .store
+            .get(&Key::with_sort("warehouse", "dim-channel", channel))?
+        {
+            Some(bytes) => Ok(Some(codec::decode_state(&bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Organization dimension lookup.
+    pub fn org_dim(&self, org: &str) -> StoreResult<Option<OrgDim>> {
+        match self.store.get(&Key::with_sort("warehouse", "dim-org", org))? {
+            Some(bytes) => Ok(Some(codec::decode_state(&bytes)?)),
+            None => Ok(None),
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! End-to-end tests of the SHM platform: ingest, derived streams, alerts,
+//! aggregation cascade, online queries, persistence, and multi-silo
+//! deployment.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aodb_runtime::{NetConfig, PreferLocalPlacement, Runtime, SiloId};
+use aodb_shm::messages::{GetSensorInfo, UpdatePosition};
+use aodb_shm::types::{
+    AggregateLevel, AlertKind, DataPoint, Position, Threshold,
+};
+use aodb_shm::{provision, register_all, Sensor, ShmClient, ShmEnv, Topology, TopologySpec};
+use aodb_store::{MemStore, StateStore};
+
+fn dp(ts_ms: u64, value: f64) -> DataPoint {
+    DataPoint { ts_ms, value }
+}
+
+fn small_platform(store: &Arc<dyn StateStore>, sensors: usize, spec: TopologySpec) -> (Runtime, Topology) {
+    let rt = Runtime::single(4);
+    register_all(&rt, ShmEnv::paper_default(Arc::clone(store)));
+    let topology = Topology::layout(sensors, spec);
+    provision(&rt, &topology, |_| None).unwrap();
+    (rt, topology)
+}
+
+#[test]
+fn ingest_updates_window_and_accumulated_change() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let (rt, topology) = small_platform(&store, 1, TopologySpec::default());
+    let client = ShmClient::new(rt.handle());
+    let channel = topology.physical_channels().next().unwrap();
+
+    let accepted = client
+        .ingest(channel, vec![dp(0, 1.0), dp(100, 3.0), dp(200, 2.0)])
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(accepted, 3);
+
+    let stats = client
+        .channel_stats(channel)
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(stats.total_points, 3);
+    assert_eq!(stats.window_len, 3);
+    assert_eq!(stats.accumulated_change, 3.0); // |3-1| + |2-3|
+    assert_eq!(stats.net_change, 1.0); // 2 - 1
+    assert_eq!(stats.last, Some(dp(200, 2.0)));
+    rt.shutdown();
+}
+
+#[test]
+fn raw_range_query_returns_requested_window() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let (rt, topology) = small_platform(&store, 1, TopologySpec::default());
+    let client = ShmClient::new(rt.handle());
+    let channel = topology.physical_channels().next().unwrap();
+
+    let points: Vec<DataPoint> = (0..100).map(|i| dp(i * 100, i as f64)).collect();
+    client.ingest(channel, points).unwrap().wait().unwrap();
+
+    let hits = client
+        .raw_range(channel, 2_000, 4_000, 0)
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(hits.len(), 21);
+    assert_eq!(hits.first().unwrap().ts_ms, 2_000);
+    assert_eq!(hits.last().unwrap().ts_ms, 4_000);
+    rt.shutdown();
+}
+
+#[test]
+fn virtual_channel_derives_sum_of_inputs() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let (rt, topology) = small_platform(&store, 1, TopologySpec::default());
+    let client = ShmClient::new(rt.handle());
+    let sensor = &topology.orgs[0].sensors[0];
+    let vkey = sensor.virtual_channel.as_ref().expect("sensor 0 has a virtual channel");
+
+    client.ingest(&sensor.physical[0], vec![dp(0, 10.0)]).unwrap().wait().unwrap();
+    client.ingest(&sensor.physical[1], vec![dp(5, 32.0)]).unwrap().wait().unwrap();
+    assert!(rt.quiesce(Duration::from_secs(5)));
+
+    let stats = client
+        .virtual_channel_stats(vkey)
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
+    // Two derived points: 10 (only input 0 known) then 42 (both known).
+    assert_eq!(stats.total_points, 2);
+    assert_eq!(stats.last.unwrap().value, 42.0);
+    rt.shutdown();
+}
+
+#[test]
+fn threshold_breach_raises_alert_in_org_log() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let spec = TopologySpec {
+        threshold: Threshold { high: Some(100.0), ..Default::default() },
+        ..Default::default()
+    };
+    let (rt, topology) = small_platform(&store, 1, spec);
+    let client = ShmClient::new(rt.handle());
+    let channel = topology.physical_channels().next().unwrap();
+    let org = topology.orgs[0].key.as_str();
+
+    client
+        .ingest(channel, vec![dp(0, 50.0), dp(1, 150.0), dp(2, 160.0), dp(3, 40.0)])
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(rt.quiesce(Duration::from_secs(5)));
+
+    let alerts = client
+        .recent_alerts(org, 10)
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(alerts.len(), 1, "hysteresis: one alert per breach episode");
+    assert_eq!(alerts[0].kind, AlertKind::AboveHigh);
+    assert_eq!(alerts[0].value, 150.0);
+    assert_eq!(&alerts[0].channel, channel);
+    assert_eq!(client.alert_count(org).unwrap().wait().unwrap(), 1);
+    rt.shutdown();
+}
+
+#[test]
+fn live_data_gathers_every_channel_of_the_org() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let (rt, topology) = small_platform(&store, 10, TopologySpec::default());
+    let client = ShmClient::new(rt.handle());
+    let org = topology.orgs[0].key.as_str();
+
+    // 10 sensors → 20 physical + 1 virtual = 21 channels.
+    for (i, channel) in topology.physical_channels().enumerate() {
+        client.ingest(channel, vec![dp(0, i as f64)]).unwrap().wait().unwrap();
+    }
+    assert!(rt.quiesce(Duration::from_secs(5)));
+
+    let report = client
+        .live_data(org)
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(report.channels.len(), 21);
+    let with_data = report.channels.iter().filter(|(_, p)| p.is_some()).count();
+    assert_eq!(with_data, 21, "every channel (incl. virtual) must report a point");
+    rt.shutdown();
+}
+
+#[test]
+fn live_data_on_empty_platform_completes() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let (rt, topology) = small_platform(&store, 2, TopologySpec::default());
+    let client = ShmClient::new(rt.handle());
+    let report = client
+        .live_data(&topology.orgs[0].key)
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
+    assert!(report.channels.iter().all(|(_, p)| p.is_none()));
+    rt.shutdown();
+}
+
+#[test]
+fn aggregation_cascade_rolls_hours_into_days() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let (rt, topology) = small_platform(&store, 1, TopologySpec::default());
+    let client = ShmClient::new(rt.handle());
+    let channel = topology.physical_channels().next().unwrap();
+
+    const HOUR: u64 = 3_600_000;
+    // 3 points in hour 0, 2 in hour 1, 1 in hour 25 (day 1) — the arrival
+    // in hour 1 closes hour 0; the arrival in hour 25 closes hour 1 and
+    // day 0.
+    for (ts, v) in [
+        (0, 1.0),
+        (HOUR / 2, 2.0),
+        (HOUR - 1, 3.0),
+        (HOUR, 10.0),
+        (HOUR + 5, 20.0),
+        (25 * HOUR, 100.0),
+    ] {
+        client.ingest(channel, vec![dp(ts, v)]).unwrap().wait().unwrap();
+    }
+    assert!(rt.quiesce(Duration::from_secs(5)));
+
+    let hours = client
+        .aggregates(channel, AggregateLevel::Hour, 0, 26 * HOUR)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(hours.len(), 3);
+    let hour0 = hours.iter().find(|(b, _)| *b == 0).unwrap().1;
+    assert_eq!(hour0.count, 3);
+    assert_eq!(hour0.sum, 6.0);
+    assert_eq!(hour0.max, 3.0);
+
+    let days = client
+        .aggregates(channel, AggregateLevel::Day, 0, 26 * HOUR)
+        .unwrap()
+        .wait()
+        .unwrap();
+    // Day 0 contains the two closed hours (0 and 1): 5 points.
+    let day0 = days.iter().find(|(b, _)| *b == 0).expect("day 0 rolled up").1;
+    assert_eq!(day0.count, 5);
+    assert_eq!(day0.sum, 36.0);
+    rt.shutdown();
+}
+
+#[test]
+fn sensor_relocation_persists() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let (rt, topology) = small_platform(&store, 1, TopologySpec::default());
+    let sensor_key = topology.orgs[0].sensors[0].key.as_str();
+    let sensor = rt.actor_ref::<Sensor>(sensor_key);
+    sensor
+        .call(UpdatePosition(Position { x: 1.0, y: 2.0, z: 3.0 }))
+        .unwrap();
+    rt.shutdown();
+
+    // Fresh runtime over the same store: position must survive.
+    let rt = Runtime::single(2);
+    register_all(&rt, ShmEnv::paper_default(Arc::clone(&store)));
+    let info = rt
+        .actor_ref::<Sensor>(sensor_key)
+        .call(GetSensorInfo)
+        .unwrap();
+    assert_eq!(info.position, Position { x: 1.0, y: 2.0, z: 3.0 });
+    assert_eq!(info.channels.len(), 3); // 2 physical + 1 virtual
+    rt.shutdown();
+}
+
+#[test]
+fn channel_data_survives_restart_via_deactivation_flush() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let channel_key;
+    {
+        let (rt, topology) = small_platform(&store, 1, TopologySpec::default());
+        channel_key = topology.physical_channels().next().unwrap().to_string();
+        let client = ShmClient::new(rt.handle());
+        client
+            .ingest(&channel_key, (0..50).map(|i| dp(i, i as f64)).collect())
+            .unwrap()
+            .wait()
+            .unwrap();
+        rt.shutdown(); // write-on-deactivate flushes the window
+    }
+    let rt = Runtime::single(2);
+    register_all(&rt, ShmEnv::paper_default(Arc::clone(&store)));
+    let client = ShmClient::new(rt.handle());
+    let stats = client.channel_stats(&channel_key).unwrap().wait().unwrap();
+    assert_eq!(stats.total_points, 50);
+    assert_eq!(stats.window_len, 50);
+    rt.shutdown();
+}
+
+#[test]
+fn org_info_reflects_paper_provisioning_ratio() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let (rt, topology) = small_platform(&store, 100, TopologySpec::default());
+    let client = ShmClient::new(rt.handle());
+    let info = client
+        .org_info(&topology.orgs[0].key)
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(info.users.len(), 1);
+    assert_eq!(info.projects.len(), 1);
+    assert_eq!(info.sensors.len(), 100);
+    assert_eq!(info.channels.len(), 210, "200 physical + 10 virtual");
+    rt.shutdown();
+}
+
+#[test]
+fn multi_silo_prefer_local_keeps_org_traffic_local() {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = Runtime::builder()
+        .silos(2, 2)
+        .placement(PreferLocalPlacement)
+        .network(NetConfig::lan())
+        .build();
+    register_all(&rt, ShmEnv::paper_default(Arc::clone(&store)));
+    // Two orgs, one per silo.
+    let topology = Topology::layout(20, TopologySpec { sensors_per_org: 10, ..Default::default() });
+    assert_eq!(topology.orgs.len(), 2);
+    provision(&rt, &topology, |org_idx| Some(SiloId(org_idx as u32))).unwrap();
+
+    let before = rt.metrics();
+    // Ingest through each org's local gateway: all hops silo-local.
+    for (org_idx, org) in topology.orgs.iter().enumerate() {
+        let client = ShmClient::new(rt.handle_on(SiloId(org_idx as u32)));
+        for sensor in &org.sensors {
+            for channel in &sensor.physical {
+                client.ingest(channel, vec![dp(0, 1.0)]).unwrap().wait().unwrap();
+            }
+        }
+    }
+    assert!(rt.quiesce(Duration::from_secs(5)));
+    let after = rt.metrics();
+    assert_eq!(
+        after.remote_messages, before.remote_messages,
+        "prefer-local + affine gateways must produce zero cross-silo hops"
+    );
+    rt.shutdown();
+}

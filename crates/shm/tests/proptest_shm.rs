@@ -1,0 +1,125 @@
+//! Property-based tests of the SHM platform's pure logic: aggregate
+//! algebra, bucket math, equations, and topology layout invariants.
+
+use aodb_shm::types::{Aggregate, AggregateLevel, Equation};
+use aodb_shm::{Topology, TopologySpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// Aggregate merge is associative and order-insensitive: any
+    /// partitioning of a sample set merges to the same summary.
+    #[test]
+    fn aggregate_merge_is_partition_invariant(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        split in 0usize..100,
+    ) {
+        let split = split % values.len();
+        let mut whole = Aggregate::default();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut left = Aggregate::default();
+        let mut right = Aggregate::default();
+        for &v in &values[..split] {
+            left.record(v);
+        }
+        for &v in &values[split..] {
+            right.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count, whole.count);
+        prop_assert!((left.sum - whole.sum).abs() < 1e-6 * (1.0 + whole.sum.abs()));
+        prop_assert_eq!(left.min, whole.min);
+        prop_assert_eq!(left.max, whole.max);
+    }
+
+    /// Aggregate statistics match naive computations.
+    #[test]
+    fn aggregate_stats_match_naive(values in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+        let mut agg = Aggregate::default();
+        for &v in &values {
+            agg.record(v);
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        prop_assert!((agg.mean().unwrap() - mean).abs() < 1e-6);
+        prop_assert!((agg.variance().unwrap() - var).abs() < 1e-3);
+    }
+
+    /// Bucket starts tile the timeline: every timestamp belongs to exactly
+    /// the bucket `[start, start + width)`, and hour buckets nest in day
+    /// buckets which nest in (30-day) month buckets.
+    #[test]
+    fn bucket_math_tiles_and_nests(ts in 0u64..10_000_000_000_000) {
+        for level in [AggregateLevel::Hour, AggregateLevel::Day, AggregateLevel::Month] {
+            let start = level.bucket_start(ts);
+            prop_assert!(start <= ts);
+            prop_assert!(ts < start + level.bucket_ms());
+            prop_assert_eq!(start % level.bucket_ms(), 0);
+        }
+        let hour = AggregateLevel::Hour.bucket_start(ts);
+        let day = AggregateLevel::Day.bucket_start(ts);
+        prop_assert_eq!(AggregateLevel::Day.bucket_start(hour), day);
+        let month = AggregateLevel::Month.bucket_start(ts);
+        prop_assert_eq!(AggregateLevel::Month.bucket_start(day), month);
+    }
+
+    /// Sum and Mean relate as expected over any input pattern, and every
+    /// equation yields None only when no input has data.
+    #[test]
+    fn equation_consistency(latest in proptest::collection::vec(proptest::option::of(-1e3f64..1e3), 0..6)) {
+        let present: Vec<f64> = latest.iter().copied().flatten().collect();
+        let sum = Equation::Sum.apply(&latest);
+        let mean = Equation::Mean.apply(&latest);
+        if present.is_empty() {
+            prop_assert_eq!(sum, None);
+            prop_assert_eq!(mean, None);
+        } else {
+            let s = sum.unwrap();
+            prop_assert!((s - present.iter().sum::<f64>()).abs() < 1e-9);
+            prop_assert!((mean.unwrap() - s / present.len() as f64).abs() < 1e-9);
+        }
+    }
+
+    /// Topology layout invariants for arbitrary sensor counts and ratios:
+    /// counts add up, keys are unique, org sizes are bounded by the spec.
+    #[test]
+    fn topology_layout_invariants(
+        sensors in 0usize..400,
+        per_org in 1usize..120,
+        channels in 1usize..4,
+        virtual_every in 0usize..12,
+    ) {
+        let spec = TopologySpec {
+            sensors_per_org: per_org,
+            channels_per_sensor: channels,
+            virtual_every,
+            ..Default::default()
+        };
+        let t = Topology::layout(sensors, spec);
+        prop_assert_eq!(t.sensor_count(), sensors);
+        prop_assert_eq!(t.physical_channel_count(), sensors * channels);
+        let expected_orgs = sensors.div_ceil(per_org);
+        prop_assert_eq!(t.orgs.len(), expected_orgs);
+        for org in &t.orgs {
+            prop_assert!(org.sensors.len() <= per_org);
+        }
+        // Every channel key is globally unique.
+        let mut keys: Vec<&str> = t.physical_channels().collect();
+        let before = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before);
+        // Virtual channel ratio.
+        if virtual_every > 0 {
+            let expected_virtual: usize = t
+                .orgs
+                .iter()
+                .map(|o| o.sensors.len().div_ceil(virtual_every))
+                .sum();
+            prop_assert_eq!(t.virtual_channel_count(), expected_virtual);
+        } else {
+            prop_assert_eq!(t.virtual_channel_count(), 0);
+        }
+    }
+}

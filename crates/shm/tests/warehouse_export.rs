@@ -1,0 +1,154 @@
+//! Tests of the analytical warehouse export: star-schema load from the
+//! online aggregators, roll-up queries, idempotent re-export, and the
+//! online/offline separation the paper's architecture prescribes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aodb_runtime::Runtime;
+use aodb_shm::types::{AggregateLevel, DataPoint};
+use aodb_shm::warehouse::{WarehouseExporter, WarehouseReader};
+use aodb_shm::{provision, register_all, ShmClient, ShmEnv, Topology, TopologySpec};
+use aodb_store::{MemStore, StateStore};
+
+const HOUR: u64 = 3_600_000;
+
+fn setup_with_data() -> (Runtime, Topology, ShmClient, Arc<dyn StateStore>) {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let rt = Runtime::single(2);
+    register_all(&rt, ShmEnv::paper_default(Arc::clone(&store)));
+    let topology = Topology::layout(2, TopologySpec::default());
+    provision(&rt, &topology, |_| None).unwrap();
+    let client = ShmClient::new(rt.handle());
+
+    // Three hours of data on every physical channel; values differ per
+    // channel so roll-ups are distinguishable.
+    for (c_idx, channel) in topology.physical_channels().enumerate() {
+        for hour in 0..3u64 {
+            let points: Vec<DataPoint> = (0..6)
+                .map(|i| DataPoint {
+                    ts_ms: hour * HOUR + i * 60_000,
+                    value: (c_idx + 1) as f64 * 10.0 + i as f64,
+                })
+                .collect();
+            client.ingest(channel, points).unwrap().wait().unwrap();
+        }
+    }
+    assert!(rt.quiesce(Duration::from_secs(10)));
+    (rt, topology, client, store)
+}
+
+#[test]
+fn export_writes_facts_and_dimensions() {
+    let (rt, topology, client, store) = setup_with_data();
+    let exporter = WarehouseExporter::new(Arc::clone(&store));
+    let summary = exporter
+        .export(&client, &topology, AggregateLevel::Hour, 0, 4 * HOUR)
+        .unwrap();
+
+    // 4 physical channels × 3 hourly buckets; the virtual channel also
+    // produced derived buckets.
+    assert!(summary.facts >= 12, "facts = {}", summary.facts);
+    // 5 channel dims (4 physical + 1 virtual) + 1 org dim.
+    assert_eq!(summary.dims, 6);
+
+    let reader = WarehouseReader::new(store);
+    let facts = reader.facts("org-0", 0, 4 * HOUR).unwrap();
+    assert_eq!(facts.len() as u64, summary.facts);
+    // Dimensions join.
+    let dim = reader.channel_dim(&facts[0].channel).unwrap().unwrap();
+    assert_eq!(dim.org, "org-0");
+    let org = reader.org_dim("org-0").unwrap().unwrap();
+    assert_eq!(org.sensors, 2);
+    assert_eq!(org.channels, 5);
+    rt.shutdown();
+}
+
+#[test]
+fn rollups_aggregate_correctly() {
+    let (rt, topology, client, store) = setup_with_data();
+    WarehouseExporter::new(Arc::clone(&store))
+        .export(&client, &topology, AggregateLevel::Hour, 0, 4 * HOUR)
+        .unwrap();
+    let reader = WarehouseReader::new(store);
+
+    // Per channel: each physical channel recorded 18 points total.
+    let by_channel = reader.rollup_by_channel("org-0", 0, 4 * HOUR).unwrap();
+    let phys: Vec<_> = by_channel
+        .iter()
+        .filter(|(c, _)| c.contains("/c-"))
+        .collect();
+    assert_eq!(phys.len(), 4);
+    for (channel, agg) in &phys {
+        assert_eq!(agg.count, 18, "channel {channel}");
+    }
+
+    // Per bucket: each hour holds 6 points × 4 physical channels (+
+    // virtual derived points).
+    let by_bucket = reader.rollup_by_bucket("org-0", 0, 4 * HOUR).unwrap();
+    assert_eq!(by_bucket.len(), 3);
+    for (bucket, agg) in &by_bucket {
+        assert!(agg.count >= 24, "bucket {bucket} count {}", agg.count);
+        assert_eq!(bucket % HOUR, 0);
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn re_export_is_idempotent() {
+    let (rt, topology, client, store) = setup_with_data();
+    let exporter = WarehouseExporter::new(Arc::clone(&store));
+    let first = exporter
+        .export(&client, &topology, AggregateLevel::Hour, 0, 4 * HOUR)
+        .unwrap();
+    let second = exporter
+        .export(&client, &topology, AggregateLevel::Hour, 0, 4 * HOUR)
+        .unwrap();
+    assert_eq!(first.facts, second.facts);
+
+    let reader = WarehouseReader::new(store);
+    // Upsert semantics: measures are not doubled by the second pass.
+    let by_channel = reader.rollup_by_channel("org-0", 0, 4 * HOUR).unwrap();
+    for (channel, agg) in by_channel.iter().filter(|(c, _)| c.contains("/c-")) {
+        assert_eq!(agg.count, 18, "channel {channel} double-counted");
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn time_slicing_filters_buckets() {
+    let (rt, topology, client, store) = setup_with_data();
+    WarehouseExporter::new(Arc::clone(&store))
+        .export(&client, &topology, AggregateLevel::Hour, 0, 4 * HOUR)
+        .unwrap();
+    let reader = WarehouseReader::new(store);
+    let hour1_only = reader.rollup_by_bucket("org-0", HOUR, 2 * HOUR - 1).unwrap();
+    assert_eq!(hour1_only.len(), 1);
+    assert_eq!(hour1_only[0].0, HOUR);
+    rt.shutdown();
+}
+
+#[test]
+fn warehouse_is_separate_from_online_state() {
+    // The paper's separation: warehouse lives in its own namespace; the
+    // online actor-state namespace is untouched by analytics and vice
+    // versa.
+    let (rt, topology, client, store) = setup_with_data();
+    let online_before = store
+        .scan_prefix(&aodb_store::Key::namespace_prefix("actor-state"))
+        .unwrap()
+        .len();
+    WarehouseExporter::new(Arc::clone(&store))
+        .export(&client, &topology, AggregateLevel::Hour, 0, 4 * HOUR)
+        .unwrap();
+    let online_after = store
+        .scan_prefix(&aodb_store::Key::namespace_prefix("actor-state"))
+        .unwrap()
+        .len();
+    assert_eq!(online_before, online_after);
+    let warehouse = store
+        .scan_prefix(&aodb_store::Key::namespace_prefix("warehouse"))
+        .unwrap();
+    assert!(!warehouse.is_empty());
+    rt.shutdown();
+}

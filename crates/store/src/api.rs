@@ -1,0 +1,204 @@
+//! The storage API: keys, errors, and the [`StateStore`] trait.
+//!
+//! The paper's deployment stores grain state in Amazon DynamoDB. This trait
+//! abstracts that role: a durable key-value store used by persistent actors
+//! to load state on activation and write it back per their write policy.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+/// Composite storage key: `namespace / partition / sort`.
+///
+/// Mirrors DynamoDB's table + partition key + sort key layout. Keys encode
+/// to a single byte string with `0x00` separators (and `0x00` escaped as
+/// `0x00 0xFF` inside components) so that lexicographic order on the
+/// encoding equals order on the components and prefix scans over
+/// `(namespace, partition)` are well-defined.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Key(Vec<u8>);
+
+const SEP: u8 = 0x00;
+const ESC: u8 = 0xFF;
+
+fn push_escaped(out: &mut Vec<u8>, component: &[u8]) {
+    for &b in component {
+        if b == SEP {
+            out.push(SEP);
+            out.push(ESC);
+        } else {
+            out.push(b);
+        }
+    }
+}
+
+impl Key {
+    /// Key with namespace and partition only.
+    pub fn new(namespace: &str, partition: &str) -> Key {
+        let mut buf = Vec::with_capacity(namespace.len() + partition.len() + 2);
+        push_escaped(&mut buf, namespace.as_bytes());
+        buf.push(SEP);
+        buf.push(SEP);
+        push_escaped(&mut buf, partition.as_bytes());
+        Key(buf)
+    }
+
+    /// Key with namespace, partition, and sort component.
+    pub fn with_sort(namespace: &str, partition: &str, sort: &str) -> Key {
+        let mut key = Key::new(namespace, partition);
+        key.0.push(SEP);
+        key.0.push(SEP);
+        push_escaped(&mut key.0, sort.as_bytes());
+        key
+    }
+
+    /// Prefix matching every sort key under `(namespace, partition)`.
+    pub fn partition_prefix(namespace: &str, partition: &str) -> Vec<u8> {
+        let mut key = Key::new(namespace, partition);
+        key.0.push(SEP);
+        key.0.push(SEP);
+        key.0
+    }
+
+    /// Prefix matching every key in `namespace`.
+    pub fn namespace_prefix(namespace: &str) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(namespace.len() + 2);
+        push_escaped(&mut buf, namespace.as_bytes());
+        buf.push(SEP);
+        buf.push(SEP);
+        buf
+    }
+
+    /// The encoded byte form.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Takes ownership of the encoded byte form.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Rebuilds a key from its encoded form (e.g. a scan result).
+    pub fn from_encoded(bytes: &[u8]) -> Key {
+        Key(bytes.to_vec())
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", String::from_utf8_lossy(&self.0).replace('\0', "/"))
+    }
+}
+
+/// Storage failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The provisioned-throughput model rejected the request
+    /// (DynamoDB's `ProvisionedThroughputExceededException`). Callers may
+    /// retry with backoff.
+    Throttled,
+    /// Underlying I/O failure (message carries the `std::io::Error` text).
+    Io(String),
+    /// A persisted record failed its integrity check during recovery or
+    /// read.
+    Corrupt(String),
+    /// Value (de)serialization failed.
+    Codec(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Throttled => write!(f, "provisioned throughput exceeded"),
+            StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StoreError::Corrupt(e) => write!(f, "corrupt record: {e}"),
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+/// Result alias for storage operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// A durable key-value state store (the DynamoDB role).
+///
+/// Implementations must be safe for concurrent use from many worker
+/// threads; persistent actors call into the store from inside their turns.
+pub trait StateStore: Send + Sync + 'static {
+    /// Reads the value at `key`.
+    fn get(&self, key: &Key) -> StoreResult<Option<Bytes>>;
+
+    /// Writes `value` at `key`, replacing any previous value.
+    fn put(&self, key: &Key, value: Bytes) -> StoreResult<()>;
+
+    /// Deletes `key`. Deleting an absent key is not an error.
+    fn delete(&self, key: &Key) -> StoreResult<()>;
+
+    /// Returns all `(key, value)` pairs whose encoded key starts with
+    /// `prefix`, in key order.
+    fn scan_prefix(&self, prefix: &[u8]) -> StoreResult<Vec<(Key, Bytes)>>;
+
+    /// Flushes buffered writes to durable media. Default: no-op.
+    fn sync(&self) -> StoreResult<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_ordering_matches_components() {
+        let a = Key::with_sort("t", "p1", "a");
+        let b = Key::with_sort("t", "p1", "b");
+        let c = Key::with_sort("t", "p2", "a");
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn partition_prefix_matches_only_its_partition() {
+        let k1 = Key::with_sort("t", "p1", "x");
+        let k2 = Key::with_sort("t", "p10", "x");
+        let prefix = Key::partition_prefix("t", "p1");
+        assert!(k1.as_bytes().starts_with(&prefix));
+        assert!(
+            !k2.as_bytes().starts_with(&prefix),
+            "p10 must not match the p1 partition prefix"
+        );
+    }
+
+    #[test]
+    fn namespace_prefix_isolation() {
+        let k1 = Key::new("tenant-a", "x");
+        let k2 = Key::new("tenant-ab", "x");
+        let prefix = Key::namespace_prefix("tenant-a");
+        assert!(k1.as_bytes().starts_with(&prefix));
+        assert!(!k2.as_bytes().starts_with(&prefix));
+    }
+
+    #[test]
+    fn components_containing_separator_stay_distinct() {
+        let k1 = Key::new("a\0b", "c");
+        let k2 = Key::new("a", "b\0c");
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let k = Key::with_sort("shm", "org-1", "sensor-2");
+        let shown = k.to_string();
+        assert!(shown.contains("shm"));
+        assert!(shown.contains("org-1"));
+    }
+}

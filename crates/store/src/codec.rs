@@ -1,0 +1,187 @@
+//! Value codec and record framing.
+//!
+//! * State blobs are serialized with `serde_json` (human-inspectable, no
+//!   extra dependency beyond the allowed serde ecosystem).
+//! * Log records are framed as `len | crc32 | payload` with a table-driven
+//!   CRC-32 (IEEE 802.3 polynomial) implemented here, so torn or corrupted
+//!   tail records are detected during recovery.
+
+use bytes::Bytes;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::api::{StoreError, StoreResult};
+
+/// Serializes a state value to bytes.
+pub fn encode_state<T: Serialize>(value: &T) -> StoreResult<Bytes> {
+    serde_json::to_vec(value)
+        .map(Bytes::from)
+        .map_err(|e| StoreError::Codec(e.to_string()))
+}
+
+/// Deserializes a state value from bytes.
+pub fn decode_state<T: DeserializeOwned>(bytes: &[u8]) -> StoreResult<T> {
+    serde_json::from_slice(bytes).map_err(|e| StoreError::Codec(e.to_string()))
+}
+
+const CRC_POLY: u32 = 0xEDB8_8320;
+
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ CRC_POLY } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Incremental CRC-32 over multiple slices.
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds more data.
+    pub fn update(&mut self, data: &[u8]) {
+        let table = crc_table();
+        for &b in data {
+            self.state = (self.state >> 8) ^ table[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// Final checksum.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// Frames `payload` as `len(4) | crc(4) | payload` into `out`.
+pub fn frame_record(payload: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Parses one framed record from the front of `buf`.
+///
+/// Returns `Ok(Some((payload, consumed)))` on success, `Ok(None)` when the
+/// buffer ends mid-record (a torn tail write — the recovery point), and
+/// `Err` on a checksum mismatch.
+pub fn parse_record(buf: &[u8]) -> StoreResult<Option<(&[u8], usize)>> {
+    if buf.len() < 8 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4-byte slice")) as usize;
+    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4-byte slice"));
+    if buf.len() < 8 + len {
+        return Ok(None);
+    }
+    let payload = &buf[8..8 + len];
+    if crc32(payload) != crc {
+        return Err(StoreError::Corrupt(format!(
+            "crc mismatch on {len}-byte record"
+        )));
+    }
+    Ok(Some((payload, 8 + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn incremental_crc_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut inc = Crc32::new();
+        inc.update(&data[..10]);
+        inc.update(&data[10..]);
+        assert_eq!(inc.finish(), crc32(data));
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        frame_record(b"hello", &mut buf);
+        frame_record(b"world!", &mut buf);
+        let (p1, n1) = parse_record(&buf).unwrap().unwrap();
+        assert_eq!(p1, b"hello");
+        let (p2, n2) = parse_record(&buf[n1..]).unwrap().unwrap();
+        assert_eq!(p2, b"world!");
+        assert_eq!(n1 + n2, buf.len());
+    }
+
+    #[test]
+    fn torn_tail_is_not_an_error() {
+        let mut buf = Vec::new();
+        frame_record(b"complete", &mut buf);
+        let full = buf.len();
+        frame_record(b"torn-record", &mut buf);
+        // Simulate a crash mid-write of the second record.
+        buf.truncate(full + 5);
+        let (p, n) = parse_record(&buf).unwrap().unwrap();
+        assert_eq!(p, b"complete");
+        assert_eq!(parse_record(&buf[n..]).unwrap(), None);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut buf = Vec::new();
+        frame_record(b"precious data", &mut buf);
+        buf[10] ^= 0x01;
+        assert!(matches!(parse_record(&buf), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn state_codec_roundtrip() {
+        #[derive(Serialize, Deserialize, PartialEq, Debug)]
+        struct S {
+            name: String,
+            values: Vec<f64>,
+        }
+        let s = S { name: "bridge".into(), values: vec![1.5, -2.25] };
+        let bytes = encode_state(&s).unwrap();
+        let back: S = decode_state(&bytes).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn decode_garbage_is_codec_error() {
+        let r: StoreResult<Vec<u64>> = decode_state(b"not json at all {");
+        assert!(matches!(r, Err(StoreError::Codec(_))));
+    }
+}

@@ -1,0 +1,35 @@
+//! # aodb-store — durable state storage for actor-oriented databases
+//!
+//! The storage substrate of the EDBT 2019 IoT-AODB reproduction, standing
+//! in for Amazon DynamoDB in the paper's architecture:
+//!
+//! * [`StateStore`] — the store abstraction persistent actors write
+//!   through (get / put / delete / prefix scan over composite
+//!   [`Key`]s with DynamoDB-like partition + sort structure).
+//! * [`MemStore`] — in-memory baseline.
+//! * [`LogStore`] — durable log-structured store: CRC-framed write-ahead
+//!   log, in-memory index, snapshot compaction, crash recovery with
+//!   torn-tail truncation.
+//! * [`ProvisionedStore`] — a decorator reproducing DynamoDB's provisioned
+//!   read/write capacity units, burst credit, throttling, and request
+//!   latency (the paper provisions 200 RCU / 200 WCU).
+//! * [`codec`] — value serialization and record framing helpers.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod api;
+pub mod codec;
+mod log;
+mod mem;
+mod provisioned;
+
+pub use api::{Key, StateStore, StoreError, StoreResult};
+pub use log::{LogStore, LogStoreConfig, SyncPolicy};
+pub use mem::MemStore;
+pub use provisioned::{
+    ExhaustionBehavior, ProvisionedConfig, ProvisionedStats, ProvisionedStore, READ_UNIT_BYTES,
+    WRITE_UNIT_BYTES,
+};
+
+pub use bytes::Bytes;

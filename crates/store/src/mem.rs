@@ -1,0 +1,111 @@
+//! In-memory store: the baseline implementation used by tests and by
+//! benchmark configurations that deliberately exclude storage cost (the
+//! paper disables grain-storage uploads during its latency experiments).
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::api::{Key, StateStore, StoreResult};
+
+/// A `BTreeMap`-backed store. Ordered, so prefix scans are range scans.
+#[derive(Default)]
+pub struct MemStore {
+    map: RwLock<BTreeMap<Vec<u8>, Bytes>>,
+}
+
+impl MemStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+impl StateStore for MemStore {
+    fn get(&self, key: &Key) -> StoreResult<Option<Bytes>> {
+        Ok(self.map.read().get(key.as_bytes()).cloned())
+    }
+
+    fn put(&self, key: &Key, value: Bytes) -> StoreResult<()> {
+        self.map.write().insert(key.as_bytes().to_vec(), value);
+        Ok(())
+    }
+
+    fn delete(&self, key: &Key) -> StoreResult<()> {
+        self.map.write().remove(key.as_bytes());
+        Ok(())
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> StoreResult<Vec<(Key, Bytes)>> {
+        let map = self.map.read();
+        Ok(map
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (Key::from_encoded(k), v.clone()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let store = MemStore::new();
+        let k = Key::new("t", "a");
+        assert_eq!(store.get(&k).unwrap(), None);
+        store.put(&k, Bytes::from_static(b"v1")).unwrap();
+        assert_eq!(store.get(&k).unwrap(), Some(Bytes::from_static(b"v1")));
+        store.put(&k, Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(store.get(&k).unwrap(), Some(Bytes::from_static(b"v2")));
+        store.delete(&k).unwrap();
+        assert_eq!(store.get(&k).unwrap(), None);
+        store.delete(&k).unwrap(); // idempotent
+    }
+
+    #[test]
+    fn scan_prefix_returns_partition_in_order() {
+        let store = MemStore::new();
+        for (p, s) in [("p1", "b"), ("p1", "a"), ("p2", "a"), ("p1", "c")] {
+            store
+                .put(&Key::with_sort("t", p, s), Bytes::from(format!("{p}/{s}")))
+                .unwrap();
+        }
+        let hits = store.scan_prefix(&Key::partition_prefix("t", "p1")).unwrap();
+        let values: Vec<_> = hits.iter().map(|(_, v)| v.as_ref().to_vec()).collect();
+        assert_eq!(values, vec![b"p1/a".to_vec(), b"p1/b".to_vec(), b"p1/c".to_vec()]);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_keys() {
+        use std::sync::Arc;
+        let store = Arc::new(MemStore::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        let k = Key::with_sort("t", &format!("w{t}"), &format!("{i:04}"));
+                        store.put(&k, Bytes::from_static(b"x")).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 8 * 500);
+    }
+}

@@ -1,0 +1,348 @@
+//! DynamoDB-style provisioned-throughput wrapper.
+//!
+//! The paper's experimental setup provisions DynamoDB with 200 read and 200
+//! write capacity units per second and explicitly defers data-point uploads
+//! so the benchmark measures in-memory actors rather than storage. This
+//! wrapper reproduces the mechanism being avoided: capacity-unit token
+//! buckets (1 read unit per 4 KiB read, 1 write unit per 1 KiB written),
+//! burst credit, throttling errors or blocking backoff, and per-request
+//! latency injection. The `durability` ablation bench uses it to show what
+//! per-request persistence would have cost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::api::{Key, StateStore, StoreError, StoreResult};
+
+/// 1 read capacity unit covers this many bytes (DynamoDB: 4 KiB).
+pub const READ_UNIT_BYTES: usize = 4096;
+/// 1 write capacity unit covers this many bytes (DynamoDB: 1 KiB).
+pub const WRITE_UNIT_BYTES: usize = 1024;
+
+/// Behaviour when a bucket is empty.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExhaustionBehavior {
+    /// Fail fast with [`StoreError::Throttled`] (DynamoDB's
+    /// `ProvisionedThroughputExceededException`).
+    #[default]
+    Throttle,
+    /// Sleep until capacity accrues (an SDK retry loop collapsed into the
+    /// store).
+    Block,
+}
+
+/// Provisioned-throughput settings.
+#[derive(Clone, Copy, Debug)]
+pub struct ProvisionedConfig {
+    /// Read capacity units per second.
+    pub read_units: u32,
+    /// Write capacity units per second.
+    pub write_units: u32,
+    /// Seconds of unused capacity that may accrue as burst credit
+    /// (DynamoDB grants up to 300 s; default 30 s keeps tests brisk).
+    pub burst_seconds: f64,
+    /// What to do when a bucket runs dry.
+    pub on_exhausted: ExhaustionBehavior,
+    /// Fixed service latency added to every request (network + service
+    /// time of the cloud store). `Duration::ZERO` disables.
+    pub request_latency: Duration,
+}
+
+impl ProvisionedConfig {
+    /// The paper's benchmark configuration: 200 RCU / 200 WCU.
+    pub fn paper_default() -> Self {
+        ProvisionedConfig {
+            read_units: 200,
+            write_units: 200,
+            burst_seconds: 30.0,
+            on_exhausted: ExhaustionBehavior::Throttle,
+            request_latency: Duration::ZERO,
+        }
+    }
+}
+
+struct TokenBucket {
+    tokens: f64,
+    capacity: f64,
+    rate_per_sec: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate_per_sec: f64, burst_seconds: f64) -> Self {
+        let capacity = (rate_per_sec * burst_seconds).max(1.0);
+        TokenBucket { tokens: capacity, capacity, rate_per_sec, last_refill: Instant::now() }
+    }
+
+    fn refill(&mut self) {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + elapsed * self.rate_per_sec).min(self.capacity);
+    }
+
+    /// Takes `n` tokens or reports how long until they accrue.
+    fn take(&mut self, n: f64) -> Result<(), Duration> {
+        self.refill();
+        if self.tokens >= n {
+            self.tokens -= n;
+            Ok(())
+        } else {
+            let deficit = n - self.tokens;
+            Err(Duration::from_secs_f64(deficit / self.rate_per_sec))
+        }
+    }
+}
+
+/// Capacity-consumption statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProvisionedStats {
+    /// Read requests served.
+    pub reads: u64,
+    /// Write requests served.
+    pub writes: u64,
+    /// Requests rejected with [`StoreError::Throttled`].
+    pub throttled: u64,
+    /// Total time spent blocked waiting for capacity, in microseconds.
+    pub blocked_us: u64,
+}
+
+/// A [`StateStore`] decorator imposing provisioned throughput.
+pub struct ProvisionedStore<S> {
+    inner: S,
+    read_bucket: Mutex<TokenBucket>,
+    write_bucket: Mutex<TokenBucket>,
+    config: ProvisionedConfig,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    throttled: AtomicU64,
+    blocked_us: AtomicU64,
+}
+
+fn units(bytes: usize, unit_size: usize) -> f64 {
+    (bytes.max(1)).div_ceil(unit_size) as f64
+}
+
+impl<S: StateStore> ProvisionedStore<S> {
+    /// Wraps `inner` with the given capacity settings.
+    pub fn new(inner: S, config: ProvisionedConfig) -> Self {
+        ProvisionedStore {
+            inner,
+            read_bucket: Mutex::new(TokenBucket::new(
+                config.read_units as f64,
+                config.burst_seconds,
+            )),
+            write_bucket: Mutex::new(TokenBucket::new(
+                config.write_units as f64,
+                config.burst_seconds,
+            )),
+            config,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+            blocked_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Consumption counters.
+    pub fn stats(&self) -> ProvisionedStats {
+        ProvisionedStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            throttled: self.throttled.load(Ordering::Relaxed),
+            blocked_us: self.blocked_us.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Access to the wrapped store (tests, maintenance).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn consume(&self, bucket: &Mutex<TokenBucket>, n: f64) -> StoreResult<()> {
+        loop {
+            let wait = match bucket.lock().take(n) {
+                Ok(()) => break,
+                Err(wait) => wait,
+            };
+            match self.config.on_exhausted {
+                ExhaustionBehavior::Throttle => {
+                    self.throttled.fetch_add(1, Ordering::Relaxed);
+                    return Err(StoreError::Throttled);
+                }
+                ExhaustionBehavior::Block => {
+                    self.blocked_us
+                        .fetch_add(wait.as_micros() as u64, Ordering::Relaxed);
+                    std::thread::sleep(wait);
+                }
+            }
+        }
+        if !self.config.request_latency.is_zero() {
+            std::thread::sleep(self.config.request_latency);
+        }
+        Ok(())
+    }
+}
+
+impl<S: StateStore> StateStore for ProvisionedStore<S> {
+    fn get(&self, key: &Key) -> StoreResult<Option<Bytes>> {
+        // DynamoDB charges by item size, known only after the read; charge
+        // a single unit up front and the remainder after, which converges
+        // to the same steady-state rate.
+        self.consume(&self.read_bucket, 1.0)?;
+        let result = self.inner.get(key)?;
+        if let Some(v) = &result {
+            let extra = units(v.len(), READ_UNIT_BYTES) - 1.0;
+            if extra > 0.0 {
+                self.consume(&self.read_bucket, extra)?;
+            }
+        }
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(result)
+    }
+
+    fn put(&self, key: &Key, value: Bytes) -> StoreResult<()> {
+        self.consume(&self.write_bucket, units(value.len(), WRITE_UNIT_BYTES))?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.inner.put(key, value)
+    }
+
+    fn delete(&self, key: &Key) -> StoreResult<()> {
+        self.consume(&self.write_bucket, 1.0)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.inner.delete(key)
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> StoreResult<Vec<(Key, Bytes)>> {
+        let hits = self.inner.scan_prefix(prefix)?;
+        let bytes: usize = hits.iter().map(|(_, v)| v.len()).sum();
+        self.consume(&self.read_bucket, units(bytes, READ_UNIT_BYTES))?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(hits)
+    }
+
+    fn sync(&self) -> StoreResult<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemStore;
+
+    fn key(i: usize) -> Key {
+        Key::new("t", &format!("{i}"))
+    }
+
+    fn tiny_config() -> ProvisionedConfig {
+        ProvisionedConfig {
+            read_units: 100,
+            write_units: 10,
+            burst_seconds: 1.0,
+            on_exhausted: ExhaustionBehavior::Throttle,
+            request_latency: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn unit_math() {
+        assert_eq!(units(0, WRITE_UNIT_BYTES), 1.0);
+        assert_eq!(units(1024, WRITE_UNIT_BYTES), 1.0);
+        assert_eq!(units(1025, WRITE_UNIT_BYTES), 2.0);
+        assert_eq!(units(4096, READ_UNIT_BYTES), 1.0);
+        assert_eq!(units(8192, READ_UNIT_BYTES), 2.0);
+    }
+
+    #[test]
+    fn writes_throttle_after_burst() {
+        let store = ProvisionedStore::new(MemStore::new(), tiny_config());
+        // Burst allows ~10 one-unit writes; drive well past it.
+        let mut throttled = false;
+        for i in 0..50 {
+            match store.put(&key(i), Bytes::from_static(b"x")) {
+                Ok(()) => {}
+                Err(StoreError::Throttled) => {
+                    throttled = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(throttled, "expected throttling after burst exhaustion");
+        assert!(store.stats().throttled >= 1);
+    }
+
+    #[test]
+    fn large_values_cost_more_units() {
+        let store = ProvisionedStore::new(MemStore::new(), tiny_config());
+        // 10 KiB = 10 write units = the whole burst in one call.
+        store.put(&key(0), Bytes::from(vec![0u8; 10 * 1024])).unwrap();
+        assert!(matches!(
+            store.put(&key(1), Bytes::from_static(b"x")),
+            Err(StoreError::Throttled)
+        ));
+    }
+
+    #[test]
+    fn capacity_refills_over_time() {
+        let store = ProvisionedStore::new(MemStore::new(), tiny_config());
+        for i in 0..10 {
+            store.put(&key(i), Bytes::from_static(b"x")).unwrap();
+        }
+        assert!(matches!(
+            store.put(&key(99), Bytes::from_static(b"x")),
+            Err(StoreError::Throttled)
+        ));
+        std::thread::sleep(Duration::from_millis(250));
+        // 10 WCU/s × 0.25 s = ~2.5 units accrued.
+        store.put(&key(99), Bytes::from_static(b"x")).unwrap();
+    }
+
+    #[test]
+    fn block_mode_waits_instead_of_failing() {
+        let mut config = tiny_config();
+        config.on_exhausted = ExhaustionBehavior::Block;
+        config.write_units = 50;
+        config.burst_seconds = 0.1;
+        let store = ProvisionedStore::new(MemStore::new(), config);
+        let t0 = Instant::now();
+        for i in 0..20 {
+            store.put(&key(i), Bytes::from_static(b"x")).unwrap();
+        }
+        // 5-unit burst + 50/s refill → ~15 units waited ≈ 0.3 s.
+        assert!(t0.elapsed() >= Duration::from_millis(150));
+        assert_eq!(store.stats().writes, 20);
+        assert!(store.stats().blocked_us > 0);
+    }
+
+    #[test]
+    fn reads_and_writes_use_separate_buckets() {
+        let store = ProvisionedStore::new(MemStore::new(), tiny_config());
+        for i in 0..10 {
+            store.put(&key(i), Bytes::from_static(b"x")).unwrap();
+        }
+        assert!(matches!(
+            store.put(&key(99), Bytes::from_static(b"y")),
+            Err(StoreError::Throttled)
+        ));
+        // Reads still fine: read bucket untouched.
+        for i in 0..10 {
+            assert!(store.get(&key(i)).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn passthrough_semantics() {
+        let store = ProvisionedStore::new(MemStore::new(), tiny_config());
+        store.put(&key(1), Bytes::from_static(b"v")).unwrap();
+        assert_eq!(store.get(&key(1)).unwrap(), Some(Bytes::from_static(b"v")));
+        store.delete(&key(1)).unwrap();
+        assert_eq!(store.get(&key(1)).unwrap(), None);
+        let hits = store.scan_prefix(&Key::namespace_prefix("t")).unwrap();
+        assert!(hits.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Beef-chain walkthrough (paper case study 2): farm → slaughterhouse →
+//! distributor → retailer → consumer trace, plus both ownership-transfer
+//! mechanisms from the paper's Section 4.4.
+//!
+//! ```text
+//! cargo run --example cattle_tracing
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use iot_aodb::cattle::types::{Breed, CollarReading, GeoFence, GeoPoint};
+use iot_aodb::cattle::{register_all, CattleClient, CattleEnv};
+use iot_aodb::core::TxnOutcome;
+use iot_aodb::runtime::Runtime;
+use iot_aodb::store::MemStore;
+
+const T: Duration = Duration::from_secs(10);
+
+fn main() {
+    let rt = Runtime::single(2);
+    register_all(&rt, CattleEnv::new(Arc::new(MemStore::new())));
+    let client = CattleClient::new(rt.handle());
+
+    // --- Participants.
+    client.create_farmer("farm/nørgaard", "Nørgaard Agro").unwrap();
+    client.create_farmer("farm/jensen", "Jensen & Sønner").unwrap();
+    client.create_slaughterhouse("sh/danish-crown", "Danish Crown Holsted").unwrap();
+    client.create_distributor("dist/dsv", "DSV Cold Chain").unwrap();
+    client.create_retailer("retail/brugsen", "SuperBrugsen Ørestad").unwrap();
+
+    // --- A cow with a collar, geo-fenced to its pasture.
+    client
+        .register_cow("cow/dk-871234", "farm/nørgaard", Breed::HolsteinCross, 0)
+        .unwrap();
+    client
+        .set_fence(
+            "cow/dk-871234",
+            Some(GeoFence::Circle {
+                center: GeoPoint { lat: 55.48, lon: 8.68 },
+                radius: 0.02,
+            }),
+        )
+        .unwrap();
+    let readings: Vec<CollarReading> = (0..48)
+        .map(|h| CollarReading {
+            ts_ms: h * 3_600_000,
+            position: GeoPoint {
+                lat: 55.48 + (h as f64 * 0.7).sin() * 0.01,
+                lon: 8.68 + (h as f64 * 0.9).cos() * 0.01,
+            },
+            speed: 0.3,
+            temperature: 38.5 + (h % 3) as f64 * 0.1,
+        })
+        .collect();
+    client.collar_report("cow/dk-871234", readings).unwrap().wait_for(T).unwrap();
+    let info = client.cow_info("cow/dk-871234").unwrap().wait_for(T).unwrap();
+    println!(
+        "cow dk-871234: {} collar fixes, {} fence violations, owner {}",
+        info.total_readings, info.fence_violations, info.farmer
+    );
+
+    // --- Ownership transfer: atomically via 2PC (cow + both farmers).
+    let outcome = client
+        .transfer_cow_txn("cow/dk-871234", "farm/nørgaard", "farm/jensen")
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    assert_eq!(outcome, TxnOutcome::Committed);
+    println!(
+        "sold to farm/jensen (2PC committed); herds: nørgaard={:?} jensen={:?}",
+        client.herd("farm/nørgaard").unwrap().wait_for(T).unwrap(),
+        client.herd("farm/jensen").unwrap().wait_for(T).unwrap(),
+    );
+
+    // --- Slaughter: the cow becomes meat cuts.
+    let cuts = client
+        .slaughter("sh/danish-crown", "cow/dk-871234", 1_000_000)
+        .unwrap()
+        .wait_for(T)
+        .unwrap()
+        .expect("cow was alive");
+    println!("slaughtered → {} cuts: {cuts:?}", cuts.len());
+
+    // --- Distribution: a refrigerated truck moves the cuts to retail.
+    let delivery = client
+        .create_delivery("dist/dsv", cuts.clone(), "sh/danish-crown", "retail/brugsen", "truck-DK-4411")
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    client.depart(&delivery, 1_050_000).unwrap();
+    client.arrive(&delivery, 1_100_000).unwrap();
+    rt.quiesce(T);
+
+    // --- Retail: two cuts become a consumer product.
+    let product = client
+        .create_product("retail/brugsen", cuts[..2].to_vec(), "Familiepakke oksekød 1 kg", 1_200_000)
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    rt.quiesce(T);
+
+    // --- Consumer: scan the product, trace it back to the farm.
+    let report = client.trace_product(&product).unwrap();
+    println!("\n=== consumer trace of {product} ===");
+    println!("product: {} @ {}", report.product_info.name, report.product_info.retailer);
+    println!("farms: {:?}", report.farms());
+    println!("slaughterhouses: {:?}", report.slaughterhouses());
+    for cut in &report.cuts {
+        println!(
+            "  {}: {} {:.1}kg — cow {} ({:?}), journey: {}",
+            cut.cut,
+            cut.info.data.cut_type,
+            cut.info.data.weight_kg,
+            cut.info.data.cow,
+            cut.cow.breed,
+            cut.info
+                .itinerary
+                .iter()
+                .map(|leg| format!("{}→{}", leg.from, leg.to))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
+
+    // The ownership history (farm/nørgaard → farm/jensen) is part of the
+    // trace through the cow's event log.
+    let events = &report.cuts[0].cow.events;
+    println!("cow lifecycle events: {}", events.len());
+    for e in events {
+        println!("  {:?} by {} at t={}ms", e.kind, e.actor, e.ts_ms);
+    }
+
+    rt.shutdown();
+    println!("done.");
+}

@@ -1,0 +1,120 @@
+//! Structural Health Monitoring walkthrough (paper case study 1).
+//!
+//! Provisions a small bridge-monitoring tenant with the paper's exact
+//! ratios (2 physical channels per sensor, a virtual sum channel on every
+//! 10th sensor, hour→day aggregation), streams sensor data including a
+//! threshold breach, and runs every online query the platform supports.
+//!
+//! ```text
+//! cargo run --example shm_platform
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use iot_aodb::runtime::Runtime;
+use iot_aodb::shm::types::{AggregateLevel, DataPoint, Threshold};
+use iot_aodb::shm::{provision, register_all, ShmClient, ShmEnv, Topology, TopologySpec};
+use iot_aodb::store::MemStore;
+
+fn main() {
+    let rt = Runtime::single(2);
+    register_all(&rt, ShmEnv::paper_default(Arc::new(MemStore::new())));
+
+    // A 20-sensor bridge: 1 organization, 40 physical + 2 virtual channels,
+    // extension thresholds on every channel.
+    let spec = TopologySpec {
+        threshold: Threshold { high: Some(80.0), ..Default::default() },
+        ..Default::default()
+    };
+    let topology = Topology::layout(20, spec);
+    provision(&rt, &topology, |_| None).expect("provisioning");
+    let org = topology.orgs[0].key.clone();
+    println!(
+        "provisioned {} sensors / {} physical + {} virtual channels under {org}",
+        topology.sensor_count(),
+        topology.physical_channel_count(),
+        topology.virtual_channel_count()
+    );
+
+    let client = ShmClient::new(rt.handle());
+
+    // --- Ingest: one hour of 10 Hz data on the first sensor, including a
+    // spike that crosses the 80.0 threshold.
+    let sensor = &topology.orgs[0].sensors[0];
+    for minute in 0..60u64 {
+        for (c, channel) in sensor.physical.iter().enumerate() {
+            let points: Vec<DataPoint> = (0..10)
+                .map(|i| DataPoint {
+                    ts_ms: minute * 60_000 + i * 100,
+                    value: if minute == 30 && c == 0 {
+                        95.0 // the spike
+                    } else {
+                        20.0 + (minute as f64) * 0.1 + i as f64 * 0.01
+                    },
+                })
+                .collect();
+            client.ingest(channel, points).unwrap().wait().unwrap();
+        }
+    }
+    rt.quiesce(Duration::from_secs(10));
+
+    // --- FR 4: accumulated change.
+    let stats = client.channel_stats(&sensor.physical[0]).unwrap().wait().unwrap();
+    println!(
+        "\nchannel {}: {} points, accumulated change {:.1}, net change {:.2}",
+        sensor.physical[0], stats.total_points, stats.accumulated_change, stats.net_change
+    );
+
+    // --- FR 5: threshold alerts.
+    let alerts = client.recent_alerts(&org, 5).unwrap().wait().unwrap();
+    println!("alerts raised: {}", alerts.len());
+    for a in &alerts {
+        println!("  [{:?}] {} = {:.1} at t={}ms", a.kind, a.channel, a.value, a.ts_ms);
+    }
+
+    // --- FR 6: statistical aggregates for plots.
+    let buckets = client
+        .aggregates(&sensor.physical[0], AggregateLevel::Hour, 0, 3_600_000)
+        .unwrap()
+        .wait()
+        .unwrap();
+    println!("\nhourly aggregate buckets: {}", buckets.len());
+    for (start, agg) in &buckets {
+        println!(
+            "  hour@{start}: n={} mean={:.2} min={:.1} max={:.1}",
+            agg.count,
+            agg.mean().unwrap_or(0.0),
+            agg.min,
+            agg.max
+        );
+    }
+
+    // --- FR 6/7: raw data exploration.
+    let raw = client
+        .raw_range(&sensor.physical[0], 1_800_000, 1_805_000, 0)
+        .unwrap()
+        .wait()
+        .unwrap();
+    println!("\nraw points in [1800s, 1805s]: {}", raw.len());
+
+    // --- FR 7: live view of the whole structure (fan-out over all 42
+    // channels, including the derived virtual ones).
+    let report = client.live_data(&org).unwrap().wait_for(Duration::from_secs(10)).unwrap();
+    let live = report.channels.iter().filter(|(_, p)| p.is_some()).count();
+    println!("live data: {live}/{} channels reporting", report.channels.len());
+
+    // Virtual channel: sum of its sensor's two physical channels.
+    let vstats = client
+        .virtual_channel_stats(sensor.virtual_channel.as_ref().unwrap())
+        .unwrap()
+        .wait()
+        .unwrap();
+    println!(
+        "virtual channel latest = {:.2} (sum of both physical streams)",
+        vstats.last.map(|p| p.value).unwrap_or(0.0)
+    );
+
+    rt.shutdown();
+    println!("done.");
+}
