@@ -1,0 +1,174 @@
+//! `aodb-lint` — static checks for the actor workspace.
+//!
+//! ```text
+//! aodb-lint [--graph <edge-list>] [--dot <path>] [--src <dir>] [--no-lint]
+//! ```
+//!
+//! With no arguments: builds the whole-workspace call graph from the
+//! crates' declared topologies, rejects synchronous-call cycles, and runs
+//! the turn-discipline source lint over `crates/*/src`. Exits nonzero on
+//! any violation.
+//!
+//! * `--graph <file>` — analyze a fixture edge list (`FROM call|send TO`
+//!   per line) instead of the compiled-in workspace topology.
+//! * `--dot <path>` — write the graph as Graphviz DOT (`-` for stdout).
+//! * `--src <dir>` — root for the source lint (default: the workspace's
+//!   `crates/` directory; may be repeated).
+//! * `--no-lint` — skip the source lint (graph checks only).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use aodb_analysis::{lint_tree, workspace_graph, CallGraph};
+
+struct Options {
+    graph_file: Option<PathBuf>,
+    dot: Option<PathBuf>,
+    src: Vec<PathBuf>,
+    run_lint: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        graph_file: None,
+        dot: None,
+        src: Vec::new(),
+        run_lint: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--graph" => {
+                let v = args.next().ok_or("--graph needs a file argument")?;
+                opts.graph_file = Some(PathBuf::from(v));
+            }
+            "--dot" => {
+                let v = args.next().ok_or("--dot needs a path argument")?;
+                opts.dot = Some(PathBuf::from(v));
+            }
+            "--src" => {
+                let v = args.next().ok_or("--src needs a directory argument")?;
+                opts.src.push(PathBuf::from(v));
+            }
+            "--no-lint" => opts.run_lint = false,
+            "--help" | "-h" => {
+                println!(
+                    "aodb-lint [--graph <edge-list>] [--dot <path>] [--src <dir>] [--no-lint]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The workspace `crates/` directory, resolved relative to this crate's
+/// build-time location so the binary works from any working directory.
+fn default_src_root() -> Option<PathBuf> {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let crates = manifest.parent()?.to_path_buf();
+    crates.is_dir().then_some(crates)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("aodb-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let graph = match &opts.graph_file {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("aodb-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match CallGraph::parse_edge_list(&text) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("aodb-lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => workspace_graph(),
+    };
+
+    if let Some(dot_path) = &opts.dot {
+        let dot = graph.to_dot();
+        if dot_path.as_os_str() == "-" {
+            print!("{dot}");
+        } else if let Err(e) = std::fs::write(dot_path, dot) {
+            eprintln!("aodb-lint: cannot write {}: {e}", dot_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut violations = 0usize;
+
+    println!(
+        "call graph: {} actor types, {} declared edges",
+        graph.nodes().len(),
+        graph.edges().len()
+    );
+    let cycles = graph.call_cycles();
+    if cycles.is_empty() {
+        println!("reentrancy: no synchronous-call cycles — topology is deadlock-free");
+    } else {
+        for cycle in &cycles {
+            violations += 1;
+            eprintln!(
+                "reentrancy deadlock: synchronous call cycle: {} -> {}",
+                cycle.join(" -> "),
+                cycle[0]
+            );
+        }
+    }
+
+    if opts.run_lint {
+        let roots = if opts.src.is_empty() {
+            match default_src_root() {
+                Some(r) => vec![r],
+                None => {
+                    eprintln!("aodb-lint: cannot locate workspace crates/ (pass --src)");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            opts.src.clone()
+        };
+        for root in &roots {
+            match lint_tree(root) {
+                Ok(findings) => {
+                    for f in &findings {
+                        violations += 1;
+                        eprintln!("{f}");
+                    }
+                    println!(
+                        "turn discipline: {} finding(s) under {}",
+                        findings.len(),
+                        root.display()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("aodb-lint: lint failed under {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    if violations > 0 {
+        eprintln!("aodb-lint: {violations} violation(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("aodb-lint: clean");
+        ExitCode::SUCCESS
+    }
+}

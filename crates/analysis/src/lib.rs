@@ -1,0 +1,89 @@
+//! # aodb-analysis — static analysis for the actor workspace
+//!
+//! Three checks, all derived from the turn-based execution model (an
+//! actor handles one message at a time and must never block its turn on
+//! another actor that might, transitively, be waiting on it):
+//!
+//! * **Call-graph extraction** — every actor type declares its outbound
+//!   edges ([`aodb_runtime::Actor::declared_calls`]); the application
+//!   crates export them via `call_topology()` and [`workspace_graph`]
+//!   assembles the whole-workspace [`CallGraph`], renderable as Graphviz
+//!   DOT.
+//! * **Reentrancy-deadlock lint** — Tarjan SCC over the synchronous
+//!   `Call` edges ([`CallGraph::call_cycles`]): any cycle means every
+//!   actor on it can end up blocking its only turn on the next one, the
+//!   classic deadlock of non-reentrant virtual-actor systems.
+//! * **Turn-discipline lint** — a source scan ([`lint::lint_tree`]) for
+//!   guards held across blocking points, blocking requests inside
+//!   `Collector` fan-ins, and `std::sync` locks where `parking_lot` is
+//!   the convention.
+//!
+//! The `aodb-lint` binary drives all three and exits nonzero on any
+//! violation; debug builds of the runtime enforce the declarations at
+//! dispatch time, so graph and code cannot silently drift apart.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod graph;
+pub mod lint;
+
+pub use graph::{CallGraph, Edge, ANY_NODE};
+pub use lint::{lint_source, lint_tree, Finding, Rule};
+
+/// The whole-workspace call graph: every actor type registered by the
+/// SHM platform, the cattle-tracking platform, and the shared AODB
+/// infrastructure, with their declared edges.
+pub fn workspace_graph() -> CallGraph {
+    CallGraph::from_topology(
+        aodb_shm::call_topology()
+            .into_iter()
+            .chain(aodb_cattle::call_topology())
+            .chain(aodb_core::call_topology()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_graph_covers_all_platform_actors() {
+        let g = workspace_graph();
+        for name in [
+            "shm.sensor",
+            "shm.ingest-gateway",
+            "shm.channel",
+            "shm.virtual-channel",
+            "shm.aggregator",
+            "shm.organization",
+            "shm.alert-log",
+            "shm.tenant-guard",
+            "cattle.cow",
+            "cattle.farmer",
+            "cattle.slaughterhouse",
+            "cattle.meat-cut",
+            "cattle.distributor",
+            "cattle.delivery",
+            "cattle.retailer",
+            "cattle.meat-product",
+            "cattle.cut-holder",
+            "aodb.index-shard",
+            "aodb.key-registry",
+            "aodb.reminder-table",
+            "aodb.txn-coordinator",
+            "aodb.workflow-engine",
+        ] {
+            assert!(g.nodes().iter().any(|n| n == name), "missing node {name}");
+        }
+    }
+
+    #[test]
+    fn workspace_graph_has_no_call_cycles() {
+        let cycles = workspace_graph().call_cycles();
+        assert!(
+            cycles.is_empty(),
+            "declared topology has sync-call cycles: {cycles:?}"
+        );
+    }
+}

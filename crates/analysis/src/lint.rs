@@ -1,0 +1,441 @@
+//! Turn-discipline lint: a source-level scan for patterns that break the
+//! runtime's turn contract.
+//!
+//! Turn-based execution only stays deadlock-free if handlers follow three
+//! disciplines, none of which the type system can express:
+//!
+//! 1. **No guard across a blocking point** — holding a `parking_lot`
+//!    guard (`.lock()` / `.read()` / `.write()`) across a blocking
+//!    request (`.call(...)`, `.wait()`, `.wait_for(...)`) keeps the lock
+//!    pinned while the thread sleeps on another actor's turn.
+//! 2. **No blocking inside a `Collector` fan-in** — the completion
+//!    closure runs on whichever worker delivers the final reply; blocking
+//!    there stalls a silo worker that other activations need.
+//! 3. **`parking_lot`, not `std::sync`** — workspace convention: the
+//!    `std` primitives are poisonable and slower under contention.
+//!
+//! The scan is a line-oriented heuristic, not a type-checked analysis:
+//! it strips comments, tracks brace depth for guard liveness, and errs on
+//! the side of reporting. A finding can be suppressed by putting
+//! `aodb-lint: allow(<rule>)` on the offending line or the line above.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Lint rule identifiers (used in reports and `allow(...)` markers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// A `parking_lot` guard is live across a blocking request.
+    GuardAcrossWait,
+    /// A blocking request inside a `Collector` fan-in closure.
+    BlockingInCollector,
+    /// A `std::sync` lock where `parking_lot` is the convention.
+    StdSyncPrimitive,
+}
+
+impl Rule {
+    /// The marker name recognized in `aodb-lint: allow(<name>)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::GuardAcrossWait => "guard-across-wait",
+            Rule::BlockingInCollector => "blocking-in-collector",
+            Rule::StdSyncPrimitive => "std-sync-primitive",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which discipline was violated.
+    pub rule: Rule,
+    /// Source file.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+    /// Human explanation of the specific violation.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.detail,
+            self.excerpt
+        )
+    }
+}
+
+/// Lints one source text. `file` is used only for reporting.
+pub fn lint_source(file: &Path, text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Live parking_lot guards: (binding name, brace depth at binding,
+    // binding line).
+    let mut guards: Vec<(String, i32, usize)> = Vec::new();
+    // Open Collector::new(...) regions: paren depth *before* the call;
+    // the region ends when depth returns to it.
+    let mut collector_regions: Vec<i32> = Vec::new();
+    let mut brace_depth: i32 = 0;
+    let mut paren_depth: i32 = 0;
+    let mut in_string = false;
+    let mut prev_allows: Vec<&str> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let code = strip_code(raw, &mut in_string);
+        let code = code.trim_end();
+        let allows = {
+            let mut a = parse_allows(raw);
+            a.extend(prev_allows.iter().copied());
+            a
+        };
+
+        if code.contains("Collector::new(") || code.contains("Collector::<") {
+            collector_regions.push(paren_depth);
+        }
+
+        if let Some(name) = guard_binding(code) {
+            guards.push((name, brace_depth, lineno));
+        }
+
+        if let Some(point) = blocking_point(code) {
+            if let Some((guard, _, gline)) =
+                guards.iter().find(|(_, d, _)| *d <= brace_depth).cloned()
+            {
+                if !allows.contains(&Rule::GuardAcrossWait.name()) {
+                    findings.push(Finding {
+                        rule: Rule::GuardAcrossWait,
+                        file: file.to_path_buf(),
+                        line: lineno,
+                        excerpt: code.trim().to_string(),
+                        detail: format!(
+                            "`{point}` while guard `{guard}` (bound on line {gline}) is live; \
+                             drop the guard before blocking"
+                        ),
+                    });
+                }
+            }
+            if !collector_regions.is_empty() && !allows.contains(&Rule::BlockingInCollector.name())
+            {
+                findings.push(Finding {
+                    rule: Rule::BlockingInCollector,
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    excerpt: code.trim().to_string(),
+                    detail: format!(
+                        "`{point}` inside a `Collector` fan-in; completion closures run on \
+                         worker threads and must stay non-blocking (post a continuation \
+                         message instead)"
+                    ),
+                });
+            }
+        }
+
+        if let Some(prim) = std_sync_primitive(code) {
+            if !allows.contains(&Rule::StdSyncPrimitive.name()) {
+                findings.push(Finding {
+                    rule: Rule::StdSyncPrimitive,
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    excerpt: code.trim().to_string(),
+                    detail: format!(
+                        "`{prim}` used where `parking_lot` is the workspace convention"
+                    ),
+                });
+            }
+        }
+
+        // Depth bookkeeping (after the checks so a guard bound and used on
+        // one line is still seen at its own depth).
+        for ch in code.chars() {
+            match ch {
+                '{' => brace_depth += 1,
+                '}' => {
+                    brace_depth -= 1;
+                    guards.retain(|(_, d, _)| *d <= brace_depth);
+                }
+                '(' => paren_depth += 1,
+                ')' => {
+                    paren_depth -= 1;
+                    // A region ends when depth returns to its pre-call level.
+                    collector_regions.retain(|d| *d < paren_depth);
+                }
+                _ => {}
+            }
+        }
+        // `drop(guard)` ends liveness early.
+        if let Some(rest) = code.split("drop(").nth(1) {
+            if let Some(dropped) = rest.split(')').next() {
+                let dropped = dropped.trim();
+                guards.retain(|(g, _, _)| g != dropped);
+            }
+        }
+
+        prev_allows = parse_allows(raw);
+    }
+    findings
+}
+
+/// Lints every `.rs` file under `dir`, recursively. `vendor/` and
+/// `target/` subtrees are skipped.
+pub fn lint_tree(dir: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    collect_rs_files(dir, &mut files)?;
+    files.sort();
+    for file in files {
+        let text = std::fs::read_to_string(&file)?;
+        findings.extend(lint_source(&file, &text));
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "vendor" || name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Removes string-literal contents and `//` line comments, carrying
+/// string state across lines (a line ending inside a multi-line literal
+/// leaves the next line starting in-string). Escaped quotes are handled;
+/// raw strings are treated like ordinary ones, which is close enough for
+/// a heuristic lint.
+fn strip_code(line: &str, in_string: &mut bool) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if *in_string {
+            match c {
+                '\\' => {
+                    chars.next(); // skip the escaped character
+                }
+                '"' => *in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => *in_string = true,
+            '\'' => {
+                // Char literal (possibly escaped): consume through the
+                // closing quote so `'"'` doesn't toggle string state.
+                // Lifetime ticks (`'a`) have no closing quote within a
+                // couple of characters and fall through harmlessly.
+                let mut consumed = String::new();
+                let mut closed = false;
+                for _ in 0..3 {
+                    match chars.peek() {
+                        Some('\\') => {
+                            consumed.push(chars.next().unwrap());
+                            if let Some(e) = chars.next() {
+                                consumed.push(e);
+                            }
+                        }
+                        Some('\'') => {
+                            chars.next();
+                            closed = true;
+                            break;
+                        }
+                        Some(_) => consumed.push(chars.next().unwrap()),
+                        None => break,
+                    }
+                }
+                if !closed {
+                    // Not a char literal (lifetime); keep what we read.
+                    out.push('\'');
+                    out.push_str(&consumed);
+                }
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// `aodb-lint: allow(a, b)` markers on a raw (pre-comment-strip) line.
+fn parse_allows(raw: &str) -> Vec<&str> {
+    let Some(i) = raw.find("aodb-lint: allow(") else {
+        return Vec::new();
+    };
+    let rest = &raw[i + "aodb-lint: allow(".len()..];
+    let Some(end) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..end].split(',').map(str::trim).collect()
+}
+
+/// Detects `let g = ....lock()` / `.read()` / `.write()` bindings of
+/// parking_lot-style guards.
+fn guard_binding(code: &str) -> Option<String> {
+    let let_pos = code.find("let ")?;
+    let rest = &code[let_pos + 4..];
+    let eq = rest.find('=')?;
+    let (lhs, rhs) = rest.split_at(eq);
+    for acquire in [".lock()", ".read()", ".write()"] {
+        if rhs.contains(acquire) {
+            let name = lhs
+                .trim()
+                .trim_start_matches("mut ")
+                .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                .next()
+                .unwrap_or("")
+                .to_string();
+            if !name.is_empty() && name != "_" {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+/// Detects a blocking request point; returns the matched pattern.
+fn blocking_point(code: &str) -> Option<&'static str> {
+    [".call(", ".wait()", ".wait_for("]
+        .into_iter()
+        .find(|pat| code.contains(pat))
+}
+
+/// Detects `std::sync` lock primitives (atomics, `Arc`, and channels are
+/// fine — only the poisonable locks are off-convention).
+fn std_sync_primitive(code: &str) -> Option<&'static str> {
+    [
+        "std::sync::Mutex",
+        "std::sync::RwLock",
+        "std::sync::Condvar",
+        "std::sync::Barrier",
+    ]
+    .into_iter()
+    .find(|prim| code.contains(prim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(text: &str) -> Vec<Finding> {
+        lint_source(Path::new("test.rs"), text)
+    }
+
+    #[test]
+    fn guard_across_call_flagged() {
+        let findings = lint_str(
+            "fn handler() {\n\
+             let guard = self.table.lock();\n\
+             let x = other.call(Msg)?;\n\
+             }\n",
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::GuardAcrossWait);
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn guard_dropped_before_call_is_fine() {
+        let findings = lint_str(
+            "fn handler() {\n\
+             {\n\
+             let guard = self.table.lock();\n\
+             guard.push(1);\n\
+             }\n\
+             let x = other.call(Msg)?;\n\
+             }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn explicit_drop_ends_liveness() {
+        let findings = lint_str(
+            "fn handler() {\n\
+             let guard = self.table.lock();\n\
+             drop(guard);\n\
+             let x = other.call(Msg)?;\n\
+             }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn blocking_inside_collector_flagged() {
+        let findings = lint_str(
+            "fn handler() {\n\
+             let c = Collector::new(n, move |replies| {\n\
+             let v = other.call(Summarize)?;\n\
+             });\n\
+             }\n",
+        );
+        assert!(findings.iter().any(|f| f.rule == Rule::BlockingInCollector));
+    }
+
+    #[test]
+    fn tell_inside_collector_is_fine() {
+        let findings = lint_str(
+            "fn handler() {\n\
+             let c = Collector::new(n, move |replies| {\n\
+             let _ = me.tell(Done { replies });\n\
+             });\n\
+             }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn blocking_after_collector_region_is_fine() {
+        let findings = lint_str(
+            "fn client() {\n\
+             let c = Collector::new(n, move |replies| { deliver(replies); });\n\
+             promise.wait()\n\
+             }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn std_sync_flagged_and_allow_suppresses() {
+        let flagged = lint_str("use std::sync::Mutex;\n");
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].rule, Rule::StdSyncPrimitive);
+
+        let allowed = lint_str(
+            "// aodb-lint: allow(std-sync-primitive)\n\
+             use std::sync::Mutex;\n",
+        );
+        assert!(allowed.is_empty(), "{allowed:?}");
+    }
+
+    #[test]
+    fn comment_mentions_are_ignored() {
+        let findings = lint_str(
+            "// explaining that actors must never .call( while holding\n\
+             // a lock() guard, or use std::sync::Mutex\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Debug-build enforcement of declared call edges: a turn that dispatches
+//! to an actor type missing from the sender's `declared_calls()` panics,
+//! which the runtime contains as a handler panic (metrics increment, the
+//! caller's promise resolves as Lost).
+
+#![cfg(debug_assertions)]
+
+use std::time::Duration;
+
+use aodb_runtime::{Actor, ActorContext, CallDecl, Handler, Message, PromiseError, Runtime};
+
+struct Relay;
+struct Declared;
+struct Undeclared;
+
+impl Actor for Relay {
+    const TYPE_NAME: &'static str = "lint-test.relay";
+
+    fn declared_calls() -> &'static [CallDecl] {
+        // `lint-test.undeclared` is deliberately missing.
+        const CALLS: &[CallDecl] = &[CallDecl::send("lint-test.declared")];
+        CALLS
+    }
+}
+impl Actor for Declared {
+    const TYPE_NAME: &'static str = "lint-test.declared";
+}
+impl Actor for Undeclared {
+    const TYPE_NAME: &'static str = "lint-test.undeclared";
+}
+
+struct Ping;
+impl Message for Ping {
+    type Reply = ();
+}
+
+/// Relay forwards to the declared or the undeclared target.
+struct Forward {
+    to_declared: bool,
+}
+impl Message for Forward {
+    type Reply = bool;
+}
+
+impl Handler<Ping> for Declared {
+    fn handle(&mut self, _msg: Ping, _ctx: &mut ActorContext<'_>) {}
+}
+impl Handler<Ping> for Undeclared {
+    fn handle(&mut self, _msg: Ping, _ctx: &mut ActorContext<'_>) {}
+}
+
+impl Handler<Forward> for Relay {
+    fn handle(&mut self, msg: Forward, ctx: &mut ActorContext<'_>) -> bool {
+        if msg.to_declared {
+            ctx.actor_ref::<Declared>("d").tell(Ping).is_ok()
+        } else {
+            // Undeclared edge: this dispatch panics in debug builds.
+            ctx.actor_ref::<Undeclared>("u").tell(Ping).is_ok()
+        }
+    }
+}
+
+fn runtime() -> Runtime {
+    let rt = Runtime::single(2);
+    rt.register(|_| Relay);
+    rt.register(|_| Declared);
+    rt.register(|_| Undeclared);
+    rt
+}
+
+#[test]
+fn declared_edge_is_allowed() {
+    let rt = runtime();
+    let ok = rt
+        .actor_ref::<Relay>("r")
+        .ask(Forward { to_declared: true })
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .expect("declared edge must not panic");
+    assert!(ok);
+    rt.shutdown();
+}
+
+#[test]
+fn undeclared_edge_panics_the_turn() {
+    let rt = runtime();
+    let before = rt.metrics().handler_panics;
+    let result = rt
+        .actor_ref::<Relay>("r")
+        .ask(Forward { to_declared: false })
+        .unwrap()
+        .wait_for(Duration::from_secs(5));
+    // The turn panicked mid-handler, so the reply sink was dropped.
+    assert_eq!(result, Err(PromiseError::Lost));
+    assert_eq!(rt.metrics().handler_panics, before + 1);
+    rt.shutdown();
+}
+
+#[test]
+fn client_side_sends_are_exempt() {
+    // No turn is running on the client thread, so undeclared targets are
+    // reachable from outside the actor system.
+    let rt = runtime();
+    rt.actor_ref::<Undeclared>("u").tell(Ping).unwrap();
+    assert_eq!(rt.metrics().handler_panics, 0);
+    rt.shutdown();
+}

@@ -1,0 +1,80 @@
+//! End-to-end tests of the `aodb-lint` binary: the real workspace must be
+//! clean, and a fixture with a deliberate synchronous-call cycle must be
+//! rejected with the cycle path named.
+
+use std::path::Path;
+use std::process::Command;
+
+fn lint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aodb-lint"))
+}
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+#[test]
+fn workspace_is_clean() {
+    let out = lint().output().expect("spawn aodb-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "aodb-lint failed on the workspace:\n{stdout}\n{stderr}"
+    );
+    assert!(stdout.contains("no synchronous-call cycles"), "{stdout}");
+    assert!(stdout.contains("aodb-lint: clean"), "{stdout}");
+}
+
+#[test]
+fn sync_cycle_fixture_is_rejected_with_path() {
+    let out = lint()
+        .args(["--graph", &fixture("sync_cycle.edges"), "--no-lint"])
+        .output()
+        .expect("spawn aodb-lint");
+    assert!(
+        !out.status.success(),
+        "aodb-lint accepted a topology with a synchronous-call cycle"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("synchronous call cycle"), "{stderr}");
+    // The full cycle path is named, with every member present.
+    for actor in ["shm.organization", "shm.channel", "shm.aggregator"] {
+        assert!(
+            stderr.contains(actor),
+            "cycle member {actor} missing:\n{stderr}"
+        );
+    }
+    // The bystander edge is not part of any report.
+    assert!(!stderr.contains("ingest-gateway"), "{stderr}");
+}
+
+#[test]
+fn acyclic_fixture_passes() {
+    let out = lint()
+        .args(["--graph", &fixture("acyclic.edges"), "--no-lint"])
+        .output()
+        .expect("spawn aodb-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("aodb-lint: clean"), "{stdout}");
+}
+
+#[test]
+fn dot_output_matches_golden_file() {
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/call_graph.dot");
+    let golden = std::fs::read_to_string(&golden_path).expect("read golden DOT");
+    let generated = aodb_analysis::workspace_graph().to_dot();
+    assert_eq!(
+        generated, golden,
+        "workspace call graph drifted from tests/golden/call_graph.dot — \
+         if the topology change is intentional, regenerate with \
+         `cargo run -p aodb-analysis --bin aodb-lint -- --dot \
+         crates/analysis/tests/golden/call_graph.dot --no-lint` and update \
+         the DESIGN.md embedding"
+    );
+}

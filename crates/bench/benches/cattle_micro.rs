@@ -16,7 +16,10 @@ fn readings(n: u64) -> Vec<CollarReading> {
     (0..n)
         .map(|i| CollarReading {
             ts_ms: i * 1000,
-            position: GeoPoint { lat: 55.0 + i as f64 * 1e-6, lon: 8.0 },
+            position: GeoPoint {
+                lat: 55.0 + i as f64 * 1e-6,
+                lon: 8.0,
+            },
             speed: 0.2,
             temperature: 38.6,
         })
@@ -30,8 +33,12 @@ fn bench_cattle(c: &mut Criterion) {
     client.create_farmer("b/farm", "F").unwrap();
     client.create_slaughterhouse("b/house", "H").unwrap();
     client.create_retailer("b/retail", "R").unwrap();
-    client.register_cow("b/cow", "b/farm", Breed::Angus, 0).unwrap();
-    client.register_cow("b/traced", "b/farm", Breed::Angus, 0).unwrap();
+    client
+        .register_cow("b/cow", "b/farm", Breed::Angus, 0)
+        .unwrap();
+    client
+        .register_cow("b/traced", "b/farm", Breed::Angus, 0)
+        .unwrap();
 
     let mut group = c.benchmark_group("cattle");
 
@@ -101,7 +108,11 @@ fn bench_cattle(c: &mut Criterion) {
                 })
                 .unwrap();
             house
-                .call(TransferCutB { entity, to: "b2/dist".into(), ts_ms: i })
+                .call(TransferCutB {
+                    entity,
+                    to: "b2/dist".into(),
+                    ts_ms: i,
+                })
                 .unwrap()
         })
     });

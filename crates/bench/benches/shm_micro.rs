@@ -13,7 +13,10 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn points(ts: u64) -> Vec<DataPoint> {
     (0..10)
-        .map(|i| DataPoint { ts_ms: ts + i * 100, value: i as f64 })
+        .map(|i| DataPoint {
+            ts_ms: ts + i * 100,
+            value: i as f64,
+        })
         .collect()
 }
 
@@ -32,14 +35,20 @@ fn bench_ingest(c: &mut Criterion) {
 
     {
         // Plain channel: no virtual subscriber, no aggregates.
-        let spec = TopologySpec { virtual_every: 0, aggregates: false, ..Default::default() };
+        let spec = TopologySpec {
+            virtual_every: 0,
+            aggregates: false,
+            ..Default::default()
+        };
         let (rt, topology, client) = build(spec, 2);
         let channel = client.channel(topology.orgs[0].sensors[1].physical[0].as_str());
         let mut ts = 0u64;
         group.bench_function("plain_channel_10pts", |b| {
             b.iter(|| {
                 ts += 1000;
-                channel.call(aodb_shm::messages::Ingest { points: points(ts) }).unwrap()
+                channel
+                    .call(aodb_shm::messages::Ingest { points: points(ts) })
+                    .unwrap()
             })
         });
         rt.shutdown();
@@ -54,7 +63,9 @@ fn bench_ingest(c: &mut Criterion) {
         group.bench_function("subscribed_channel_10pts", |b| {
             b.iter(|| {
                 ts += 1000;
-                channel.call(aodb_shm::messages::Ingest { points: points(ts) }).unwrap()
+                channel
+                    .call(aodb_shm::messages::Ingest { points: points(ts) })
+                    .unwrap()
             })
         });
         rt.shutdown();

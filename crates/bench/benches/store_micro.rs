@@ -21,7 +21,9 @@ struct ChannelBlob {
 fn blob(points: usize) -> ChannelBlob {
     ChannelBlob {
         org: "org-1".into(),
-        points: (0..points as u64).map(|i| (i * 100, i as f64 * 0.5)).collect(),
+        points: (0..points as u64)
+            .map(|i| (i * 100, i as f64 * 0.5))
+            .collect(),
     }
 }
 
@@ -87,8 +89,12 @@ fn bench_codec(c: &mut Criterion) {
     let small_bytes = encode_state(&small).unwrap();
     let large_bytes = encode_state(&large).unwrap();
 
-    group.bench_function("encode_state_10pt", |b| b.iter(|| encode_state(&small).unwrap()));
-    group.bench_function("encode_state_1000pt", |b| b.iter(|| encode_state(&large).unwrap()));
+    group.bench_function("encode_state_10pt", |b| {
+        b.iter(|| encode_state(&small).unwrap())
+    });
+    group.bench_function("encode_state_1000pt", |b| {
+        b.iter(|| encode_state(&large).unwrap())
+    });
     group.bench_function("decode_state_1000pt", |b| {
         b.iter(|| decode_state::<ChannelBlob>(&large_bytes).unwrap())
     });

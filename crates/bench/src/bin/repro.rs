@@ -44,7 +44,12 @@ fn main() {
     let mut selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
-        .filter(|a| json_dir.as_deref().map(|d| d.as_os_str() != a.as_str()).unwrap_or(true))
+        .filter(|a| {
+            json_dir
+                .as_deref()
+                .map(|d| d.as_os_str() != a.as_str())
+                .unwrap_or(true)
+        })
         .cloned()
         .collect();
     if selected.is_empty() {

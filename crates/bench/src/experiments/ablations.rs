@@ -16,9 +16,7 @@ use aodb_runtime::{
     Runtime,
 };
 use aodb_shm::{provision, register_all as register_shm, ShmEnv, Topology, TopologySpec};
-use aodb_store::{
-    ExhaustionBehavior, MemStore, ProvisionedConfig, ProvisionedStore, StateStore,
-};
+use aodb_store::{ExhaustionBehavior, MemStore, ProvisionedConfig, ProvisionedStore, StateStore};
 use serde::Serialize;
 
 use crate::experiments::common::SimHw;
@@ -60,7 +58,10 @@ fn run_placement_one(placement: impl Placement, name: &str, quick: bool) -> Plac
     provision(&rt, &topology, SILO_OF_4).expect("provision");
     let fleet = FleetRefs::build(&rt, &topology, SILO_OF_4);
 
-    let report = run_load(&fleet, LoadConfig::sensors(sensors, if quick { 5 } else { 8 }));
+    let report = run_load(
+        &fleet,
+        LoadConfig::sensors(sensors, if quick { 5 } else { 8 }),
+    );
     let metrics = rt.metrics();
     let total = (metrics.remote_messages + metrics.local_messages).max(1);
     let point = PlacementPoint {
@@ -76,7 +77,9 @@ fn run_placement_one(placement: impl Placement, name: &str, quick: bool) -> Plac
 /// Placement ablation: random (Orleans default) vs prefer-local (the
 /// paper's choice for channels/aggregators) vs consistent hashing.
 pub fn run_placement(quick: bool) -> Vec<PlacementPoint> {
-    println!("\nAblation: activation placement — 4 silos, LAN, 2,000 sensors, gateways silo-affine");
+    println!(
+        "\nAblation: activation placement — 4 silos, LAN, 2,000 sensors, gateways silo-affine"
+    );
     let points = vec![
         run_placement_one(RandomPlacement, "random", quick),
         run_placement_one(PreferLocalPlacement, "prefer-local", quick),
@@ -87,7 +90,11 @@ pub fn run_placement(quick: bool) -> Vec<PlacementPoint> {
         .map(|p| {
             vec![
                 p.strategy.clone(),
-                format!("{} ± {}", fmt_f(p.throughput.mean), fmt_f(p.throughput.std_dev)),
+                format!(
+                    "{} ± {}",
+                    fmt_f(p.throughput.mean),
+                    fmt_f(p.throughput.std_dev)
+                ),
                 fmt_f(p.ingest.p50_ms),
                 fmt_f(p.ingest.p99_ms),
                 format!("{:.1}%", p.remote_fraction * 100.0),
@@ -96,7 +103,13 @@ pub fn run_placement(quick: bool) -> Vec<PlacementPoint> {
         .collect();
     print_table(
         "Placement ablation (§5)",
-        &["strategy", "throughput req/s", "p50 ms", "p99 ms", "remote msgs"],
+        &[
+            "strategy",
+            "throughput req/s",
+            "p50 ms",
+            "p99 ms",
+            "remote msgs",
+        ],
         &rows,
     );
     points
@@ -151,12 +164,21 @@ fn run_durability_one(
     env.data_policy = policy;
     env.window_capacity = 200; // bound the serialized state size
     register_shm(&rt, env);
-    let topology = Topology::layout(sensors, TopologySpec { aggregates: false, ..Default::default() });
+    let topology = Topology::layout(
+        sensors,
+        TopologySpec {
+            aggregates: false,
+            ..Default::default()
+        },
+    );
     provision(&rt, &topology, |_| None).expect("provision");
     let fleet = FleetRefs::build(&rt, &topology, |_| None);
 
     let writes_before = counter.as_ref().map(|c| c.stats().writes).unwrap_or(0);
-    let report = run_load(&fleet, LoadConfig::sensors(sensors, if quick { 5 } else { 8 }));
+    let report = run_load(
+        &fleet,
+        LoadConfig::sensors(sensors, if quick { 5 } else { 8 }),
+    );
     let writes_after = counter.as_ref().map(|c| c.stats().writes).unwrap_or(0);
     let point = DurabilityPoint {
         policy: label.to_string(),
@@ -181,7 +203,12 @@ pub fn run_durability(quick: bool) -> Vec<DurabilityPoint> {
         request_latency: Duration::from_micros(500),
     };
     let points = vec![
-        run_durability_one("on-deactivate (paper)", WritePolicy::OnDeactivate, None, quick),
+        run_durability_one(
+            "on-deactivate (paper)",
+            WritePolicy::OnDeactivate,
+            None,
+            quick,
+        ),
         run_durability_one("every-100", WritePolicy::EveryN(100), None, quick),
         run_durability_one("every-10", WritePolicy::EveryN(10), None, quick),
         run_durability_one("every-change", WritePolicy::EveryChange, None, quick),
@@ -197,7 +224,11 @@ pub fn run_durability(quick: bool) -> Vec<DurabilityPoint> {
         .map(|p| {
             vec![
                 p.policy.clone(),
-                format!("{} ± {}", fmt_f(p.throughput.mean), fmt_f(p.throughput.std_dev)),
+                format!(
+                    "{} ± {}",
+                    fmt_f(p.throughput.mean),
+                    fmt_f(p.throughput.std_dev)
+                ),
                 fmt_f(p.ingest.p50_ms),
                 fmt_f(p.ingest.p99_ms),
                 p.store_writes.to_string(),
@@ -206,7 +237,13 @@ pub fn run_durability(quick: bool) -> Vec<DurabilityPoint> {
         .collect();
     print_table(
         "Durability ablation (§5)",
-        &["policy", "throughput req/s", "p50 ms", "p99 ms", "store writes"],
+        &[
+            "policy",
+            "throughput req/s",
+            "p50 ms",
+            "p99 ms",
+            "store writes",
+        ],
         &rows,
     );
     points
@@ -287,7 +324,10 @@ pub fn run_granularity(quick: bool) -> Vec<GranularityPoint> {
     let dist = rt.actor_ref::<CutHolder>("b/dist");
     for i in 0..n_cuts {
         house
-            .tell(CreateCutB { entity: format!("cut-{i}"), data: cut_data(i) })
+            .tell(CreateCutB {
+                entity: format!("cut-{i}"),
+                data: cut_data(i),
+            })
             .unwrap();
     }
     rt.quiesce(Duration::from_secs(20));
@@ -305,7 +345,11 @@ pub fn run_granularity(quick: bool) -> Vec<GranularityPoint> {
     let t0 = Instant::now();
     for i in 0..n_cuts {
         house
-            .tell(TransferCutB { entity: format!("cut-{i}"), to: "b/dist".into(), ts_ms: 1 })
+            .tell(TransferCutB {
+                entity: format!("cut-{i}"),
+                to: "b/dist".into(),
+                ts_ms: 1,
+            })
             .unwrap();
     }
     rt.quiesce(Duration::from_secs(20));
@@ -341,7 +385,12 @@ pub fn run_granularity(quick: bool) -> Vec<GranularityPoint> {
         .collect();
     print_table(
         "Granularity ablation (§4.3) — 500-cut holder",
-        &["model", "batch reads/s", "transfers/s", "msgs per batch read"],
+        &[
+            "model",
+            "batch reads/s",
+            "transfers/s",
+            "msgs per batch read",
+        ],
         &rows,
     );
     points
@@ -384,7 +433,11 @@ pub fn run_constraints(quick: bool) -> Vec<ConstraintPoint> {
     // 2PC: bounce cow cx-0 between the farms.
     let t0 = Instant::now();
     for i in 0..transfers {
-        let (from, to) = if i % 2 == 0 { ("farm-a", "farm-b") } else { ("farm-b", "farm-a") };
+        let (from, to) = if i % 2 == 0 {
+            ("farm-a", "farm-b")
+        } else {
+            ("farm-b", "farm-a")
+        };
         let outcome = client
             .transfer_cow_txn("cx-0", from, to)
             .unwrap()
@@ -397,7 +450,11 @@ pub fn run_constraints(quick: bool) -> Vec<ConstraintPoint> {
     // Workflow: bounce cow cx-1.
     let t0 = Instant::now();
     for i in 0..transfers {
-        let (from, to) = if i % 2 == 0 { ("farm-a", "farm-b") } else { ("farm-b", "farm-a") };
+        let (from, to) = if i % 2 == 0 {
+            ("farm-a", "farm-b")
+        } else {
+            ("farm-b", "farm-a")
+        };
         let outcome = client
             .transfer_cow_workflow(&format!("wf-{i}"), "cx-1", from, to)
             .unwrap()
@@ -414,8 +471,12 @@ pub fn run_constraints(quick: bool) -> Vec<ConstraintPoint> {
     let t0 = Instant::now();
     for i in 0..transfers {
         let to = if i % 2 == 0 { "farm-b" } else { "farm-a" };
-        cow.call(InitCow { farmer: to.to_string(), breed: Breed::Angus, born_ms: 0 })
-            .unwrap();
+        cow.call(InitCow {
+            farmer: to.to_string(),
+            breed: Breed::Angus,
+            born_ms: 0,
+        })
+        .unwrap();
     }
     let single_elapsed = t0.elapsed();
     rt.shutdown();

@@ -88,7 +88,12 @@ pub fn build_testbed(
     let silo_of_org = |org: usize| Some(SiloId((org % silos) as u32));
     provision(&rt, &topology, silo_of_org).expect("provisioning failed");
     let fleet = FleetRefs::build(&rt, &topology, silo_of_org);
-    Testbed { rt, topology, fleet, store }
+    Testbed {
+        rt,
+        topology,
+        fleet,
+        store,
+    }
 }
 
 /// Single-silo convenience.

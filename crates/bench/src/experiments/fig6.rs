@@ -64,7 +64,11 @@ pub fn run(quick: bool) -> Vec<Fig6Point> {
             vec![
                 p.sensors.to_string(),
                 fmt_f(p.offered),
-                format!("{} ± {}", fmt_f(p.throughput.mean), fmt_f(p.throughput.std_dev)),
+                format!(
+                    "{} ± {}",
+                    fmt_f(p.throughput.mean),
+                    fmt_f(p.throughput.std_dev)
+                ),
                 fmt_f(p.ingest.p50_ms),
                 fmt_f(p.ingest.p99_ms),
             ]
@@ -72,7 +76,13 @@ pub fn run(quick: bool) -> Vec<Fig6Point> {
         .collect();
     print_table(
         "Figure 6 — single-server throughput (m5.large-class silo)",
-        &["sensors", "offered req/s", "throughput req/s", "p50 ms", "p99 ms"],
+        &[
+            "sensors",
+            "offered req/s",
+            "throughput req/s",
+            "p50 ms",
+            "p99 ms",
+        ],
         &rows,
     );
     points

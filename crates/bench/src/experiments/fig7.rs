@@ -45,7 +45,11 @@ pub struct Fig7Point {
 pub fn run(quick: bool) -> Vec<Fig7Point> {
     let hw = SimHw::default();
     let base = baseline_sensors_per_silo(&hw);
-    let factors: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 3, 4, 6, 8] };
+    let factors: &[usize] = if quick {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 3, 4, 6, 8]
+    };
     let secs = if quick { 6 } else { 10 };
     println!(
         "\nFig 7: scale-out — k silos × {} workers, {base} sensors/silo, LAN between silos",
@@ -87,7 +91,11 @@ pub fn run(quick: bool) -> Vec<Fig7Point> {
             vec![
                 p.scale_factor.to_string(),
                 p.sensors.to_string(),
-                format!("{} ± {}", fmt_f(p.throughput.mean), fmt_f(p.throughput.std_dev)),
+                format!(
+                    "{} ± {}",
+                    fmt_f(p.throughput.mean),
+                    fmt_f(p.throughput.std_dev)
+                ),
                 format!("{:.2}x", p.throughput.mean / base_tp),
                 fmt_f(p.ingest.p50_ms),
                 format!("{:.1}%", p.remote_fraction * 100.0),
@@ -96,7 +104,14 @@ pub fn run(quick: bool) -> Vec<Fig7Point> {
         .collect();
     print_table(
         "Figure 7 — scale-out (m5.xlarge-class silos)",
-        &["scale", "sensors", "throughput req/s", "speedup", "p50 ms", "remote msgs"],
+        &[
+            "scale",
+            "sensors",
+            "throughput req/s",
+            "speedup",
+            "p50 ms",
+            "remote msgs",
+        ],
         &rows,
     );
     points

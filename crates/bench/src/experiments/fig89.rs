@@ -34,7 +34,11 @@ pub struct Fig89Point {
 /// Runs the Figure 8/9 sweep. The same run produces both figures.
 pub fn run(quick: bool) -> Vec<Fig89Point> {
     let hw = SimHw::default();
-    let sweep: &[usize] = if quick { &[500, 2000] } else { &[500, 1000, 1500, 2000] };
+    let sweep: &[usize] = if quick {
+        &[500, 2000]
+    } else {
+        &[500, 1000, 1500, 2000]
+    };
     let secs = if quick { 8 } else { 12 };
     println!(
         "\nFig 8/9: query latency under mixed load — 1 silo × {} workers, \
@@ -75,7 +79,9 @@ pub fn run(quick: bool) -> Vec<Fig89Point> {
             })
             .collect::<Vec<_>>()
     };
-    let headers = ["sensors", "p50 ms", "p90 ms", "p95 ms", "p99 ms", "p99.9 ms", "samples"];
+    let headers = [
+        "sensors", "p50 ms", "p90 ms", "p95 ms", "p99 ms", "p99.9 ms", "samples",
+    ];
     print_table(
         "Figure 8 — raw sensor-channel time-range request latency",
         &headers,

@@ -32,7 +32,11 @@ pub fn windowed_throughput(per_window: &[u64], window_secs: f64) -> WindowedThro
     let rates: Vec<f64> = kept.iter().map(|&c| c as f64 / window_secs).collect();
     let mean = rates.iter().sum::<f64>() / rates.len() as f64;
     let var = rates.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / rates.len() as f64;
-    WindowedThroughput { mean, std_dev: var.sqrt(), windows: rates.len() }
+    WindowedThroughput {
+        mean,
+        std_dev: var.sqrt(),
+        windows: rates.len(),
+    }
 }
 
 /// Latency percentiles rendered for a table row (values in ms).

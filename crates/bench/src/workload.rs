@@ -80,7 +80,11 @@ impl FleetRefs {
                 }
             }
         }
-        FleetRefs { sensors, orgs, channels }
+        FleetRefs {
+            sensors,
+            orgs,
+            channels,
+        }
     }
 }
 
@@ -95,9 +99,15 @@ pub struct MixSpec {
 
 impl MixSpec {
     /// Ingest only (Figures 6–7).
-    pub const INGEST_ONLY: MixSpec = MixSpec { live_per_mille: 0, raw_per_mille: 0 };
+    pub const INGEST_ONLY: MixSpec = MixSpec {
+        live_per_mille: 0,
+        raw_per_mille: 0,
+    };
     /// The paper's 98 % / 1 % / 1 % mix (Figures 8–9).
-    pub const PAPER_MIXED: MixSpec = MixSpec { live_per_mille: 10, raw_per_mille: 10 };
+    pub const PAPER_MIXED: MixSpec = MixSpec {
+        live_per_mille: 10,
+        raw_per_mille: 10,
+    };
 }
 
 /// One load phase.
@@ -204,7 +214,6 @@ pub fn run_load(fleet: &FleetRefs, config: LoadConfig) -> LoadReport {
             .step_by(gens)
             .cloned()
             .collect();
-        let config = config;
         threads.push(std::thread::spawn(move || {
             generator_loop(&shared, &sensors, &orgs, &channels, config, g, start)
         }));
@@ -286,7 +295,13 @@ fn generator_loop(
         } else if draw < (config.mix.live_per_mille + config.mix.raw_per_mille) as u64 {
             fire_raw(shared, channels, &mut rng, ts_ms);
         } else {
-            fire_ingest(shared, &sensors[sensor_idx], config.points_per_channel, ts_ms, &mut rng);
+            fire_ingest(
+                shared,
+                &sensors[sensor_idx],
+                config.points_per_channel,
+                ts_ms,
+                &mut rng,
+            );
             sensor_idx += 1;
             if sensor_idx >= sensors.len() {
                 sensor_idx = 0;
@@ -321,7 +336,10 @@ fn fire_ingest(
                 value: base + (i as f64) * 0.01,
             })
             .collect();
-        if channel.ask_with(Ingest { points }, collector.slot()).is_err() {
+        if channel
+            .ask_with(Ingest { points }, collector.slot())
+            .is_err()
+        {
             shared.send_errors.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -340,7 +358,10 @@ fn fire_live(shared: &Arc<Shared>, orgs: &[ActorRef<Organization>], rng: &mut u6
         }
         shared2.completed.fetch_add(1, Ordering::Relaxed);
     }));
-    if org.ask_with(GetLiveData { reply }, ReplyTo::Ignore).is_err() {
+    if org
+        .ask_with(GetLiveData { reply }, ReplyTo::Ignore)
+        .is_err()
+    {
         shared.send_errors.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -17,7 +17,9 @@ use aodb_runtime::{Actor, ActorContext, Handler, Message};
 use serde::{Deserialize, Serialize};
 
 use crate::env::CattleEnv;
-use crate::types::{Breed, ChainEvent, ChainEventKind, CollarReading, CowStatus, GeoFence, GeoPoint};
+use crate::types::{
+    Breed, ChainEvent, ChainEventKind, CollarReading, CowStatus, GeoFence, GeoPoint,
+};
 
 /// Registers a cow at a farm.
 pub struct InitCow {
@@ -170,6 +172,13 @@ impl Cow {
 
 impl Actor for Cow {
     const TYPE_NAME: &'static str = "cattle.cow";
+    fn declared_calls() -> &'static [aodb_runtime::CallDecl] {
+        // Collar reports maintain the geo location index
+        // (`geo::update_location_index`).
+        const CALLS: &[aodb_runtime::CallDecl] =
+            &[aodb_runtime::CallDecl::send("aodb.index-shard")];
+        CALLS
+    }
 
     fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
         self.state.load_or_default();

@@ -68,6 +68,11 @@ impl Distributor {
 
 impl Actor for Distributor {
     const TYPE_NAME: &'static str = "cattle.distributor";
+    fn declared_calls() -> &'static [aodb_runtime::CallDecl] {
+        // Shipping creates the delivery actor.
+        const CALLS: &[aodb_runtime::CallDecl] = &[aodb_runtime::CallDecl::send("cattle.delivery")];
+        CALLS
+    }
 
     fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
         self.state.load_or_default();
@@ -217,6 +222,11 @@ impl Delivery {
 
 impl Actor for Delivery {
     const TYPE_NAME: &'static str = "cattle.delivery";
+    fn declared_calls() -> &'static [aodb_runtime::CallDecl] {
+        // Arrival stamps the itinerary of every carried cut.
+        const CALLS: &[aodb_runtime::CallDecl] = &[aodb_runtime::CallDecl::send("cattle.meat-cut")];
+        CALLS
+    }
 
     fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
         self.state.load_or_default();
@@ -263,14 +273,14 @@ impl Handler<Arrive> for Delivery {
         });
         let s = self.state.get();
         for cut in &s.cuts {
-            let _ = ctx.actor_ref::<MeatCut>(cut.as_str()).tell(AddItinerary(
-                ItineraryEntry {
+            let _ = ctx
+                .actor_ref::<MeatCut>(cut.as_str())
+                .tell(AddItinerary(ItineraryEntry {
                     delivery: delivery_key.clone(),
                     from: s.from.clone(),
                     to: s.to.clone(),
                     arrived_ms: msg.ts_ms,
-                },
-            ));
+                }));
         }
     }
 }

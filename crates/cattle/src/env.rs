@@ -42,7 +42,12 @@ impl CattleEnv {
         type_name: &str,
         key: &ActorKey,
     ) -> Persisted<S> {
-        Persisted::for_actor(Arc::clone(&self.store), type_name, key, self.registry_policy)
+        Persisted::for_actor(
+            Arc::clone(&self.store),
+            type_name,
+            key,
+            self.registry_policy,
+        )
     }
 
     /// Persisted cell following the stream policy.

@@ -70,12 +70,14 @@ pub(crate) fn update_location_index(
             });
         }
         Some(old) => {
-            let _ = ctx.actor_ref::<IndexShard>(shard_of(old)).tell(IndexUpdate {
-                index: LOCATION_INDEX.into(),
-                remove: Some(old.to_string()),
-                add: None,
-                entity: cow.to_string(),
-            });
+            let _ = ctx
+                .actor_ref::<IndexShard>(shard_of(old))
+                .tell(IndexUpdate {
+                    index: LOCATION_INDEX.into(),
+                    remove: Some(old.to_string()),
+                    add: None,
+                    entity: cow.to_string(),
+                });
             let _ = ctx.actor_ref::<IndexShard>(new_shard).tell(IndexUpdate {
                 index: LOCATION_INDEX.into(),
                 remove: None,
@@ -115,7 +117,10 @@ pub fn cows_near(
         handle
             .try_actor_ref::<IndexShard>(shard_of(cell))?
             .ask_with(
-                aodb_core::IndexLookup { index: LOCATION_INDEX.into(), value: cell.clone() },
+                aodb_core::IndexLookup {
+                    index: LOCATION_INDEX.into(),
+                    value: cell.clone(),
+                },
                 collector.slot(),
             )?;
     }
@@ -128,18 +133,33 @@ mod tests {
 
     #[test]
     fn grid_cell_is_stable_and_distinct() {
-        let a = GeoPoint { lat: 55.4812, lon: 8.6823 };
-        let b = GeoPoint { lat: 55.4813, lon: 8.6824 }; // same cell
-        let c = GeoPoint { lat: 55.4912, lon: 8.6823 }; // different lat cell
+        let a = GeoPoint {
+            lat: 55.4812,
+            lon: 8.6823,
+        };
+        let b = GeoPoint {
+            lat: 55.4813,
+            lon: 8.6824,
+        }; // same cell
+        let c = GeoPoint {
+            lat: 55.4912,
+            lon: 8.6823,
+        }; // different lat cell
         assert_eq!(grid_cell(&a), grid_cell(&b));
         assert_ne!(grid_cell(&a), grid_cell(&c));
     }
 
     #[test]
     fn negative_coordinates_floor_correctly() {
-        let p = GeoPoint { lat: -0.001, lon: -0.001 };
+        let p = GeoPoint {
+            lat: -0.001,
+            lon: -0.001,
+        };
         assert_eq!(grid_cell(&p), "g:-1:-1");
-        let q = GeoPoint { lat: 0.001, lon: 0.001 };
+        let q = GeoPoint {
+            lat: 0.001,
+            lon: 0.001,
+        };
         assert_eq!(grid_cell(&q), "g:0:0");
     }
 

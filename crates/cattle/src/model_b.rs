@@ -112,6 +112,13 @@ impl CutHolder {
 
 impl Actor for CutHolder {
     const TYPE_NAME: &'static str = "cattle.cut-holder";
+    fn declared_calls() -> &'static [aodb_runtime::CallDecl] {
+        // Model B transfers copy the cut record to the receiving holder
+        // (same type, different key).
+        const CALLS: &[aodb_runtime::CallDecl] =
+            &[aodb_runtime::CallDecl::send("cattle.cut-holder")];
+        CALLS
+    }
 
     fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
         self.state.load_or_default();
@@ -161,7 +168,11 @@ impl Handler<ReceiveCutB> for CutHolder {
 }
 
 impl Handler<GetLocalCut> for CutHolder {
-    fn handle(&mut self, msg: GetLocalCut, _ctx: &mut ActorContext<'_>) -> Option<Versioned<MeatCutData>> {
+    fn handle(
+        &mut self,
+        msg: GetLocalCut,
+        _ctx: &mut ActorContext<'_>,
+    ) -> Option<Versioned<MeatCutData>> {
         let s = self.state.get();
         s.live
             .get(&msg.0)
@@ -183,7 +194,11 @@ impl Handler<UpdateLocalCut> for CutHolder {
 }
 
 impl Handler<SnapshotCuts> for CutHolder {
-    fn handle(&mut self, _msg: SnapshotCuts, _ctx: &mut ActorContext<'_>) -> Vec<Versioned<MeatCutData>> {
+    fn handle(
+        &mut self,
+        _msg: SnapshotCuts,
+        _ctx: &mut ActorContext<'_>,
+    ) -> Vec<Versioned<MeatCutData>> {
         self.state.get().live.values().cloned().collect()
     }
 }

@@ -51,9 +51,9 @@ impl CattleClient {
 
     /// Creates a farm unit.
     pub fn create_farmer(&self, key: &str, name: &str) -> Result<(), SendError> {
-        self.handle
-            .try_actor_ref::<Farmer>(key)?
-            .tell(InitFarmer { name: name.to_string() })
+        self.handle.try_actor_ref::<Farmer>(key)?.tell(InitFarmer {
+            name: name.to_string(),
+        })
     }
 
     /// Registers a cow at a farm (both sides updated; initial
@@ -117,7 +117,9 @@ impl CattleClient {
     pub fn create_slaughterhouse(&self, key: &str, name: &str) -> Result<(), SendError> {
         self.handle
             .try_actor_ref::<Slaughterhouse>(key)?
-            .tell(InitSlaughterhouse { name: name.to_string() })
+            .tell(InitSlaughterhouse {
+                name: name.to_string(),
+            })
     }
 
     /// Slaughters a cow; the promise yields the created cut keys, or
@@ -131,7 +133,11 @@ impl CattleClient {
         let (reply, promise) = ReplyTo::promise();
         self.handle
             .try_actor_ref::<Slaughterhouse>(slaughterhouse)?
-            .tell(Slaughter { cow: cow.to_string(), ts_ms, reply })?;
+            .tell(Slaughter {
+                cow: cow.to_string(),
+                ts_ms,
+                reply,
+            })?;
         Ok(promise)
     }
 
@@ -139,7 +145,9 @@ impl CattleClient {
     pub fn create_distributor(&self, key: &str, name: &str) -> Result<(), SendError> {
         self.handle
             .try_actor_ref::<Distributor>(key)?
-            .tell(InitDistributor { name: name.to_string() })
+            .tell(InitDistributor {
+                name: name.to_string(),
+            })
     }
 
     /// Plans a delivery; the promise yields the delivery key.
@@ -186,7 +194,9 @@ impl CattleClient {
     pub fn create_retailer(&self, key: &str, name: &str) -> Result<(), SendError> {
         self.handle
             .try_actor_ref::<Retailer>(key)?
-            .tell(InitRetailer { name: name.to_string() })
+            .tell(InitRetailer {
+                name: name.to_string(),
+            })
     }
 
     /// Assembles a consumer product from cuts; the promise yields the
@@ -200,7 +210,11 @@ impl CattleClient {
     ) -> Result<Promise<String>, SendError> {
         self.handle
             .try_actor_ref::<Retailer>(retailer)?
-            .ask(CreateProduct { cuts, name: name.to_string(), ts_ms })
+            .ask(CreateProduct {
+                cuts,
+                name: name.to_string(),
+                ts_ms,
+            })
     }
 
     /// Full provenance of a product (model A graph walk).

@@ -65,6 +65,15 @@ impl Retailer {
 
 impl Actor for Retailer {
     const TYPE_NAME: &'static str = "cattle.retailer";
+    fn declared_calls() -> &'static [aodb_runtime::CallDecl] {
+        // Product creation initializes the product actor and back-links
+        // the cuts composing it.
+        const CALLS: &[aodb_runtime::CallDecl] = &[
+            aodb_runtime::CallDecl::send("cattle.meat-product"),
+            aodb_runtime::CallDecl::send("cattle.meat-cut"),
+        ];
+        CALLS
+    }
 
     fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
         self.state.load_or_default();

@@ -86,6 +86,15 @@ impl Slaughterhouse {
 
 impl Actor for Slaughterhouse {
     const TYPE_NAME: &'static str = "cattle.slaughterhouse";
+    fn declared_calls() -> &'static [aodb_runtime::CallDecl] {
+        // Slaughter continuation chain: ask the cow (callback reply, the
+        // turn never blocks), then create the cut actors.
+        const CALLS: &[aodb_runtime::CallDecl] = &[
+            aodb_runtime::CallDecl::send("cattle.cow"),
+            aodb_runtime::CallDecl::send("cattle.meat-cut"),
+        ];
+        CALLS
+    }
 
     fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
         self.state.load_or_default();
@@ -109,13 +118,20 @@ impl Handler<Slaughter> for Slaughterhouse {
         let ts_ms = msg.ts_ms;
         let reply = msg.reply;
         let continuation = ReplyTo::Callback(Box::new(move |info: Option<CowInfo>| {
-            let _ = me.tell(CowConfirmed { cow: cow_key, ts_ms, info, reply });
+            let _ = me.tell(CowConfirmed {
+                cow: cow_key,
+                ts_ms,
+                info,
+                reply,
+            });
         }));
-        let sent = ctx.actor_ref::<Cow>(msg.cow.as_str()).ask_with(
-            MarkSlaughtered { slaughterhouse: ctx.key().to_string(), ts_ms },
+        let _ = ctx.actor_ref::<Cow>(msg.cow.as_str()).ask_with(
+            MarkSlaughtered {
+                slaughterhouse: ctx.key().to_string(),
+                ts_ms,
+            },
             continuation,
         );
-        debug_assert!(sent.is_ok() || true);
     }
 }
 
@@ -129,14 +145,14 @@ impl Handler<CowConfirmed> for Slaughterhouse {
         let mut cut_keys = Vec::with_capacity(CUT_TYPES.len());
         for (i, cut_type) in CUT_TYPES.iter().enumerate() {
             let cut_key = format!("{}/cut-{}", msg.cow, i);
-            let _ = ctx.actor_ref::<MeatCut>(cut_key.as_str()).tell(InitMeatCut(
-                MeatCutData {
+            let _ = ctx
+                .actor_ref::<MeatCut>(cut_key.as_str())
+                .tell(InitMeatCut(MeatCutData {
                     cow: msg.cow.clone(),
                     slaughterhouse: house.clone(),
                     cut_type: (*cut_type).to_string(),
                     weight_kg: 20.0,
-                },
-            ));
+                }));
             cut_keys.push(cut_key);
         }
         self.state.mutate(|s| {

@@ -107,9 +107,17 @@ pub fn trace_product(handle: &RuntimeHandle, product: &str) -> Result<TraceRepor
             .ask(GetCowInfo)?
             .wait_for(HOP_TIMEOUT)
             .map_err(|e| TraceError::Unreachable(format!("cow {}: {e}", info.data.cow)))?;
-        cuts.push(CutTrace { cut: cut_key.clone(), info, cow });
+        cuts.push(CutTrace {
+            cut: cut_key.clone(),
+            info,
+            cow,
+        });
     }
-    Ok(TraceReport { product: product.to_string(), product_info, cuts })
+    Ok(TraceReport {
+        product: product.to_string(),
+        product_info,
+        cuts,
+    })
 }
 
 /// Tracks a cut: where it is now and every leg it travelled.

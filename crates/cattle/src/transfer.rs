@@ -77,9 +77,18 @@ pub fn transfer_cow_workflow(
             // change first, the cow's owner pointer last, so a half-done
             // workflow never shows a cow owned by a farmer whose herd list
             // lacks it on the *new* side for long.
-            (from_ref.recipient(), json!({ "action": "remove-cow", "cow": cow })),
-            (to_ref.recipient(), json!({ "action": "add-cow", "cow": cow })),
-            (cow_ref.recipient(), json!({ "action": "set-owner", "new_owner": to })),
+            (
+                from_ref.recipient(),
+                json!({ "action": "remove-cow", "cow": cow }),
+            ),
+            (
+                to_ref.recipient(),
+                json!({ "action": "add-cow", "cow": cow }),
+            ),
+            (
+                cow_ref.recipient(),
+                json!({ "action": "set-owner", "new_owner": to }),
+            ),
         ],
         5,
         Duration::from_millis(10),

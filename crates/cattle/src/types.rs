@@ -156,7 +156,10 @@ mod tests {
 
     #[test]
     fn circle_fence() {
-        let fence = GeoFence::Circle { center: GeoPoint { lat: 0.0, lon: 0.0 }, radius: 1.0 };
+        let fence = GeoFence::Circle {
+            center: GeoPoint { lat: 0.0, lon: 0.0 },
+            radius: 1.0,
+        };
         assert!(fence.contains(&GeoPoint { lat: 0.5, lon: 0.5 }));
         assert!(!fence.contains(&GeoPoint { lat: 1.0, lon: 1.0 }));
     }
@@ -168,7 +171,10 @@ mod tests {
             max: GeoPoint { lat: 2.0, lon: 3.0 },
         };
         assert!(fence.contains(&GeoPoint { lat: 1.0, lon: 2.9 }));
-        assert!(!fence.contains(&GeoPoint { lat: -0.1, lon: 1.0 }));
+        assert!(!fence.contains(&GeoPoint {
+            lat: -0.1,
+            lon: 1.0
+        }));
         assert!(!fence.contains(&GeoPoint { lat: 1.0, lon: 3.1 }));
     }
 

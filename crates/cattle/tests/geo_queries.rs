@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use aodb_cattle::geo::{cows_near, covering_cells, grid_cell};
+use aodb_cattle::geo::{covering_cells, cows_near, grid_cell};
 use aodb_cattle::types::{Breed, CollarReading, GeoPoint};
 use aodb_cattle::{register_all, CattleClient, CattleEnv};
 use aodb_runtime::Runtime;
@@ -13,7 +13,12 @@ use aodb_store::MemStore;
 const T: Duration = Duration::from_secs(10);
 
 fn reading(ts_ms: u64, lat: f64, lon: f64) -> CollarReading {
-    CollarReading { ts_ms, position: GeoPoint { lat, lon }, speed: 0.1, temperature: 38.5 }
+    CollarReading {
+        ts_ms,
+        position: GeoPoint { lat, lon },
+        speed: 0.1,
+        temperature: 38.5,
+    }
 }
 
 fn setup() -> (Runtime, CattleClient) {
@@ -34,20 +39,38 @@ fn collar_reports_populate_the_location_index() {
         ("g/cow-c", 56.200, 9.500),
     ] {
         client.register_cow(cow, "g/farm", Breed::Angus, 0).unwrap();
-        client.collar_report(cow, vec![reading(0, lat, lon)]).unwrap().wait_for(T).unwrap();
+        client
+            .collar_report(cow, vec![reading(0, lat, lon)])
+            .unwrap()
+            .wait_for(T)
+            .unwrap();
     }
     assert!(rt.quiesce(T));
 
-    let near = cows_near(&rt.handle(), &GeoPoint { lat: 55.480, lon: 8.680 }, 1)
-        .unwrap()
-        .wait_for(T)
-        .unwrap();
+    let near = cows_near(
+        &rt.handle(),
+        &GeoPoint {
+            lat: 55.480,
+            lon: 8.680,
+        },
+        1,
+    )
+    .unwrap()
+    .wait_for(T)
+    .unwrap();
     assert_eq!(near, vec!["g/cow-a", "g/cow-b"], "far cow must not appear");
 
-    let far = cows_near(&rt.handle(), &GeoPoint { lat: 56.200, lon: 9.500 }, 0)
-        .unwrap()
-        .wait_for(T)
-        .unwrap();
+    let far = cows_near(
+        &rt.handle(),
+        &GeoPoint {
+            lat: 56.200,
+            lon: 9.500,
+        },
+        0,
+    )
+    .unwrap()
+    .wait_for(T)
+    .unwrap();
     assert_eq!(far, vec!["g/cow-c"]);
     rt.shutdown();
 }
@@ -55,16 +78,24 @@ fn collar_reports_populate_the_location_index() {
 #[test]
 fn moving_cow_changes_cells() {
     let (rt, client) = setup();
-    client.register_cow("g/walker", "g/farm", Breed::Hereford, 0).unwrap();
+    client
+        .register_cow("g/walker", "g/farm", Breed::Hereford, 0)
+        .unwrap();
     client
         .collar_report("g/walker", vec![reading(0, 10.005, 10.005)])
         .unwrap()
         .wait_for(T)
         .unwrap();
     assert!(rt.quiesce(T));
-    let here = GeoPoint { lat: 10.005, lon: 10.005 };
+    let here = GeoPoint {
+        lat: 10.005,
+        lon: 10.005,
+    };
     assert_eq!(
-        cows_near(&rt.handle(), &here, 0).unwrap().wait_for(T).unwrap(),
+        cows_near(&rt.handle(), &here, 0)
+            .unwrap()
+            .wait_for(T)
+            .unwrap(),
         vec!["g/walker"]
     );
 
@@ -75,10 +106,20 @@ fn moving_cow_changes_cells() {
         .wait_for(T)
         .unwrap();
     assert!(rt.quiesce(T));
-    assert!(cows_near(&rt.handle(), &here, 0).unwrap().wait_for(T).unwrap().is_empty());
-    let there = GeoPoint { lat: 10.055, lon: 10.005 };
+    assert!(cows_near(&rt.handle(), &here, 0)
+        .unwrap()
+        .wait_for(T)
+        .unwrap()
+        .is_empty());
+    let there = GeoPoint {
+        lat: 10.055,
+        lon: 10.005,
+    };
     assert_eq!(
-        cows_near(&rt.handle(), &there, 0).unwrap().wait_for(T).unwrap(),
+        cows_near(&rt.handle(), &there, 0)
+            .unwrap()
+            .wait_for(T)
+            .unwrap(),
         vec!["g/walker"]
     );
     rt.shutdown();
@@ -87,7 +128,9 @@ fn moving_cow_changes_cells() {
 #[test]
 fn movement_within_a_cell_causes_no_index_traffic() {
     let (rt, client) = setup();
-    client.register_cow("g/grazer", "g/farm", Breed::Nelore, 0).unwrap();
+    client
+        .register_cow("g/grazer", "g/farm", Breed::Nelore, 0)
+        .unwrap();
     client
         .collar_report("g/grazer", vec![reading(0, 20.0051, 20.0051)])
         .unwrap()
@@ -111,7 +154,10 @@ fn movement_within_a_cell_causes_no_index_traffic() {
     let delta = rt.metrics().messages_processed - baseline;
     // 50 collar reports; allow a couple of stray messages but no per-report
     // index updates (which would add ≥50).
-    assert!(delta < 55, "unexpected index chatter: {delta} messages for 50 reports");
+    assert!(
+        delta < 55,
+        "unexpected index chatter: {delta} messages for 50 reports"
+    );
     rt.shutdown();
 }
 
@@ -119,7 +165,9 @@ fn movement_within_a_cell_causes_no_index_traffic() {
 fn covering_cells_geometry_matches_queries() {
     // A cow on a cell border is found from the adjacent cell with r=1.
     let (rt, client) = setup();
-    client.register_cow("g/border", "g/farm", Breed::Angus, 0).unwrap();
+    client
+        .register_cow("g/border", "g/farm", Breed::Angus, 0)
+        .unwrap();
     client
         .collar_report("g/border", vec![reading(0, 30.0101, 30.0001)])
         .unwrap()
@@ -127,10 +175,16 @@ fn covering_cells_geometry_matches_queries() {
         .unwrap();
     assert!(rt.quiesce(T));
 
-    let neighbour_point = GeoPoint { lat: 30.0099, lon: 30.0001 }; // one cell south
+    let neighbour_point = GeoPoint {
+        lat: 30.0099,
+        lon: 30.0001,
+    }; // one cell south
     assert_ne!(
         grid_cell(&neighbour_point),
-        grid_cell(&GeoPoint { lat: 30.0101, lon: 30.0001 })
+        grid_cell(&GeoPoint {
+            lat: 30.0101,
+            lon: 30.0001
+        })
     );
     assert!(cows_near(&rt.handle(), &neighbour_point, 0)
         .unwrap()
@@ -138,7 +192,10 @@ fn covering_cells_geometry_matches_queries() {
         .unwrap()
         .is_empty());
     assert_eq!(
-        cows_near(&rt.handle(), &neighbour_point, 1).unwrap().wait_for(T).unwrap(),
+        cows_near(&rt.handle(), &neighbour_point, 1)
+            .unwrap()
+            .wait_for(T)
+            .unwrap(),
         vec!["g/border"]
     );
     assert_eq!(covering_cells(&neighbour_point, 1).len(), 9);

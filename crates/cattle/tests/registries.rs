@@ -30,15 +30,28 @@ fn slaughterhouse_logs_gs1_events() {
     client.create_slaughterhouse("r/house", "H").unwrap();
     for i in 0..2 {
         let cow = format!("r/cow-{i}");
-        client.register_cow(&cow, "r/farm", Breed::Angus, 0).unwrap();
-        client.slaughter("r/house", &cow, 100 + i).unwrap().wait_for(T).unwrap().unwrap();
+        client
+            .register_cow(&cow, "r/farm", Breed::Angus, 0)
+            .unwrap();
+        client
+            .slaughter("r/house", &cow, 100 + i)
+            .unwrap()
+            .wait_for(T)
+            .unwrap()
+            .unwrap();
     }
     let log = rt
         .actor_ref::<Slaughterhouse>("r/house")
         .call(GetSlaughterLog)
         .unwrap();
-    let slaughters = log.iter().filter(|e| e.kind == ChainEventKind::Slaughtered).count();
-    let cuts = log.iter().filter(|e| e.kind == ChainEventKind::CutCreated).count();
+    let slaughters = log
+        .iter()
+        .filter(|e| e.kind == ChainEventKind::Slaughtered)
+        .count();
+    let cuts = log
+        .iter()
+        .filter(|e| e.kind == ChainEventKind::CutCreated)
+        .count();
     assert_eq!(slaughters, 2);
     assert_eq!(cuts, 2 * CUT_TYPES.len());
     rt.shutdown();
@@ -81,7 +94,10 @@ fn retailer_lists_its_products() {
         .unwrap()
         .wait_for(T)
         .unwrap();
-    let listed = rt.actor_ref::<Retailer>("r/retail").call(ListProducts).unwrap();
+    let listed = rt
+        .actor_ref::<Retailer>("r/retail")
+        .call(ListProducts)
+        .unwrap();
     assert_eq!(listed, vec![p1, p2]);
     rt.shutdown();
 }
@@ -91,16 +107,37 @@ fn farm_pasture_fences_are_named_and_updatable() {
     let (rt, client) = setup();
     client.create_farmer("r/fences", "F").unwrap();
     let farmer = rt.actor_ref::<Farmer>("r/fences");
-    let north = GeoFence::Circle { center: GeoPoint { lat: 1.0, lon: 1.0 }, radius: 0.5 };
-    let south = GeoFence::Circle { center: GeoPoint { lat: -1.0, lon: 1.0 }, radius: 0.25 };
+    let north = GeoFence::Circle {
+        center: GeoPoint { lat: 1.0, lon: 1.0 },
+        radius: 0.5,
+    };
+    let south = GeoFence::Circle {
+        center: GeoPoint {
+            lat: -1.0,
+            lon: 1.0,
+        },
+        radius: 0.25,
+    };
     farmer
-        .call(SetPastureFence { pasture: "north".into(), fence: north })
+        .call(SetPastureFence {
+            pasture: "north".into(),
+            fence: north,
+        })
         .unwrap();
     farmer
-        .call(SetPastureFence { pasture: "south".into(), fence: south })
+        .call(SetPastureFence {
+            pasture: "south".into(),
+            fence: south,
+        })
         .unwrap();
-    assert_eq!(farmer.call(GetPastureFence("north".into())).unwrap(), Some(north));
-    assert_eq!(farmer.call(GetPastureFence("nowhere".into())).unwrap(), None);
+    assert_eq!(
+        farmer.call(GetPastureFence("north".into())).unwrap(),
+        Some(north)
+    );
+    assert_eq!(
+        farmer.call(GetPastureFence("nowhere".into())).unwrap(),
+        None
+    );
 
     // Rotating pasture grounds (FR 2): the fence is replaced in place.
     let north2 = GeoFence::Rect {
@@ -108,8 +145,14 @@ fn farm_pasture_fences_are_named_and_updatable() {
         max: GeoPoint { lat: 1.5, lon: 1.5 },
     };
     farmer
-        .call(SetPastureFence { pasture: "north".into(), fence: north2 })
+        .call(SetPastureFence {
+            pasture: "north".into(),
+            fence: north2,
+        })
         .unwrap();
-    assert_eq!(farmer.call(GetPastureFence("north".into())).unwrap(), Some(north2));
+    assert_eq!(
+        farmer.call(GetPastureFence("north".into())).unwrap(),
+        Some(north2)
+    );
     rt.shutdown();
 }

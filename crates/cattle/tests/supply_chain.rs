@@ -19,7 +19,12 @@ use aodb_store::{MemStore, StateStore};
 const T: Duration = Duration::from_secs(10);
 
 fn reading(ts_ms: u64, lat: f64, lon: f64) -> CollarReading {
-    CollarReading { ts_ms, position: GeoPoint { lat, lon }, speed: 0.5, temperature: 38.6 }
+    CollarReading {
+        ts_ms,
+        position: GeoPoint { lat, lon },
+        speed: 0.5,
+        temperature: 38.6,
+    }
 }
 
 fn setup() -> (Runtime, CattleClient, Arc<dyn StateStore>) {
@@ -34,11 +39,18 @@ fn setup() -> (Runtime, CattleClient, Arc<dyn StateStore>) {
 fn collar_stream_builds_trajectory() {
     let (rt, client, _) = setup();
     client.create_farmer("farm-1", "Nørgaard").unwrap();
-    client.register_cow("cow-1", "farm-1", Breed::Angus, 0).unwrap();
+    client
+        .register_cow("cow-1", "farm-1", Breed::Angus, 0)
+        .unwrap();
 
-    let readings: Vec<CollarReading> =
-        (0..50).map(|i| reading(i * 10_000, 55.0 + i as f64 * 0.001, 10.0)).collect();
-    let n = client.collar_report("cow-1", readings).unwrap().wait_for(T).unwrap();
+    let readings: Vec<CollarReading> = (0..50)
+        .map(|i| reading(i * 10_000, 55.0 + i as f64 * 0.001, 10.0))
+        .collect();
+    let n = client
+        .collar_report("cow-1", readings)
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
     assert_eq!(n, 50);
 
     let trajectory = client.trajectory("cow-1", 10).unwrap().wait_for(T).unwrap();
@@ -56,7 +68,9 @@ fn collar_stream_builds_trajectory() {
 fn geofence_violations_are_counted() {
     let (rt, client, _) = setup();
     client.create_farmer("farm-1", "F").unwrap();
-    client.register_cow("cow-2", "farm-1", Breed::Hereford, 0).unwrap();
+    client
+        .register_cow("cow-2", "farm-1", Breed::Hereford, 0)
+        .unwrap();
     client
         .set_fence(
             "cow-2",
@@ -90,8 +104,12 @@ fn geofence_violations_are_counted() {
 fn slaughter_creates_cuts_and_is_single_use() {
     let (rt, client, _) = setup();
     client.create_farmer("farm-1", "F").unwrap();
-    client.register_cow("cow-3", "farm-1", Breed::Nelore, 0).unwrap();
-    client.create_slaughterhouse("house-1", "Danish Crown").unwrap();
+    client
+        .register_cow("cow-3", "farm-1", Breed::Nelore, 0)
+        .unwrap();
+    client
+        .create_slaughterhouse("house-1", "Danish Crown")
+        .unwrap();
 
     let cuts = client
         .slaughter("house-1", "cow-3", 1000)
@@ -102,12 +120,19 @@ fn slaughter_creates_cuts_and_is_single_use() {
     assert_eq!(cuts.len(), CUT_TYPES.len());
 
     // A cow can be slaughtered only once (FR 3).
-    let again = client.slaughter("house-1", "cow-3", 2000).unwrap().wait_for(T).unwrap();
+    let again = client
+        .slaughter("house-1", "cow-3", 2000)
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
     assert_eq!(again, None);
 
     let info = client.cow_info("cow-3").unwrap().wait_for(T).unwrap();
     assert_eq!(info.status, CowStatus::Slaughtered);
-    assert!(info.events.iter().any(|e| e.kind == ChainEventKind::Slaughtered));
+    assert!(info
+        .events
+        .iter()
+        .any(|e| e.kind == ChainEventKind::Slaughtered));
     rt.shutdown();
 }
 
@@ -115,7 +140,9 @@ fn slaughter_creates_cuts_and_is_single_use() {
 fn delivery_extends_cut_itineraries() {
     let (rt, client, _) = setup();
     client.create_farmer("farm-1", "F").unwrap();
-    client.register_cow("cow-4", "farm-1", Breed::Angus, 0).unwrap();
+    client
+        .register_cow("cow-4", "farm-1", Breed::Angus, 0)
+        .unwrap();
     client.create_slaughterhouse("house-1", "H").unwrap();
     client.create_distributor("dist-1", "DSV").unwrap();
 
@@ -135,7 +162,11 @@ fn delivery_extends_cut_itineraries() {
     client.arrive(&delivery, 30).unwrap();
     assert!(rt.quiesce(T));
 
-    let info = client.delivery_info(&delivery).unwrap().wait_for(T).unwrap();
+    let info = client
+        .delivery_info(&delivery)
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
     assert_eq!(info.status, DeliveryStatus::Delivered);
     assert_eq!(info.departed_ms, Some(20));
     assert_eq!(info.arrived_ms, Some(30));
@@ -152,7 +183,9 @@ fn delivery_extends_cut_itineraries() {
 fn farm_to_fork_trace() {
     let (rt, client, _) = setup();
     client.create_farmer("farm-9", "Fazenda Boa Vista").unwrap();
-    client.register_cow("cow-9", "farm-9", Breed::Nelore, 5).unwrap();
+    client
+        .register_cow("cow-9", "farm-9", Breed::Nelore, 5)
+        .unwrap();
     client.create_slaughterhouse("house-9", "H9").unwrap();
     client.create_distributor("dist-9", "D9").unwrap();
     client.create_retailer("retail-9", "SuperBrugsen").unwrap();
@@ -197,7 +230,9 @@ fn txn_transfer_moves_cow_atomically() {
     let (rt, client, _) = setup();
     client.create_farmer("farm-a", "A").unwrap();
     client.create_farmer("farm-b", "B").unwrap();
-    client.register_cow("cow-t", "farm-a", Breed::Angus, 0).unwrap();
+    client
+        .register_cow("cow-t", "farm-a", Breed::Angus, 0)
+        .unwrap();
 
     let outcome = client
         .transfer_cow_txn("cow-t", "farm-a", "farm-b")
@@ -206,8 +241,14 @@ fn txn_transfer_moves_cow_atomically() {
         .unwrap();
     assert_eq!(outcome, TxnOutcome::Committed);
 
-    assert_eq!(client.herd("farm-a").unwrap().wait_for(T).unwrap(), Vec::<String>::new());
-    assert_eq!(client.herd("farm-b").unwrap().wait_for(T).unwrap(), vec!["cow-t"]);
+    assert_eq!(
+        client.herd("farm-a").unwrap().wait_for(T).unwrap(),
+        Vec::<String>::new()
+    );
+    assert_eq!(
+        client.herd("farm-b").unwrap().wait_for(T).unwrap(),
+        vec!["cow-t"]
+    );
     let info = client.cow_info("cow-t").unwrap().wait_for(T).unwrap();
     assert_eq!(info.farmer, "farm-b");
     rt.shutdown();
@@ -218,7 +259,9 @@ fn txn_transfer_aborts_when_cow_not_in_herd() {
     let (rt, client, _) = setup();
     client.create_farmer("farm-a", "A").unwrap();
     client.create_farmer("farm-b", "B").unwrap();
-    client.register_cow("cow-u", "farm-a", Breed::Angus, 0).unwrap();
+    client
+        .register_cow("cow-u", "farm-a", Breed::Angus, 0)
+        .unwrap();
 
     // farm-b does not own cow-u; selling from farm-b must abort.
     let outcome = client
@@ -233,7 +276,10 @@ fn txn_transfer_aborts_when_cow_not_in_herd() {
     // Ownership unchanged.
     let info = client.cow_info("cow-u").unwrap().wait_for(T).unwrap();
     assert_eq!(info.farmer, "farm-a");
-    assert_eq!(client.herd("farm-a").unwrap().wait_for(T).unwrap(), vec!["cow-u"]);
+    assert_eq!(
+        client.herd("farm-a").unwrap().wait_for(T).unwrap(),
+        vec!["cow-u"]
+    );
     rt.shutdown();
 }
 
@@ -242,7 +288,9 @@ fn workflow_transfer_converges() {
     let (rt, client, _) = setup();
     client.create_farmer("farm-a", "A").unwrap();
     client.create_farmer("farm-b", "B").unwrap();
-    client.register_cow("cow-w", "farm-a", Breed::HolsteinCross, 0).unwrap();
+    client
+        .register_cow("cow-w", "farm-a", Breed::HolsteinCross, 0)
+        .unwrap();
 
     let outcome = client
         .transfer_cow_workflow("sale-2026-001", "cow-w", "farm-a", "farm-b")
@@ -251,8 +299,14 @@ fn workflow_transfer_converges() {
         .unwrap();
     assert_eq!(outcome, WorkflowOutcome::Completed);
 
-    assert_eq!(client.herd("farm-a").unwrap().wait_for(T).unwrap(), Vec::<String>::new());
-    assert_eq!(client.herd("farm-b").unwrap().wait_for(T).unwrap(), vec!["cow-w"]);
+    assert_eq!(
+        client.herd("farm-a").unwrap().wait_for(T).unwrap(),
+        Vec::<String>::new()
+    );
+    assert_eq!(
+        client.herd("farm-b").unwrap().wait_for(T).unwrap(),
+        vec!["cow-w"]
+    );
     let info = client.cow_info("cow-w").unwrap().wait_for(T).unwrap();
     assert_eq!(info.farmer, "farm-b");
 
@@ -263,7 +317,10 @@ fn workflow_transfer_converges() {
         .wait_for(T)
         .unwrap();
     assert_eq!(outcome, WorkflowOutcome::Completed);
-    assert_eq!(client.herd("farm-b").unwrap().wait_for(T).unwrap(), vec!["cow-w"]);
+    assert_eq!(
+        client.herd("farm-b").unwrap().wait_for(T).unwrap(),
+        vec!["cow-w"]
+    );
     rt.shutdown();
 }
 
@@ -286,14 +343,34 @@ fn model_b_transfer_copies_versions_and_reads_stay_local() {
         })
         .unwrap();
 
-    assert!(house.call(TransferCutB { entity: "cut-77".into(), to: "b/dist-1".into(), ts_ms: 10 }).unwrap());
+    assert!(house
+        .call(TransferCutB {
+            entity: "cut-77".into(),
+            to: "b/dist-1".into(),
+            ts_ms: 10
+        })
+        .unwrap());
     assert!(rt.quiesce(T));
     // The distributor trims the cut locally — no cross-actor messaging.
-    assert!(dist.call(UpdateLocalCut { entity: "cut-77".into(), weight_kg: 11.5 }).unwrap());
-    assert!(dist.call(TransferCutB { entity: "cut-77".into(), to: "b/retail-1".into(), ts_ms: 20 }).unwrap());
+    assert!(dist
+        .call(UpdateLocalCut {
+            entity: "cut-77".into(),
+            weight_kg: 11.5
+        })
+        .unwrap());
+    assert!(dist
+        .call(TransferCutB {
+            entity: "cut-77".into(),
+            to: "b/retail-1".into(),
+            ts_ms: 20
+        })
+        .unwrap());
     assert!(rt.quiesce(T));
 
-    let at_retail = retail.call(GetLocalCut("cut-77".into())).unwrap().expect("retail holds v2");
+    let at_retail = retail
+        .call(GetLocalCut("cut-77".into()))
+        .unwrap()
+        .expect("retail holds v2");
     assert_eq!(at_retail.version, 2);
     assert_eq!(at_retail.payload.weight_kg, 11.5);
     assert_eq!(
@@ -302,7 +379,10 @@ fn model_b_transfer_copies_versions_and_reads_stay_local() {
     );
 
     // The house still holds its historical version 0 with original weight.
-    let at_house = house.call(GetLocalCut("cut-77".into())).unwrap().expect("history kept");
+    let at_house = house
+        .call(GetLocalCut("cut-77".into()))
+        .unwrap()
+        .expect("history kept");
     assert_eq!(at_house.version, 0);
     assert_eq!(at_house.payload.weight_kg, 12.0);
 
@@ -315,7 +395,11 @@ fn model_b_transfer_copies_versions_and_reads_stay_local() {
 
     // Transferring an entity you do not hold fails.
     assert!(!house
-        .call(TransferCutB { entity: "cut-77".into(), to: "b/dist-1".into(), ts_ms: 30 })
+        .call(TransferCutB {
+            entity: "cut-77".into(),
+            to: "b/dist-1".into(),
+            ts_ms: 30
+        })
         .unwrap());
     rt.shutdown();
 }
@@ -329,7 +413,9 @@ fn chain_state_survives_restart() {
         register_all(&rt, CattleEnv::new(Arc::clone(&store)));
         let client = CattleClient::new(rt.handle());
         client.create_farmer("farm-p", "P").unwrap();
-        client.register_cow("cow-p", "farm-p", Breed::Angus, 0).unwrap();
+        client
+            .register_cow("cow-p", "farm-p", Breed::Angus, 0)
+            .unwrap();
         client.create_slaughterhouse("house-p", "H").unwrap();
         client.create_retailer("retail-p", "R").unwrap();
         let cuts = client

@@ -133,7 +133,11 @@ impl Handler<IndexLookup> for IndexShard {
 }
 
 impl Handler<IndexDump> for IndexShard {
-    fn handle(&mut self, msg: IndexDump, _ctx: &mut ActorContext<'_>) -> Vec<(String, Vec<String>)> {
+    fn handle(
+        &mut self,
+        msg: IndexDump,
+        _ctx: &mut ActorContext<'_>,
+    ) -> Vec<(String, Vec<String>)> {
         self.state
             .get()
             .postings
@@ -172,7 +176,11 @@ impl IndexClient {
     /// All clients of an index must agree on `buckets`; it determines
     /// value→shard routing.
     pub fn new(handle: RuntimeHandle, name: impl Into<String>, buckets: u32) -> Self {
-        IndexClient { handle, name: name.into(), buckets: buckets.max(1) }
+        IndexClient {
+            handle,
+            name: name.into(),
+            buckets: buckets.max(1),
+        }
     }
 
     fn shard_key(&self, value: &str) -> String {
@@ -225,7 +233,9 @@ impl IndexClient {
         match mode {
             IndexMode::Eventual => {
                 for (shard, update) in per_shard {
-                    self.handle.try_actor_ref::<IndexShard>(shard)?.tell(update)?;
+                    self.handle
+                        .try_actor_ref::<IndexShard>(shard)?
+                        .tell(update)?;
                 }
                 Ok(aodb_runtime::resolved(Vec::new()))
             }
@@ -245,17 +255,24 @@ impl IndexClient {
     pub fn lookup(&self, value: &str) -> Result<Promise<Vec<String>>, SendError> {
         self.handle
             .try_actor_ref::<IndexShard>(self.shard_key(value))?
-            .ask(IndexLookup { index: self.name.clone(), value: value.to_string() })
+            .ask(IndexLookup {
+                index: self.name.clone(),
+                value: value.to_string(),
+            })
     }
 
     /// Enumerates all `(value, entities)` postings across every shard.
+    #[allow(clippy::type_complexity)]
     pub fn dump(&self) -> Result<Promise<Vec<Vec<(String, Vec<String>)>>>, SendError> {
         let (collector, promise) = gather(self.buckets as usize);
         for bucket in 0..self.buckets {
             let shard = format!("{}:{}", self.name, bucket);
-            self.handle
-                .try_actor_ref::<IndexShard>(shard)?
-                .ask_with(IndexDump { index: self.name.clone() }, collector.slot())?;
+            self.handle.try_actor_ref::<IndexShard>(shard)?.ask_with(
+                IndexDump {
+                    index: self.name.clone(),
+                },
+                collector.slot(),
+            )?;
         }
         Ok(promise)
     }

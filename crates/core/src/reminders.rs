@@ -13,9 +13,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use aodb_runtime::{
-    Actor, ActorContext, Handler, Message, Runtime, SendError, TimerHandle,
-};
+use aodb_runtime::{Actor, ActorContext, Handler, Message, Runtime, SendError, TimerHandle};
 use aodb_store::StateStore;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
@@ -137,7 +135,10 @@ where
     let target = rt.actor_ref::<A>(spec.target_key.as_str());
     rt.schedule_interval(
         &target,
-        ReminderFired { name: spec.name.clone(), payload: spec.payload.clone() },
+        ReminderFired {
+            name: spec.name.clone(),
+            payload: spec.payload.clone(),
+        },
         Duration::from_millis(spec.period_ms.max(1)),
     )
 }

@@ -94,7 +94,10 @@ impl Participant {
     where
         A: Actor + Handler<Prepare> + Handler<Decide>,
     {
-        Participant { prepare: actor.recipient(), decide: actor.recipient() }
+        Participant {
+            prepare: actor.recipient(),
+            decide: actor.recipient(),
+        }
     }
 }
 
@@ -186,7 +189,9 @@ impl TxnCoordinator {
         reason: Option<String>,
         ctx: &mut ActorContext<'_>,
     ) {
-        let Some(pending) = self.pending.get_mut(&seq) else { return };
+        let Some(pending) = self.pending.get_mut(&seq) else {
+            return;
+        };
         if pending.outcome.is_some() {
             return; // already decided (timeout raced with votes)
         }
@@ -199,33 +204,53 @@ impl TxnCoordinator {
         let acks = Collector::new(pending.participants.len(), move |_acks: Vec<()>| {
             let _ = me.tell(AcksIn { seq });
         });
-        let txn = TxnId { coordinator: ctx.key().to_string(), seq };
+        let txn = TxnId {
+            coordinator: ctx.key().to_string(),
+            seq,
+        };
         for p in &pending.participants {
-            let _ = p
-                .decide
-                .ask_with(Decide { txn: txn.clone(), commit }, acks.slot());
+            let _ = p.decide.ask_with(
+                Decide {
+                    txn: txn.clone(),
+                    commit,
+                },
+                acks.slot(),
+            );
         }
     }
 }
 
 impl Actor for TxnCoordinator {
     const TYPE_NAME: &'static str = "aodb.txn-coordinator";
+    fn declared_calls() -> &'static [aodb_runtime::CallDecl] {
+        // Prepare/Decide go to caller-supplied participant recipients —
+        // the concrete actor types are not known statically.
+        const CALLS: &[aodb_runtime::CallDecl] = &[aodb_runtime::CallDecl::send_any()];
+        CALLS
+    }
 }
 
 impl Handler<Begin> for TxnCoordinator {
     fn handle(&mut self, msg: Begin, ctx: &mut ActorContext<'_>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let txn = TxnId { coordinator: ctx.key().to_string(), seq };
+        let txn = TxnId {
+            coordinator: ctx.key().to_string(),
+            seq,
+        };
 
         let me = ctx.actor_ref::<TxnCoordinator>(ctx.key().clone());
         let votes = Collector::new(msg.ops.len(), move |votes: Vec<Vote>| {
             let _ = me.tell(VotesIn { seq, votes });
         });
         for (participant, op) in &msg.ops {
-            let _ = participant
-                .prepare
-                .ask_with(Prepare { txn: txn.clone(), op: op.clone() }, votes.slot());
+            let _ = participant.prepare.ask_with(
+                Prepare {
+                    txn: txn.clone(),
+                    op: op.clone(),
+                },
+                votes.slot(),
+            );
         }
         self.pending.insert(
             seq,
@@ -252,9 +277,10 @@ impl Handler<VotesIn> for TxnCoordinator {
 impl Handler<AcksIn> for TxnCoordinator {
     fn handle(&mut self, msg: AcksIn, _ctx: &mut ActorContext<'_>) {
         if let Some(mut pending) = self.pending.remove(&msg.seq) {
-            let outcome = pending.outcome.take().unwrap_or_else(|| {
-                TxnOutcome::Aborted("acks arrived without decision".into())
-            });
+            let outcome = pending
+                .outcome
+                .take()
+                .unwrap_or_else(|| TxnOutcome::Aborted("acks arrived without decision".into()));
             if let Some(done) = pending.done.take() {
                 done.deliver(outcome);
             }
@@ -295,9 +321,7 @@ impl<P> TxnLock<P> {
     /// same transaction replaces the payload (message retry).
     pub fn try_prepare(&mut self, txn: TxnId, pending: P) -> Vote {
         match &self.holder {
-            Some((held, _)) if *held != txn => {
-                Vote::No(format!("locked by transaction {held}"))
-            }
+            Some((held, _)) if *held != txn => Vote::No(format!("locked by transaction {held}")),
             _ => {
                 self.holder = Some((txn, pending));
                 Vote::Yes

@@ -136,7 +136,9 @@ impl WorkflowEngine {
     }
 
     fn dispatch_step(&mut self, id: &str, ctx: &mut ActorContext<'_>) {
-        let Some(wf) = self.active.get(id) else { return };
+        let Some(wf) = self.active.get(id) else {
+            return;
+        };
         let step = wf.next;
         if step as usize >= wf.steps.len() {
             self.finish(id, WorkflowOutcome::Completed);
@@ -146,7 +148,11 @@ impl WorkflowEngine {
         let me = ctx.actor_ref::<WorkflowEngine>(ctx.key().clone());
         let id_owned = id.to_string();
         let reply = ReplyTo::Callback(Box::new(move |result: StepResult| {
-            let _ = me.tell(StepDone { id: id_owned, step, result });
+            let _ = me.tell(StepDone {
+                id: id_owned,
+                step,
+                result,
+            });
         }));
         let send = recipient.ask_with(
             WorkStep {
@@ -180,6 +186,12 @@ impl WorkflowEngine {
 
 impl Actor for WorkflowEngine {
     const TYPE_NAME: &'static str = "aodb.workflow-engine";
+    fn declared_calls() -> &'static [aodb_runtime::CallDecl] {
+        // Workflow steps go to caller-supplied step recipients — the
+        // concrete actor types are not known statically.
+        const CALLS: &[aodb_runtime::CallDecl] = &[aodb_runtime::CallDecl::send_any()];
+        CALLS
+    }
 
     fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
         self.progress.load_or_default();
@@ -225,7 +237,9 @@ impl Handler<StartWorkflow> for WorkflowEngine {
 
 impl Handler<StepDone> for WorkflowEngine {
     fn handle(&mut self, msg: StepDone, ctx: &mut ActorContext<'_>) {
-        let Some(wf) = self.active.get_mut(&msg.id) else { return };
+        let Some(wf) = self.active.get_mut(&msg.id) else {
+            return;
+        };
         if wf.next != msg.step {
             return; // stale completion from a superseded attempt
         }
@@ -252,7 +266,10 @@ impl Handler<StepDone> for WorkflowEngine {
                 } else {
                     let delay = wf.backoff * wf.attempts;
                     ctx.notify_self_after::<WorkflowEngine, RetryStep>(
-                        RetryStep { id: msg.id, step: msg.step },
+                        RetryStep {
+                            id: msg.id,
+                            step: msg.step,
+                        },
                         delay,
                     );
                 }
@@ -267,7 +284,11 @@ impl Handler<StepDone> for WorkflowEngine {
 
 impl Handler<RetryStep> for WorkflowEngine {
     fn handle(&mut self, msg: RetryStep, ctx: &mut ActorContext<'_>) {
-        if self.active.get(&msg.id).is_some_and(|wf| wf.next == msg.step) {
+        if self
+            .active
+            .get(&msg.id)
+            .is_some_and(|wf| wf.next == msg.step)
+        {
             self.dispatch_step(&msg.id, ctx);
         }
     }
@@ -282,7 +303,13 @@ pub fn run_workflow(
     backoff: Duration,
 ) -> Result<Promise<WorkflowOutcome>, SendError> {
     let (done, promise) = ReplyTo::promise();
-    engine.tell(StartWorkflow { id: id.into(), steps, done, max_retries, backoff })?;
+    engine.tell(StartWorkflow {
+        id: id.into(),
+        steps,
+        done,
+        max_retries,
+        backoff,
+    })?;
     Ok(promise)
 }
 

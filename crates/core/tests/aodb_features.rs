@@ -103,7 +103,11 @@ impl Handler<Decide> for Account {
 /// permanent rejection.
 impl Handler<WorkStep> for Account {
     fn handle(&mut self, msg: WorkStep, _ctx: &mut ActorContext<'_>) -> StepResult {
-        let delta = msg.payload.get("delta").and_then(|v| v.as_i64()).unwrap_or(0);
+        let delta = msg
+            .payload
+            .get("delta")
+            .and_then(|v| v.as_i64())
+            .unwrap_or(0);
         let permanent = msg
             .payload
             .get("permanent_failure")
@@ -582,7 +586,11 @@ fn index_update_and_lookup() {
         .wait_for(Duration::from_secs(5))
         .unwrap();
 
-    let mut angus = idx.lookup("angus").unwrap().wait_for(Duration::from_secs(5)).unwrap();
+    let mut angus = idx
+        .lookup("angus")
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
     angus.sort();
     assert_eq!(angus, vec!["cow-1", "cow-2"]);
     rt.shutdown();
@@ -598,10 +606,15 @@ fn index_value_change_moves_entity() {
         .unwrap()
         .wait_for(Duration::from_secs(5))
         .unwrap();
-    idx.update("cow-9", Some("north"), Some("south"), IndexMode::Synchronous)
-        .unwrap()
-        .wait_for(Duration::from_secs(5))
-        .unwrap();
+    idx.update(
+        "cow-9",
+        Some("north"),
+        Some("south"),
+        IndexMode::Synchronous,
+    )
+    .unwrap()
+    .wait_for(Duration::from_secs(5))
+    .unwrap();
 
     assert!(idx.lookup("north").unwrap().wait().unwrap().is_empty());
     assert_eq!(idx.lookup("south").unwrap().wait().unwrap(), vec!["cow-9"]);
@@ -642,7 +655,11 @@ fn index_dump_covers_all_shards() {
         .wait_for(Duration::from_secs(5))
         .unwrap();
     }
-    let shards = idx.dump().unwrap().wait_for(Duration::from_secs(5)).unwrap();
+    let shards = idx
+        .dump()
+        .unwrap()
+        .wait_for(Duration::from_secs(5))
+        .unwrap();
     let total: usize = shards
         .iter()
         .flat_map(|postings| postings.iter().map(|(_, es)| es.len()))

@@ -5,7 +5,10 @@ use aodb_core::{IdempotenceGuard, StepResult, TxnId, TxnLock, Versioned};
 use proptest::prelude::*;
 
 fn txn_id(seq: u64) -> TxnId {
-    TxnId { coordinator: "c".into(), seq }
+    TxnId {
+        coordinator: "c".into(),
+        seq,
+    }
 }
 
 proptest! {

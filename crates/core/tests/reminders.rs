@@ -33,7 +33,10 @@ fn setup(store: &Arc<dyn StateStore>, fires: &Arc<AtomicU64>) -> Runtime {
     ReminderTable::register(&rt, Arc::clone(store));
     {
         let fires = Arc::clone(fires);
-        rt.register(move |_id| Pinged { fires: Arc::clone(&fires), last_payload: None });
+        rt.register(move |_id| Pinged {
+            fires: Arc::clone(&fires),
+            last_payload: None,
+        });
     }
     rt
 }
@@ -184,7 +187,13 @@ fn restore_filters_by_target_type() {
     .unwrap();
     h1.cancel();
     h2.cancel();
-    assert_eq!(restore_reminders::<Pinged>(&rt, "reminders").unwrap().len(), 1);
-    assert_eq!(restore_reminders::<Other>(&rt, "reminders").unwrap().len(), 1);
+    assert_eq!(
+        restore_reminders::<Pinged>(&rt, "reminders").unwrap().len(),
+        1
+    );
+    assert_eq!(
+        restore_reminders::<Other>(&rt, "reminders").unwrap().len(),
+        1
+    );
     rt.shutdown();
 }

@@ -30,6 +30,22 @@ pub trait Actor: Sized + Send + 'static {
     /// Unique registered name of this actor type (e.g. `"shm.channel"`).
     const TYPE_NAME: &'static str;
 
+    /// Statically declared outbound edges: every actor type this one
+    /// sends messages to from inside its turns (handlers and lifecycle
+    /// hooks), and whether each edge is a blocking
+    /// [`CallKind::Call`](crate::CallKind) or an asynchronous
+    /// [`CallKind::Send`](crate::CallKind).
+    ///
+    /// The declarations are the input to the `aodb-analysis` call-graph
+    /// extraction (which statically rejects synchronous-call cycles —
+    /// they deadlock under turn-based execution), and in debug builds the
+    /// runtime panics when a turn dispatches to an actor type not listed
+    /// here. Self-sends need no declaration. The default is no outbound
+    /// edges, which suits leaf actors.
+    fn declared_calls() -> &'static [crate::CallDecl] {
+        &[]
+    }
+
     /// Runs once, as the first turn of a fresh activation.
     fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {}
 
@@ -91,7 +107,12 @@ pub struct ActorContext<'a> {
 
 impl<'a> ActorContext<'a> {
     pub(crate) fn new(core: &'a Arc<RuntimeCore>, id: &'a ActorId, silo: SiloId) -> Self {
-        ActorContext { core, id, silo, deactivate_requested: false }
+        ActorContext {
+            core,
+            id,
+            silo,
+            deactivate_requested: false,
+        }
     }
 
     /// Identity of the actor currently executing.
@@ -156,5 +177,4 @@ impl<'a> ActorContext<'a> {
         let env = Envelope::of::<A, M>(msg, ReplyTo::Ignore);
         self.core.schedule_delayed(self.id.clone(), env, delay);
     }
-
 }

@@ -27,7 +27,9 @@ pub(crate) struct Directory {
 impl Directory {
     pub fn new() -> Self {
         Directory {
-            shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
         }
     }
 

@@ -68,6 +68,8 @@ impl Envelope {
 
 impl std::fmt::Debug for Envelope {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Envelope").field("kind", &self.kind).finish()
+        f.debug_struct("Envelope")
+            .field("kind", &self.kind)
+            .finish()
     }
 }

@@ -133,7 +133,9 @@ impl ActorId {
     /// Stable hash combining type and key; drives consistent-hash placement
     /// and directory sharding.
     pub fn stable_hash(&self) -> u64 {
-        splitmix64(self.key.stable_hash() ^ (self.type_id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        splitmix64(
+            self.key.stable_hash() ^ (self.type_id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
     }
 }
 

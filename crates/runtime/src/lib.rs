@@ -65,6 +65,7 @@ mod placement;
 mod promise;
 mod runtime;
 mod silo;
+mod topology;
 
 pub use actor::{Actor, ActorContext, Handler, Message};
 pub use envelope::Envelope;
@@ -76,3 +77,4 @@ pub use placement::{ConsistentHashPlacement, Placement, PreferLocalPlacement, Ra
 pub use promise::{gather, resolved, Collector, Promise, ReplyTo};
 pub use runtime::{ActorRef, PanicPolicy, Recipient, Runtime, RuntimeBuilder, RuntimeHandle};
 pub use silo::SiloConfig;
+pub use topology::{ActorTopology, CallDecl, CallKind};

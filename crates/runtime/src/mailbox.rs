@@ -74,7 +74,10 @@ impl Mailbox {
         let mut queue = VecDeque::with_capacity(4);
         queue.push_back(first);
         Mailbox {
-            inner: Mutex::new(Inner { queue, state: MailboxState::Scheduled }),
+            inner: Mutex::new(Inner {
+                queue,
+                state: MailboxState::Scheduled,
+            }),
         }
     }
 
@@ -268,7 +271,10 @@ mod tests {
                     let mb = Arc::clone(&mb);
                     let schedules = Arc::clone(&schedules);
                     std::thread::spawn(move || {
-                        if matches!(mb.push(Envelope::lifecycle_activate()), PushOutcome::EnqueuedNeedsSchedule) {
+                        if matches!(
+                            mb.push(Envelope::lifecycle_activate()),
+                            PushOutcome::EnqueuedNeedsSchedule
+                        ) {
                             schedules.fetch_add(1, Ordering::SeqCst);
                         }
                     })

@@ -13,7 +13,7 @@ const SUB_BUCKETS: u64 = 64;
 const SUB_BITS: u32 = 6; // log2(SUB_BUCKETS)
 /// Supports values up to 2^40 µs ≈ 12.7 days, far beyond any latency here.
 const MAX_EXP: u32 = 40;
-const NUM_BUCKETS: usize = (SUB_BUCKETS as usize) * ((MAX_EXP - SUB_BITS as u32 + 1) as usize + 1);
+const NUM_BUCKETS: usize = (SUB_BUCKETS as usize) * ((MAX_EXP - SUB_BITS + 1) as usize + 1);
 
 fn bucket_index(value: u64) -> usize {
     if value < SUB_BUCKETS {
@@ -120,7 +120,12 @@ pub struct Snapshot {
 impl Snapshot {
     /// Empty snapshot (identity for [`Snapshot::merge`]).
     pub fn empty() -> Self {
-        Snapshot { buckets: vec![0; NUM_BUCKETS], count: 0, sum: 0, max: 0 }
+        Snapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
     }
 
     /// Number of recorded values.

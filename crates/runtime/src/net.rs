@@ -34,7 +34,10 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// A fixed-latency hop.
     pub const fn fixed(base: Duration) -> Self {
-        LatencyModel { base, jitter: Duration::ZERO }
+        LatencyModel {
+            base,
+            jitter: Duration::ZERO,
+        }
     }
 
     fn sample(&self, seed: &AtomicU64) -> Duration {
@@ -66,7 +69,10 @@ pub struct NetConfig {
 impl NetConfig {
     /// No simulated network at all (unit tests, single-machine semantics).
     pub const fn disabled() -> Self {
-        NetConfig { cross_silo: None, client: None }
+        NetConfig {
+            cross_silo: None,
+            client: None,
+        }
     }
 
     /// A LAN-like profile: 250 µs ± 100 µs between silos, free client hop.
@@ -89,7 +95,11 @@ impl Default for NetConfig {
 
 enum ClockJob {
     /// Deliver an envelope to an actor, dispatching as if from `origin`.
-    Deliver { target: ActorId, origin: Origin, env: Envelope },
+    Deliver {
+        target: ActorId,
+        origin: Origin,
+        env: Envelope,
+    },
     /// Repeating timer: build a fresh envelope each period until cancelled.
     Repeat {
         target: ActorId,
@@ -165,7 +175,11 @@ impl ClockHandle {
         let item = HeapItem {
             due: Instant::now() + delay,
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
-            job: ClockJob::Deliver { target, origin, env },
+            job: ClockJob::Deliver {
+                target,
+                origin,
+                env,
+            },
         };
         let _ = self.tx.send(item);
     }
@@ -180,7 +194,12 @@ impl ClockHandle {
         let item = HeapItem {
             due: Instant::now() + every,
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
-            job: ClockJob::Repeat { target, make, every, cancelled: Arc::clone(&cancelled) },
+            job: ClockJob::Repeat {
+                target,
+                make,
+                every,
+                cancelled: Arc::clone(&cancelled),
+            },
         };
         let _ = self.tx.send(item);
         TimerHandle { cancelled }
@@ -228,14 +247,23 @@ pub(crate) fn clock_loop(core: Weak<RuntimeCore>, rx: Receiver<HeapItem>) {
         while heap.peek().is_some_and(|item| item.due <= now) {
             let item = heap.pop().expect("peeked item");
             match item.job {
-                ClockJob::Deliver { target, origin, env } => {
+                ClockJob::Deliver {
+                    target,
+                    origin,
+                    env,
+                } => {
                     // Latency (if any) was charged when the job was
                     // scheduled; delivery itself is free. Failure means
                     // shutdown or a persistent race; replies resolve as
                     // Lost, which is the contract.
                     let _ = core.dispatch_free(target, env, origin);
                 }
-                ClockJob::Repeat { target, make, every, cancelled } => {
+                ClockJob::Repeat {
+                    target,
+                    make,
+                    every,
+                    cancelled,
+                } => {
                     if cancelled.load(Ordering::Relaxed) {
                         continue;
                     }
@@ -244,7 +272,12 @@ pub(crate) fn clock_loop(core: Weak<RuntimeCore>, rx: Receiver<HeapItem>) {
                     heap.push(HeapItem {
                         due: item.due + every,
                         seq: item.seq,
-                        job: ClockJob::Repeat { target, make, every, cancelled },
+                        job: ClockJob::Repeat {
+                            target,
+                            make,
+                            every,
+                            cancelled,
+                        },
                     });
                 }
             }

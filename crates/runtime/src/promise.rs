@@ -31,7 +31,13 @@ impl<R> ReplyTo<R> {
     pub fn deliver(self, value: R) {
         match self {
             ReplyTo::Ignore => {}
-            ReplyTo::Callback(f) => f(value),
+            ReplyTo::Callback(f) => {
+                // The callback continues the *requesting* actor's logic on
+                // this (replier's) thread; don't attribute its dispatches
+                // to the replier's declared call edges.
+                let _not_a_turn = crate::topology::TurnGuard::suspend();
+                f(value)
+            }
         }
     }
 
@@ -117,7 +123,9 @@ pub struct Collector<T, F: FnOnce(Vec<T>)> {
 
 impl<T, F: FnOnce(Vec<T>)> Clone for Collector<T, F> {
     fn clone(&self) -> Self {
-        Collector { inner: Arc::clone(&self.inner) }
+        Collector {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -155,7 +163,10 @@ impl<T: Send + 'static, F: FnOnce(Vec<T>) + Send + 'static> Collector<T, F> {
                 let mut guard = inner.lock();
                 guard.items.push(value);
                 if guard.items.len() >= guard.expected {
-                    guard.on_complete.take().map(|f| (f, std::mem::take(&mut guard.items)))
+                    guard
+                        .on_complete
+                        .take()
+                        .map(|f| (f, std::mem::take(&mut guard.items)))
                 } else {
                     None
                 }
@@ -173,9 +184,13 @@ impl<T: Send + 'static, F: FnOnce(Vec<T>) + Send + 'static> Collector<T, F> {
 }
 
 /// Convenience: a collector that resolves a [`Promise`] with all replies.
+#[allow(clippy::type_complexity)]
 pub fn gather<T: Send + 'static>(
     expected: usize,
-) -> (Collector<T, impl FnOnce(Vec<T>) + Send + 'static>, Promise<Vec<T>>) {
+) -> (
+    Collector<T, impl FnOnce(Vec<T>) + Send + 'static>,
+    Promise<Vec<T>>,
+) {
     let (tx, rx) = bounded(1);
     let collector = Collector::new(expected, move |items: Vec<T>| {
         let _ = tx.send(items);

@@ -1,6 +1,7 @@
 //! The runtime: type registry, dispatch, lifecycle management, and the
 //! public [`Runtime`] / [`RuntimeBuilder`] / [`ActorRef`] API.
 
+use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -20,6 +21,7 @@ use crate::net::{clock_channel, clock_loop, ClockHandle, NetConfig, TimerHandle}
 use crate::placement::{Placement, PreferLocalPlacement};
 use crate::promise::{Promise, ReplyTo};
 use crate::silo::{finalize_deactivation, worker_loop, Activation, SiloConfig, SiloUnit};
+use crate::topology::{ActorTopology, CallDecl};
 
 /// How many times dispatch re-resolves an activation after losing a race
 /// with deactivation. Each retry creates a fresh activation, so more than a
@@ -31,42 +33,97 @@ type Factory = Arc<dyn Fn(&ActorId) -> Box<dyn AnyActor> + Send + Sync>;
 struct TypeEntry {
     name: &'static str,
     factory: Factory,
+    declared_calls: &'static [CallDecl],
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    entries: Vec<TypeEntry>,
+    /// Name → slot index. Registration and reference minting both resolve
+    /// names, so lookups must not scan `entries` under the lock.
+    by_name: HashMap<&'static str, u16>,
 }
 
 #[derive(Default)]
 struct Registry {
-    entries: RwLock<Vec<TypeEntry>>,
+    inner: RwLock<RegistryInner>,
 }
 
 impl Registry {
-    fn register(&self, name: &'static str, factory: Factory) -> ActorTypeId {
-        let mut entries = self.entries.write();
-        if let Some(pos) = entries.iter().position(|e| e.name == name) {
-            // Re-registration replaces the factory: this supports tests that
-            // rebuild fixtures, and matches Orleans' last-writer-wins code
-            // deployment semantics.
-            entries[pos].factory = factory;
-            return ActorTypeId(pos as u16);
+    fn register(
+        &self,
+        name: &'static str,
+        factory: Factory,
+        declared_calls: &'static [CallDecl],
+    ) -> ActorTypeId {
+        let mut inner = self.inner.write();
+        if let Some(&pos) = inner.by_name.get(name) {
+            // Re-registration keeps the ActorTypeId stable (references
+            // minted earlier must keep resolving) and replaces the
+            // factory: this supports tests that rebuild fixtures, and
+            // matches Orleans' last-writer-wins code deployment semantics.
+            let entry = &mut inner.entries[pos as usize];
+            entry.factory = factory;
+            entry.declared_calls = declared_calls;
+            return ActorTypeId(pos);
         }
-        assert!(entries.len() < u16::MAX as usize, "too many actor types");
-        entries.push(TypeEntry { name, factory });
-        ActorTypeId((entries.len() - 1) as u16)
+        assert!(
+            inner.entries.len() < u16::MAX as usize,
+            "too many actor types"
+        );
+        let pos = inner.entries.len() as u16;
+        inner.entries.push(TypeEntry {
+            name,
+            factory,
+            declared_calls,
+        });
+        inner.by_name.insert(name, pos);
+        ActorTypeId(pos)
     }
 
     fn lookup(&self, name: &'static str) -> Option<ActorTypeId> {
-        self.entries
+        self.inner
             .read()
-            .iter()
-            .position(|e| e.name == name)
-            .map(|i| ActorTypeId(i as u16))
+            .by_name
+            .get(name)
+            .map(|&pos| ActorTypeId(pos))
     }
 
     fn factory(&self, type_id: ActorTypeId) -> Option<Factory> {
-        self.entries.read().get(type_id.index()).map(|e| Arc::clone(&e.factory))
+        self.inner
+            .read()
+            .entries
+            .get(type_id.index())
+            .map(|e| Arc::clone(&e.factory))
     }
 
     fn name(&self, type_id: ActorTypeId) -> Option<&'static str> {
-        self.entries.read().get(type_id.index()).map(|e| e.name)
+        self.inner
+            .read()
+            .entries
+            .get(type_id.index())
+            .map(|e| e.name)
+    }
+
+    fn declared_calls(&self, type_id: ActorTypeId) -> Option<&'static [CallDecl]> {
+        self.inner
+            .read()
+            .entries
+            .get(type_id.index())
+            .map(|e| e.declared_calls)
+    }
+
+    /// Snapshot of every registered type with its declared edges.
+    fn topology(&self) -> Vec<ActorTopology> {
+        self.inner
+            .read()
+            .entries
+            .iter()
+            .map(|e| ActorTopology {
+                name: e.name,
+                calls: e.declared_calls,
+            })
+            .collect()
     }
 }
 
@@ -175,6 +232,8 @@ impl RuntimeCore {
         if origin == Origin::Client && !self.accepting.load(Ordering::Acquire) {
             return Err(SendError::RuntimeShutdown);
         }
+        #[cfg(debug_assertions)]
+        self.enforce_declared_edge(&id);
         for _ in 0..DISPATCH_RETRIES {
             let act = self.lookup_or_activate(&id, origin)?;
             if charge_latency {
@@ -182,7 +241,8 @@ impl RuntimeCore {
                     self.metrics.remote_messages.fetch_add(1, Ordering::Relaxed);
                     // Redeliver as if originating on the target silo so the
                     // hop is charged exactly once.
-                    self.clock.deliver_after(id, Origin::Silo(act.silo), env, delay);
+                    self.clock
+                        .deliver_after(id, Origin::Silo(act.silo), env, delay);
                     return Ok(());
                 }
             }
@@ -204,6 +264,39 @@ impl RuntimeCore {
         Err(SendError::ActivationRace)
     }
 
+    /// Debug-build check that a dispatch issued from inside an actor turn
+    /// follows an edge the sending actor type declared
+    /// ([`crate::Actor::declared_calls`]). Dispatches from client, clock,
+    /// or janitor threads (no turn running) are exempt, as are self-sends.
+    ///
+    /// Panicking is the right failure mode: an undeclared edge means the
+    /// static call graph `aodb-lint` verifies is incomplete, so its
+    /// deadlock-freedom guarantee is void. The panic surfaces inside the
+    /// sending turn, where the standard handler-panic machinery contains
+    /// it (metrics increment + `Lost` reply).
+    #[cfg(debug_assertions)]
+    fn enforce_declared_edge(&self, target: &ActorId) {
+        let Some(src) = crate::topology::current_turn_actor() else {
+            return;
+        };
+        if src == target.type_id {
+            return;
+        }
+        let Some(target_name) = self.registry.name(target.type_id) else {
+            return; // dispatch itself will report NotRegistered
+        };
+        let declared = self.registry.declared_calls(src).unwrap_or(&[]);
+        if !declared.iter().any(|d| d.covers(target_name)) {
+            let src_name = self.registry.name(src).unwrap_or("<unknown>");
+            panic!(
+                "undeclared actor call edge: `{src_name}` -> `{target_name}`. \
+                 Every cross-actor send must be declared in the sender's \
+                 `Actor::declared_calls()` so the static call graph stays \
+                 sound (see aodb-analysis)."
+            );
+        }
+    }
+
     fn lookup_or_activate(
         self: &Arc<Self>,
         id: &ActorId,
@@ -212,9 +305,10 @@ impl RuntimeCore {
         if let Some(act) = self.directory.get(id) {
             return Ok(act);
         }
-        let factory = self.registry.factory(id.type_id).ok_or_else(|| {
-            SendError::NotRegistered(format!("type #{}", id.type_id.index()))
-        })?;
+        let factory = self
+            .registry
+            .factory(id.type_id)
+            .ok_or_else(|| SendError::NotRegistered(format!("type #{}", id.type_id.index())))?;
         let silo = self.placement.place(id, origin, self.silos.len());
         let now = self.now_ms();
         let (act, created) = self.directory.get_or_insert_with(id, || {
@@ -251,7 +345,9 @@ impl RuntimeCore {
     }
 
     fn janitor_pass(self: &Arc<Self>) {
-        let Some(idle) = self.config.idle_timeout else { return };
+        let Some(idle) = self.config.idle_timeout else {
+            return;
+        };
         let now = self.now_ms();
         let cutoff = now.saturating_sub(idle.as_millis() as u64);
         for act in self.directory.collect_idle(cutoff) {
@@ -309,7 +405,12 @@ impl RuntimeBuilder {
     pub fn silos(mut self, count: usize, workers_each: usize) -> Self {
         assert!(count > 0, "at least one silo required");
         assert!(workers_each > 0, "at least one worker per silo required");
-        self.silos = vec![SiloConfig { workers: workers_each }; count];
+        self.silos = vec![
+            SiloConfig {
+                workers: workers_each
+            };
+            count
+        ];
         self
     }
 
@@ -415,7 +516,10 @@ impl RuntimeBuilder {
                     .expect("spawn janitor"),
             );
         }
-        Runtime { core, threads: Some(threads) }
+        Runtime {
+            core,
+            threads: Some(threads),
+        }
     }
 }
 
@@ -443,13 +547,17 @@ impl Runtime {
 
     /// Registers actor type `A` with its activation factory. The factory
     /// runs when a message targets an identity with no live activation.
+    /// `A`'s declared call edges ([`Actor::declared_calls`]) are captured
+    /// alongside the factory; debug builds enforce them at dispatch time.
     pub fn register<A: Actor>(
         &self,
         factory: impl Fn(&ActorId) -> A + Send + Sync + 'static,
     ) -> ActorTypeId {
-        self.core
-            .registry
-            .register(A::TYPE_NAME, Arc::new(move |id| Box::new(factory(id))))
+        self.core.registry.register(
+            A::TYPE_NAME,
+            Arc::new(move |id| Box::new(factory(id))),
+            A::declared_calls(),
+        )
     }
 
     /// Typed reference from an external client (pays client latency if the
@@ -471,12 +579,18 @@ impl Runtime {
     /// (prefer-local placement will pin new activations there).
     pub fn handle_on(&self, silo: SiloId) -> RuntimeHandle {
         assert!(silo.index() < self.core.silos.len(), "no such silo: {silo}");
-        RuntimeHandle { core: Arc::clone(&self.core), origin: Origin::Silo(silo) }
+        RuntimeHandle {
+            core: Arc::clone(&self.core),
+            origin: Origin::Silo(silo),
+        }
     }
 
     /// A plain external-client handle.
     pub fn handle(&self) -> RuntimeHandle {
-        RuntimeHandle { core: Arc::clone(&self.core), origin: Origin::Client }
+        RuntimeHandle {
+            core: Arc::clone(&self.core),
+            origin: Origin::Client,
+        }
     }
 
     /// Number of silos.
@@ -497,6 +611,13 @@ impl Runtime {
     /// Registered name of an actor type id, if any (diagnostics).
     pub fn type_name(&self, type_id: ActorTypeId) -> Option<&'static str> {
         self.core.registry.name(type_id)
+    }
+
+    /// The declared call topology of every registered actor type, in
+    /// registration order — the live-runtime counterpart of the static
+    /// per-crate `call_topology()` exports consumed by `aodb-analysis`.
+    pub fn call_topology(&self) -> Vec<ActorTopology> {
+        self.core.registry.topology()
     }
 
     /// Schedules `msg` to `target` every `every`, until cancelled. The
@@ -554,7 +675,9 @@ impl Runtime {
     }
 
     fn shutdown_impl(&mut self, drain: Duration) {
-        let Some(threads) = self.threads.take() else { return };
+        let Some(threads) = self.threads.take() else {
+            return;
+        };
         self.core.accepting.store(false, Ordering::Release);
         self.quiesce(drain);
 
@@ -670,8 +793,11 @@ impl<A: Actor> ActorRef<A> {
         A: Handler<M>,
         M: Message,
     {
-        self.core
-            .dispatch(self.id.clone(), Envelope::of::<A, M>(msg, ReplyTo::Ignore), self.origin)
+        self.core.dispatch(
+            self.id.clone(),
+            Envelope::of::<A, M>(msg, ReplyTo::Ignore),
+            self.origin,
+        )
     }
 
     /// Request/response: returns a promise for the reply.
@@ -681,8 +807,11 @@ impl<A: Actor> ActorRef<A> {
         M: Message,
     {
         let (sink, promise) = ReplyTo::promise();
-        self.core
-            .dispatch(self.id.clone(), Envelope::of::<A, M>(msg, sink), self.origin)?;
+        self.core.dispatch(
+            self.id.clone(),
+            Envelope::of::<A, M>(msg, sink),
+            self.origin,
+        )?;
         Ok(promise)
     }
 
@@ -693,8 +822,11 @@ impl<A: Actor> ActorRef<A> {
         A: Handler<M>,
         M: Message,
     {
-        self.core
-            .dispatch(self.id.clone(), Envelope::of::<A, M>(msg, reply), self.origin)
+        self.core.dispatch(
+            self.id.clone(),
+            Envelope::of::<A, M>(msg, reply),
+            self.origin,
+        )
     }
 
     /// Blocking request/response for external clients. Do **not** call from
@@ -770,19 +902,24 @@ impl<M: Message> Recipient<M> {
 
     /// One-way send.
     pub fn tell(&self, msg: M) -> Result<(), SendError> {
-        self.core
-            .dispatch(self.id.clone(), (self.make)(msg, ReplyTo::Ignore), self.origin)
+        self.core.dispatch(
+            self.id.clone(),
+            (self.make)(msg, ReplyTo::Ignore),
+            self.origin,
+        )
     }
 
     /// Request/response.
     pub fn ask(&self, msg: M) -> Result<Promise<M::Reply>, SendError> {
         let (sink, promise) = ReplyTo::promise();
-        self.core.dispatch(self.id.clone(), (self.make)(msg, sink), self.origin)?;
+        self.core
+            .dispatch(self.id.clone(), (self.make)(msg, sink), self.origin)?;
         Ok(promise)
     }
 
     /// Request/response with an explicit reply sink.
     pub fn ask_with(&self, msg: M, reply: ReplyTo<M::Reply>) -> Result<(), SendError> {
-        self.core.dispatch(self.id.clone(), (self.make)(msg, reply), self.origin)
+        self.core
+            .dispatch(self.id.clone(), (self.make)(msg, reply), self.origin)
     }
 }

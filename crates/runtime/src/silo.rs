@@ -77,7 +77,12 @@ pub(crate) struct SiloUnit {
 impl SiloUnit {
     pub fn new(id: SiloId, config: SiloConfig) -> Self {
         let (run_tx, run_rx) = unbounded();
-        SiloUnit { id, config, run_tx, run_rx }
+        SiloUnit {
+            id,
+            config,
+            run_tx,
+            run_rx,
+        }
     }
 
     /// Puts an activation on this silo's run queue.
@@ -118,8 +123,7 @@ pub(crate) fn run_activation_slice(
 ) {
     batch.clear();
     act.mailbox.drain_batch(core.config.max_batch, batch);
-    let discard_on_panic =
-        core.config.panic_policy == crate::runtime::PanicPolicy::Deactivate;
+    let discard_on_panic = core.config.panic_policy == crate::runtime::PanicPolicy::Deactivate;
     let mut deactivate = false;
     let mut faulted = false;
     let mut processed = 0u64;
@@ -134,6 +138,9 @@ pub(crate) fn run_activation_slice(
             // drop the messages — their reply sinks resolve as Lost.
             None => return,
         };
+        // Mark this thread as running turns of this actor type so debug
+        // builds can check outgoing dispatches against its declared edges.
+        let _turn = crate::topology::TurnGuard::enter(act.id.type_id);
         for env in batch.drain(..) {
             if faulted && discard_on_panic {
                 // An earlier turn in this slice corrupted the actor: run
@@ -155,7 +162,9 @@ pub(crate) fn run_activation_slice(
         }
     }
     if processed > 0 {
-        core.metrics.messages_processed.fetch_add(processed, Ordering::Relaxed);
+        core.metrics
+            .messages_processed
+            .fetch_add(processed, Ordering::Relaxed);
     }
     act.touch(core.now_ms());
     if faulted && discard_on_panic {
@@ -166,7 +175,8 @@ pub(crate) fn run_activation_slice(
         leftover.extend(act.mailbox.retire_and_drain());
         core.discard_faulted(act);
         for env in leftover {
-            let _ = core.dispatch_free(act.id.clone(), env, crate::identity::Origin::Silo(act.silo));
+            let _ =
+                core.dispatch_free(act.id.clone(), env, crate::identity::Origin::Silo(act.silo));
         }
         return;
     }
@@ -194,6 +204,7 @@ pub(crate) fn finalize_deactivation(core: &Arc<RuntimeCore>, act: &Arc<Activatio
     let taken = act.actor.lock().take();
     if let Some(mut actor) = taken {
         let mut ctx = ActorContext::new(core, &act.id, act.silo);
+        let _turn = crate::topology::TurnGuard::enter(act.id.type_id);
         if catch_unwind(AssertUnwindSafe(|| actor.deactivate(&mut ctx))).is_err() {
             core.metrics.handler_panics.fetch_add(1, Ordering::Relaxed);
         }

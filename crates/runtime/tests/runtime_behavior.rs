@@ -92,7 +92,10 @@ impl Handler<WhichSilo> for Counter {
 fn counter_runtime(probe: &Arc<Probe>) -> Runtime {
     let rt = Runtime::single(2);
     let probe = Arc::clone(probe);
-    rt.register(move |_id| Counter { value: 0, probe: Arc::clone(&probe) });
+    rt.register(move |_id| Counter {
+        value: 0,
+        probe: Arc::clone(&probe),
+    });
     rt
 }
 
@@ -118,7 +121,11 @@ fn state_persists_across_messages_within_activation() {
     for i in 1..=100u64 {
         assert_eq!(c.call(Add(1)).unwrap(), i);
     }
-    assert_eq!(probe.activations.load(Ordering::SeqCst), 1, "must not re-activate");
+    assert_eq!(
+        probe.activations.load(Ordering::SeqCst),
+        1,
+        "must not re-activate"
+    );
     rt.shutdown();
 }
 
@@ -214,7 +221,10 @@ fn idle_timeout_reclaims_activations() {
         .build();
     {
         let probe = Arc::clone(&probe);
-        rt.register(move |_id| Counter { value: 0, probe: Arc::clone(&probe) });
+        rt.register(move |_id| Counter {
+            value: 0,
+            probe: Arc::clone(&probe),
+        });
     }
     let c = rt.actor_ref::<Counter>("idler");
     c.call(Add(1)).unwrap();
@@ -251,7 +261,10 @@ fn consistent_hash_placement_is_reproducible_across_silos() {
             .placement(ConsistentHashPlacement)
             .build();
         let probe = Arc::clone(&probe);
-        rt.register(move |_id| Counter { value: 0, probe: Arc::clone(&probe) });
+        rt.register(move |_id| Counter {
+            value: 0,
+            probe: Arc::clone(&probe),
+        });
         rt
     };
     let rt1 = build();
@@ -278,7 +291,10 @@ fn prefer_local_pins_to_gateway_silo() {
         .build();
     {
         let probe = Arc::clone(&probe);
-        rt.register(move |_id| Counter { value: 0, probe: Arc::clone(&probe) });
+        rt.register(move |_id| Counter {
+            value: 0,
+            probe: Arc::clone(&probe),
+        });
     }
     for silo in 0..3u32 {
         let handle = rt.handle_on(SiloId(silo));
@@ -301,7 +317,10 @@ fn cross_silo_messages_pay_latency() {
         .build();
     {
         let probe = Arc::clone(&probe);
-        rt.register(move |_id| Counter { value: 0, probe: Arc::clone(&probe) });
+        rt.register(move |_id| Counter {
+            value: 0,
+            probe: Arc::clone(&probe),
+        });
     }
     // Pin the actor to silo 0 via an affine gateway.
     let local = rt.handle_on(SiloId(0)).actor_ref::<Counter>("pinned");
@@ -339,7 +358,9 @@ fn scatter_gather_collects_from_many_actors() {
     }
     let (collector, promise) = gather::<u64>(20);
     for k in 0..20u64 {
-        rt.actor_ref::<Counter>(k).ask_with(Get, collector.slot()).unwrap();
+        rt.actor_ref::<Counter>(k)
+            .ask_with(Get, collector.slot())
+            .unwrap();
     }
     let mut values = promise.wait_for(Duration::from_secs(5)).unwrap();
     values.sort_unstable();
@@ -377,7 +398,10 @@ fn interval_timer_fires_until_cancelled() {
     let after = c.call(Get).unwrap();
     std::thread::sleep(Duration::from_millis(60));
     // Allow one in-flight firing around cancellation, then it must stop.
-    assert!(c.call(Get).unwrap() <= after + 1, "timer kept firing after cancel");
+    assert!(
+        c.call(Get).unwrap() <= after + 1,
+        "timer kept firing after cancel"
+    );
     rt.shutdown();
 }
 
@@ -404,7 +428,9 @@ fn delayed_self_notification() {
     let rt = Runtime::single(1);
     {
         let fired = Arc::clone(&fired);
-        rt.register(move |_id| Echo { fired: Arc::clone(&fired) });
+        rt.register(move |_id| Echo {
+            fired: Arc::clone(&fired),
+        });
     }
     rt.actor_ref::<Echo>("e").call(Kick).unwrap();
     let deadline = Instant::now() + Duration::from_secs(3);
@@ -421,7 +447,10 @@ fn throughput_sanity_many_actors_many_messages() {
     let rt = Runtime::single(4);
     {
         let probe = Arc::clone(&probe);
-        rt.register(move |_id| Counter { value: 0, probe: Arc::clone(&probe) });
+        rt.register(move |_id| Counter {
+            value: 0,
+            probe: Arc::clone(&probe),
+        });
     }
     let n_actors = 1000u64;
     let per_actor = 100u64;

@@ -5,9 +5,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use aodb_runtime::{
-    Actor, ActorContext, Handler, Message, PanicPolicy, Runtime, RuntimeBuilder,
-};
+use aodb_runtime::{Actor, ActorContext, Handler, Message, PanicPolicy, Runtime, RuntimeBuilder};
 
 /// An actor with in-memory state and a "durable" baseline restored on
 /// activation (a stand-in for Persisted state without a store dependency).
@@ -55,7 +53,10 @@ impl Handler<CorruptAndPanic> for Fragile {
 fn build(policy: PanicPolicy) -> (Runtime, Arc<AtomicUsize>, Arc<AtomicUsize>) {
     let activations = Arc::new(AtomicUsize::new(0));
     let flushes = Arc::new(AtomicUsize::new(0));
-    let rt = RuntimeBuilder::new().silos(1, 2).panic_policy(policy).build();
+    let rt = RuntimeBuilder::new()
+        .silos(1, 2)
+        .panic_policy(policy)
+        .build();
     {
         let activations = Arc::clone(&activations);
         let flushes = Arc::clone(&flushes);

@@ -79,7 +79,9 @@ impl Aggregator {
     /// Forwards every bucket strictly older than `open_bucket` that has
     /// not been forwarded yet to the parent level.
     fn roll_up_closed(&mut self, open_bucket: u64, ctx: &mut ActorContext<'_>) {
-        let Some(parent_level) = self.level.parent() else { return };
+        let Some(parent_level) = self.level.parent() else {
+            return;
+        };
         let to_forward: Vec<(u64, Aggregate)> = {
             let s = self.state.get();
             if open_bucket <= s.forwarded_until {
@@ -93,7 +95,8 @@ impl Aggregator {
         if to_forward.is_empty() {
             // Still advance the watermark so later out-of-order arrivals
             // below it do not retrigger forwarding of unseen buckets.
-            self.state.mutate(|s| s.forwarded_until = s.forwarded_until.max(open_bucket));
+            self.state
+                .mutate(|s| s.forwarded_until = s.forwarded_until.max(open_bucket));
             return;
         }
         let parent = ctx.actor_ref::<Aggregator>(aggregator_key(&self.channel, parent_level));
@@ -109,6 +112,13 @@ impl Aggregator {
 
 impl Actor for Aggregator {
     const TYPE_NAME: &'static str = "shm.aggregator";
+    fn declared_calls() -> &'static [aodb_runtime::CallDecl] {
+        // Closed buckets roll up to the parent-level aggregator (same
+        // type, different key — exempt from runtime enforcement but part
+        // of the extracted graph).
+        const CALLS: &[aodb_runtime::CallDecl] = &[aodb_runtime::CallDecl::send("shm.aggregator")];
+        CALLS
+    }
 
     fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
         self.state.load_or_default();
@@ -143,7 +153,11 @@ impl Handler<MergeBucket> for Aggregator {
 }
 
 impl Handler<QueryAggregates> for Aggregator {
-    fn handle(&mut self, msg: QueryAggregates, _ctx: &mut ActorContext<'_>) -> Vec<(u64, Aggregate)> {
+    fn handle(
+        &mut self,
+        msg: QueryAggregates,
+        _ctx: &mut ActorContext<'_>,
+    ) -> Vec<(u64, Aggregate)> {
         self.state
             .get()
             .buckets

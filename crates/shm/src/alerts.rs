@@ -69,7 +69,11 @@ impl Handler<RecentAlerts> for AlertLog {
         s.recent
             .iter()
             .rev()
-            .take(if msg.limit == 0 { usize::MAX } else { msg.limit })
+            .take(if msg.limit == 0 {
+                usize::MAX
+            } else {
+                msg.limit
+            })
             .cloned()
             .collect()
     }

@@ -149,14 +149,19 @@ impl Handler<Authenticate> for TenantGuard {
 }
 
 impl Handler<Validate> for TenantGuard {
-    fn handle(&mut self, msg: Validate, _ctx: &mut ActorContext<'_>) -> Option<(String, AccessLevel)> {
+    fn handle(
+        &mut self,
+        msg: Validate,
+        _ctx: &mut ActorContext<'_>,
+    ) -> Option<(String, AccessLevel)> {
         self.state.get().sessions.get(&msg.0 .0).cloned()
     }
 }
 
 impl Handler<Revoke> for TenantGuard {
     fn handle(&mut self, msg: Revoke, _ctx: &mut ActorContext<'_>) -> bool {
-        self.state.mutate(|s| s.sessions.remove(&msg.0 .0).is_some())
+        self.state
+            .mutate(|s| s.sessions.remove(&msg.0 .0).is_some())
     }
 }
 
@@ -214,12 +219,19 @@ impl SecureShmClient {
             .try_actor_ref::<TenantGuard>(org)
             .map_err(|e| AccessError::Platform(e.to_string()))?;
         let token = guard
-            .ask(Authenticate { user: user.into(), secret: secret.into() })
+            .ask(Authenticate {
+                user: user.into(),
+                secret: secret.into(),
+            })
             .map_err(|e| AccessError::Platform(e.to_string()))?
             .wait_for(WAIT)
             .map_err(|e| AccessError::Platform(e.to_string()))?
             .ok_or(AccessError::InvalidToken)?;
-        Ok(SecureShmClient { client, org: org.to_string(), token })
+        Ok(SecureShmClient {
+            client,
+            org: org.to_string(),
+            token,
+        })
     }
 
     /// The session token (for diagnostics).

@@ -62,7 +62,12 @@ impl ShmEnv {
         type_name: &str,
         key: &ActorKey,
     ) -> Persisted<S> {
-        Persisted::for_actor(Arc::clone(&self.store), type_name, key, self.structural_policy)
+        Persisted::for_actor(
+            Arc::clone(&self.store),
+            type_name,
+            key,
+            self.structural_policy,
+        )
     }
 
     /// Persisted cell for a data-bearing actor.

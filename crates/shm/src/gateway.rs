@@ -29,7 +29,10 @@ pub struct GatewayConfig {
 
 impl Default for GatewayConfig {
     fn default() -> Self {
-        GatewayConfig { flush_batch: 10, capacity_points: 100_000 }
+        GatewayConfig {
+            flush_batch: 10,
+            capacity_points: 100_000,
+        }
     }
 }
 
@@ -131,6 +134,11 @@ impl IngestGateway {
 
 impl Actor for IngestGateway {
     const TYPE_NAME: &'static str = "shm.ingest-gateway";
+    fn declared_calls() -> &'static [aodb_runtime::CallDecl] {
+        // Buffered points are forwarded to the physical channel actors.
+        const CALLS: &[aodb_runtime::CallDecl] = &[aodb_runtime::CallDecl::send("shm.channel")];
+        CALLS
+    }
 
     fn on_deactivate(&mut self, ctx: &mut ActorContext<'_>) {
         // Drain on orderly shutdown so nothing buffered is lost.
@@ -169,7 +177,11 @@ impl Handler<FlushGateway> for IngestGateway {
         let channels: Vec<String> = self.buffers.keys().cloned().collect();
         let mut flushed = 0u32;
         for channel in channels {
-            flushed += self.buffers.get(&channel).map(|b| b.len() as u32).unwrap_or(0);
+            flushed += self
+                .buffers
+                .get(&channel)
+                .map(|b| b.len() as u32)
+                .unwrap_or(0);
             self.forward(&channel, ctx);
         }
         flushed

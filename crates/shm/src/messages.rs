@@ -4,8 +4,7 @@ use aodb_runtime::{Message, ReplyTo};
 use serde::{Deserialize, Serialize};
 
 use crate::types::{
-    Aggregate, Alert, DataPoint, Equation, Position, Project, SensorKind, Threshold, User,
-    UserRole,
+    Aggregate, Alert, DataPoint, Equation, Position, Project, SensorKind, Threshold, User, UserRole,
 };
 
 // ------------------------------------------------------------ organization

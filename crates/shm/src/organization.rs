@@ -45,6 +45,15 @@ impl Organization {
 
 impl Actor for Organization {
     const TYPE_NAME: &'static str = "shm.organization";
+    fn declared_calls() -> &'static [aodb_runtime::CallDecl] {
+        // Live-data fan-out over the org's channels (collector slots, so
+        // the turn never blocks).
+        const CALLS: &[aodb_runtime::CallDecl] = &[
+            aodb_runtime::CallDecl::send("shm.virtual-channel"),
+            aodb_runtime::CallDecl::send("shm.channel"),
+        ];
+        CALLS
+    }
 
     fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
         self.state.load_or_default();
@@ -65,7 +74,11 @@ impl Handler<AddUser> for Organization {
     fn handle(&mut self, msg: AddUser, _ctx: &mut ActorContext<'_>) -> u32 {
         self.state.mutate(|s| {
             let id = s.users.len() as u32;
-            s.users.push(User { id, name: msg.name, role: msg.role });
+            s.users.push(User {
+                id,
+                name: msg.name,
+                role: msg.role,
+            });
             id
         })
     }
@@ -75,7 +88,11 @@ impl Handler<AddProject> for Organization {
     fn handle(&mut self, msg: AddProject, _ctx: &mut ActorContext<'_>) -> u32 {
         self.state.mutate(|s| {
             let id = s.projects.len() as u32;
-            s.projects.push(Project { id, name: msg.name, structure: msg.structure });
+            s.projects.push(Project {
+                id,
+                name: msg.name,
+                structure: msg.structure,
+            });
             id
         })
     }
@@ -111,13 +128,18 @@ impl Handler<GetLiveData> for Organization {
     fn handle(&mut self, msg: GetLiveData, ctx: &mut ActorContext<'_>) {
         let channels = &self.state.get().channels;
         let keys: Vec<String> = channels.iter().map(|(c, _)| c.clone()).collect();
-        let collector = Collector::new(channels.len(), move |hits: Vec<(usize, Option<crate::types::DataPoint>)>| {
-            let mut report = LiveDataReport { channels: Vec::with_capacity(hits.len()) };
-            for (idx, point) in hits {
-                report.channels.push((keys[idx].clone(), point));
-            }
-            msg.reply.deliver(report);
-        });
+        let collector = Collector::new(
+            channels.len(),
+            move |hits: Vec<(usize, Option<crate::types::DataPoint>)>| {
+                let mut report = LiveDataReport {
+                    channels: Vec::with_capacity(hits.len()),
+                };
+                for (idx, point) in hits {
+                    report.channels.push((keys[idx].clone(), point));
+                }
+                msg.reply.deliver(report);
+            },
+        );
         for (idx, (channel, is_virtual)) in channels.iter().enumerate() {
             let slot = collector.slot();
             let tagged = aodb_runtime::ReplyTo::Callback(Box::new(move |point| {

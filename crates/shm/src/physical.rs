@@ -21,9 +21,7 @@ use crate::messages::{
     ChannelStats, ConfigureChannel, GetChannelStats, GetLatest, Ingest, PushAlert, PushDerived,
     QueryRange, RecordSamples,
 };
-use crate::types::{
-    AggregateLevel, Alert, AlertKind, AlertSeverity, DataPoint, Threshold,
-};
+use crate::types::{AggregateLevel, Alert, AlertKind, AlertSeverity, DataPoint, Threshold};
 use crate::virtual_channel::VirtualSensorChannel;
 use aodb_core::Persisted;
 
@@ -139,10 +137,7 @@ fn check_thresholds(
 }
 
 /// Shared window query, also used by virtual channels.
-pub(crate) fn query_window(
-    window: &VecDeque<DataPoint>,
-    q: QueryRange,
-) -> Vec<DataPoint> {
+pub(crate) fn query_window(window: &VecDeque<DataPoint>, q: QueryRange) -> Vec<DataPoint> {
     // Windows are (quasi-)sorted by timestamp because devices stream
     // monotonically; binary search the slices for the range bounds.
     let (a, b) = window.as_slices();
@@ -164,6 +159,16 @@ pub(crate) fn query_window(
 
 impl Actor for PhysicalSensorChannel {
     const TYPE_NAME: &'static str = "shm.channel";
+    fn declared_calls() -> &'static [aodb_runtime::CallDecl] {
+        // Ingest side effects: raised alerts, derived-channel pushes, and
+        // the aggregate pyramid.
+        const CALLS: &[aodb_runtime::CallDecl] = &[
+            aodb_runtime::CallDecl::send("shm.alert-log"),
+            aodb_runtime::CallDecl::send("shm.virtual-channel"),
+            aodb_runtime::CallDecl::send("shm.aggregator"),
+        ];
+        CALLS
+    }
 
     fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
         self.state.load_or_default();
@@ -196,9 +201,9 @@ impl Handler<Ingest> for PhysicalSensorChannel {
         let channel_key = ctx.key().to_string();
         let capacity = self.window_capacity;
         let mut alerts = Vec::new();
-        let accepted = self.state.mutate(|s| {
-            Self::apply_points(s, &msg.points, capacity, &mut alerts, &channel_key)
-        });
+        let accepted = self
+            .state
+            .mutate(|s| Self::apply_points(s, &msg.points, capacity, &mut alerts, &channel_key));
 
         let s = self.state.get();
         if !alerts.is_empty() {
@@ -208,12 +213,16 @@ impl Handler<Ingest> for PhysicalSensorChannel {
             }
         }
         for subscriber in &s.subscribers {
-            let _ = ctx.actor_ref::<VirtualSensorChannel>(subscriber.as_str()).tell(
-                PushDerived { source: channel_key.clone(), points: msg.points.clone() },
-            );
+            let _ = ctx
+                .actor_ref::<VirtualSensorChannel>(subscriber.as_str())
+                .tell(PushDerived {
+                    source: channel_key.clone(),
+                    points: msg.points.clone(),
+                });
         }
         if s.aggregates {
-            let agg = ctx.actor_ref::<Aggregator>(aggregator_key(&channel_key, AggregateLevel::Hour));
+            let agg =
+                ctx.actor_ref::<Aggregator>(aggregator_key(&channel_key, AggregateLevel::Hour));
             let _ = agg.tell(RecordSamples { points: msg.points });
         }
         accepted
@@ -272,9 +281,21 @@ mod tests {
 
     #[test]
     fn high_threshold_alerts_once_per_breach_episode() {
-        let mut state = ChannelState { threshold: Threshold { high: Some(10.0), ..Default::default() }, ..Default::default() };
+        let mut state = ChannelState {
+            threshold: Threshold {
+                high: Some(10.0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
         let mut alerts = Vec::new();
-        let points = [dp(0, 5.0), dp(1, 11.0), dp(2, 12.0), dp(3, 9.0), dp(4, 15.0)];
+        let points = [
+            dp(0, 5.0),
+            dp(1, 11.0),
+            dp(2, 12.0),
+            dp(3, 9.0),
+            dp(4, 15.0),
+        ];
         PhysicalSensorChannel::apply_points(&mut state, &points, 100, &mut alerts, "c");
         // Two episodes: 11→12 (one alert) and 15 (second alert).
         assert_eq!(alerts.len(), 2);
@@ -283,7 +304,13 @@ mod tests {
 
     #[test]
     fn low_threshold_fires() {
-        let mut state = ChannelState { threshold: Threshold { low: Some(-1.0), ..Default::default() }, ..Default::default() };
+        let mut state = ChannelState {
+            threshold: Threshold {
+                low: Some(-1.0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
         let mut alerts = Vec::new();
         PhysicalSensorChannel::apply_points(&mut state, &[dp(0, -2.0)], 100, &mut alerts, "c");
         assert_eq!(alerts.len(), 1);
@@ -293,14 +320,24 @@ mod tests {
     #[test]
     fn accumulated_change_alert_fires_once() {
         let mut state = ChannelState {
-            threshold: Threshold { max_accumulated_change: Some(5.0), ..Default::default() },
+            threshold: Threshold {
+                max_accumulated_change: Some(5.0),
+                ..Default::default()
+            },
             ..Default::default()
         };
         let mut alerts = Vec::new();
         let points: Vec<DataPoint> = (0..10).map(|i| dp(i, (i % 2) as f64 * 3.0)).collect();
         PhysicalSensorChannel::apply_points(&mut state, &points, 100, &mut alerts, "c");
-        let acc: Vec<_> = alerts.iter().filter(|a| a.kind == AlertKind::AccumulatedChange).collect();
-        assert_eq!(acc.len(), 1, "accumulated-change alert must fire exactly once");
+        let acc: Vec<_> = alerts
+            .iter()
+            .filter(|a| a.kind == AlertKind::AccumulatedChange)
+            .collect();
+        assert_eq!(
+            acc.len(),
+            1,
+            "accumulated-change alert must fire exactly once"
+        );
     }
 
     #[test]
@@ -309,11 +346,25 @@ mod tests {
         for i in 0..100u64 {
             window.push_back(dp(i * 10, i as f64));
         }
-        let hits = query_window(&window, QueryRange { from_ms: 200, to_ms: 400, limit: 0 });
+        let hits = query_window(
+            &window,
+            QueryRange {
+                from_ms: 200,
+                to_ms: 400,
+                limit: 0,
+            },
+        );
         assert_eq!(hits.len(), 21);
         assert_eq!(hits.first().unwrap().ts_ms, 200);
         assert_eq!(hits.last().unwrap().ts_ms, 400);
-        let hits = query_window(&window, QueryRange { from_ms: 200, to_ms: 400, limit: 5 });
+        let hits = query_window(
+            &window,
+            QueryRange {
+                from_ms: 200,
+                to_ms: 400,
+                limit: 5,
+            },
+        );
         assert_eq!(hits.len(), 5);
     }
 
@@ -330,7 +381,14 @@ mod tests {
         for i in 6..10u64 {
             window.push_back(dp(i, 0.0));
         }
-        let hits = query_window(&window, QueryRange { from_ms: 0, to_ms: 100, limit: 0 });
+        let hits = query_window(
+            &window,
+            QueryRange {
+                from_ms: 0,
+                to_ms: 100,
+                limit: 0,
+            },
+        );
         assert_eq!(hits.len(), window.len());
     }
 }

@@ -3,9 +3,7 @@
 
 use std::time::Duration;
 
-use aodb_runtime::{
-    ActorRef, Promise, ReplyTo, Runtime, RuntimeHandle, SendError, SiloId,
-};
+use aodb_runtime::{ActorRef, Promise, ReplyTo, Runtime, RuntimeHandle, SendError, SiloId};
 
 use crate::aggregator::{aggregator_key, Aggregator};
 use crate::alerts::AlertLog;
@@ -106,7 +104,10 @@ impl Topology {
         for (i, sensor_global) in (0..n_sensors).enumerate() {
             let org_idx = sensor_global / per_org;
             if org_idx == orgs.len() {
-                orgs.push(OrgTopology { key: format!("org-{org_idx}"), sensors: Vec::new() });
+                orgs.push(OrgTopology {
+                    key: format!("org-{org_idx}"),
+                    sensors: Vec::new(),
+                });
             }
             let org = &mut orgs[org_idx];
             let local = i % per_org;
@@ -114,9 +115,13 @@ impl Topology {
             let physical = (0..spec.channels_per_sensor)
                 .map(|c| format!("{sensor_key}/c-{c}"))
                 .collect();
-            let virtual_channel = (spec.virtual_every > 0 && local % spec.virtual_every == 0)
+            let virtual_channel = (local.checked_rem(spec.virtual_every) == Some(0))
                 .then(|| format!("{sensor_key}/v"));
-            org.sensors.push(SensorTopology { key: sensor_key, physical, virtual_channel });
+            org.sensors.push(SensorTopology {
+                key: sensor_key,
+                physical,
+                virtual_channel,
+            });
         }
         Topology { orgs, spec }
     }
@@ -171,8 +176,13 @@ pub fn provision(
             None => rt.handle(),
         };
         let org_ref = handle.try_actor_ref::<Organization>(org.key.as_str())?;
-        org_ref.tell(InitOrg { name: format!("Organization {org_idx}") })?;
-        org_ref.tell(AddUser { name: format!("user-{org_idx}"), role: UserRole::Engineer })?;
+        org_ref.tell(InitOrg {
+            name: format!("Organization {org_idx}"),
+        })?;
+        org_ref.tell(AddUser {
+            name: format!("user-{org_idx}"),
+            role: UserRole::Engineer,
+        })?;
         org_ref.tell(AddProject {
             name: format!("project-{org_idx}"),
             structure: "bridge".into(),
@@ -185,12 +195,15 @@ pub fn provision(
                 kind: SensorKind::Extension,
                 position: Position::default(),
             })?;
-            org_ref.tell(RegisterSensor { sensor: sensor.key.clone() })?;
+            org_ref.tell(RegisterSensor {
+                sensor: sensor.key.clone(),
+            })?;
 
-            let subscribers: Vec<String> =
-                sensor.virtual_channel.iter().cloned().collect();
+            let subscribers: Vec<String> = sensor.virtual_channel.iter().cloned().collect();
             for channel in &sensor.physical {
-                sensor_ref.tell(AttachChannel { channel: channel.clone() })?;
+                sensor_ref.tell(AttachChannel {
+                    channel: channel.clone(),
+                })?;
                 handle
                     .try_actor_ref::<PhysicalSensorChannel>(channel.as_str())?
                     .tell(ConfigureChannel {
@@ -206,7 +219,9 @@ pub fn provision(
                 })?;
             }
             if let Some(vkey) = &sensor.virtual_channel {
-                sensor_ref.tell(AttachChannel { channel: vkey.clone() })?;
+                sensor_ref.tell(AttachChannel {
+                    channel: vkey.clone(),
+                })?;
                 handle
                     .try_actor_ref::<VirtualSensorChannel>(vkey.as_str())?
                     .tell(ConfigureVirtual {
@@ -215,7 +230,10 @@ pub fn provision(
                         equation: Equation::Sum,
                         aggregates: topology.spec.aggregates,
                     })?;
-                org_ref.tell(RegisterChannel { channel: vkey.clone(), virtual_channel: true })?;
+                org_ref.tell(RegisterChannel {
+                    channel: vkey.clone(),
+                    virtual_channel: true,
+                })?;
             }
         }
     }
@@ -242,11 +260,7 @@ impl ShmClient {
     }
 
     /// Inserts a batch of points; the promise carries the accepted count.
-    pub fn ingest(
-        &self,
-        channel: &str,
-        points: Vec<DataPoint>,
-    ) -> Result<Promise<u32>, SendError> {
+    pub fn ingest(&self, channel: &str, points: Vec<DataPoint>) -> Result<Promise<u32>, SendError> {
         self.handle
             .try_actor_ref::<PhysicalSensorChannel>(channel)?
             .ask(Ingest { points })
@@ -273,7 +287,11 @@ impl ShmClient {
     ) -> Result<Promise<Vec<DataPoint>>, SendError> {
         self.handle
             .try_actor_ref::<PhysicalSensorChannel>(channel)?
-            .ask(QueryRange { from_ms, to_ms, limit })
+            .ask(QueryRange {
+                from_ms,
+                to_ms,
+                limit,
+            })
     }
 
     /// Raw range over a virtual channel.
@@ -286,7 +304,11 @@ impl ShmClient {
     ) -> Result<Promise<Vec<DataPoint>>, SendError> {
         self.handle
             .try_actor_ref::<VirtualSensorChannel>(channel)?
-            .ask(QueryRange { from_ms, to_ms, limit })
+            .ask(QueryRange {
+                from_ms,
+                to_ms,
+                limit,
+            })
     }
 
     /// Statistical buckets of a channel at a level (plot feed).
@@ -310,10 +332,7 @@ impl ShmClient {
     }
 
     /// Stats of a virtual channel.
-    pub fn virtual_channel_stats(
-        &self,
-        channel: &str,
-    ) -> Result<Promise<ChannelStats>, SendError> {
+    pub fn virtual_channel_stats(&self, channel: &str) -> Result<Promise<ChannelStats>, SendError> {
         self.handle
             .try_actor_ref::<VirtualSensorChannel>(channel)?
             .ask(GetChannelStats)
@@ -321,20 +340,20 @@ impl ShmClient {
 
     /// Organization structure snapshot.
     pub fn org_info(&self, org: &str) -> Result<Promise<OrgInfo>, SendError> {
-        self.handle.try_actor_ref::<Organization>(org)?.ask(GetOrgInfo)
+        self.handle
+            .try_actor_ref::<Organization>(org)?
+            .ask(GetOrgInfo)
     }
 
     /// Sensor metadata snapshot.
     pub fn sensor_info(&self, sensor: &str) -> Result<Promise<SensorInfo>, SendError> {
-        self.handle.try_actor_ref::<Sensor>(sensor)?.ask(GetSensorInfo)
+        self.handle
+            .try_actor_ref::<Sensor>(sensor)?
+            .ask(GetSensorInfo)
     }
 
     /// Recent alerts of an organization, newest first.
-    pub fn recent_alerts(
-        &self,
-        org: &str,
-        limit: usize,
-    ) -> Result<Promise<Vec<Alert>>, SendError> {
+    pub fn recent_alerts(&self, org: &str, limit: usize) -> Result<Promise<Vec<Alert>>, SendError> {
         self.handle
             .try_actor_ref::<AlertLog>(org)?
             .ask(RecentAlerts { limit })

@@ -156,7 +156,10 @@ impl Equation {
         match self {
             Equation::Sum => Some(present.iter().sum()),
             Equation::Mean => Some(present.iter().sum::<f64>() / present.len() as f64),
-            Equation::Difference => match (latest.first().copied().flatten(), latest.get(1).copied().flatten()) {
+            Equation::Difference => match (
+                latest.first().copied().flatten(),
+                latest.get(1).copied().flatten(),
+            ) {
                 (Some(a), Some(b)) => Some(a - b),
                 (Some(a), None) => Some(a),
                 _ => None,
@@ -246,14 +249,26 @@ pub struct Aggregate {
 
 impl Default for Aggregate {
     fn default() -> Self {
-        Aggregate { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum_sq: 0.0 }
+        Aggregate {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum_sq: 0.0,
+        }
     }
 }
 
 impl Aggregate {
     /// Summary of a single sample.
     pub fn of(value: f64) -> Aggregate {
-        Aggregate { count: 1, sum: value, min: value, max: value, sum_sq: value * value }
+        Aggregate {
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+            sum_sq: value * value,
+        }
     }
 
     /// Adds one sample.
@@ -339,7 +354,11 @@ mod tests {
         assert_eq!(AggregateLevel::Hour.parent(), Some(AggregateLevel::Day));
         assert_eq!(AggregateLevel::Day.parent(), Some(AggregateLevel::Month));
         assert_eq!(AggregateLevel::Month.parent(), None);
-        for lvl in [AggregateLevel::Hour, AggregateLevel::Day, AggregateLevel::Month] {
+        for lvl in [
+            AggregateLevel::Hour,
+            AggregateLevel::Day,
+            AggregateLevel::Month,
+        ] {
             assert_eq!(AggregateLevel::from_suffix(lvl.suffix()), Some(lvl));
         }
     }
@@ -354,7 +373,10 @@ mod tests {
 
     #[test]
     fn equation_difference() {
-        assert_eq!(Equation::Difference.apply(&[Some(5.0), Some(2.0)]), Some(3.0));
+        assert_eq!(
+            Equation::Difference.apply(&[Some(5.0), Some(2.0)]),
+            Some(3.0)
+        );
         assert_eq!(Equation::Difference.apply(&[Some(5.0), None]), Some(5.0));
         assert_eq!(Equation::Difference.apply(&[None, Some(2.0)]), None);
     }

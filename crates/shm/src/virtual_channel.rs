@@ -72,6 +72,11 @@ impl VirtualSensorChannel {
 
 impl Actor for VirtualSensorChannel {
     const TYPE_NAME: &'static str = "shm.virtual-channel";
+    fn declared_calls() -> &'static [aodb_runtime::CallDecl] {
+        // Derived points cascade into this channel's aggregate pyramid.
+        const CALLS: &[aodb_runtime::CallDecl] = &[aodb_runtime::CallDecl::send("shm.aggregator")];
+        CALLS
+    }
 
     fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
         self.state.load_or_default();
@@ -104,8 +109,13 @@ impl Handler<PushDerived> for VirtualSensorChannel {
             let mut derived = Vec::with_capacity(msg.points.len());
             for p in &msg.points {
                 s.latest_inputs[idx] = Some(p.value);
-                let Some(value) = s.equation.apply(&s.latest_inputs) else { continue };
-                let dp = DataPoint { ts_ms: p.ts_ms, value };
+                let Some(value) = s.equation.apply(&s.latest_inputs) else {
+                    continue;
+                };
+                let dp = DataPoint {
+                    ts_ms: p.ts_ms,
+                    value,
+                };
                 if let Some(last) = s.last {
                     s.accumulated_change += (value - last.value).abs();
                 } else {

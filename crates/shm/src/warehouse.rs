@@ -75,7 +75,11 @@ pub struct ExportSummary {
 
 fn fact_key(org: &str, channel: &str, bucket_start_ms: u64) -> Key {
     // Zero-padded bucket keeps sort order = time order within a channel.
-    Key::with_sort("warehouse", &format!("fact:{org}"), &format!("{channel}|{bucket_start_ms:020}"))
+    Key::with_sort(
+        "warehouse",
+        &format!("fact:{org}"),
+        &format!("{channel}|{bucket_start_ms:020}"),
+    )
 }
 
 /// Extract–load job from the online aggregator actors into the warehouse.
@@ -196,7 +200,10 @@ impl WarehouseReader {
     ) -> StoreResult<Vec<(String, Aggregate)>> {
         let mut by_channel: std::collections::BTreeMap<String, Aggregate> = Default::default();
         for row in self.facts(org, from_ms, to_ms)? {
-            by_channel.entry(row.channel).or_default().merge(&row.measures);
+            by_channel
+                .entry(row.channel)
+                .or_default()
+                .merge(&row.measures);
         }
         Ok(by_channel.into_iter().collect())
     }
@@ -211,7 +218,10 @@ impl WarehouseReader {
     ) -> StoreResult<Vec<(u64, Aggregate)>> {
         let mut by_bucket: std::collections::BTreeMap<u64, Aggregate> = Default::default();
         for row in self.facts(org, from_ms, to_ms)? {
-            by_bucket.entry(row.bucket_start_ms).or_default().merge(&row.measures);
+            by_bucket
+                .entry(row.bucket_start_ms)
+                .or_default()
+                .merge(&row.measures);
         }
         Ok(by_bucket.into_iter().collect())
     }
@@ -229,7 +239,10 @@ impl WarehouseReader {
 
     /// Organization dimension lookup.
     pub fn org_dim(&self, org: &str) -> StoreResult<Option<OrgDim>> {
-        match self.store.get(&Key::with_sort("warehouse", "dim-org", org))? {
+        match self
+            .store
+            .get(&Key::with_sort("warehouse", "dim-org", org))?
+        {
             Some(bytes) => Ok(Some(codec::decode_state(&bytes)?)),
             None => Ok(None),
         }

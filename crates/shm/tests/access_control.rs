@@ -4,12 +4,10 @@
 
 use std::sync::Arc;
 
+use aodb_runtime::Runtime;
 use aodb_shm::auth::{AccessError, AccessLevel, Authenticate, GrantAccess, SecureShmClient};
 use aodb_shm::types::DataPoint;
-use aodb_shm::{
-    provision, register_all, ShmClient, ShmEnv, TenantGuard, Topology, TopologySpec,
-};
-use aodb_runtime::Runtime;
+use aodb_shm::{provision, register_all, ShmClient, ShmEnv, TenantGuard, Topology, TopologySpec};
 use aodb_store::{MemStore, StateStore};
 
 fn setup() -> (Runtime, Topology, Arc<dyn StateStore>) {
@@ -17,14 +15,24 @@ fn setup() -> (Runtime, Topology, Arc<dyn StateStore>) {
     let rt = Runtime::single(2);
     register_all(&rt, ShmEnv::paper_default(Arc::clone(&store)));
     // Two tenants of 10 sensors each.
-    let topology = Topology::layout(20, TopologySpec { sensors_per_org: 10, ..Default::default() });
+    let topology = Topology::layout(
+        20,
+        TopologySpec {
+            sensors_per_org: 10,
+            ..Default::default()
+        },
+    );
     provision(&rt, &topology, |_| None).unwrap();
     (rt, topology, store)
 }
 
 fn grant(rt: &Runtime, org: &str, user: &str, secret: &str, level: AccessLevel) {
     rt.actor_ref::<TenantGuard>(org)
-        .call(GrantAccess { user: user.into(), secret: secret.into(), level })
+        .call(GrantAccess {
+            user: user.into(),
+            secret: secret.into(),
+            level,
+        })
         .unwrap();
 }
 
@@ -54,7 +62,13 @@ fn roles_gate_operations() {
     let client = ShmClient::new(rt.handle());
     let channel = topology.orgs[0].sensors[0].physical[0].clone();
     client
-        .ingest(&channel, vec![DataPoint { ts_ms: 0, value: 1.0 }])
+        .ingest(
+            &channel,
+            vec![DataPoint {
+                ts_ms: 0,
+                value: 1.0,
+            }],
+        )
         .unwrap()
         .wait()
         .unwrap();
@@ -138,7 +152,10 @@ fn sessions_survive_guard_deactivation() {
     assert_eq!(validated, Some(("carol".to_string(), AccessLevel::Viewer)));
     // And credentials still authenticate.
     assert!(guard
-        .call(Authenticate { user: "carol".into(), secret: "c".into() })
+        .call(Authenticate {
+            user: "carol".into(),
+            secret: "c".into()
+        })
         .unwrap()
         .is_some());
     rt.shutdown();

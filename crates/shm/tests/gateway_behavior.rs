@@ -32,15 +32,21 @@ fn setup() -> (Runtime, Topology, ShmClient) {
 fn gateway_coalesces_small_packets_into_batches() {
     let (rt, topology, client) = setup();
     let gw = rt.actor_ref::<IngestGateway>("gw-0");
-    gw.call(ConfigureGateway(GatewayConfig { flush_batch: 10, capacity_points: 1000 }))
-        .unwrap();
+    gw.call(ConfigureGateway(GatewayConfig {
+        flush_batch: 10,
+        capacity_points: 1000,
+    }))
+    .unwrap();
     let channel = topology.physical_channels().next().unwrap().to_string();
 
     // 10 packets of 2 points: the gateway should forward exactly 2
     // batches of 10 instead of 10 tiny ingests.
     for i in 0..10u64 {
         let ack = gw
-            .call(GatewayIngest { channel: channel.clone(), points: vec![dp(i * 2), dp(i * 2 + 1)] })
+            .call(GatewayIngest {
+                channel: channel.clone(),
+                points: vec![dp(i * 2), dp(i * 2 + 1)],
+            })
             .unwrap();
         assert_eq!(ack, GatewayAck::Accepted);
     }
@@ -57,21 +63,37 @@ fn gateway_coalesces_small_packets_into_batches() {
 fn explicit_flush_drains_partial_batches() {
     let (rt, topology, client) = setup();
     let gw = rt.actor_ref::<IngestGateway>("gw-1");
-    gw.call(ConfigureGateway(GatewayConfig { flush_batch: 100, capacity_points: 1000 }))
-        .unwrap();
+    gw.call(ConfigureGateway(GatewayConfig {
+        flush_batch: 100,
+        capacity_points: 1000,
+    }))
+    .unwrap();
     let channel = topology.physical_channels().next().unwrap().to_string();
 
-    gw.call(GatewayIngest { channel: channel.clone(), points: vec![dp(1), dp(2), dp(3)] })
-        .unwrap();
+    gw.call(GatewayIngest {
+        channel: channel.clone(),
+        points: vec![dp(1), dp(2), dp(3)],
+    })
+    .unwrap();
     // Below flush_batch: nothing forwarded yet.
     assert_eq!(
-        client.channel_stats(&channel).unwrap().wait_for(T).unwrap().total_points,
+        client
+            .channel_stats(&channel)
+            .unwrap()
+            .wait_for(T)
+            .unwrap()
+            .total_points,
         0
     );
     assert_eq!(gw.call(FlushGateway).unwrap(), 3);
     assert!(rt.quiesce(T));
     assert_eq!(
-        client.channel_stats(&channel).unwrap().wait_for(T).unwrap().total_points,
+        client
+            .channel_stats(&channel)
+            .unwrap()
+            .wait_for(T)
+            .unwrap()
+            .total_points,
         3
     );
     rt.shutdown();
@@ -81,20 +103,34 @@ fn explicit_flush_drains_partial_batches() {
 fn periodic_flush_timer_works() {
     let (rt, topology, client) = setup();
     let gw = rt.actor_ref::<IngestGateway>("gw-2");
-    gw.call(ConfigureGateway(GatewayConfig { flush_batch: 1000, capacity_points: 10_000 }))
-        .unwrap();
+    gw.call(ConfigureGateway(GatewayConfig {
+        flush_batch: 1000,
+        capacity_points: 10_000,
+    }))
+    .unwrap();
     let channel = topology.physical_channels().next().unwrap().to_string();
     let _timer = rt.schedule_interval(&gw, FlushGateway, Duration::from_millis(20));
 
-    gw.call(GatewayIngest { channel: channel.clone(), points: vec![dp(1), dp(2)] })
-        .unwrap();
+    gw.call(GatewayIngest {
+        channel: channel.clone(),
+        points: vec![dp(1), dp(2)],
+    })
+    .unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     loop {
-        let n = client.channel_stats(&channel).unwrap().wait_for(T).unwrap().total_points;
+        let n = client
+            .channel_stats(&channel)
+            .unwrap()
+            .wait_for(T)
+            .unwrap()
+            .total_points;
         if n == 2 {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "timer flush never delivered");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timer flush never delivered"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
     rt.shutdown();
@@ -104,17 +140,27 @@ fn periodic_flush_timer_works() {
 fn full_buffer_rejects_with_backpressure() {
     let (rt, topology, _client) = setup();
     let gw = rt.actor_ref::<IngestGateway>("gw-3");
-    gw.call(ConfigureGateway(GatewayConfig { flush_batch: 1000, capacity_points: 10 }))
-        .unwrap();
+    gw.call(ConfigureGateway(GatewayConfig {
+        flush_batch: 1000,
+        capacity_points: 10,
+    }))
+    .unwrap();
     let channel = topology.physical_channels().next().unwrap().to_string();
 
     assert_eq!(
-        gw.call(GatewayIngest { channel: channel.clone(), points: (0..10).map(dp).collect() })
-            .unwrap(),
+        gw.call(GatewayIngest {
+            channel: channel.clone(),
+            points: (0..10).map(dp).collect()
+        })
+        .unwrap(),
         GatewayAck::Accepted
     );
     assert_eq!(
-        gw.call(GatewayIngest { channel: channel.clone(), points: vec![dp(99)] }).unwrap(),
+        gw.call(GatewayIngest {
+            channel: channel.clone(),
+            points: vec![dp(99)]
+        })
+        .unwrap(),
         GatewayAck::Rejected
     );
     let stats = gw.call(GatewayStats).unwrap();
@@ -122,7 +168,11 @@ fn full_buffer_rejects_with_backpressure() {
     // Draining restores acceptance.
     gw.call(FlushGateway).unwrap();
     assert_eq!(
-        gw.call(GatewayIngest { channel, points: vec![dp(100)] }).unwrap(),
+        gw.call(GatewayIngest {
+            channel,
+            points: vec![dp(100)]
+        })
+        .unwrap(),
         GatewayAck::Accepted
     );
     rt.shutdown();
@@ -139,10 +189,16 @@ fn shutdown_drains_buffered_points() {
         provision(&rt, &topology, |_| None).unwrap();
         channel = topology.physical_channels().next().unwrap().to_string();
         let gw = rt.actor_ref::<IngestGateway>("gw-4");
-        gw.call(ConfigureGateway(GatewayConfig { flush_batch: 1000, capacity_points: 1000 }))
-            .unwrap();
-        gw.call(GatewayIngest { channel: channel.clone(), points: vec![dp(1), dp(2)] })
-            .unwrap();
+        gw.call(ConfigureGateway(GatewayConfig {
+            flush_batch: 1000,
+            capacity_points: 1000,
+        }))
+        .unwrap();
+        gw.call(GatewayIngest {
+            channel: channel.clone(),
+            points: vec![dp(1), dp(2)],
+        })
+        .unwrap();
         // No flush: the points only exist in the gateway buffer. Orderly
         // shutdown must push them into the channel, whose deactivation
         // then persists them.
@@ -152,7 +208,12 @@ fn shutdown_drains_buffered_points() {
     register_all(&rt, ShmEnv::paper_default(store));
     let client = ShmClient::new(rt.handle());
     assert_eq!(
-        client.channel_stats(&channel).unwrap().wait_for(T).unwrap().total_points,
+        client
+            .channel_stats(&channel)
+            .unwrap()
+            .wait_for(T)
+            .unwrap()
+            .total_points,
         2
     );
     rt.shutdown();

@@ -7,9 +7,7 @@ use std::time::Duration;
 
 use aodb_runtime::{NetConfig, PreferLocalPlacement, Runtime, SiloId};
 use aodb_shm::messages::{GetSensorInfo, UpdatePosition};
-use aodb_shm::types::{
-    AggregateLevel, AlertKind, DataPoint, Position, Threshold,
-};
+use aodb_shm::types::{AggregateLevel, AlertKind, DataPoint, Position, Threshold};
 use aodb_shm::{provision, register_all, Sensor, ShmClient, ShmEnv, Topology, TopologySpec};
 use aodb_store::{MemStore, StateStore};
 
@@ -17,7 +15,11 @@ fn dp(ts_ms: u64, value: f64) -> DataPoint {
     DataPoint { ts_ms, value }
 }
 
-fn small_platform(store: &Arc<dyn StateStore>, sensors: usize, spec: TopologySpec) -> (Runtime, Topology) {
+fn small_platform(
+    store: &Arc<dyn StateStore>,
+    sensors: usize,
+    spec: TopologySpec,
+) -> (Runtime, Topology) {
     let rt = Runtime::single(4);
     register_all(&rt, ShmEnv::paper_default(Arc::clone(store)));
     let topology = Topology::layout(sensors, spec);
@@ -79,10 +81,21 @@ fn virtual_channel_derives_sum_of_inputs() {
     let (rt, topology) = small_platform(&store, 1, TopologySpec::default());
     let client = ShmClient::new(rt.handle());
     let sensor = &topology.orgs[0].sensors[0];
-    let vkey = sensor.virtual_channel.as_ref().expect("sensor 0 has a virtual channel");
+    let vkey = sensor
+        .virtual_channel
+        .as_ref()
+        .expect("sensor 0 has a virtual channel");
 
-    client.ingest(&sensor.physical[0], vec![dp(0, 10.0)]).unwrap().wait().unwrap();
-    client.ingest(&sensor.physical[1], vec![dp(5, 32.0)]).unwrap().wait().unwrap();
+    client
+        .ingest(&sensor.physical[0], vec![dp(0, 10.0)])
+        .unwrap()
+        .wait()
+        .unwrap();
+    client
+        .ingest(&sensor.physical[1], vec![dp(5, 32.0)])
+        .unwrap()
+        .wait()
+        .unwrap();
     assert!(rt.quiesce(Duration::from_secs(5)));
 
     let stats = client
@@ -100,7 +113,10 @@ fn virtual_channel_derives_sum_of_inputs() {
 fn threshold_breach_raises_alert_in_org_log() {
     let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
     let spec = TopologySpec {
-        threshold: Threshold { high: Some(100.0), ..Default::default() },
+        threshold: Threshold {
+            high: Some(100.0),
+            ..Default::default()
+        },
         ..Default::default()
     };
     let (rt, topology) = small_platform(&store, 1, spec);
@@ -109,7 +125,10 @@ fn threshold_breach_raises_alert_in_org_log() {
     let org = topology.orgs[0].key.as_str();
 
     client
-        .ingest(channel, vec![dp(0, 50.0), dp(1, 150.0), dp(2, 160.0), dp(3, 40.0)])
+        .ingest(
+            channel,
+            vec![dp(0, 50.0), dp(1, 150.0), dp(2, 160.0), dp(3, 40.0)],
+        )
         .unwrap()
         .wait()
         .unwrap();
@@ -137,7 +156,11 @@ fn live_data_gathers_every_channel_of_the_org() {
 
     // 10 sensors → 20 physical + 1 virtual = 21 channels.
     for (i, channel) in topology.physical_channels().enumerate() {
-        client.ingest(channel, vec![dp(0, i as f64)]).unwrap().wait().unwrap();
+        client
+            .ingest(channel, vec![dp(0, i as f64)])
+            .unwrap()
+            .wait()
+            .unwrap();
     }
     assert!(rt.quiesce(Duration::from_secs(5)));
 
@@ -148,7 +171,10 @@ fn live_data_gathers_every_channel_of_the_org() {
         .unwrap();
     assert_eq!(report.channels.len(), 21);
     let with_data = report.channels.iter().filter(|(_, p)| p.is_some()).count();
-    assert_eq!(with_data, 21, "every channel (incl. virtual) must report a point");
+    assert_eq!(
+        with_data, 21,
+        "every channel (incl. virtual) must report a point"
+    );
     rt.shutdown();
 }
 
@@ -185,7 +211,11 @@ fn aggregation_cascade_rolls_hours_into_days() {
         (HOUR + 5, 20.0),
         (25 * HOUR, 100.0),
     ] {
-        client.ingest(channel, vec![dp(ts, v)]).unwrap().wait().unwrap();
+        client
+            .ingest(channel, vec![dp(ts, v)])
+            .unwrap()
+            .wait()
+            .unwrap();
     }
     assert!(rt.quiesce(Duration::from_secs(5)));
 
@@ -206,7 +236,11 @@ fn aggregation_cascade_rolls_hours_into_days() {
         .wait()
         .unwrap();
     // Day 0 contains the two closed hours (0 and 1): 5 points.
-    let day0 = days.iter().find(|(b, _)| *b == 0).expect("day 0 rolled up").1;
+    let day0 = days
+        .iter()
+        .find(|(b, _)| *b == 0)
+        .expect("day 0 rolled up")
+        .1;
     assert_eq!(day0.count, 5);
     assert_eq!(day0.sum, 36.0);
     rt.shutdown();
@@ -219,7 +253,11 @@ fn sensor_relocation_persists() {
     let sensor_key = topology.orgs[0].sensors[0].key.as_str();
     let sensor = rt.actor_ref::<Sensor>(sensor_key);
     sensor
-        .call(UpdatePosition(Position { x: 1.0, y: 2.0, z: 3.0 }))
+        .call(UpdatePosition(Position {
+            x: 1.0,
+            y: 2.0,
+            z: 3.0,
+        }))
         .unwrap();
     rt.shutdown();
 
@@ -230,7 +268,14 @@ fn sensor_relocation_persists() {
         .actor_ref::<Sensor>(sensor_key)
         .call(GetSensorInfo)
         .unwrap();
-    assert_eq!(info.position, Position { x: 1.0, y: 2.0, z: 3.0 });
+    assert_eq!(
+        info.position,
+        Position {
+            x: 1.0,
+            y: 2.0,
+            z: 3.0
+        }
+    );
     assert_eq!(info.channels.len(), 3); // 2 physical + 1 virtual
     rt.shutdown();
 }
@@ -286,7 +331,13 @@ fn multi_silo_prefer_local_keeps_org_traffic_local() {
         .build();
     register_all(&rt, ShmEnv::paper_default(Arc::clone(&store)));
     // Two orgs, one per silo.
-    let topology = Topology::layout(20, TopologySpec { sensors_per_org: 10, ..Default::default() });
+    let topology = Topology::layout(
+        20,
+        TopologySpec {
+            sensors_per_org: 10,
+            ..Default::default()
+        },
+    );
     assert_eq!(topology.orgs.len(), 2);
     provision(&rt, &topology, |org_idx| Some(SiloId(org_idx as u32))).unwrap();
 
@@ -296,7 +347,11 @@ fn multi_silo_prefer_local_keeps_org_traffic_local() {
         let client = ShmClient::new(rt.handle_on(SiloId(org_idx as u32)));
         for sensor in &org.sensors {
             for channel in &sensor.physical {
-                client.ingest(channel, vec![dp(0, 1.0)]).unwrap().wait().unwrap();
+                client
+                    .ingest(channel, vec![dp(0, 1.0)])
+                    .unwrap()
+                    .wait()
+                    .unwrap();
             }
         }
     }

@@ -122,7 +122,9 @@ fn time_slicing_filters_buckets() {
         .export(&client, &topology, AggregateLevel::Hour, 0, 4 * HOUR)
         .unwrap();
     let reader = WarehouseReader::new(store);
-    let hour1_only = reader.rollup_by_bucket("org-0", HOUR, 2 * HOUR - 1).unwrap();
+    let hour1_only = reader
+        .rollup_by_bucket("org-0", HOUR, 2 * HOUR - 1)
+        .unwrap();
     assert_eq!(hour1_only.len(), 1);
     assert_eq!(hour1_only[0].0, HOUR);
     rt.shutdown();

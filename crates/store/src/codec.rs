@@ -34,7 +34,11 @@ fn crc_table() -> &'static [u32; 256] {
         for (i, entry) in table.iter_mut().enumerate() {
             let mut crc = i as u32;
             for _ in 0..8 {
-                crc = if crc & 1 != 0 { (crc >> 1) ^ CRC_POLY } else { crc >> 1 };
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ CRC_POLY
+                } else {
+                    crc >> 1
+                };
             }
             *entry = crc;
         }
@@ -173,7 +177,10 @@ mod tests {
             name: String,
             values: Vec<f64>,
         }
-        let s = S { name: "bridge".into(), values: vec![1.5, -2.25] };
+        let s = S {
+            name: "bridge".into(),
+            values: vec![1.5, -2.25],
+        };
         let bytes = encode_state(&s).unwrap();
         let back: S = decode_state(&bytes).unwrap();
         assert_eq!(back, s);

@@ -98,8 +98,7 @@ fn decode_mutation(payload: &[u8]) -> StoreResult<(u8, &[u8], &[u8])> {
         return Err(fail());
     }
     let key = &rest[..klen];
-    let vlen =
-        u32::from_le_bytes(rest[klen..klen + 4].try_into().expect("4 bytes")) as usize;
+    let vlen = u32::from_le_bytes(rest[klen..klen + 4].try_into().expect("4 bytes")) as usize;
     let value = &rest[klen + 4..];
     if value.len() != vlen {
         return Err(fail());
@@ -132,16 +131,12 @@ fn load_records(
                     OP_DELETE => {
                         index.remove(key);
                     }
-                    other => {
-                        return Err(StoreError::Corrupt(format!("unknown op byte {other}")))
-                    }
+                    other => return Err(StoreError::Corrupt(format!("unknown op byte {other}"))),
                 }
                 offset += consumed;
             }
             Ok(None) if allow_torn_tail => break, // crash mid-append: discard tail
-            Ok(None) => {
-                return Err(StoreError::Corrupt("truncated snapshot record".into()))
-            }
+            Ok(None) => return Err(StoreError::Corrupt("truncated snapshot record".into())),
             Err(e) => return Err(e),
         }
     }
@@ -319,7 +314,10 @@ mod tests {
         let store = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
         assert_eq!(store.len(), 99);
         assert_eq!(store.get(&k("050")).unwrap(), None);
-        assert_eq!(store.get(&k("042")).unwrap(), Some(Bytes::from_static(b"v42")));
+        assert_eq!(
+            store.get(&k("042")).unwrap(),
+            Some(Bytes::from_static(b"v42"))
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -328,8 +326,12 @@ mod tests {
         let dir = temp_dir("torn");
         {
             let store = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
-            store.put(&k("safe"), Bytes::from_static(b"committed")).unwrap();
-            store.put(&k("torn"), Bytes::from_static(b"in-flight")).unwrap();
+            store
+                .put(&k("safe"), Bytes::from_static(b"committed"))
+                .unwrap();
+            store
+                .put(&k("torn"), Bytes::from_static(b"in-flight"))
+                .unwrap();
         }
         // Chop bytes off the WAL tail to simulate a crash mid-append.
         let wal_path = dir.join("wal.log");
@@ -337,7 +339,10 @@ mod tests {
         std::fs::write(&wal_path, &data[..data.len() - 7]).unwrap();
 
         let store = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
-        assert_eq!(store.get(&k("safe")).unwrap(), Some(Bytes::from_static(b"committed")));
+        assert_eq!(
+            store.get(&k("safe")).unwrap(),
+            Some(Bytes::from_static(b"committed"))
+        );
         assert_eq!(store.get(&k("torn")).unwrap(), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -393,7 +398,10 @@ mod tests {
             let store = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
             for i in 0..5 {
                 store
-                    .put(&Key::with_sort("t", "p", &format!("{i}")), Bytes::from(format!("{i}")))
+                    .put(
+                        &Key::with_sort("t", "p", &format!("{i}")),
+                        Bytes::from(format!("{i}")),
+                    )
                     .unwrap();
             }
             store.compact().unwrap();

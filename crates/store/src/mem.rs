@@ -83,9 +83,14 @@ mod tests {
                 .put(&Key::with_sort("t", p, s), Bytes::from(format!("{p}/{s}")))
                 .unwrap();
         }
-        let hits = store.scan_prefix(&Key::partition_prefix("t", "p1")).unwrap();
+        let hits = store
+            .scan_prefix(&Key::partition_prefix("t", "p1"))
+            .unwrap();
         let values: Vec<_> = hits.iter().map(|(_, v)| v.as_ref().to_vec()).collect();
-        assert_eq!(values, vec![b"p1/a".to_vec(), b"p1/b".to_vec(), b"p1/c".to_vec()]);
+        assert_eq!(
+            values,
+            vec![b"p1/a".to_vec(), b"p1/b".to_vec(), b"p1/c".to_vec()]
+        );
     }
 
     #[test]

@@ -74,7 +74,12 @@ struct TokenBucket {
 impl TokenBucket {
     fn new(rate_per_sec: f64, burst_seconds: f64) -> Self {
         let capacity = (rate_per_sec * burst_seconds).max(1.0);
-        TokenBucket { tokens: capacity, capacity, rate_per_sec, last_refill: Instant::now() }
+        TokenBucket {
+            tokens: capacity,
+            capacity,
+            rate_per_sec,
+            last_refill: Instant::now(),
+        }
     }
 
     fn refill(&mut self) {
@@ -280,7 +285,9 @@ mod tests {
     fn large_values_cost_more_units() {
         let store = ProvisionedStore::new(MemStore::new(), tiny_config());
         // 10 KiB = 10 write units = the whole burst in one call.
-        store.put(&key(0), Bytes::from(vec![0u8; 10 * 1024])).unwrap();
+        store
+            .put(&key(0), Bytes::from(vec![0u8; 10 * 1024]))
+            .unwrap();
         assert!(matches!(
             store.put(&key(1), Bytes::from_static(b"x")),
             Err(StoreError::Throttled)

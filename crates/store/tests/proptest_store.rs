@@ -25,8 +25,7 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     let key = "[a-c]{1,3}"; // small keyspace forces overwrites and deletes
     prop_oneof![
-        (key, proptest::collection::vec(any::<u8>(), 0..64))
-            .prop_map(|(k, v)| Op::Put(k, v)),
+        (key, proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(k, v)| Op::Put(k, v)),
         key.prop_map(Op::Delete),
     ]
 }

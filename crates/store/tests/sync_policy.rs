@@ -1,8 +1,6 @@
 //! Durability-mode and error-surface tests for the store crate.
 
-use aodb_store::{
-    Bytes, Key, LogStore, LogStoreConfig, StateStore, StoreError, SyncPolicy,
-};
+use aodb_store::{Bytes, Key, LogStore, LogStoreConfig, StateStore, StoreError, SyncPolicy};
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -36,7 +34,9 @@ fn sync_always_persists_every_write() {
 fn explicit_sync_flushes_on_demand_mode() {
     let dir = temp_dir("ondemand");
     let store = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
-    store.put(&Key::new("t", "k"), Bytes::from_static(b"v")).unwrap();
+    store
+        .put(&Key::new("t", "k"), Bytes::from_static(b"v"))
+        .unwrap();
     store.sync().unwrap(); // must not error even with nothing pending fsync-wise
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -57,9 +57,15 @@ fn opening_a_file_as_directory_fails_cleanly() {
 #[test]
 fn error_display_forms_are_informative() {
     assert!(StoreError::Throttled.to_string().contains("throughput"));
-    assert!(StoreError::Io("disk on fire".into()).to_string().contains("disk on fire"));
-    assert!(StoreError::Corrupt("bad crc".into()).to_string().contains("bad crc"));
-    assert!(StoreError::Codec("not json".into()).to_string().contains("not json"));
+    assert!(StoreError::Io("disk on fire".into())
+        .to_string()
+        .contains("disk on fire"));
+    assert!(StoreError::Corrupt("bad crc".into())
+        .to_string()
+        .contains("bad crc"));
+    assert!(StoreError::Codec("not json".into())
+        .to_string()
+        .contains("not json"));
 }
 
 #[test]
@@ -67,10 +73,14 @@ fn wal_len_tracks_appends_and_compaction_resets_it() {
     let dir = temp_dir("wal-len");
     let store = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
     assert_eq!(store.wal_len(), 0);
-    store.put(&Key::new("t", "a"), Bytes::from_static(b"hello")).unwrap();
+    store
+        .put(&Key::new("t", "a"), Bytes::from_static(b"hello"))
+        .unwrap();
     let after_one = store.wal_len();
     assert!(after_one > 0);
-    store.put(&Key::new("t", "b"), Bytes::from_static(b"hello")).unwrap();
+    store
+        .put(&Key::new("t", "b"), Bytes::from_static(b"hello"))
+        .unwrap();
     assert!(store.wal_len() > after_one);
     store.compact().unwrap();
     assert_eq!(store.wal_len(), 0);

@@ -23,11 +23,21 @@ fn main() {
     let client = CattleClient::new(rt.handle());
 
     // --- Participants.
-    client.create_farmer("farm/nørgaard", "Nørgaard Agro").unwrap();
-    client.create_farmer("farm/jensen", "Jensen & Sønner").unwrap();
-    client.create_slaughterhouse("sh/danish-crown", "Danish Crown Holsted").unwrap();
-    client.create_distributor("dist/dsv", "DSV Cold Chain").unwrap();
-    client.create_retailer("retail/brugsen", "SuperBrugsen Ørestad").unwrap();
+    client
+        .create_farmer("farm/nørgaard", "Nørgaard Agro")
+        .unwrap();
+    client
+        .create_farmer("farm/jensen", "Jensen & Sønner")
+        .unwrap();
+    client
+        .create_slaughterhouse("sh/danish-crown", "Danish Crown Holsted")
+        .unwrap();
+    client
+        .create_distributor("dist/dsv", "DSV Cold Chain")
+        .unwrap();
+    client
+        .create_retailer("retail/brugsen", "SuperBrugsen Ørestad")
+        .unwrap();
 
     // --- A cow with a collar, geo-fenced to its pasture.
     client
@@ -37,7 +47,10 @@ fn main() {
         .set_fence(
             "cow/dk-871234",
             Some(GeoFence::Circle {
-                center: GeoPoint { lat: 55.48, lon: 8.68 },
+                center: GeoPoint {
+                    lat: 55.48,
+                    lon: 8.68,
+                },
                 radius: 0.02,
             }),
         )
@@ -53,8 +66,16 @@ fn main() {
             temperature: 38.5 + (h % 3) as f64 * 0.1,
         })
         .collect();
-    client.collar_report("cow/dk-871234", readings).unwrap().wait_for(T).unwrap();
-    let info = client.cow_info("cow/dk-871234").unwrap().wait_for(T).unwrap();
+    client
+        .collar_report("cow/dk-871234", readings)
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
+    let info = client
+        .cow_info("cow/dk-871234")
+        .unwrap()
+        .wait_for(T)
+        .unwrap();
     println!(
         "cow dk-871234: {} collar fixes, {} fence violations, owner {}",
         info.total_readings, info.fence_violations, info.farmer
@@ -84,7 +105,13 @@ fn main() {
 
     // --- Distribution: a refrigerated truck moves the cuts to retail.
     let delivery = client
-        .create_delivery("dist/dsv", cuts.clone(), "sh/danish-crown", "retail/brugsen", "truck-DK-4411")
+        .create_delivery(
+            "dist/dsv",
+            cuts.clone(),
+            "sh/danish-crown",
+            "retail/brugsen",
+            "truck-DK-4411",
+        )
         .unwrap()
         .wait_for(T)
         .unwrap();
@@ -94,7 +121,12 @@ fn main() {
 
     // --- Retail: two cuts become a consumer product.
     let product = client
-        .create_product("retail/brugsen", cuts[..2].to_vec(), "Familiepakke oksekød 1 kg", 1_200_000)
+        .create_product(
+            "retail/brugsen",
+            cuts[..2].to_vec(),
+            "Familiepakke oksekød 1 kg",
+            1_200_000,
+        )
         .unwrap()
         .wait_for(T)
         .unwrap();
@@ -103,7 +135,10 @@ fn main() {
     // --- Consumer: scan the product, trace it back to the farm.
     let report = client.trace_product(&product).unwrap();
     println!("\n=== consumer trace of {product} ===");
-    println!("product: {} @ {}", report.product_info.name, report.product_info.retailer);
+    println!(
+        "product: {} @ {}",
+        report.product_info.name, report.product_info.retailer
+    );
     println!("farms: {:?}", report.farms());
     println!("slaughterhouses: {:?}", report.slaughterhouses());
     for cut in &report.cuts {

@@ -35,7 +35,11 @@ impl Actor for Greeter {
         println!(
             "[{}] activated ({})",
             ctx.key(),
-            if existed { "state restored from store" } else { "fresh state" }
+            if existed {
+                "state restored from store"
+            } else {
+                "fresh state"
+            }
         );
     }
 

@@ -25,7 +25,10 @@ fn main() {
     register_all(&rt, ShmEnv::paper_default(Arc::new(MemStore::new())));
 
     // 4 organizations of 50 sensors, one per silo.
-    let spec = TopologySpec { sensors_per_org: 50, ..Default::default() };
+    let spec = TopologySpec {
+        sensors_per_org: 50,
+        ..Default::default()
+    };
     let topology = Topology::layout(200, spec);
     let silo_of_org = |org: usize| Some(SiloId((org % SILOS) as u32));
     provision(&rt, &topology, silo_of_org).expect("provisioning");
@@ -44,9 +47,15 @@ fn main() {
             for sensor in &org.sensors {
                 for channel in &sensor.physical {
                     let points = (0..10)
-                        .map(|i| DataPoint { ts_ms: round * 1000 + i * 100, value: i as f64 })
+                        .map(|i| DataPoint {
+                            ts_ms: round * 1000 + i * 100,
+                            value: i as f64,
+                        })
                         .collect();
-                    client.channel(channel).tell(iot_aodb::shm::messages::Ingest { points }).unwrap();
+                    client
+                        .channel(channel)
+                        .tell(iot_aodb::shm::messages::Ingest { points })
+                        .unwrap();
                     requests += 1;
                 }
             }
@@ -64,7 +73,7 @@ fn main() {
         "messages: {} local, {} remote ({:.2}% crossed silos)",
         m.local_messages,
         m.remote_messages,
-         100.0 * m.remote_messages as f64 / (m.local_messages + m.remote_messages).max(1) as f64
+        100.0 * m.remote_messages as f64 / (m.local_messages + m.remote_messages).max(1) as f64
     );
     println!("activations: {}", m.activations);
 

@@ -24,7 +24,10 @@ fn main() {
     // A 20-sensor bridge: 1 organization, 40 physical + 2 virtual channels,
     // extension thresholds on every channel.
     let spec = TopologySpec {
-        threshold: Threshold { high: Some(80.0), ..Default::default() },
+        threshold: Threshold {
+            high: Some(80.0),
+            ..Default::default()
+        },
         ..Default::default()
     };
     let topology = Topology::layout(20, spec);
@@ -60,7 +63,11 @@ fn main() {
     rt.quiesce(Duration::from_secs(10));
 
     // --- FR 4: accumulated change.
-    let stats = client.channel_stats(&sensor.physical[0]).unwrap().wait().unwrap();
+    let stats = client
+        .channel_stats(&sensor.physical[0])
+        .unwrap()
+        .wait()
+        .unwrap();
     println!(
         "\nchannel {}: {} points, accumulated change {:.1}, net change {:.2}",
         sensor.physical[0], stats.total_points, stats.accumulated_change, stats.net_change
@@ -70,7 +77,10 @@ fn main() {
     let alerts = client.recent_alerts(&org, 5).unwrap().wait().unwrap();
     println!("alerts raised: {}", alerts.len());
     for a in &alerts {
-        println!("  [{:?}] {} = {:.1} at t={}ms", a.kind, a.channel, a.value, a.ts_ms);
+        println!(
+            "  [{:?}] {} = {:.1} at t={}ms",
+            a.kind, a.channel, a.value, a.ts_ms
+        );
     }
 
     // --- FR 6: statistical aggregates for plots.
@@ -100,9 +110,16 @@ fn main() {
 
     // --- FR 7: live view of the whole structure (fan-out over all 42
     // channels, including the derived virtual ones).
-    let report = client.live_data(&org).unwrap().wait_for(Duration::from_secs(10)).unwrap();
+    let report = client
+        .live_data(&org)
+        .unwrap()
+        .wait_for(Duration::from_secs(10))
+        .unwrap();
     let live = report.channels.iter().filter(|(_, p)| p.is_some()).count();
-    println!("live data: {live}/{} channels reporting", report.channels.len());
+    println!(
+        "live data: {live}/{} channels reporting",
+        report.channels.len()
+    );
 
     // Virtual channel: sum of its sensor's two physical channels.
     let vstats = client

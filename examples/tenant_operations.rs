@@ -17,8 +17,7 @@ use iot_aodb::shm::gateway::{ConfigureGateway, GatewayConfig, GatewayIngest, Gat
 use iot_aodb::shm::types::{AggregateLevel, DataPoint};
 use iot_aodb::shm::warehouse::{WarehouseExporter, WarehouseReader};
 use iot_aodb::shm::{
-    provision, register_all, IngestGateway, ShmClient, ShmEnv, TenantGuard, Topology,
-    TopologySpec,
+    provision, register_all, IngestGateway, ShmClient, ShmEnv, TenantGuard, Topology, TopologySpec,
 };
 use iot_aodb::store::{MemStore, StateStore};
 use serde_json::json;
@@ -43,7 +42,10 @@ fn main() {
         .unwrap();
     let session =
         SecureShmClient::login(ShmClient::new(rt.handle()), &org, "inge", "s3cret").unwrap();
-    println!("session opened for inge@{org} (token {:?})", session.token());
+    println!(
+        "session opened for inge@{org} (token {:?})",
+        session.token()
+    );
     assert!(
         SecureShmClient::login(ShmClient::new(rt.handle()), &org, "inge", "wrong").is_err(),
         "bad credentials must fail"
@@ -54,7 +56,10 @@ fn main() {
     // stragglers every 50 ms.
     let gateway = rt.actor_ref::<IngestGateway>(format!("gw:{org}"));
     gateway
-        .call(ConfigureGateway(GatewayConfig { flush_batch: 10, capacity_points: 50_000 }))
+        .call(ConfigureGateway(GatewayConfig {
+            flush_batch: 10,
+            capacity_points: 50_000,
+        }))
         .unwrap();
     let _flush_timer = register_reminder::<IngestGateway>(
         &rt,
@@ -76,7 +81,10 @@ fn main() {
                 })
                 .collect();
             gateway
-                .call(GatewayIngest { channel: channel.to_string(), points })
+                .call(GatewayIngest {
+                    channel: channel.to_string(),
+                    points,
+                })
                 .unwrap();
         }
     }
@@ -92,7 +100,10 @@ fn main() {
     // --- The authenticated session explores the data.
     let live = session.live_data().unwrap();
     let reporting = live.channels.iter().filter(|(_, p)| p.is_some()).count();
-    println!("live data: {reporting}/{} channels reporting", live.channels.len());
+    println!(
+        "live data: {reporting}/{} channels reporting",
+        live.channels.len()
+    );
 
     // --- Warehouse export + offline analytics.
     let client = ShmClient::new(rt.handle());
@@ -100,7 +111,10 @@ fn main() {
     let summary = exporter
         .export(&client, &topology, AggregateLevel::Hour, 0, 3 * HOUR)
         .unwrap();
-    println!("warehouse: {} fact rows, {} dimension rows", summary.facts, summary.dims);
+    println!(
+        "warehouse: {} fact rows, {} dimension rows",
+        summary.facts, summary.dims
+    );
 
     let reader = WarehouseReader::new(Arc::clone(&store));
     let by_channel = reader.rollup_by_channel(&org, 0, 3 * HOUR).unwrap();

@@ -20,10 +20,7 @@ use iot_aodb::store::{Key, LogStore, LogStoreConfig, StateStore};
 const T: Duration = Duration::from_secs(15);
 
 fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "iot-aodb-fullstack-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("iot-aodb-fullstack-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -61,7 +58,12 @@ fn both_platforms_share_one_runtime_and_survive_restart() {
         shm_client
             .ingest(
                 &channel_key,
-                (0..100).map(|i| DataPoint { ts_ms: i * 100, value: i as f64 }).collect(),
+                (0..100)
+                    .map(|i| DataPoint {
+                        ts_ms: i * 100,
+                        value: i as f64,
+                    })
+                    .collect(),
             )
             .unwrap()
             .wait_for(T)
@@ -70,10 +72,16 @@ fn both_platforms_share_one_runtime_and_survive_restart() {
         // Cattle traffic on the same runtime and the same store.
         let cc = CattleClient::new(rt.handle());
         cc.create_farmer("fs/farm", "F").unwrap();
-        cc.register_cow("fs/cow", "fs/farm", Breed::Angus, 0).unwrap();
+        cc.register_cow("fs/cow", "fs/farm", Breed::Angus, 0)
+            .unwrap();
         cc.create_slaughterhouse("fs/house", "H").unwrap();
         cc.create_retailer("fs/retail", "R").unwrap();
-        let cuts = cc.slaughter("fs/house", "fs/cow", 10).unwrap().wait_for(T).unwrap().unwrap();
+        let cuts = cc
+            .slaughter("fs/house", "fs/cow", 10)
+            .unwrap()
+            .wait_for(T)
+            .unwrap()
+            .unwrap();
         product = cc
             .create_product("fs/retail", cuts, "pack", 20)
             .unwrap()
@@ -100,8 +108,15 @@ fn both_platforms_share_one_runtime_and_survive_restart() {
         let rt = build_runtime(&store);
 
         let shm_client = ShmClient::new(rt.handle());
-        let stats = shm_client.channel_stats(&channel_key).unwrap().wait_for(T).unwrap();
-        assert_eq!(stats.total_points, 100, "channel window must survive restart");
+        let stats = shm_client
+            .channel_stats(&channel_key)
+            .unwrap()
+            .wait_for(T)
+            .unwrap();
+        assert_eq!(
+            stats.total_points, 100,
+            "channel window must survive restart"
+        );
 
         let cc = CattleClient::new(rt.handle());
         let report = cc.trace_product(&product).unwrap();
@@ -163,7 +178,8 @@ fn shm_and_cattle_do_not_interfere_under_concurrent_load() {
     let cc = CattleClient::new(rt.handle());
     cc.create_farmer("cl/farm", "F").unwrap();
     for i in 0..20 {
-        cc.register_cow(&format!("cl/cow-{i}"), "cl/farm", Breed::Nelore, 0).unwrap();
+        cc.register_cow(&format!("cl/cow-{i}"), "cl/farm", Breed::Nelore, 0)
+            .unwrap();
     }
 
     let shm_client = ShmClient::new(rt.handle());
@@ -175,7 +191,13 @@ fn shm_and_cattle_do_not_interfere_under_concurrent_load() {
             for round in 0..50u64 {
                 for c in &channels {
                     client
-                        .ingest(c, vec![DataPoint { ts_ms: round, value: round as f64 }])
+                        .ingest(
+                            c,
+                            vec![DataPoint {
+                                ts_ms: round,
+                                value: round as f64,
+                            }],
+                        )
                         .unwrap();
                 }
             }
@@ -209,7 +231,11 @@ fn shm_and_cattle_do_not_interfere_under_concurrent_load() {
         assert_eq!(stats.total_points, 50);
     }
     for i in 0..3 {
-        let info = cc.cow_info(&format!("cl/cow-{i}")).unwrap().wait_for(T).unwrap();
+        let info = cc
+            .cow_info(&format!("cl/cow-{i}"))
+            .unwrap()
+            .wait_for(T)
+            .unwrap();
         assert_eq!(info.total_readings, 50);
     }
     rt.shutdown();

@@ -1,0 +1,265 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Bench sources compile and run unchanged: `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `Throughput`, `b.iter`, and
+//! `b.iter_batched` all exist with their real signatures. Instead of
+//! criterion's statistical machinery, each benchmark is timed with a
+//! fixed warm-up and a fixed measured batch, and a single mean-per-
+//! iteration line is printed. Under `cargo test` (which runs
+//! `harness = false` bench binaries) the `--test` flag switches to a
+//! one-iteration smoke run so the suite stays fast.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], like `criterion::black_box`.
+pub use std::hint::black_box;
+
+const SMOKE_ITERS: u64 = 1;
+const WARM_ITERS: u64 = 20;
+const MEASURE_ITERS: u64 = 200;
+
+fn smoke_mode() -> bool {
+    // `cargo test` invokes harness=false bench binaries with `--test`;
+    // `cargo bench` passes `--bench`.
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Entry point type: configures and runs benchmark groups.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    _measurement_time: Duration,
+    _warm_up_time: Duration,
+    _sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            _measurement_time: Duration::from_secs(3),
+            _warm_up_time: Duration::from_secs(1),
+            _sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target measurement time (accepted, not enforced).
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self._measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time (accepted, not enforced).
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self._warm_up_time = t;
+        self
+    }
+
+    /// Sets the sample count (accepted, not enforced).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self._sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: if smoke_mode() {
+                SMOKE_ITERS
+            } else {
+                MEASURE_ITERS
+            },
+            elapsed: Duration::ZERO,
+            iters_run: 0,
+        };
+        f(&mut bencher);
+        report(&self.name, id, &bencher, self.throughput);
+        self
+    }
+
+    /// Ends the group (report flushing happens per-benchmark here).
+    pub fn finish(self) {}
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]; accepted for
+/// signature compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    iters_run: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !smoke_mode() {
+            for _ in 0..WARM_ITERS {
+                black_box(routine());
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters_run += self.iters;
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`, excluding
+    /// setup time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if !smoke_mode() {
+            for _ in 0..WARM_ITERS.min(5) {
+                let input = setup();
+                black_box(routine(input));
+            }
+        }
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters_run += self.iters;
+    }
+}
+
+fn report(group: &str, id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.iters_run == 0 {
+        println!("{group}/{id}: no iterations run");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters_run as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 * 1e9 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 * 1e9 / per_iter / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("{group}/{id}: {:.1} ns/iter{rate}", per_iter);
+}
+
+/// Declares a benchmark group, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident;
+     config = $config:expr;
+     targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(1));
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        let mut seen = Vec::new();
+        let mut n = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    n += 1;
+                    n
+                },
+                |input| seen.push(input),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(!seen.is_empty());
+        let mut sorted = seen.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len(), "inputs were reused");
+        group.finish();
+    }
+}

@@ -1,0 +1,365 @@
+//! MPMC channels: `unbounded`, `bounded`, cloneable senders *and*
+//! receivers, blocking `recv`, `recv_timeout`, and non-blocking
+//! `try_recv` — the subset of `crossbeam::channel` the runtime uses.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// Signalled when an item arrives or the last sender disconnects.
+    recv_ready: Condvar,
+    /// Signalled when space frees up or the last receiver disconnects.
+    send_ready: Condvar,
+    capacity: Option<usize>,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn disconnected_for_recv(&self) -> bool {
+        self.senders.load(Ordering::Acquire) == 0
+    }
+
+    fn disconnected_for_send(&self) -> bool {
+        self.receivers.load(Ordering::Acquire) == 0
+    }
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone; the
+/// unsent message is handed back.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The wait deadline elapsed with the channel still empty.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty, disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("channel empty"),
+            TryRecvError::Disconnected => f.write_str("channel empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// The sending half of a channel. Clone freely; the channel disconnects
+/// for receivers when the last clone drops.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::AcqRel);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender: wake all blocked receivers so they observe the
+            // disconnect.
+            let _guard = self.shared.queue.lock().unwrap();
+            self.shared.recv_ready.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `msg`, blocking while a bounded channel is full. Fails only
+    /// when every receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut queue = self.shared.queue.lock().unwrap();
+        loop {
+            if self.shared.disconnected_for_send() {
+                return Err(SendError(msg));
+            }
+            match self.shared.capacity {
+                Some(cap) if queue.len() >= cap => {
+                    queue = self.shared.send_ready.wait(queue).unwrap();
+                }
+                _ => break,
+            }
+        }
+        queue.push_back(msg);
+        drop(queue);
+        self.shared.recv_ready.notify_one();
+        Ok(())
+    }
+
+    /// Queued message count.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The receiving half of a channel. Clone freely (MPMC); the channel
+/// disconnects for senders when the last clone drops.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.shared.queue.lock().unwrap();
+            self.shared.send_ready.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                self.shared.send_ready.notify_one();
+                return Ok(msg);
+            }
+            if self.shared.disconnected_for_recv() {
+                return Err(RecvError);
+            }
+            queue = self.shared.recv_ready.wait(queue).unwrap();
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                self.shared.send_ready.notify_one();
+                return Ok(msg);
+            }
+            if self.shared.disconnected_for_recv() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (q, wait) = self
+                .shared
+                .recv_ready
+                .wait_timeout(queue, deadline - now)
+                .unwrap();
+            queue = q;
+            if wait.timed_out() && queue.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.queue.lock().unwrap();
+        if let Some(msg) = queue.pop_front() {
+            self.shared.send_ready.notify_one();
+            return Ok(msg);
+        }
+        if self.shared.disconnected_for_recv() {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Queued message count.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        recv_ready: Condvar::new(),
+        send_ready: Condvar::new(),
+        capacity,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Creates a channel of unlimited capacity.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Creates a channel holding at most `cap` queued messages; `send`
+/// blocks while full. A zero capacity is rounded up to one (this stub
+/// does not implement rendezvous channels, and the workspace never
+/// requests them).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn multi_consumer_work_sharing() {
+        let (tx, rx) = unbounded();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = 0usize;
+                    while rx.recv().is_ok() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        let total: usize = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2).map_err(|_| ()));
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap().unwrap();
+    }
+}

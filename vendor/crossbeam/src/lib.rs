@@ -1,0 +1,11 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace uses only `crossbeam::channel` (multi-producer
+//! multi-consumer channels with timeouts), so that is what this stub
+//! provides: a straightforward `Mutex<VecDeque>` + `Condvar` queue. It is
+//! slower than real crossbeam under heavy contention but semantically
+//! equivalent for the runtime's run queues and promise rendezvous.
+
+#![warn(missing_docs)]
+
+pub mod channel;

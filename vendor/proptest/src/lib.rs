@@ -1,0 +1,648 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Same testing model — strategies generate random inputs, `proptest!`
+//! wraps each property in a case loop — but with two deliberate
+//! simplifications: the RNG is deterministic (seeded from the test
+//! name, so failures reproduce exactly on re-run with no persistence
+//! file) and there is no shrinking (a failing case reports its inputs
+//! as generated). The strategy surface covers what this workspace uses:
+//! integer/float ranges, `any::<T>()`, regex-subset string patterns,
+//! tuples, `prop_map`, `prop_oneof!`, `collection::vec`, and
+//! `option::of`.
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Case-loop configuration and the deterministic RNG.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the offline suite
+            // quick while still exercising the properties broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic xorshift64* generator, seeded from the test name.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the RNG from a test name (stable across runs).
+        pub fn for_test(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: seed | 1 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Bernoulli draw with probability `p` of `true`.
+        pub fn chance(&mut self, p: f64) -> bool {
+            self.unit_f64() < p
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                sampler: std::rc::Rc::new(move |rng| self.sample(rng)),
+            }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`Strategy::boxed`].
+    #[derive(Clone)]
+    pub struct BoxedStrategy<V> {
+        sampler: std::rc::Rc<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (self.sampler)(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (what `prop_oneof!`
+    /// expands to).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `options`; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].sample(rng)
+        }
+    }
+
+    /// Always yields clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<V>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn sample(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    // ------------------------------------------------------------ ranges
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + offset) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    // ------------------------------------------------------------ tuples
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+    }
+
+    // ----------------------------------------------- regex-subset strings
+
+    /// `&str` patterns act as string strategies, supporting the regex
+    /// subset this workspace uses: literal characters, `\xNN` escapes,
+    /// character classes with ranges (`[a-z0-9]`, `[a-z0\x00]`), and
+    /// `{n}` / `{m,n}` repetition.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for atom in &atoms {
+                let n = atom.min as u64
+                    + if atom.max > atom.min {
+                        rng.below((atom.max - atom.min + 1) as u64)
+                    } else {
+                        0
+                    };
+                for _ in 0..n {
+                    let idx = rng.below(atom.chars.len() as u64) as usize;
+                    out.push(atom.chars[idx]);
+                }
+            }
+            out
+        }
+    }
+
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let mut set = Vec::new();
+            match chars[i] {
+                '[' => {
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = read_char(&chars, &mut i, pattern);
+                        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                            i += 1;
+                            let hi = read_char(&chars, &mut i, pattern);
+                            assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                            for c in lo..=hi {
+                                set.push(c);
+                            }
+                        } else {
+                            set.push(lo);
+                        }
+                    }
+                    assert!(
+                        i < chars.len(),
+                        "unterminated character class in pattern {pattern:?}"
+                    );
+                    i += 1; // consume ']'
+                }
+                _ => {
+                    set.push(read_char(&chars, &mut i, pattern));
+                }
+            }
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                i += 1;
+                let mut min_text = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    min_text.push(chars[i]);
+                    i += 1;
+                }
+                let min: usize = min_text.parse().expect("repetition count");
+                let max = if i < chars.len() && chars[i] == ',' {
+                    i += 1;
+                    let mut max_text = String::new();
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        max_text.push(chars[i]);
+                        i += 1;
+                    }
+                    max_text.parse().expect("repetition count")
+                } else {
+                    min
+                };
+                assert!(
+                    i < chars.len() && chars[i] == '}',
+                    "unterminated repetition in pattern {pattern:?}"
+                );
+                i += 1;
+                (min, max)
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+            atoms.push(Atom {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        atoms
+    }
+
+    fn read_char(chars: &[char], i: &mut usize, pattern: &str) -> char {
+        let c = chars[*i];
+        *i += 1;
+        if c != '\\' {
+            return c;
+        }
+        let esc = chars[*i];
+        *i += 1;
+        match esc {
+            'x' => {
+                let hex: String = chars[*i..*i + 2].iter().collect();
+                *i += 2;
+                let code = u8::from_str_radix(&hex, 16)
+                    .unwrap_or_else(|_| panic!("bad \\x escape in pattern {pattern:?}"));
+                code as char
+            }
+            'n' => '\n',
+            't' => '\t',
+            other => other, // \\, \[, \], \{ ...
+        }
+    }
+
+    // ------------------------------------------------------- arbitrary
+
+    /// Types with a canonical "any value" strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, zero-centered; proptest biases toward "nice"
+            // floats too, and the tests here only need coverage.
+            (rng.unit_f64() - 0.5) * 2e9
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{FFFD}')
+        }
+    }
+
+    /// Strategy wrapper produced by [`crate::arbitrary::any`].
+    #[derive(Clone, Debug)]
+    pub struct ArbitraryStrategy<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T> Default for ArbitraryStrategy<T> {
+        fn default() -> Self {
+            ArbitraryStrategy {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()`, mirroring `proptest::arbitrary`.
+
+    use crate::strategy::{Arbitrary, ArbitraryStrategy};
+
+    /// A strategy producing unconstrained values of `T`.
+    pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+        ArbitraryStrategy::default()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// Output of [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies, mirroring `proptest::option`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `Some` from `inner` about 3/4 of the time, `None` otherwise (the
+    /// same bias real proptest uses).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Output of [`of`].
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.chance(0.75) {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual glob import, mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(args in strategies) { body }`
+/// becomes a `#[test]` running the body over many sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $p = $crate::strategy::Strategy::sample(&($s), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Like `assert!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Like `assert_eq!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Like `assert_ne!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = crate::test_runner::TestRng::for_test("string_pattern_shapes");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z0-9]{1,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 6);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+
+            let nul = Strategy::sample(&"[a-z0\\x00]{1,5}", &mut rng);
+            assert!(!nul.is_empty() && nul.chars().count() <= 5);
+            assert!(nul
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '0' || c == '\0'));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("ranges_stay_in_bounds");
+        for _ in 0..500 {
+            let u = Strategy::sample(&(5u64..17), &mut rng);
+            assert!((5..17).contains(&u));
+            let f = Strategy::sample(&(-2.0f64..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn determinism_per_test_name() {
+        let sample = |name: &str| {
+            let mut rng = crate::test_runner::TestRng::for_test(name);
+            (0..10)
+                .map(|_| Strategy::sample(&(0u64..1000), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample("alpha"), sample("alpha"));
+        assert_ne!(sample("alpha"), sample("beta"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(
+            mut xs in crate::collection::vec(0u64..100, 1..20),
+            flag in any::<bool>(),
+            opt in crate::option::of(1i64..5),
+        ) {
+            xs.sort_unstable();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert_eq!(flag as u8 <= 1, true);
+            if let Some(v) = opt {
+                prop_assert!((1..5).contains(&v));
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(op in prop_oneof![
+            (0u64..10).prop_map(|n| n * 2),
+            (0u64..10).prop_map(|n| n * 2 + 1),
+        ]) {
+            prop_assert!(op < 20);
+        }
+    }
+}

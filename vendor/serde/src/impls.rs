@@ -1,0 +1,365 @@
+//! `Serialize` / `Deserialize` implementations for standard-library
+//! types, mirroring the conventions of real serde + serde_json:
+//! integers and floats are numbers, `Option::None` is `null`, sequences
+//! and tuples are arrays, maps are objects with stringified keys.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::{Deserialize, Error, JsonKey, Map, Number, Serialize, Value};
+
+// ---------------------------------------------------------------- scalars
+
+macro_rules! int_impl {
+    ($($t:ty => $via:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn json_value(&self) -> Value {
+                Value::Number(Number::from(*self as $via))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Number(n) => n,
+                    other => return Err(crate::__private::type_mismatch(stringify!($t), other)),
+                };
+                let wide: $via = match (<$via>::MIN == 0, n.as_u64(), n.as_i64()) {
+                    (true, Some(u), _) => u as $via,
+                    (false, _, Some(i)) => i as $via,
+                    _ => return Err(Error::custom(concat!("number out of range for ", stringify!($t)))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(concat!("number out of range for ", stringify!($t))))
+            }
+        }
+        impl JsonKey for $t {
+            fn to_json_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_json_key(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|_| {
+                    Error::custom(concat!("invalid map key for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+int_impl! {
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+}
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_value(&self) -> Value {
+                Value::Number(Number::Float(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    other => Err(crate::__private::type_mismatch(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for bool {
+    fn json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(crate::__private::type_mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(crate::__private::type_mismatch("String", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(crate::__private::type_mismatch("char", other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(crate::__private::type_mismatch("()", other)),
+        }
+    }
+}
+
+impl JsonKey for String {
+    fn to_json_key(&self) -> String {
+        self.clone()
+    }
+    fn from_json_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+// ----------------------------------------------------------- references
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_value(&self) -> Value {
+        (**self).json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn json_value(&self) -> Value {
+        (**self).json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn json_value(&self) -> Value {
+        (**self).json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(Arc::new)
+    }
+}
+
+// ------------------------------------------------------------- wrappers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_value(&self) -> Value {
+        match self {
+            Some(v) => v.json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ------------------------------------------------------------ sequences
+
+macro_rules! seq_impl {
+    ($name:ident < T $(: $bound:ident $(+ $bound2:ident)*)? >) => {
+        impl<T: Serialize $(+ $bound $(+ $bound2)*)?> Serialize for $name<T> {
+            fn json_value(&self) -> Value {
+                Value::Array(self.iter().map(|x| x.json_value()).collect())
+            }
+        }
+        impl<T: Deserialize $(+ $bound $(+ $bound2)*)?> Deserialize for $name<T> {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        items.iter().map(T::from_json_value).collect()
+                    }
+                    other => Err(crate::__private::type_mismatch(stringify!($name), other)),
+                }
+            }
+        }
+    };
+}
+
+seq_impl!(Vec<T>);
+seq_impl!(VecDeque<T>);
+seq_impl!(BTreeSet<T: Ord>);
+seq_impl!(HashSet<T: Eq + Hash>);
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_value(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.json_value()).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_value(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.json_value()).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let items = match v {
+            Value::Array(items) if items.len() == N => items,
+            Value::Array(items) => {
+                return Err(Error::custom(format!(
+                    "expected array of length {N}, got {}",
+                    items.len()
+                )))
+            }
+            other => return Err(crate::__private::type_mismatch("array", other)),
+        };
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::from_json_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+// --------------------------------------------------------------- tuples
+
+macro_rules! tuple_impl {
+    ($(($($t:ident . $idx:tt),+ ; $len:expr)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.json_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        let mut it = items.iter();
+                        Ok(($($t::from_json_value(it.next().expect("length checked"))?,)+))
+                    }
+                    other => Err(crate::__private::type_mismatch("tuple", other)),
+                }
+            }
+        }
+    )+};
+}
+
+tuple_impl! {
+    (A.0; 1),
+    (A.0, B.1; 2),
+    (A.0, B.1, C.2; 3),
+    (A.0, B.1, C.2, D.3; 4),
+    (A.0, B.1, C.2, D.3, E.4; 5),
+    (A.0, B.1, C.2, D.3, E.4, F.5; 6),
+}
+
+// ----------------------------------------------------------------- maps
+
+macro_rules! map_impl {
+    ($name:ident, $($bound:ident)+) => {
+        impl<K: JsonKey $(+ $bound)+, V: Serialize> Serialize for $name<K, V> {
+            fn json_value(&self) -> Value {
+                let mut obj = Map::new();
+                for (k, v) in self {
+                    obj.insert(k.to_json_key(), v.json_value());
+                }
+                Value::Object(obj)
+            }
+        }
+        impl<K: JsonKey $(+ $bound)+, V: Deserialize> Deserialize for $name<K, V> {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Object(obj) => obj
+                        .iter()
+                        .map(|(k, v)| Ok((K::from_json_key(k)?, V::from_json_value(v)?)))
+                        .collect(),
+                    other => Err(crate::__private::type_mismatch(stringify!($name), other)),
+                }
+            }
+        }
+    };
+}
+
+map_impl!(BTreeMap, Ord);
+map_impl!(HashMap, Eq Hash);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(u32::from_json_value(&42u32.json_value()).unwrap(), 42);
+        assert_eq!(i64::from_json_value(&(-7i64).json_value()).unwrap(), -7);
+        assert_eq!(f64::from_json_value(&1.5f64.json_value()).unwrap(), 1.5);
+        assert_eq!(String::from_json_value(&"hi".json_value()).unwrap(), "hi");
+        assert!(u8::from_json_value(&300u32.json_value()).is_err());
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        let v = vec![(String::from("a"), 1u64), (String::from("b"), 2)];
+        let back: Vec<(String, u64)> = Deserialize::from_json_value(&v.json_value()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = HashMap::new();
+        m.insert(7u64, vec![1.5f64]);
+        let back: HashMap<u64, Vec<f64>> = Deserialize::from_json_value(&m.json_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn option_null_mapping() {
+        assert_eq!(Option::<u32>::from_json_value(&Value::Null).unwrap(), None);
+        assert_eq!(None::<u32>.json_value(), Value::Null);
+        assert_eq!(Some(3u32).json_value(), 3u32.json_value());
+    }
+}

@@ -1,0 +1,89 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment cannot reach crates.io, and the only data format
+//! this workspace ever serializes to is JSON (via the sibling
+//! `serde_json` stub). That permits a radical simplification: instead of
+//! serde's visitor architecture, [`Serialize`] converts a value directly
+//! into a JSON [`Value`] tree and [`Deserialize`] reads one back. The
+//! public *names* match real serde — `Serialize` / `Deserialize` traits
+//! and derive macros, `serde::de::DeserializeOwned`, the
+//! `#[serde(default)]` field attribute — so application code compiles
+//! unchanged and can move back to the real crates when the environment
+//! allows.
+
+#![warn(missing_docs)]
+
+mod impls;
+mod text;
+mod value;
+
+pub use value::{Error, Map, Number, Value};
+
+/// Derive macros mirroring `serde_derive`.
+pub use serde_derive::{Deserialize, Serialize};
+
+pub(crate) use text::to_compact_string;
+
+/// A value that can be converted into a JSON tree.
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn json_value(&self) -> Value;
+}
+
+/// A value that can be reconstructed from a JSON tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization sub-module, mirroring `serde::de`.
+pub mod de {
+    /// Marker for deserializable types that own all their data. With this
+    /// stub's lifetime-free [`crate::Deserialize`], every deserializable
+    /// type qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Map keys: types usable as JSON object keys (JSON keys are always
+/// strings, so numeric keys round-trip through their decimal rendering —
+/// the same convention real `serde_json` uses).
+pub trait JsonKey: Sized {
+    /// Renders the key as a JSON object key.
+    fn to_json_key(&self) -> String;
+    /// Parses the key back from a JSON object key.
+    fn from_json_key(s: &str) -> Result<Self, Error>;
+}
+
+#[doc(hidden)]
+pub mod __private {
+    //! Helpers the derive macros expand to. Not a stable API.
+    pub use crate::text::{parse_value, to_compact_string, to_pretty_string};
+
+    use crate::{Error, Value};
+
+    /// Field lookup for derived `Deserialize` impls: returns the field's
+    /// value, `Null` for a missing field that may default, or an error.
+    pub fn field<'v>(
+        obj: &'v crate::Map,
+        name: &str,
+        ty: &str,
+        allow_missing: bool,
+    ) -> Result<Option<&'v Value>, Error> {
+        match obj.get(name) {
+            Some(v) => Ok(Some(v)),
+            None if allow_missing => Ok(None),
+            None => Err(Error::custom(format!("{ty}: missing field `{name}`"))),
+        }
+    }
+
+    /// Error for an unknown enum variant.
+    pub fn unknown_variant(ty: &str, got: &str) -> Error {
+        Error::custom(format!("{ty}: unknown variant `{got}`"))
+    }
+
+    /// Error for a JSON shape that does not match the expected type.
+    pub fn type_mismatch(ty: &str, got: &Value) -> Error {
+        Error::custom(format!("{ty}: unexpected JSON shape {}", got.kind_name()))
+    }
+}

@@ -1,0 +1,497 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable in this build environment, so the item
+//! is parsed directly from the `proc_macro` token stream. The supported
+//! grammar is exactly what the workspace uses:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple, and struct variants;
+//! * simple generic parameters (`<T>`, `<P>`) without bounds or
+//!   lifetimes;
+//! * the `#[serde(default)]` field attribute.
+//!
+//! Encoding matches real serde_json defaults: structs → objects,
+//! newtype structs → their inner value, tuples → arrays, unit enum
+//! variants → `"Name"`, data-carrying variants → `{"Name": payload}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String, // named fields: identifier; tuple fields: index
+    has_default: bool,
+    is_option: bool,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+#[derive(Debug)]
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+/// Derives the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the stub `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------ parse
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (incl. doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    // Optional simple generics `<A, B>` (no bounds, no lifetimes — all
+    // the workspace uses).
+    let mut generics = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Ident(id)) if depth == 1 => generics.push(id.to_string()),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                Some(other) => panic!(
+                    "serde derive: only plain `<T>`-style generics are supported, got {other:?}"
+                ),
+                None => panic!("serde derive: unterminated generics"),
+            }
+            i += 1;
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde derive: malformed struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    };
+
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+/// Splits a field-list token stream at top-level commas (angle-bracket
+/// depth tracked so `Option<(A, B)>` stays intact; bracketed groups are
+/// single tokens already).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut pieces = vec![Vec::new()];
+    let mut angle = 0isize;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                pieces.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        pieces.last_mut().expect("non-empty").push(tt);
+    }
+    if pieces.last().is_some_and(Vec::is_empty) {
+        pieces.pop();
+    }
+    pieces
+}
+
+/// Parses one named field out of its token slice: attributes, visibility,
+/// name, `:`, type. Detects `#[serde(default)]` and `Option<...>` types.
+fn parse_named_field(tokens: &[TokenTree]) -> Field {
+    let mut i = 0;
+    let mut has_default = false;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let text = g.stream().to_string();
+                    // `serde(default)` — the only serde attribute supported.
+                    if text.starts_with("serde") && text.contains("default") {
+                        has_default = true;
+                    } else if text.starts_with("serde") {
+                        panic!("serde derive: unsupported serde attribute: #[{text}]");
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected field name, got {other:?}"),
+    };
+    // tokens[i+1] is `:`; the type follows.
+    let is_option = matches!(
+        tokens.get(i + 2),
+        Some(TokenTree::Ident(id)) if id.to_string() == "Option"
+    );
+    Field {
+        name,
+        has_default,
+        is_option,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .iter()
+        .map(|piece| parse_named_field(piece))
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|piece| {
+            let mut i = 0;
+            // Skip doc comments / attributes on the variant.
+            while matches!(piece.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+                i += 2;
+            }
+            let name = match piece.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde derive: expected variant name, got {other:?}"),
+            };
+            let body = match piece.get(i + 1) {
+                None => VariantBody::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantBody::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantBody::Named(parse_named_fields(g.stream()))
+                }
+                // `Variant = 3` discriminants and anything else are out of
+                // scope for this stub.
+                other => panic!("serde derive: malformed variant body: {other:?}"),
+            };
+            Variant { name, body }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn impl_header(item: &Item, trait_path: &str, bound: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl {trait_path} for {} ", item.name)
+    } else {
+        let params = item.generics.join(", ");
+        let bounds = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "impl<{params}> {trait_path} for {}<{params}> where {bounds} ",
+            item.name
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut s = String::from("let mut obj = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "obj.insert(\"{n}\".to_string(), ::serde::Serialize::json_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(obj)");
+            s
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::json_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::json_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(vec![{items}])")
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let ty = &item.name;
+                let name = &v.name;
+                match &v.body {
+                    VariantBody::Unit => arms.push_str(&format!(
+                        "{ty}::{name} => ::serde::Value::String(\"{name}\".to_string()),\n"
+                    )),
+                    VariantBody::Tuple(1) => arms.push_str(&format!(
+                        "{ty}::{name}(f0) => {{\n\
+                         let mut obj = ::serde::Map::new();\n\
+                         obj.insert(\"{name}\".to_string(), ::serde::Serialize::json_value(f0));\n\
+                         ::serde::Value::Object(obj)\n}}\n"
+                    )),
+                    VariantBody::Tuple(n) => {
+                        let binds = (0..*n)
+                            .map(|i| format!("f{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let items = (0..*n)
+                            .map(|i| format!("::serde::Serialize::json_value(f{i})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{ty}::{name}({binds}) => {{\n\
+                             let mut obj = ::serde::Map::new();\n\
+                             obj.insert(\"{name}\".to_string(), ::serde::Value::Array(vec![{items}]));\n\
+                             ::serde::Value::Object(obj)\n}}\n"
+                        ));
+                    }
+                    VariantBody::Named(fields) => {
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "inner.insert(\"{n}\".to_string(), ::serde::Serialize::json_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{ty}::{name} {{ {binds} }} => {{\n{inner}\
+                             let mut obj = ::serde::Map::new();\n\
+                             obj.insert(\"{name}\".to_string(), ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(obj)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{header}{{\nfn json_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}",
+        header = impl_header(item, "::serde::Serialize", "::serde::Serialize")
+    )
+}
+
+fn gen_field_extract(ty: &str, f: &Field, source: &str) -> String {
+    // `#[serde(default)]` or an Option type tolerate a missing key.
+    let allow_missing = f.has_default || f.is_option;
+    let fallback = if f.has_default {
+        "::core::default::Default::default()".to_string()
+    } else if f.is_option {
+        "::core::option::Option::None".to_string()
+    } else {
+        String::new()
+    };
+    if allow_missing {
+        format!(
+            "match ::serde::__private::field({source}, \"{n}\", \"{ty}\", true)? {{\n\
+             Some(v) => ::serde::Deserialize::from_json_value(v)?,\n\
+             None => {fallback},\n}}",
+            n = f.name
+        )
+    } else {
+        format!(
+            "::serde::Deserialize::from_json_value(\
+             ::serde::__private::field({source}, \"{n}\", \"{ty}\", false)?\
+             .expect(\"present\"))?",
+            n = f.name
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let ty = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut s = format!(
+                "let obj = match v {{\n\
+                 ::serde::Value::Object(m) => m,\n\
+                 other => return Err(::serde::__private::type_mismatch(\"{ty}\", other)),\n}};\n"
+            );
+            s.push_str(&format!("Ok({ty} {{\n"));
+            for f in fields {
+                s.push_str(&format!(
+                    "{n}: {expr},\n",
+                    n = f.name,
+                    expr = gen_field_extract(ty, f, "obj")
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Body::TupleStruct(1) => {
+            format!("Ok({ty}(::serde::Deserialize::from_json_value(v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let mut s = format!(
+                "let items = match v {{\n\
+                 ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                 other => return Err(::serde::__private::type_mismatch(\"{ty}\", other)),\n}};\n"
+            );
+            let args = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            s.push_str(&format!("Ok({ty}({args}))"));
+            s
+        }
+        Body::UnitStruct => format!("let _ = v;\nOk({ty})"),
+        Body::Enum(variants) => {
+            // Unit variants arrive as strings; data variants as
+            // single-key objects.
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for var in variants {
+                let name = &var.name;
+                match &var.body {
+                    VariantBody::Unit => {
+                        str_arms.push_str(&format!("\"{name}\" => Ok({ty}::{name}),\n"));
+                    }
+                    VariantBody::Tuple(1) => {
+                        obj_arms.push_str(&format!(
+                            "\"{name}\" => Ok({ty}::{name}(\
+                             ::serde::Deserialize::from_json_value(payload)?)),\n"
+                        ));
+                    }
+                    VariantBody::Tuple(n) => {
+                        let args = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_json_value(&items[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        obj_arms.push_str(&format!(
+                            "\"{name}\" => {{\n\
+                             let items = match payload {{\n\
+                             ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                             other => return Err(::serde::__private::type_mismatch(\"{ty}::{name}\", other)),\n}};\n\
+                             Ok({ty}::{name}({args}))\n}}\n"
+                        ));
+                    }
+                    VariantBody::Named(fields) => {
+                        let mut s = format!(
+                            "\"{name}\" => {{\n\
+                             let inner = match payload {{\n\
+                             ::serde::Value::Object(m) => m,\n\
+                             other => return Err(::serde::__private::type_mismatch(\"{ty}::{name}\", other)),\n}};\n\
+                             Ok({ty}::{name} {{\n"
+                        );
+                        for f in fields {
+                            s.push_str(&format!(
+                                "{n}: {expr},\n",
+                                n = f.name,
+                                expr = gen_field_extract(ty, f, "inner")
+                            ));
+                        }
+                        s.push_str("})\n}\n");
+                        obj_arms.push_str(&s);
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{str_arms}\
+                 other => Err(::serde::__private::unknown_variant(\"{ty}\", other)),\n}},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, payload) = m.iter().next().expect(\"len checked\");\n\
+                 match tag.as_str() {{\n{obj_arms}\
+                 other => Err(::serde::__private::unknown_variant(\"{ty}\", other)),\n}}\n}},\n\
+                 other => Err(::serde::__private::type_mismatch(\"{ty}\", other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "{header}{{\nfn from_json_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}",
+        header = impl_header(item, "::serde::Deserialize", "::serde::Deserialize")
+    )
+}

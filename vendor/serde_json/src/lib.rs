@@ -1,0 +1,155 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! A thin facade over the sibling `serde` stub, which already carries
+//! the JSON [`Value`] tree, the text parser/printers, and the
+//! tree-based `Serialize`/`Deserialize` traits. Only the functions and
+//! macros this workspace actually calls are provided.
+
+#![warn(missing_docs)]
+
+pub use serde::{Error, Map, Number, Value};
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// `serde_json::Result`, as used by `?` on the fallible functions here.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` into a compact JSON byte vector.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Serializes `value` into a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::__private::to_compact_string(&value.json_value()))
+}
+
+/// Serializes `value` into a pretty-printed (2-space indent) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::__private::to_pretty_string(&value.json_value()))
+}
+
+/// Converts `value` into a JSON [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.json_value())
+}
+
+/// Deserializes `T` from JSON text bytes.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let v = serde::__private::parse_value(bytes)?;
+    T::from_json_value(&v)
+}
+
+/// Deserializes `T` from a JSON text string.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
+    from_slice(s.as_bytes())
+}
+
+/// Reconstructs `T` from a JSON [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(v: Value) -> Result<T> {
+    T::from_json_value(&v)
+}
+
+/// Builds a [`Value`] from JSON-ish literal syntax, like `serde_json::json!`.
+///
+/// Expressions interpolate through [`serde::Serialize`], so
+/// `json!({"n": count})` works for any serializable `count`. Object and
+/// array bodies are token-munched, so multi-token values (`-30`,
+/// `a + b`, nested literals) work as they do in real serde_json.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::__json_array!([] [] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::__json_object!([] $($tt)*) };
+    ($other:expr) => {
+        ::serde::Serialize::json_value(&$other)
+    };
+}
+
+/// Array muncher: accumulates `[done-elements] [current-buffer] rest...`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    ([$(($elem:expr))*] []) => {
+        $crate::Value::Array(vec![$($elem),*])
+    };
+    ([$(($elem:expr))*] [$($buf:tt)+]) => {
+        $crate::Value::Array(vec![$($elem,)* $crate::json!($($buf)+)])
+    };
+    ([$($done:tt)*] [$($buf:tt)+] , $($rest:tt)*) => {
+        $crate::__json_array!([$($done)* ($crate::json!($($buf)+))] [] $($rest)*)
+    };
+    ([$($done:tt)*] [$($buf:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::__json_array!([$($done)*] [$($buf)* $next] $($rest)*)
+    };
+}
+
+/// Object muncher: accumulates `[(key, value))*]`, then builds the map.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    ([$(($k:expr, $v:expr))*]) => {{
+        #[allow(unused_mut)]
+        let mut obj = $crate::Map::new();
+        $(obj.insert(($k).to_string(), $v);)*
+        $crate::Value::Object(obj)
+    }};
+    ([$($acc:tt)*] $key:tt : $($rest:tt)*) => {
+        $crate::__json_value!([$($acc)*] ($key) [] $($rest)*)
+    };
+}
+
+/// Value muncher for one object entry: collects tokens up to a
+/// top-level comma, then hands back to the object muncher.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_value {
+    ([$($acc:tt)*] ($key:tt) [$($buf:tt)+] , $($rest:tt)*) => {
+        $crate::__json_object!([$($acc)* (($key), $crate::json!($($buf)+))] $($rest)*)
+    };
+    ([$($acc:tt)*] ($key:tt) [$($buf:tt)+]) => {
+        $crate::__json_object!([$($acc)* (($key), $crate::json!($($buf)+))])
+    };
+    ([$($acc:tt)*] ($key:tt) [$($buf:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::__json_value!([$($acc)*] ($key) [$($buf)* $next] $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "name": "pump-3",
+            "ok": true,
+            "delta": -30,
+            "temps": [1, 2.5, null],
+            "nested": {"count": 2u64},
+        });
+        assert_eq!(v["name"].as_str(), Some("pump-3"));
+        assert_eq!(v["delta"].as_i64(), Some(-30));
+        assert_eq!(v["temps"][1].as_f64(), Some(2.5));
+        assert!(v["temps"][2].is_null());
+        assert_eq!(v["nested"]["count"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let v = json!({"a": [1, 2], "b": "x\"y"});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn interpolation_uses_serialize() {
+        let count = 5u32;
+        let v = json!({ "count": count });
+        assert_eq!(v["count"].as_u64(), Some(5));
+    }
+}
