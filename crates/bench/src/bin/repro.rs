@@ -2,17 +2,20 @@
 //! studies.
 //!
 //! ```text
-//! repro [EXPERIMENTS...] [--quick] [--json DIR]
+//! repro [EXPERIMENTS...] [--quick] [--json DIR] [--label NAME] [--bench-out PATH]
 //!
 //! EXPERIMENTS: all (default) | fig6 | fig7 | fig8 | fig9 | fig89
-//!            | placement | durability | granularity | constraints
-//! --quick      shorter sweeps and durations (CI-friendly)
-//! --json DIR   additionally write each experiment's raw results as JSON
+//!            | dispatch | placement | durability | granularity | constraints
+//! --quick           shorter sweeps and durations (CI-friendly)
+//! --json DIR        additionally write each experiment's raw results as JSON
+//! --label NAME      record the dispatch microbench under this key in the
+//!                   bench trajectory file (default: "after")
+//! --bench-out PATH  bench trajectory file (default: BENCH_dispatch.json)
 //! ```
 
 use std::path::PathBuf;
 
-use aodb_bench::experiments::{ablations, fig6, fig7, fig89};
+use aodb_bench::experiments::{ablations, dispatch, fig6, fig7, fig89};
 
 fn write_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
     let Some(dir) = dir else { return };
@@ -33,24 +36,72 @@ fn write_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T)
     }
 }
 
+/// Merges one dispatch-microbench record into the bench trajectory file
+/// (`BENCH_dispatch.json` at the repo root), keyed by `label` so the
+/// before/after perf history accumulates across runs.
+fn record_dispatch_bench(
+    path: &str,
+    label: &str,
+    result: &aodb_bench::experiments::dispatch::DispatchResult,
+) {
+    let mut root = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .and_then(|v| match v {
+            serde_json::Value::Object(m) => Some(m),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let entry = serde_json::json!({
+        "machine": {
+            "cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            "os": std::env::consts::OS,
+            "arch": std::env::consts::ARCH,
+        },
+        "recorded_unix": std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        "result": result,
+    });
+    root.insert(label.to_string(), entry);
+    match serde_json::to_string_pretty(&serde_json::Value::Object(root)) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(path, body + "\n") {
+                eprintln!("warning: cannot write {path}: {e}");
+            } else {
+                println!("  → recorded dispatch bench as \"{label}\" in {path}");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize bench record: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let json_dir = args
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let json_dir = flag_value("--json").map(PathBuf::from);
+    let label = flag_value("--label").unwrap_or_else(|| "after".to_string());
+    let bench_out = flag_value("--bench-out").unwrap_or_else(|| "BENCH_dispatch.json".to_string());
+    // Positions holding a flag's value, to keep them out of the
+    // experiment selection.
+    let value_slots: Vec<usize> = args
         .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from);
+        .enumerate()
+        .filter(|(_, a)| matches!(a.as_str(), "--json" | "--label" | "--bench-out"))
+        .map(|(i, _)| i + 1)
+        .collect();
     let mut selected: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .filter(|a| {
-            json_dir
-                .as_deref()
-                .map(|d| d.as_os_str() != a.as_str())
-                .unwrap_or(true)
-        })
-        .cloned()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && !value_slots.contains(i))
+        .map(|(_, a)| a.clone())
         .collect();
     if selected.is_empty() {
         selected.push("all".to_string());
@@ -77,6 +128,11 @@ fn main() {
     if wants("fig89") {
         let points = fig89::run(quick);
         write_json(&json_dir, "fig89", &points);
+    }
+    if wants("dispatch") {
+        let result = dispatch::run(quick);
+        write_json(&json_dir, "dispatch", &result);
+        record_dispatch_bench(&bench_out, &label, &result);
     }
     if wants("placement") {
         let points = ablations::run_placement(quick);

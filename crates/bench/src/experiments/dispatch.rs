@@ -1,0 +1,293 @@
+//! **Dispatch-path microbenchmark.**
+//!
+//! Unlike the figure experiments, which simulate per-request service time
+//! (so throughput is bounded by the modelled hardware), this benchmark
+//! uses zero-work handlers: every message costs only the runtime's own
+//! dispatch path — reference minting, directory lookup, mailbox push,
+//! run-queue scheduling, batch drain, turn execution. Its throughput *is*
+//! the scheduler overhead the paper's ingest numbers sit on top of, which
+//! makes it the regression canary for `BENCH_dispatch.json`.
+//!
+//! Three measurements:
+//!
+//! * **ring** — R rings of L relay actors; each seed message hops around
+//!   its ring H times. All dispatches originate *inside* worker turns, so
+//!   this exercises the worker-local fast path (and, under the
+//!   work-stealing scheduler, the local LIFO deque).
+//! * **fanout** — external producer threads `tell` a pool of sink actors
+//!   round-robin. Exercises the client/injector dispatch path and the
+//!   mailbox push under cross-thread contention.
+//! * **fig6 saturation point** — one Figure 6 ingest point well past the
+//!   knee (service-time-simulated), recorded so scheduler changes are
+//!   visible in the paper workload too.
+
+use std::time::{Duration, Instant};
+
+use aodb_runtime::{Actor, ActorContext, Handler, Message, Runtime};
+use serde::Serialize;
+
+use crate::experiments::common::{build_single_silo, teardown, SimHw};
+use crate::measure::{fmt_f, print_table};
+use crate::workload::{run_load, LoadConfig};
+
+/// Worker threads of the benchmark silo (acceptance floor: ≥ 4).
+pub const WORKERS: usize = 4;
+
+const RINGS: usize = 4;
+const RING_LEN: usize = 64;
+const SINKS: usize = 64;
+const PRODUCERS: usize = 2;
+
+/// Relay actor: forwards each hop to the next member of its ring.
+/// Same-type forwarding needs no `declared_calls` entry (self-type edges
+/// are exempt from the topology check). Keys are `u64` (`ring * 1000 +
+/// index`) so reference minting costs no allocation — the measurement is
+/// the dispatch path, not key construction.
+struct Relay {
+    next_key: u64,
+}
+
+impl Actor for Relay {
+    const TYPE_NAME: &'static str = "bench.dispatch.relay";
+}
+
+struct Hop {
+    remaining: u64,
+}
+
+impl Message for Hop {
+    type Reply = ();
+}
+
+impl Handler<Hop> for Relay {
+    fn handle(&mut self, msg: Hop, ctx: &mut ActorContext<'_>) {
+        if msg.remaining == 0 {
+            return;
+        }
+        let next = ctx.actor_ref::<Relay>(self.next_key);
+        let _ = next.tell(Hop {
+            remaining: msg.remaining - 1,
+        });
+    }
+}
+
+/// Sink actor for the fanout measurement: counts and returns.
+struct Sink {
+    count: u64,
+}
+
+impl Actor for Sink {
+    const TYPE_NAME: &'static str = "bench.dispatch.sink";
+}
+
+struct Inc;
+
+impl Message for Inc {
+    type Reply = ();
+}
+
+impl Handler<Inc> for Sink {
+    fn handle(&mut self, _msg: Inc, _ctx: &mut ActorContext<'_>) {
+        self.count += 1;
+    }
+}
+
+fn ring_key(ring: usize, index: usize) -> u64 {
+    (ring * 1000 + index) as u64
+}
+
+/// Blocks until `messages_processed` reaches `target` or `deadline` hits.
+/// Returns the instant the target was observed.
+fn await_processed(rt: &Runtime, target: u64, deadline: Instant) -> Instant {
+    loop {
+        if rt.metrics().messages_processed >= target {
+            return Instant::now();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "dispatch bench stalled: {}/{} messages processed",
+            rt.metrics().messages_processed,
+            target
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// One benchmark record (one scheduler build).
+#[derive(Clone, Debug, Serialize)]
+pub struct DispatchResult {
+    /// Worker threads of the benchmark silo.
+    pub workers: usize,
+    /// Messages processed per second in the ring (worker-originated
+    /// dispatch) measurement — the headline dispatch-path number.
+    pub ring_msgs_per_sec: f64,
+    /// Total ring messages processed.
+    pub ring_msgs: u64,
+    /// Messages per second in the fanout (client-originated dispatch)
+    /// measurement.
+    pub fanout_msgs_per_sec: f64,
+    /// Total fanout messages processed.
+    pub fanout_msgs: u64,
+    /// Sensors offered in the Figure 6 saturation point.
+    pub fig6_sensors: usize,
+    /// Sustained ingest throughput (req/s) at that point.
+    pub fig6_throughput_rps: f64,
+}
+
+/// Ring measurement: seeds one long hop chain per ring and times the
+/// runtime draining them.
+fn run_ring(quick: bool) -> (f64, u64) {
+    let hops: u64 = if quick { 20_000 } else { 120_000 };
+    let rt = Runtime::single(WORKERS);
+    rt.register(|id| {
+        let key: u64 = id.key.to_string().parse().expect("numeric relay key");
+        let (ring, idx) = ((key / 1000) as usize, (key % 1000) as usize);
+        Relay {
+            next_key: ring_key(ring, (idx + 1) % RING_LEN),
+        }
+    });
+
+    // Pre-activate every relay so activation cost stays out of the
+    // steady-state measurement.
+    for ring in 0..RINGS {
+        for idx in 0..RING_LEN {
+            rt.actor_ref::<Relay>(ring_key(ring, idx))
+                .tell(Hop { remaining: 0 })
+                .expect("warmup hop");
+        }
+    }
+    let warmup = (RINGS * RING_LEN) as u64;
+    await_processed(&rt, warmup, Instant::now() + Duration::from_secs(30));
+
+    let start = Instant::now();
+    for ring in 0..RINGS {
+        rt.actor_ref::<Relay>(ring_key(ring, 0))
+            .tell(Hop { remaining: hops })
+            .expect("seed hop");
+    }
+    let total = RINGS as u64 * (hops + 1);
+    let end = await_processed(
+        &rt,
+        warmup + total,
+        Instant::now() + Duration::from_secs(600),
+    );
+    let rate = total as f64 / (end - start).as_secs_f64();
+    rt.shutdown();
+    (rate, total)
+}
+
+/// Fanout measurement: external threads tell sink actors round-robin.
+fn run_fanout(quick: bool) -> (f64, u64) {
+    let per_producer: u64 = if quick { 40_000 } else { 200_000 };
+    let rt = Runtime::single(WORKERS);
+    rt.register(|_id| Sink { count: 0 });
+
+    // Pre-activate the sinks.
+    for s in 0..SINKS {
+        rt.actor_ref::<Sink>(format!("sink-{s}"))
+            .tell(Inc)
+            .expect("warmup inc");
+    }
+    let warmup = SINKS as u64;
+    await_processed(&rt, warmup, Instant::now() + Duration::from_secs(30));
+
+    let refs: Vec<_> = (0..SINKS)
+        .map(|s| rt.actor_ref::<Sink>(format!("sink-{s}")))
+        .collect();
+    let start = Instant::now();
+    let threads: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let refs: Vec<_> = refs.iter().map(|r| (*r).clone()).collect();
+            std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    let target = &refs[(p as u64 + i) as usize % refs.len()];
+                    target.tell(Inc).expect("fanout tell");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("producer thread");
+    }
+    let total = PRODUCERS as u64 * per_producer;
+    let end = await_processed(
+        &rt,
+        warmup + total,
+        Instant::now() + Duration::from_secs(600),
+    );
+    let rate = total as f64 / (end - start).as_secs_f64();
+    rt.shutdown();
+    (rate, total)
+}
+
+/// One Figure 6 ingest point past the saturation knee.
+fn run_fig6_point(quick: bool) -> (usize, f64) {
+    let sensors = 2600;
+    let secs = if quick { 5 } else { 8 };
+    let hw = SimHw::default();
+    let testbed = build_single_silo(sensors, hw.large_workers, hw);
+    let report = run_load(&testbed.fleet, LoadConfig::sensors(sensors, secs));
+    teardown(testbed);
+    (sensors, report.throughput.mean)
+}
+
+/// Runs all three measurements and prints the summary table.
+pub fn run(quick: bool) -> DispatchResult {
+    println!(
+        "\nDispatch microbenchmark — 1 silo × {WORKERS} workers, zero-work handlers{}",
+        if quick { " (quick)" } else { "" }
+    );
+    let (ring_rate, ring_msgs) = run_ring(quick);
+    let (fanout_rate, fanout_msgs) = run_fanout(quick);
+    let (fig6_sensors, fig6_rps) = run_fig6_point(quick);
+
+    let result = DispatchResult {
+        workers: WORKERS,
+        ring_msgs_per_sec: ring_rate,
+        ring_msgs,
+        fanout_msgs_per_sec: fanout_rate,
+        fanout_msgs,
+        fig6_sensors,
+        fig6_throughput_rps: fig6_rps,
+    };
+    print_table(
+        "Dispatch path — messages/s (higher is better)",
+        &["measurement", "messages", "msgs/s"],
+        &[
+            vec![
+                "ring (worker dispatch)".into(),
+                result.ring_msgs.to_string(),
+                fmt_f(result.ring_msgs_per_sec),
+            ],
+            vec![
+                "fanout (client dispatch)".into(),
+                result.fanout_msgs.to_string(),
+                fmt_f(result.fanout_msgs_per_sec),
+            ],
+            vec![
+                format!("fig6 ingest @ {} sensors", result.fig6_sensors),
+                "-".into(),
+                fmt_f(result.fig6_throughput_rps),
+            ],
+        ],
+    );
+    result
+}
+
+/// Suppress dead-code warnings for the sink counter (read by nothing; it
+/// exists to give the handler a memory effect).
+#[allow(dead_code)]
+fn _use_sink_count(s: &Sink) -> u64 {
+    s.count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keys_wrap() {
+        assert_eq!(ring_key(2, 63), 2063);
+        assert_eq!(ring_key(0, 0), 0);
+    }
+}

@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod common;
+pub mod dispatch;
 pub mod fig6;
 pub mod fig7;
 pub mod fig89;

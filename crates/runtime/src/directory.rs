@@ -85,6 +85,16 @@ impl Directory {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
 
+    /// True when any activation's mailbox is non-quiescent (queued work or
+    /// a turn in flight). Early-exits per shard without allocating — this
+    /// is the quiesce loop's poll, which previously cloned every `Arc` in
+    /// the directory every 2 ms via [`Directory::collect_all`].
+    pub fn any_busy(&self) -> bool {
+        self.shards
+            .iter()
+            .any(|shard| shard.read().values().any(|act| !act.mailbox.is_quiescent()))
+    }
+
     /// Snapshot of all activations (janitor scans, shutdown draining).
     pub fn collect_all(&self) -> Vec<Arc<Activation>> {
         let mut out = Vec::with_capacity(self.len());

@@ -17,6 +17,13 @@
 //! never both, because only the transition `Idle → Scheduled` enqueues it
 //! and only the worker that dequeued it can return it to `Idle` or
 //! re-enqueue it.
+//!
+//! The push path is a single short critical section (state check +
+//! `push_back`); the drain path swaps the whole queue out against the
+//! worker's reusable scratch buffer when the batch limit allows, so a turn
+//! slice holds the lock for O(1) instead of O(batch) element moves. The
+//! two buffers circulate between mailbox and worker, amortizing their
+//! allocations across turns.
 
 use std::collections::VecDeque;
 
@@ -99,12 +106,19 @@ impl Mailbox {
     }
 
     /// Takes up to `max` envelopes for the current turn slice. Only the
-    /// worker that dequeued this activation calls this.
-    pub fn drain_batch(&self, max: usize, out: &mut Vec<Envelope>) {
+    /// worker that dequeued this activation calls this. `out` must be
+    /// empty; when the whole queue fits the batch it is swapped out in
+    /// O(1), leaving `out`'s old buffer behind as the mailbox's next
+    /// queue (capacities circulate instead of being reallocated).
+    pub fn drain_batch(&self, max: usize, out: &mut VecDeque<Envelope>) {
+        debug_assert!(out.is_empty());
         let mut g = self.inner.lock();
         debug_assert_eq!(g.state, MailboxState::Scheduled);
-        let n = g.queue.len().min(max);
-        out.extend(g.queue.drain(..n));
+        if g.queue.len() <= max {
+            std::mem::swap(&mut g.queue, out);
+        } else {
+            out.extend(g.queue.drain(..max));
+        }
     }
 
     /// Ends a turn slice. `deactivate` reflects whether any handler in the
@@ -181,7 +195,7 @@ mod tests {
 
     fn drained_mailbox() -> Mailbox {
         let mb = Mailbox::new_scheduled_with(dummy_env());
-        let mut out = Vec::new();
+        let mut out = VecDeque::new();
         mb.drain_batch(16, &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(mb.finish_turn(false), TurnOutcome::Drained);
@@ -217,7 +231,7 @@ mod tests {
     fn finish_turn_with_pending_work() {
         let mb = Mailbox::new_scheduled_with(dummy_env());
         mb.push(dummy_env());
-        let mut out = Vec::new();
+        let mut out = VecDeque::new();
         mb.drain_batch(1, &mut out);
         assert_eq!(mb.finish_turn(false), TurnOutcome::MorePending);
         out.clear();
@@ -230,7 +244,7 @@ mod tests {
     fn deactivation_deferred_past_pending_messages() {
         let mb = Mailbox::new_scheduled_with(dummy_env());
         mb.push(dummy_env());
-        let mut out = Vec::new();
+        let mut out = VecDeque::new();
         mb.drain_batch(1, &mut out);
         // Handler asked to deactivate but a message is pending.
         assert_eq!(mb.finish_turn(true), TurnOutcome::MorePending);

@@ -229,6 +229,16 @@ pub struct RuntimeMetrics {
     pub remote_messages: AtomicU64,
     /// Envelopes delivered silo-locally.
     pub local_messages: AtomicU64,
+    /// Scheduler: tasks a worker popped off its own LIFO deque.
+    pub scheduler_local_pops: AtomicU64,
+    /// Scheduler: tasks taken from a silo's shared injector queue.
+    pub scheduler_injector_pops: AtomicU64,
+    /// Scheduler: tasks stolen from a sibling worker's deque.
+    pub scheduler_steals: AtomicU64,
+    /// Scheduler: times a worker parked after finding no work anywhere.
+    /// Stable across an idle window — workers park once and stay parked
+    /// (no periodic polling), which tests assert on.
+    pub worker_parks: AtomicU64,
 }
 
 impl RuntimeMetrics {
@@ -241,6 +251,11 @@ impl RuntimeMetrics {
             handler_panics: self.handler_panics.load(Ordering::Relaxed),
             remote_messages: self.remote_messages.load(Ordering::Relaxed),
             local_messages: self.local_messages.load(Ordering::Relaxed),
+            scheduler_local_pops: self.scheduler_local_pops.load(Ordering::Relaxed),
+            scheduler_injector_pops: self.scheduler_injector_pops.load(Ordering::Relaxed),
+            scheduler_steals: self.scheduler_steals.load(Ordering::Relaxed),
+            worker_parks: self.worker_parks.load(Ordering::Relaxed),
+            parked_workers: 0,
         }
     }
 }
@@ -260,6 +275,18 @@ pub struct RuntimeMetricsSnapshot {
     pub remote_messages: u64,
     /// Envelopes delivered silo-locally.
     pub local_messages: u64,
+    /// Tasks workers popped off their own LIFO deques.
+    pub scheduler_local_pops: u64,
+    /// Tasks taken from silo injector queues.
+    pub scheduler_injector_pops: u64,
+    /// Tasks stolen from sibling workers.
+    pub scheduler_steals: u64,
+    /// Times a worker parked (idle workers park once; no periodic polling).
+    pub worker_parks: u64,
+    /// Gauge: workers parked at snapshot time ([`RuntimeMetrics::read`]
+    /// itself cannot see the silos, so it reports 0 here; the runtime's
+    /// `metrics()` accessor fills it in).
+    pub parked_workers: u64,
 }
 
 #[cfg(test)]

@@ -107,6 +107,9 @@ enum ClockJob {
         every: Duration,
         cancelled: Arc<AtomicBool>,
     },
+    /// No-op that exists to interrupt a blocked `recv`: the loop re-checks
+    /// the shutdown flag after every message. Sent by [`ClockHandle::wake`].
+    Wake,
 }
 
 pub(crate) struct HeapItem {
@@ -184,6 +187,17 @@ impl ClockHandle {
         let _ = self.tx.send(item);
     }
 
+    /// Interrupts the clock thread's blocking wait so it notices shutdown
+    /// immediately instead of at its next due timer.
+    pub fn wake(&self) {
+        let item = HeapItem {
+            due: Instant::now(),
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            job: ClockJob::Wake,
+        };
+        let _ = self.tx.send(item);
+    }
+
     pub fn repeat(
         &self,
         target: ActorId,
@@ -219,20 +233,25 @@ pub(crate) fn clock_channel(config: NetConfig) -> (ClockHandle, Receiver<HeapIte
     )
 }
 
-/// Body of the clock thread.
+/// Body of the clock thread. Blocks indefinitely while the heap is empty
+/// (no periodic polling — [`ClockHandle::wake`] interrupts the wait at
+/// shutdown); otherwise sleeps exactly until the next job is due.
 pub(crate) fn clock_loop(core: Weak<RuntimeCore>, rx: Receiver<HeapItem>) {
     let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
     loop {
-        let now = Instant::now();
-        let timeout = heap
-            .peek()
-            .map(|item| item.due.saturating_duration_since(now))
-            .unwrap_or(Duration::from_millis(50))
-            .min(Duration::from_millis(50));
-        match rx.recv_timeout(timeout) {
-            Ok(item) => heap.push(item),
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return,
+        match heap.peek() {
+            None => match rx.recv() {
+                Ok(item) => heap.push(item),
+                Err(_) => return,
+            },
+            Some(next) => {
+                let timeout = next.due.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(timeout) {
+                    Ok(item) => heap.push(item),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
         }
         // Drain the channel opportunistically so a burst of sends does not
         // serialize behind per-item heap wakeups.
@@ -280,6 +299,7 @@ pub(crate) fn clock_loop(core: Weak<RuntimeCore>, rx: Receiver<HeapItem>) {
                         },
                     });
                 }
+                ClockJob::Wake => {}
             }
         }
     }

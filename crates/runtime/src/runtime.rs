@@ -1,6 +1,7 @@
 //! The runtime: type registry, dispatch, lifecycle management, and the
 //! public [`Runtime`] / [`RuntimeBuilder`] / [`ActorRef`] API.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -44,12 +45,49 @@ struct RegistryInner {
     by_name: HashMap<&'static str, u16>,
 }
 
-#[derive(Default)]
 struct Registry {
     inner: RwLock<RegistryInner>,
+    /// Distinguishes this registry in the thread-local type-id cache, so
+    /// references minted against one runtime never leak cached ids into
+    /// another living in the same thread (tests routinely run several).
+    uid: u64,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        Registry {
+            inner: RwLock::default(),
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+}
+
+thread_local! {
+    /// `(registry uid, Rust type) → ActorTypeId` memo for reference
+    /// minting. Safe to cache forever: `Registry::register` keeps the
+    /// `ActorTypeId` of a name stable across re-registration, and ids are
+    /// never removed. Misses fall through to the registry lock; hits turn
+    /// `typed_ref` into a pure thread-local map probe, which is what makes
+    /// per-message `ActorRef` minting cheap on the dispatch fast path.
+    static TYPE_ID_CACHE: std::cell::RefCell<HashMap<(u64, std::any::TypeId), ActorTypeId>> =
+        RefCell::new(HashMap::new());
 }
 
 impl Registry {
+    /// Lock-free-in-the-common-case lookup via the thread-local cache.
+    fn lookup_cached<A: Actor>(&self) -> Option<ActorTypeId> {
+        TYPE_ID_CACHE.with(|cache| {
+            let key = (self.uid, std::any::TypeId::of::<A>());
+            if let Some(&id) = cache.borrow().get(&key) {
+                return Some(id);
+            }
+            let id = self.lookup(A::TYPE_NAME)?;
+            cache.borrow_mut().insert(key, id);
+            Some(id)
+        })
+    }
+
     fn register(
         &self,
         name: &'static str,
@@ -168,6 +206,9 @@ pub(crate) struct RuntimeCore {
     accepting: AtomicBool,
     shutdown: AtomicBool,
     start: Instant,
+    /// The janitor thread's handle, so shutdown can unpark it instead of
+    /// waiting out its scan interval.
+    janitor_thread: std::sync::OnceLock<std::thread::Thread>,
 }
 
 impl RuntimeCore {
@@ -188,7 +229,7 @@ impl RuntimeCore {
     ) -> Result<ActorRef<A>, SendError> {
         let type_id = self
             .registry
-            .lookup(A::TYPE_NAME)
+            .lookup_cached::<A>()
             .ok_or_else(|| SendError::NotRegistered(A::TYPE_NAME.to_string()))?;
         Ok(ActorRef {
             core: Arc::clone(self),
@@ -358,9 +399,21 @@ impl RuntimeCore {
     }
 }
 
+/// Janitor thread body. Parks between scans — `park_timeout` for the scan
+/// interval when idle deactivation is on, indefinitely when it is off —
+/// so shutdown's unpark is noticed immediately instead of after up to a
+/// full `janitor_interval`, and an idle-timeout-less runtime performs no
+/// periodic janitor wakeups at all.
 fn janitor_loop(core: Arc<RuntimeCore>) {
+    let _ = core.janitor_thread.set(std::thread::current());
     loop {
-        std::thread::sleep(core.config.janitor_interval);
+        if core.config.idle_timeout.is_some() {
+            std::thread::park_timeout(core.config.janitor_interval);
+        } else {
+            // Nothing to scan for: sleep until shutdown unparks us.
+            // (Spurious unparks just loop back here.)
+            std::thread::park();
+        }
         if core.is_shutdown() {
             return;
         }
@@ -483,6 +536,7 @@ impl RuntimeBuilder {
             accepting: AtomicBool::new(true),
             shutdown: AtomicBool::new(false),
             start: Instant::now(),
+            janitor_thread: std::sync::OnceLock::new(),
         });
 
         let mut threads = Vec::new();
@@ -493,7 +547,7 @@ impl RuntimeBuilder {
                 threads.push(
                     std::thread::Builder::new()
                         .name(format!("aodb-{silo_id}-w{w}"))
-                        .spawn(move || worker_loop(core, silo_id))
+                        .spawn(move || worker_loop(core, silo_id, w))
                         .expect("spawn worker"),
                 );
             }
@@ -603,9 +657,16 @@ impl Runtime {
         self.core.directory.len()
     }
 
-    /// Runtime counter snapshot.
+    /// Runtime counter snapshot, including the parked-workers gauge.
     pub fn metrics(&self) -> RuntimeMetricsSnapshot {
-        self.core.metrics.read()
+        let mut snap = self.core.metrics.read();
+        snap.parked_workers = self
+            .core
+            .silos
+            .iter()
+            .map(|s| s.parked_workers() as u64)
+            .sum();
+        snap
     }
 
     /// Registered name of an actor type id, if any (diagnostics).
@@ -643,12 +704,11 @@ impl Runtime {
         let mut calm_rounds = 0;
         while Instant::now() < deadline {
             let busy_queue = self.core.silos.iter().any(|s| s.queue_len() > 0);
-            let busy_mail = self
-                .core
-                .directory
-                .collect_all()
-                .iter()
-                .any(|a| !a.mailbox.is_quiescent());
+            // any_busy early-exits per shard without cloning activation
+            // Arcs — this loop polls every 2 ms, so the old collect_all
+            // snapshot made quiesce itself a directory-wide allocation
+            // storm on large actor populations.
+            let busy_mail = self.core.directory.any_busy();
             if !busy_queue && !busy_mail {
                 calm_rounds += 1;
                 if calm_rounds >= 3 {
@@ -708,6 +768,16 @@ impl Runtime {
         }
 
         self.core.shutdown.store(true, Ordering::Release);
+        // Wake everything that may be parked or blocked so the joins below
+        // complete promptly: workers (parked in the idle set), the janitor
+        // (parked between scans), and the clock (blocked on its channel).
+        for silo in &self.core.silos {
+            silo.wake_all_workers();
+        }
+        if let Some(janitor) = self.core.janitor_thread.get() {
+            janitor.unpark();
+        }
+        self.core.clock.wake();
         for t in threads {
             let _ = t.join();
         }

@@ -2,17 +2,36 @@
 //!
 //! Orleans deploys one silo per VM; grain activations live inside silos and
 //! all application logic runs on silo threads. Here a [`SiloUnit`] is a
-//! worker pool plus a run queue. The worker count models the server's CPU
-//! capacity (the paper's m5.large vs m5.xlarge distinction becomes a
-//! worker-count ratio), and cross-silo messages pay simulated network
-//! latency, so scale-out behaviour (Figure 7) is preserved in-process.
+//! worker pool plus a work-stealing run queue. The worker count models the
+//! server's CPU capacity (the paper's m5.large vs m5.xlarge distinction
+//! becomes a worker-count ratio), and cross-silo messages pay simulated
+//! network latency, so scale-out behaviour (Figure 7) is preserved
+//! in-process.
+//!
+//! # Scheduling topology
+//!
+//! Each worker owns a LIFO deque (`crossbeam::deque::Worker`); the silo
+//! additionally has one shared FIFO [`Injector`] for work arriving from
+//! outside the pool (clients, other silos, the clock). A worker looks for
+//! work in order: own deque (cache-hot LIFO pop) → injector (steal-half
+//! batch) → siblings' deques (steal-half, rotating start). Every 61st scan
+//! checks the injector *first* so locally-chained work (an actor whose
+//! every turn schedules another local actor) cannot starve injected work.
+//!
+//! A worker dispatching to an actor of its own silo pushes straight onto
+//! its own deque and — when that deque held no other work — wakes nobody:
+//! the worker itself pops the task next, so chained actor-to-actor sends
+//! proceed without ever touching a futex. Workers that find no work
+//! anywhere park (see [`IdleSet`]); producers wake one parked worker when
+//! they inject work or when a local deque grows beyond one task.
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::Thread;
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::Mutex;
 
 use crate::actor::{ActorContext, AnyActor};
@@ -20,6 +39,17 @@ use crate::envelope::{Envelope, EnvelopeKind};
 use crate::identity::{ActorId, SiloId};
 use crate::mailbox::{Mailbox, TurnOutcome};
 use crate::runtime::RuntimeCore;
+
+/// How often (in scan rounds) a worker checks the injector before its own
+/// deque. Prime, so the pattern does not resonate with workload periods
+/// (the same trick tokio's scheduler uses).
+const INJECTOR_FIRST_INTERVAL: u64 = 61;
+
+thread_local! {
+    /// Set for silo worker threads: which silo and worker slot this thread
+    /// is, enabling the local-deque dispatch fast path.
+    static CURRENT_WORKER: Cell<Option<(SiloId, usize)>> = const { Cell::new(None) };
+}
 
 /// Sizing of one silo.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,6 +74,12 @@ pub(crate) struct Activation {
     /// but protects the worker/janitor handoff during deactivation.
     actor: Mutex<Option<Box<dyn AnyActor>>>,
     last_activity_ms: AtomicU64,
+    /// Debug-build watchdog for the single-threaded-per-activation
+    /// invariant: set for the duration of a turn slice; two workers ever
+    /// both setting it means the mailbox state machine (or the stealing
+    /// scheduler) double-scheduled the activation.
+    #[cfg(debug_assertions)]
+    running: std::sync::atomic::AtomicBool,
 }
 
 impl Activation {
@@ -54,6 +90,8 @@ impl Activation {
             mailbox: Mailbox::new_scheduled_with(Envelope::lifecycle_activate()),
             actor: Mutex::new(Some(actor)),
             last_activity_ms: AtomicU64::new(now_ms),
+            #[cfg(debug_assertions)]
+            running: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -66,52 +104,282 @@ impl Activation {
     }
 }
 
+/// Parked-worker registry of one silo: who is parked, and how to wake them.
+///
+/// The parking protocol closes the lost-wakeup race without a condvar:
+///
+/// 1. A worker that found no work **registers** itself here
+///    ([`IdleSet::prepare_park`], which publishes the incremented parked
+///    count), **re-checks** every queue, and only then parks. Queue pushes
+///    and the parked count are ordered by the queue mutexes, so if a
+///    producer's push was missed by the re-check, that producer's
+///    subsequent count read must observe the registration and wake.
+/// 2. A producer pushes work first, then calls [`IdleSet::wake_one`],
+///    which is a single relaxed load when nobody is parked.
+/// 3. `std::thread::unpark` tokens are sticky, so an unpark delivered
+///    between re-check and `park()` is not lost; spurious `park` returns
+///    make the worker re-scan, which is always safe.
+pub(crate) struct IdleSet {
+    /// Worker slots currently parked (LIFO wake order: the most recently
+    /// parked worker has the warmest cache).
+    parked: Mutex<Vec<usize>>,
+    /// Cached `parked.len()`, readable without the lock on the push path.
+    count: AtomicUsize,
+    /// Thread handles, registered once by each worker at startup.
+    threads: Vec<OnceLock<Thread>>,
+}
+
+impl IdleSet {
+    fn new(workers: usize) -> Self {
+        IdleSet {
+            parked: Mutex::new(Vec::with_capacity(workers)),
+            count: AtomicUsize::new(0),
+            threads: (0..workers).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Called once per worker thread before its first scan.
+    fn register_thread(&self, worker: usize) {
+        let _ = self.threads[worker].set(std::thread::current());
+    }
+
+    /// Registers `worker` as parked. The caller must re-check all work
+    /// sources afterwards and call [`IdleSet::cancel_park`] after waking
+    /// (or instead of parking).
+    fn prepare_park(&self, worker: usize) {
+        let mut parked = self.parked.lock();
+        parked.push(worker);
+        self.count.store(parked.len(), Ordering::SeqCst);
+    }
+
+    /// Removes `worker` from the parked set if a waker has not already.
+    fn cancel_park(&self, worker: usize) {
+        let mut parked = self.parked.lock();
+        if let Some(pos) = parked.iter().position(|&w| w == worker) {
+            parked.swap_remove(pos);
+            self.count.store(parked.len(), Ordering::SeqCst);
+        }
+    }
+
+    /// Wakes one parked worker, if any. Cheap when none are parked.
+    pub(crate) fn wake_one(&self) {
+        if self.count.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let woken = {
+            let mut parked = self.parked.lock();
+            let woken = parked.pop();
+            self.count.store(parked.len(), Ordering::SeqCst);
+            woken
+        };
+        if let Some(w) = woken {
+            if let Some(t) = self.threads[w].get() {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Wakes every worker thread (shutdown). Ignores the parked set so a
+    /// worker between re-check and `park()` still gets its sticky token.
+    fn wake_all(&self) {
+        for slot in &self.threads {
+            if let Some(t) = slot.get() {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Number of currently parked workers (metrics gauge).
+    fn parked_count(&self) -> usize {
+        self.count.load(Ordering::SeqCst)
+    }
+}
+
 /// The shared (non-thread) part of a silo.
 pub(crate) struct SiloUnit {
     pub id: SiloId,
     pub config: SiloConfig,
-    run_tx: Sender<Arc<Activation>>,
-    run_rx: Receiver<Arc<Activation>>,
+    /// FIFO queue for work injected from outside this silo's worker pool.
+    injector: Injector<Arc<Activation>>,
+    /// Per-worker LIFO deques. Shared so producers can fast-path push to
+    /// their own slot (the vendored `Worker` is `Sync`; see vendor docs).
+    locals: Vec<Worker<Arc<Activation>>>,
+    /// Steal handles onto `locals`, same indexing.
+    stealers: Vec<Stealer<Arc<Activation>>>,
+    idle: IdleSet,
 }
 
 impl SiloUnit {
     pub fn new(id: SiloId, config: SiloConfig) -> Self {
-        let (run_tx, run_rx) = unbounded();
+        let locals: Vec<Worker<Arc<Activation>>> =
+            (0..config.workers).map(|_| Worker::new_lifo()).collect();
+        let stealers = locals.iter().map(|w| w.stealer()).collect();
         SiloUnit {
             id,
             config,
-            run_tx,
-            run_rx,
+            injector: Injector::new(),
+            locals,
+            stealers,
+            idle: IdleSet::new(config.workers),
         }
     }
 
     /// Puts an activation on this silo's run queue.
+    ///
+    /// Fast path: a worker of this silo scheduling work pushes onto its own
+    /// LIFO deque; when the deque held nothing else, no wakeup is issued —
+    /// the pushing worker pops the task itself on its next scan, so
+    /// actor-to-actor chains stay futex-free. All other producers (clients,
+    /// other silos, clock, janitor) go through the injector and wake one
+    /// parked worker.
     pub fn enqueue_run(&self, act: Arc<Activation>) {
-        // The receiver lives as long as the silo; send can only fail during
-        // teardown, when dropping the work is correct.
-        let _ = self.run_tx.send(act);
+        let slot = CURRENT_WORKER.with(|cw| cw.get());
+        if let Some((silo, w)) = slot {
+            if silo == self.id {
+                let local = &self.locals[w];
+                local.push(act);
+                // Backlog beyond the task this worker will pop next:
+                // siblings can steal it, so make sure one is awake.
+                if local.len() > 1 {
+                    self.idle.wake_one();
+                }
+                return;
+            }
+        }
+        self.injector.push(act);
+        self.idle.wake_one();
+    }
+
+    /// Re-enqueues an activation that exhausted its turn slice with work
+    /// still queued. Always goes to the back of the injector — the silo's
+    /// FIFO — so saturated actors round-robin instead of a LIFO local push
+    /// letting the most recent one monopolize its worker.
+    ///
+    /// Wake policy mirrors the local fast path: the yielding worker itself
+    /// scans the injector on its next round, so a sibling is woken only
+    /// when the injector holds surplus work beyond what the pusher will
+    /// take. Unconditional waking here cost a wasted unpark/park futex
+    /// pair per turn slice under saturated single-actor load.
+    pub fn enqueue_yielded(&self, act: Arc<Activation>) {
+        self.injector.push(act);
+        let own_silo_worker = CURRENT_WORKER
+            .with(|cw| cw.get())
+            .is_some_and(|(s, _)| s == self.id);
+        if !own_silo_worker || self.injector.len() > 1 {
+            self.idle.wake_one();
+        }
     }
 
     /// Pending run-queue length (diagnostics only).
     pub fn queue_len(&self) -> usize {
-        self.run_rx.len()
+        self.injector.len() + self.locals.iter().map(|w| w.len()).sum::<usize>()
+    }
+
+    /// Number of currently parked workers (metrics gauge).
+    pub fn parked_workers(&self) -> usize {
+        self.idle.parked_count()
+    }
+
+    /// Wakes every worker thread (shutdown).
+    pub fn wake_all_workers(&self) {
+        self.idle.wake_all();
+    }
+
+    /// True when any queue holds runnable work for `worker`.
+    fn has_work(&self, worker: usize) -> bool {
+        !self.locals[worker].is_empty()
+            || !self.injector.is_empty()
+            || self
+                .stealers
+                .iter()
+                .enumerate()
+                .any(|(i, s)| i != worker && !s.is_empty())
+    }
+
+    /// One scan for runnable work. `injector_first` periodically prefers
+    /// injected work over the local deque (anti-starvation, see module
+    /// docs).
+    fn find_task(
+        &self,
+        worker: usize,
+        injector_first: bool,
+        metrics: &crate::metrics::RuntimeMetrics,
+    ) -> Option<Arc<Activation>> {
+        let local = &self.locals[worker];
+        if !injector_first {
+            if let Some(act) = local.pop() {
+                metrics.scheduler_local_pops.fetch_add(1, Ordering::Relaxed);
+                return Some(act);
+            }
+        }
+        loop {
+            match self.injector.steal_batch_and_pop(local) {
+                Steal::Success(act) => {
+                    metrics
+                        .scheduler_injector_pops
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Some(act);
+                }
+                Steal::Empty => break,
+                Steal::Retry => std::thread::yield_now(),
+            }
+        }
+        if injector_first {
+            if let Some(act) = local.pop() {
+                metrics.scheduler_local_pops.fetch_add(1, Ordering::Relaxed);
+                return Some(act);
+            }
+        }
+        // Steal from siblings, starting after our own slot so victims
+        // rotate instead of every thief hammering worker 0.
+        let n = self.stealers.len();
+        for off in 1..n {
+            let victim = (worker + off) % n;
+            loop {
+                match self.stealers[victim].steal_batch_and_pop(local) {
+                    Steal::Success(act) => {
+                        metrics.scheduler_steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(act);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => std::thread::yield_now(),
+                }
+            }
+        }
+        None
     }
 }
 
 /// Body of each worker thread.
-pub(crate) fn worker_loop(core: Arc<RuntimeCore>, silo: SiloId) {
-    let rx = core.silos[silo.index()].run_rx.clone();
-    let mut batch: Vec<Envelope> = Vec::with_capacity(core.config.max_batch);
+pub(crate) fn worker_loop(core: Arc<RuntimeCore>, silo: SiloId, worker: usize) {
+    let unit = &core.silos[silo.index()];
+    unit.idle.register_thread(worker);
+    CURRENT_WORKER.with(|cw| cw.set(Some((silo, worker))));
+    let mut batch: std::collections::VecDeque<Envelope> =
+        std::collections::VecDeque::with_capacity(core.config.max_batch);
+    let mut tick: u64 = 0;
     loop {
-        match rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(act) => run_activation_slice(&core, &act, &mut batch),
-            Err(RecvTimeoutError::Timeout) => {
-                if core.is_shutdown() {
-                    return;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
+        tick = tick.wrapping_add(1);
+        let injector_first = tick.is_multiple_of(INJECTOR_FIRST_INTERVAL);
+        if let Some(act) = unit.find_task(worker, injector_first, &core.metrics) {
+            run_activation_slice(&core, &act, &mut batch);
+            continue;
         }
+        if core.is_shutdown() {
+            return;
+        }
+        // Park protocol: register, re-check, then park (see IdleSet docs).
+        unit.idle.prepare_park(worker);
+        if unit.has_work(worker) || core.is_shutdown() {
+            unit.idle.cancel_park(worker);
+            if core.is_shutdown() {
+                return;
+            }
+            continue;
+        }
+        core.metrics.worker_parks.fetch_add(1, Ordering::Relaxed);
+        std::thread::park();
+        unit.idle.cancel_park(worker);
     }
 }
 
@@ -119,8 +387,18 @@ pub(crate) fn worker_loop(core: Arc<RuntimeCore>, silo: SiloId) {
 pub(crate) fn run_activation_slice(
     core: &Arc<RuntimeCore>,
     act: &Arc<Activation>,
-    batch: &mut Vec<Envelope>,
+    batch: &mut std::collections::VecDeque<Envelope>,
 ) {
+    #[cfg(debug_assertions)]
+    {
+        let was_running = act.running.swap(true, Ordering::SeqCst);
+        debug_assert!(
+            !was_running,
+            "single-threaded-per-activation invariant violated: two workers \
+             are executing activation {} concurrently",
+            act.id
+        );
+    }
     batch.clear();
     act.mailbox.drain_batch(core.config.max_batch, batch);
     let discard_on_panic = core.config.panic_policy == crate::runtime::PanicPolicy::Deactivate;
@@ -136,7 +414,11 @@ pub(crate) fn run_activation_slice(
             Some(a) => a,
             // Deactivated between scheduling and execution (shutdown path);
             // drop the messages — their reply sinks resolve as Lost.
-            None => return,
+            None => {
+                #[cfg(debug_assertions)]
+                act.running.store(false, Ordering::SeqCst);
+                return;
+            }
         };
         // Mark this thread as running turns of this actor type so debug
         // builds can check outgoing dispatches against its declared edges.
@@ -174,15 +456,20 @@ pub(crate) fn run_activation_slice(
         // from the last durable state.
         leftover.extend(act.mailbox.retire_and_drain());
         core.discard_faulted(act);
+        #[cfg(debug_assertions)]
+        act.running.store(false, Ordering::SeqCst);
         for env in leftover {
             let _ =
                 core.dispatch_free(act.id.clone(), env, crate::identity::Origin::Silo(act.silo));
         }
         return;
     }
-    match act.mailbox.finish_turn(deactivate) {
+    let outcome = act.mailbox.finish_turn(deactivate);
+    #[cfg(debug_assertions)]
+    act.running.store(false, Ordering::SeqCst);
+    match outcome {
         TurnOutcome::Drained => {}
-        TurnOutcome::MorePending => core.silos[act.silo.index()].enqueue_run(Arc::clone(act)),
+        TurnOutcome::MorePending => core.silos[act.silo.index()].enqueue_yielded(Arc::clone(act)),
         TurnOutcome::RetiredForDeactivation => core.deactivate(act),
     }
 }

@@ -25,7 +25,7 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
 use crate::api::{Key, StateStore, StoreError, StoreResult};
-use crate::codec::{frame_record, parse_record};
+use crate::codec::{crc32, parse_record};
 
 const OP_PUT: u8 = 1;
 const OP_DELETE: u8 = 2;
@@ -76,14 +76,24 @@ pub struct LogStore {
     config: LogStoreConfig,
 }
 
+/// Encodes one mutation as a framed record (`len | crc | payload`)
+/// directly into `out`: the payload bytes are written once, in place,
+/// with the CRC computed over the written slice and patched into its
+/// placeholder afterwards — no intermediate payload `Vec` copied a
+/// second time through `frame_record`.
 fn encode_mutation(op: u8, key: &[u8], value: &[u8], out: &mut Vec<u8>) {
-    let mut payload = Vec::with_capacity(9 + key.len() + value.len());
-    payload.push(op);
-    payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
-    payload.extend_from_slice(key);
-    payload.extend_from_slice(&(value.len() as u32).to_le_bytes());
-    payload.extend_from_slice(value);
-    frame_record(&payload, out);
+    let payload_len = 9 + key.len() + value.len();
+    out.reserve(8 + payload_len);
+    let frame_start = out.len();
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // CRC placeholder, patched below
+    out.push(op);
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    out.extend_from_slice(value);
+    let crc = crc32(&out[frame_start + 8..]);
+    out[frame_start + 4..frame_start + 8].copy_from_slice(&crc.to_le_bytes());
 }
 
 fn decode_mutation(payload: &[u8]) -> StoreResult<(u8, &[u8], &[u8])> {
@@ -184,13 +194,9 @@ impl LogStore {
     /// would lose the lagging records when the WAL is truncated).
     fn append_and_apply(
         &self,
-        op: u8,
-        key: &[u8],
-        value: &[u8],
+        framed: Vec<u8>,
         apply: impl FnOnce(&mut BTreeMap<Vec<u8>, Bytes>),
     ) -> StoreResult<()> {
-        let mut framed = Vec::with_capacity(17 + key.len() + value.len());
-        encode_mutation(op, key, value, &mut framed);
         let mut w = self.writer.lock();
         if w.wal_len + framed.len() as u64 >= self.config.compact_threshold {
             self.compact_locked(&mut w)?;
@@ -243,13 +249,19 @@ impl StateStore for LogStore {
     }
 
     fn put(&self, key: &Key, value: Bytes) -> StoreResult<()> {
-        self.append_and_apply(OP_PUT, key.as_bytes(), &value.clone(), move |index| {
+        // Encode first (borrowing `value`), then move the same handle into
+        // the index — no refcount churn, no byte copies beyond the frame.
+        let mut framed = Vec::new();
+        encode_mutation(OP_PUT, key.as_bytes(), &value, &mut framed);
+        self.append_and_apply(framed, move |index| {
             index.insert(key.as_bytes().to_vec(), value);
         })
     }
 
     fn delete(&self, key: &Key) -> StoreResult<()> {
-        self.append_and_apply(OP_DELETE, key.as_bytes(), &[], |index| {
+        let mut framed = Vec::new();
+        encode_mutation(OP_DELETE, key.as_bytes(), &[], &mut framed);
+        self.append_and_apply(framed, |index| {
             index.remove(key.as_bytes());
         })
     }

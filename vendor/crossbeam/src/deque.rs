@@ -1,0 +1,318 @@
+//! Work-stealing deques: `Worker`, `Stealer`, `Injector`, and the
+//! `Steal` result enum — the subset of `crossbeam-deque` the silo
+//! scheduler uses.
+//!
+//! The real crate implements the Chase–Lev lock-free deque; this offline
+//! stand-in uses a `Mutex<VecDeque>` per queue, which keeps the exact same
+//! API and batching semantics (LIFO owner pops, FIFO steals, steal-half
+//! batches) at the cost of raw throughput under contention. Two deliberate
+//! relaxations, both documented where they matter:
+//!
+//! * [`Worker`] is `Sync` here (the real one is `Send + !Sync`). The silo
+//!   stores all workers' deques in one shared `Vec` so producers can fast-
+//!   path push onto their own deque via a thread-local index; the mutex
+//!   makes that safe.
+//! * [`Steal::Retry`] is never produced: steals block briefly on the
+//!   victim's mutex instead of failing on contention, which avoids
+//!   yield-spin loops in callers. Callers must still handle `Retry` for
+//!   API parity with the real crate.
+//!
+//! Lock ordering: `steal_batch_and_pop` moves the batch out of the victim
+//! under the victim's lock, releases it, and only then locks the
+//! destination — no call path ever holds two deque locks at once, so
+//! cross-stealing workers cannot deadlock.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The victim queue was empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The steal lost a race and should be retried. Kept for API parity
+    /// with the real crate; this mutex-based stub never produces it
+    /// (steals block briefly instead), but callers must still handle it.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// True when the steal produced a task.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// True when the victim was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// True when the steal should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// Returns the stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(task) => Some(task),
+            _ => None,
+        }
+    }
+}
+
+/// A worker-owned deque. The owner pushes and pops at the back (LIFO —
+/// fresh work stays cache-hot); thieves steal from the front (FIFO —
+/// the oldest, coldest tasks migrate).
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Self::new_lifo()
+    }
+}
+
+impl<T> Worker<T> {
+    /// Creates a new LIFO worker deque.
+    pub fn new_lifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Creates a [`Stealer`] handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Pushes a task onto the owner end.
+    pub fn push(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    /// Pops the most recently pushed task (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_back()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when no task is queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+}
+
+/// A handle for stealing tasks from another worker's deque.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest task from the victim (FIFO end).
+    ///
+    /// Unlike the lock-free original this blocks on the victim's mutex
+    /// (briefly — every critical section is O(batch) at worst), which is
+    /// cheaper than returning [`Steal::Retry`] and making callers
+    /// yield-spin. `Retry` is kept in the API but never produced.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().unwrap().pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals up to half the victim's tasks into `dest`, returning the
+    /// first of them. The batch is moved out under the victim's lock,
+    /// which is released before `dest` is locked (see module docs on
+    /// lock ordering).
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let batch: Vec<T> = {
+            let mut queue = self.inner.lock().unwrap();
+            if queue.is_empty() {
+                return Steal::Empty;
+            }
+            let take = queue.len().div_ceil(2);
+            queue.drain(..take).collect()
+        };
+        let mut iter = batch.into_iter();
+        let first = iter.next().expect("non-empty steal batch");
+        let mut dest_queue = dest.inner.lock().unwrap();
+        dest_queue.extend(iter);
+        Steal::Success(first)
+    }
+
+    /// Number of queued tasks in the victim.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when the victim has no queued task.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+}
+
+/// A shared FIFO queue for tasks injected from outside the worker pool
+/// (client dispatches, cross-silo sends, timer callbacks).
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    /// Pops the oldest task (FIFO). Blocks on the mutex rather than
+    /// producing [`Steal::Retry`] (see [`Stealer::steal`]).
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().unwrap().pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Moves up to half the queued tasks into `dest` and returns the
+    /// first. Same two-phase locking as [`Stealer::steal_batch_and_pop`].
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let batch: Vec<T> = {
+            let mut queue = self.inner.lock().unwrap();
+            if queue.is_empty() {
+                return Steal::Empty;
+            }
+            let take = queue.len().div_ceil(2);
+            queue.drain(..take).collect()
+        };
+        let mut iter = batch.into_iter();
+        let first = iter.next().expect("non-empty steal batch");
+        let mut dest_queue = dest.inner.lock().unwrap();
+        dest_queue.extend(iter);
+        Steal::Success(first)
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when no task is queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn owner_pops_lifo_thieves_steal_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn batch_steal_takes_half() {
+        let victim = Worker::new_lifo();
+        let dest = Worker::new_lifo();
+        for i in 0..8 {
+            victim.push(i);
+        }
+        let got = victim.stealer().steal_batch_and_pop(&dest);
+        assert_eq!(got, Steal::Success(0));
+        assert_eq!(dest.len(), 3);
+        assert_eq!(victim.len(), 4);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        let dest = Worker::new_lifo();
+        inj.push("c");
+        assert_eq!(inj.steal_batch_and_pop(&dest), Steal::Success("b"));
+        assert_eq!(inj.len() + dest.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_stealing_loses_nothing() {
+        let inj = Arc::new(Injector::new());
+        const TASKS: usize = 10_000;
+        for i in 0..TASKS {
+            inj.push(i);
+        }
+        let seen = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let inj = Arc::clone(&inj);
+                let seen = Arc::clone(&seen);
+                thread::spawn(move || {
+                    let local = Worker::new_lifo();
+                    loop {
+                        let task = local.pop().or_else(|| loop {
+                            match inj.steal_batch_and_pop(&local) {
+                                Steal::Success(t) => break Some(t),
+                                Steal::Empty => break None,
+                                Steal::Retry => thread::yield_now(),
+                            }
+                        });
+                        match task {
+                            Some(_) => {
+                                seen.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(seen.load(Ordering::Relaxed), TASKS);
+    }
+}

@@ -1,11 +1,13 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! The workspace uses only `crossbeam::channel` (multi-producer
-//! multi-consumer channels with timeouts), so that is what this stub
-//! provides: a straightforward `Mutex<VecDeque>` + `Condvar` queue. It is
-//! slower than real crossbeam under heavy contention but semantically
-//! equivalent for the runtime's run queues and promise rendezvous.
+//! The workspace uses `crossbeam::channel` (multi-producer multi-consumer
+//! channels with timeouts, used for promise rendezvous and the clock) and
+//! `crossbeam::deque` (work-stealing deques backing the silo scheduler).
+//! Both are straightforward `Mutex<VecDeque>` implementations — slower
+//! than real crossbeam under heavy contention but semantically equivalent
+//! for the runtime's queues.
 
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod deque;
