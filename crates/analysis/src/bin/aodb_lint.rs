@@ -1,31 +1,43 @@
 //! `aodb-lint` — static checks for the actor workspace.
 //!
 //! ```text
-//! aodb-lint [--graph <edge-list>] [--dot <path>] [--src <dir>] [--no-lint]
+//! aodb-lint [--graph <edge-list>] [--dot <path>] [--src <dir>]
+//!           [--baseline <file>] [--json] [--no-lint] [--no-verify]
 //! ```
 //!
 //! With no arguments: builds the whole-workspace call graph from the
-//! crates' declared topologies, rejects synchronous-call cycles, and runs
-//! the turn-discipline source lint over `crates/*/src`. Exits nonzero on
-//! any violation.
+//! crates' declared topologies, rejects synchronous-call cycles, runs
+//! the turn-discipline source lint, and runs the aodb-verify dataflow
+//! passes (declaration drift, persistence hazards, reply obligations)
+//! over the whole workspace tree — `src/`, `tests/`, `examples/` and
+//! `benches/` alike. Exits nonzero on any violation.
 //!
 //! * `--graph <file>` — analyze a fixture edge list (`FROM call|send TO`
 //!   per line) instead of the compiled-in workspace topology.
 //! * `--dot <path>` — write the graph as Graphviz DOT (`-` for stdout).
-//! * `--src <dir>` — root for the source lint (default: the workspace's
-//!   `crates/` directory; may be repeated).
-//! * `--no-lint` — skip the source lint (graph checks only).
+//! * `--src <dir>` — root for the source passes (default: the workspace
+//!   root, so crate `tests/` and `examples/` are covered; may be
+//!   repeated).
+//! * `--baseline <file>` — suppression file (`[[suppress]]` entries with
+//!   mandatory `rule`/`reason`); non-matching findings still fail, and a
+//!   baseline entry that matches nothing fails as *stale*.
+//! * `--json` — emit findings as JSON lines on stdout (machine-readable).
+//! * `--no-lint` — skip the turn-discipline source lint.
+//! * `--no-verify` — skip the dataflow verify passes.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use aodb_analysis::{lint_tree, workspace_graph, CallGraph};
+use aodb_analysis::{lint_tree, verify_tree, workspace_graph, Baseline, CallGraph, Finding};
 
 struct Options {
     graph_file: Option<PathBuf>,
     dot: Option<PathBuf>,
     src: Vec<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
     run_lint: bool,
+    run_verify: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -33,7 +45,10 @@ fn parse_args() -> Result<Options, String> {
         graph_file: None,
         dot: None,
         src: Vec::new(),
+        baseline: None,
+        json: false,
         run_lint: true,
+        run_verify: true,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,10 +65,17 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--src needs a directory argument")?;
                 opts.src.push(PathBuf::from(v));
             }
+            "--baseline" => {
+                let v = args.next().ok_or("--baseline needs a file argument")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--json" => opts.json = true,
             "--no-lint" => opts.run_lint = false,
+            "--no-verify" => opts.run_verify = false,
             "--help" | "-h" => {
                 println!(
-                    "aodb-lint [--graph <edge-list>] [--dot <path>] [--src <dir>] [--no-lint]"
+                    "aodb-lint [--graph <edge-list>] [--dot <path>] [--src <dir>] \
+                     [--baseline <file>] [--json] [--no-lint] [--no-verify]"
                 );
                 std::process::exit(0);
             }
@@ -63,12 +85,49 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-/// The workspace `crates/` directory, resolved relative to this crate's
-/// build-time location so the binary works from any working directory.
+/// The workspace root, resolved relative to this crate's build-time
+/// location so the binary works from any working directory. The root
+/// (not `crates/`) is the default so top-level `examples/`, integration
+/// `tests/`, and bench code are linted too.
 fn default_src_root() -> Option<PathBuf> {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    let crates = manifest.parent()?.to_path_buf();
-    crates.is_dir().then_some(crates)
+    let root = manifest.parent()?.parent()?.to_path_buf();
+    root.is_dir().then_some(root)
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn emit(findings: &[Finding], json: bool) {
+    for f in findings {
+        if json {
+            println!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"detail\":{},\"excerpt\":{}}}",
+                json_str(f.rule.name()),
+                json_str(&f.file.to_string_lossy()),
+                f.line,
+                json_str(&f.detail),
+                json_str(&f.excerpt),
+            );
+        } else {
+            eprintln!("{f}");
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -110,6 +169,17 @@ fn main() -> ExitCode {
         }
     }
 
+    let baseline = match &opts.baseline {
+        Some(path) => match Baseline::load(path) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("aodb-lint: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
     let mut violations = 0usize;
 
     println!(
@@ -131,31 +201,26 @@ fn main() -> ExitCode {
         }
     }
 
-    if opts.run_lint {
-        let roots = if opts.src.is_empty() {
-            match default_src_root() {
-                Some(r) => vec![r],
-                None => {
-                    eprintln!("aodb-lint: cannot locate workspace crates/ (pass --src)");
-                    return ExitCode::from(2);
-                }
+    let roots = if opts.src.is_empty() {
+        match default_src_root() {
+            Some(r) => vec![r],
+            None => {
+                eprintln!("aodb-lint: cannot locate the workspace root (pass --src)");
+                return ExitCode::from(2);
             }
-        } else {
-            opts.src.clone()
-        };
+        }
+    } else {
+        opts.src.clone()
+    };
+
+    // Collect source-pass findings, then apply the baseline once across
+    // all of them so one file can suppress any pass's finding.
+    let mut findings: Vec<Finding> = Vec::new();
+
+    if opts.run_lint {
         for root in &roots {
             match lint_tree(root) {
-                Ok(findings) => {
-                    for f in &findings {
-                        violations += 1;
-                        eprintln!("{f}");
-                    }
-                    println!(
-                        "turn discipline: {} finding(s) under {}",
-                        findings.len(),
-                        root.display()
-                    );
-                }
+                Ok(f) => findings.extend(f),
                 Err(e) => {
                     eprintln!("aodb-lint: lint failed under {}: {e}", root.display());
                     return ExitCode::from(2);
@@ -163,6 +228,54 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    if opts.run_verify {
+        match verify_tree(&roots) {
+            Ok(f) => {
+                println!("aodb-verify: {} raw finding(s) across the corpus", f.len());
+                findings.extend(f);
+            }
+            Err(e) => {
+                eprintln!("aodb-lint: verify failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (active, stale): (Vec<Finding>, Vec<_>) = match &baseline {
+        Some(b) => {
+            let (remaining, stale) = b.apply(&findings);
+            (remaining, stale)
+        }
+        None => (findings, Vec::new()),
+    };
+
+    emit(&active, opts.json);
+    violations += active.len();
+
+    for entry in &stale {
+        violations += 1;
+        eprintln!(
+            "{}:{}: stale baseline entry [{}] (\"{}\") matches no finding — remove it",
+            baseline
+                .as_ref()
+                .map(|b| b.path.display().to_string())
+                .unwrap_or_default(),
+            entry.defined_at,
+            entry.rule,
+            entry.reason
+        );
+    }
+
+    println!(
+        "source passes: {} active finding(s), {} suppressed, {} stale baseline entr(ies)",
+        active.len(),
+        baseline
+            .as_ref()
+            .map(|b| b.entries.len() - stale.len())
+            .unwrap_or(0),
+        stale.len()
+    );
 
     if violations > 0 {
         eprintln!("aodb-lint: {violations} violation(s)");

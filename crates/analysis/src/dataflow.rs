@@ -1,0 +1,1450 @@
+//! Per-function control-flow extraction and dataflow evaluation.
+//!
+//! Built on the token stream from [`crate::lexer`], this module recovers
+//! just enough structure for path-sensitive lints:
+//!
+//! * **Item model** ([`FileModel`]) — every `impl` block (with its self
+//!   type, trait, and trait argument), every `fn` (with its owner, `&mut
+//!   self`-ness, and parameter roles), every `Actor` impl's `TYPE_NAME`
+//!   and `declared_calls()` entries, and every struct carrying `ReplyTo`
+//!   fields. Items are found anywhere, including impls nested inside
+//!   test functions.
+//! * **Flow tree** ([`Flow`]) — each function body parsed into
+//!   sequences, branches (`if`/`else` chains, `match`, `let..else`),
+//!   loops, `return`s, and `?` exits. Closure bodies are flattened into
+//!   straight-line code: for these lints a closure's tokens *happening*
+//!   matters, its exits do not.
+//! * **Evaluator** ([`eval_flow`]) — propagates a small state set over
+//!   the tree (branches fork and re-merge, loops run zero-or-once) and
+//!   reports the state at every function exit.
+//!
+//! Two analyses live here because they are pure per-function dataflow:
+//! the **persistence hazard** check (a `Persisted::get_mut_untracked()`
+//! mutation that can reach an exit before any `mutate`/`save`/`flush`)
+//! and the **reply obligation** check (a handler of a message carrying
+//! `ReplyTo` sinks with a path that never touches the sink). Send-site
+//! extraction builds on the same model in [`crate::sendsites`].
+//!
+//! Soundness limits (by design — see DESIGN.md §9): intra-procedural
+//! only, no macro expansion, no type inference. The parser is a
+//! recognizer for idiomatic workspace code, not for all of Rust; on
+//! unrecognized shapes it degrades to treating tokens as straight-line
+//! code, which errs toward *missing* findings, never toward crashing.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::lint::{Finding, Rule};
+
+/// Method names that mark `Persisted` state as durably captured.
+const PERSIST_METHODS: &[&str] = &["mutate", "save", "flush", "persist", "save_state"];
+
+// ---------------------------------------------------------------- model
+
+/// Parsed view of one source file.
+pub struct FileModel {
+    /// Source path (reporting only).
+    pub path: PathBuf,
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// Raw source lines (1-based access via `line as usize - 1`).
+    pub lines: Vec<String>,
+    /// Every function with a body, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every `impl Actor for T` found, with name and declarations.
+    pub actors: Vec<ActorInfo>,
+    /// Struct name → names of its `ReplyTo<_>` fields.
+    pub reply_structs: HashMap<String, Vec<String>>,
+    /// Line → `aodb-lint: allow(...)` rule names on that line.
+    pub allows: HashMap<u32, Vec<String>>,
+}
+
+/// One `impl Actor for T` block.
+pub struct ActorInfo {
+    /// Rust type identifier (`IngestGateway`).
+    pub type_ident: String,
+    /// `TYPE_NAME` constant value (`"shm.ingest-gateway"`), if present.
+    pub type_name: Option<String>,
+    /// Entries parsed out of `declared_calls()`.
+    pub decls: Vec<Decl>,
+}
+
+/// One `CallDecl` entry from a `declared_calls()` body.
+#[derive(Clone, Debug)]
+pub struct Decl {
+    /// True for `CallDecl::call(..)`, false for `send(..)`/`send_any()`.
+    pub is_call: bool,
+    /// Target actor type name; `"*"` for `send_any()`.
+    pub to: String,
+    /// Source line of the entry.
+    pub line: u32,
+}
+
+/// The impl block owning a method.
+#[derive(Clone, Debug)]
+pub struct Owner {
+    /// Self type identifier (last path segment).
+    pub type_ident: String,
+    /// Trait identifier for trait impls (`Handler`, `Actor`), else None.
+    pub trait_ident: Option<String>,
+    /// Last path segment of the trait's first type argument
+    /// (`Handler<CollarReport>` → `CollarReport`).
+    pub trait_arg: Option<String>,
+}
+
+/// One function (or method) with a body.
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Enclosing impl block, if any.
+    pub owner: Option<Owner>,
+    /// Whether the receiver is `&mut self`.
+    pub has_mut_self: bool,
+    /// Names of parameters whose type mentions `ActorContext`.
+    pub ctx_params: Vec<String>,
+    /// First parameter that is neither `self` nor a context (the message
+    /// in a `Handler::handle`).
+    pub msg_param: Option<String>,
+    /// Parsed body.
+    pub body: Flow,
+    /// Token index range of the body's interior.
+    pub body_range: (usize, usize),
+    /// Line of the body's closing brace (fall-through exit line).
+    pub end_line: u32,
+}
+
+// ------------------------------------------------------------ flow tree
+
+/// A sequence of control-flow steps.
+#[derive(Debug, Default)]
+pub struct Flow(pub Vec<Step>);
+
+/// One step in a [`Flow`].
+#[derive(Debug)]
+pub enum Step {
+    /// Straight-line code: token indices into [`FileModel::toks`].
+    Run(Vec<usize>),
+    /// A fork: `if`/`else` chain, `match`, or `let .. else`.
+    Branch {
+        /// One flow per arm.
+        arms: Vec<Flow>,
+        /// True when one arm always runs (`match`, `if` with final
+        /// `else`); false when fall-through past all arms is possible.
+        exhaustive: bool,
+    },
+    /// `for`/`while`/`loop` body (evaluated zero-or-once).
+    Loop(Flow),
+    /// `return expr;` — expr tokens run, then the function exits.
+    Return {
+        /// Token indices of the returned expression.
+        toks: Vec<usize>,
+        /// Line of the `return` keyword.
+        line: u32,
+    },
+    /// A `?` operator: the function may exit here with an error.
+    Try {
+        /// Line of the `?`.
+        line: u32,
+    },
+}
+
+/// How a path left the function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExitKind {
+    /// Explicit `return`.
+    Return,
+    /// `?` error propagation.
+    Try,
+    /// Fell off the end of the body (tail expression).
+    End,
+}
+
+/// A dataflow state observed at a function exit.
+pub struct Exit<S> {
+    /// The state on that path.
+    pub state: S,
+    /// How the path exited.
+    pub kind: ExitKind,
+    /// Exit line.
+    pub line: u32,
+}
+
+/// Bound on the per-point state set; beyond this, extra states are
+/// dropped (the analyses stay linting-sound: they may miss, not crash).
+const MAX_STATES: usize = 32;
+
+/// Evaluates `flow` with the given transfer function over every path,
+/// returning the state at each exit. `transfer` mutates a state with the
+/// effects of a straight-line token run.
+pub fn eval_flow<S: Clone + PartialEq>(
+    flow: &Flow,
+    init: S,
+    end_line: u32,
+    transfer: &mut impl FnMut(&mut S, &[usize]),
+) -> Vec<Exit<S>> {
+    let mut exits = Vec::new();
+    let finals = eval_seq(flow, vec![init], &mut exits, transfer);
+    for state in finals {
+        exits.push(Exit {
+            state,
+            kind: ExitKind::End,
+            line: end_line,
+        });
+    }
+    exits
+}
+
+fn eval_seq<S: Clone + PartialEq>(
+    flow: &Flow,
+    mut states: Vec<S>,
+    exits: &mut Vec<Exit<S>>,
+    transfer: &mut impl FnMut(&mut S, &[usize]),
+) -> Vec<S> {
+    for step in &flow.0 {
+        match step {
+            Step::Run(idxs) => {
+                for s in &mut states {
+                    transfer(s, idxs);
+                }
+            }
+            Step::Return { toks, line } => {
+                for mut s in states.drain(..) {
+                    transfer(&mut s, toks);
+                    exits.push(Exit {
+                        state: s,
+                        kind: ExitKind::Return,
+                        line: *line,
+                    });
+                }
+            }
+            Step::Try { line } => {
+                for s in &states {
+                    exits.push(Exit {
+                        state: s.clone(),
+                        kind: ExitKind::Try,
+                        line: *line,
+                    });
+                }
+            }
+            Step::Branch { arms, exhaustive } => {
+                let mut out: Vec<S> = if *exhaustive {
+                    Vec::new()
+                } else {
+                    states.clone()
+                };
+                for arm in arms {
+                    for s in eval_seq(arm, states.clone(), exits, transfer) {
+                        if !out.contains(&s) {
+                            out.push(s);
+                        }
+                    }
+                }
+                states = out;
+            }
+            Step::Loop(body) => {
+                for s in eval_seq(body, states.clone(), exits, transfer) {
+                    if !states.contains(&s) {
+                        states.push(s);
+                    }
+                }
+            }
+        }
+        states.dedup_by(|a, b| a == b);
+        states.truncate(MAX_STATES);
+        if states.is_empty() {
+            break; // every path already exited
+        }
+    }
+    states
+}
+
+// --------------------------------------------------------------- parser
+
+impl FileModel {
+    /// Lexes and parses one source file.
+    pub fn parse(path: &Path, src: &str) -> FileModel {
+        let mut model = FileModel {
+            path: path.to_path_buf(),
+            toks: lex(src),
+            lines: src.lines().map(str::to_string).collect(),
+            fns: Vec::new(),
+            actors: Vec::new(),
+            reply_structs: HashMap::new(),
+            allows: HashMap::new(),
+        };
+        for (idx, raw) in src.lines().enumerate() {
+            let allows = crate::lint::parse_allows(raw);
+            if !allows.is_empty() {
+                model.allows.insert(
+                    idx as u32 + 1,
+                    allows.into_iter().map(str::to_string).collect(),
+                );
+            }
+        }
+        let end = model.toks.len();
+        let mut parser = Parser { model: &mut model };
+        parser.scan_items(0, end, None);
+        model.collect_decls();
+        model
+    }
+
+    /// Post-pass: scan every `declared_calls()` body for `CallDecl`
+    /// constructors and attach them to the owning actor.
+    fn collect_decls(&mut self) {
+        let mut by_type: Vec<(String, Vec<Decl>)> = Vec::new();
+        for f in &self.fns {
+            if f.name != "declared_calls" {
+                continue;
+            }
+            let Some(owner) = &f.owner else { continue };
+            if owner.trait_ident.as_deref() != Some("Actor") {
+                continue;
+            }
+            let mut decls = Vec::new();
+            let (start, end) = f.body_range;
+            let mut i = start;
+            while i < end {
+                if self.toks[i].is_ident("CallDecl")
+                    && i + 3 < end
+                    && self.toks[i + 1].is_punct(':')
+                    && self.toks[i + 2].is_punct(':')
+                    && self.toks[i + 3].kind == TokKind::Ident
+                {
+                    let kw = &self.toks[i + 3];
+                    let line = kw.line;
+                    let target = self.toks[i + 4..end.min(i + 8)]
+                        .iter()
+                        .find(|t| t.kind == TokKind::Str)
+                        .map(|t| t.text.clone());
+                    match (kw.text.as_str(), target) {
+                        ("call", Some(to)) => decls.push(Decl {
+                            is_call: true,
+                            to,
+                            line,
+                        }),
+                        ("send", Some(to)) => decls.push(Decl {
+                            is_call: false,
+                            to,
+                            line,
+                        }),
+                        ("send_any", _) => decls.push(Decl {
+                            is_call: false,
+                            to: "*".to_string(),
+                            line,
+                        }),
+                        _ => {}
+                    }
+                    i += 4;
+                    continue;
+                }
+                i += 1;
+            }
+            by_type.push((owner.type_ident.clone(), decls));
+        }
+        for (type_ident, decls) in by_type {
+            if let Some(actor) = self.actors.iter_mut().find(|a| a.type_ident == type_ident) {
+                actor.decls = decls;
+            }
+        }
+    }
+
+    /// True when a finding at `line` is suppressed by an
+    /// `aodb-lint: allow(<rule>)` marker on that line or the line above.
+    pub fn allowed(&self, line: u32, rule: Rule) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.allows
+                .get(l)
+                .is_some_and(|names| names.iter().any(|n| n == rule.name()))
+        })
+    }
+
+    /// The raw source line (trimmed) for an excerpt, if in range.
+    pub fn excerpt(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+struct Parser<'m> {
+    model: &'m mut FileModel,
+}
+
+impl Parser<'_> {
+    fn tok(&self, i: usize) -> &Tok {
+        &self.model.toks[i]
+    }
+
+    /// Scans `[i, end)` for items, recursing into `impl`/`mod` bodies.
+    fn scan_items(&mut self, mut i: usize, end: usize, owner: Option<&Owner>) {
+        while i < end {
+            let t = self.tok(i);
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "impl" => i = self.parse_impl(i, end),
+                "fn" => i = self.parse_fn(i, end, owner),
+                "struct" => i = self.parse_struct(i, end),
+                "mod" => {
+                    // `mod name { ... }` → recurse; `mod name;` → skip.
+                    let mut j = i + 1;
+                    while j < end && !self.tok(j).is_punct('{') && !self.tok(j).is_punct(';') {
+                        j += 1;
+                    }
+                    if j < end && self.tok(j).is_punct('{') {
+                        let close = self.match_brace(j, end);
+                        self.scan_items(j + 1, close, None);
+                        i = close + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                }
+                "const" if owner.is_some() => i = self.parse_const(i, end, owner.unwrap()),
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Index just past the `}` matching the `{` at `open`.
+    fn match_brace(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < end {
+            if self.tok(i).is_punct('{') {
+                depth += 1;
+            } else if self.tok(i).is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            i += 1;
+        }
+        end.saturating_sub(1)
+    }
+
+    /// Skips a balanced `<...>` generics group starting at `i` (which
+    /// must be `<`); `->` arrows inside are not closers.
+    fn skip_angles(&self, mut i: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        while i < end {
+            let t = self.tok(i);
+            if t.is_punct('-') && i + 1 < end && self.tok(i + 1).is_punct('>') {
+                i += 2;
+                continue;
+            }
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    fn parse_impl(&mut self, kw: usize, end: usize) -> usize {
+        let mut i = kw + 1;
+        if i < end && self.tok(i).is_punct('<') {
+            i = self.skip_angles(i, end);
+        }
+        // Header: tokens up to the body `{` at bracket depth 0.
+        let head_start = i;
+        let mut depth = 0i32;
+        while i < end {
+            let t = self.tok(i);
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('{') && depth == 0 {
+                break;
+            }
+            i += 1;
+        }
+        if i >= end {
+            return end;
+        }
+        let owner = self.impl_owner(head_start, i);
+        let open = i;
+        let close = self.match_brace(open, end);
+        if owner.trait_ident.as_deref() == Some("Actor") {
+            self.model.actors.push(ActorInfo {
+                type_ident: owner.type_ident.clone(),
+                type_name: None,
+                decls: Vec::new(),
+            });
+        }
+        self.scan_items(open + 1, close, Some(&owner.clone()));
+        close + 1
+    }
+
+    /// Splits an impl header into (trait, self type): `Handler<M> for X`.
+    fn impl_owner(&self, start: usize, mut end: usize) -> Owner {
+        // A trailing `where` clause is not part of either type.
+        if let Some(w) = self.depth0_where(start, end) {
+            end = w;
+        }
+        // Find ` for ` at angle depth 0.
+        let mut angle = 0i32;
+        let mut for_at = None;
+        let mut i = start;
+        while i < end {
+            let t = self.tok(i);
+            if t.is_punct('-') && i + 1 < end && self.tok(i + 1).is_punct('>') {
+                i += 2;
+                continue;
+            }
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if angle == 0 && t.is_ident("for") {
+                for_at = Some(i);
+                break;
+            }
+            i += 1;
+        }
+        match for_at {
+            Some(f) => Owner {
+                type_ident: self.last_depth0_ident(f + 1, end).unwrap_or_default(),
+                trait_ident: self.last_depth0_ident(start, f),
+                trait_arg: self.first_generic_arg(start, f),
+            },
+            None => Owner {
+                type_ident: self.last_depth0_ident(start, end).unwrap_or_default(),
+                trait_ident: None,
+                trait_arg: None,
+            },
+        }
+    }
+
+    /// Index of a `where` keyword at angle depth 0, if any.
+    fn depth0_where(&self, start: usize, end: usize) -> Option<usize> {
+        let mut angle = 0i32;
+        let mut i = start;
+        while i < end {
+            let t = self.tok(i);
+            if t.is_punct('-') && i + 1 < end && self.tok(i + 1).is_punct('>') {
+                i += 2;
+                continue;
+            }
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if angle == 0 && t.is_ident("where") {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Last identifier at angle depth 0 in `[start, end)` (the final
+    /// path segment of a possibly-generic type).
+    fn last_depth0_ident(&self, start: usize, end: usize) -> Option<String> {
+        let mut angle = 0i32;
+        let mut found = None;
+        let mut i = start;
+        while i < end {
+            let t = self.tok(i);
+            if t.is_punct('-') && i + 1 < end && self.tok(i + 1).is_punct('>') {
+                i += 2;
+                continue;
+            }
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if angle == 0 && t.kind == TokKind::Ident {
+                found = Some(t.text.clone());
+            }
+            i += 1;
+        }
+        found
+    }
+
+    /// Last path segment of the first generic argument in `[start, end)`:
+    /// `Handler<aodb_core::ReminderFired>` → `ReminderFired`.
+    fn first_generic_arg(&self, start: usize, end: usize) -> Option<String> {
+        let open = (start..end).find(|&i| self.tok(i).is_punct('<'))?;
+        let mut angle = 1i32;
+        let mut found = None;
+        let mut i = open + 1;
+        while i < end && angle > 0 {
+            let t = self.tok(i);
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if angle == 1 && t.is_punct(',') {
+                break;
+            } else if angle == 1 && t.kind == TokKind::Ident {
+                found = Some(t.text.clone());
+            }
+            i += 1;
+        }
+        found
+    }
+
+    /// `const TYPE_NAME .. = "x";` and `declared_calls` bodies are the
+    /// two impl-level constants the model cares about. `declared_calls`
+    /// entries are also scanned here when written as `const CALLS`.
+    fn parse_const(&mut self, kw: usize, end: usize, owner: &Owner) -> usize {
+        let mut i = kw + 1;
+        let is_type_name = i < end && self.tok(i).is_ident("TYPE_NAME");
+        // Skip to `;` at brace depth 0 (array literals stay balanced).
+        let mut depth = 0i32;
+        let start = i;
+        while i < end {
+            let t = self.tok(i);
+            if t.is_punct('{') || t.is_punct('[') || t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct('}') || t.is_punct(']') || t.is_punct(')') {
+                depth -= 1;
+            } else if t.is_punct(';') && depth == 0 {
+                break;
+            }
+            i += 1;
+        }
+        if is_type_name && owner.trait_ident.as_deref() == Some("Actor") {
+            let value = (start..i)
+                .map(|j| self.tok(j))
+                .find(|t| t.kind == TokKind::Str)
+                .map(|t| t.text.clone());
+            if let Some(actor) = self
+                .model
+                .actors
+                .iter_mut()
+                .rev()
+                .find(|a| a.type_ident == owner.type_ident)
+            {
+                actor.type_name = value;
+            }
+        }
+        i + 1
+    }
+
+    fn parse_struct(&mut self, kw: usize, end: usize) -> usize {
+        let mut i = kw + 1;
+        let Some(name) =
+            (i < end && self.tok(i).kind == TokKind::Ident).then(|| self.tok(i).text.clone())
+        else {
+            return i;
+        };
+        i += 1;
+        if i < end && self.tok(i).is_punct('<') {
+            i = self.skip_angles(i, end);
+        }
+        // Unit / tuple structs carry no named ReplyTo fields we track.
+        while i < end
+            && !self.tok(i).is_punct('{')
+            && !self.tok(i).is_punct(';')
+            && !self.tok(i).is_punct('(')
+        {
+            i += 1;
+        }
+        if i >= end || !self.tok(i).is_punct('{') {
+            return i + 1;
+        }
+        let close = self.match_brace(i, end);
+        let mut fields = Vec::new();
+        // Split body on top-level commas; a field whose type mentions
+        // ReplyTo is a reply sink.
+        let mut seg_start = i + 1;
+        let mut depth = 0i32;
+        for j in i + 1..=close {
+            let t = self.tok(j);
+            let top_comma = depth == 0 && t.is_punct(',');
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                depth -= 1;
+            }
+            if top_comma || j == close {
+                if let Some(field) = self.reply_field(seg_start, j) {
+                    fields.push(field);
+                }
+                seg_start = j + 1;
+            }
+        }
+        if !fields.is_empty() {
+            self.model.reply_structs.insert(name, fields);
+        }
+        close + 1
+    }
+
+    /// In a field segment `pub name: Type`, returns the field name when
+    /// the type mentions `ReplyTo`.
+    fn reply_field(&self, start: usize, end: usize) -> Option<String> {
+        let colon = (start..end).find(|&i| self.tok(i).is_punct(':'))?;
+        if !(colon..end).any(|i| self.tok(i).is_ident("ReplyTo")) {
+            return None;
+        }
+        (start..colon)
+            .rev()
+            .map(|i| self.tok(i))
+            .find(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+    }
+
+    fn parse_fn(&mut self, kw: usize, end: usize, owner: Option<&Owner>) -> usize {
+        let mut i = kw + 1;
+        let Some(name) =
+            (i < end && self.tok(i).kind == TokKind::Ident).then(|| self.tok(i).text.clone())
+        else {
+            return i;
+        };
+        let fn_line = self.tok(kw).line;
+        i += 1;
+        if i < end && self.tok(i).is_punct('<') {
+            i = self.skip_angles(i, end);
+        }
+        if i >= end || !self.tok(i).is_punct('(') {
+            return i;
+        }
+        // Parameters: split on top-level commas within the parens.
+        let params_open = i;
+        let mut depth = 0i32;
+        let mut params_close = end.saturating_sub(1);
+        while i < end {
+            let t = self.tok(i);
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    params_close = i;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        let (has_mut_self, ctx_params, msg_param) =
+            self.parse_params(params_open + 1, params_close);
+        // Return type / where clause: up to the body `{` or a `;`.
+        i = params_close + 1;
+        let mut depth = 0i32;
+        while i < end {
+            let t = self.tok(i);
+            if t.is_punct('-') && i + 1 < end && self.tok(i + 1).is_punct('>') {
+                i += 2;
+                continue;
+            }
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                depth -= 1;
+            } else if depth <= 0 && (t.is_punct('{') || t.is_punct(';')) {
+                break;
+            }
+            i += 1;
+        }
+        if i >= end || self.tok(i).is_punct(';') {
+            return i + 1; // trait method signature without a body
+        }
+        let open = i;
+        let close = self.match_brace(open, end);
+        let stmts = StmtParser {
+            toks: &self.model.toks,
+        };
+        let (body, _) = stmts.parse_block(open, close + 1);
+        self.model.fns.push(FnItem {
+            name,
+            line: fn_line,
+            owner: owner.cloned(),
+            has_mut_self,
+            ctx_params,
+            msg_param,
+            body,
+            body_range: (open + 1, close),
+            end_line: self.tok(close).line,
+        });
+        // Items can nest inside function bodies (test-local actors).
+        self.scan_items(open + 1, close, None);
+        close + 1
+    }
+
+    /// Returns (`&mut self` present, ctx param names, message param).
+    fn parse_params(&self, start: usize, end: usize) -> (bool, Vec<String>, Option<String>) {
+        let mut has_mut_self = false;
+        let mut ctx = Vec::new();
+        let mut msg = None;
+        let mut depth = 0i32;
+        let mut seg_start = start;
+        let mut handle_seg = |s: usize, e: usize| {
+            if s >= e {
+                return;
+            }
+            let idents: Vec<&str> = (s..e)
+                .map(|i| self.tok(i))
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            if idents.contains(&"self") {
+                if idents.contains(&"mut") {
+                    has_mut_self = true;
+                }
+                return;
+            }
+            let Some(colon) = (s..e).find(|&i| self.tok(i).is_punct(':')) else {
+                return;
+            };
+            let Some(name) = (s..colon)
+                .map(|i| self.tok(i))
+                .find(|t| t.kind == TokKind::Ident && t.text != "mut")
+                .map(|t| t.text.clone())
+            else {
+                return;
+            };
+            if (colon..e).any(|i| self.tok(i).is_ident("ActorContext")) {
+                ctx.push(name);
+            } else if msg.is_none() {
+                msg = Some(name);
+            }
+        };
+        let mut i = start;
+        while i < end {
+            let t = self.tok(i);
+            if t.is_punct('-') && i + 1 < end && self.tok(i + 1).is_punct('>') {
+                i += 2;
+                continue;
+            }
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(',') {
+                handle_seg(seg_start, i);
+                seg_start = i + 1;
+            }
+            i += 1;
+        }
+        handle_seg(seg_start, end);
+        (has_mut_self, ctx, msg)
+    }
+}
+
+// ------------------------------------------------------- statement parse
+
+/// How a statement sequence terminates.
+enum Term {
+    /// Started at `{`; consume through the matching `}`.
+    Block,
+    /// Match-arm expression: stop at a top-level `,` (consumed) or the
+    /// match's `}` (not consumed).
+    Arm,
+}
+
+struct StmtParser<'t> {
+    toks: &'t [Tok],
+}
+
+impl StmtParser<'_> {
+    /// Parses the block whose `{` is at `open`; returns the flow and the
+    /// index just past the matching `}`. `end` caps scanning.
+    fn parse_block(&self, open: usize, end: usize) -> (Flow, usize) {
+        self.parse_seq(open + 1, end, Term::Block)
+    }
+
+    fn parse_seq(&self, mut i: usize, end: usize, term: Term) -> (Flow, usize) {
+        let mut steps = Vec::new();
+        let mut run: Vec<usize> = Vec::new();
+        let mut depth = 0i32; // paren/bracket depth within the sequence
+        let flush = |run: &mut Vec<usize>, steps: &mut Vec<Step>| {
+            if !run.is_empty() {
+                steps.push(Step::Run(std::mem::take(run)));
+            }
+        };
+        while i < end {
+            let t = &self.toks[i];
+            if t.is_punct('}') && depth == 0 {
+                flush(&mut run, &mut steps);
+                return match term {
+                    Term::Block => (Flow(steps), i + 1),
+                    Term::Arm => (Flow(steps), i),
+                };
+            }
+            if matches!(term, Term::Arm) && depth == 0 && t.is_punct(',') {
+                flush(&mut run, &mut steps);
+                return (Flow(steps), i + 1);
+            }
+            if t.is_punct('{') {
+                // Closure body → flatten; plain block / struct literal →
+                // splice (exits inside are function exits).
+                let closure = run
+                    .iter()
+                    .rev()
+                    .map(|&j| &self.toks[j])
+                    .find(|t| !t.is_ident("move"))
+                    .is_some_and(|t| t.is_punct('|'));
+                let (inner, ni) = self.parse_block(i, end);
+                if closure {
+                    flatten_into(&inner, &mut run);
+                } else {
+                    flush(&mut run, &mut steps);
+                    steps.extend(inner.0);
+                }
+                i = ni;
+                continue;
+            }
+            if t.kind == TokKind::Ident && depth == 0 {
+                match t.text.as_str() {
+                    "if" => {
+                        flush(&mut run, &mut steps);
+                        let (mut branch_steps, ni, _) = self.parse_if(i, end);
+                        steps.append(&mut branch_steps);
+                        i = ni;
+                        continue;
+                    }
+                    "match" => {
+                        flush(&mut run, &mut steps);
+                        let (head, open_b) = self.scan_until_block(i + 1, end);
+                        steps.push(Step::Run(head));
+                        let (arms, ni) = self.parse_match_arms(open_b, end);
+                        steps.push(Step::Branch {
+                            arms,
+                            exhaustive: true,
+                        });
+                        i = ni;
+                        continue;
+                    }
+                    "while" | "for" => {
+                        flush(&mut run, &mut steps);
+                        let (head, open_b) = self.scan_until_block(i + 1, end);
+                        steps.push(Step::Run(head));
+                        let (body, ni) = self.parse_block(open_b, end);
+                        steps.push(Step::Loop(body));
+                        i = ni;
+                        continue;
+                    }
+                    "loop" => {
+                        flush(&mut run, &mut steps);
+                        let (_, open_b) = self.scan_until_block(i + 1, end);
+                        let (body, ni) = self.parse_block(open_b, end);
+                        steps.push(Step::Loop(body));
+                        i = ni;
+                        continue;
+                    }
+                    "return" => {
+                        flush(&mut run, &mut steps);
+                        let line = t.line;
+                        let (expr, ni) = self.scan_return_expr(i + 1, end);
+                        steps.push(Step::Return { toks: expr, line });
+                        i = ni;
+                        continue;
+                    }
+                    "else" => {
+                        // Bare `else` in statement position = `let..else`
+                        // diverging arm: runs (and must exit) or not.
+                        flush(&mut run, &mut steps);
+                        let (_, open_b) = self.scan_until_block(i + 1, end);
+                        let (body, ni) = self.parse_block(open_b, end);
+                        steps.push(Step::Branch {
+                            arms: vec![body],
+                            exhaustive: false,
+                        });
+                        i = ni;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if t.is_punct('?') {
+                run.push(i);
+                flush(&mut run, &mut steps);
+                steps.push(Step::Try { line: t.line });
+                i += 1;
+                continue;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            }
+            run.push(i);
+            i += 1;
+        }
+        flush(&mut run, &mut steps);
+        (Flow(steps), end)
+    }
+
+    /// Parses an `if` chain starting at the `if` keyword. Returns the
+    /// steps (condition run + branch), the next index, and whether the
+    /// chain ends in an unconditional `else`.
+    fn parse_if(&self, kw: usize, end: usize) -> (Vec<Step>, usize, bool) {
+        let (cond, open_b) = self.scan_until_block(kw + 1, end);
+        let (then_flow, mut i) = self.parse_block(open_b, end);
+        let mut arms = vec![then_flow];
+        let mut exhaustive = false;
+        if i < end && self.toks[i].is_ident("else") {
+            if i + 1 < end && self.toks[i + 1].is_ident("if") {
+                let (else_steps, ni, ex) = self.parse_if(i + 1, end);
+                arms.push(Flow(else_steps));
+                exhaustive = ex;
+                i = ni;
+            } else {
+                let (_, open_e) = self.scan_until_block(i + 1, end);
+                let (else_flow, ni) = self.parse_block(open_e, end);
+                arms.push(else_flow);
+                exhaustive = true;
+                i = ni;
+            }
+        }
+        (
+            vec![Step::Run(cond), Step::Branch { arms, exhaustive }],
+            i,
+            exhaustive,
+        )
+    }
+
+    /// Collects token indices until a `{` at paren/bracket depth 0.
+    /// Returns (collected, index of the `{`).
+    fn scan_until_block(&self, mut i: usize, end: usize) -> (Vec<usize>, usize) {
+        let mut out = Vec::new();
+        let mut depth = 0i32;
+        while i < end {
+            let t = &self.toks[i];
+            if t.is_punct('{') && depth == 0 {
+                return (out, i);
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            }
+            out.push(i);
+            i += 1;
+        }
+        (out, end.saturating_sub(1))
+    }
+
+    /// Collects a `return` expression through its `;` (consumed) or up
+    /// to the enclosing block's `}` (not consumed).
+    fn scan_return_expr(&self, mut i: usize, end: usize) -> (Vec<usize>, usize) {
+        let mut out = Vec::new();
+        let mut depth = 0i32;
+        while i < end {
+            let t = &self.toks[i];
+            if depth == 0 && t.is_punct(';') {
+                return (out, i + 1);
+            }
+            if depth == 0 && t.is_punct('}') {
+                return (out, i);
+            }
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            }
+            out.push(i);
+            i += 1;
+        }
+        (out, end)
+    }
+
+    /// Parses match arms from the `{` at `open` through the matching
+    /// `}`; returns (arm flows including pattern tokens, next index).
+    fn parse_match_arms(&self, open: usize, end: usize) -> (Vec<Flow>, usize) {
+        let mut arms = Vec::new();
+        let mut i = open + 1;
+        loop {
+            // Pattern: scan to `=>` at all-depth 0.
+            let mut pattern = Vec::new();
+            let mut depth = 0i32;
+            let mut found_arrow = false;
+            while i < end {
+                let t = &self.toks[i];
+                if depth == 0 && t.is_punct('}') {
+                    return (arms, i + 1);
+                }
+                if depth == 0 && t.is_punct('=') && i + 1 < end && self.toks[i + 1].is_punct('>') {
+                    i += 2;
+                    found_arrow = true;
+                    break;
+                }
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                }
+                pattern.push(i);
+                i += 1;
+            }
+            if !found_arrow {
+                return (arms, end);
+            }
+            let (mut arm, ni) = if i < end && self.toks[i].is_punct('{') {
+                let (f, n) = self.parse_block(i, end);
+                // A `{}`-bodied arm may omit the comma.
+                let n = if n < end && self.toks[n].is_punct(',') {
+                    n + 1
+                } else {
+                    n
+                };
+                (f, n)
+            } else {
+                self.parse_seq(i, end, Term::Arm)
+            };
+            arm.0.insert(0, Step::Run(pattern));
+            arms.push(arm);
+            i = ni;
+        }
+    }
+}
+
+/// Appends every token index in `flow` (in order) to `out` — used to
+/// treat closure bodies as straight-line code.
+fn flatten_into(flow: &Flow, out: &mut Vec<usize>) {
+    for step in &flow.0 {
+        match step {
+            Step::Run(idxs) => out.extend_from_slice(idxs),
+            Step::Return { toks, .. } => out.extend_from_slice(toks),
+            Step::Try { .. } => {}
+            Step::Branch { arms, .. } => {
+                for arm in arms {
+                    flatten_into(arm, out);
+                }
+            }
+            Step::Loop(body) => flatten_into(body, out),
+        }
+    }
+}
+
+// ------------------------------------------------------------- analyses
+
+/// Persistence-hazard findings for one file: a `&mut self` method where
+/// a `get_mut_untracked()` mutation reaches an exit with no intervening
+/// `mutate`/`save`/`flush`.
+pub fn persistence_findings(model: &FileModel) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in &model.fns {
+        if !f.has_mut_self {
+            continue;
+        }
+        let touches =
+            (f.body_range.0..f.body_range.1).any(|i| model.toks[i].is_ident("get_mut_untracked"));
+        if !touches {
+            continue;
+        }
+        let exits = eval_flow(&f.body, None::<u32>, f.end_line, &mut |pending, idxs| {
+            for &j in idxs {
+                let t = &model.toks[j];
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                let method_call = j > 0
+                    && model.toks[j - 1].is_punct('.')
+                    && model.toks.get(j + 1).is_some_and(|n| n.is_punct('('));
+                if !method_call {
+                    continue;
+                }
+                if t.text == "get_mut_untracked" {
+                    *pending = Some(t.line);
+                } else if PERSIST_METHODS.contains(&t.text.as_str()) {
+                    *pending = None;
+                }
+            }
+        });
+        let mut reported: Vec<u32> = Vec::new();
+        for exit in exits {
+            let Some(mutation_line) = exit.state else {
+                continue;
+            };
+            if reported.contains(&mutation_line) {
+                continue;
+            }
+            reported.push(mutation_line);
+            if model.allowed(exit.line, Rule::PersistenceHazard)
+                || model.allowed(mutation_line, Rule::PersistenceHazard)
+            {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::PersistenceHazard,
+                file: model.path.clone(),
+                line: exit.line,
+                excerpt: model.excerpt(exit.line),
+                detail: format!(
+                    "`{}` mutates state via get_mut_untracked() on line {mutation_line} but \
+                     this exit is reached with no mutate/save/flush — the write-behind \
+                     store never sees the change",
+                    f.name
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Reply-obligation findings for one file. `reply_structs` maps message
+/// struct names to their `ReplyTo` field names, corpus-wide.
+pub fn reply_findings(
+    model: &FileModel,
+    reply_structs: &HashMap<String, Vec<String>>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in &model.fns {
+        if f.name != "handle" {
+            continue;
+        }
+        let Some(owner) = &f.owner else { continue };
+        if owner.trait_ident.as_deref() != Some("Handler") {
+            continue;
+        }
+        let Some(msg_type) = &owner.trait_arg else {
+            continue;
+        };
+        let Some(fields) = reply_structs.get(msg_type) else {
+            continue;
+        };
+        // Bitmask of still-unconsumed sinks.
+        let all: u32 = (1u32 << fields.len().min(31)) - 1;
+        let exits = eval_flow(&f.body, all, f.end_line, &mut |mask, idxs| {
+            for &j in idxs {
+                let t = &model.toks[j];
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                if let Some(k) = fields.iter().position(|n| *n == t.text) {
+                    *mask &= !(1u32 << k);
+                }
+            }
+        });
+        let mut reported: Vec<u32> = Vec::new();
+        for exit in exits {
+            if exit.kind == ExitKind::Try || exit.state == 0 {
+                continue; // `?` propagates an error; 0 = all sinks touched
+            }
+            if reported.contains(&exit.line) {
+                continue;
+            }
+            reported.push(exit.line);
+            if model.allowed(exit.line, Rule::ReplyLeak) {
+                continue;
+            }
+            let leaked: Vec<&str> = fields
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| exit.state & (1 << k) != 0)
+                .map(|(_, n)| n.as_str())
+                .collect();
+            findings.push(Finding {
+                rule: Rule::ReplyLeak,
+                file: model.path.clone(),
+                line: exit.line,
+                excerpt: model.excerpt(exit.line),
+                detail: format!(
+                    "handler of `{msg_type}` for `{}` can exit here without delivering or \
+                     forwarding reply sink(s) {} — the caller's promise is lost",
+                    owner.type_ident,
+                    leaked
+                        .iter()
+                        .map(|n| format!("`{n}`"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::parse(Path::new("test.rs"), src)
+    }
+
+    #[test]
+    fn fn_and_owner_extraction() {
+        let m = model(
+            "impl Handler<Ping> for Gateway {\n\
+             fn handle(&mut self, msg: Ping, ctx: &mut ActorContext<'_>) -> u32 { 1 }\n\
+             }\n\
+             fn free(ctx: &ActorContext<'_>, n: u32) {}\n",
+        );
+        assert_eq!(m.fns.len(), 2);
+        let h = &m.fns[0];
+        assert_eq!(h.name, "handle");
+        assert!(h.has_mut_self);
+        assert_eq!(h.ctx_params, ["ctx"]);
+        assert_eq!(h.msg_param.as_deref(), Some("msg"));
+        let o = h.owner.as_ref().unwrap();
+        assert_eq!(o.type_ident, "Gateway");
+        assert_eq!(o.trait_ident.as_deref(), Some("Handler"));
+        assert_eq!(o.trait_arg.as_deref(), Some("Ping"));
+        assert_eq!(m.fns[1].ctx_params, ["ctx"]);
+    }
+
+    #[test]
+    fn actor_info_and_decls_via_sendsites_model() {
+        let m = model(
+            "impl Actor for Cow {\n\
+             const TYPE_NAME: &'static str = \"cattle.cow\";\n\
+             fn declared_calls() -> &'static [CallDecl] {\n\
+             const CALLS: &[CallDecl] = &[CallDecl::send(\"aodb.index-shard\")];\n\
+             CALLS\n\
+             }\n\
+             }\n",
+        );
+        assert_eq!(m.actors.len(), 1);
+        assert_eq!(m.actors[0].type_ident, "Cow");
+        assert_eq!(m.actors[0].type_name.as_deref(), Some("cattle.cow"));
+    }
+
+    #[test]
+    fn reply_struct_fields() {
+        let m = model(
+            "pub struct Slaughter {\n\
+             pub cow: String,\n\
+             pub reply: ReplyTo<Option<Vec<String>>>,\n\
+             }\n\
+             struct Plain { x: u32 }\n",
+        );
+        assert_eq!(m.reply_structs.get("Slaughter").unwrap(), &["reply"]);
+        assert!(!m.reply_structs.contains_key("Plain"));
+    }
+
+    #[test]
+    fn nested_impl_inside_test_fn_is_found() {
+        let m = model(
+            "fn test_body() {\n\
+             struct Local;\n\
+             impl Actor for Local {\n\
+             const TYPE_NAME: &'static str = \"t.local\";\n\
+             }\n\
+             }\n",
+        );
+        assert!(m.actors.iter().any(|a| a.type_ident == "Local"));
+    }
+
+    #[test]
+    fn persist_hazard_on_early_return() {
+        let m = model(
+            "impl Handler<W> for A {\n\
+             fn handle(&mut self, msg: W, _ctx: &mut ActorContext<'_>) -> R {\n\
+             if !self.state.get_mut_untracked().guard.first_time(&msg.id) {\n\
+             return R::Skip;\n\
+             }\n\
+             self.state.mutate(|s| s.n += 1);\n\
+             R::Done\n\
+             }\n\
+             }\n",
+        );
+        let f = persistence_findings(&m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::PersistenceHazard);
+        assert_eq!(f[0].line, 4); // the `return R::Skip;`
+    }
+
+    #[test]
+    fn persist_before_every_exit_is_clean() {
+        let m = model(
+            "impl A {\n\
+             fn step(&mut self) {\n\
+             let fresh = self.state.mutate(|s| s.guard.first_time(&id));\n\
+             if fresh { self.apply(); }\n\
+             }\n\
+             }\n",
+        );
+        assert!(persistence_findings(&m).is_empty());
+    }
+
+    #[test]
+    fn persist_hazard_through_match_arm() {
+        let m = model(
+            "impl A {\n\
+             fn step(&mut self, w: W) -> R {\n\
+             self.state.get_mut_untracked().n += 1;\n\
+             match w.kind {\n\
+             K::Fast => R::Done,\n\
+             K::Slow => { self.state.flush(); R::Done }\n\
+             }\n\
+             }\n\
+             }\n",
+        );
+        let f = persistence_findings(&m);
+        // The K::Fast arm falls through to the end with the mutation
+        // unpersisted; the K::Slow arm flushed.
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn reply_leak_on_one_path() {
+        let mut structs = HashMap::new();
+        structs.insert("Ask".to_string(), vec!["reply".to_string()]);
+        let m = model(
+            "impl Handler<Ask> for A {\n\
+             fn handle(&mut self, msg: Ask, _ctx: &mut ActorContext<'_>) {\n\
+             if self.ready {\n\
+             msg.reply.deliver(self.answer());\n\
+             }\n\
+             }\n\
+             }\n",
+        );
+        let f = reply_findings(&m, &structs);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::ReplyLeak);
+    }
+
+    #[test]
+    fn reply_stored_or_delivered_on_all_paths_is_clean() {
+        let mut structs = HashMap::new();
+        structs.insert("Ask".to_string(), vec!["done".to_string()]);
+        let m = model(
+            "impl Handler<Ask> for A {\n\
+             fn handle(&mut self, msg: Ask, _ctx: &mut ActorContext<'_>) {\n\
+             if self.busy {\n\
+             msg.done.deliver(Outcome::Busy);\n\
+             return;\n\
+             }\n\
+             self.pending.push(Pending { done: Some(msg.done) });\n\
+             }\n\
+             }\n",
+        );
+        assert!(reply_findings(&m, &structs).is_empty());
+    }
+
+    #[test]
+    fn let_else_diverging_arm_is_a_branch() {
+        let m = model(
+            "impl A {\n\
+             fn step(&mut self) -> R {\n\
+             let Some(x) = self.find() else {\n\
+             return R::Missing;\n\
+             };\n\
+             self.state.get_mut_untracked().n = x;\n\
+             self.state.save();\n\
+             R::Done\n\
+             }\n\
+             }\n",
+        );
+        assert!(persistence_findings(&m).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let m = model(
+            "impl A {\n\
+             fn step(&mut self) {\n\
+             // aodb-lint: allow(persistence-hazard)\n\
+             self.state.get_mut_untracked().n += 1;\n\
+             }\n\
+             }\n",
+        );
+        assert!(persistence_findings(&m).is_empty());
+    }
+}

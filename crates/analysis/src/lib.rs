@@ -17,19 +17,54 @@
 //!   guards held across blocking points, blocking requests inside
 //!   `Collector` fan-ins, and `std::sync` locks where `parking_lot` is
 //!   the convention.
+//! * **aodb-verify dataflow passes** — a hand-rolled lexer
+//!   ([`lexer`]) plus per-function control-flow evaluation ([`dataflow`])
+//!   powering three source-level checks: declaration drift between send
+//!   sites and `declared_calls()` ([`sendsites`]), untracked state
+//!   mutations that can exit a turn unpersisted, and sync-handler paths
+//!   that leak their reply obligation. Accepted findings live in a
+//!   [`baseline`] file with per-entry justifications; entries that stop
+//!   firing fail the lint, so the baseline can only ratchet down.
 //!
-//! The `aodb-lint` binary drives all three and exits nonzero on any
+//! The `aodb-lint` binary drives all of it and exits nonzero on any
 //! violation; debug builds of the runtime enforce the declarations at
 //! dispatch time, so graph and code cannot silently drift apart.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod baseline;
+pub mod dataflow;
 pub mod graph;
+pub mod lexer;
 pub mod lint;
+pub mod sendsites;
 
+pub use baseline::{Baseline, Suppression};
 pub use graph::{CallGraph, Edge, ANY_NODE};
 pub use lint::{lint_source, lint_tree, Finding, Rule};
+pub use sendsites::Corpus;
+
+/// Runs the aodb-verify dataflow passes (declaration drift, persistence
+/// hazards, reply obligations) over one parsed corpus.
+pub fn verify_corpus(corpus: &Corpus) -> Vec<Finding> {
+    let replies = corpus.reply_structs();
+    let mut findings = sendsites::drift_findings(corpus);
+    for file in &corpus.files {
+        findings.extend(dataflow::persistence_findings(file));
+        findings.extend(dataflow::reply_findings(file, &replies));
+    }
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule.name()).cmp(&(&b.file, b.line, b.rule.name())));
+    findings
+}
+
+/// Loads every `.rs` file under the given roots as one corpus and runs
+/// the verify passes. Files are parsed together so actor type names
+/// resolve across crates.
+pub fn verify_tree(roots: &[std::path::PathBuf]) -> std::io::Result<Vec<Finding>> {
+    Ok(verify_corpus(&Corpus::load(roots)?))
+}
 
 /// The whole-workspace call graph: every actor type registered by the
 /// SHM platform, the cattle-tracking platform, and the shared AODB

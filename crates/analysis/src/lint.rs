@@ -31,16 +31,47 @@ pub enum Rule {
     BlockingInCollector,
     /// A `std::sync` lock where `parking_lot` is the convention.
     StdSyncPrimitive,
+    /// A cross-actor send/call site with no covering `declared_calls()`
+    /// entry (debug builds would panic at dispatch).
+    DeclarationDriftMissing,
+    /// A `declared_calls()` entry no send site exercises anymore.
+    DeclarationDriftStale,
+    /// A `&mut self` handler path that mutates untracked state and exits
+    /// without persisting it.
+    PersistenceHazard,
+    /// A sync-handler path that neither consumes its `ReplyTo` sink nor
+    /// propagates an error.
+    ReplyLeak,
 }
 
 impl Rule {
+    /// Every rule, for `--help`-style listings.
+    pub const ALL: &'static [Rule] = &[
+        Rule::GuardAcrossWait,
+        Rule::BlockingInCollector,
+        Rule::StdSyncPrimitive,
+        Rule::DeclarationDriftMissing,
+        Rule::DeclarationDriftStale,
+        Rule::PersistenceHazard,
+        Rule::ReplyLeak,
+    ];
+
     /// The marker name recognized in `aodb-lint: allow(<name>)`.
     pub fn name(self) -> &'static str {
         match self {
             Rule::GuardAcrossWait => "guard-across-wait",
             Rule::BlockingInCollector => "blocking-in-collector",
             Rule::StdSyncPrimitive => "std-sync-primitive",
+            Rule::DeclarationDriftMissing => "declaration-drift-missing",
+            Rule::DeclarationDriftStale => "declaration-drift-stale",
+            Rule::PersistenceHazard => "persistence-hazard",
+            Rule::ReplyLeak => "reply-leak",
         }
+    }
+
+    /// Inverse of [`Rule::name`], for baseline files.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == name)
     }
 }
 
@@ -58,7 +89,7 @@ pub struct Finding {
     /// Source file.
     pub file: PathBuf,
     /// 1-based line number.
-    pub line: usize,
+    pub line: u32,
     /// The offending source line, trimmed.
     pub excerpt: String,
     /// Human explanation of the specific violation.
@@ -84,7 +115,7 @@ pub fn lint_source(file: &Path, text: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
     // Live parking_lot guards: (binding name, brace depth at binding,
     // binding line).
-    let mut guards: Vec<(String, i32, usize)> = Vec::new();
+    let mut guards: Vec<(String, i32, u32)> = Vec::new();
     // Open Collector::new(...) regions: paren depth *before* the call;
     // the region ends when depth returns to it.
     let mut collector_regions: Vec<i32> = Vec::new();
@@ -94,7 +125,7 @@ pub fn lint_source(file: &Path, text: &str) -> Vec<Finding> {
     let mut prev_allows: Vec<&str> = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
-        let lineno = idx + 1;
+        let lineno = idx as u32 + 1;
         let code = strip_code(raw, &mut in_string);
         let code = code.trim_end();
         let allows = {
@@ -203,14 +234,17 @@ pub fn lint_tree(dir: &Path) -> std::io::Result<Vec<Finding>> {
     Ok(findings)
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+/// Collects `.rs` files under `dir`, skipping `vendor/`, `target/`,
+/// dot-dirs, and `fixtures/` trees (fixture files are deliberately dirty
+/// inputs for the analysis' own tests, not workspace code).
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "vendor" || name == "target" || name.starts_with('.') {
+            if name == "vendor" || name == "target" || name == "fixtures" || name.starts_with('.') {
                 continue;
             }
             collect_rs_files(&path, out)?;
@@ -280,7 +314,7 @@ fn strip_code(line: &str, in_string: &mut bool) -> String {
 }
 
 /// `aodb-lint: allow(a, b)` markers on a raw (pre-comment-strip) line.
-fn parse_allows(raw: &str) -> Vec<&str> {
+pub(crate) fn parse_allows(raw: &str) -> Vec<&str> {
     let Some(i) = raw.find("aodb-lint: allow(") else {
         return Vec::new();
     };

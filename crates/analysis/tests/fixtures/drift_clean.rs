@@ -1,0 +1,31 @@
+//! Clean counterpart: every send site is declared, every declaration has
+//! a site (including a let-bound ref, a self-send, and a dynamic send
+//! covered by `send_any()`).
+
+impl Actor for Sink {
+    const TYPE_NAME: &'static str = "fix.sink";
+}
+
+impl Actor for Producer {
+    const TYPE_NAME: &'static str = "fix.producer";
+    fn declared_calls() -> &'static [CallDecl] {
+        const CALLS: &[CallDecl] = &[
+            CallDecl::send("fix.sink"),
+            CallDecl::call("fix.sink"),
+            CallDecl::send_any(),
+        ];
+        CALLS
+    }
+}
+
+impl Handler<Emit> for Producer {
+    fn handle(&mut self, msg: Emit, ctx: &mut ActorContext<'_>) {
+        let sink = ctx.actor_ref::<Sink>("s");
+        let _ = sink.tell(Emit { n: msg.n });
+        let _ = ctx.actor_ref::<Sink>("s").call(Emit { n: msg.n });
+        // Self-send: exempt from declaration.
+        let _ = ctx.actor_ref::<Producer>("peer").tell(Emit { n: msg.n });
+        // Dynamic recipient carried in the message: covered by send_any.
+        let _ = msg.listener.tell(Emit { n: msg.n });
+    }
+}

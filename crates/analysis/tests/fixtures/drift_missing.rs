@@ -1,0 +1,21 @@
+//! Seeded drift bug: `Producer` sends to `Sink` but the edge was
+//! "removed" from `declared_calls()` — aodb-lint must flag the site.
+
+impl Actor for Sink {
+    const TYPE_NAME: &'static str = "fix.sink";
+}
+
+impl Actor for Producer {
+    const TYPE_NAME: &'static str = "fix.producer";
+    fn declared_calls() -> &'static [CallDecl] {
+        // The send("fix.sink") entry was dropped here.
+        const CALLS: &[CallDecl] = &[];
+        CALLS
+    }
+}
+
+impl Handler<Emit> for Producer {
+    fn handle(&mut self, msg: Emit, ctx: &mut ActorContext<'_>) {
+        let _ = ctx.actor_ref::<Sink>("s").tell(Emit { n: msg.n });
+    }
+}

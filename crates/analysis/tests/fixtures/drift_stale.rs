@@ -1,0 +1,23 @@
+//! Seeded stale declaration: `Producer` declares a call edge to an
+//! actor it no longer contacts — aodb-lint must flag the declaration.
+
+impl Actor for Sink {
+    const TYPE_NAME: &'static str = "fix.sink";
+}
+
+impl Actor for Producer {
+    const TYPE_NAME: &'static str = "fix.producer";
+    fn declared_calls() -> &'static [CallDecl] {
+        const CALLS: &[CallDecl] = &[
+            CallDecl::send("fix.sink"),
+            CallDecl::call("fix.retired"), // the handler using this is gone
+        ];
+        CALLS
+    }
+}
+
+impl Handler<Emit> for Producer {
+    fn handle(&mut self, msg: Emit, ctx: &mut ActorContext<'_>) {
+        let _ = ctx.actor_ref::<Sink>("s").tell(Emit { n: msg.n });
+    }
+}

@@ -1,0 +1,18 @@
+//! Clean counterpart: every exit that follows the untracked mutation
+//! persists first (one path via `save()`, the other via `mutate()`).
+
+impl Actor for Counter {
+    const TYPE_NAME: &'static str = "fix.counter";
+}
+
+impl Handler<Bump> for Counter {
+    fn handle(&mut self, msg: Bump, _ctx: &mut ActorContext<'_>) -> u64 {
+        self.state.get_mut_untracked().total += msg.by;
+        if msg.dry_run {
+            self.state.save();
+            return self.state.get().total;
+        }
+        self.state.mutate(|s| s.high_water = s.high_water.max(s.total));
+        self.state.get().total
+    }
+}

@@ -1,0 +1,18 @@
+//! Seeded persistence hazard: an untracked state mutation escapes the
+//! turn on the early-return path without ever being persisted.
+
+impl Actor for Counter {
+    const TYPE_NAME: &'static str = "fix.counter";
+}
+
+impl Handler<Bump> for Counter {
+    fn handle(&mut self, msg: Bump, _ctx: &mut ActorContext<'_>) -> u64 {
+        self.state.get_mut_untracked().total += msg.by;
+        if msg.dry_run {
+            // Early exit: the bump above is never marked dirty.
+            return self.state.get().total;
+        }
+        self.state.save();
+        self.state.get().total
+    }
+}

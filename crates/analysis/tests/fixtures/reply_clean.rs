@@ -1,0 +1,27 @@
+//! Clean counterpart: every path either delivers the sink, stashes it
+//! for a deferred reply, or propagates an error with `?`.
+
+pub struct Fetch {
+    pub key: String,
+    pub reply: ReplyTo<Option<String>>,
+}
+
+impl Actor for Store {
+    const TYPE_NAME: &'static str = "fix.store";
+}
+
+impl Handler<Fetch> for Store {
+    fn handle(&mut self, msg: Fetch, _ctx: &mut ActorContext<'_>) -> Result<(), StoreError> {
+        self.authorize(&msg.key)?;
+        match self.table.get(&msg.key) {
+            Some(value) => {
+                msg.reply.deliver(Some(value.clone()));
+            }
+            None => {
+                // Deferred reply: resolved when the backfill completes.
+                self.pending.push(msg.reply);
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,25 @@
+//! Seeded reply leak: one match arm drops the message (and its `ReplyTo`
+//! sink) on the floor — the caller's promise never resolves.
+
+pub struct Fetch {
+    pub key: String,
+    pub reply: ReplyTo<Option<String>>,
+}
+
+impl Actor for Store {
+    const TYPE_NAME: &'static str = "fix.store";
+}
+
+impl Handler<Fetch> for Store {
+    fn handle(&mut self, msg: Fetch, _ctx: &mut ActorContext<'_>) {
+        match self.table.get(&msg.key) {
+            Some(value) => {
+                msg.reply.deliver(Some(value.clone()));
+            }
+            None => {
+                // Forgot to deliver: the sink is dropped unresolved.
+                self.misses += 1;
+            }
+        }
+    }
+}

@@ -19,7 +19,17 @@ fn fixture(name: &str) -> String {
 
 #[test]
 fn workspace_is_clean() {
-    let out = lint().output().expect("spawn aodb-lint");
+    // Clean under the checked-in baseline (which carries the one
+    // deliberate drift in tests/enforcement.rs); without a baseline that
+    // finding fires, which `verify.rs` covers separately.
+    let baseline = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../analysis-baseline.toml")
+        .display()
+        .to_string();
+    let out = lint()
+        .args(["--baseline", &baseline])
+        .output()
+        .expect("spawn aodb-lint");
     let stdout = String::from_utf8_lossy(&out.stdout);
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
@@ -33,7 +43,12 @@ fn workspace_is_clean() {
 #[test]
 fn sync_cycle_fixture_is_rejected_with_path() {
     let out = lint()
-        .args(["--graph", &fixture("sync_cycle.edges"), "--no-lint"])
+        .args([
+            "--graph",
+            &fixture("sync_cycle.edges"),
+            "--no-lint",
+            "--no-verify",
+        ])
         .output()
         .expect("spawn aodb-lint");
     assert!(
@@ -56,7 +71,12 @@ fn sync_cycle_fixture_is_rejected_with_path() {
 #[test]
 fn acyclic_fixture_passes() {
     let out = lint()
-        .args(["--graph", &fixture("acyclic.edges"), "--no-lint"])
+        .args([
+            "--graph",
+            &fixture("acyclic.edges"),
+            "--no-lint",
+            "--no-verify",
+        ])
         .output()
         .expect("spawn aodb-lint");
     let stdout = String::from_utf8_lossy(&out.stdout);

@@ -340,12 +340,14 @@ impl Handler<WorkStep> for Cow {
             return StepResult::Failed("malformed step: missing new_owner".into());
         };
         let key = ctx.key().to_string();
-        if self
+        // The idempotence-token insertion must itself be durable: if it
+        // went through get_mut_untracked() and the guard rejected the
+        // replay, the turn could end with the token unpersisted and a
+        // later replay would double-apply.
+        let fresh = self
             .state
-            .get_mut_untracked()
-            .transfer_guard
-            .first_time(&msg.idempotence)
-        {
+            .mutate(|s| s.transfer_guard.first_time(&msg.idempotence));
+        if fresh {
             self.state.mutate(|s| {
                 if s.farmer != new_owner {
                     s.farmer = new_owner.clone();

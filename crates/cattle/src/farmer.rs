@@ -193,12 +193,12 @@ impl Handler<WorkStep> for Farmer {
             Ok(c) => c,
             Err(e) => return StepResult::Failed(e),
         };
-        if self
+        // Durable idempotence: record the token through mutate() so a
+        // replay-rejecting turn still persists the guard state.
+        let fresh = self
             .state
-            .get_mut_untracked()
-            .transfer_guard
-            .first_time(&msg.idempotence)
-        {
+            .mutate(|s| s.transfer_guard.first_time(&msg.idempotence));
+        if fresh {
             self.apply(&change);
         }
         StepResult::Done

@@ -116,12 +116,10 @@ impl Handler<WorkStep> for Account {
         if permanent {
             return StepResult::Failed("permanently rejected".into());
         }
-        if self
+        let fresh = self
             .state
-            .get_mut_untracked()
-            .applied
-            .first_time(&msg.idempotence)
-        {
+            .mutate(|s| s.applied.first_time(&msg.idempotence));
+        if fresh {
             self.state.mutate(|s| s.balance += delta);
         }
         StepResult::Done
