@@ -47,7 +47,7 @@ fn bench_ingest(c: &mut Criterion) {
             b.iter(|| {
                 ts += 1000;
                 channel
-                    .call(aodb_shm::messages::Ingest { points: points(ts) })
+                    .call(aodb_shm::messages::Ingest::new(points(ts)))
                     .unwrap()
             })
         });
@@ -64,7 +64,7 @@ fn bench_ingest(c: &mut Criterion) {
             b.iter(|| {
                 ts += 1000;
                 channel
-                    .call(aodb_shm::messages::Ingest { points: points(ts) })
+                    .call(aodb_shm::messages::Ingest::new(points(ts)))
                     .unwrap()
             })
         });

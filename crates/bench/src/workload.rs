@@ -337,7 +337,7 @@ fn fire_ingest(
             })
             .collect();
         if channel
-            .ask_with(Ingest { points }, collector.slot())
+            .ask_with(Ingest::new(points), collector.slot())
             .is_err()
         {
             shared.send_errors.fetch_add(1, Ordering::Relaxed);

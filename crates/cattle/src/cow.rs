@@ -363,3 +363,57 @@ impl Handler<WorkStep> for Cow {
         StepResult::Done
     }
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{
+        assert_codec_roundtrip, breed, chain_event, collar_reading, cow_status, geo_fence,
+        geo_point, idempotence_guard, key,
+    };
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any cow state survives the persistence codec unchanged — the
+        /// widest state in the workspace (collar window, trajectory,
+        /// events, geo-fence, idempotence guard).
+        #[test]
+        fn cow_state_roundtrips(
+            (farmer, breed, born_ms, status, fence) in (
+                key(),
+                breed(),
+                any::<u64>(),
+                cow_status(),
+                proptest::option::of(geo_fence()),
+            ),
+            (fence_violations, location_cell, window, trajectory) in (
+                any::<u64>(),
+                proptest::option::of(key()),
+                proptest::collection::vec(collar_reading(), 0..5),
+                proptest::collection::vec((any::<u64>(), geo_point()), 0..5),
+            ),
+            (total_readings, events, transfer_guard) in (
+                any::<u64>(),
+                proptest::collection::vec(chain_event(), 0..5),
+                idempotence_guard(),
+            ),
+        ) {
+            assert_codec_roundtrip(&CowState {
+                farmer,
+                breed,
+                born_ms,
+                status,
+                fence,
+                fence_violations,
+                location_cell,
+                window: window.into(),
+                trajectory: trajectory.into(),
+                total_readings,
+                events,
+                transfer_guard,
+            });
+        }
+    }
+}

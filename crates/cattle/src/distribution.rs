@@ -300,3 +300,60 @@ impl Handler<GetDeliveryInfo> for Delivery {
         }
     }
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{assert_codec_roundtrip, key};
+    use proptest::prelude::*;
+
+    fn delivery_status() -> impl Strategy<Value = DeliveryStatus> {
+        prop_oneof![
+            Just(DeliveryStatus::Planned),
+            Just(DeliveryStatus::InTransit),
+            Just(DeliveryStatus::Delivered),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any distributor state survives the persistence codec unchanged.
+        #[test]
+        fn distributor_state_roundtrips(
+            name in key(),
+            deliveries in proptest::collection::vec(key(), 0..5),
+            next_delivery in any::<u64>(),
+        ) {
+            assert_codec_roundtrip(&DistributorState { name, deliveries, next_delivery });
+        }
+
+        /// Any delivery state survives the persistence codec unchanged.
+        #[test]
+        fn delivery_state_roundtrips(
+            (distributor, cuts, from, to) in (
+                key(),
+                proptest::collection::vec(key(), 0..5),
+                key(),
+                key(),
+            ),
+            (vehicle, status, departed_ms, arrived_ms) in (
+                key(),
+                delivery_status(),
+                proptest::option::of(any::<u64>()),
+                proptest::option::of(any::<u64>()),
+            ),
+        ) {
+            assert_codec_roundtrip(&DeliveryState {
+                distributor,
+                cuts,
+                from,
+                to,
+                vehicle,
+                status,
+                departed_ms,
+                arrived_ms,
+            });
+        }
+    }
+}

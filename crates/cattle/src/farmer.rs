@@ -204,3 +204,27 @@ impl Handler<WorkStep> for Farmer {
         StepResult::Done
     }
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{assert_codec_roundtrip, geo_fence, idempotence_guard, key};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any farmer state survives the persistence codec unchanged —
+        /// including the transfer-idempotence guard that keeps workflow
+        /// resubmission exactly-once across crashes.
+        #[test]
+        fn farmer_state_roundtrips(
+            name in key(),
+            cows in proptest::collection::vec(key(), 0..5),
+            pastures in proptest::collection::vec((key(), geo_fence()), 0..4),
+            transfer_guard in idempotence_guard(),
+        ) {
+            assert_codec_roundtrip(&FarmerState { name, cows, pastures, transfer_guard });
+        }
+    }
+}

@@ -34,6 +34,9 @@ pub mod tracing;
 pub mod transfer;
 pub mod types;
 
+#[cfg(test)]
+pub(crate) mod test_props;
+
 mod platform;
 
 pub use cow::{Cow, CowInfo};

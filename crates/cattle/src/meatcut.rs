@@ -123,3 +123,25 @@ impl Handler<GetCutInfo> for MeatCut {
         }
     }
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{assert_codec_roundtrip, itinerary_entry, key, meat_cut_data};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any meat-cut state survives the persistence codec unchanged.
+        #[test]
+        fn cut_state_roundtrips(
+            data in proptest::option::of(meat_cut_data()),
+            itinerary in proptest::collection::vec(itinerary_entry(), 0..5),
+            holder in key(),
+            product in proptest::option::of(key()),
+        ) {
+            assert_codec_roundtrip(&CutState { data, itinerary, holder, product });
+        }
+    }
+}

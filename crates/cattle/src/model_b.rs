@@ -209,3 +209,27 @@ impl Handler<CountCutVersions> for CutHolder {
         s.live.len() + s.history.len()
     }
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{assert_codec_roundtrip, key, versioned_cut};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any holder state (model B's redundant versioned copies)
+        /// survives the persistence codec unchanged.
+        #[test]
+        fn holder_state_roundtrips(
+            live in proptest::collection::vec((key(), versioned_cut()), 0..4),
+            history in proptest::collection::vec(versioned_cut(), 0..4),
+        ) {
+            assert_codec_roundtrip(&HolderState {
+                live: live.into_iter().collect(),
+                history,
+            });
+        }
+    }
+}

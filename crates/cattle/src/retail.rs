@@ -221,3 +221,36 @@ impl Handler<GetProductInfo> for MeatProduct {
         }
     }
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{assert_codec_roundtrip, chain_event, key};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any retailer state survives the persistence codec unchanged.
+        #[test]
+        fn retailer_state_roundtrips(
+            name in key(),
+            products in proptest::collection::vec(key(), 0..5),
+            next_product in any::<u64>(),
+            events in proptest::collection::vec(chain_event(), 0..6),
+        ) {
+            assert_codec_roundtrip(&RetailerState { name, products, next_product, events });
+        }
+
+        /// Any product state survives the persistence codec unchanged.
+        #[test]
+        fn product_state_roundtrips(
+            retailer in key(),
+            cuts in proptest::collection::vec(key(), 0..5),
+            name in key(),
+            created_ms in any::<u64>(),
+        ) {
+            assert_codec_roundtrip(&ProductState { retailer, cuts, name, created_ms });
+        }
+    }
+}

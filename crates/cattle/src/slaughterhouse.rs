@@ -181,3 +181,25 @@ impl Handler<GetSlaughterLog> for Slaughterhouse {
         self.state.get().events.clone()
     }
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{assert_codec_roundtrip, chain_event, key};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any slaughterhouse state survives the persistence codec
+        /// unchanged.
+        #[test]
+        fn slaughterhouse_state_roundtrips(
+            name in key(),
+            events in proptest::collection::vec(chain_event(), 0..6),
+            cuts_created in any::<u64>(),
+        ) {
+            assert_codec_roundtrip(&SlaughterhouseState { name, events, cuts_created });
+        }
+    }
+}

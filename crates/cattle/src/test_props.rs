@@ -1,0 +1,161 @@
+//! Shared proptest strategies and the codec round-trip assertion for the
+//! persisted-state tests (the `codec_tests` modules next to each state
+//! type).
+//!
+//! Every `Persisted<T>` blob goes through `aodb_store::codec`, so
+//! "decode (encode s) == s" over arbitrary states is exactly the
+//! crash-recovery property: any state a crash can leave in the store
+//! must reactivate unchanged.
+
+use aodb_core::{IdempotenceGuard, TransferRecord, Versioned};
+use proptest::prelude::*;
+
+use crate::types::{
+    Breed, ChainEvent, ChainEventKind, CollarReading, CowStatus, GeoFence, GeoPoint,
+    ItineraryEntry, MeatCutData,
+};
+
+/// Encodes with the store codec, decodes, and compares canonically
+/// (`serde_json::Value` is `BTreeMap`-backed, so the comparison is
+/// field-order-insensitive but misses nothing).
+pub(crate) fn assert_codec_roundtrip<T>(state: &T)
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let bytes = aodb_store::codec::encode_state(state).expect("state must encode");
+    let back: T = aodb_store::codec::decode_state(&bytes).expect("state must decode");
+    assert_eq!(
+        serde_json::to_value(state).expect("canonical form"),
+        serde_json::to_value(&back).expect("canonical form"),
+        "state drifted across the persistence codec"
+    );
+}
+
+/// Actor-key-shaped strings, including the empty string.
+pub(crate) fn key() -> impl Strategy<Value = String> {
+    "[a-z0-9/_-]{0,12}"
+}
+
+/// A GPS fix anywhere on the globe.
+pub(crate) fn geo_point() -> impl Strategy<Value = GeoPoint> {
+    (-90.0f64..90.0, -180.0f64..180.0).prop_map(|(lat, lon)| GeoPoint { lat, lon })
+}
+
+/// Either fence shape.
+pub(crate) fn geo_fence() -> impl Strategy<Value = GeoFence> {
+    prop_oneof![
+        (geo_point(), 0.0f64..10.0)
+            .prop_map(|(center, radius)| GeoFence::Circle { center, radius }),
+        (geo_point(), geo_point()).prop_map(|(min, max)| GeoFence::Rect { min, max }),
+    ]
+}
+
+/// One collar report.
+pub(crate) fn collar_reading() -> impl Strategy<Value = CollarReading> {
+    (any::<u64>(), geo_point(), 0.0f64..30.0, 30.0f64..45.0).prop_map(
+        |(ts_ms, position, speed, temperature)| CollarReading {
+            ts_ms,
+            position,
+            speed,
+            temperature,
+        },
+    )
+}
+
+/// Every supply-chain event kind.
+pub(crate) fn chain_event() -> impl Strategy<Value = ChainEvent> {
+    (
+        key(),
+        prop_oneof![
+            Just(ChainEventKind::Born),
+            Just(ChainEventKind::OwnershipTransferred),
+            Just(ChainEventKind::Slaughtered),
+            Just(ChainEventKind::CutCreated),
+            Just(ChainEventKind::Departed),
+            Just(ChainEventKind::Arrived),
+            Just(ChainEventKind::ProductCreated),
+        ],
+        key(),
+        any::<u64>(),
+    )
+        .prop_map(|(entity, kind, actor, ts_ms)| ChainEvent {
+            entity,
+            kind,
+            actor,
+            ts_ms,
+        })
+}
+
+/// Every breed.
+pub(crate) fn breed() -> impl Strategy<Value = Breed> {
+    prop_oneof![
+        Just(Breed::Angus),
+        Just(Breed::Hereford),
+        Just(Breed::Nelore),
+        Just(Breed::HolsteinCross),
+    ]
+}
+
+/// Both lifecycle states.
+pub(crate) fn cow_status() -> impl Strategy<Value = CowStatus> {
+    prop_oneof![Just(CowStatus::Alive), Just(CowStatus::Slaughtered)]
+}
+
+/// A meat-cut payload.
+pub(crate) fn meat_cut_data() -> impl Strategy<Value = MeatCutData> {
+    (key(), key(), key(), 0.0f64..500.0).prop_map(|(cow, slaughterhouse, cut_type, weight_kg)| {
+        MeatCutData {
+            cow,
+            slaughterhouse,
+            cut_type,
+            weight_kg,
+        }
+    })
+}
+
+/// One leg of a cut's journey.
+pub(crate) fn itinerary_entry() -> impl Strategy<Value = ItineraryEntry> {
+    (key(), key(), key(), any::<u64>()).prop_map(|(delivery, from, to, arrived_ms)| {
+        ItineraryEntry {
+            delivery,
+            from,
+            to,
+            arrived_ms,
+        }
+    })
+}
+
+/// A versioned meat-cut copy with a provenance chain of `hops` transfers
+/// (the model-B redundant-state representation).
+pub(crate) fn versioned_cut() -> impl Strategy<Value = Versioned<MeatCutData>> {
+    (
+        key(),
+        key(),
+        meat_cut_data(),
+        proptest::collection::vec((key(), key(), any::<u64>()), 0..4),
+    )
+        .prop_map(|(entity, owner, payload, hops)| {
+            let mut v = Versioned::new(entity, owner, payload);
+            for (i, (from, to, at_ms)) in hops.into_iter().enumerate() {
+                v.version = i as u32 + 1;
+                v.history.push(TransferRecord {
+                    from,
+                    to,
+                    version: v.version,
+                    at_ms,
+                });
+            }
+            v
+        })
+}
+
+/// A guard that has already seen an arbitrary set of tokens.
+pub(crate) fn idempotence_guard() -> impl Strategy<Value = IdempotenceGuard> {
+    proptest::collection::vec(key(), 0..5).prop_map(|tokens| {
+        let mut guard = IdempotenceGuard::new();
+        for t in &tokens {
+            guard.first_time(t);
+        }
+        guard
+    })
+}

@@ -1,0 +1,87 @@
+//! The at-most-one-activation invariant under crash/restart churn: even
+//! while silos die and return mid-traffic, two turns for the same actor
+//! key must never overlap — `kill_silo` waits for in-flight turns before
+//! eviction, so a reactivation on a survivor cannot race its predecessor.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use aodb_chaos::{ActivationTracker, SeedReport, SpreadPlacement};
+use aodb_runtime::{Actor, ActorContext, Handler, Message, RuntimeBuilder, SiloId};
+
+static TRACKER: OnceLock<ActivationTracker> = OnceLock::new();
+
+fn tracker() -> &'static ActivationTracker {
+    TRACKER.get_or_init(ActivationTracker::new)
+}
+
+struct Hit;
+impl Message for Hit {
+    type Reply = u64;
+}
+
+/// Unpersisted counter whose only job is to hold the turn open long
+/// enough that an illegally concurrent second activation would be seen.
+struct Counter {
+    key: String,
+    hits: u64,
+}
+
+impl Actor for Counter {
+    const TYPE_NAME: &'static str = "chaos.counter";
+}
+
+impl Handler<Hit> for Counter {
+    fn handle(&mut self, _msg: Hit, _ctx: &mut ActorContext<'_>) -> u64 {
+        let _turn = tracker().enter(&self.key);
+        std::thread::sleep(Duration::from_micros(200));
+        self.hits += 1;
+        self.hits
+    }
+}
+
+#[test]
+fn crash_restart_churn_never_overlaps_activations() {
+    let _report = SeedReport::new(aodb_chaos::env_seed(0xAC71));
+    let rt = RuntimeBuilder::new()
+        .silos(3, 2)
+        .placement(SpreadPlacement)
+        .build();
+    rt.register(|id| Counter {
+        key: id.key.to_string(),
+        hits: 0,
+    });
+
+    let keys: Vec<String> = (0..16).map(|i| format!("counter-{i}")).collect();
+    std::thread::scope(|scope| {
+        // Four client threads hammer all keys; kills re-place actors onto
+        // survivors while earlier turns may still be draining.
+        for _ in 0..4 {
+            let rt = &rt;
+            let keys = &keys;
+            scope.spawn(move || {
+                for _ in 0..40 {
+                    for key in keys {
+                        if let Ok(p) = rt.actor_ref::<Counter>(key.as_str()).ask(Hit) {
+                            let _ = p.wait_for(Duration::from_secs(5));
+                        }
+                    }
+                }
+            });
+        }
+        for victim in [SiloId(1), SiloId(2), SiloId(1)] {
+            std::thread::sleep(Duration::from_millis(5));
+            rt.kill_silo(victim);
+            std::thread::sleep(Duration::from_millis(3));
+            assert!(rt.restart_silo(victim));
+        }
+    });
+
+    assert!(rt.quiesce(Duration::from_secs(10)));
+    assert_eq!(
+        tracker().violations(),
+        0,
+        "two activations of one actor ran turns concurrently"
+    );
+    rt.shutdown();
+}

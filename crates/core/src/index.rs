@@ -287,3 +287,36 @@ impl IndexClient {
         self.buckets
     }
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{assert_codec_roundtrip, key};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any index-shard state survives the persistence codec
+        /// unchanged.
+        #[test]
+        fn shard_state_roundtrips(
+            entries in proptest::collection::vec(
+                (key(), key(), proptest::collection::vec(key(), 0..4)),
+                0..8,
+            ),
+        ) {
+            let mut postings: BTreeMap<String, BTreeMap<String, BTreeSet<String>>> =
+                BTreeMap::new();
+            for (index, value, members) in entries {
+                postings
+                    .entry(index)
+                    .or_default()
+                    .entry(value)
+                    .or_default()
+                    .extend(members);
+            }
+            assert_codec_roundtrip(&ShardState { postings });
+        }
+    }
+}

@@ -22,12 +22,14 @@ pub mod index;
 pub mod persist;
 pub mod query;
 pub mod reminders;
+#[cfg(test)]
+pub(crate) mod test_props;
 pub mod txn;
 pub mod versioned;
 pub mod workflow;
 
 pub use index::{IndexClient, IndexDump, IndexLookup, IndexMode, IndexShard, IndexUpdate};
-pub use persist::{state_key, state_key_for, Persisted, PersistentState, WritePolicy};
+pub use persist::{state_key, state_key_for, Persisted, PersistentState, RetryPolicy, WritePolicy};
 pub use query::{broadcast, CountKeys, KeyRegistry, ListKeys, RegisterKey, UnregisterKey};
 pub use reminders::{
     register_reminder, restore_reminders, unregister_reminder, ReminderFired, ReminderSpec,

@@ -37,6 +37,62 @@ pub enum WritePolicy {
     OnDeactivate,
 }
 
+/// Bounded retry/backoff for persistence writes.
+///
+/// The default stays **single-attempt** — every failed save is recorded,
+/// never amplified — matching the paper's "failed cloud write, retry at
+/// the next policy trigger" stance. Chaos configurations opt into retries
+/// to ride out seeded error bursts; retries never apply to
+/// [`StoreError::Codec`] failures (deterministic — retrying cannot help).
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per save (1 = no retry).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub initial_backoff: std::time::Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: std::time::Duration,
+    /// Shared counter bumped once per *retry* (attempts beyond the first),
+    /// typically the runtime's `persist_retries` metric.
+    pub counter: Option<Arc<std::sync::atomic::AtomicU64>>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// Single attempt, no retries (the default).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            initial_backoff: std::time::Duration::ZERO,
+            max_backoff: std::time::Duration::ZERO,
+            counter: None,
+        }
+    }
+
+    /// `max_attempts` total attempts with `initial_backoff` doubling up to
+    /// 16× between them.
+    pub fn attempts(max_attempts: u32, initial_backoff: std::time::Duration) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            initial_backoff,
+            max_backoff: initial_backoff * 16,
+            counter: None,
+        }
+    }
+
+    /// Reports retries into `counter` (e.g. the runtime's `persist_retries`
+    /// metric).
+    pub fn with_counter(mut self, counter: Arc<std::sync::atomic::AtomicU64>) -> Self {
+        self.counter = Some(counter);
+        self
+    }
+}
+
 /// Storage key namespace for actor state blobs.
 const STATE_NAMESPACE: &str = "actor-state";
 
@@ -64,6 +120,7 @@ pub struct Persisted<S: PersistentState> {
     /// to the next policy trigger.
     save_errors: u64,
     last_error: Option<StoreError>,
+    retry: RetryPolicy,
 }
 
 impl<S: PersistentState> Persisted<S> {
@@ -79,7 +136,15 @@ impl<S: PersistentState> Persisted<S> {
             mutations_since_save: 0,
             save_errors: 0,
             last_error: None,
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Installs a bounded retry/backoff policy for saves. The default is
+    /// single-attempt; see [`RetryPolicy`].
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Convenience: cell keyed by actor type name + key.
@@ -154,13 +219,36 @@ impl<S: PersistentState> Persisted<S> {
         }
     }
 
-    /// Forces a write of the current state (Orleans `WriteStateAsync`).
+    /// Forces a write of the current state (Orleans `WriteStateAsync`),
+    /// applying the configured [`RetryPolicy`] on transient failures.
     pub fn save(&mut self) -> StoreResult<()> {
         let bytes = codec::encode_state(&self.state)?;
-        self.store.put(&self.key, bytes)?;
-        self.dirty = false;
-        self.mutations_since_save = 0;
-        Ok(())
+        let mut backoff = self.retry.initial_backoff;
+        let mut attempt = 1u32;
+        loop {
+            match self.store.put(&self.key, bytes.clone()) {
+                Ok(()) => {
+                    self.dirty = false;
+                    self.mutations_since_save = 0;
+                    return Ok(());
+                }
+                // Codec errors are deterministic; retrying cannot help.
+                Err(e @ StoreError::Codec(_)) => return Err(e),
+                Err(e) => {
+                    if attempt >= self.retry.max_attempts {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    if let Some(counter) = &self.retry.counter {
+                        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff.min(self.retry.max_backoff));
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+            }
+        }
     }
 
     /// Writes back dirty state, recording (not propagating) failures. The
@@ -315,6 +403,70 @@ mod tests {
         p.clear_storage().unwrap();
         let mut fresh = cell(&store, WritePolicy::OnDeactivate);
         assert!(!fresh.load().unwrap());
+    }
+
+    #[test]
+    fn retry_policy_rides_out_transient_failures() {
+        use aodb_store::ChaosStore;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // Fails exactly the first N attempts, then heals.
+        struct FlakyUntil {
+            inner: MemStore,
+            remaining: AtomicU64,
+        }
+        impl StateStore for FlakyUntil {
+            fn get(&self, key: &Key) -> aodb_store::StoreResult<Option<aodb_store::Bytes>> {
+                self.inner.get(key)
+            }
+            fn put(&self, key: &Key, value: aodb_store::Bytes) -> StoreResult<()> {
+                if self
+                    .remaining
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    return Err(StoreError::Io("transient".into()));
+                }
+                self.inner.put(key, value)
+            }
+            fn delete(&self, key: &Key) -> StoreResult<()> {
+                self.inner.delete(key)
+            }
+            fn scan_prefix(&self, prefix: &[u8]) -> StoreResult<Vec<(Key, aodb_store::Bytes)>> {
+                self.inner.scan_prefix(prefix)
+            }
+        }
+
+        let store: Arc<dyn StateStore> = Arc::new(FlakyUntil {
+            inner: MemStore::new(),
+            remaining: AtomicU64::new(2),
+        });
+        let retries = Arc::new(AtomicU64::new(0));
+        let mut p = cell(&store, WritePolicy::EveryChange).with_retry(
+            RetryPolicy::attempts(3, Duration::ZERO).with_counter(Arc::clone(&retries)),
+        );
+        p.mutate(|s| s.alerts = 7);
+        // Two failures absorbed by retries; the third attempt landed.
+        assert_eq!(p.save_errors(), 0);
+        assert_eq!(retries.load(Ordering::SeqCst), 2);
+        let mut fresh = cell(&store, WritePolicy::OnDeactivate);
+        assert!(fresh.load().unwrap());
+        assert_eq!(fresh.get().alerts, 7);
+
+        // Exhausted retries surface as a recorded error, not a panic, and
+        // the attempt count is bounded by the policy.
+        let chaos = Arc::new(ChaosStore::manual(MemStore::new()));
+        chaos.fail_writes(true);
+        let chaos_dyn: Arc<dyn StateStore> = Arc::clone(&chaos) as Arc<dyn StateStore>;
+        let mut q: Persisted<Temperature> = Persisted::new(
+            Arc::clone(&chaos_dyn),
+            Key::new("test", "t2"),
+            WritePolicy::EveryChange,
+        )
+        .with_retry(RetryPolicy::attempts(3, Duration::ZERO));
+        q.mutate(|s| s.alerts = 1);
+        assert_eq!(q.save_errors(), 1);
+        assert_eq!(chaos.write_attempts(), 3, "bounded by max_attempts");
     }
 
     #[test]

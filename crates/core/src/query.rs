@@ -125,3 +125,25 @@ where
     }
     Ok(promise)
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{assert_codec_roundtrip, key};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any key-registry state survives the persistence codec
+        /// unchanged.
+        #[test]
+        fn registry_state_roundtrips(
+            keys in proptest::collection::vec(key(), 0..8),
+        ) {
+            assert_codec_roundtrip(&RegistryState {
+                keys: keys.into_iter().collect(),
+            });
+        }
+    }
+}

@@ -198,3 +198,36 @@ where
         .map(|s| arm::<A>(rt, s))
         .collect())
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{assert_codec_roundtrip, json_value, key};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any reminder-table state survives the persistence codec
+        /// unchanged — including arbitrary JSON payloads.
+        #[test]
+        fn table_state_roundtrips(
+            reminders in proptest::collection::vec(
+                (key(), key(), key(), any::<u64>(), json_value()),
+                0..6,
+            ),
+        ) {
+            let reminders = reminders
+                .into_iter()
+                .map(|(name, target_type, target_key, period_ms, payload)| ReminderSpec {
+                    name,
+                    target_type,
+                    target_key,
+                    period_ms,
+                    payload,
+                })
+                .collect();
+            assert_codec_roundtrip(&TableState { reminders });
+        }
+    }
+}

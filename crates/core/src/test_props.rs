@@ -1,0 +1,47 @@
+//! Shared proptest strategies and the codec round-trip assertion for the
+//! persisted-state tests (the `codec_tests` modules next to each state
+//! type).
+
+use proptest::prelude::*;
+use serde_json::Value;
+
+/// Encodes with the store codec, decodes, and compares canonically
+/// (`serde_json::Value` is `BTreeMap`-backed, so the comparison is
+/// field-order-insensitive but misses nothing).
+pub(crate) fn assert_codec_roundtrip<T>(state: &T)
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let bytes = aodb_store::codec::encode_state(state).expect("state must encode");
+    let back: T = aodb_store::codec::decode_state(&bytes).expect("state must decode");
+    assert_eq!(
+        serde_json::to_value(state).expect("canonical form"),
+        serde_json::to_value(&back).expect("canonical form"),
+        "state drifted across the persistence codec"
+    );
+}
+
+/// Actor-key-shaped strings, including the empty string.
+pub(crate) fn key() -> impl Strategy<Value = String> {
+    "[a-z0-9/_-]{0,12}"
+}
+
+/// Arbitrary (shallow) JSON payloads: every scalar kind plus one level
+/// of array and object nesting — the shapes reminder payloads take.
+pub(crate) fn json_value() -> impl Strategy<Value = Value> {
+    let scalar = || {
+        prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(|n| serde_json::to_value(&n).expect("number")),
+            (-1e9f64..1e9).prop_map(|f| serde_json::to_value(&f).expect("number")),
+            key().prop_map(Value::String),
+        ]
+    };
+    prop_oneof![
+        scalar(),
+        proptest::collection::vec(scalar(), 0..4).prop_map(Value::Array),
+        proptest::collection::vec((key(), scalar()), 0..4)
+            .prop_map(|fields| Value::Object(fields.into_iter().collect())),
+    ]
+}

@@ -318,9 +318,14 @@ pub fn run_workflow(
 /// `apply` runs the closure only for unseen tokens, recording the token
 /// either way and reporting [`StepResult::Done`] for duplicates, which is
 /// what makes engine retries safe.
+///
+/// The token set is a `BTreeSet` so the guard serializes in a canonical
+/// order: two equal guards always produce byte-identical state blobs,
+/// which keeps persisted-state comparisons (and replay fingerprints)
+/// deterministic.
 #[derive(Default, Debug, Serialize, Deserialize)]
 pub struct IdempotenceGuard {
-    seen: std::collections::HashSet<String>,
+    seen: std::collections::BTreeSet<String>,
 }
 
 impl IdempotenceGuard {
@@ -363,5 +368,45 @@ impl IdempotenceGuard {
     /// True when no token has been applied.
     pub fn is_empty(&self) -> bool {
         self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{assert_codec_roundtrip, key};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any engine state survives the persistence codec unchanged.
+        #[test]
+        fn engine_state_roundtrips(
+            completed in proptest::collection::vec((key(), any::<u32>()), 0..6),
+        ) {
+            assert_codec_roundtrip(&EngineState {
+                completed: completed.into_iter().collect(),
+            });
+        }
+
+        /// A guard that has seen any token set round-trips, and the
+        /// decoded copy still rejects exactly the seen tokens.
+        #[test]
+        fn idempotence_guard_roundtrips(
+            tokens in proptest::collection::vec(key(), 0..6),
+        ) {
+            let mut guard = IdempotenceGuard::new();
+            for t in &tokens {
+                guard.first_time(t);
+            }
+            assert_codec_roundtrip(&guard);
+            let bytes = aodb_store::codec::encode_state(&guard).unwrap();
+            let mut back: IdempotenceGuard =
+                aodb_store::codec::decode_state(&bytes).unwrap();
+            for t in &tokens {
+                prop_assert!(!back.first_time(t), "decoded guard forgot {t:?}");
+            }
+        }
     }
 }

@@ -3,65 +3,18 @@
 //! paper's platform must keep serving when the cloud store misbehaves
 //! (DynamoDB throttling is a *normal* operating condition, not an
 //! outage) — these tests pin that behaviour down.
+//!
+//! The fault source is [`ChaosStore`] in manual mode (the library-grade
+//! replacement for the hand-rolled `FaultyStore` this file used to carry).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use aodb_core::{Persisted, WritePolicy};
 use aodb_runtime::{Actor, ActorContext, Handler, Message, Runtime};
-use aodb_store::{Bytes, Key, MemStore, StateStore, StoreError, StoreResult};
+use aodb_store::{ChaosStore, MemStore, StateStore};
 
-/// A store decorator that fails reads and/or writes while the respective
-/// flag is up.
-struct FaultyStore {
-    inner: MemStore,
-    fail_writes: AtomicBool,
-    fail_reads: AtomicBool,
-    write_attempts: AtomicU64,
-}
-
-impl FaultyStore {
-    fn new() -> Self {
-        FaultyStore {
-            inner: MemStore::new(),
-            fail_writes: AtomicBool::new(false),
-            fail_reads: AtomicBool::new(false),
-            write_attempts: AtomicU64::new(0),
-        }
-    }
-}
-
-impl StateStore for FaultyStore {
-    fn get(&self, key: &Key) -> StoreResult<Option<Bytes>> {
-        if self.fail_reads.load(Ordering::Acquire) {
-            return Err(StoreError::Io("injected read failure".into()));
-        }
-        self.inner.get(key)
-    }
-
-    fn put(&self, key: &Key, value: Bytes) -> StoreResult<()> {
-        self.write_attempts.fetch_add(1, Ordering::Relaxed);
-        if self.fail_writes.load(Ordering::Acquire) {
-            return Err(StoreError::Io("injected write failure".into()));
-        }
-        self.inner.put(key, value)
-    }
-
-    fn delete(&self, key: &Key) -> StoreResult<()> {
-        if self.fail_writes.load(Ordering::Acquire) {
-            return Err(StoreError::Io("injected write failure".into()));
-        }
-        self.inner.delete(key)
-    }
-
-    fn scan_prefix(&self, prefix: &[u8]) -> StoreResult<Vec<(Key, Bytes)>> {
-        if self.fail_reads.load(Ordering::Acquire) {
-            return Err(StoreError::Io("injected read failure".into()));
-        }
-        self.inner.scan_prefix(prefix)
-    }
-}
+type FaultyStore = ChaosStore<MemStore>;
 
 struct Counter {
     state: Persisted<u64>,
@@ -130,21 +83,21 @@ fn setup(faulty: &Arc<FaultyStore>) -> Runtime {
 
 #[test]
 fn actor_keeps_serving_while_writes_fail() {
-    let faulty = Arc::new(FaultyStore::new());
+    let faulty = Arc::new(ChaosStore::manual(MemStore::new()));
     let rt = setup(&faulty);
     let actor = rt.actor_ref::<Counter>("w");
     assert_eq!(actor.call(Bump).unwrap(), 1);
 
     // The store goes dark for writes: the actor keeps mutating in memory
     // and records the failures instead of crashing or losing requests.
-    faulty.fail_writes.store(true, Ordering::Release);
+    faulty.fail_writes(true);
     for i in 2..=10 {
         assert_eq!(actor.call(Bump).unwrap(), i);
     }
     assert_eq!(actor.call(Errors).unwrap(), 9);
 
     // Store heals: the next mutation persists the *current* state.
-    faulty.fail_writes.store(false, Ordering::Release);
+    faulty.fail_writes(false);
     assert_eq!(actor.call(Bump).unwrap(), 11);
     actor.call(Kill).unwrap();
     assert!(rt.quiesce(Duration::from_secs(5)));
@@ -157,16 +110,16 @@ fn actor_keeps_serving_while_writes_fail() {
 
 #[test]
 fn outage_spanning_deactivation_loses_only_unflushed_window() {
-    let faulty = Arc::new(FaultyStore::new());
+    let faulty = Arc::new(ChaosStore::manual(MemStore::new()));
     let rt = setup(&faulty);
     let actor = rt.actor_ref::<Counter>("d");
     assert_eq!(actor.call(Bump).unwrap(), 1); // persisted: 1
 
-    faulty.fail_writes.store(true, Ordering::Release);
+    faulty.fail_writes(true);
     assert_eq!(actor.call(Bump).unwrap(), 2); // in-memory only
     actor.call(Kill).unwrap(); // flush also fails during the outage
     assert!(rt.quiesce(Duration::from_secs(5)));
-    faulty.fail_writes.store(false, Ordering::Release);
+    faulty.fail_writes(false);
 
     // The documented semantics of a full-outage deactivation: state rolls
     // back to the last durable write.
@@ -176,13 +129,13 @@ fn outage_spanning_deactivation_loses_only_unflushed_window() {
 
 #[test]
 fn activation_with_failing_reads_starts_from_default() {
-    let faulty = Arc::new(FaultyStore::new());
+    let faulty = Arc::new(ChaosStore::manual(MemStore::new()));
     {
         let rt = setup(&faulty);
         rt.actor_ref::<Counter>("r").call(Bump).unwrap();
         rt.shutdown();
     }
-    faulty.fail_reads.store(true, Ordering::Release);
+    faulty.fail_reads(true);
     let rt = setup(&faulty);
     let actor = rt.actor_ref::<Counter>("r");
     // load_or_default records the failure and serves from defaults rather
@@ -196,16 +149,16 @@ fn activation_with_failing_reads_starts_from_default() {
 fn write_failures_do_not_amplify_attempts() {
     // One mutation = one write attempt, even while failing (no internal
     // hot retry loop that would hammer a throttled store).
-    let faulty = Arc::new(FaultyStore::new());
+    let faulty = Arc::new(ChaosStore::manual(MemStore::new()));
     let rt = setup(&faulty);
     let actor = rt.actor_ref::<Counter>("a");
     actor.call(Bump).unwrap();
-    let baseline = faulty.write_attempts.load(Ordering::Relaxed);
-    faulty.fail_writes.store(true, Ordering::Release);
+    let baseline = faulty.write_attempts();
+    faulty.fail_writes(true);
     for _ in 0..20 {
         actor.call(Bump).unwrap();
     }
-    let attempts = faulty.write_attempts.load(Ordering::Relaxed) - baseline;
+    let attempts = faulty.write_attempts() - baseline;
     assert_eq!(attempts, 20);
     rt.shutdown();
 }

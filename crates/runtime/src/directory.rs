@@ -104,6 +104,21 @@ impl Directory {
         out
     }
 
+    /// Snapshot of all activations hosted on `silo` (crash eviction).
+    pub fn collect_on_silo(&self, silo: crate::identity::SiloId) -> Vec<Arc<Activation>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(
+                shard
+                    .read()
+                    .values()
+                    .filter(|act| act.silo == silo)
+                    .cloned(),
+            );
+        }
+        out
+    }
+
     /// Activations whose last activity predates `cutoff_ms` (runtime-relative
     /// milliseconds), i.e. candidates for idle deactivation.
     pub fn collect_idle(&self, cutoff_ms: u64) -> Vec<Arc<Activation>> {

@@ -5,11 +5,27 @@
 //! closure the scheduler can run against a `dyn` actor. The typed-to-erased
 //! boundary lives entirely here; everything downstream (mailboxes, silos,
 //! the simulated network) moves opaque envelopes.
+//!
+//! The closure takes a [`Turn`], not the actor directly, so the runtime can
+//! consume an envelope in one of two ways without a second allocation:
+//! *run* it against the activation, or *abort* it with a typed error (a
+//! crashed silo resolving queued requests as
+//! [`PromiseError::SiloLost`][crate::PromiseError::SiloLost]).
 
 use crate::actor::{ActorContext, AnyActor, Handler, Message};
+use crate::error::PromiseError;
 use crate::promise::ReplyTo;
 
-type RunFn = Box<dyn FnOnce(&mut dyn AnyActor, &mut ActorContext<'_>) + Send>;
+/// How an envelope is consumed: executed as a turn, or aborted with the
+/// reason delivered to its reply sink.
+pub(crate) enum Turn<'a, 'c> {
+    /// Execute the handler against the activation.
+    Run(&'a mut dyn AnyActor, &'a mut ActorContext<'c>),
+    /// The turn will never run; resolve the reply sink with this error.
+    Abort(PromiseError),
+}
+
+type RunFn = Box<dyn FnOnce(Turn<'_, '_>) + Send>;
 
 /// What kind of turn an envelope triggers; used for scheduling bookkeeping
 /// and metrics.
@@ -25,6 +41,11 @@ pub(crate) enum EnvelopeKind {
 pub struct Envelope {
     run: RunFn,
     kind: EnvelopeKind,
+    /// Rebuilds a reply-less copy of this envelope, for chaos
+    /// duplicate-delivery injection. Only present for envelopes built via
+    /// [`Envelope::replayable`] (requires `M: Clone`); the chaos layer
+    /// falls back to delivering non-replayable envelopes exactly once.
+    replay: Option<Box<dyn Fn() -> Envelope + Send>>,
 }
 
 impl Envelope {
@@ -35,24 +56,51 @@ impl Envelope {
         M: Message,
     {
         Envelope {
-            run: Box::new(move |actor, ctx| {
-                let actor = actor
-                    .as_any_mut()
-                    .downcast_mut::<A>()
-                    .expect("envelope executed against wrong actor type");
-                let out = actor.handle(msg, ctx);
-                reply.deliver(out);
+            run: Box::new(move |turn| match turn {
+                Turn::Run(actor, ctx) => {
+                    let actor = actor
+                        .as_any_mut()
+                        .downcast_mut::<A>()
+                        .expect("envelope executed against wrong actor type");
+                    let out = actor.handle(msg, ctx);
+                    reply.deliver(out);
+                }
+                Turn::Abort(err) => reply.abort(err),
             }),
             kind: EnvelopeKind::User,
+            replay: None,
         }
+    }
+
+    /// Like [`Envelope::of`], but also carries a factory that can rebuild
+    /// the envelope from a clone of the message, letting the chaos layer
+    /// inject duplicate deliveries. The duplicate is delivered one-way
+    /// (its reply is ignored) — at-least-once delivery duplicates the
+    /// *effect*, not the response channel.
+    pub fn replayable<A, M>(msg: M, reply: ReplyTo<M::Reply>) -> Envelope
+    where
+        A: Handler<M>,
+        M: Message + Clone,
+    {
+        let copy = msg.clone();
+        let mut env = Envelope::of::<A, M>(msg, reply);
+        env.replay = Some(Box::new(move || {
+            Envelope::of::<A, M>(copy.clone(), ReplyTo::Ignore)
+        }));
+        env
     }
 
     /// The synthetic `on_activate` turn enqueued as the first message of
     /// every fresh activation.
     pub(crate) fn lifecycle_activate() -> Envelope {
         Envelope {
-            run: Box::new(|actor, ctx| actor.activate(ctx)),
+            run: Box::new(|turn| {
+                if let Turn::Run(actor, ctx) = turn {
+                    actor.activate(ctx)
+                }
+            }),
             kind: EnvelopeKind::Lifecycle,
+            replay: None,
         }
     }
 
@@ -60,9 +108,20 @@ impl Envelope {
         self.kind
     }
 
+    /// A reply-less copy of this envelope, when it was built replayable.
+    pub(crate) fn try_replay(&self) -> Option<Envelope> {
+        self.replay.as_ref().map(|f| f())
+    }
+
     /// Executes the turn.
     pub(crate) fn run(self, actor: &mut dyn AnyActor, ctx: &mut ActorContext<'_>) {
-        (self.run)(actor, ctx);
+        (self.run)(Turn::Run(actor, ctx));
+    }
+
+    /// Resolves the envelope's reply sink with `err` without running the
+    /// handler (crashed silo, dropped message).
+    pub(crate) fn abort(self, err: PromiseError) {
+        (self.run)(Turn::Abort(err));
     }
 }
 
@@ -70,6 +129,7 @@ impl std::fmt::Debug for Envelope {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Envelope")
             .field("kind", &self.kind)
+            .field("replayable", &self.replay.is_some())
             .finish()
     }
 }

@@ -13,6 +13,9 @@ pub enum SendError {
     /// budget was exhausted. This indicates pathological idle-timeout
     /// configuration rather than a transient condition.
     ActivationRace,
+    /// Every silo in the cluster is crashed ([`crate::Runtime::kill_silo`]);
+    /// there is nowhere to place an activation until a restart.
+    NoSiloAvailable,
 }
 
 impl fmt::Display for SendError {
@@ -24,6 +27,9 @@ impl fmt::Display for SendError {
             SendError::RuntimeShutdown => write!(f, "runtime is shut down"),
             SendError::ActivationRace => {
                 write!(f, "dispatch retry budget exhausted due to activation races")
+            }
+            SendError::NoSiloAvailable => {
+                write!(f, "all silos are crashed; no placement target available")
             }
         }
     }
@@ -37,10 +43,18 @@ pub enum PromiseError {
     /// The reply side was dropped without ever producing a value.
     ///
     /// This happens when the target actor panicked during the turn that
-    /// should have produced the reply, or when the runtime shut down.
+    /// should have produced the reply, when the runtime shut down, or when
+    /// the chaos layer dropped the message at the network boundary.
     Lost,
     /// The timeout passed to [`crate::Promise::wait_for`] elapsed.
     Timeout,
+    /// The silo hosting the target activation crashed
+    /// ([`crate::Runtime::kill_silo`]) while the request was queued or in
+    /// flight there. Unlike [`PromiseError::Lost`] this names the cause, so
+    /// callers can retry: the identity still exists, and the next dispatch
+    /// re-places it on a surviving silo and reactivates it from the last
+    /// durable state.
+    SiloLost,
 }
 
 impl fmt::Display for PromiseError {
@@ -48,11 +62,21 @@ impl fmt::Display for PromiseError {
         match self {
             PromiseError::Lost => write!(f, "reply was lost (target panicked or shut down)"),
             PromiseError::Timeout => write!(f, "timed out waiting for reply"),
+            PromiseError::SiloLost => {
+                write!(f, "silo hosting the target crashed; retry to reactivate")
+            }
         }
     }
 }
 
 impl std::error::Error for PromiseError {}
+
+/// The error type callers of [`crate::ActorRef::ask`] / `call` see for
+/// actor-side failures. An alias of [`PromiseError`]: the interesting
+/// variant for fault tolerance is [`ActorError::SiloLost`], which tells the
+/// caller the hosting silo crashed and a retry will reactivate the actor
+/// elsewhere.
+pub type ActorError = PromiseError;
 
 /// Convenience alias for call results: dispatch may fail, and waiting on
 /// the reply may fail independently.

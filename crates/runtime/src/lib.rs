@@ -54,6 +54,7 @@
 #![deny(unsafe_code)]
 
 mod actor;
+pub mod chaos;
 mod directory;
 mod envelope;
 mod error;
@@ -68,13 +69,16 @@ mod silo;
 mod topology;
 
 pub use actor::{Actor, ActorContext, Handler, Message};
+pub use chaos::{ChaosNetConfig, ChaosNetStatsSnapshot, CrashEvent, FaultPlan};
 pub use envelope::Envelope;
-pub use error::{CallError, PromiseError, SendError};
+pub use error::{ActorError, CallError, PromiseError, SendError};
 pub use identity::{ActorId, ActorKey, ActorTypeId, Origin, SiloId};
 pub use metrics::{Histogram, Percentiles, RuntimeMetricsSnapshot, Snapshot};
 pub use net::{LatencyModel, NetConfig, TimerHandle};
 pub use placement::{ConsistentHashPlacement, Placement, PreferLocalPlacement, RandomPlacement};
 pub use promise::{gather, resolved, Collector, Promise, ReplyTo};
-pub use runtime::{ActorRef, PanicPolicy, Recipient, Runtime, RuntimeBuilder, RuntimeHandle};
+pub use runtime::{
+    ActorRef, PanicPolicy, Recipient, Runtime, RuntimeBuilder, RuntimeHandle, SiloCrashReport,
+};
 pub use silo::SiloConfig;
 pub use topology::{ActorTopology, CallDecl, CallKind};

@@ -239,6 +239,19 @@ pub struct RuntimeMetrics {
     /// Stable across an idle window — workers park once and stay parked
     /// (no periodic polling), which tests assert on.
     pub worker_parks: AtomicU64,
+    /// Silos killed via [`kill_silo`](crate::Runtime::kill_silo).
+    pub silo_crashes: AtomicU64,
+    /// Activations re-created for an identity previously evicted by a silo
+    /// crash (the recovery half of the crash metric).
+    pub reactivations: AtomicU64,
+    /// User envelopes aborted by silo crashes — turns that were queued or
+    /// salvaged-but-unrunnable when their silo died. Their reply sinks
+    /// resolved as `SiloLost`.
+    pub lost_turns: AtomicU64,
+    /// Persistence write attempts that were *retries* under a
+    /// `RetryPolicy` (shared with the persistence layer by `Arc`: the cell
+    /// lives in application crates that cannot see this struct).
+    pub persist_retries: std::sync::Arc<AtomicU64>,
 }
 
 impl RuntimeMetrics {
@@ -255,6 +268,10 @@ impl RuntimeMetrics {
             scheduler_injector_pops: self.scheduler_injector_pops.load(Ordering::Relaxed),
             scheduler_steals: self.scheduler_steals.load(Ordering::Relaxed),
             worker_parks: self.worker_parks.load(Ordering::Relaxed),
+            silo_crashes: self.silo_crashes.load(Ordering::Relaxed),
+            reactivations: self.reactivations.load(Ordering::Relaxed),
+            lost_turns: self.lost_turns.load(Ordering::Relaxed),
+            persist_retries: self.persist_retries.load(Ordering::Relaxed),
             parked_workers: 0,
         }
     }
@@ -283,6 +300,14 @@ pub struct RuntimeMetricsSnapshot {
     pub scheduler_steals: u64,
     /// Times a worker parked (idle workers park once; no periodic polling).
     pub worker_parks: u64,
+    /// Silos killed via `kill_silo`.
+    pub silo_crashes: u64,
+    /// Activations re-created after a crash evicted their identity.
+    pub reactivations: u64,
+    /// User envelopes aborted (`SiloLost`) by silo crashes.
+    pub lost_turns: u64,
+    /// Persistence write retries performed under a `RetryPolicy`.
+    pub persist_retries: u64,
     /// Gauge: workers parked at snapshot time ([`RuntimeMetrics::read`]
     /// itself cannot see the silos, so it reports 0 here; the runtime's
     /// `metrics()` accessor fills it in).

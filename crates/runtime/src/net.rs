@@ -110,7 +110,14 @@ enum ClockJob {
     /// No-op that exists to interrupt a blocked `recv`: the loop re-checks
     /// the shutdown flag after every message. Sent by [`ClockHandle::wake`].
     Wake,
+    /// Scheduled runtime surgery (chaos silo crashes). The closure runs on
+    /// the clock thread and must not block — long operations spawn their
+    /// own thread.
+    Control(ControlFn),
 }
+
+/// A deferred action against the runtime core, run on the clock thread.
+pub(crate) type ControlFn = Box<dyn FnOnce(&Arc<RuntimeCore>) + Send>;
 
 pub(crate) struct HeapItem {
     due: Instant,
@@ -194,6 +201,17 @@ impl ClockHandle {
             due: Instant::now(),
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
             job: ClockJob::Wake,
+        };
+        let _ = self.tx.send(item);
+    }
+
+    /// Schedules a control action (e.g. a fault-plan silo crash) to run on
+    /// the clock thread after `delay`.
+    pub fn control(&self, delay: Duration, f: ControlFn) {
+        let item = HeapItem {
+            due: Instant::now() + delay,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            job: ClockJob::Control(f),
         };
         let _ = self.tx.send(item);
     }
@@ -300,6 +318,7 @@ pub(crate) fn clock_loop(core: Weak<RuntimeCore>, rx: Receiver<HeapItem>) {
                     });
                 }
                 ClockJob::Wake => {}
+                ClockJob::Control(f) => f(&core),
             }
         }
     }

@@ -24,6 +24,11 @@ pub enum ReplyTo<R> {
     /// Invoke this callback with the reply, on the worker thread that
     /// produced it. Callbacks must be cheap and non-blocking.
     Callback(Box<dyn FnOnce(R) + Send>),
+    /// Resolve a [`Promise`]. A dedicated variant (rather than a callback
+    /// closing over the sender) so the runtime can *abort* the promise with
+    /// a typed error — e.g. [`PromiseError::SiloLost`] when the hosting
+    /// silo crashes with the request still queued.
+    Promise(Sender<Result<R, PromiseError>>),
 }
 
 impl<R> ReplyTo<R> {
@@ -38,26 +43,41 @@ impl<R> ReplyTo<R> {
                 let _not_a_turn = crate::topology::TurnGuard::suspend();
                 f(value)
             }
+            ReplyTo::Promise(tx) => {
+                let _ = tx.send(Ok(value));
+            }
+        }
+    }
+
+    /// Resolves the sink with an error instead of a value. Promise waiters
+    /// observe the error; callbacks (collector slots, continuations) cannot
+    /// carry an error value, so they are dropped — their collector then
+    /// resolves as [`PromiseError::Lost`] once all slots are gone.
+    pub fn abort(self, err: PromiseError) {
+        match self {
+            ReplyTo::Ignore => {}
+            ReplyTo::Callback(f) => drop(f),
+            ReplyTo::Promise(tx) => {
+                let _ = tx.send(Err(err));
+            }
         }
     }
 
     /// True when a reply is actually wanted; lets handlers skip building
     /// expensive reply values for one-way messages.
     pub fn is_wanted(&self) -> bool {
-        matches!(self, ReplyTo::Callback(_))
+        !matches!(self, ReplyTo::Ignore)
     }
 }
 
 impl<R: Send + 'static> ReplyTo<R> {
     /// Creates a promise/reply pair. The promise resolves when the reply
     /// sink is delivered, and fails with [`PromiseError::Lost`] if the sink
-    /// is dropped undelivered (e.g. the target actor panicked).
+    /// is dropped undelivered (e.g. the target actor panicked), or with the
+    /// given error if the runtime aborts it via [`ReplyTo::abort`].
     pub fn promise() -> (ReplyTo<R>, Promise<R>) {
         let (tx, rx) = bounded(1);
-        let sink = ReplyTo::Callback(Box::new(move |value| {
-            let _ = tx.send(value);
-        }));
-        (sink, Promise { rx })
+        (ReplyTo::Promise(tx), Promise { rx })
     }
 }
 
@@ -68,13 +88,13 @@ impl<R: Send + 'static> ReplyTo<R> {
 /// inside an actor turn can starve the scheduler.
 #[derive(Debug)]
 pub struct Promise<T> {
-    rx: Receiver<T>,
+    rx: Receiver<Result<T, PromiseError>>,
 }
 
 impl<T> Promise<T> {
     /// Blocks until the reply arrives.
     pub fn wait(self) -> Result<T, PromiseError> {
-        self.rx.recv().map_err(|_| PromiseError::Lost)
+        self.rx.recv().map_err(|_| PromiseError::Lost)?
     }
 
     /// Blocks up to `timeout` for the reply.
@@ -82,12 +102,13 @@ impl<T> Promise<T> {
         self.rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => PromiseError::Timeout,
             RecvTimeoutError::Disconnected => PromiseError::Lost,
-        })
+        })?
     }
 
-    /// Non-blocking poll.
+    /// Non-blocking poll. An aborted promise reads as `None` here; use
+    /// [`Promise::wait`] to observe the error.
     pub fn try_take(&self) -> Option<T> {
-        self.rx.try_recv().ok()
+        self.rx.try_recv().ok().and_then(Result::ok)
     }
 }
 
@@ -193,18 +214,18 @@ pub fn gather<T: Send + 'static>(
 ) {
     let (tx, rx) = bounded(1);
     let collector = Collector::new(expected, move |items: Vec<T>| {
-        let _ = tx.send(items);
+        let _ = tx.send(Ok(items));
     });
     (collector, Promise { rx })
 }
 
 #[allow(dead_code)]
-pub(crate) fn promise_from_channel<T>(rx: Receiver<T>) -> Promise<T> {
+pub(crate) fn promise_from_channel<T>(rx: Receiver<Result<T, PromiseError>>) -> Promise<T> {
     Promise { rx }
 }
 
 #[allow(dead_code)]
-pub(crate) fn channel_pair<T>() -> (Sender<T>, Promise<T>) {
+pub(crate) fn channel_pair<T>() -> (Sender<Result<T, PromiseError>>, Promise<T>) {
     let (tx, rx) = bounded(1);
     (tx, Promise { rx })
 }
@@ -225,6 +246,17 @@ mod tests {
         let (sink, promise) = ReplyTo::<u32>::promise();
         drop(sink);
         assert_eq!(promise.wait(), Err(PromiseError::Lost));
+    }
+
+    #[test]
+    fn aborted_sink_reports_typed_error() {
+        let (sink, promise) = ReplyTo::<u32>::promise();
+        sink.abort(PromiseError::SiloLost);
+        assert_eq!(promise.wait(), Err(PromiseError::SiloLost));
+        // try_take on an aborted promise reads as None.
+        let (sink, promise) = ReplyTo::<u32>::promise();
+        sink.abort(PromiseError::SiloLost);
+        assert!(promise.try_take().is_none());
     }
 
     #[test]

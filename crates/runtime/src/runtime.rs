@@ -2,19 +2,20 @@
 //! public [`Runtime`] / [`RuntimeBuilder`] / [`ActorRef`] API.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::actor::{Actor, AnyActor, Handler, Message};
+use crate::chaos::{ChaosNetStatsSnapshot, ChaosRuntime, FaultPlan, NetFault};
 use crate::directory::Directory;
-use crate::envelope::Envelope;
-use crate::error::{CallError, SendError};
+use crate::envelope::{Envelope, EnvelopeKind};
+use crate::error::{CallError, PromiseError, SendError};
 use crate::identity::{ActorId, ActorKey, ActorTypeId, Origin, SiloId};
 use crate::mailbox::PushOutcome;
 use crate::metrics::{RuntimeMetrics, RuntimeMetricsSnapshot};
@@ -201,6 +202,14 @@ pub(crate) struct RuntimeCore {
     pub clock: ClockHandle,
     pub config: CoreConfig,
     pub metrics: RuntimeMetrics,
+    /// Seeded network-fault dice, when a [`FaultPlan`] with message faults
+    /// is installed.
+    chaos: Option<ChaosRuntime>,
+    /// Identities evicted by a silo crash and not yet reactivated; lets the
+    /// `reactivations` metric count exactly the crash-displaced actors.
+    /// Only consulted when `silo_crashes > 0`, so fault-free runs never
+    /// touch this lock.
+    crashed: Mutex<HashSet<ActorId>>,
     /// Refuses *client* dispatches once shutdown begins, while letting
     /// in-flight actor-to-actor cascades complete.
     accepting: AtomicBool,
@@ -277,9 +286,49 @@ impl RuntimeCore {
         self.enforce_declared_edge(&id);
         for _ in 0..DISPATCH_RETRIES {
             let act = self.lookup_or_activate(&id, origin)?;
+            if !self.silos[act.silo.index()].is_alive() {
+                // The hosting silo crashed between placement and now. If
+                // the mailbox is quiescent we can evict it here and retry,
+                // which re-places on a live silo; otherwise fall through —
+                // a retired mailbox hands the envelope back below, and a
+                // scheduled one is torn down by the crash machinery (this
+                // envelope then resolves as `SiloLost`).
+                if act.mailbox.try_retire() {
+                    self.crash_finish(&act, Vec::new());
+                    continue;
+                }
+            }
             if charge_latency {
-                if let Some(delay) = self.clock.hop_delay(origin, act.silo) {
+                if let Some(mut delay) = self.clock.hop_delay(origin, act.silo) {
                     self.metrics.remote_messages.fetch_add(1, Ordering::Relaxed);
+                    // The message is on the simulated wire: this is where
+                    // the chaos layer gets to lose, double, or stall it.
+                    if let Some(chaos) = &self.chaos {
+                        match chaos.decide() {
+                            NetFault::Deliver => {}
+                            NetFault::Drop => {
+                                chaos.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                                // The sender's promise must not hang forever.
+                                env.abort(PromiseError::Lost);
+                                return Ok(());
+                            }
+                            NetFault::Duplicate => {
+                                if let Some(dup) = env.try_replay() {
+                                    chaos.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                                    self.clock.deliver_after(
+                                        id.clone(),
+                                        Origin::Silo(act.silo),
+                                        dup,
+                                        delay + Duration::from_micros(50),
+                                    );
+                                }
+                            }
+                            NetFault::Delay(extra) => {
+                                chaos.stats.delayed.fetch_add(1, Ordering::Relaxed);
+                                delay += extra;
+                            }
+                        }
+                    }
                     // Redeliver as if originating on the target silo so the
                     // hop is charged exactly once.
                     self.clock
@@ -350,18 +399,39 @@ impl RuntimeCore {
             .registry
             .factory(id.type_id)
             .ok_or_else(|| SendError::NotRegistered(format!("type #{}", id.type_id.index())))?;
-        let silo = self.placement.place(id, origin, self.silos.len());
+        let silo = self.place_alive(id, origin)?;
         let now = self.now_ms();
         let (act, created) = self.directory.get_or_insert_with(id, || {
             Arc::new(Activation::new(id.clone(), silo, factory(id), now))
         });
         if created {
             self.metrics.activations.fetch_add(1, Ordering::Relaxed);
+            if self.metrics.silo_crashes.load(Ordering::Relaxed) > 0
+                && self.crashed.lock().remove(id)
+            {
+                self.metrics.reactivations.fetch_add(1, Ordering::Relaxed);
+            }
             // The mailbox was born Scheduled holding the activate turn;
             // this is its one matching run-queue insertion.
             self.silos[act.silo.index()].enqueue_run(Arc::clone(&act));
         }
         Ok(act)
+    }
+
+    /// Placement that never targets a crashed silo: starts from the
+    /// strategy's preferred silo and walks forward to the first live one,
+    /// so crash re-placement stays deterministic given the set of live
+    /// silos. With every silo dead there is nowhere to activate.
+    fn place_alive(&self, id: &ActorId, origin: Origin) -> Result<SiloId, SendError> {
+        let n = self.silos.len();
+        let first = self.placement.place(id, origin, n);
+        for off in 0..n {
+            let unit = &self.silos[(first.index() + off) % n];
+            if unit.is_alive() {
+                return Ok(unit.id);
+            }
+        }
+        Err(SendError::NoSiloAvailable)
     }
 
     /// Retires (if needed) and finalizes one activation.
@@ -377,6 +447,117 @@ impl RuntimeCore {
     pub(crate) fn discard_faulted(self: &Arc<Self>, act: &Arc<Activation>) {
         self.directory.remove_entry(&act.id, act);
         crate::silo::discard_activation(self, act);
+    }
+
+    /// Tears down one crash-evicted activation whose mailbox the caller
+    /// has already retired. Pending envelopes abort as
+    /// [`PromiseError::SiloLost`]; user turns among them count into
+    /// `lost_turns`; the identity is recorded so its next activation
+    /// counts as a reactivation; the actor object is dropped **without**
+    /// `on_deactivate` (a crash never flushes — only state persisted
+    /// before the crash survives, which is exactly the guarantee the
+    /// chaos tests probe). Returns the number of lost user envelopes.
+    pub(crate) fn crash_finish(
+        self: &Arc<Self>,
+        act: &Arc<Activation>,
+        envs: Vec<Envelope>,
+    ) -> u64 {
+        let mut lost = 0u64;
+        for env in envs {
+            if env.kind() == EnvelopeKind::User {
+                lost += 1;
+            }
+            env.abort(PromiseError::SiloLost);
+        }
+        if lost > 0 {
+            self.metrics.lost_turns.fetch_add(lost, Ordering::Relaxed);
+        }
+        // Record the identity *before* unlinking it: a racing dispatch can
+        // re-create the activation the instant the directory entry is gone,
+        // and its reactivation must find the marker already set.
+        self.crashed.lock().insert(act.id.clone());
+        self.directory.remove_entry(&act.id, act);
+        crate::silo::discard_activation(self, act);
+        lost
+    }
+
+    /// Crash-evicts an activation the caller owns by having dequeued it
+    /// from a (now dead) silo's run queue: retiring the mailbox is legal
+    /// because dequeuing grants exclusive ownership of the Scheduled state.
+    pub(crate) fn crash_evict_owned(self: &Arc<Self>, act: &Arc<Activation>) -> u64 {
+        let envs = act.mailbox.retire_and_drain();
+        self.crash_finish(act, envs)
+    }
+
+    /// Abruptly kills a silo, modelling a process crash: queued and
+    /// in-flight turns are lost (their promises resolve as
+    /// [`PromiseError::SiloLost`]), unpersisted actor state is dropped
+    /// without `on_deactivate`, and every hosted activation is evicted
+    /// from the directory so the next message re-places it on a live silo
+    /// and reactivates it from its store-persisted snapshot. Idempotent:
+    /// killing a dead silo is a no-op.
+    ///
+    /// Turns already executing when the kill lands run to their envelope
+    /// boundary and are then torn down by their own worker — at the
+    /// observable level they are indistinguishable from turns that
+    /// completed just before the crash. The method waits briefly for such
+    /// stragglers; the returned report counts what was evicted
+    /// synchronously (a worker finishing a long turn after the window
+    /// still tears its activation down itself).
+    pub(crate) fn kill_silo(self: &Arc<Self>, silo: SiloId) -> SiloCrashReport {
+        assert!(silo.index() < self.silos.len(), "no such silo: {silo}");
+        let unit = &self.silos[silo.index()];
+        let mut report = SiloCrashReport {
+            silo,
+            evicted_activations: 0,
+            lost_envelopes: 0,
+        };
+        if !unit.mark_dead() {
+            return report;
+        }
+        self.metrics.silo_crashes.fetch_add(1, Ordering::Relaxed);
+        // Workers parked or mid-search must observe the flag and start
+        // aborting whatever they find.
+        unit.wake_all_workers();
+        let deadline = Instant::now() + Duration::from_millis(250);
+        loop {
+            // Drain the run queue ourselves: dequeuing grants ownership, so
+            // each popped activation is torn down right here.
+            for act in unit.drain_runnable() {
+                report.lost_envelopes += self.crash_evict_owned(&act);
+                report.evicted_activations += 1;
+            }
+            // Sweep the directory for idle residents; activations running a
+            // turn right now refuse `try_retire` and are counted as
+            // stragglers for the bounded wait below.
+            let mut stragglers = 0usize;
+            for act in self.directory.collect_on_silo(silo) {
+                if act.mailbox.try_retire() {
+                    report.lost_envelopes += self.crash_finish(&act, Vec::new());
+                    report.evicted_activations += 1;
+                } else {
+                    stragglers += 1;
+                }
+            }
+            if stragglers == 0 || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        report
+    }
+
+    /// Brings a killed silo back into service. The silo returns empty —
+    /// its actors reactivate lazily, on their next message, from persisted
+    /// state. Returns `false` if the silo was not dead.
+    pub(crate) fn restart_silo(&self, silo: SiloId) -> bool {
+        assert!(silo.index() < self.silos.len(), "no such silo: {silo}");
+        let unit = &self.silos[silo.index()];
+        let revived = unit.mark_alive();
+        if revived {
+            unit.wake_all_workers();
+        }
+        revived
     }
 
     pub(crate) fn schedule_delayed(self: &Arc<Self>, id: ActorId, env: Envelope, delay: Duration) {
@@ -430,6 +611,7 @@ pub struct RuntimeBuilder {
     idle_timeout: Option<Duration>,
     janitor_interval: Duration,
     panic_policy: PanicPolicy,
+    chaos: Option<FaultPlan>,
 }
 
 impl Default for RuntimeBuilder {
@@ -450,6 +632,7 @@ impl RuntimeBuilder {
             idle_timeout: None,
             janitor_interval: Duration::from_millis(100),
             panic_policy: PanicPolicy::Keep,
+            chaos: None,
         }
     }
 
@@ -512,9 +695,22 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Installs a seeded [`FaultPlan`]: its network faults apply to every
+    /// message crossing the simulated network boundary (so a [`NetConfig`]
+    /// with latency — e.g. [`NetConfig::lan`] — must be set for them to
+    /// bite), and its crash events are scheduled on the runtime clock.
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Spawns worker, clock, and janitor threads and returns the runtime.
     pub fn build(self) -> Runtime {
         let (clock, clock_rx) = clock_channel(self.net);
+        let chaos_dice = self
+            .chaos
+            .as_ref()
+            .and_then(|p| p.net.map(|cfg| ChaosRuntime::new(p.seed, cfg)));
         let core = Arc::new(RuntimeCore {
             silos: self
                 .silos
@@ -533,11 +729,40 @@ impl RuntimeBuilder {
                 panic_policy: self.panic_policy,
             },
             metrics: RuntimeMetrics::default(),
+            chaos: chaos_dice,
+            crashed: Mutex::new(HashSet::new()),
             accepting: AtomicBool::new(true),
             shutdown: AtomicBool::new(false),
             start: Instant::now(),
             janitor_thread: std::sync::OnceLock::new(),
         });
+
+        // Schedule the plan's crash events on the runtime clock. The
+        // control closure spawns a dedicated thread because `kill_silo`
+        // waits for in-flight turns and must not stall timer deliveries.
+        if let Some(plan) = &self.chaos {
+            for ev in &plan.crashes {
+                assert!(
+                    ev.silo.index() < core.silos.len(),
+                    "fault plan targets nonexistent silo {}",
+                    ev.silo
+                );
+                let (silo, restart_after) = (ev.silo, ev.restart_after);
+                core.clock.control(
+                    ev.at,
+                    Box::new(move |core: &Arc<RuntimeCore>| {
+                        let core = Arc::clone(core);
+                        std::thread::spawn(move || {
+                            core.kill_silo(silo);
+                            if let Some(after) = restart_after {
+                                std::thread::sleep(after);
+                                core.restart_silo(silo);
+                            }
+                        });
+                    }),
+                );
+            }
+        }
 
         let mut threads = Vec::new();
         for silo in &core.silos {
@@ -575,6 +800,21 @@ impl RuntimeBuilder {
             threads: Some(threads),
         }
     }
+}
+
+/// What [`Runtime::kill_silo`] tore down synchronously.
+///
+/// Turns still executing when the kill landed are torn down by their own
+/// workers moments later and are not counted here; the `silo_crashes` /
+/// `lost_turns` metrics cover those too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiloCrashReport {
+    /// The silo that was killed.
+    pub silo: SiloId,
+    /// Activations evicted from the directory by this call.
+    pub evicted_activations: usize,
+    /// Queued user envelopes aborted as [`PromiseError::SiloLost`].
+    pub lost_envelopes: u64,
 }
 
 /// A running actor-oriented database runtime.
@@ -650,6 +890,33 @@ impl Runtime {
     /// Number of silos.
     pub fn silo_count(&self) -> usize {
         self.core.silos.len()
+    }
+
+    /// Abruptly crashes a silo: queued and in-flight work is lost (sync
+    /// callers see [`PromiseError::SiloLost`] and can retry), unpersisted
+    /// actor state is dropped without `on_deactivate`, and each hosted
+    /// identity reactivates from its persisted state on a surviving silo
+    /// at its next message. Idempotent on an already-dead silo.
+    pub fn kill_silo(&self, silo: SiloId) -> SiloCrashReport {
+        self.core.kill_silo(silo)
+    }
+
+    /// Returns a killed silo to service (empty; actors reactivate lazily).
+    /// Returns `false` if the silo was not dead.
+    pub fn restart_silo(&self, silo: SiloId) -> bool {
+        self.core.restart_silo(silo)
+    }
+
+    /// Whether `silo` is currently alive.
+    pub fn silo_alive(&self, silo: SiloId) -> bool {
+        assert!(silo.index() < self.core.silos.len(), "no such silo: {silo}");
+        self.core.silos[silo.index()].is_alive()
+    }
+
+    /// Injected network-fault counters, when a [`FaultPlan`] with message
+    /// faults is installed.
+    pub fn chaos_stats(&self) -> Option<ChaosNetStatsSnapshot> {
+        self.core.chaos.as_ref().map(|c| c.snapshot())
     }
 
     /// Number of live activations.
@@ -897,6 +1164,37 @@ impl<A: Actor> ActorRef<A> {
             Envelope::of::<A, M>(msg, reply),
             self.origin,
         )
+    }
+
+    /// Like [`ActorRef::tell`], but the message can be re-delivered by the
+    /// chaos layer's duplicate-delivery fault (hence `M: Clone`). Use for
+    /// sends whose handlers are — or are being tested to be — idempotent.
+    pub fn tell_replayable<M>(&self, msg: M) -> Result<(), SendError>
+    where
+        A: Handler<M>,
+        M: Message + Clone,
+    {
+        self.core.dispatch(
+            self.id.clone(),
+            Envelope::replayable::<A, M>(msg, ReplyTo::Ignore),
+            self.origin,
+        )
+    }
+
+    /// Like [`ActorRef::ask`], but duplicable by the chaos layer; the
+    /// duplicate delivery re-runs the handler with its reply discarded.
+    pub fn ask_replayable<M>(&self, msg: M) -> Result<Promise<M::Reply>, SendError>
+    where
+        A: Handler<M>,
+        M: Message + Clone,
+    {
+        let (sink, promise) = ReplyTo::promise();
+        self.core.dispatch(
+            self.id.clone(),
+            Envelope::replayable::<A, M>(msg, sink),
+            self.origin,
+        )?;
+        Ok(promise)
     }
 
     /// Blocking request/response for external clients. Do **not** call from

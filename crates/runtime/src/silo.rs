@@ -27,7 +27,7 @@
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::Thread;
 
@@ -207,6 +207,12 @@ pub(crate) struct SiloUnit {
     /// Steal handles onto `locals`, same indexing.
     stealers: Vec<Stealer<Arc<Activation>>>,
     idle: IdleSet,
+    /// False after [`kill_silo`](crate::Runtime::kill_silo): the silo's
+    /// workers abort (rather than run) anything they find, and dispatch
+    /// treats activations hosted here as lost. Worker threads are not
+    /// joined — a dead silo's pool idles parked until `restart_silo`,
+    /// modelling a machine reboot without re-spawning OS threads.
+    alive: AtomicBool,
 }
 
 impl SiloUnit {
@@ -221,7 +227,54 @@ impl SiloUnit {
             locals,
             stealers,
             idle: IdleSet::new(config.workers),
+            alive: AtomicBool::new(true),
         }
+    }
+
+    /// Whether the silo is accepting and executing work.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Transitions alive → dead. Returns `false` when already dead (the
+    /// kill was someone else's; the caller must not tear down twice).
+    pub fn mark_dead(&self) -> bool {
+        self.alive
+            .compare_exchange(true, false, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Transitions dead → alive (restart). Returns `false` when the silo
+    /// was not dead.
+    pub fn mark_alive(&self) -> bool {
+        self.alive
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Empties every run queue of this silo, returning the queued
+    /// activations. Called by the crash path from the killing thread; the
+    /// mailbox state machine guarantees each popped activation is owned
+    /// exclusively by whoever dequeued it, so the caller may retire them.
+    pub fn drain_runnable(&self) -> Vec<Arc<Activation>> {
+        let mut out = Vec::new();
+        loop {
+            match self.injector.steal() {
+                Steal::Success(act) => out.push(act),
+                Steal::Empty => break,
+                Steal::Retry => std::thread::yield_now(),
+            }
+        }
+        for stealer in &self.stealers {
+            loop {
+                match stealer.steal() {
+                    Steal::Success(act) => out.push(act),
+                    Steal::Empty => break,
+                    Steal::Retry => std::thread::yield_now(),
+                }
+            }
+        }
+        out
     }
 
     /// Puts an activation on this silo's run queue.
@@ -362,6 +415,14 @@ pub(crate) fn worker_loop(core: Arc<RuntimeCore>, silo: SiloId, worker: usize) {
         tick = tick.wrapping_add(1);
         let injector_first = tick.is_multiple_of(INJECTOR_FIRST_INTERVAL);
         if let Some(act) = unit.find_task(worker, injector_first, &core.metrics) {
+            if !unit.is_alive() {
+                // The silo died with this activation still reaching the run
+                // queue (a racing dispatch slipped past the kill's drain).
+                // Popping granted us exclusive ownership: finish the crash's
+                // work by evicting it and aborting its queue as SiloLost.
+                core.crash_evict_owned(&act);
+                continue;
+            }
             run_activation_slice(&core, &act, &mut batch);
             continue;
         }
@@ -402,8 +463,10 @@ pub(crate) fn run_activation_slice(
     batch.clear();
     act.mailbox.drain_batch(core.config.max_batch, batch);
     let discard_on_panic = core.config.panic_policy == crate::runtime::PanicPolicy::Deactivate;
+    let unit = &core.silos[act.silo.index()];
     let mut deactivate = false;
     let mut faulted = false;
+    let mut killed = false;
     let mut processed = 0u64;
     // Envelopes salvaged from a faulted slice, re-dispatched to a fresh
     // activation below.
@@ -424,9 +487,11 @@ pub(crate) fn run_activation_slice(
         // builds can check outgoing dispatches against its declared edges.
         let _turn = crate::topology::TurnGuard::enter(act.id.type_id);
         for env in batch.drain(..) {
-            if faulted && discard_on_panic {
-                // An earlier turn in this slice corrupted the actor: run
-                // nothing further against it; salvage instead.
+            killed = killed || !unit.is_alive();
+            if killed || (faulted && discard_on_panic) {
+                // Either the silo crashed mid-slice (remaining turns are
+                // lost with it), or an earlier turn corrupted the actor:
+                // run nothing further against it; salvage instead.
                 leftover.push(env);
                 continue;
             }
@@ -442,6 +507,7 @@ pub(crate) fn run_activation_slice(
             }
             deactivate |= ctx.deactivate_requested;
         }
+        killed = killed || !unit.is_alive();
     }
     if processed > 0 {
         core.metrics
@@ -449,6 +515,19 @@ pub(crate) fn run_activation_slice(
             .fetch_add(processed, Ordering::Relaxed);
     }
     act.touch(core.now_ms());
+    if killed {
+        // The silo died under this slice. The in-flight turn(s) already ran
+        // — indistinguishable from completing just before the crash — but
+        // everything still queued dies with the silo: abort as SiloLost,
+        // drop the actor *without* on_deactivate (unpersisted state is
+        // lost, exactly like a process kill), and evict the identity so
+        // the next message reactivates it from durable state elsewhere.
+        leftover.extend(act.mailbox.retire_and_drain());
+        #[cfg(debug_assertions)]
+        act.running.store(false, Ordering::SeqCst);
+        core.crash_finish(act, leftover);
+        return;
+    }
     if faulted && discard_on_panic {
         // Orleans faulted-grain behaviour: discard this activation right
         // away (without flushing its suspect state) and re-dispatch the

@@ -186,3 +186,28 @@ mod tests {
         assert_eq!(parse_aggregator_key("chan#fortnight"), None);
     }
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{aggregate, assert_codec_roundtrip};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any aggregator state survives the persistence codec unchanged
+        /// (u64 bucket keys included — integer map keys are part of the
+        /// codec's contract).
+        #[test]
+        fn aggregator_state_roundtrips(
+            buckets in proptest::collection::vec((any::<u64>(), aggregate()), 0..8),
+            forwarded_until in any::<u64>(),
+        ) {
+            assert_codec_roundtrip(&AggregatorState {
+                buckets: buckets.into_iter().collect(),
+                forwarded_until,
+            });
+        }
+    }
+}

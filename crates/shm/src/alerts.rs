@@ -84,3 +84,23 @@ impl Handler<CountAlerts> for AlertLog {
         self.state.get().total
     }
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{alert, assert_codec_roundtrip};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any alert-log state survives the persistence codec unchanged.
+        #[test]
+        fn alert_log_state_roundtrips(
+            recent in proptest::collection::vec(alert(), 0..8),
+            total in any::<u64>(),
+        ) {
+            assert_codec_roundtrip(&AlertLogState { recent: recent.into(), total });
+        }
+    }
+}

@@ -334,3 +334,38 @@ mod tests {
         assert_eq!(AccessLevel::from(UserRole::Engineer), AccessLevel::Operator);
     }
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{assert_codec_roundtrip, key};
+    use proptest::prelude::*;
+
+    fn access_level() -> impl Strategy<Value = AccessLevel> {
+        prop_oneof![
+            Just(AccessLevel::Viewer),
+            Just(AccessLevel::Operator),
+            Just(AccessLevel::Admin),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any guard state survives the persistence codec unchanged —
+        /// sessions keyed by u64 tokens included, so auth state (and the
+        /// sessions it keeps alive) survives silo crashes.
+        #[test]
+        fn guard_state_roundtrips(
+            users in proptest::collection::vec((key(), (key(), access_level())), 0..5),
+            sessions in proptest::collection::vec((any::<u64>(), (key(), access_level())), 0..5),
+            next_token in any::<u64>(),
+        ) {
+            assert_codec_roundtrip(&GuardState {
+                users: users.into_iter().collect(),
+                sessions: sessions.into_iter().collect(),
+                next_token,
+            });
+        }
+    }
+}

@@ -127,7 +127,7 @@ impl IngestGateway {
             self.forwarded_batches += 1;
             let _ = ctx
                 .actor_ref::<PhysicalSensorChannel>(channel)
-                .tell(Ingest { points });
+                .tell(Ingest::new(points));
         }
     }
 }

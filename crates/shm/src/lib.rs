@@ -58,6 +58,8 @@ mod organization;
 mod physical;
 mod platform;
 mod sensor;
+#[cfg(test)]
+pub(crate) mod test_props;
 pub mod types;
 mod virtual_channel;
 pub mod warehouse;

@@ -187,10 +187,47 @@ impl Message for ConfigureVirtual {
 
 /// Sensor data insertion: the workload that dominates the paper's
 /// benchmark (98 % of requests; 10 points per channel per request).
+///
+/// `Clone` so the batch can travel over an at-least-once boundary
+/// (`tell_replayable` / `ask_replayable`); pair it with a [`dedup`]
+/// token so redelivered copies are dropped instead of double-counted.
+///
+/// [`dedup`]: Ingest::dedup
+#[derive(Clone)]
 pub struct Ingest {
     /// The new points, oldest first.
     pub points: Vec<DataPoint>,
+    /// Optional idempotence token `(source, seq)`. The channel keeps a
+    /// per-source high-watermark of the largest `seq` applied and
+    /// ignores batches at or below it, so duplicate delivery (network
+    /// chaos, client retry after a silo crash) applies each batch once.
+    ///
+    /// The watermark is TCP-style: a source must send its sequence
+    /// numbers in order and **retransmit an unacknowledged `seq` until
+    /// it is acked before moving to `seq + 1`** — skipping ahead over a
+    /// lost batch would leave a gap the watermark then (by design)
+    /// refuses to fill.
+    pub dedup: Option<(u64, u64)>,
 }
+
+impl Ingest {
+    /// A plain batch with no idempotence token (at-most-once delivery).
+    pub fn new(points: Vec<DataPoint>) -> Self {
+        Ingest {
+            points,
+            dedup: None,
+        }
+    }
+
+    /// A batch tagged `(source, seq)` for duplicate-safe redelivery.
+    pub fn deduped(points: Vec<DataPoint>, source: u64, seq: u64) -> Self {
+        Ingest {
+            points,
+            dedup: Some((source, seq)),
+        }
+    }
+}
+
 impl Message for Ingest {
     type Reply = u32; // number of points accepted
 }

@@ -173,3 +173,26 @@ impl Handler<GetOrgInfo> for Organization {
         }
     }
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{assert_codec_roundtrip, key, project, user};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any organization state survives the persistence codec unchanged.
+        #[test]
+        fn org_state_roundtrips(
+            name in key(),
+            users in proptest::collection::vec(user(), 0..5),
+            projects in proptest::collection::vec(project(), 0..5),
+            sensors in proptest::collection::vec(key(), 0..5),
+            channels in proptest::collection::vec((key(), any::<bool>()), 0..5),
+        ) {
+            assert_codec_roundtrip(&OrgState { name, users, projects, sensors, channels });
+        }
+    }
+}

@@ -263,7 +263,7 @@ impl ShmClient {
     pub fn ingest(&self, channel: &str, points: Vec<DataPoint>) -> Result<Promise<u32>, SendError> {
         self.handle
             .try_actor_ref::<PhysicalSensorChannel>(channel)?
-            .ask(Ingest { points })
+            .ask(Ingest::new(points))
     }
 
     /// The paper's "live data request": latest point of every channel of

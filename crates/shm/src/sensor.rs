@@ -98,3 +98,25 @@ impl Handler<GetSensorInfo> for Sensor {
         }
     }
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{assert_codec_roundtrip, key, position, sensor_kind};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any sensor state survives the persistence codec unchanged.
+        #[test]
+        fn sensor_state_roundtrips(
+            org in key(),
+            kind in sensor_kind(),
+            position in position(),
+            channels in proptest::collection::vec(key(), 0..5),
+        ) {
+            assert_codec_roundtrip(&SensorState { org, kind, position, channels });
+        }
+    }
+}

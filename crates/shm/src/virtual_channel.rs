@@ -167,3 +167,47 @@ impl Handler<GetChannelStats> for VirtualSensorChannel {
         }
     }
 }
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::test_props::{assert_codec_roundtrip, data_point, equation, key};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any virtual-channel state survives the persistence codec
+        /// unchanged.
+        #[test]
+        fn virtual_state_roundtrips(
+            (org, inputs, equation, aggregates, latest_inputs) in (
+                key(),
+                proptest::collection::vec(key(), 0..4),
+                equation(),
+                any::<bool>(),
+                proptest::collection::vec(proptest::option::of(-1e9f64..1e9), 0..4),
+            ),
+            (window, total_points, accumulated_change, first_value, last) in (
+                proptest::collection::vec(data_point(), 0..6),
+                any::<u64>(),
+                0.0f64..1e9,
+                proptest::option::of(-1e9f64..1e9),
+                proptest::option::of(data_point()),
+            ),
+        ) {
+            assert_codec_roundtrip(&VirtualState {
+                org,
+                inputs,
+                equation,
+                aggregates,
+                latest_inputs,
+                window: window.into(),
+                total_points,
+                accumulated_change,
+                first_value,
+                last,
+            });
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Seeded fault-injecting store decorator.
+//!
+//! [`ChaosStore`] wraps any [`StateStore`] and injects failures the way the
+//! paper's DynamoDB tier really fails: transient I/O errors, throttling
+//! windows (provisioned capacity exhausted), and slow requests. It serves
+//! two audiences:
+//!
+//! * **Manual mode** ([`ChaosStore::manual`]) — explicit toggles
+//!   ([`ChaosStore::fail_writes`] / [`ChaosStore::fail_reads`]) for tests
+//!   that need a store to break *now* and heal on cue. This replaces the
+//!   hand-rolled `FaultyStore` fixtures that used to live in test files.
+//! * **Seeded mode** ([`ChaosStore::seeded`]) — a [`ChaosStoreConfig`]
+//!   derives error bursts, throttle windows, and latency from a single
+//!   `u64` seed keyed on the operation counter, so a chaos run's storage
+//!   faults replay exactly from the seed.
+//!
+//! All operations are counted (reads and writes separately) *before* fault
+//! evaluation, so "how many attempts did the caller make" stays observable
+//! even when every attempt fails — the retry-amplification tests depend on
+//! this.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::api::{Key, StateStore, StoreError, StoreResult};
+
+/// SplitMix64 finalizer (same derivation the runtime's chaos layer uses,
+/// duplicated here so the store crate stays dependency-free).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A periodically recurring window of operations, in operation counts:
+/// operations `n` with `n % period < len` fall inside the window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BurstWindow {
+    /// Window recurrence period, in operations. Zero disables the window.
+    pub period: u64,
+    /// How many consecutive operations each window covers.
+    pub len: u64,
+}
+
+impl BurstWindow {
+    /// A disabled window (never fires).
+    pub const OFF: BurstWindow = BurstWindow { period: 0, len: 0 };
+
+    fn contains(&self, op: u64) -> bool {
+        self.period > 0 && op % self.period < self.len
+    }
+}
+
+/// Seed-driven fault schedule for [`ChaosStore::seeded`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosStoreConfig {
+    /// Every decision derives from this seed and the operation counter.
+    pub seed: u64,
+    /// Recurring windows in which every operation fails with
+    /// [`StoreError::Io`] (a storage-tier outage burst).
+    pub error_burst: BurstWindow,
+    /// Recurring windows in which every operation fails with
+    /// [`StoreError::Throttled`] (provisioned capacity exhausted).
+    pub throttle_window: BurstWindow,
+    /// Per-mille probability of a random [`StoreError::Io`] failure
+    /// outside bursts.
+    pub error_per_mille: u16,
+    /// Sleep added to every read, modelling storage read latency.
+    pub read_latency: Duration,
+    /// Sleep added to every write.
+    pub write_latency: Duration,
+}
+
+impl ChaosStoreConfig {
+    /// A schedule derived entirely from `seed`: moderate burst and
+    /// throttle windows plus a small random error rate, no latency (tests
+    /// opt into latency explicitly — it dominates wall-clock budgets).
+    pub fn from_seed(seed: u64) -> Self {
+        ChaosStoreConfig {
+            seed,
+            error_burst: BurstWindow {
+                period: 40 + mix64(seed ^ 0xB0) % 60,
+                len: 1 + mix64(seed ^ 0xB1) % 4,
+            },
+            throttle_window: BurstWindow {
+                period: 60 + mix64(seed ^ 0xB2) % 80,
+                len: 1 + mix64(seed ^ 0xB3) % 3,
+            },
+            error_per_mille: (mix64(seed ^ 0xB4) % 30) as u16,
+            read_latency: Duration::ZERO,
+            write_latency: Duration::ZERO,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    None,
+    Io,
+    Throttle,
+}
+
+/// Fault-injecting [`StateStore`] decorator; see the module docs.
+pub struct ChaosStore<S> {
+    inner: S,
+    cfg: Option<ChaosStoreConfig>,
+    fail_writes: AtomicBool,
+    fail_reads: AtomicBool,
+    write_attempts: AtomicU64,
+    read_attempts: AtomicU64,
+    injected_errors: AtomicU64,
+    injected_throttles: AtomicU64,
+}
+
+impl<S: StateStore> ChaosStore<S> {
+    /// Manual mode: no seeded schedule, faults fire only while the
+    /// [`ChaosStore::fail_writes`] / [`ChaosStore::fail_reads`] toggles
+    /// are on.
+    pub fn manual(inner: S) -> Self {
+        ChaosStore {
+            inner,
+            cfg: None,
+            fail_writes: AtomicBool::new(false),
+            fail_reads: AtomicBool::new(false),
+            write_attempts: AtomicU64::new(0),
+            read_attempts: AtomicU64::new(0),
+            injected_errors: AtomicU64::new(0),
+            injected_throttles: AtomicU64::new(0),
+        }
+    }
+
+    /// Seeded mode: faults follow `cfg`'s schedule. The manual toggles
+    /// still work on top.
+    pub fn seeded(inner: S, cfg: ChaosStoreConfig) -> Self {
+        let mut store = Self::manual(inner);
+        store.cfg = Some(cfg);
+        store
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// While `true`, every write fails with `Io("injected write failure")`.
+    pub fn fail_writes(&self, on: bool) {
+        self.fail_writes.store(on, Ordering::SeqCst);
+    }
+
+    /// While `true`, every read fails with `Io("injected read failure")`.
+    pub fn fail_reads(&self, on: bool) {
+        self.fail_reads.store(on, Ordering::SeqCst);
+    }
+
+    /// Write operations attempted (counted before fault evaluation).
+    pub fn write_attempts(&self) -> u64 {
+        self.write_attempts.load(Ordering::SeqCst)
+    }
+
+    /// Read operations attempted (counted before fault evaluation).
+    pub fn read_attempts(&self) -> u64 {
+        self.read_attempts.load(Ordering::SeqCst)
+    }
+
+    /// Seeded-schedule `Io` faults injected so far.
+    pub fn injected_errors(&self) -> u64 {
+        self.injected_errors.load(Ordering::SeqCst)
+    }
+
+    /// Seeded-schedule throttles injected so far.
+    pub fn injected_throttles(&self) -> u64 {
+        self.injected_throttles.load(Ordering::SeqCst)
+    }
+
+    /// Rolls the seeded schedule for operation number `op`.
+    fn scheduled_fault(&self, op: u64) -> Fault {
+        let Some(cfg) = &self.cfg else {
+            return Fault::None;
+        };
+        if cfg.error_burst.contains(op) {
+            return Fault::Io;
+        }
+        if cfg.throttle_window.contains(op) {
+            return Fault::Throttle;
+        }
+        if cfg.error_per_mille > 0 {
+            let roll = mix64(cfg.seed ^ op.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 1000;
+            if (roll as u16) < cfg.error_per_mille {
+                return Fault::Io;
+            }
+        }
+        Fault::None
+    }
+
+    fn check_write(&self) -> StoreResult<()> {
+        let op = self.write_attempts.fetch_add(1, Ordering::SeqCst);
+        if self.fail_writes.load(Ordering::SeqCst) {
+            return Err(StoreError::Io("injected write failure".into()));
+        }
+        match self.scheduled_fault(op) {
+            Fault::Io => {
+                self.injected_errors.fetch_add(1, Ordering::SeqCst);
+                Err(StoreError::Io("chaos: injected write failure".into()))
+            }
+            Fault::Throttle => {
+                self.injected_throttles.fetch_add(1, Ordering::SeqCst);
+                Err(StoreError::Throttled)
+            }
+            Fault::None => {
+                if let Some(cfg) = &self.cfg {
+                    if !cfg.write_latency.is_zero() {
+                        std::thread::sleep(cfg.write_latency);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn check_read(&self) -> StoreResult<()> {
+        let op = self.read_attempts.fetch_add(1, Ordering::SeqCst);
+        if self.fail_reads.load(Ordering::SeqCst) {
+            return Err(StoreError::Io("injected read failure".into()));
+        }
+        match self.scheduled_fault(op) {
+            Fault::Io => {
+                self.injected_errors.fetch_add(1, Ordering::SeqCst);
+                Err(StoreError::Io("chaos: injected read failure".into()))
+            }
+            Fault::Throttle => {
+                self.injected_throttles.fetch_add(1, Ordering::SeqCst);
+                Err(StoreError::Throttled)
+            }
+            Fault::None => {
+                if let Some(cfg) = &self.cfg {
+                    if !cfg.read_latency.is_zero() {
+                        std::thread::sleep(cfg.read_latency);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl<S: StateStore> StateStore for ChaosStore<S> {
+    fn get(&self, key: &Key) -> StoreResult<Option<Bytes>> {
+        self.check_read()?;
+        self.inner.get(key)
+    }
+
+    fn put(&self, key: &Key, value: Bytes) -> StoreResult<()> {
+        self.check_write()?;
+        self.inner.put(key, value)
+    }
+
+    fn delete(&self, key: &Key) -> StoreResult<()> {
+        self.check_write()?;
+        self.inner.delete(key)
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> StoreResult<Vec<(Key, Bytes)>> {
+        self.check_read()?;
+        self.inner.scan_prefix(prefix)
+    }
+
+    fn sync(&self) -> StoreResult<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemStore;
+
+    #[test]
+    fn manual_toggles_fail_and_heal() {
+        let store = ChaosStore::manual(MemStore::new());
+        let k = Key::new("t", "a");
+        store.put(&k, Bytes::from_static(b"v")).unwrap();
+
+        store.fail_writes(true);
+        assert!(matches!(
+            store.put(&k, Bytes::from_static(b"w")),
+            Err(StoreError::Io(msg)) if msg == "injected write failure"
+        ));
+        // The failed write must not have reached the inner store.
+        assert_eq!(store.get(&k).unwrap(), Some(Bytes::from_static(b"v")));
+
+        store.fail_reads(true);
+        assert!(matches!(
+            store.get(&k),
+            Err(StoreError::Io(msg)) if msg == "injected read failure"
+        ));
+
+        store.fail_writes(false);
+        store.fail_reads(false);
+        store.put(&k, Bytes::from_static(b"w")).unwrap();
+        assert_eq!(store.get(&k).unwrap(), Some(Bytes::from_static(b"w")));
+    }
+
+    #[test]
+    fn attempts_count_failures_too() {
+        let store = ChaosStore::manual(MemStore::new());
+        let k = Key::new("t", "a");
+        store.fail_writes(true);
+        for _ in 0..5 {
+            let _ = store.put(&k, Bytes::from_static(b"x"));
+        }
+        assert_eq!(store.write_attempts(), 5);
+        assert_eq!(store.read_attempts(), 0);
+        let _ = store.get(&k);
+        assert_eq!(store.read_attempts(), 1);
+    }
+
+    #[test]
+    fn seeded_schedule_is_reproducible() {
+        let run = |seed: u64| {
+            let store = ChaosStore::seeded(MemStore::new(), ChaosStoreConfig::from_seed(seed));
+            let k = Key::new("t", "a");
+            (0..500)
+                .map(|_| match store.put(&k, Bytes::from_static(b"x")) {
+                    Ok(()) => 'o',
+                    Err(StoreError::Io(_)) => 'e',
+                    Err(StoreError::Throttled) => 't',
+                    Err(e) => panic!("unexpected: {e}"),
+                })
+                .collect::<String>()
+        };
+        let a = run(1234);
+        let b = run(1234);
+        assert_eq!(a, b, "same seed must give the identical fault sequence");
+        assert!(a.contains('e') && a.contains('t') && a.contains('o'));
+        let c = run(4321);
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn seeded_bursts_hit_reads_and_writes_independently() {
+        let store = ChaosStore::seeded(MemStore::new(), ChaosStoreConfig::from_seed(77));
+        let k = Key::new("t", "a");
+        let mut write_faults = 0;
+        let mut read_faults = 0;
+        for _ in 0..300 {
+            if store.put(&k, Bytes::from_static(b"x")).is_err() {
+                write_faults += 1;
+            }
+            if store.get(&k).is_err() {
+                read_faults += 1;
+            }
+        }
+        assert!(write_faults > 0, "write schedule never fired");
+        assert!(read_faults > 0, "read schedule never fired");
+        assert_eq!(
+            store.injected_errors() + store.injected_throttles(),
+            write_faults + read_faults
+        );
+    }
+
+    #[test]
+    fn scan_and_delete_pass_through_when_calm() {
+        let store = ChaosStore::manual(MemStore::new());
+        for s in ["a", "b", "c"] {
+            store
+                .put(&Key::with_sort("t", "p", s), Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        assert_eq!(
+            store
+                .scan_prefix(&Key::partition_prefix("t", "p"))
+                .unwrap()
+                .len(),
+            3
+        );
+        store.delete(&Key::with_sort("t", "p", "b")).unwrap();
+        assert_eq!(store.inner().len(), 2);
+    }
+}

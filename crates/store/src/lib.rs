@@ -13,18 +13,22 @@
 //! * [`ProvisionedStore`] — a decorator reproducing DynamoDB's provisioned
 //!   read/write capacity units, burst credit, throttling, and request
 //!   latency (the paper provisions 200 RCU / 200 WCU).
+//! * [`ChaosStore`] — a seeded fault-injecting decorator (error bursts,
+//!   throttle windows, latency) for crash/recovery testing.
 //! * [`codec`] — value serialization and record framing helpers.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 mod api;
+mod chaos;
 pub mod codec;
 mod log;
 mod mem;
 mod provisioned;
 
 pub use api::{Key, StateStore, StoreError, StoreResult};
+pub use chaos::{BurstWindow, ChaosStore, ChaosStoreConfig};
 pub use log::{LogStore, LogStoreConfig, SyncPolicy};
 pub use mem::MemStore;
 pub use provisioned::{

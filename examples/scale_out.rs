@@ -54,7 +54,7 @@ fn main() {
                         .collect();
                     client
                         .channel(channel)
-                        .tell(iot_aodb::shm::messages::Ingest { points })
+                        .tell(iot_aodb::shm::messages::Ingest::new(points))
                         .unwrap();
                     requests += 1;
                 }
