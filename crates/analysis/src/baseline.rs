@@ -17,9 +17,14 @@
 //! rule = "declaration-drift-missing"   # required
 //! reason = "deliberate dirty fixture"  # required
 //! file = "tests/enforcement.rs"        # optional, path suffix match
-//! line = 58                            # optional, exact line
+//! item = "handle"                      # optional, enclosing fn name
 //! contains = "Undeclared"              # optional, substring of detail/excerpt
 //! ```
+//!
+//! Entries key on `rule + file + item` (+ `contains`), never on line
+//! numbers: an exact-line key silently goes stale whenever an unrelated
+//! edit above it shifts the file, which punishes bystander PRs. A `line`
+//! key is therefore rejected with a migration hint.
 
 use std::fmt;
 use std::path::PathBuf;
@@ -35,8 +40,8 @@ pub struct Suppression {
     pub reason: String,
     /// Path-suffix filter (`/`-separated), if any.
     pub file: Option<String>,
-    /// Exact-line filter, if any.
-    pub line: Option<u32>,
+    /// Enclosing-item (function name) filter, if any.
+    pub item: Option<String>,
     /// Substring filter against the finding's detail and excerpt.
     pub contains: Option<String>,
     /// Line of the entry in the baseline file (for stale reporting).
@@ -55,8 +60,8 @@ impl Suppression {
                 return false;
             }
         }
-        if let Some(line) = self.line {
-            if f.line != line {
+        if let Some(item) = &self.item {
+            if f.item.as_deref() != Some(item.as_str()) {
                 return false;
             }
         }
@@ -147,11 +152,14 @@ impl Baseline {
                 "reason" => partial.reason = Some(parse_string(value, lineno)?),
                 "file" => partial.file = Some(parse_string(value, lineno)?),
                 "contains" => partial.contains = Some(parse_string(value, lineno)?),
+                "item" => partial.item = Some(parse_string(value, lineno)?),
                 "line" => {
-                    partial.line = Some(value.parse::<u32>().map_err(|_| BaselineError {
+                    return Err(BaselineError {
                         line: lineno,
-                        message: format!("`line` must be an integer, got `{value}`"),
-                    })?);
+                        message: "`line` keys are no longer supported (they go stale on \
+                                  unrelated edits) — use `item = \"<enclosing fn>\"` instead"
+                            .to_string(),
+                    });
                 }
                 other => {
                     return Err(BaselineError {
@@ -211,7 +219,7 @@ struct PartialEntry {
     rule: Option<Rule>,
     reason: Option<String>,
     file: Option<String>,
-    line: Option<u32>,
+    item: Option<String>,
     contains: Option<String>,
 }
 
@@ -230,7 +238,7 @@ impl PartialEntry {
             rule,
             reason,
             file: self.file,
-            line: self.line,
+            item: self.item,
             contains: self.contains,
             defined_at: at,
         })
@@ -291,6 +299,8 @@ mod tests {
             line,
             excerpt: String::new(),
             detail: detail.to_string(),
+            item: None,
+            class: None,
         }
     }
 
@@ -360,20 +370,45 @@ mod tests {
     }
 
     #[test]
-    fn line_filter_and_comments_in_strings() {
+    fn item_filter_and_comments_in_strings() {
         let b = Baseline::parse(
             "[[suppress]]\n\
              rule = \"reply-leak\"\n\
              reason = \"has a # inside\"\n\
-             line = 7\n",
+             item = \"handle\"\n",
         )
         .unwrap();
         assert_eq!(b.entries[0].reason, "has a # inside");
-        let at7 = finding(Rule::ReplyLeak, "a.rs", 7, "");
-        let at8 = finding(Rule::ReplyLeak, "a.rs", 8, "");
-        let (rest, stale) = b.apply(&[at7, at8]);
+        let mut in_handle = finding(Rule::ReplyLeak, "a.rs", 7, "");
+        in_handle.item = Some("handle".to_string());
+        let mut in_other = finding(Rule::ReplyLeak, "a.rs", 8, "");
+        in_other.item = Some("drain".to_string());
+        let (rest, stale) = b.apply(&[in_handle, in_other]);
         assert_eq!(rest.len(), 1);
-        assert_eq!(rest[0].line, 8);
+        assert_eq!(rest[0].item.as_deref(), Some("drain"));
         assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn line_key_is_rejected_with_migration_hint() {
+        let err = Baseline::parse(
+            "[[suppress]]\n\
+             rule = \"reply-leak\"\n\
+             reason = \"x\"\n\
+             line = 7\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("item"), "{err}");
+    }
+
+    #[test]
+    fn legacy_rule_alias_still_parses() {
+        let b = Baseline::parse(
+            "[[suppress]]\n\
+             rule = \"std-sync-where-parking-lot\"\n\
+             reason = \"alias for std-sync-primitive\"\n",
+        )
+        .unwrap();
+        assert_eq!(b.entries[0].rule, Rule::StdSyncPrimitive);
     }
 }

@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! aodb-lint [--graph <edge-list>] [--dot <path>] [--src <dir>]
-//!           [--baseline <file>] [--json] [--no-lint] [--no-verify]
+//!           [--baseline <file>] [--json] [--lock-dot <path>]
+//!           [--no-lint] [--no-verify] [--no-lockcheck]
 //! ```
 //!
 //! With no arguments: builds the whole-workspace call graph from the
 //! crates' declared topologies, rejects synchronous-call cycles, runs
-//! the turn-discipline source lint, and runs the aodb-verify dataflow
+//! the turn-discipline source lint, runs the aodb-verify dataflow
 //! passes (declaration drift, persistence hazards, reply obligations)
 //! over the whole workspace tree — `src/`, `tests/`, `examples/` and
-//! `benches/` alike. Exits nonzero on any violation.
+//! `benches/` alike — and runs the aodb-lockcheck passes (lock-order
+//! cycles, guards held across blocking work) over the runtime substrate
+//! (`crates/{runtime,store,chaos}/src`). Exits nonzero on any violation.
 //!
 //! * `--graph <file>` — analyze a fixture edge list (`FROM call|send TO`
 //!   per line) instead of the compiled-in workspace topology.
@@ -21,34 +24,44 @@
 //! * `--baseline <file>` — suppression file (`[[suppress]]` entries with
 //!   mandatory `rule`/`reason`); non-matching findings still fail, and a
 //!   baseline entry that matches nothing fails as *stale*.
-//! * `--json` — emit findings as JSON lines on stdout (machine-readable).
+//! * `--json` — emit findings as JSON lines on stdout; every rule emits
+//!   the same `{rule, file, line, class, message}` record shape.
+//! * `--lock-dot <path>` — write the lock-order graph as DOT (`-` for
+//!   stdout).
 //! * `--no-lint` — skip the turn-discipline source lint.
 //! * `--no-verify` — skip the dataflow verify passes.
+//! * `--no-lockcheck` — skip the lock-order/blocking passes.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use aodb_analysis::{lint_tree, verify_tree, workspace_graph, Baseline, CallGraph, Finding};
+use aodb_analysis::{
+    lint_tree, lockcheck_tree, verify_tree, workspace_graph, Baseline, CallGraph, Finding,
+};
 
 struct Options {
     graph_file: Option<PathBuf>,
     dot: Option<PathBuf>,
+    lock_dot: Option<PathBuf>,
     src: Vec<PathBuf>,
     baseline: Option<PathBuf>,
     json: bool,
     run_lint: bool,
     run_verify: bool,
+    run_lockcheck: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         graph_file: None,
         dot: None,
+        lock_dot: None,
         src: Vec::new(),
         baseline: None,
         json: false,
         run_lint: true,
         run_verify: true,
+        run_lockcheck: true,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,6 +74,10 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--dot needs a path argument")?;
                 opts.dot = Some(PathBuf::from(v));
             }
+            "--lock-dot" => {
+                let v = args.next().ok_or("--lock-dot needs a path argument")?;
+                opts.lock_dot = Some(PathBuf::from(v));
+            }
             "--src" => {
                 let v = args.next().ok_or("--src needs a directory argument")?;
                 opts.src.push(PathBuf::from(v));
@@ -72,10 +89,12 @@ fn parse_args() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--no-lint" => opts.run_lint = false,
             "--no-verify" => opts.run_verify = false,
+            "--no-lockcheck" => opts.run_lockcheck = false,
             "--help" | "-h" => {
                 println!(
                     "aodb-lint [--graph <edge-list>] [--dot <path>] [--src <dir>] \
-                     [--baseline <file>] [--json] [--no-lint] [--no-verify]"
+                     [--baseline <file>] [--json] [--lock-dot <path>] \
+                     [--no-lint] [--no-verify] [--no-lockcheck]"
                 );
                 std::process::exit(0);
             }
@@ -83,6 +102,28 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// The roots the lockcheck passes audit. A workspace root is narrowed to
+/// the runtime-substrate crates' `src/` trees (application handlers and
+/// test code follow different disciplines, checked by the other passes);
+/// any other root — a fixture directory in the analyzer's own tests — is
+/// audited as-is.
+fn lockcheck_roots(roots: &[PathBuf]) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for root in roots {
+        if root.join("crates/runtime").is_dir() {
+            for krate in ["runtime", "store", "chaos"] {
+                let src = root.join("crates").join(krate).join("src");
+                if src.is_dir() {
+                    out.push(src);
+                }
+            }
+        } else {
+            out.push(root.clone());
+        }
+    }
+    out
 }
 
 /// The workspace root, resolved relative to this crate's build-time
@@ -116,13 +157,16 @@ fn json_str(s: &str) -> String {
 fn emit(findings: &[Finding], json: bool) {
     for f in findings {
         if json {
+            // Uniform record across every rule: lockcheck rules carry
+            // their lock class, the others their enclosing item.
+            let class = f.class.as_deref().or(f.item.as_deref()).unwrap_or("");
             println!(
-                "{{\"rule\":{},\"file\":{},\"line\":{},\"detail\":{},\"excerpt\":{}}}",
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"class\":{},\"message\":{}}}",
                 json_str(f.rule.name()),
                 json_str(&f.file.to_string_lossy()),
                 f.line,
+                json_str(class),
                 json_str(&f.detail),
-                json_str(&f.excerpt),
             );
         } else {
             eprintln!("{f}");
@@ -237,6 +281,34 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("aodb-lint: verify failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if opts.run_lockcheck {
+        match lockcheck_tree(&lockcheck_roots(&roots)) {
+            Ok(analysis) => {
+                println!(
+                    "aodb-lockcheck: {} lock class(es), {} held-while-acquiring edge(s), \
+                     {} raw finding(s)",
+                    analysis.graph.nodes().len(),
+                    analysis.graph.edges().len(),
+                    analysis.findings.len()
+                );
+                if let Some(path) = &opts.lock_dot {
+                    let dot = analysis.graph.to_dot();
+                    if path.as_os_str() == "-" {
+                        print!("{dot}");
+                    } else if let Err(e) = std::fs::write(path, dot) {
+                        eprintln!("aodb-lint: cannot write {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                }
+                findings.extend(analysis.findings);
+            }
+            Err(e) => {
+                eprintln!("aodb-lint: lockcheck failed: {e}");
                 return ExitCode::from(2);
             }
         }

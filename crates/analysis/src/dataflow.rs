@@ -127,6 +127,10 @@ pub struct Flow(pub Vec<Step>);
 pub enum Step {
     /// Straight-line code: token indices into [`FileModel::toks`].
     Run(Vec<usize>),
+    /// A plain `{ .. }` block (or struct literal) in statement position.
+    /// Control flow runs straight through, but scope-sensitive analyses
+    /// (guard liveness in [`crate::locks`]) need the boundary.
+    Scope(Flow),
     /// A fork: `if`/`else` chain, `match`, or `let .. else`.
     Branch {
         /// One flow per arm.
@@ -209,6 +213,9 @@ fn eval_seq<S: Clone + PartialEq>(
                 for s in &mut states {
                     transfer(s, idxs);
                 }
+            }
+            Step::Scope(body) => {
+                states = eval_seq(body, states, exits, transfer);
             }
             Step::Return { toks, line } => {
                 for mut s in states.drain(..) {
@@ -881,7 +888,8 @@ impl StmtParser<'_> {
             }
             if t.is_punct('{') {
                 // Closure body → flatten; plain block / struct literal →
-                // splice (exits inside are function exits).
+                // a Scope step (exits inside are function exits, but the
+                // brace bounds local lifetimes).
                 let closure = run
                     .iter()
                     .rev()
@@ -893,7 +901,7 @@ impl StmtParser<'_> {
                     flatten_into(&inner, &mut run);
                 } else {
                     flush(&mut run, &mut steps);
-                    steps.extend(inner.0);
+                    steps.push(Step::Scope(inner));
                 }
                 i = ni;
                 continue;
@@ -1109,6 +1117,7 @@ fn flatten_into(flow: &Flow, out: &mut Vec<usize>) {
     for step in &flow.0 {
         match step {
             Step::Run(idxs) => out.extend_from_slice(idxs),
+            Step::Scope(body) => flatten_into(body, out),
             Step::Return { toks, .. } => out.extend_from_slice(toks),
             Step::Try { .. } => {}
             Step::Branch { arms, .. } => {
@@ -1181,6 +1190,8 @@ pub fn persistence_findings(model: &FileModel) -> Vec<Finding> {
                      store never sees the change",
                     f.name
                 ),
+                item: Some(f.name.clone()),
+                class: None,
             });
         }
     }
@@ -1254,6 +1265,8 @@ pub fn reply_findings(
                         .collect::<Vec<_>>()
                         .join(", "),
                 ),
+                item: Some(f.name.clone()),
+                class: None,
             });
         }
     }

@@ -25,6 +25,13 @@
 //!   that leak their reply obligation. Accepted findings live in a
 //!   [`baseline`] file with per-entry justifications; entries that stop
 //!   firing fail the lint, so the baseline can only ratchet down.
+//! * **aodb-lockcheck runtime-internal passes** — lock-class extraction
+//!   and guard-liveness dataflow over the runtime substrate itself
+//!   ([`locks`]): every held-while-acquiring pair feeds a
+//!   [`lockgraph::LockGraph`] whose SCCs are `lock-order-cycle`
+//!   findings, and any guard live across blocking work (store I/O,
+//!   parks, waits, channel ops, dispatch into actor code) is a
+//!   `lock-across-blocking` finding.
 //!
 //! The `aodb-lint` binary drives all of it and exits nonzero on any
 //! violation; debug builds of the runtime enforce the declarations at
@@ -38,11 +45,15 @@ pub mod dataflow;
 pub mod graph;
 pub mod lexer;
 pub mod lint;
+pub mod lockgraph;
+pub mod locks;
 pub mod sendsites;
 
 pub use baseline::{Baseline, Suppression};
 pub use graph::{CallGraph, Edge, ANY_NODE};
 pub use lint::{lint_source, lint_tree, Finding, Rule};
+pub use lockgraph::{LockEdge, LockGraph};
+pub use locks::{lockcheck_corpus, lockcheck_tree, LockAnalysis};
 pub use sendsites::Corpus;
 
 /// Runs the aodb-verify dataflow passes (declaration drift, persistence

@@ -42,6 +42,12 @@ pub enum Rule {
     /// A sync-handler path that neither consumes its `ReplyTo` sink nor
     /// propagates an error.
     ReplyLeak,
+    /// Two lock classes acquired in inconsistent order somewhere in the
+    /// runtime (an SCC in the held-while-acquiring graph).
+    LockOrderCycle,
+    /// A lock guard live across store/file I/O, a park/condvar/promise
+    /// wait, a channel op, or a dispatch into user actor code.
+    LockAcrossBlocking,
 }
 
 impl Rule {
@@ -54,6 +60,8 @@ impl Rule {
         Rule::DeclarationDriftStale,
         Rule::PersistenceHazard,
         Rule::ReplyLeak,
+        Rule::LockOrderCycle,
+        Rule::LockAcrossBlocking,
     ];
 
     /// The marker name recognized in `aodb-lint: allow(<name>)`.
@@ -66,11 +74,18 @@ impl Rule {
             Rule::DeclarationDriftStale => "declaration-drift-stale",
             Rule::PersistenceHazard => "persistence-hazard",
             Rule::ReplyLeak => "reply-leak",
+            Rule::LockOrderCycle => "lock-order-cycle",
+            Rule::LockAcrossBlocking => "lock-across-blocking",
         }
     }
 
-    /// Inverse of [`Rule::name`], for baseline files.
+    /// Inverse of [`Rule::name`], for baseline files. Accepts the
+    /// historical alias `std-sync-where-parking-lot` for
+    /// [`Rule::StdSyncPrimitive`].
     pub fn from_name(name: &str) -> Option<Rule> {
+        if name == "std-sync-where-parking-lot" {
+            return Some(Rule::StdSyncPrimitive);
+        }
         Rule::ALL.iter().copied().find(|r| r.name() == name)
     }
 }
@@ -94,6 +109,11 @@ pub struct Finding {
     pub excerpt: String,
     /// Human explanation of the specific violation.
     pub detail: String,
+    /// Enclosing item (function) name — the stable baseline key, immune
+    /// to unrelated edits shifting line numbers.
+    pub item: Option<String>,
+    /// Lock class (`Owner.field`) for lockcheck rules.
+    pub class: Option<String>,
 }
 
 impl fmt::Display for Finding {
@@ -123,11 +143,19 @@ pub fn lint_source(file: &Path, text: &str) -> Vec<Finding> {
     let mut paren_depth: i32 = 0;
     let mut in_string = false;
     let mut prev_allows: Vec<&str> = Vec::new();
+    // Enclosing-fn stack: (name, brace depth at the `fn` line), so each
+    // finding can carry its enclosing item as a stable baseline key.
+    let mut fn_stack: Vec<(String, i32)> = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx as u32 + 1;
         let code = strip_code(raw, &mut in_string);
         let code = code.trim_end();
+
+        if let Some(name) = fn_decl_name(code) {
+            fn_stack.push((name, brace_depth));
+        }
+        let item = fn_stack.last().map(|(n, _)| n.clone());
         let allows = {
             let mut a = parse_allows(raw);
             a.extend(prev_allows.iter().copied());
@@ -156,6 +184,8 @@ pub fn lint_source(file: &Path, text: &str) -> Vec<Finding> {
                             "`{point}` while guard `{guard}` (bound on line {gline}) is live; \
                              drop the guard before blocking"
                         ),
+                        item: item.clone(),
+                        class: None,
                     });
                 }
             }
@@ -171,6 +201,8 @@ pub fn lint_source(file: &Path, text: &str) -> Vec<Finding> {
                          worker threads and must stay non-blocking (post a continuation \
                          message instead)"
                     ),
+                    item: item.clone(),
+                    class: None,
                 });
             }
         }
@@ -185,6 +217,8 @@ pub fn lint_source(file: &Path, text: &str) -> Vec<Finding> {
                     detail: format!(
                         "`{prim}` used where `parking_lot` is the workspace convention"
                     ),
+                    item: item.clone(),
+                    class: None,
                 });
             }
         }
@@ -197,6 +231,7 @@ pub fn lint_source(file: &Path, text: &str) -> Vec<Finding> {
                 '}' => {
                     brace_depth -= 1;
                     guards.retain(|(_, d, _)| *d <= brace_depth);
+                    fn_stack.retain(|(_, d)| *d < brace_depth);
                 }
                 '(' => paren_depth += 1,
                 ')' => {
@@ -311,6 +346,31 @@ fn strip_code(line: &str, in_string: &mut bool) -> String {
         }
     }
     out
+}
+
+/// Extracts the function name from a `fn name(..)` declaration line.
+fn fn_decl_name(code: &str) -> Option<String> {
+    let mut rest = code;
+    loop {
+        let at = rest.find("fn ")?;
+        // Require a word boundary before `fn` so `often ` doesn't match.
+        let boundary = at == 0
+            || rest[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| !(c.is_alphanumeric() || c == '_'));
+        if boundary {
+            rest = &rest[at + 3..];
+            break;
+        }
+        rest = &rest[at + 3..];
+    }
+    let name: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
 }
 
 /// `aodb-lint: allow(a, b)` markers on a raw (pre-comment-strip) line.

@@ -298,6 +298,8 @@ pub fn drift_findings(corpus: &Corpus) -> Vec<Finding> {
                          has no covering entry — debug builds will panic at dispatch",
                         site.in_fn
                     ),
+                    item: Some(site.in_fn.clone()),
+                    class: None,
                 });
             }
 
@@ -330,6 +332,8 @@ pub fn drift_findings(corpus: &Corpus) -> Vec<Finding> {
                         "`{actor_name}` declares {shown} but no send site in its methods or \
                          context-threaded helpers reaches it — remove the stale entry",
                     ),
+                    item: Some("declared_calls".to_string()),
+                    class: None,
                 });
             }
         }

@@ -1,0 +1,20 @@
+//! Known-dirty lockcheck fixture: a guard held across a thread sleep —
+//! every other thread touching the class stalls for the full latency.
+//! Must produce exactly one `lock-across-blocking` finding.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+pub struct Cache {
+    slots: Mutex<Vec<u64>>,
+}
+
+impl Cache {
+    /// The guard bound on the first line is still live at the sleep.
+    pub fn refresh(&self) -> usize {
+        let slots = self.slots.lock();
+        std::thread::sleep(Duration::from_millis(5));
+        slots.len()
+    }
+}

@@ -1,0 +1,49 @@
+//! Known-clean lockcheck fixture: locks used with correct discipline —
+//! guards scoped tight, dropped before blocking work, nested
+//! acquisitions always in one order. Must produce zero lockcheck
+//! findings.
+
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+pub struct Ledger {
+    entries: Mutex<Vec<u64>>,
+    totals: RwLock<u64>,
+}
+
+impl Ledger {
+    /// Temporary guard: dies at the end of the statement, well before
+    /// the sleep.
+    pub fn record_then_settle(&self, v: u64) {
+        self.entries.lock().push(v);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    /// Let-bound guard released by scope exit before the blocking work.
+    pub fn drain_then_settle(&self) -> usize {
+        let n = {
+            let entries = self.entries.lock();
+            entries.len()
+        };
+        std::thread::sleep(Duration::from_millis(1));
+        n
+    }
+
+    /// Explicit `drop` ends liveness before the sleep.
+    pub fn total_then_settle(&self) -> u64 {
+        let totals = self.totals.read();
+        let t = *totals;
+        drop(totals);
+        std::thread::sleep(Duration::from_millis(1));
+        t
+    }
+
+    /// Nested acquisition, but always entries-then-totals: a consistent
+    /// order contributes an edge without forming a cycle.
+    pub fn settle(&self) {
+        let entries = self.entries.lock();
+        let mut totals = self.totals.write();
+        *totals += entries.iter().sum::<u64>();
+    }
+}

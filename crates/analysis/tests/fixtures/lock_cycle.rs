@@ -1,0 +1,26 @@
+//! Known-dirty lockcheck fixture: two lock classes acquired in opposite
+//! orders by two functions — the classic ABBA deadlock. Must produce
+//! exactly one `lock-order-cycle` finding.
+
+use parking_lot::Mutex;
+
+pub struct Pair {
+    left: Mutex<u64>,
+    right: Mutex<u64>,
+}
+
+impl Pair {
+    /// Acquires left, then right.
+    pub fn left_first(&self) -> u64 {
+        let l = self.left.lock();
+        let r = self.right.lock();
+        *l + *r
+    }
+
+    /// Acquires right, then left — opposite order, closing the cycle.
+    pub fn right_first(&self) -> u64 {
+        let r = self.right.lock();
+        let l = self.left.lock();
+        *r - *l
+    }
+}

@@ -48,6 +48,7 @@ fn sync_cycle_fixture_is_rejected_with_path() {
             &fixture("sync_cycle.edges"),
             "--no-lint",
             "--no-verify",
+            "--no-lockcheck",
         ])
         .output()
         .expect("spawn aodb-lint");
@@ -76,6 +77,7 @@ fn acyclic_fixture_passes() {
             &fixture("acyclic.edges"),
             "--no-lint",
             "--no-verify",
+            "--no-lockcheck",
         ])
         .output()
         .expect("spawn aodb-lint");

@@ -102,6 +102,8 @@ fn lint_binary_fails_on_seeded_fixtures() {
         "declaration-drift-stale",
         "persistence-hazard",
         "reply-leak",
+        "lock-order-cycle",
+        "lock-across-blocking",
     ] {
         assert!(text.contains(rule), "missing {rule} in:\n{text}");
     }
@@ -112,7 +114,7 @@ fn lint_binary_baseline_suppresses_and_goes_stale() {
     let dir = fixtures_dir();
     let tmp = std::env::temp_dir().join(format!("aodb-baseline-{}.toml", std::process::id()));
 
-    // A baseline covering all four seeded findings makes the run pass.
+    // A baseline covering all six seeded findings makes the run pass.
     std::fs::write(
         &tmp,
         "[[suppress]]\n\
@@ -128,7 +130,16 @@ fn lint_binary_baseline_suppresses_and_goes_stale() {
          reason = \"seeded fixture\"\n\
          [[suppress]]\n\
          rule = \"reply-leak\"\n\
-         reason = \"seeded fixture\"\n",
+         reason = \"seeded fixture\"\n\
+         [[suppress]]\n\
+         rule = \"lock-order-cycle\"\n\
+         reason = \"seeded fixture\"\n\
+         file = \"lock_cycle.rs\"\n\
+         [[suppress]]\n\
+         rule = \"lock-across-blocking\"\n\
+         reason = \"seeded fixture\"\n\
+         file = \"lock_blocking.rs\"\n\
+         item = \"refresh\"\n",
     )
     .unwrap();
     let (ok, text) = run_lint(&[
@@ -138,7 +149,7 @@ fn lint_binary_baseline_suppresses_and_goes_stale() {
         tmp.to_str().unwrap(),
     ]);
     assert!(ok, "fully-baselined fixtures must pass:\n{text}");
-    assert!(text.contains("4 suppressed"), "{text}");
+    assert!(text.contains("6 suppressed"), "{text}");
 
     // An entry that matches nothing is stale and fails the run even
     // when every finding is suppressed.

@@ -6,6 +6,20 @@
 //! 64 µs, then 64 linear sub-buckets per power of two, giving a relative
 //! error below 1.6 % across the full range while staying allocation-free
 //! and lock-free on the record path.
+//!
+//! # Atomic-ordering policy
+//!
+//! Every atomic in this module is `Ordering::Relaxed`, on both the write
+//! and read side — deliberately and uniformly. These are *statistical*
+//! counters: each is independently meaningful, per-counter monotonicity
+//! is all the RMW operations need, and no code path derives a
+//! happens-before relationship from them. Consequently snapshots
+//! ([`Histogram::snapshot`], [`RuntimeMetrics::read`]) may tear across
+//! counters (e.g. `sum` momentarily ahead of `count`); consumers must
+//! tolerate that, and tests only assert on quiesced values. An atomic
+//! that *synchronizes* (publishes data, gates a state machine) does not
+//! belong here — put it next to the state it orders, with the stronger
+//! ordering written at the use site.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

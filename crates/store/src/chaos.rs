@@ -210,6 +210,10 @@ impl<S: StateStore> ChaosStore<S> {
                 Err(StoreError::Throttled)
             }
             Fault::None => {
+                // Latency is injected *before* delegating to the inner
+                // store, so a slow write never pins the inner store's
+                // write guard — concurrent readers proceed at full speed
+                // (pinned by `tests/chaos_latency.rs`).
                 if let Some(cfg) = &self.cfg {
                     if !cfg.write_latency.is_zero() {
                         std::thread::sleep(cfg.write_latency);

@@ -215,16 +215,21 @@ impl LogStore {
     fn compact_locked(&self, w: &mut Writer) -> StoreResult<()> {
         let tmp_path = self.config.dir.join("snapshot.tmp");
         let final_path = self.config.dir.join("snapshot.db");
-        {
+        // Serialize under the index read guard, but do the file I/O with
+        // the guard dropped: the writer lock (held by every caller) is
+        // what freezes the index against mutation, so the snapshot stays
+        // consistent while readers proceed unblocked during the writes.
+        let buf = {
             let index = self.index.read();
             let mut buf = Vec::new();
             for (key, value) in index.iter() {
                 encode_mutation(OP_PUT, key, value, &mut buf);
             }
-            let mut tmp = File::create(&tmp_path)?;
-            tmp.write_all(&buf)?;
-            tmp.sync_data()?;
-        }
+            buf
+        };
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(&buf)?;
+        tmp.sync_data()?;
         std::fs::rename(&tmp_path, &final_path)?;
         // Truncate the WAL now that the snapshot covers everything.
         w.wal = OpenOptions::new()

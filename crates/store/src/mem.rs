@@ -10,6 +10,10 @@ use parking_lot::RwLock;
 use crate::api::{Key, StateStore, StoreResult};
 
 /// A `BTreeMap`-backed store. Ordered, so prefix scans are range scans.
+///
+/// Every guard on `map` is a per-call temporary covering only the map
+/// operation itself — never I/O, sleeps, or decorator-injected latency
+/// (aodb-lockcheck's `lock-across-blocking` rule audits this).
 #[derive(Default)]
 pub struct MemStore {
     map: RwLock<BTreeMap<Vec<u8>, Bytes>>,

@@ -1,0 +1,64 @@
+//! Regression test for lock discipline under injected latency: a
+//! ChaosStore write latency sleep must never be served while holding the
+//! inner store's write guard. If the sleep ever moved inside the
+//! delegated `put` (or the decorator grew a lock of its own around it),
+//! concurrent readers would stall for the full injected latency and this
+//! test would trip.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aodb_store::{BurstWindow, ChaosStore, ChaosStoreConfig, Key, MemStore, StateStore};
+use bytes::Bytes;
+
+fn latency_only_config(write_latency: Duration) -> ChaosStoreConfig {
+    ChaosStoreConfig {
+        seed: 1,
+        error_burst: BurstWindow::OFF,
+        throttle_window: BurstWindow::OFF,
+        error_per_mille: 0,
+        read_latency: Duration::ZERO,
+        write_latency,
+    }
+}
+
+#[test]
+fn slow_chaos_write_does_not_stall_concurrent_readers() {
+    let write_latency = Duration::from_millis(400);
+    let store = Arc::new(ChaosStore::seeded(
+        MemStore::new(),
+        latency_only_config(write_latency),
+    ));
+    let key = Key::new("t", "hot");
+    store.inner().put(&key, Bytes::from_static(b"v0")).unwrap();
+
+    let writer = {
+        let store = Arc::clone(&store);
+        let key = key.clone();
+        std::thread::spawn(move || {
+            store.put(&key, Bytes::from_static(b"v1")).unwrap();
+        })
+    };
+
+    // Give the writer time to be inside its injected latency sleep, then
+    // read through the inner store. The write guard is only taken for
+    // the map insert after the sleep, so the read returns promptly even
+    // though the write is still "in flight".
+    std::thread::sleep(Duration::from_millis(100));
+    let start = Instant::now();
+    let v = store.inner().get(&key).unwrap();
+    let read_time = start.elapsed();
+
+    assert!(v.is_some());
+    assert!(
+        read_time < write_latency / 2,
+        "read stalled {read_time:?} behind an injected {write_latency:?} write \
+         latency — a guard is being held across the chaos sleep"
+    );
+
+    writer.join().unwrap();
+    assert_eq!(
+        store.inner().get(&key).unwrap(),
+        Some(Bytes::from_static(b"v1"))
+    );
+}
