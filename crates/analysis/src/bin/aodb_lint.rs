@@ -4,6 +4,7 @@
 //! aodb-lint [--graph <edge-list>] [--dot <path>] [--src <dir>]
 //!           [--baseline <file>] [--json] [--lock-dot <path>]
 //!           [--no-lint] [--no-verify] [--no-lockcheck]
+//!           [--no-replaycheck] [--emit-baseline]
 //! ```
 //!
 //! With no arguments: builds the whole-workspace call graph from the
@@ -11,9 +12,13 @@
 //! the turn-discipline source lint, runs the aodb-verify dataflow
 //! passes (declaration drift, persistence hazards, reply obligations)
 //! over the whole workspace tree — `src/`, `tests/`, `examples/` and
-//! `benches/` alike — and runs the aodb-lockcheck passes (lock-order
+//! `benches/` alike — runs the aodb-lockcheck passes (lock-order
 //! cycles, guards held across blocking work) over the runtime substrate
-//! (`crates/{runtime,store,chaos}/src`). Exits nonzero on any violation.
+//! (`crates/{runtime,store,chaos}/src`), and runs the aodb-replaycheck
+//! determinism passes (nondet-in-turn, unordered-persisted-state,
+//! ambient-clock) over the actor crates (`crates/{shm,cattle,core}/src`
+//! — bench and test harness code is deliberately outside those roots).
+//! Exits nonzero on any violation.
 //!
 //! * `--graph <file>` — analyze a fixture edge list (`FROM call|send TO`
 //!   per line) instead of the compiled-in workspace topology.
@@ -31,12 +36,18 @@
 //! * `--no-lint` — skip the turn-discipline source lint.
 //! * `--no-verify` — skip the dataflow verify passes.
 //! * `--no-lockcheck` — skip the lock-order/blocking passes.
+//! * `--no-replaycheck` — skip the determinism passes.
+//! * `--emit-baseline` — after the summary, print ready-to-paste
+//!   `[[suppress]]` TOML skeletons (with empty `reason = ""`) for every
+//!   active finding, so accepting a finding into the baseline is a
+//!   paste-plus-justify edit instead of hand transcription.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use aodb_analysis::{
-    lint_tree, lockcheck_tree, verify_tree, workspace_graph, Baseline, CallGraph, Finding,
+    lint_tree, lockcheck_tree, replaycheck_tree, verify_tree, workspace_graph, Baseline, CallGraph,
+    Finding,
 };
 
 struct Options {
@@ -49,6 +60,8 @@ struct Options {
     run_lint: bool,
     run_verify: bool,
     run_lockcheck: bool,
+    run_replaycheck: bool,
+    emit_baseline: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -62,6 +75,8 @@ fn parse_args() -> Result<Options, String> {
         run_lint: true,
         run_verify: true,
         run_lockcheck: true,
+        run_replaycheck: true,
+        emit_baseline: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -90,11 +105,14 @@ fn parse_args() -> Result<Options, String> {
             "--no-lint" => opts.run_lint = false,
             "--no-verify" => opts.run_verify = false,
             "--no-lockcheck" => opts.run_lockcheck = false,
+            "--no-replaycheck" => opts.run_replaycheck = false,
+            "--emit-baseline" => opts.emit_baseline = true,
             "--help" | "-h" => {
                 println!(
                     "aodb-lint [--graph <edge-list>] [--dot <path>] [--src <dir>] \
                      [--baseline <file>] [--json] [--lock-dot <path>] \
-                     [--no-lint] [--no-verify] [--no-lockcheck]"
+                     [--no-lint] [--no-verify] [--no-lockcheck] \
+                     [--no-replaycheck] [--emit-baseline]"
                 );
                 std::process::exit(0);
             }
@@ -114,6 +132,27 @@ fn lockcheck_roots(roots: &[PathBuf]) -> Vec<PathBuf> {
     for root in roots {
         if root.join("crates/runtime").is_dir() {
             for krate in ["runtime", "store", "chaos"] {
+                let src = root.join("crates").join(krate).join("src");
+                if src.is_dir() {
+                    out.push(src);
+                }
+            }
+        } else {
+            out.push(root.clone());
+        }
+    }
+    out
+}
+
+/// The roots the replaycheck passes audit. A workspace root is narrowed
+/// to the actor crates' `src/` trees — turn determinism is an actor-code
+/// discipline; bench and test harnesses may freely read clocks and RNG —
+/// while any other root (fixture directories) is audited as-is.
+fn replaycheck_roots(roots: &[PathBuf]) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for root in roots {
+        if root.join("crates/runtime").is_dir() {
+            for krate in ["shm", "cattle", "core"] {
                 let src = root.join("crates").join(krate).join("src");
                 if src.is_dir() {
                     out.push(src);
@@ -314,6 +353,22 @@ fn main() -> ExitCode {
         }
     }
 
+    if opts.run_replaycheck {
+        match replaycheck_tree(&replaycheck_roots(&roots)) {
+            Ok(f) => {
+                println!(
+                    "aodb-replaycheck: {} raw finding(s) across the actor crates",
+                    f.len()
+                );
+                findings.extend(f);
+            }
+            Err(e) => {
+                eprintln!("aodb-lint: replaycheck failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let (active, stale): (Vec<Finding>, Vec<_>) = match &baseline {
         Some(b) => {
             let (remaining, stale) = b.apply(&findings);
@@ -348,6 +403,30 @@ fn main() -> ExitCode {
             .unwrap_or(0),
         stale.len()
     );
+
+    if opts.emit_baseline && !active.is_empty() {
+        // One skeleton per (rule, file, item) — the baseline's own match
+        // key — so repeated findings in one function collapse.
+        let mut seen: Vec<(String, String, String)> = Vec::new();
+        println!("# ready-to-paste baseline skeletons — fill in every `reason`:");
+        for f in &active {
+            let file = f.file.to_string_lossy().to_string();
+            let item = f.item.clone().unwrap_or_default();
+            let key = (f.rule.name().to_string(), file.clone(), item.clone());
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            println!();
+            println!("[[suppress]]");
+            println!("rule = \"{}\"", f.rule.name());
+            println!("file = \"{file}\"");
+            if !item.is_empty() {
+                println!("item = \"{item}\"");
+            }
+            println!("reason = \"\"");
+        }
+    }
 
     if violations > 0 {
         eprintln!("aodb-lint: {violations} violation(s)");

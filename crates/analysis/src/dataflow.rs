@@ -37,8 +37,10 @@ use std::path::{Path, PathBuf};
 use crate::lexer::{lex, Tok, TokKind};
 use crate::lint::{Finding, Rule};
 
-/// Method names that mark `Persisted` state as durably captured.
-const PERSIST_METHODS: &[&str] = &["mutate", "save", "flush", "persist", "save_state"];
+/// Method names that mark `Persisted` state as durably captured. Shared
+/// with the replaycheck effect walk, where the same calls are the
+/// "persisted write" sinks a tainted value must not reach.
+pub(crate) const PERSIST_METHODS: &[&str] = &["mutate", "save", "flush", "persist", "save_state"];
 
 // ---------------------------------------------------------------- model
 

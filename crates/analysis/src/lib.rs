@@ -25,6 +25,15 @@
 //!   that leak their reply obligation. Accepted findings live in a
 //!   [`baseline`] file with per-entry justifications; entries that stop
 //!   firing fail the lint, so the baseline can only ratchet down.
+//! * **aodb-replaycheck determinism passes** — a nondeterminism-source
+//!   taxonomy and per-turn effect walk ([`effects`], [`replay`]) over
+//!   the same corpus: values from unordered-collection iteration, RNG,
+//!   thread identity, or env/FS reads that flow into a send payload, a
+//!   reply, or a persisted write are `nondet-in-turn` findings;
+//!   `Persisted<T>` state types carrying `HashMap`/`HashSet` fields are
+//!   `unordered-persisted-state`; `Instant::now`/`SystemTime::now`
+//!   inside a turn is `ambient-clock` (actor code uses
+//!   `ActorContext::now()` instead).
 //! * **aodb-lockcheck runtime-internal passes** — lock-class extraction
 //!   and guard-liveness dataflow over the runtime substrate itself
 //!   ([`locks`]): every held-while-acquiring pair feeds a
@@ -42,11 +51,13 @@
 
 pub mod baseline;
 pub mod dataflow;
+pub mod effects;
 pub mod graph;
 pub mod lexer;
 pub mod lint;
 pub mod lockgraph;
 pub mod locks;
+pub mod replay;
 pub mod sendsites;
 
 pub use baseline::{Baseline, Suppression};
@@ -54,6 +65,7 @@ pub use graph::{CallGraph, Edge, ANY_NODE};
 pub use lint::{lint_source, lint_tree, Finding, Rule};
 pub use lockgraph::{LockEdge, LockGraph};
 pub use locks::{lockcheck_corpus, lockcheck_tree, LockAnalysis};
+pub use replay::{replaycheck_corpus, replaycheck_tree};
 pub use sendsites::Corpus;
 
 /// Runs the aodb-verify dataflow passes (declaration drift, persistence

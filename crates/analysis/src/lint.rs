@@ -48,6 +48,17 @@ pub enum Rule {
     /// A lock guard live across store/file I/O, a park/condvar/promise
     /// wait, a channel op, or a dispatch into user actor code.
     LockAcrossBlocking,
+    /// A nondeterministic value (RNG, thread identity, env/FS read,
+    /// unordered-collection iteration) flows into a send payload, a
+    /// reply, or a persisted write inside an actor turn.
+    NondetInTurn,
+    /// A `Persisted<T>` state type carries a `HashMap`/`HashSet` field:
+    /// serde serialization order leaks into the stored blob, so replayed
+    /// histories produce different state bytes.
+    UnorderedPersistedState,
+    /// `Instant::now()` / `SystemTime::now()` inside an actor turn;
+    /// actor code must read time through `ActorContext::now()`.
+    AmbientClock,
 }
 
 impl Rule {
@@ -62,6 +73,9 @@ impl Rule {
         Rule::ReplyLeak,
         Rule::LockOrderCycle,
         Rule::LockAcrossBlocking,
+        Rule::NondetInTurn,
+        Rule::UnorderedPersistedState,
+        Rule::AmbientClock,
     ];
 
     /// The marker name recognized in `aodb-lint: allow(<name>)`.
@@ -76,6 +90,9 @@ impl Rule {
             Rule::ReplyLeak => "reply-leak",
             Rule::LockOrderCycle => "lock-order-cycle",
             Rule::LockAcrossBlocking => "lock-across-blocking",
+            Rule::NondetInTurn => "nondet-in-turn",
+            Rule::UnorderedPersistedState => "unordered-persisted-state",
+            Rule::AmbientClock => "ambient-clock",
         }
     }
 

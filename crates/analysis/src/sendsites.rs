@@ -39,7 +39,9 @@ use crate::lexer::TokKind;
 use crate::lint::{collect_rs_files, Finding, Rule};
 
 /// Consuming methods on an actor ref / recipient, and their call kind.
-const SITE_METHODS: &[(&str, bool)] = &[
+/// Shared with the replaycheck effect walk, where the same calls are the
+/// "send payload" sinks a tainted value must not reach.
+pub(crate) const SITE_METHODS: &[(&str, bool)] = &[
     ("tell", false),
     ("ask", false),
     ("ask_with", false),

@@ -1,0 +1,51 @@
+//! Clean counterpart for the replaycheck pass: ordered iteration feeds
+//! sends, unordered maps are only ever accessed by key, persisted state
+//! uses ordered collections, and time comes from the context clock.
+
+impl Actor for RSink {
+    const TYPE_NAME: &'static str = "fix.rsink";
+}
+
+pub struct ROrdered {
+    buffers: BTreeMap<String, Vec<u32>>,
+    hot: HashMap<String, u32>,
+    state: Persisted<ROrderedState>,
+}
+
+pub struct ROrderedState {
+    completed: BTreeMap<String, u32>,
+    last_seen_ms: u64,
+}
+
+impl Actor for ROrdered {
+    const TYPE_NAME: &'static str = "fix.rordered";
+    fn declared_calls() -> &'static [CallDecl] {
+        const CALLS: &[CallDecl] = &[CallDecl::send("fix.rsink")];
+        CALLS
+    }
+}
+
+impl Handler<RFlush> for ROrdered {
+    fn handle(&mut self, msg: RFlush, ctx: &mut ActorContext<'_>) {
+        // BTreeMap iteration order is canonical: sends happen in key
+        // order on every replay.
+        let channels: Vec<String> = self.buffers.keys().cloned().collect();
+        for channel in channels {
+            let _ = ctx.actor_ref::<RSink>(channel).tell(RFlush { n: msg.n });
+        }
+    }
+}
+
+impl Handler<RTouch> for ROrdered {
+    fn handle(&mut self, msg: RTouch, ctx: &mut ActorContext<'_>) -> u32 {
+        // Keyed access into an unordered map never exposes its order.
+        let hits = self.hot.get(&msg.key).copied().unwrap_or(0);
+        // The context clock is the sanctioned, replay-stable time source.
+        let now = ctx.now();
+        self.state.mutate(|s| {
+            s.completed.insert(msg.key.clone(), hits + 1);
+            s.last_seen_ms = now;
+        });
+        hits
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded ambient-clock bugs: wall-clock reads inside a turn, both
+//! directly in a handler and in a helper one call away.
+
+impl Actor for RTimer {
+    const TYPE_NAME: &'static str = "fix.rtimer";
+}
+
+impl Handler<RTick> for RTimer {
+    fn handle(&mut self, msg: RTick, ctx: &mut ActorContext<'_>) {
+        // BUG: ambient wall clock inside a turn; replay sees a different
+        // time. Use ctx.now() instead.
+        let started = Instant::now();
+        self.last = started;
+        self.stamp(msg.n);
+    }
+}
+
+impl RTimer {
+    fn stamp(&mut self, n: u64) {
+        // BUG: one call away from the handler, same problem.
+        let wall = SystemTime::now();
+        self.log.push((n, wall));
+    }
+}

@@ -1,0 +1,39 @@
+//! Seeded nondet-in-turn bugs: HashMap iteration order flowing into
+//! send payloads, and RNG flowing into a persisted write.
+
+impl Actor for RChan {
+    const TYPE_NAME: &'static str = "fix.rchan";
+}
+
+pub struct RFlusher {
+    buffers: HashMap<String, Vec<u32>>,
+    state: Persisted<RFlusherState>,
+}
+
+impl Actor for RFlusher {
+    const TYPE_NAME: &'static str = "fix.rflusher";
+    fn declared_calls() -> &'static [CallDecl] {
+        const CALLS: &[CallDecl] = &[CallDecl::send("fix.rchan")];
+        CALLS
+    }
+}
+
+impl Handler<RFlushAll> for RFlusher {
+    fn handle(&mut self, msg: RFlushAll, ctx: &mut ActorContext<'_>) {
+        // BUG: HashMap::keys() order is arbitrary, so the flush sends
+        // happen in a different order on every replay.
+        let channels: Vec<String> = self.buffers.keys().cloned().collect();
+        for channel in channels {
+            let _ = ctx.actor_ref::<RChan>(channel).tell(RFlushAll { n: msg.n });
+        }
+    }
+}
+
+impl Handler<RReseed> for RFlusher {
+    fn handle(&mut self, msg: RReseed, _ctx: &mut ActorContext<'_>) {
+        // BUG: a random value written into persisted state diverges
+        // between a run and its replay.
+        let seed = thread_rng().gen::<u64>();
+        self.state.mutate(|s| s.seed = seed);
+    }
+}

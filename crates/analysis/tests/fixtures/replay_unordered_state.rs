@@ -1,0 +1,12 @@
+//! Seeded unordered-persisted-state bug: a `Persisted<T>` state type
+//! carrying a HashMap field, so serde serializes identical logical
+//! state to different blobs.
+
+pub struct RCacheState {
+    seen: HashMap<String, u64>,
+    total: u64,
+}
+
+pub struct RCacheHolder {
+    state: Persisted<RCacheState>,
+}

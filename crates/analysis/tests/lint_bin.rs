@@ -49,6 +49,7 @@ fn sync_cycle_fixture_is_rejected_with_path() {
             "--no-lint",
             "--no-verify",
             "--no-lockcheck",
+            "--no-replaycheck",
         ])
         .output()
         .expect("spawn aodb-lint");
@@ -78,6 +79,7 @@ fn acyclic_fixture_passes() {
             "--no-lint",
             "--no-verify",
             "--no-lockcheck",
+            "--no-replaycheck",
         ])
         .output()
         .expect("spawn aodb-lint");

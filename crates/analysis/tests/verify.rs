@@ -104,6 +104,9 @@ fn lint_binary_fails_on_seeded_fixtures() {
         "reply-leak",
         "lock-order-cycle",
         "lock-across-blocking",
+        "nondet-in-turn",
+        "unordered-persisted-state",
+        "ambient-clock",
     ] {
         assert!(text.contains(rule), "missing {rule} in:\n{text}");
     }
@@ -114,7 +117,7 @@ fn lint_binary_baseline_suppresses_and_goes_stale() {
     let dir = fixtures_dir();
     let tmp = std::env::temp_dir().join(format!("aodb-baseline-{}.toml", std::process::id()));
 
-    // A baseline covering all six seeded findings makes the run pass.
+    // A baseline covering every seeded finding makes the run pass.
     std::fs::write(
         &tmp,
         "[[suppress]]\n\
@@ -139,7 +142,19 @@ fn lint_binary_baseline_suppresses_and_goes_stale() {
          rule = \"lock-across-blocking\"\n\
          reason = \"seeded fixture\"\n\
          file = \"lock_blocking.rs\"\n\
-         item = \"refresh\"\n",
+         item = \"refresh\"\n\
+         [[suppress]]\n\
+         rule = \"nondet-in-turn\"\n\
+         reason = \"seeded fixture\"\n\
+         file = \"replay_nondet.rs\"\n\
+         [[suppress]]\n\
+         rule = \"unordered-persisted-state\"\n\
+         reason = \"seeded fixture\"\n\
+         file = \"replay_unordered_state.rs\"\n\
+         [[suppress]]\n\
+         rule = \"ambient-clock\"\n\
+         reason = \"seeded fixture\"\n\
+         file = \"replay_clock.rs\"\n",
     )
     .unwrap();
     let (ok, text) = run_lint(&[
@@ -149,7 +164,7 @@ fn lint_binary_baseline_suppresses_and_goes_stale() {
         tmp.to_str().unwrap(),
     ]);
     assert!(ok, "fully-baselined fixtures must pass:\n{text}");
-    assert!(text.contains("6 suppressed"), "{text}");
+    assert!(text.contains("9 suppressed"), "{text}");
 
     // An entry that matches nothing is stale and fails the run even
     // when every finding is suppressed.

@@ -12,7 +12,7 @@
 //! One generic [`CutHolder`] actor type plays every chain role here
 //! (slaughterhouse, distributor, retailer); the role lives in the key.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use aodb_core::Versioned;
 use aodb_runtime::{Actor, ActorContext, Handler, Message};
@@ -90,7 +90,7 @@ impl Message for SnapshotCuts {
 #[derive(Default, Serialize, Deserialize)]
 struct HolderState {
     /// Live versions this holder currently owns.
-    live: HashMap<String, Versioned<MeatCutData>>,
+    live: BTreeMap<String, Versioned<MeatCutData>>,
     /// Historical versions kept after transfer (the redundancy the paper
     /// notes as model B's cost).
     history: Vec<Versioned<MeatCutData>>,

@@ -9,7 +9,7 @@
 //! resubmitted workflow resumes where it left off instead of re-running
 //! completed steps.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -112,13 +112,13 @@ struct ActiveWorkflow {
 /// Durable progress: workflow id → number of completed steps.
 #[derive(Default, Serialize, Deserialize)]
 struct EngineState {
-    completed: HashMap<String, u32>,
+    completed: BTreeMap<String, u32>,
 }
 
 /// The workflow engine actor.
 pub struct WorkflowEngine {
     progress: Persisted<EngineState>,
-    active: HashMap<String, ActiveWorkflow>,
+    active: BTreeMap<String, ActiveWorkflow>,
 }
 
 impl WorkflowEngine {
@@ -131,7 +131,7 @@ impl WorkflowEngine {
                 &id.key,
                 WritePolicy::EveryChange,
             ),
-            active: HashMap::new(),
+            active: BTreeMap::new(),
         });
     }
 

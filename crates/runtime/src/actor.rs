@@ -130,6 +130,19 @@ impl<'a> ActorContext<'a> {
         self.silo
     }
 
+    /// Milliseconds since the runtime started — the sanctioned time
+    /// source for actor code.
+    ///
+    /// Turn determinism (DESIGN.md §12) forbids `Instant::now()` /
+    /// `SystemTime::now()` inside handlers: replaying a history must
+    /// observe the same clock reads, and a runtime-owned clock is the
+    /// single point where a future deterministic-replay mode can
+    /// substitute recorded timestamps. The `ambient-clock` lint enforces
+    /// this; route handler time reads through here.
+    pub fn now(&self) -> u64 {
+        self.core.now_ms()
+    }
+
     /// Returns a typed reference to actor `key` of type `A`.
     ///
     /// # Panics

@@ -9,7 +9,7 @@
 //! and applies backpressure (explicit rejection) when its bounded buffer
 //! is full — the overload contract a lossy sensor network expects.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use aodb_runtime::{Actor, ActorContext, Handler, Message};
 use serde::{Deserialize, Serialize};
@@ -98,7 +98,7 @@ pub struct GatewayStatsReply {
 /// replication, which is what the paper's burst buffer would be.
 pub struct IngestGateway {
     config: GatewayConfig,
-    buffers: HashMap<String, Vec<DataPoint>>,
+    buffers: BTreeMap<String, Vec<DataPoint>>,
     buffered_points: usize,
     accepted: u64,
     rejected: u64,
@@ -110,7 +110,7 @@ impl IngestGateway {
     pub fn register(rt: &aodb_runtime::Runtime) {
         rt.register(|_id| IngestGateway {
             config: GatewayConfig::default(),
-            buffers: HashMap::new(),
+            buffers: BTreeMap::new(),
             buffered_points: 0,
             accepted: 0,
             rejected: 0,
