@@ -2,9 +2,11 @@
 //! log-structured stores, codec framing, and the provisioned-throughput
 //! decorator's overhead.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use aodb_store::codec::{crc32, decode_state, encode_state, frame_record, parse_record};
+use aodb_store::tseries::{SeriesStore, TsConfig, TsStore};
 use aodb_store::{
     Bytes, ExhaustionBehavior, Key, LogStore, LogStoreConfig, MemStore, ProvisionedConfig,
     ProvisionedStore, StateStore,
@@ -110,6 +112,71 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
+/// Range scans over the same 100k-point stream on both storage layouts:
+/// the KV blob (decode the whole state, filter the window) and the
+/// tseries engine (sparse-index block skipping into sealed blocks). The
+/// narrow scans are where the index pays — the KV blob must still decode
+/// everything.
+fn bench_scan_range(c: &mut Criterion) {
+    const N: u64 = 100_000;
+    // Quantized 10 Hz sensor signal, same as the ingest experiment.
+    let points: Vec<(u64, f64)> = (0..N)
+        .map(|i| (i * 100, 20.0 + (i % 16) as f64 * 0.25))
+        .collect();
+    // Narrow window: 1k points from the middle of the stream.
+    let (from, to) = (50_000 * 100, 50_999 * 100);
+
+    let ts = TsStore::new(
+        Arc::new(MemStore::new()) as Arc<dyn StateStore>,
+        TsConfig::default(),
+    );
+    for chunk in points.chunks(100) {
+        ts.append_batch("s", chunk, b"").unwrap();
+    }
+
+    let blob = ChannelBlob {
+        org: "org-1".into(),
+        points: points.clone(),
+    };
+    let blob_bytes = encode_state(&blob).unwrap();
+
+    let mut group = c.benchmark_group("scan_range");
+    group.bench_function("tseries_full_100k", |b| {
+        b.iter(|| {
+            let hits = ts.scan_range("s", 0, u64::MAX, 0).unwrap();
+            assert_eq!(hits.len(), N as usize);
+            hits
+        })
+    });
+    group.bench_function("tseries_narrow_1k_of_100k", |b| {
+        b.iter(|| {
+            let hits = ts.scan_range("s", from, to, 0).unwrap();
+            assert_eq!(hits.len(), 1_000);
+            hits
+        })
+    });
+    group.bench_function("kv_blob_full_100k", |b| {
+        b.iter(|| {
+            let state = decode_state::<ChannelBlob>(&blob_bytes).unwrap();
+            assert_eq!(state.points.len(), N as usize);
+            state.points
+        })
+    });
+    group.bench_function("kv_blob_narrow_1k_of_100k", |b| {
+        b.iter(|| {
+            let state = decode_state::<ChannelBlob>(&blob_bytes).unwrap();
+            let hits: Vec<(u64, f64)> = state
+                .points
+                .into_iter()
+                .filter(|&(ts_ms, _)| ts_ms >= from && ts_ms <= to)
+                .collect();
+            assert_eq!(hits.len(), 1_000);
+            hits
+        })
+    });
+    group.finish();
+}
+
 fn bench_provisioned(c: &mut Criterion) {
     let store = ProvisionedStore::new(
         MemStore::new(),
@@ -142,6 +209,6 @@ criterion_group! {
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_secs(1))
         .sample_size(20);
-    targets = bench_mem, bench_log, bench_codec, bench_provisioned
+    targets = bench_mem, bench_log, bench_codec, bench_scan_range, bench_provisioned
 }
 criterion_main!(benches);

@@ -5,17 +5,21 @@
 //! repro [EXPERIMENTS...] [--quick] [--json DIR] [--label NAME] [--bench-out PATH]
 //!
 //! EXPERIMENTS: all (default) | fig6 | fig7 | fig8 | fig9 | fig89
-//!            | dispatch | placement | durability | granularity | constraints
+//!            | dispatch | ingest | placement | durability | granularity
+//!            | constraints
 //! --quick           shorter sweeps and durations (CI-friendly)
 //! --json DIR        additionally write each experiment's raw results as JSON
 //! --label NAME      record the dispatch microbench under this key in the
-//!                   bench trajectory file (default: "after")
-//! --bench-out PATH  bench trajectory file (default: BENCH_dispatch.json)
+//!                   bench trajectory file (default: "after"); for the
+//!                   ingest experiment a non-default label prefixes its
+//!                   "before"/"after" entries ("NAME-before", "NAME-after")
+//! --bench-out PATH  dispatch trajectory file (default: BENCH_dispatch.json);
+//!                   the ingest experiment always writes BENCH_ingest.json
 //! ```
 
 use std::path::PathBuf;
 
-use aodb_bench::experiments::{ablations, dispatch, fig6, fig7, fig89};
+use aodb_bench::experiments::{ablations, dispatch, fig6, fig7, fig89, ingest};
 
 fn write_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
     let Some(dir) = dir else { return };
@@ -36,14 +40,10 @@ fn write_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T)
     }
 }
 
-/// Merges one dispatch-microbench record into the bench trajectory file
-/// (`BENCH_dispatch.json` at the repo root), keyed by `label` so the
-/// before/after perf history accumulates across runs.
-fn record_dispatch_bench(
-    path: &str,
-    label: &str,
-    result: &aodb_bench::experiments::dispatch::DispatchResult,
-) {
+/// Merges one benchmark record into a trajectory file at the repo root,
+/// keyed by `label` so the before/after perf history accumulates across
+/// runs.
+fn record_bench_entry<T: serde::Serialize>(path: &str, label: &str, result: &T) {
     let mut root = std::fs::read_to_string(path)
         .ok()
         .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
@@ -70,11 +70,28 @@ fn record_dispatch_bench(
             if let Err(e) = std::fs::write(path, body + "\n") {
                 eprintln!("warning: cannot write {path}: {e}");
             } else {
-                println!("  → recorded dispatch bench as \"{label}\" in {path}");
+                println!("  → recorded bench entry \"{label}\" in {path}");
             }
         }
         Err(e) => eprintln!("warning: cannot serialize bench record: {e}"),
     }
+}
+
+/// Records one ingest-experiment run as a before/after pair in
+/// `BENCH_ingest.json`: the KV baseline under `"{prefix}before"`, the
+/// full result (tseries numbers, speedup, engine ceiling) under
+/// `"{prefix}after"`. The default label ("after") maps to the bare
+/// `before`/`after` keys; any other label becomes a prefix so e.g. CI
+/// smoke runs don't clobber the checked-in full-workload numbers.
+fn record_ingest_bench(label: &str, result: &ingest::IngestResult) {
+    const PATH: &str = "BENCH_ingest.json";
+    let prefix = if label == "after" {
+        String::new()
+    } else {
+        format!("{label}-")
+    };
+    record_bench_entry(PATH, &format!("{prefix}before"), &result.kv);
+    record_bench_entry(PATH, &format!("{prefix}after"), result);
 }
 
 fn main() {
@@ -132,7 +149,12 @@ fn main() {
     if wants("dispatch") {
         let result = dispatch::run(quick);
         write_json(&json_dir, "dispatch", &result);
-        record_dispatch_bench(&bench_out, &label, &result);
+        record_bench_entry(&bench_out, &label, &result);
+    }
+    if wants("ingest") {
+        let result = ingest::run(quick);
+        write_json(&json_dir, "ingest", &result);
+        record_ingest_bench(&label, &result);
     }
     if wants("placement") {
         let points = ablations::run_placement(quick);

@@ -1,0 +1,303 @@
+//! **Ingest-path storage benchmark: KV-blob rewriting vs the columnar
+//! time-series engine.**
+//!
+//! The paper's platform persists each channel as one KV state blob, so
+//! every `Ingest` rewrites the channel's entire serialized state — cost
+//! per point grows with history, and at-rest storage pays full JSON
+//! framing per sample. The `tseries` engine replaces that hot path with
+//! delta-of-delta + XOR compression into sealed blocks behind the
+//! [`SeriesStore`] seam. This experiment measures both backends on the
+//! same workload and records the before/after pair into
+//! `BENCH_ingest.json`.
+//!
+//! Two numbers per backend, plus one engine-only figure:
+//!
+//! * **points/s** — acked actor-path ingest throughput at equal
+//!   durability: ack ⇒ durable on both sides (KV runs
+//!   `WritePolicy::EveryChange`; the tseries tail record commits per
+//!   append). Channels are configured bare (no subscribers, no
+//!   aggregation, no simulated service time) so the measurement isolates
+//!   the storage path: dispatch + state mutation + durable append. The
+//!   backing store is a [`LogStore`] in both runs (`SyncPolicy::OnDemand`,
+//!   i.e. no per-write fsync — the comparison is the write *path*, not
+//!   the disk).
+//! * **bytes/point** — at-rest footprint of the ingested stream. For the
+//!   KV backend that is the final channel state blob (the window holds
+//!   every ingested point; JSON framing per `DataPoint`). For tseries it
+//!   is every record under the `tseries` namespace after a final seal —
+//!   sealed blocks plus the (empty) tail record.
+//! * **engine points/s** — direct `append_batch` throughput of the
+//!   engine with no actor layer, the ceiling the actor path sits under.
+//!
+//! The signal is a realistic quantized sensor stream (10 Hz, fixed-step
+//! ADC values): XOR compression thrives on shared mantissa bits, which
+//! is what lands tseries at ~2 bytes/point. A full-random-mantissa
+//! stream (e.g. `sin`) compresses to ~9 bytes/point — that boundary is
+//! documented in DESIGN.md §13 and pinned by the recovery tests.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aodb_runtime::Runtime;
+use aodb_shm::messages::{ConfigureChannel, Ingest};
+use aodb_shm::types::{DataPoint, Threshold};
+use aodb_shm::{register_all, PhysicalSensorChannel, ShmEnv};
+use aodb_store::tseries::{SeriesStore, TsConfig, TsStore};
+use aodb_store::{Key, LogStore, LogStoreConfig, MemStore, StateStore, SyncPolicy};
+use serde::Serialize;
+
+use crate::measure::{fmt_f, print_table};
+
+/// Worker threads of the benchmark silo.
+const WORKERS: usize = 4;
+/// Points per `Ingest` batch (the paper's sensors emit small batches).
+const BATCH: usize = 10;
+
+/// One backend's measurement.
+#[derive(Serialize, Clone)]
+pub struct BackendResult {
+    /// `"kv-log"` or `"tseries"`.
+    pub backend: String,
+    /// Total points acked through the actor path.
+    pub points: u64,
+    /// Wall-clock seconds from first send to last ack.
+    pub elapsed_s: f64,
+    /// `points / elapsed_s`.
+    pub points_per_sec: f64,
+    /// At-rest bytes attributable to the ingested stream.
+    pub bytes_at_rest: u64,
+    /// `bytes_at_rest / points`.
+    pub bytes_per_point: f64,
+}
+
+/// The full experiment record written to `BENCH_ingest.json`.
+#[derive(Serialize)]
+pub struct IngestResult {
+    /// Concurrent channels driven.
+    pub channels: usize,
+    /// Acked points per channel.
+    pub points_per_channel: u64,
+    /// Points per `Ingest` message.
+    pub batch: usize,
+    /// Baseline: per-ingest KV state-blob rewrite (the paper's model).
+    pub kv: BackendResult,
+    /// Columnar engine behind the `SeriesStore` seam.
+    pub tseries: BackendResult,
+    /// `tseries.points_per_sec / kv.points_per_sec`.
+    pub speedup_points_per_sec: f64,
+    /// Direct engine `append_batch` throughput, no actor layer.
+    pub engine_points_per_sec: f64,
+}
+
+/// The quantized 10 Hz sensor signal: fixed-step ADC values around a
+/// baseline, the workload class the compressor is designed for.
+fn sensor_point(i: u64) -> DataPoint {
+    DataPoint {
+        ts_ms: i * 100,
+        value: 20.0 + (i % 16) as f64 * 0.25,
+    }
+}
+
+fn temp_store(tag: &str) -> (std::path::PathBuf, Arc<dyn StateStore>) {
+    let dir = std::env::temp_dir().join(format!("aodb-bench-ingest-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(
+        LogStore::open(LogStoreConfig {
+            dir: dir.clone(),
+            compact_threshold: 16 * 1024 * 1024,
+            sync: SyncPolicy::OnDemand,
+        })
+        .expect("open bench log store"),
+    );
+    (dir, store)
+}
+
+/// Drives `channels × points_per_channel` acked ingests and returns the
+/// elapsed wall-clock seconds. Batches are pipelined across channels
+/// (all sends of a round in flight together), each round fully acked
+/// before the next — the same shape as a fleet of 10 Hz sensors.
+fn drive_ingest(rt: &Runtime, channels: &[String], points_per_channel: u64) -> f64 {
+    for c in channels {
+        rt.actor_ref::<PhysicalSensorChannel>(c.as_str())
+            .call(ConfigureChannel {
+                org: "org-bench".into(),
+                sensor: "org-bench/s-0".into(),
+                threshold: Threshold::default(),
+                subscribers: Vec::new(),
+                aggregates: false,
+            })
+            .expect("configure channel");
+    }
+    let rounds = points_per_channel / BATCH as u64;
+    let start = Instant::now();
+    for round in 0..rounds {
+        let mut inflight = Vec::with_capacity(channels.len());
+        for c in channels {
+            let points: Vec<DataPoint> = (0..BATCH as u64)
+                .map(|i| sensor_point(round * BATCH as u64 + i))
+                .collect();
+            inflight.push(
+                rt.actor_ref::<PhysicalSensorChannel>(c.as_str())
+                    .ask(Ingest::new(points))
+                    .expect("send ingest"),
+            );
+        }
+        for p in inflight {
+            let accepted = p
+                .wait_for(Duration::from_secs(60))
+                .expect("ingest batch acked");
+            assert_eq!(accepted as usize, BATCH, "batch partially rejected");
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Sums the value bytes of every record whose key starts with `prefix`.
+fn stored_bytes(store: &Arc<dyn StateStore>, prefix: &[u8]) -> u64 {
+    store
+        .scan_prefix(prefix)
+        .expect("scan store")
+        .iter()
+        .map(|(_, v)| v.len() as u64)
+        .sum()
+}
+
+/// Baseline run: the KV model with per-ingest durability — every ingest
+/// rewrites the channel's full state blob (`WritePolicy::EveryChange`,
+/// matching the tseries path's ack ⇒ durable guarantee; the paper's
+/// `OnDeactivate` default keeps acked points only in memory). The window
+/// retains every point (capacity = points_per_channel) so both backends
+/// store the same stream.
+fn run_kv(channels: usize, points_per_channel: u64) -> BackendResult {
+    let (dir, store) = temp_store("kv");
+    let rt = Runtime::single(WORKERS);
+    let mut env = ShmEnv::paper_default(Arc::clone(&store));
+    env.window_capacity = points_per_channel as usize;
+    env.data_policy = aodb_core::WritePolicy::EveryChange;
+    register_all(&rt, env);
+    let keys: Vec<String> = (0..channels)
+        .map(|i| format!("org-bench/s-{i}/c-0"))
+        .collect();
+    let elapsed = drive_ingest(&rt, &keys, points_per_channel);
+    rt.shutdown();
+    let bytes = stored_bytes(&store, &Key::partition_prefix("actor-state", "shm.channel"));
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    let points = channels as u64 * points_per_channel;
+    BackendResult {
+        backend: "kv-log".into(),
+        points,
+        elapsed_s: elapsed,
+        points_per_sec: points as f64 / elapsed,
+        bytes_at_rest: bytes,
+        bytes_per_point: bytes as f64 / points as f64,
+    }
+}
+
+/// Columnar run: same workload through the `SeriesStore` seam.
+fn run_tseries(channels: usize, points_per_channel: u64) -> BackendResult {
+    let (dir, store) = temp_store("ts");
+    let engine = Arc::new(TsStore::with_defaults(Arc::clone(&store)));
+    let rt = Runtime::single(WORKERS);
+    register_all(
+        &rt,
+        ShmEnv::paper_default(Arc::clone(&store))
+            .with_series_store(Arc::clone(&engine) as Arc<dyn SeriesStore>),
+    );
+    let keys: Vec<String> = (0..channels)
+        .map(|i| format!("org-bench/s-{i}/c-0"))
+        .collect();
+    let elapsed = drive_ingest(&rt, &keys, points_per_channel);
+    rt.shutdown();
+    // At rest: seal the residual tails, then count every tseries record
+    // (sealed blocks + the now-empty tail records).
+    for k in &keys {
+        engine
+            .seal(&format!("shm.channel/{k}"))
+            .expect("final seal");
+    }
+    let bytes = stored_bytes(&store, &Key::namespace_prefix("tseries"));
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    let points = channels as u64 * points_per_channel;
+    BackendResult {
+        backend: "tseries".into(),
+        points,
+        elapsed_s: elapsed,
+        points_per_sec: points as f64 / elapsed,
+        bytes_at_rest: bytes,
+        bytes_per_point: bytes as f64 / points as f64,
+    }
+}
+
+/// Direct engine throughput: `append_batch` on a [`MemStore`] backing,
+/// no actors — the ceiling the acked actor path sits under.
+fn run_engine_direct(total_points: u64) -> f64 {
+    let engine = TsStore::new(
+        Arc::new(MemStore::new()) as Arc<dyn StateStore>,
+        TsConfig::default(),
+    );
+    let start = Instant::now();
+    let mut i = 0u64;
+    while i < total_points {
+        let chunk: Vec<(u64, f64)> = (i..i + BATCH as u64)
+            .map(|j| {
+                let p = sensor_point(j);
+                (p.ts_ms, p.value)
+            })
+            .collect();
+        engine.append_batch("bench", &chunk, b"").expect("append");
+        i += BATCH as u64;
+    }
+    total_points as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Runs the experiment. `quick` shrinks the workload for CI smoke runs.
+pub fn run(quick: bool) -> IngestResult {
+    let (channels, points_per_channel, engine_points) = if quick {
+        (4usize, 2_000u64, 100_000u64)
+    } else {
+        (8usize, 5_000u64, 1_000_000u64)
+    };
+    println!("\n== ingest: KV-blob rewrite vs columnar tseries engine ==");
+    println!(
+        "   {channels} channels × {points_per_channel} points, {BATCH}-point batches, \
+         quantized 10 Hz sensor signal, LogStore backing (no per-write fsync)"
+    );
+
+    let kv = run_kv(channels, points_per_channel);
+    let tseries = run_tseries(channels, points_per_channel);
+    let engine_points_per_sec = run_engine_direct(engine_points);
+    let speedup = tseries.points_per_sec / kv.points_per_sec;
+
+    let rows: Vec<Vec<String>> = [&kv, &tseries]
+        .iter()
+        .map(|r| {
+            vec![
+                r.backend.clone(),
+                fmt_f(r.points_per_sec),
+                format!("{:.2}", r.bytes_per_point),
+                format!("{:.3}", r.elapsed_s),
+            ]
+        })
+        .collect();
+    print_table(
+        "ingest backends",
+        &["backend", "points/s", "bytes/point", "elapsed s"],
+        &rows,
+    );
+    println!(
+        "   speedup ×{speedup:.1}; direct engine append: {} points/s",
+        fmt_f(engine_points_per_sec)
+    );
+
+    IngestResult {
+        channels,
+        points_per_channel,
+        batch: BATCH,
+        kv,
+        tseries,
+        speedup_points_per_sec: speedup,
+        engine_points_per_sec,
+    }
+}

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use aodb_core::{Persisted, PersistentState, WritePolicy};
 use aodb_runtime::ActorKey;
+use aodb_store::tseries::{SeriesStore, TsStore};
 use aodb_store::StateStore;
 
 /// Everything an SHM actor factory needs: the state store and the write
@@ -33,6 +34,13 @@ pub struct ShmEnv {
     /// behaves like the paper's cluster. `None` (the default) disables the
     /// simulation; the benchmark harness enables it.
     pub ingest_service_time: Option<std::time::Duration>,
+    /// Columnar time-series engine for channel point streams. `None`
+    /// (the paper-faithful default) keeps points inside the KV state
+    /// blob; `Some` routes `Ingest` appends and range queries through
+    /// the compressed [`SeriesStore`] instead, with the channel's dedup
+    /// watermarks and running stats committing atomically alongside the
+    /// points as series metadata.
+    pub series: Option<Arc<dyn SeriesStore>>,
 }
 
 impl ShmEnv {
@@ -46,7 +54,23 @@ impl ShmEnv {
             data_policy: WritePolicy::OnDeactivate,
             window_capacity: 36_000,
             ingest_service_time: None,
+            series: None,
         }
+    }
+
+    /// [`ShmEnv::paper_default`] plus a [`TsStore`] columnar engine over
+    /// the same backing store: point streams go to compressed sealed
+    /// blocks, state blobs stay on the KV path.
+    pub fn tseries_default(store: Arc<dyn StateStore>) -> Self {
+        let series = Arc::new(TsStore::with_defaults(Arc::clone(&store)));
+        ShmEnv::paper_default(store).with_series_store(series)
+    }
+
+    /// Routes channel point streams through `series` (see
+    /// [`ShmEnv::series`]).
+    pub fn with_series_store(mut self, series: Arc<dyn SeriesStore>) -> Self {
+        self.series = Some(series);
+        self
     }
 
     /// Sets the simulated per-ingest service time (see

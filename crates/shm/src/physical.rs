@@ -10,8 +10,11 @@
 //! hourly aggregator.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use aodb_runtime::{Actor, ActorContext, Handler};
+use aodb_store::codec::{decode_state, encode_state};
+use aodb_store::tseries::SeriesStore;
 use serde::{Deserialize, Serialize};
 
 use crate::aggregator::{aggregator_key, Aggregator};
@@ -71,11 +74,61 @@ impl ChannelState {
     }
 }
 
+/// The channel's data-plane fields, shipped as series metadata on the
+/// columnar path so they commit in the same durable write as the points
+/// they describe (the dedup watermarks in particular: a watermark must
+/// never be durable without its points, or ahead of them).
+#[derive(Default, Serialize, Deserialize)]
+pub(crate) struct ChannelSideCar {
+    total_points: u64,
+    accumulated_change: f64,
+    first_value: Option<f64>,
+    last: Option<DataPoint>,
+    breaching_high: bool,
+    breaching_low: bool,
+    accumulated_alerted: bool,
+    ingest_watermarks: Vec<(u64, u64)>,
+}
+
+impl ChannelSideCar {
+    fn capture(s: &ChannelState) -> Self {
+        ChannelSideCar {
+            total_points: s.total_points,
+            accumulated_change: s.accumulated_change,
+            first_value: s.first_value,
+            last: s.last,
+            breaching_high: s.breaching_high,
+            breaching_low: s.breaching_low,
+            accumulated_alerted: s.accumulated_alerted,
+            ingest_watermarks: s.ingest_watermarks.clone(),
+        }
+    }
+
+    fn apply(self, s: &mut ChannelState) {
+        s.total_points = self.total_points;
+        s.accumulated_change = self.accumulated_change;
+        s.first_value = self.first_value;
+        s.last = self.last;
+        s.breaching_high = self.breaching_high;
+        s.breaching_low = self.breaching_low;
+        s.accumulated_alerted = self.accumulated_alerted;
+        s.ingest_watermarks = self.ingest_watermarks;
+    }
+}
+
+/// Series name of a channel's point stream: type-prefixed so physical
+/// and virtual channels with the same key stay isolated.
+pub(crate) fn channel_series_key(type_name: &str, channel_key: &str) -> String {
+    format!("{type_name}/{channel_key}")
+}
+
 /// The physical sensor channel actor.
 pub struct PhysicalSensorChannel {
     state: Persisted<ChannelState>,
     window_capacity: usize,
     service_time: Option<std::time::Duration>,
+    /// Columnar point-stream engine; `None` = KV-blob mode.
+    series: Option<Arc<dyn SeriesStore>>,
 }
 
 impl PhysicalSensorChannel {
@@ -85,6 +138,7 @@ impl PhysicalSensorChannel {
             state: env.persisted_data(Self::TYPE_NAME, &id.key),
             window_capacity: env.window_capacity,
             service_time: env.ingest_service_time,
+            series: env.series.clone(),
         });
     }
 
@@ -104,9 +158,13 @@ impl PhysicalSensorChannel {
                 state.first_value = Some(p.value);
             }
             state.last = Some(*p);
-            state.window.push_back(*p);
-            if state.window.len() > window_capacity {
-                state.window.pop_front();
+            // Capacity 0 = no window at all (the columnar path serves
+            // range queries from the series store instead).
+            if window_capacity > 0 {
+                state.window.push_back(*p);
+                if state.window.len() > window_capacity {
+                    state.window.pop_front();
+                }
             }
             state.total_points += 1;
             accepted += 1;
@@ -197,8 +255,21 @@ impl Actor for PhysicalSensorChannel {
         CALLS
     }
 
-    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+    fn on_activate(&mut self, ctx: &mut ActorContext<'_>) {
         self.state.load_or_default();
+        if let Some(series) = &self.series {
+            // The series store is authoritative for data-plane fields on
+            // the columnar path: overlay the committed sidecar (stats +
+            // dedup watermarks) over whatever the KV blob held.
+            let key = channel_series_key(Self::TYPE_NAME, &ctx.key().to_string());
+            if let Ok(rec) = series.recover(&key) {
+                if !rec.meta.is_empty() {
+                    if let Ok(sidecar) = decode_state::<ChannelSideCar>(&rec.meta) {
+                        sidecar.apply(self.state.get_mut_untracked());
+                    }
+                }
+            }
+        }
     }
 
     fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
@@ -242,14 +313,38 @@ impl Handler<Ingest> for PhysicalSensorChannel {
         let channel_key = ctx.key().to_string();
         let capacity = self.window_capacity;
         let mut alerts = Vec::new();
-        let accepted = self.state.mutate(|s| {
+        let accepted = if let Some(series) = &self.series {
+            // Columnar path: stats and watermarks mutate in memory only;
+            // the single durable write is the series append, whose tail
+            // record commits the compressed points and the sidecar
+            // (watermarks + stats) atomically.
+            let s = self.state.get_mut_untracked();
             if let Some((source, seq)) = msg.dedup {
-                // Advance the watermark in the same mutation (and hence
-                // the same durable write) as the points it admits.
                 s.admit_dedup(source, seq);
             }
-            Self::apply_points(s, &msg.points, capacity, &mut alerts, &channel_key)
-        });
+            let accepted = Self::apply_points(s, &msg.points, 0, &mut alerts, &channel_key);
+            let meta = encode_state(&ChannelSideCar::capture(s)).unwrap_or_default();
+            let points: Vec<(u64, f64)> = msg.points.iter().map(|p| (p.ts_ms, p.value)).collect();
+            // A failed append mirrors `Persisted`'s failed-save stance:
+            // absorbed, with the points held in the in-memory tail until
+            // the next committed tail record carries them.
+            let _ = series.append_batch(
+                &channel_series_key(Self::TYPE_NAME, &channel_key),
+                &points,
+                &meta,
+            );
+            accepted
+        } else {
+            self.state.mutate(|s| {
+                if let Some((source, seq)) = msg.dedup {
+                    // Advance the watermark in the same mutation (and
+                    // hence the same durable write) as the points it
+                    // admits.
+                    s.admit_dedup(source, seq);
+                }
+                Self::apply_points(s, &msg.points, capacity, &mut alerts, &channel_key)
+            })
+        };
 
         let s = self.state.get();
         if !alerts.is_empty() {
@@ -282,7 +377,22 @@ impl Handler<GetLatest> for PhysicalSensorChannel {
 }
 
 impl Handler<QueryRange> for PhysicalSensorChannel {
-    fn handle(&mut self, msg: QueryRange, _ctx: &mut ActorContext<'_>) -> Vec<DataPoint> {
+    fn handle(&mut self, msg: QueryRange, ctx: &mut ActorContext<'_>) -> Vec<DataPoint> {
+        if let Some(series) = &self.series {
+            // Columnar path: scan compressed blocks, skipping any whose
+            // sparse index misses the range, instead of replaying the
+            // in-memory window.
+            let key = channel_series_key(Self::TYPE_NAME, &ctx.key().to_string());
+            return series
+                .scan_range(&key, msg.from_ms, msg.to_ms, msg.limit)
+                .map(|points| {
+                    points
+                        .into_iter()
+                        .map(|(ts_ms, value)| DataPoint { ts_ms, value })
+                        .collect()
+                })
+                .unwrap_or_default();
+        }
         query_window(&self.state.get().window, msg)
     }
 }

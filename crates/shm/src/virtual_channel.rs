@@ -8,8 +8,11 @@
 //! derived point computed from the latest value of every input.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use aodb_runtime::{Actor, ActorContext, Handler};
+use aodb_store::codec::{decode_state, encode_state};
+use aodb_store::tseries::SeriesStore;
 use serde::{Deserialize, Serialize};
 
 use crate::aggregator::{aggregator_key, Aggregator};
@@ -18,7 +21,7 @@ use crate::messages::{
     ChannelStats, ConfigureVirtual, GetChannelStats, GetLatest, PushDerived, QueryRange,
     RecordSamples,
 };
-use crate::physical::query_window;
+use crate::physical::{channel_series_key, query_window};
 use crate::types::{AggregateLevel, DataPoint, Equation};
 use aodb_core::Persisted;
 
@@ -54,10 +57,87 @@ impl Default for VirtualState {
     }
 }
 
+/// The virtual channel's data-plane fields, shipped as series metadata
+/// on the columnar path (see `ChannelSideCar` in `physical.rs`).
+/// `latest_inputs` rides along so the equation operands survive a
+/// restart with the derived points they produced.
+#[derive(Default, Serialize, Deserialize)]
+pub(crate) struct VirtualSideCar {
+    total_points: u64,
+    accumulated_change: f64,
+    first_value: Option<f64>,
+    last: Option<DataPoint>,
+    latest_inputs: Vec<Option<f64>>,
+}
+
+impl VirtualSideCar {
+    fn capture(s: &VirtualState) -> Self {
+        VirtualSideCar {
+            total_points: s.total_points,
+            accumulated_change: s.accumulated_change,
+            first_value: s.first_value,
+            last: s.last,
+            latest_inputs: s.latest_inputs.clone(),
+        }
+    }
+
+    fn apply(self, s: &mut VirtualState) {
+        s.total_points = self.total_points;
+        s.accumulated_change = self.accumulated_change;
+        s.first_value = self.first_value;
+        s.last = self.last;
+        // Only overlay operands when the shape matches the configured
+        // inputs (a reconfiguration may have changed the arity).
+        if self.latest_inputs.len() == s.latest_inputs.len() {
+            s.latest_inputs = self.latest_inputs;
+        }
+    }
+}
+
+/// Applies one pushed batch: updates the matching operand and derives
+/// one point per input point. `window_capacity` 0 = keep no window.
+fn derive_points(
+    s: &mut VirtualState,
+    msg: &PushDerived,
+    window_capacity: usize,
+) -> Vec<DataPoint> {
+    let Some(idx) = s.inputs.iter().position(|i| i == &msg.source) else {
+        return Vec::new(); // unknown source: configuration race; drop
+    };
+    let mut derived = Vec::with_capacity(msg.points.len());
+    for p in &msg.points {
+        s.latest_inputs[idx] = Some(p.value);
+        let Some(value) = s.equation.apply(&s.latest_inputs) else {
+            continue;
+        };
+        let dp = DataPoint {
+            ts_ms: p.ts_ms,
+            value,
+        };
+        if let Some(last) = s.last {
+            s.accumulated_change += (value - last.value).abs();
+        } else {
+            s.first_value = Some(value);
+        }
+        s.last = Some(dp);
+        if window_capacity > 0 {
+            s.window.push_back(dp);
+            if s.window.len() > window_capacity {
+                s.window.pop_front();
+            }
+        }
+        s.total_points += 1;
+        derived.push(dp);
+    }
+    derived
+}
+
 /// The virtual sensor channel actor.
 pub struct VirtualSensorChannel {
     state: Persisted<VirtualState>,
     window_capacity: usize,
+    /// Columnar point-stream engine; `None` = KV-blob mode.
+    series: Option<Arc<dyn SeriesStore>>,
 }
 
 impl VirtualSensorChannel {
@@ -66,6 +146,7 @@ impl VirtualSensorChannel {
         rt.register(move |id| VirtualSensorChannel {
             state: env.persisted_data(Self::TYPE_NAME, &id.key),
             window_capacity: env.window_capacity,
+            series: env.series.clone(),
         });
     }
 }
@@ -78,8 +159,18 @@ impl Actor for VirtualSensorChannel {
         CALLS
     }
 
-    fn on_activate(&mut self, _ctx: &mut ActorContext<'_>) {
+    fn on_activate(&mut self, ctx: &mut ActorContext<'_>) {
         self.state.load_or_default();
+        if let Some(series) = &self.series {
+            let key = channel_series_key(Self::TYPE_NAME, &ctx.key().to_string());
+            if let Ok(rec) = series.recover(&key) {
+                if !rec.meta.is_empty() {
+                    if let Ok(sidecar) = decode_state::<VirtualSideCar>(&rec.meta) {
+                        sidecar.apply(self.state.get_mut_untracked());
+                    }
+                }
+            }
+        }
     }
 
     fn on_deactivate(&mut self, _ctx: &mut ActorContext<'_>) {
@@ -102,35 +193,22 @@ impl Handler<ConfigureVirtual> for VirtualSensorChannel {
 impl Handler<PushDerived> for VirtualSensorChannel {
     fn handle(&mut self, msg: PushDerived, ctx: &mut ActorContext<'_>) {
         let capacity = self.window_capacity;
-        let derived: Vec<DataPoint> = self.state.mutate(|s| {
-            let Some(idx) = s.inputs.iter().position(|i| i == &msg.source) else {
-                return Vec::new(); // unknown source: configuration race; drop
-            };
-            let mut derived = Vec::with_capacity(msg.points.len());
-            for p in &msg.points {
-                s.latest_inputs[idx] = Some(p.value);
-                let Some(value) = s.equation.apply(&s.latest_inputs) else {
-                    continue;
-                };
-                let dp = DataPoint {
-                    ts_ms: p.ts_ms,
-                    value,
-                };
-                if let Some(last) = s.last {
-                    s.accumulated_change += (value - last.value).abs();
-                } else {
-                    s.first_value = Some(value);
-                }
-                s.last = Some(dp);
-                s.window.push_back(dp);
-                if s.window.len() > capacity {
-                    s.window.pop_front();
-                }
-                s.total_points += 1;
-                derived.push(dp);
-            }
+        let derived: Vec<DataPoint> = if let Some(series) = &self.series {
+            // Columnar path: derive in memory, then commit the derived
+            // points and the sidecar (stats + operands) in one append.
+            let s = self.state.get_mut_untracked();
+            let derived = derive_points(s, &msg, 0);
+            let meta = encode_state(&VirtualSideCar::capture(s)).unwrap_or_default();
+            let points: Vec<(u64, f64)> = derived.iter().map(|p| (p.ts_ms, p.value)).collect();
+            let _ = series.append_batch(
+                &channel_series_key(Self::TYPE_NAME, &ctx.key().to_string()),
+                &points,
+                &meta,
+            );
             derived
-        });
+        } else {
+            self.state.mutate(|s| derive_points(s, &msg, capacity))
+        };
         if !derived.is_empty() && self.state.get().aggregates {
             let key = aggregator_key(&ctx.key().to_string(), AggregateLevel::Hour);
             let _ = ctx
@@ -147,7 +225,19 @@ impl Handler<GetLatest> for VirtualSensorChannel {
 }
 
 impl Handler<QueryRange> for VirtualSensorChannel {
-    fn handle(&mut self, msg: QueryRange, _ctx: &mut ActorContext<'_>) -> Vec<DataPoint> {
+    fn handle(&mut self, msg: QueryRange, ctx: &mut ActorContext<'_>) -> Vec<DataPoint> {
+        if let Some(series) = &self.series {
+            let key = channel_series_key(Self::TYPE_NAME, &ctx.key().to_string());
+            return series
+                .scan_range(&key, msg.from_ms, msg.to_ms, msg.limit)
+                .map(|points| {
+                    points
+                        .into_iter()
+                        .map(|(ts_ms, value)| DataPoint { ts_ms, value })
+                        .collect()
+                })
+                .unwrap_or_default();
+        }
         query_window(&self.state.get().window, msg)
     }
 }

@@ -16,6 +16,9 @@
 //! * [`ChaosStore`] — a seeded fault-injecting decorator (error bursts,
 //!   throttle windows, latency) for crash/recovery testing.
 //! * [`codec`] — value serialization and record framing helpers.
+//! * [`tseries`] — columnar time-series engine for the ingest hot path:
+//!   delta-of-delta + Gorilla-XOR compressed sealed blocks behind the
+//!   [`SeriesStore`] seam, durable through any [`StateStore`] backing.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -26,11 +29,14 @@ pub mod codec;
 mod log;
 mod mem;
 mod provisioned;
+pub mod tseries;
 
 pub use api::{Key, StateStore, StoreError, StoreResult};
 pub use chaos::{BurstWindow, ChaosStore, ChaosStoreConfig};
 pub use log::{LogStore, LogStoreConfig, SyncPolicy};
 pub use mem::MemStore;
+pub use tseries::{AppendOutcome, SeriesRecovery, SeriesStats, SeriesStore, TsConfig, TsStore};
+
 pub use provisioned::{
     ExhaustionBehavior, ProvisionedConfig, ProvisionedStats, ProvisionedStore, READ_UNIT_BYTES,
     WRITE_UNIT_BYTES,

@@ -1,0 +1,169 @@
+//! Bit-granular writer/reader for the time-series block payloads.
+//!
+//! The Gorilla-style codecs emit variable-width fields (1-bit skip flags,
+//! 7-bit delta buckets, arbitrary-width XOR windows), so the payload is a
+//! packed bit stream rather than a byte stream. Bits fill each byte from
+//! the most-significant end, and multi-bit fields are written MSB-first —
+//! the layout every published Gorilla implementation uses, which keeps the
+//! golden-fixture bytes comparable to the literature.
+
+/// Append-only bit sink backed by a byte vector.
+#[derive(Clone, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Total bits written (the last byte may be partially filled).
+    len_bits: usize,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Current size in whole bytes (final partial byte rounded up).
+    pub fn len_bytes(&self) -> usize {
+        self.len_bits.div_ceil(8)
+    }
+
+    /// Appends a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        let slot = self.len_bits % 8;
+        if slot == 0 {
+            self.buf.push(0);
+        }
+        if bit {
+            let last = self.buf.len() - 1;
+            self.buf[last] |= 1 << (7 - slot);
+        }
+        self.len_bits += 1;
+    }
+
+    /// Appends the low `count` bits of `value`, MSB-first. `count` ≤ 64.
+    pub fn push_bits(&mut self, value: u64, count: u8) {
+        debug_assert!(count <= 64);
+        for i in (0..count).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// The packed bytes (last byte zero-padded) and the exact bit length.
+    pub fn finish(self) -> (Vec<u8>, usize) {
+        (self.buf, self.len_bits)
+    }
+
+    /// Borrowing view of the packed bytes so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Sequential reader over a packed bit stream.
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos_bits: usize,
+    len_bits: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader over `data`, honoring an exact bit length (the tail byte of
+    /// a packed stream is zero-padded; `len_bits` keeps the padding from
+    /// being read as data).
+    pub fn new(data: &'a [u8], len_bits: usize) -> Self {
+        BitReader {
+            data,
+            pos_bits: 0,
+            len_bits: len_bits.min(data.len() * 8),
+        }
+    }
+
+    /// Bits left to read.
+    pub fn remaining(&self) -> usize {
+        self.len_bits - self.pos_bits
+    }
+
+    /// Reads one bit; `None` at end of stream.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos_bits >= self.len_bits {
+            return None;
+        }
+        let byte = self.data[self.pos_bits / 8];
+        let bit = (byte >> (7 - (self.pos_bits % 8))) & 1 == 1;
+        self.pos_bits += 1;
+        Some(bit)
+    }
+
+    /// Reads `count` bits MSB-first into the low bits of the result.
+    pub fn read_bits(&mut self, count: u8) -> Option<u64> {
+        debug_assert!(count <= 64);
+        if self.remaining() < count as usize {
+            return None;
+        }
+        let mut out = 0u64;
+        for _ in 0..count {
+            out = (out << 1) | self.read_bit()? as u64;
+        }
+        Some(out)
+    }
+}
+
+/// ZigZag maps signed to unsigned so small-magnitude deltas (of either
+/// sign — batches may be locally out of order) stay in the small buckets.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        w.push_bits(0b101, 3);
+        w.push_bits(0xDEAD_BEEF, 32);
+        w.push_bits(u64::MAX, 64);
+        w.push_bit(false);
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(32), Some(0xDEAD_BEEF));
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+        assert_eq!(r.read_bit(), Some(false));
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn padding_bits_are_not_data() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b11, 2);
+        let (bytes, len) = w.finish();
+        assert_eq!(bytes.len(), 1);
+        assert_eq!(len, 2);
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read_bits(2), Some(0b11));
+        assert_eq!(r.read_bit(), None, "padding must be invisible");
+    }
+
+    #[test]
+    fn zigzag_roundtrip_extremes() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes map to small codes (bucket-friendliness).
+        assert!(zigzag(-1) <= 2);
+        assert!(zigzag(32) <= 64);
+    }
+}

@@ -1,0 +1,773 @@
+//! The time-series storage engine: per-series sealed blocks + mutable
+//! tail, durable through any [`StateStore`] backing.
+//!
+//! ## Data layout in the backing store
+//!
+//! Each series owns one partition of the `"tseries"` namespace:
+//!
+//! * `tseries / <series> / b<seq:08>` — one immutable sealed block
+//!   (the [`codec`](crate::tseries::codec) byte format).
+//! * `tseries / <series> / tail` — the **tail record**: the series'
+//!   single durable commit point, holding the caller's metadata blob,
+//!   the compressed image of the open tail block, the count of sealed
+//!   blocks, and any sealed block whose own record is not yet written.
+//!
+//! ## Commit protocol (why appends are crash-atomic)
+//!
+//! Every append stages its writes in memory, then writes the **tail
+//! record first**. That single `put` commits the batch: it carries the
+//! new tail bits, the caller's metadata (ingest dedup watermarks ride
+//! here — atomically with the points they admit), and — when the append
+//! sealed the tail — the freshly sealed block inline as a *pending*
+//! entry. Only after the tail record lands are sealed blocks written to
+//! their own keys and unpinned from the next tail record.
+//!
+//! Recovery therefore trusts the tail record alone: a crash between the
+//! tail commit and a pending block's own write replays the block out of
+//! the tail record; a crash before the tail commit simply loses the
+//! unacknowledged batch (the client retransmits, and the metadata — the
+//! dedup watermark — still reflects the last acknowledged batch, so the
+//! retransmission is admitted exactly once).
+//!
+//! ## Concurrency
+//!
+//! A series has exactly one writer — the actor that owns it — which is
+//! what makes the append-only tail safe (the paper's per-actor ownership
+//! argument). The engine still locks per series so concurrent *readers*
+//! and writers of different series never contend, and no guard is ever
+//! held across backing-store I/O: mutations are staged under the lock
+//! and written after it drops (see DESIGN.md §11 on the
+//! `compact_locked` bug class this avoids).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+
+use crate::api::{Key, StateStore, StoreError, StoreResult};
+use crate::codec::crc32;
+use crate::tseries::codec::{decode_block, decode_index, BlockIndex, PointCompressor};
+
+/// Storage namespace of every series record.
+const SERIES_NAMESPACE: &str = "tseries";
+/// Sort key of the tail record (sorts after every `b<seq>` block key).
+const TAIL_SORT: &str = "tail";
+/// Magic prefix of a tail record.
+const TAIL_MAGIC: &[u8; 4] = b"TST1";
+
+fn block_sort(seq: u64) -> String {
+    format!("b{seq:08}")
+}
+
+fn block_key(series: &str, seq: u64) -> Key {
+    Key::with_sort(SERIES_NAMESPACE, series, &block_sort(seq))
+}
+
+fn tail_key(series: &str) -> Key {
+    Key::with_sort(SERIES_NAMESPACE, series, TAIL_SORT)
+}
+
+/// When the tail record is written back.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TailDurability {
+    /// After every append — an acknowledged batch is durable, and the
+    /// caller's metadata commits atomically with it. The default.
+    #[default]
+    EveryAppend,
+    /// Only when an append seals a block (or [`SeriesStore::seal`] is
+    /// called). Unsealed tail points are lost on crash; for workloads
+    /// that tolerate it (and for measuring the durability cost).
+    OnSeal,
+}
+
+/// Configuration of a [`TsStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct TsConfig {
+    /// Point count that seals the tail into an immutable block.
+    pub seal_points: u32,
+    /// Compressed tail size (bytes) that seals regardless of count.
+    pub seal_bytes: usize,
+    /// Tail *data-time* span (max_ts − min_ts, in ms) that seals the
+    /// block — age is measured on the points' own clock, never the wall
+    /// clock, so sealing stays deterministic under replay.
+    pub seal_age_ms: u64,
+    /// Tail write-back policy.
+    pub durability: TailDurability,
+}
+
+impl Default for TsConfig {
+    /// 512-point / 16 KiB / 1-hour seal triggers, durable every append.
+    ///
+    /// With [`TailDurability::EveryAppend`] each append rewrites the
+    /// whole tail record, so per-append cost is O(tail bytes) — a small
+    /// seal threshold keeps that rewrite cheap, while the fixed
+    /// per-block overhead (44-byte header + CRC) stays under
+    /// 0.1 bytes/point even at 512 points per block.
+    fn default() -> Self {
+        TsConfig {
+            seal_points: 512,
+            seal_bytes: 16 * 1024,
+            seal_age_ms: 3_600_000,
+            durability: TailDurability::EveryAppend,
+        }
+    }
+}
+
+impl TsConfig {
+    /// Small-block configuration for tests: seal every `points` points.
+    pub fn sealing_every(points: u32) -> Self {
+        TsConfig {
+            seal_points: points.max(1),
+            ..TsConfig::default()
+        }
+    }
+}
+
+/// Outcome of one append.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Points appended (all of them — the engine never drops points).
+    pub appended: u32,
+    /// Blocks sealed by this append (0 on the common fast path).
+    pub sealed: u32,
+}
+
+/// What recovery found for a series.
+#[derive(Clone, Debug, Default)]
+pub struct SeriesRecovery {
+    /// The caller metadata blob from the last committed append (empty
+    /// for a fresh series).
+    pub meta: Bytes,
+    /// Total durable points (sealed + tail).
+    pub points: u64,
+}
+
+/// Per-series storage footprint and shape, for benchmarks and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeriesStats {
+    /// Sealed block count.
+    pub sealed_blocks: u64,
+    /// Points across sealed blocks.
+    pub sealed_points: u64,
+    /// Bytes across sealed blocks (compressed, incl. headers).
+    pub sealed_bytes: u64,
+    /// Points in the open tail.
+    pub tail_points: u64,
+    /// Compressed payload bytes of the open tail.
+    pub tail_bytes: u64,
+}
+
+/// The time-series storage seam: append-oriented, range-scannable,
+/// crash-recoverable. [`StateStore`] remains the seam for actor *state
+/// blobs*; this is the seam for high-rate *point streams*.
+pub trait SeriesStore: Send + Sync + 'static {
+    /// Appends a batch of `(ts_ms, value)` points and commits `meta`
+    /// (an opaque caller blob — e.g. dedup watermarks + running stats)
+    /// atomically with them.
+    fn append_batch(
+        &self,
+        series: &str,
+        points: &[(u64, f64)],
+        meta: &[u8],
+    ) -> StoreResult<AppendOutcome>;
+
+    /// All points with `from_ms ≤ ts ≤ to_ms`, in append order, at most
+    /// `limit` of them (0 = unlimited). Sealed blocks whose sparse index
+    /// misses the range are skipped without decompression.
+    fn scan_range(
+        &self,
+        series: &str,
+        from_ms: u64,
+        to_ms: u64,
+        limit: usize,
+    ) -> StoreResult<Vec<(u64, f64)>>;
+
+    /// Force-seals the open tail into an immutable block (no-op when the
+    /// tail is empty).
+    fn seal(&self, series: &str) -> StoreResult<()>;
+
+    /// Loads the series from the backing store (idempotent; appends and
+    /// scans also recover lazily) and returns the committed metadata and
+    /// point count.
+    fn recover(&self, series: &str) -> StoreResult<SeriesRecovery>;
+}
+
+struct SealedBlock {
+    index: BlockIndex,
+    bytes: Bytes,
+}
+
+#[derive(Default)]
+struct Series {
+    recovered: bool,
+    tail: PointCompressor,
+    sealed: Vec<SealedBlock>,
+    sealed_points: u64,
+    meta: Bytes,
+    /// Sealed blocks committed via the tail record whose own block
+    /// record is not yet confirmed written; they ride every tail record
+    /// until unpinned.
+    pending: Vec<(u64, Bytes)>,
+}
+
+/// Writes staged under the series lock, executed after it drops.
+#[derive(Default)]
+struct StagedWrites {
+    tail: Option<(Key, Bytes)>,
+    blocks: Vec<(u64, Key, Bytes)>,
+}
+
+/// The columnar time-series engine.
+pub struct TsStore {
+    backing: Arc<dyn StateStore>,
+    config: TsConfig,
+    series: RwLock<HashMap<String, Arc<Mutex<Series>>>>,
+}
+
+impl TsStore {
+    /// Engine over `backing` with `config`.
+    pub fn new(backing: Arc<dyn StateStore>, config: TsConfig) -> Self {
+        TsStore {
+            backing,
+            config,
+            series: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Engine with the default configuration.
+    pub fn with_defaults(backing: Arc<dyn StateStore>) -> Self {
+        TsStore::new(backing, TsConfig::default())
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> TsConfig {
+        self.config
+    }
+
+    fn entry(&self, series: &str) -> Arc<Mutex<Series>> {
+        if let Some(entry) = self.series.read().get(series) {
+            return Arc::clone(entry);
+        }
+        Arc::clone(self.series.write().entry(series.to_string()).or_default())
+    }
+
+    /// Ensures `entry` reflects the backing store. All backing I/O runs
+    /// with no guard held; the loaded image is installed afterwards (the
+    /// single-writer contract makes the unlocked window benign, and a
+    /// racing reader re-checks `recovered` under the lock).
+    fn ensure_recovered(&self, series: &str, entry: &Arc<Mutex<Series>>) -> StoreResult<()> {
+        if entry.lock().recovered {
+            return Ok(());
+        }
+        let loaded = self.load_series(series)?;
+        let mut s = entry.lock();
+        if !s.recovered {
+            *s = loaded;
+        }
+        Ok(())
+    }
+
+    /// Reads a series image from the backing store (no locks held).
+    fn load_series(&self, series: &str) -> StoreResult<Series> {
+        let mut s = Series {
+            recovered: true,
+            ..Series::default()
+        };
+        let Some(record) = self.backing.get(&tail_key(series))? else {
+            return Ok(s); // fresh series (blocks are written only after
+                          // a tail record exists, so nothing else can)
+        };
+        let tail = decode_tail_record(&record)?;
+        s.meta = tail.meta;
+        s.sealed_points = tail.sealed_points;
+
+        // Materialize every committed block: its own record when the
+        // post-commit write landed, the inline pending copy otherwise.
+        let mut repair: Vec<(Key, Bytes)> = Vec::new();
+        for seq in 0..tail.sealed_blocks {
+            let bytes = match self.backing.get(&block_key(series, seq))? {
+                Some(bytes) => bytes,
+                None => {
+                    let pending = tail
+                        .pending
+                        .iter()
+                        .find(|(s, _)| *s == seq)
+                        .map(|(_, b)| b.clone())
+                        .ok_or_else(|| {
+                            StoreError::Corrupt(format!(
+                                "tseries {series}: committed block {seq} has neither a \
+                                 record nor a pending copy"
+                            ))
+                        })?;
+                    repair.push((block_key(series, seq), pending.clone()));
+                    pending
+                }
+            };
+            let index = decode_index(&bytes)?;
+            s.sealed.push(SealedBlock { index, bytes });
+        }
+
+        // Rebuild the open tail by re-appending its decoded points; the
+        // codec is deterministic, so the compressor lands in the exact
+        // pre-crash state.
+        for (ts, v) in decode_block(&tail.tail_block)? {
+            s.tail.append(ts, v);
+        }
+
+        // Finish any interrupted post-commit block writes now, so the
+        // next tail record no longer needs to carry them.
+        for (key, bytes) in repair {
+            self.backing.put(&key, bytes)?;
+        }
+        Ok(s)
+    }
+
+    /// Shared append/seal path. Stages every mutation under the series
+    /// lock, drops it, then performs the backing writes: tail record
+    /// (the commit point) first, block records after.
+    fn append_inner(
+        &self,
+        series: &str,
+        points: &[(u64, f64)],
+        meta: Option<&[u8]>,
+        force_seal: bool,
+    ) -> StoreResult<AppendOutcome> {
+        let entry = self.entry(series);
+        self.ensure_recovered(series, &entry)?;
+
+        let mut outcome = AppendOutcome {
+            appended: points.len() as u32,
+            sealed: 0,
+        };
+        let staged = {
+            let mut s = entry.lock();
+            for &(ts, v) in points {
+                s.tail.append(ts, v);
+                if self.should_seal(&s.tail) {
+                    seal_tail(&mut s);
+                    outcome.sealed += 1;
+                }
+            }
+            if force_seal && s.tail.count() > 0 {
+                seal_tail(&mut s);
+                outcome.sealed += 1;
+            }
+            if let Some(meta) = meta {
+                s.meta = Bytes::copy_from_slice(meta);
+            }
+
+            let mut staged = StagedWrites::default();
+            let commit_tail = match self.config.durability {
+                TailDurability::EveryAppend => true,
+                TailDurability::OnSeal => outcome.sealed > 0 || force_seal,
+            };
+            if commit_tail {
+                staged.tail = Some((tail_key(series), Bytes::from(encode_tail_record(&s))));
+            }
+            for (seq, bytes) in &s.pending {
+                staged
+                    .blocks
+                    .push((*seq, block_key(series, *seq), bytes.clone()));
+            }
+            staged
+        };
+
+        // Backing I/O — no guard held. The tail record commits the
+        // append; pending blocks are unpinned only once their own
+        // records land (a failed block write stays pending and rides the
+        // next tail record, so it can never be lost).
+        if let Some((key, record)) = staged.tail {
+            self.backing.put(&key, record)?;
+        }
+        for (seq, key, bytes) in staged.blocks {
+            self.backing.put(&key, bytes)?;
+            entry.lock().pending.retain(|(s, _)| *s != seq);
+        }
+        Ok(outcome)
+    }
+
+    fn should_seal(&self, tail: &PointCompressor) -> bool {
+        if tail.count() == 0 {
+            return false;
+        }
+        let idx = tail.index();
+        tail.count() >= self.config.seal_points
+            || tail.payload_bytes() >= self.config.seal_bytes
+            || idx.max_ts.saturating_sub(idx.min_ts) >= self.config.seal_age_ms
+    }
+
+    /// Storage footprint of one series (0-stats when unknown).
+    pub fn stats(&self, series: &str) -> SeriesStats {
+        let entry = self.entry(series);
+        let s = entry.lock();
+        SeriesStats {
+            sealed_blocks: s.sealed.len() as u64,
+            sealed_points: s.sealed_points,
+            sealed_bytes: s.sealed.iter().map(|b| b.bytes.len() as u64).sum(),
+            tail_points: s.tail.count() as u64,
+            tail_bytes: s.tail.payload_bytes() as u64,
+        }
+    }
+
+    /// Aggregated [`TsStore::stats`] over every series this engine has
+    /// touched.
+    pub fn totals(&self) -> SeriesStats {
+        let names: Vec<String> = self.series.read().keys().cloned().collect();
+        let mut total = SeriesStats::default();
+        for name in names {
+            let s = self.stats(&name);
+            total.sealed_blocks += s.sealed_blocks;
+            total.sealed_points += s.sealed_points;
+            total.sealed_bytes += s.sealed_bytes;
+            total.tail_points += s.tail_points;
+            total.tail_bytes += s.tail_bytes;
+        }
+        total
+    }
+}
+
+fn seal_tail(s: &mut Series) {
+    let bytes = Bytes::from(s.tail.encode_block());
+    let index = *s.tail.index();
+    let seq = s.sealed.len() as u64;
+    s.sealed_points += index.count as u64;
+    s.pending.push((seq, bytes.clone()));
+    s.sealed.push(SealedBlock { index, bytes });
+    s.tail = PointCompressor::new();
+}
+
+impl SeriesStore for TsStore {
+    fn append_batch(
+        &self,
+        series: &str,
+        points: &[(u64, f64)],
+        meta: &[u8],
+    ) -> StoreResult<AppendOutcome> {
+        self.append_inner(series, points, Some(meta), false)
+    }
+
+    fn scan_range(
+        &self,
+        series: &str,
+        from_ms: u64,
+        to_ms: u64,
+        limit: usize,
+    ) -> StoreResult<Vec<(u64, f64)>> {
+        let entry = self.entry(series);
+        self.ensure_recovered(series, &entry)?;
+
+        // Snapshot matching block bytes under the lock (cheap `Bytes`
+        // clones); decompress after it drops.
+        let (blocks, tail_block): (Vec<Bytes>, Vec<u8>) = {
+            let s = entry.lock();
+            let blocks = s
+                .sealed
+                .iter()
+                .filter(|b| b.index.overlaps(from_ms, to_ms))
+                .map(|b| b.bytes.clone())
+                .collect();
+            let tail = if s.tail.index().overlaps(from_ms, to_ms) {
+                s.tail.encode_block()
+            } else {
+                Vec::new()
+            };
+            (blocks, tail)
+        };
+
+        let mut out = Vec::new();
+        for bytes in blocks
+            .iter()
+            .map(|b| b.as_ref())
+            .chain([tail_block.as_slice()])
+        {
+            for (ts, v) in decode_block(bytes)? {
+                if ts >= from_ms && ts <= to_ms {
+                    out.push((ts, v));
+                    if limit != 0 && out.len() >= limit {
+                        return Ok(out);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn seal(&self, series: &str) -> StoreResult<()> {
+        self.append_inner(series, &[], None, true)?;
+        Ok(())
+    }
+
+    fn recover(&self, series: &str) -> StoreResult<SeriesRecovery> {
+        let entry = self.entry(series);
+        self.ensure_recovered(series, &entry)?;
+        let s = entry.lock();
+        Ok(SeriesRecovery {
+            meta: s.meta.clone(),
+            points: s.sealed_points + s.tail.count() as u64,
+        })
+    }
+}
+
+// ------------------------------------------------------------ tail record
+
+struct TailRecord {
+    sealed_blocks: u64,
+    sealed_points: u64,
+    meta: Bytes,
+    pending: Vec<(u64, Bytes)>,
+    tail_block: Bytes,
+}
+
+/// `TST1 | sealed_blocks u64 | sealed_points u64 | meta_len u32 | meta
+/// | pending_count u32 | (seq u64, len u32, bytes)* | tail_len u32
+/// | tail block | crc32` — the CRC covers everything before it.
+fn encode_tail_record(s: &Series) -> Vec<u8> {
+    let tail_block = s.tail.encode_block();
+    let mut out = Vec::with_capacity(4 + 8 + 8 + 4 + s.meta.len() + 4 + tail_block.len() + 4);
+    out.extend_from_slice(TAIL_MAGIC);
+    out.extend_from_slice(&(s.sealed.len() as u64).to_le_bytes());
+    out.extend_from_slice(&s.sealed_points.to_le_bytes());
+    out.extend_from_slice(&(s.meta.len() as u32).to_le_bytes());
+    out.extend_from_slice(&s.meta);
+    out.extend_from_slice(&(s.pending.len() as u32).to_le_bytes());
+    for (seq, bytes) in &s.pending {
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    out.extend_from_slice(&(tail_block.len() as u32).to_le_bytes());
+    out.extend_from_slice(&tail_block);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn decode_tail_record(buf: &[u8]) -> StoreResult<TailRecord> {
+    let fail = |m: &str| StoreError::Corrupt(format!("tseries tail record: {m}"));
+    if buf.len() < 4 + 8 + 8 + 4 + 4 + 4 + 4 {
+        return Err(fail("truncated"));
+    }
+    if &buf[0..4] != TAIL_MAGIC {
+        return Err(fail("bad magic"));
+    }
+    let stored_crc = u32::from_le_bytes(buf[buf.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(&buf[..buf.len() - 4]) != stored_crc {
+        return Err(fail("crc mismatch"));
+    }
+    let body = &buf[..buf.len() - 4];
+    let mut pos = 4usize;
+    let mut take = |n: usize| -> StoreResult<&[u8]> {
+        if body.len() - pos < n {
+            return Err(fail("truncated field"));
+        }
+        let slice = &body[pos..pos + n];
+        pos += n;
+        Ok(slice)
+    };
+    let sealed_blocks = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+    let sealed_points = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+    let meta_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+    let meta = Bytes::copy_from_slice(take(meta_len)?);
+    let pending_count = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+    let mut pending = Vec::with_capacity(pending_count);
+    for _ in 0..pending_count {
+        let seq = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+        pending.push((seq, Bytes::copy_from_slice(take(len)?)));
+    }
+    let tail_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+    let tail_block = Bytes::copy_from_slice(take(tail_len)?);
+    if pos != body.len() {
+        return Err(fail("trailing garbage"));
+    }
+    Ok(TailRecord {
+        sealed_blocks,
+        sealed_points,
+        meta,
+        pending,
+        tail_block,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemStore;
+
+    fn engine(config: TsConfig) -> (Arc<MemStore>, TsStore) {
+        let backing = Arc::new(MemStore::new());
+        let ts = TsStore::new(Arc::clone(&backing) as Arc<dyn StateStore>, config);
+        (backing, ts)
+    }
+
+    fn pts(range: std::ops::Range<u64>) -> Vec<(u64, f64)> {
+        range.map(|i| (i * 10, i as f64)).collect()
+    }
+
+    #[test]
+    fn append_scan_roundtrip_across_seals() {
+        let (_, ts) = engine(TsConfig::sealing_every(16));
+        let points = pts(0..100);
+        for chunk in points.chunks(7) {
+            ts.append_batch("s", chunk, b"meta").unwrap();
+        }
+        let all = ts.scan_range("s", 0, u64::MAX, 0).unwrap();
+        assert_eq!(all, points);
+        let stats = ts.stats("s");
+        assert_eq!(stats.sealed_blocks, 100 / 16);
+        assert_eq!(stats.sealed_points + stats.tail_points, 100);
+
+        // Range + limit semantics match the window query.
+        let mid = ts.scan_range("s", 200, 400, 0).unwrap();
+        assert_eq!(mid.len(), 21);
+        assert_eq!(mid.first().unwrap().0, 200);
+        let capped = ts.scan_range("s", 200, 400, 5).unwrap();
+        assert_eq!(capped.len(), 5);
+    }
+
+    #[test]
+    fn recovery_restores_points_meta_and_tail() {
+        let backing: Arc<dyn StateStore> = Arc::new(MemStore::new());
+        {
+            let ts = TsStore::new(Arc::clone(&backing), TsConfig::sealing_every(8));
+            for chunk in pts(0..30).chunks(4) {
+                ts.append_batch("s", chunk, b"watermark-7").unwrap();
+            }
+        }
+        // Fresh engine over the same backing: the "process restart".
+        let ts = TsStore::new(Arc::clone(&backing), TsConfig::sealing_every(8));
+        let rec = ts.recover("s").unwrap();
+        assert_eq!(rec.points, 30);
+        assert_eq!(rec.meta.as_ref(), b"watermark-7");
+        assert_eq!(ts.scan_range("s", 0, u64::MAX, 0).unwrap(), pts(0..30));
+        // Appends continue seamlessly after recovery.
+        ts.append_batch("s", &pts(30..40), b"watermark-8").unwrap();
+        assert_eq!(ts.scan_range("s", 0, u64::MAX, 0).unwrap(), pts(0..40));
+    }
+
+    #[test]
+    fn crash_between_tail_commit_and_block_write_loses_nothing() {
+        let backing: Arc<dyn StateStore> = Arc::new(MemStore::new());
+        {
+            let ts = TsStore::new(Arc::clone(&backing), TsConfig::sealing_every(8));
+            for chunk in pts(0..16).chunks(4) {
+                ts.append_batch("s", chunk, b"m").unwrap();
+            }
+        }
+        // Simulate the crash window: delete the sealed blocks' own
+        // records, leaving only the tail record (which pinned them as
+        // pending when they sealed... but unpinning already happened).
+        // Rebuild the scenario directly instead: write a tail record
+        // carrying a pending block with no block record.
+        let mut series = Series {
+            recovered: true,
+            ..Series::default()
+        };
+        for (ts_ms, v) in pts(0..8) {
+            series.tail.append(ts_ms, v);
+        }
+        seal_tail(&mut series);
+        series.meta = Bytes::from_static(b"pending-meta");
+        let record = encode_tail_record(&series);
+        backing
+            .put(&tail_key("crashy"), Bytes::from(record))
+            .unwrap();
+        assert!(backing.get(&block_key("crashy", 0)).unwrap().is_none());
+
+        let ts = TsStore::new(Arc::clone(&backing), TsConfig::sealing_every(8));
+        let rec = ts.recover("crashy").unwrap();
+        assert_eq!(rec.points, 8);
+        assert_eq!(rec.meta.as_ref(), b"pending-meta");
+        assert_eq!(ts.scan_range("crashy", 0, u64::MAX, 0).unwrap(), pts(0..8));
+        // Recovery repaired the missing block record.
+        assert!(backing.get(&block_key("crashy", 0)).unwrap().is_some());
+    }
+
+    #[test]
+    fn committed_block_with_no_copy_is_corrupt() {
+        let backing: Arc<dyn StateStore> = Arc::new(MemStore::new());
+        {
+            let ts = TsStore::new(Arc::clone(&backing), TsConfig::sealing_every(4));
+            ts.append_batch("s", &pts(0..8), b"").unwrap();
+            // A later append rewrites the tail record with its pending
+            // list drained (the block records landed above), so the
+            // block record is now the only copy of block 0.
+            ts.append_batch("s", &pts(8..9), b"").unwrap();
+        }
+        backing.delete(&block_key("s", 0)).unwrap();
+        let ts = TsStore::new(Arc::clone(&backing), TsConfig::default());
+        assert!(matches!(ts.recover("s"), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn seal_flushes_tail_and_scan_skips_blocks() {
+        let (_, ts) = engine(TsConfig::default());
+        ts.append_batch("s", &pts(0..100), b"").unwrap();
+        assert_eq!(ts.stats("s").sealed_blocks, 0);
+        ts.seal("s").unwrap();
+        let stats = ts.stats("s");
+        assert_eq!(stats.sealed_blocks, 1);
+        assert_eq!(stats.sealed_points, 100);
+        assert_eq!(stats.tail_points, 0);
+        // A miss range decodes nothing (skip path) and returns empty.
+        assert!(ts.scan_range("s", 10_000, 20_000, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn meta_commits_atomically_with_points() {
+        let backing: Arc<dyn StateStore> = Arc::new(MemStore::new());
+        let ts = TsStore::new(Arc::clone(&backing), TsConfig::default());
+        ts.append_batch("s", &pts(0..5), b"seq=1").unwrap();
+        ts.append_batch("s", &pts(5..10), b"seq=2").unwrap();
+        let fresh = TsStore::new(Arc::clone(&backing), TsConfig::default());
+        let rec = fresh.recover("s").unwrap();
+        assert_eq!(rec.meta.as_ref(), b"seq=2");
+        assert_eq!(rec.points, 10);
+    }
+
+    #[test]
+    fn on_seal_durability_skips_tail_writes() {
+        let backing: Arc<dyn StateStore> = Arc::new(MemStore::new());
+        let config = TsConfig {
+            durability: TailDurability::OnSeal,
+            ..TsConfig::sealing_every(8)
+        };
+        let ts = TsStore::new(Arc::clone(&backing), config);
+        ts.append_batch("s", &pts(0..4), b"m").unwrap();
+        // No seal yet → nothing durable.
+        assert!(backing.get(&tail_key("s")).unwrap().is_none());
+        ts.append_batch("s", &pts(4..10), b"m").unwrap();
+        // Seal fired → tail record + block record durable.
+        assert!(backing.get(&tail_key("s")).unwrap().is_some());
+        let fresh = TsStore::new(Arc::clone(&backing), config);
+        let rec = fresh.recover("s").unwrap();
+        assert_eq!(
+            rec.points, 10,
+            "sealed 8 + tail 2 all committed by the seal-time tail write"
+        );
+    }
+
+    #[test]
+    fn series_are_isolated() {
+        let (_, ts) = engine(TsConfig::default());
+        ts.append_batch("a", &pts(0..5), b"ma").unwrap();
+        ts.append_batch("b", &pts(100..110), b"mb").unwrap();
+        assert_eq!(ts.scan_range("a", 0, u64::MAX, 0).unwrap().len(), 5);
+        assert_eq!(ts.scan_range("b", 0, u64::MAX, 0).unwrap().len(), 10);
+        assert_eq!(ts.recover("a").unwrap().meta.as_ref(), b"ma");
+    }
+
+    #[test]
+    fn tail_record_detects_corruption() {
+        let mut series = Series {
+            recovered: true,
+            ..Series::default()
+        };
+        series.tail.append(1, 2.0);
+        let mut record = encode_tail_record(&series);
+        let mid = record.len() / 2;
+        record[mid] ^= 1;
+        assert!(decode_tail_record(&record).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! Columnar time-series storage for the ingest hot path.
+//!
+//! The paper's SHM workload is ~98 % sensor-point inserts (Fig 5), but
+//! the generic KV path pays full record framing, CRC, and whole-state
+//! re-serialization per mutation. This module gives point streams a
+//! native format instead:
+//!
+//! * [`bits`] — packed bit I/O (MSB-first) + ZigZag, the substrate for
+//!   the variable-width codes.
+//! * [`codec`] — delta-of-delta timestamps and Gorilla-style XOR float
+//!   compression, sealed into immutable `TSB1` blocks that carry a
+//!   sparse index (count, min/max timestamp, min/max value) readable
+//!   without decompressing the payload.
+//! * [`engine`] — [`TsStore`]: per-series sealed blocks + a mutable
+//!   tail, durable through any [`StateStore`](crate::api::StateStore)
+//!   backing via an atomic tail-record commit protocol, exposed through
+//!   the [`SeriesStore`] seam.
+//!
+//! `StateStore` remains the seam for actor *state blobs*; `SeriesStore`
+//! is the seam for high-rate *point streams*. The single-writer-per-
+//! actor guarantee is what makes the per-series append-only layout safe.
+
+pub mod bits;
+pub mod codec;
+pub mod engine;
+
+pub use codec::{decode_block, decode_index, BlockIndex, PointCompressor};
+pub use engine::{
+    AppendOutcome, SeriesRecovery, SeriesStats, SeriesStore, TailDurability, TsConfig, TsStore,
+};
