@@ -4,7 +4,8 @@
 //! aodb-lint [--graph <edge-list>] [--dot <path>] [--src <dir>]
 //!           [--baseline <file>] [--json] [--lock-dot <path>]
 //!           [--no-lint] [--no-verify] [--no-lockcheck]
-//!           [--no-replaycheck] [--emit-baseline]
+//!           [--no-replaycheck] [--no-schemacheck] [--emit-baseline]
+//!           [--schema-lock <file>] [--write-schema-lock <path>]
 //! ```
 //!
 //! With no arguments: builds the whole-workspace call graph from the
@@ -14,10 +15,13 @@
 //! over the whole workspace tree — `src/`, `tests/`, `examples/` and
 //! `benches/` alike — runs the aodb-lockcheck passes (lock-order
 //! cycles, guards held across blocking work) over the runtime substrate
-//! (`crates/{runtime,store,chaos}/src`), and runs the aodb-replaycheck
+//! (`crates/{runtime,store,chaos}/src`), runs the aodb-replaycheck
 //! determinism passes (nondet-in-turn, unordered-persisted-state,
 //! ambient-clock) over the actor crates (`crates/{shm,cattle,core}/src`
-//! — bench and test harness code is deliberately outside those roots).
+//! — bench and test harness code is deliberately outside those roots),
+//! and runs the aodb-schemacheck passes (schema-drift against the
+//! committed `schema.lock`, schema-unversioned, ack-before-commit) over
+//! the persisted-state crates (`crates/{shm,cattle,core,store}/src`).
 //! Exits nonzero on any violation.
 //!
 //! * `--graph <file>` — analyze a fixture edge list (`FROM call|send TO`
@@ -37,6 +41,14 @@
 //! * `--no-verify` — skip the dataflow verify passes.
 //! * `--no-lockcheck` — skip the lock-order/blocking passes.
 //! * `--no-replaycheck` — skip the determinism passes.
+//! * `--no-schemacheck` — skip the persisted-format / ack-durability
+//!   passes.
+//! * `--schema-lock <file>` — lockfile for the schema-drift check
+//!   (default: `schema.lock` at the workspace root, when present; with
+//!   no lockfile the drift check is skipped and only the unversioned
+//!   and ack rules run).
+//! * `--write-schema-lock <path>` — regenerate the lockfile from the
+//!   current corpus (the layout-change workflow), then continue.
 //! * `--emit-baseline` — after the summary, print ready-to-paste
 //!   `[[suppress]]` TOML skeletons (with empty `reason = ""`) for every
 //!   active finding, so accepting a finding into the baseline is a
@@ -46,8 +58,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use aodb_analysis::{
-    lint_tree, lockcheck_tree, replaycheck_tree, verify_tree, workspace_graph, Baseline, CallGraph,
-    Finding,
+    lint_tree, lockcheck_tree, replaycheck_tree, schema, schemacheck_corpus, verify_tree,
+    workspace_graph, Baseline, CallGraph, Corpus, Finding, SchemaLock,
 };
 
 struct Options {
@@ -61,6 +73,9 @@ struct Options {
     run_verify: bool,
     run_lockcheck: bool,
     run_replaycheck: bool,
+    run_schemacheck: bool,
+    schema_lock: Option<PathBuf>,
+    write_schema_lock: Option<PathBuf>,
     emit_baseline: bool,
 }
 
@@ -76,6 +91,9 @@ fn parse_args() -> Result<Options, String> {
         run_verify: true,
         run_lockcheck: true,
         run_replaycheck: true,
+        run_schemacheck: true,
+        schema_lock: None,
+        write_schema_lock: None,
         emit_baseline: false,
     };
     let mut args = std::env::args().skip(1);
@@ -106,13 +124,25 @@ fn parse_args() -> Result<Options, String> {
             "--no-verify" => opts.run_verify = false,
             "--no-lockcheck" => opts.run_lockcheck = false,
             "--no-replaycheck" => opts.run_replaycheck = false,
+            "--no-schemacheck" => opts.run_schemacheck = false,
+            "--schema-lock" => {
+                let v = args.next().ok_or("--schema-lock needs a file argument")?;
+                opts.schema_lock = Some(PathBuf::from(v));
+            }
+            "--write-schema-lock" => {
+                let v = args
+                    .next()
+                    .ok_or("--write-schema-lock needs a path argument")?;
+                opts.write_schema_lock = Some(PathBuf::from(v));
+            }
             "--emit-baseline" => opts.emit_baseline = true,
             "--help" | "-h" => {
                 println!(
                     "aodb-lint [--graph <edge-list>] [--dot <path>] [--src <dir>] \
                      [--baseline <file>] [--json] [--lock-dot <path>] \
                      [--no-lint] [--no-verify] [--no-lockcheck] \
-                     [--no-replaycheck] [--emit-baseline]"
+                     [--no-replaycheck] [--no-schemacheck] [--emit-baseline] \
+                     [--schema-lock <file>] [--write-schema-lock <path>]"
                 );
                 std::process::exit(0);
             }
@@ -153,6 +183,27 @@ fn replaycheck_roots(roots: &[PathBuf]) -> Vec<PathBuf> {
     for root in roots {
         if root.join("crates/runtime").is_dir() {
             for krate in ["shm", "cattle", "core"] {
+                let src = root.join("crates").join(krate).join("src");
+                if src.is_dir() {
+                    out.push(src);
+                }
+            }
+        } else {
+            out.push(root.clone());
+        }
+    }
+    out
+}
+
+/// The roots the schemacheck passes audit. A workspace root is narrowed
+/// to the crates that define persisted state or on-disk formats —
+/// actors plus the store engine; any other root (fixture directories)
+/// is audited as-is.
+fn schemacheck_roots(roots: &[PathBuf]) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for root in roots {
+        if root.join("crates/runtime").is_dir() {
+            for krate in ["shm", "cattle", "core", "store"] {
                 let src = root.join("crates").join(krate).join("src");
                 if src.is_dir() {
                     out.push(src);
@@ -366,6 +417,64 @@ fn main() -> ExitCode {
                 eprintln!("aodb-lint: replaycheck failed: {e}");
                 return ExitCode::from(2);
             }
+        }
+    }
+
+    if opts.run_schemacheck || opts.write_schema_lock.is_some() {
+        let corpus = match Corpus::load(&schemacheck_roots(&roots)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("aodb-lint: schemacheck failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Some(path) = &opts.write_schema_lock {
+            let lock = schema::compute_lock(&corpus);
+            if let Err(e) = std::fs::write(path, lock.render()) {
+                eprintln!("aodb-lint: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            println!(
+                "aodb-schemacheck: wrote {} layout fingerprint(s) to {}",
+                lock.entries.len(),
+                path.display()
+            );
+        }
+        if opts.run_schemacheck {
+            // Lock resolution: explicit flag, else the file just written,
+            // else `schema.lock` at a source root when one exists. With
+            // no lockfile the drift check is skipped (fixture trees);
+            // the unversioned and ack rules always run.
+            let lock_path = opts
+                .schema_lock
+                .clone()
+                .or_else(|| opts.write_schema_lock.clone())
+                .or_else(|| {
+                    roots.iter().find_map(|r| {
+                        let p = r.join("schema.lock");
+                        p.is_file().then_some(p)
+                    })
+                });
+            let lock = match &lock_path {
+                Some(path) => match SchemaLock::load(path) {
+                    Ok(l) => Some(l),
+                    Err(e) => {
+                        eprintln!("aodb-lint: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    println!("aodb-schemacheck: no schema.lock found — drift check skipped");
+                    None
+                }
+            };
+            let f = schemacheck_corpus(&corpus, lock.as_ref());
+            println!(
+                "aodb-schemacheck: {} layout(s) fingerprinted, {} raw finding(s)",
+                schema::extract_entries(&corpus).len(),
+                f.len()
+            );
+            findings.extend(f);
         }
     }
 

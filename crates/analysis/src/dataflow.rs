@@ -1133,72 +1133,10 @@ fn flatten_into(flow: &Flow, out: &mut Vec<usize>) {
 }
 
 // ------------------------------------------------------------- analyses
-
-/// Persistence-hazard findings for one file: a `&mut self` method where
-/// a `get_mut_untracked()` mutation reaches an exit with no intervening
-/// `mutate`/`save`/`flush`.
-pub fn persistence_findings(model: &FileModel) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for f in &model.fns {
-        if !f.has_mut_self {
-            continue;
-        }
-        let touches =
-            (f.body_range.0..f.body_range.1).any(|i| model.toks[i].is_ident("get_mut_untracked"));
-        if !touches {
-            continue;
-        }
-        let exits = eval_flow(&f.body, None::<u32>, f.end_line, &mut |pending, idxs| {
-            for &j in idxs {
-                let t = &model.toks[j];
-                if t.kind != TokKind::Ident {
-                    continue;
-                }
-                let method_call = j > 0
-                    && model.toks[j - 1].is_punct('.')
-                    && model.toks.get(j + 1).is_some_and(|n| n.is_punct('('));
-                if !method_call {
-                    continue;
-                }
-                if t.text == "get_mut_untracked" {
-                    *pending = Some(t.line);
-                } else if PERSIST_METHODS.contains(&t.text.as_str()) {
-                    *pending = None;
-                }
-            }
-        });
-        let mut reported: Vec<u32> = Vec::new();
-        for exit in exits {
-            let Some(mutation_line) = exit.state else {
-                continue;
-            };
-            if reported.contains(&mutation_line) {
-                continue;
-            }
-            reported.push(mutation_line);
-            if model.allowed(exit.line, Rule::PersistenceHazard)
-                || model.allowed(mutation_line, Rule::PersistenceHazard)
-            {
-                continue;
-            }
-            findings.push(Finding {
-                rule: Rule::PersistenceHazard,
-                file: model.path.clone(),
-                line: exit.line,
-                excerpt: model.excerpt(exit.line),
-                detail: format!(
-                    "`{}` mutates state via get_mut_untracked() on line {mutation_line} but \
-                     this exit is reached with no mutate/save/flush — the write-behind \
-                     store never sees the change",
-                    f.name
-                ),
-                item: Some(f.name.clone()),
-                class: None,
-            });
-        }
-    }
-    findings
-}
+//
+// The persistence-hazard analysis lives in [`crate::durability`], which
+// also owns the ack-before-commit rule — both walk the same
+// commit-point seam.
 
 /// Reply-obligation findings for one file. `reply_structs` maps message
 /// struct names to their `ReplyTo` field names, corpus-wide.
@@ -1347,57 +1285,6 @@ mod tests {
     }
 
     #[test]
-    fn persist_hazard_on_early_return() {
-        let m = model(
-            "impl Handler<W> for A {\n\
-             fn handle(&mut self, msg: W, _ctx: &mut ActorContext<'_>) -> R {\n\
-             if !self.state.get_mut_untracked().guard.first_time(&msg.id) {\n\
-             return R::Skip;\n\
-             }\n\
-             self.state.mutate(|s| s.n += 1);\n\
-             R::Done\n\
-             }\n\
-             }\n",
-        );
-        let f = persistence_findings(&m);
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert_eq!(f[0].rule, Rule::PersistenceHazard);
-        assert_eq!(f[0].line, 4); // the `return R::Skip;`
-    }
-
-    #[test]
-    fn persist_before_every_exit_is_clean() {
-        let m = model(
-            "impl A {\n\
-             fn step(&mut self) {\n\
-             let fresh = self.state.mutate(|s| s.guard.first_time(&id));\n\
-             if fresh { self.apply(); }\n\
-             }\n\
-             }\n",
-        );
-        assert!(persistence_findings(&m).is_empty());
-    }
-
-    #[test]
-    fn persist_hazard_through_match_arm() {
-        let m = model(
-            "impl A {\n\
-             fn step(&mut self, w: W) -> R {\n\
-             self.state.get_mut_untracked().n += 1;\n\
-             match w.kind {\n\
-             K::Fast => R::Done,\n\
-             K::Slow => { self.state.flush(); R::Done }\n\
-             }\n\
-             }\n\
-             }\n",
-        );
-        let f = persistence_findings(&m);
-        // The K::Fast arm falls through to the end with the mutation
-        // unpersisted; the K::Slow arm flushed.
-        assert_eq!(f.len(), 1, "{f:?}");
-    }
-
-    #[test]
     fn reply_leak_on_one_path() {
         let mut structs = HashMap::new();
         structs.insert("Ask".to_string(), vec!["reply".to_string()]);
@@ -1431,35 +1318,5 @@ mod tests {
              }\n",
         );
         assert!(reply_findings(&m, &structs).is_empty());
-    }
-
-    #[test]
-    fn let_else_diverging_arm_is_a_branch() {
-        let m = model(
-            "impl A {\n\
-             fn step(&mut self) -> R {\n\
-             let Some(x) = self.find() else {\n\
-             return R::Missing;\n\
-             };\n\
-             self.state.get_mut_untracked().n = x;\n\
-             self.state.save();\n\
-             R::Done\n\
-             }\n\
-             }\n",
-        );
-        assert!(persistence_findings(&m).is_empty());
-    }
-
-    #[test]
-    fn allow_marker_suppresses() {
-        let m = model(
-            "impl A {\n\
-             fn step(&mut self) {\n\
-             // aodb-lint: allow(persistence-hazard)\n\
-             self.state.get_mut_untracked().n += 1;\n\
-             }\n\
-             }\n",
-        );
-        assert!(persistence_findings(&m).is_empty());
     }
 }

@@ -34,6 +34,13 @@
 //!   `unordered-persisted-state`; `Instant::now`/`SystemTime::now`
 //!   inside a turn is `ambient-clock` (actor code uses
 //!   `ActorContext::now()` instead).
+//! * **aodb-schemacheck persisted-format passes** — layout
+//!   fingerprinting over every `Persisted<T>` state type and binary
+//!   on-disk format ([`schema`], [`schemalock`]) checked against a
+//!   committed `schema.lock` (`schema-drift`, `schema-unversioned`),
+//!   plus an ack-durability dataflow ([`durability`]) proving no
+//!   handler path resolves a `ReplyTo` before its commit-point store
+//!   write (`ack-before-commit`).
 //! * **aodb-lockcheck runtime-internal passes** — lock-class extraction
 //!   and guard-liveness dataflow over the runtime substrate itself
 //!   ([`locks`]): every held-while-acquiring pair feeds a
@@ -51,6 +58,7 @@
 
 pub mod baseline;
 pub mod dataflow;
+pub mod durability;
 pub mod effects;
 pub mod graph;
 pub mod lexer;
@@ -58,6 +66,8 @@ pub mod lint;
 pub mod lockgraph;
 pub mod locks;
 pub mod replay;
+pub mod schema;
+pub mod schemalock;
 pub mod sendsites;
 
 pub use baseline::{Baseline, Suppression};
@@ -66,6 +76,7 @@ pub use lint::{lint_source, lint_tree, Finding, Rule};
 pub use lockgraph::{LockEdge, LockGraph};
 pub use locks::{lockcheck_corpus, lockcheck_tree, LockAnalysis};
 pub use replay::{replaycheck_corpus, replaycheck_tree};
+pub use schemalock::{EntryKind, LockEntry, SchemaLock, SchemaLockError};
 pub use sendsites::Corpus;
 
 /// Runs the aodb-verify dataflow passes (declaration drift, persistence
@@ -74,7 +85,7 @@ pub fn verify_corpus(corpus: &Corpus) -> Vec<Finding> {
     let replies = corpus.reply_structs();
     let mut findings = sendsites::drift_findings(corpus);
     for file in &corpus.files {
-        findings.extend(dataflow::persistence_findings(file));
+        findings.extend(durability::persistence_findings(file));
         findings.extend(dataflow::reply_findings(file, &replies));
     }
     findings
@@ -87,6 +98,29 @@ pub fn verify_corpus(corpus: &Corpus) -> Vec<Finding> {
 /// resolve across crates.
 pub fn verify_tree(roots: &[std::path::PathBuf]) -> std::io::Result<Vec<Finding>> {
     Ok(verify_corpus(&Corpus::load(roots)?))
+}
+
+/// Runs the aodb-schemacheck passes over one parsed corpus: persisted
+/// layout fingerprints against an optional `schema.lock` (drift,
+/// unversioned formats, stale lock entries) plus the ack-before-commit
+/// dataflow over every handler.
+pub fn schemacheck_corpus(corpus: &Corpus, lock: Option<&SchemaLock>) -> Vec<Finding> {
+    let mut findings = schema::schema_findings(corpus, lock);
+    for file in &corpus.files {
+        findings.extend(durability::ack_findings(file));
+    }
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule.name()).cmp(&(&b.file, b.line, b.rule.name())));
+    findings
+}
+
+/// Loads every `.rs` file under the given roots and runs the
+/// schemacheck passes against an optional lockfile.
+pub fn schemacheck_tree(
+    roots: &[std::path::PathBuf],
+    lock: Option<&SchemaLock>,
+) -> std::io::Result<Vec<Finding>> {
+    Ok(schemacheck_corpus(&Corpus::load(roots)?, lock))
 }
 
 /// The whole-workspace call graph: every actor type registered by the

@@ -59,6 +59,20 @@ pub enum Rule {
     /// `Instant::now()` / `SystemTime::now()` inside an actor turn;
     /// actor code must read time through `ActorContext::now()`.
     AmbientClock,
+    /// A persisted layout (a `Persisted<T>` state type or an on-disk
+    /// binary format) whose fingerprint no longer matches the committed
+    /// `schema.lock` entry — the change must be acknowledged by
+    /// regenerating the lockfile.
+    SchemaDrift,
+    /// A binary on-disk format whose magic carries no version dispatch
+    /// path: a future layout change could only fail as CRC corruption
+    /// instead of a typed unsupported-version error.
+    SchemaUnversioned,
+    /// A handler resolves a `ReplyTo` sink and *then* performs a
+    /// commit-point store write on the same path — the caller can
+    /// observe the ack while the turn's durable effects are still
+    /// volatile (breaks the ack-⇒-durable contract).
+    AckBeforeCommit,
 }
 
 impl Rule {
@@ -76,6 +90,9 @@ impl Rule {
         Rule::NondetInTurn,
         Rule::UnorderedPersistedState,
         Rule::AmbientClock,
+        Rule::SchemaDrift,
+        Rule::SchemaUnversioned,
+        Rule::AckBeforeCommit,
     ];
 
     /// The marker name recognized in `aodb-lint: allow(<name>)`.
@@ -93,6 +110,9 @@ impl Rule {
             Rule::NondetInTurn => "nondet-in-turn",
             Rule::UnorderedPersistedState => "unordered-persisted-state",
             Rule::AmbientClock => "ambient-clock",
+            Rule::SchemaDrift => "schema-drift",
+            Rule::SchemaUnversioned => "schema-unversioned",
+            Rule::AckBeforeCommit => "ack-before-commit",
         }
     }
 

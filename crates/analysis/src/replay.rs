@@ -248,55 +248,10 @@ fn resolve_fn(
     }
 }
 
-/// Collects the last path segment of every `Persisted<T>` type argument
-/// in the corpus (both field types and `Persisted::<T>` turbofish).
-fn persisted_type_args(corpus: &Corpus) -> Vec<String> {
-    let mut out: Vec<String> = Vec::new();
-    for file in &corpus.files {
-        let toks = &file.toks;
-        let mut i = 0usize;
-        while i < toks.len() {
-            if !toks[i].is_ident("Persisted") {
-                i += 1;
-                continue;
-            }
-            let mut j = i + 1;
-            if j + 1 < toks.len() && toks[j].is_punct(':') && toks[j + 1].is_punct(':') {
-                j += 2;
-            }
-            if j >= toks.len() || !toks[j].is_punct('<') {
-                i += 1;
-                continue;
-            }
-            // Last ident of the first generic argument.
-            let mut angle = 0i32;
-            let mut found: Option<String> = None;
-            while j < toks.len() {
-                let t = &toks[j];
-                if t.is_punct('<') {
-                    angle += 1;
-                } else if t.is_punct('>') {
-                    angle -= 1;
-                    if angle == 0 {
-                        break;
-                    }
-                } else if angle == 1 && t.is_punct(',') {
-                    break;
-                } else if angle == 1 && t.kind == TokKind::Ident {
-                    found = Some(t.text.clone());
-                }
-                j += 1;
-            }
-            if let Some(name) = found {
-                if !out.contains(&name) {
-                    out.push(name);
-                }
-            }
-            i = j.max(i + 1);
-        }
-    }
-    out
-}
+// `persisted_type_args` — the corpus-wide walk collecting `Persisted<T>`
+// type arguments — moved to [`crate::schema`], which shares it with the
+// fingerprinting pass.
+use crate::schema::persisted_type_args;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,261 @@
+//! The `schema.lock` file: committed fingerprints of every persisted
+//! layout.
+//!
+//! The schemacheck pass ([`crate::schema`]) derives a stable fingerprint
+//! for every `Persisted<T>` state type and every binary on-disk format
+//! in the corpus; this module holds the committed side of the contract.
+//! A layout change is only legal together with a lockfile regeneration,
+//! which makes the diff reviewable: the reviewer sees *which* persisted
+//! layout moved and can ask for the migration story.
+//!
+//! The format is deliberately minimal — one entry per line, sorted, so
+//! diffs are one line per changed layout and merge conflicts are honest:
+//!
+//! ```text
+//! # aodb-schemacheck lockfile (one line per persisted layout)
+//! format TSB1 8c2a... codec.rs
+//! persisted ChannelState 51fe... physical.rs
+//! ```
+//!
+//! Columns: kind (`persisted` | `format`), layout name, 16-hex-digit
+//! FNV-1a fingerprint, and the defining file's name (informational —
+//! not part of the match key, so moving a type between files does not
+//! count as drift). Parsed by hand: no new dependencies, same policy as
+//! [`crate::baseline`].
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// What kind of layout an entry fingerprints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EntryKind {
+    /// A binary on-disk format (magic constant + layout declaration).
+    Format,
+    /// A `Persisted<T>` state type's field layout.
+    Persisted,
+}
+
+impl EntryKind {
+    /// The keyword used in the lockfile.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            EntryKind::Format => "format",
+            EntryKind::Persisted => "persisted",
+        }
+    }
+}
+
+/// One lockfile entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LockEntry {
+    /// Layout kind.
+    pub kind: EntryKind,
+    /// Layout name (type name or magic string).
+    pub name: String,
+    /// FNV-1a 64-bit fingerprint of the layout description.
+    pub fingerprint: u64,
+    /// File name the layout was extracted from (informational).
+    pub file: String,
+    /// 1-based line in the lockfile (0 for freshly computed entries).
+    pub defined_at: u32,
+}
+
+/// A parsed (or computed) schema lockfile.
+#[derive(Clone, Debug, Default)]
+pub struct SchemaLock {
+    /// Entries, sorted by (kind, name).
+    pub entries: Vec<LockEntry>,
+    /// Where the lock was loaded from (for reporting).
+    pub path: PathBuf,
+}
+
+/// A malformed lockfile.
+#[derive(Debug)]
+pub struct SchemaLockError {
+    /// 1-based line of the offending construct (0 for I/O failures).
+    pub line: u32,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SchemaLockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schema.lock line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SchemaLockError {}
+
+impl SchemaLock {
+    /// Parses lockfile text. Malformed lines are hard errors: a lock
+    /// entry that silently fails to parse would let drift through.
+    pub fn parse(text: &str) -> Result<SchemaLock, SchemaLockError> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut cols = line.split_whitespace();
+            let (kind, name, hash) = match (cols.next(), cols.next(), cols.next()) {
+                (Some(k), Some(n), Some(h)) => (k, n, h),
+                _ => {
+                    return Err(SchemaLockError {
+                        line: lineno,
+                        message: format!(
+                            "expected `<kind> <name> <fingerprint> [file]`, got `{line}`"
+                        ),
+                    })
+                }
+            };
+            let kind = match kind {
+                "format" => EntryKind::Format,
+                "persisted" => EntryKind::Persisted,
+                other => {
+                    return Err(SchemaLockError {
+                        line: lineno,
+                        message: format!(
+                            "unknown layout kind `{other}` (expected `persisted` or `format`)"
+                        ),
+                    })
+                }
+            };
+            let fingerprint = u64::from_str_radix(hash, 16).map_err(|_| SchemaLockError {
+                line: lineno,
+                message: format!("fingerprint `{hash}` is not a hex number"),
+            })?;
+            entries.push(LockEntry {
+                kind,
+                name: name.to_string(),
+                fingerprint,
+                file: cols.next().unwrap_or_default().to_string(),
+                defined_at: lineno,
+            });
+        }
+        Ok(SchemaLock {
+            entries,
+            path: PathBuf::new(),
+        })
+    }
+
+    /// Loads and parses a lockfile from disk.
+    pub fn load(path: &Path) -> Result<SchemaLock, SchemaLockError> {
+        let text = std::fs::read_to_string(path).map_err(|e| SchemaLockError {
+            line: 0,
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        let mut lock = SchemaLock::parse(&text)?;
+        lock.path = path.to_path_buf();
+        Ok(lock)
+    }
+
+    /// Renders the lockfile text: header comment, then one sorted line
+    /// per entry. `parse(render(..))` round-trips exactly.
+    pub fn render(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort_by(|a, b| (a.kind, &a.name).cmp(&(b.kind, &b.name)));
+        let mut out = String::new();
+        out.push_str(
+            "# aodb-schemacheck lockfile — one line per persisted layout:\n\
+             #   <kind> <name> <fnv1a-64 fingerprint> <defining file>\n\
+             # A fingerprint change means the on-disk layout changed; regenerate\n\
+             # (and review the migration story) with:\n\
+             #   cargo run -p aodb-analysis --bin aodb-lint -- --write-schema-lock schema.lock\n",
+        );
+        for e in &entries {
+            out.push_str(&format!(
+                "{} {} {:016x} {}\n",
+                e.kind.keyword(),
+                e.name,
+                e.fingerprint,
+                e.file
+            ));
+        }
+        out
+    }
+
+    /// Looks up an entry by kind and name.
+    pub fn get(&self, kind: EntryKind, name: &str) -> Option<&LockEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.kind == kind && e.name == name)
+    }
+}
+
+/// FNV-1a over a byte string — the fingerprint hash. Stable by
+/// construction (no randomized state, no dependency on platform word
+/// order), which is the whole point of a committed lockfile.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let lock = SchemaLock {
+            entries: vec![
+                LockEntry {
+                    kind: EntryKind::Persisted,
+                    name: "ChannelState".into(),
+                    fingerprint: 0x51fe_0022_aa01_9c77,
+                    file: "physical.rs".into(),
+                    defined_at: 0,
+                },
+                LockEntry {
+                    kind: EntryKind::Format,
+                    name: "TSB1".into(),
+                    fingerprint: 0x8c2a_1111_2222_3333,
+                    file: "codec.rs".into(),
+                    defined_at: 0,
+                },
+            ],
+            path: PathBuf::new(),
+        };
+        let text = lock.render();
+        let parsed = SchemaLock::parse(&text).unwrap();
+        assert_eq!(parsed.entries.len(), 2);
+        // Rendering sorts: formats first, then persisted types.
+        assert_eq!(parsed.entries[0].name, "TSB1");
+        assert_eq!(parsed.entries[0].kind, EntryKind::Format);
+        assert_eq!(parsed.entries[0].fingerprint, 0x8c2a_1111_2222_3333);
+        assert_eq!(parsed.entries[1].name, "ChannelState");
+        assert_eq!(parsed.entries[1].file, "physical.rs");
+        // Render of the parse is byte-identical (the golden round-trip).
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(SchemaLock::parse("persisted OnlyTwoCols\n").is_err());
+        assert!(SchemaLock::parse("gadget X 0011223344556677\n").is_err());
+        assert!(SchemaLock::parse("format TSB1 nothex\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let lock =
+            SchemaLock::parse("# header\n\nformat TSB1 00ff00ff00ff00ff codec.rs\n").unwrap();
+        assert_eq!(lock.entries.len(), 1);
+        assert_eq!(lock.entries[0].defined_at, 3);
+        assert!(lock.get(EntryKind::Format, "TSB1").is_some());
+        assert!(lock.get(EntryKind::Persisted, "TSB1").is_none());
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_discriminating() {
+        // Pinned value: the committed lockfile depends on this hash
+        // never changing.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a(b"field:u32"), fnv1a(b"field:u64"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Clean ack-durability fixture: the commit-point write happens before
+//! the reply resolves on every path — including the columnar seam,
+//! where `append_batch` (points + sidecar in one atomic tail record) is
+//! the commit point rather than a KV `mutate`.
+
+impl Actor for Gauge {
+    const TYPE_NAME: &'static str = "fix.gauge";
+}
+
+impl Handler<Record> for Gauge {
+    fn handle(&mut self, msg: Record, _ctx: &mut ActorContext<'_>) {
+        let s = self.state.get_mut_untracked();
+        s.total += msg.points.len() as u64;
+        let meta = encode_state(&GaugeSideCar::capture(s)).unwrap_or_default();
+        let _ = self.series.append_batch(&self.key, &msg.points, &meta);
+        msg.reply.deliver(s.total);
+    }
+}
+
+impl Handler<Reset> for Gauge {
+    fn handle(&mut self, msg: Reset, _ctx: &mut ActorContext<'_>) {
+        self.state.mutate(|s| s.total = 0);
+        msg.reply.deliver(true);
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded ack-durability bug: the handler resolves its reply *before*
+//! the commit-point write. A crash between the two leaves the caller
+//! holding an ack for state the store never saw — `ack-before-commit`
+//! must fire at the mutate.
+
+impl Actor for Tally {
+    const TYPE_NAME: &'static str = "fix.tally";
+}
+
+impl Handler<Vote> for Tally {
+    fn handle(&mut self, msg: Vote, _ctx: &mut ActorContext<'_>) {
+        msg.reply.deliver(self.state.get().count + 1);
+        self.state.mutate(|s| s.count += 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Known-clean schemacheck fixture: a persisted state type whose layout
+//! matches the committed golden lockfile
+//! (`tests/golden/schema.lock.golden`), fingerprint and all.
+
+pub struct Meter {
+    state: Persisted<MeterState>,
+}
+
+pub struct MeterState {
+    pub total: u64,
+    pub high_water: u64,
+    marks: Vec<(u64, u64)>,
+}

@@ -1,0 +1,13 @@
+//! Known-dirty schemacheck fixture: the golden lockfile pins DriftState
+//! at its *previous* layout (`count: u32`), so this definition is a
+//! layout change without a lockfile regeneration — `schema-drift` must
+//! fire when the golden lock is supplied.
+
+pub struct Drifter {
+    state: Persisted<DriftState>,
+}
+
+pub struct DriftState {
+    pub count: u64,
+    pub label: String,
+}

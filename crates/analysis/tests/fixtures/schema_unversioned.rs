@@ -1,0 +1,14 @@
+//! Known-dirty schemacheck fixture: a binary on-disk format whose magic
+//! carries no version digit dispatch — the file never mentions an
+//! `UnsupportedVersion` path, so a future layout bump could only ever
+//! surface as CRC corruption. `schema-unversioned` must fire.
+
+// aodb-schema: layout(RAW0) = magic[4] len:u32 payload crc32:u32
+pub const RAW_MAGIC: &[u8; 4] = b"RAW0";
+
+pub fn decode(buf: &[u8]) -> Result<Vec<u8>, String> {
+    if &buf[0..4] != RAW_MAGIC {
+        return Err("bad magic".to_string());
+    }
+    Ok(buf[4..].to_vec())
+}

@@ -139,6 +139,7 @@ fn json_findings_dump_matches_golden_file() {
             "--no-lint",
             "--no-verify",
             "--no-lockcheck",
+            "--no-schemacheck",
             "--json",
         ],
     );
@@ -182,6 +183,7 @@ fn no_replaycheck_flag_releases_the_gate() {
             "--no-verify",
             "--no-lockcheck",
             "--no-replaycheck",
+            "--no-schemacheck",
         ],
     );
     assert!(ok, "--no-replaycheck must release the gate:\n{text}");

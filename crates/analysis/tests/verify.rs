@@ -107,6 +107,8 @@ fn lint_binary_fails_on_seeded_fixtures() {
         "nondet-in-turn",
         "unordered-persisted-state",
         "ambient-clock",
+        "ack-before-commit",
+        "schema-unversioned",
     ] {
         assert!(text.contains(rule), "missing {rule} in:\n{text}");
     }
@@ -154,7 +156,15 @@ fn lint_binary_baseline_suppresses_and_goes_stale() {
          [[suppress]]\n\
          rule = \"ambient-clock\"\n\
          reason = \"seeded fixture\"\n\
-         file = \"replay_clock.rs\"\n",
+         file = \"replay_clock.rs\"\n\
+         [[suppress]]\n\
+         rule = \"ack-before-commit\"\n\
+         reason = \"seeded fixture\"\n\
+         file = \"durability_dirty.rs\"\n\
+         [[suppress]]\n\
+         rule = \"schema-unversioned\"\n\
+         reason = \"seeded fixture\"\n\
+         file = \"schema_unversioned.rs\"\n",
     )
     .unwrap();
     let (ok, text) = run_lint(&[
@@ -164,7 +174,7 @@ fn lint_binary_baseline_suppresses_and_goes_stale() {
         tmp.to_str().unwrap(),
     ]);
     assert!(ok, "fully-baselined fixtures must pass:\n{text}");
-    assert!(text.contains("9 suppressed"), "{text}");
+    assert!(text.contains("11 suppressed"), "{text}");
 
     // An entry that matches nothing is stale and fails the run even
     // when every finding is suppressed.

@@ -105,6 +105,11 @@ pub enum StoreError {
     Corrupt(String),
     /// Value (de)serialization failed.
     Codec(String),
+    /// A persisted record carries a format version this build does not
+    /// understand. Distinct from [`StoreError::Corrupt`]: the bytes are
+    /// intact, the software is too old (or too new) — the operator
+    /// remedy is a version migration, not a restore from backup.
+    UnsupportedVersion(String),
 }
 
 impl fmt::Display for StoreError {
@@ -114,6 +119,7 @@ impl fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
             StoreError::Corrupt(e) => write!(f, "corrupt record: {e}"),
             StoreError::Codec(e) => write!(f, "codec error: {e}"),
+            StoreError::UnsupportedVersion(e) => write!(f, "unsupported format version: {e}"),
         }
     }
 }

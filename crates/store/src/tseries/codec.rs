@@ -51,8 +51,10 @@
 use crate::api::{StoreError, StoreResult};
 use crate::codec::crc32;
 use crate::tseries::bits::{unzigzag, zigzag, BitReader, BitWriter};
+use crate::tseries::SeriesError;
 
-/// Magic prefix of a sealed block.
+/// Magic prefix of a sealed block; the last byte is the format version.
+// aodb-schema: layout(TSB1) = magic[4] count:u32 min_ts:u64 max_ts:u64 min_val:f64 max_val:f64 payload_bits:u32 payload crc32:u32
 pub const BLOCK_MAGIC: &[u8; 4] = b"TSB1";
 /// Fixed header length in bytes (everything before the payload).
 pub const BLOCK_HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8 + 8 + 4;
@@ -250,8 +252,19 @@ pub fn decode_index(block: &[u8]) -> StoreResult<BlockIndex> {
     if block.len() < BLOCK_HEADER_LEN + 4 {
         return Err(fail("truncated header"));
     }
-    if &block[0..4] != BLOCK_MAGIC {
+    if block[0..3] != BLOCK_MAGIC[0..3] {
         return Err(fail("bad magic"));
+    }
+    // Version dispatch happens before the CRC check: a newer layout
+    // keeps its CRC somewhere else, so checking it first would report
+    // every future-version block as corruption.
+    if block[3] != BLOCK_MAGIC[3] {
+        return Err(SeriesError::UnsupportedVersion {
+            format: "TSB",
+            found: block[3],
+            supported: BLOCK_MAGIC[3],
+        }
+        .into());
     }
     let stored_crc = u32::from_le_bytes(block[block.len() - 4..].try_into().expect("4 bytes"));
     if crc32(&block[..block.len() - 4]) != stored_crc {
@@ -469,6 +482,30 @@ mod tests {
         // Truncation too.
         let good = c.encode_block();
         assert!(decode_block(&good[..good.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn bumped_format_version_is_a_typed_error_not_corruption() {
+        let mut c = PointCompressor::new();
+        for i in 0..10 {
+            c.append(i, i as f64);
+        }
+        let mut block = c.encode_block();
+        block[3] = b'2'; // a hypothetical TSB2 writer
+        match decode_index(&block) {
+            Err(StoreError::UnsupportedVersion(msg)) => {
+                assert!(msg.contains("TSB"), "{msg}");
+                assert!(msg.contains('2'), "{msg}");
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        // A magic that isn't TSB-anything is still plain corruption.
+        let mut garbled = c.encode_block();
+        garbled[0] = b'X';
+        assert!(matches!(
+            decode_index(&garbled),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 
     #[test]

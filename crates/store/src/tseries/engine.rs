@@ -48,12 +48,14 @@ use parking_lot::{Mutex, RwLock};
 use crate::api::{Key, StateStore, StoreError, StoreResult};
 use crate::codec::crc32;
 use crate::tseries::codec::{decode_block, decode_index, BlockIndex, PointCompressor};
+use crate::tseries::SeriesError;
 
 /// Storage namespace of every series record.
 const SERIES_NAMESPACE: &str = "tseries";
 /// Sort key of the tail record (sorts after every `b<seq>` block key).
 const TAIL_SORT: &str = "tail";
-/// Magic prefix of a tail record.
+/// Magic prefix of a tail record; the last byte is the format version.
+// aodb-schema: layout(TST1) = magic[4] sealed_blocks:u64 sealed_points:u64 meta_len:u32 meta pending_count:u32 (seq:u64 len:u32 bytes)* tail_len:u32 tail_block crc32:u32
 const TAIL_MAGIC: &[u8; 4] = b"TST1";
 
 fn block_sort(seq: u64) -> String {
@@ -548,8 +550,19 @@ fn decode_tail_record(buf: &[u8]) -> StoreResult<TailRecord> {
     if buf.len() < 4 + 8 + 8 + 4 + 4 + 4 + 4 {
         return Err(fail("truncated"));
     }
-    if &buf[0..4] != TAIL_MAGIC {
+    if buf[0..3] != TAIL_MAGIC[0..3] {
         return Err(fail("bad magic"));
+    }
+    // Version dispatch before the CRC check — see `SeriesError`: a
+    // future tail layout moves the CRC, so checking it first would
+    // misreport a version skew as corruption.
+    if buf[3] != TAIL_MAGIC[3] {
+        return Err(SeriesError::UnsupportedVersion {
+            format: "TST",
+            found: buf[3],
+            supported: TAIL_MAGIC[3],
+        }
+        .into());
     }
     let stored_crc = u32::from_le_bytes(buf[buf.len() - 4..].try_into().expect("4 bytes"));
     if crc32(&buf[..buf.len() - 4]) != stored_crc {
@@ -682,6 +695,32 @@ mod tests {
         assert_eq!(ts.scan_range("crashy", 0, u64::MAX, 0).unwrap(), pts(0..8));
         // Recovery repaired the missing block record.
         assert!(backing.get(&block_key("crashy", 0)).unwrap().is_some());
+    }
+
+    #[test]
+    fn bumped_tail_version_is_a_typed_error_not_corruption() {
+        let backing: Arc<dyn StateStore> = Arc::new(MemStore::new());
+        {
+            let ts = TsStore::new(Arc::clone(&backing), TsConfig::default());
+            ts.append_batch("s", &pts(0..10), b"m").unwrap();
+        }
+        // A hypothetical TST2 writer bumped the version byte.
+        let mut record = backing.get(&tail_key("s")).unwrap().unwrap().to_vec();
+        record[3] = b'2';
+        backing.put(&tail_key("s"), Bytes::from(record)).unwrap();
+        let ts = TsStore::new(Arc::clone(&backing), TsConfig::default());
+        match ts.recover("s") {
+            Err(StoreError::UnsupportedVersion(msg)) => {
+                assert!(msg.contains("TST"), "{msg}");
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        // A garbled magic family is still plain corruption.
+        let mut record = backing.get(&tail_key("s")).unwrap().unwrap().to_vec();
+        record[0] = b'X';
+        backing.put(&tail_key("s"), Bytes::from(record)).unwrap();
+        let ts = TsStore::new(Arc::clone(&backing), TsConfig::default());
+        assert!(matches!(ts.recover("s"), Err(StoreError::Corrupt(_))));
     }
 
     #[test]

@@ -28,3 +28,52 @@ pub use codec::{decode_block, decode_index, BlockIndex, PointCompressor};
 pub use engine::{
     AppendOutcome, SeriesRecovery, SeriesStats, SeriesStore, TailDurability, TsConfig, TsStore,
 };
+
+use crate::api::StoreError;
+
+/// Typed decode failures of the tseries on-disk formats.
+///
+/// Both formats carry a version digit as the last magic byte (`TSB1`,
+/// `TST1`). Decoders dispatch on it *before* the CRC check: a record
+/// written by a newer layout has its CRC in a different place, so
+/// without the dispatch a version bump could only ever surface as
+/// "crc mismatch" — indistinguishable from real corruption, and
+/// inviting exactly the wrong operator response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeriesError {
+    /// The record's magic names a known format at an unknown version.
+    UnsupportedVersion {
+        /// Format family (`"TSB"` sealed block, `"TST"` tail record).
+        format: &'static str,
+        /// The version byte found in the record.
+        found: u8,
+        /// The highest version this build decodes.
+        supported: u8,
+    },
+}
+
+impl std::fmt::Display for SeriesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeriesError::UnsupportedVersion {
+                format,
+                found,
+                supported,
+            } => write!(
+                f,
+                "tseries {format} record has format version {} but this build \
+                 supports up to version {} — upgrade before reading this store",
+                char::from(*found),
+                char::from(*supported),
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SeriesError {}
+
+impl From<SeriesError> for StoreError {
+    fn from(e: SeriesError) -> Self {
+        StoreError::UnsupportedVersion(e.to_string())
+    }
+}
