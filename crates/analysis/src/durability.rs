@@ -38,8 +38,12 @@ use crate::lint::{Finding, Rule};
 
 /// Store-write methods that commit state durably beyond the `Persisted`
 /// capture methods: the tseries seam commits points + sidecar in one
-/// atomic tail record.
-pub(crate) const COMMIT_METHODS: &[&str] = &["append_batch"];
+/// atomic tail record. `append_batch_async` is the group-commit form of
+/// the same seam — the captured sidecar rides the WAL frame and the
+/// deferred reply resolves only after the group fsyncs, so a handler
+/// that mutates untracked state and then calls it has committed (the
+/// ack is gated on the durability of exactly this write).
+pub(crate) const COMMIT_METHODS: &[&str] = &["append_batch", "append_batch_async"];
 
 /// True when a method name is a commit-point store write.
 fn is_commit_method(name: &str) -> bool {
@@ -429,6 +433,25 @@ mod tests {
              }\n",
         );
         assert_eq!(persistence_findings(&m).len(), 1);
+    }
+
+    #[test]
+    fn append_batch_async_is_a_commit_point() {
+        let m = model(
+            "impl Handler<Ingest> for Chan {\n\
+             fn handle(&mut self, msg: Ingest, ctx: &mut ActorContext<'_>) -> u32 {\n\
+             let s = self.state.get_mut_untracked();\n\
+             s.total += msg.points.len() as u64;\n\
+             let meta = SideCar::capture(s).encode();\n\
+             series.append_batch_async(&key, &msg.points, &meta, Box::new(move |r| {\n\
+             reply.deliver(accepted);\n\
+             }));\n\
+             accepted\n\
+             }\n\
+             }\n",
+        );
+        assert!(persistence_findings(&m).is_empty());
+        assert!(ack_findings(&m).is_empty(), "deferred ack is not in-turn");
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 use aodb_runtime::{Actor, ActorContext, Handler, Message, Runtime};
 use serde::Serialize;
 
-use crate::experiments::common::{build_single_silo, teardown, SimHw};
+use crate::experiments::common::{build_single_silo, build_single_silo_durable, teardown, SimHw};
 use crate::measure::{fmt_f, print_table};
 use crate::workload::{run_load, LoadConfig};
 
@@ -132,6 +132,12 @@ pub struct DispatchResult {
     pub fig6_sensors: usize,
     /// Sustained ingest throughput (req/s) at that point.
     pub fig6_throughput_rps: f64,
+    /// The same saturation point with durability *on*: LogStore backing,
+    /// tseries engine in group-commit WAL mode (`FsyncPolicy::PerGroup`),
+    /// deferred acks. Every acked request's points fsynced before the
+    /// ack — the gap to `fig6_throughput_rps` is the residual cost of
+    /// real durability after group commit amortizes the fsyncs.
+    pub fig6_durable_throughput_rps: f64,
 }
 
 /// Ring measurement: seeds one long hop chain per ring and times the
@@ -231,7 +237,26 @@ fn run_fig6_point(quick: bool) -> (usize, f64) {
     (sensors, report.throughput.mean)
 }
 
-/// Runs all three measurements and prints the summary table.
+/// The same Figure 6 point on the durable store stack (group-commit
+/// WAL, fsync per group, deferred acks).
+fn run_fig6_durable_point(quick: bool) -> f64 {
+    let sensors = 2600;
+    let secs = if quick { 5 } else { 8 };
+    let hw = SimHw::default();
+    let dir = std::env::temp_dir().join(format!(
+        "aodb-bench-dispatch-durable-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create durable bench dir");
+    let testbed = build_single_silo_durable(sensors, hw.large_workers, hw, &dir);
+    let report = run_load(&testbed.fleet, LoadConfig::sensors(sensors, secs));
+    teardown(testbed);
+    let _ = std::fs::remove_dir_all(&dir);
+    report.throughput.mean
+}
+
+/// Runs all four measurements and prints the summary table.
 pub fn run(quick: bool) -> DispatchResult {
     println!(
         "\nDispatch microbenchmark — 1 silo × {WORKERS} workers, zero-work handlers{}",
@@ -240,6 +265,7 @@ pub fn run(quick: bool) -> DispatchResult {
     let (ring_rate, ring_msgs) = run_ring(quick);
     let (fanout_rate, fanout_msgs) = run_fanout(quick);
     let (fig6_sensors, fig6_rps) = run_fig6_point(quick);
+    let fig6_durable_rps = run_fig6_durable_point(quick);
 
     let result = DispatchResult {
         workers: WORKERS,
@@ -249,6 +275,7 @@ pub fn run(quick: bool) -> DispatchResult {
         fanout_msgs,
         fig6_sensors,
         fig6_throughput_rps: fig6_rps,
+        fig6_durable_throughput_rps: fig6_durable_rps,
     };
     print_table(
         "Dispatch path — messages/s (higher is better)",
@@ -268,6 +295,11 @@ pub fn run(quick: bool) -> DispatchResult {
                 format!("fig6 ingest @ {} sensors", result.fig6_sensors),
                 "-".into(),
                 fmt_f(result.fig6_throughput_rps),
+            ],
+            vec![
+                format!("fig6 durable (group WAL) @ {} sensors", result.fig6_sensors),
+                "-".into(),
+                fmt_f(result.fig6_durable_throughput_rps),
             ],
         ],
     );

@@ -222,11 +222,20 @@ impl<S: PersistentState> Persisted<S> {
     /// Forces a write of the current state (Orleans `WriteStateAsync`),
     /// applying the configured [`RetryPolicy`] on transient failures.
     pub fn save(&mut self) -> StoreResult<()> {
+        self.save_impl(false)
+    }
+
+    fn save_impl(&mut self, deferred: bool) -> StoreResult<()> {
         let bytes = codec::encode_state(&self.state)?;
         let mut backoff = self.retry.initial_backoff;
         let mut attempt = 1u32;
         loop {
-            match self.store.put(&self.key, bytes.clone()) {
+            let res = if deferred {
+                self.store.put_deferred(&self.key, bytes.clone())
+            } else {
+                self.store.put(&self.key, bytes.clone())
+            };
+            match res {
                 Ok(()) => {
                     self.dirty = false;
                     self.mutations_since_save = 0;
@@ -253,11 +262,18 @@ impl<S: PersistentState> Persisted<S> {
 
     /// Writes back dirty state, recording (not propagating) failures. The
     /// `on_deactivate` entry point.
+    ///
+    /// Uses [`StateStore::put_deferred`], the write-coalescing half of the
+    /// deactivation sweep: the put skips its individual durability barrier
+    /// and the runtime's `on_deactivation_sweep` hook issues one `sync()`
+    /// covering the whole batch of flushed actors. On plain stores
+    /// `put_deferred` degrades to `put`, so `flush` is never *less*
+    /// durable than before — only cheaper when sweeps are wired up.
     pub fn flush(&mut self) {
         if !self.dirty {
             return;
         }
-        if let Err(e) = self.save() {
+        if let Err(e) = self.save_impl(true) {
             self.save_errors += 1;
             self.last_error = Some(e);
         }

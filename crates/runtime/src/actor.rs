@@ -103,6 +103,12 @@ pub struct ActorContext<'a> {
     pub(crate) id: &'a ActorId,
     pub(crate) silo: SiloId,
     pub(crate) deactivate_requested: bool,
+    /// The current turn's reply sink, stashed here (type-erased) by the
+    /// envelope before the handler runs so the handler can *take* it via
+    /// [`ActorContext::defer_reply`] and resolve it after the turn — the
+    /// seam that lets an ingest ack ride a group-commit WAL callback
+    /// instead of blocking the turn on an fsync.
+    pub(crate) reply_slot: Option<Box<dyn Any + Send>>,
 }
 
 impl<'a> ActorContext<'a> {
@@ -112,6 +118,7 @@ impl<'a> ActorContext<'a> {
             id,
             silo,
             deactivate_requested: false,
+            reply_slot: None,
         }
     }
 
@@ -167,6 +174,36 @@ impl<'a> ActorContext<'a> {
         key: impl Into<ActorKey>,
     ) -> Result<Recipient<M>, SendError> {
         Ok(self.try_actor_ref::<A>(key)?.recipient())
+    }
+
+    /// Takes ownership of the current turn's reply sink, deferring the
+    /// reply past the end of the turn.
+    ///
+    /// Normally the runtime delivers the handler's return value to the
+    /// caller the moment the turn finishes. A handler that calls
+    /// `defer_reply` receives the [`ReplyTo`] itself and the runtime
+    /// *discards* the returned value — the actor now owns the ack and
+    /// resolves (or drops) it from wherever the real completion happens,
+    /// e.g. a group-commit WAL durability callback. The taken sink may
+    /// outlive the turn and be resolved from any thread.
+    ///
+    /// A one-way message still yields `Some(ReplyTo::Ignore)` — deferred
+    /// delivery into it is a no-op, so handlers need no special case.
+    /// Returns `None` when the turn has no sink of type `R`: the reply
+    /// was already taken this turn, this is a lifecycle turn, or `R`
+    /// does not match the message's declared `Reply` type (the slot is
+    /// left intact in that last case).
+    pub fn defer_reply<R: Send + 'static>(&mut self) -> Option<ReplyTo<R>> {
+        let slot = self.reply_slot.take()?;
+        match slot.downcast::<ReplyTo<R>>() {
+            Ok(reply) => Some(*reply),
+            Err(other) => {
+                // Wrong type requested — put the sink back so the turn
+                // still replies normally.
+                self.reply_slot = Some(other);
+                None
+            }
+        }
     }
 
     /// Requests deactivation of this activation once its mailbox drains.

@@ -62,8 +62,20 @@ impl Envelope {
                         .as_any_mut()
                         .downcast_mut::<A>()
                         .expect("envelope executed against wrong actor type");
+                    // Stash the sink so the handler may take it via
+                    // `ActorContext::defer_reply` and resolve it after
+                    // the turn (e.g. from a WAL durability callback).
+                    debug_assert!(ctx.reply_slot.is_none(), "reply slot leaked across turns");
+                    ctx.reply_slot = Some(Box::new(reply));
                     let out = actor.handle(msg, ctx);
-                    reply.deliver(out);
+                    if let Some(slot) = ctx.reply_slot.take() {
+                        let reply = *slot
+                            .downcast::<ReplyTo<M::Reply>>()
+                            .expect("foreign value in reply slot after turn");
+                        reply.deliver(out);
+                    }
+                    // Slot empty: the handler deferred the reply; its
+                    // returned value is deliberately discarded.
                 }
                 Turn::Abort(err) => reply.abort(err),
             }),

@@ -22,7 +22,7 @@ use crate::metrics::{RuntimeMetrics, RuntimeMetricsSnapshot};
 use crate::net::{clock_channel, clock_loop, ClockHandle, NetConfig, TimerHandle};
 use crate::placement::{Placement, PreferLocalPlacement};
 use crate::promise::{Promise, ReplyTo};
-use crate::silo::{finalize_deactivation, worker_loop, Activation, SiloConfig, SiloUnit};
+use crate::silo::{worker_loop, Activation, SiloConfig, SiloUnit};
 use crate::topology::{ActorTopology, CallDecl};
 
 /// How many times dispatch re-resolves an activation after losing a race
@@ -191,6 +191,13 @@ pub(crate) struct CoreConfig {
     pub janitor_interval: Duration,
     /// Faulted-activation policy.
     pub panic_policy: PanicPolicy,
+    /// Runs once after each deactivation sweep (janitor batch, shutdown
+    /// drain, or a single on-idle deactivation). The write-coalescing
+    /// seam for deactivation-time state flushes: actors persist via
+    /// deferred puts in `on_deactivate`, and this hook issues the one
+    /// `sync()` that makes the whole batch durable with a single group
+    /// fsync instead of one per actor.
+    pub on_deactivation_sweep: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 /// Shared state of the runtime; everything threads need.
@@ -434,12 +441,13 @@ impl RuntimeCore {
         Err(SendError::NoSiloAvailable)
     }
 
-    /// Retires (if needed) and finalizes one activation.
+    /// Retires (if needed) and finalizes one activation — a sweep of one,
+    /// so even a lone `ctx.deactivate()` gets its durability barrier.
     pub(crate) fn deactivate(self: &Arc<Self>, act: &Arc<Activation>) {
         // Unlink first so new messages create a fresh activation instead of
         // piling onto the retired mailbox.
         self.directory.remove_entry(&act.id, act);
-        finalize_deactivation(self, act);
+        crate::silo::finalize_deactivation_sweep(self, std::slice::from_ref(act));
     }
 
     /// Discards a faulted activation without running `on_deactivate`
@@ -572,11 +580,17 @@ impl RuntimeCore {
         };
         let now = self.now_ms();
         let cutoff = now.saturating_sub(idle.as_millis() as u64);
+        // Collect the whole batch first, then finalize it as one sweep:
+        // every actor's deferred state flush rides a single durability
+        // barrier instead of paying one fsync per deactivation.
+        let mut batch = Vec::new();
         for act in self.directory.collect_idle(cutoff) {
             if act.mailbox.try_retire() {
-                self.deactivate(&act);
+                self.directory.remove_entry(&act.id, &act);
+                batch.push(act);
             }
         }
+        crate::silo::finalize_deactivation_sweep(self, &batch);
     }
 }
 
@@ -612,6 +626,7 @@ pub struct RuntimeBuilder {
     janitor_interval: Duration,
     panic_policy: PanicPolicy,
     chaos: Option<FaultPlan>,
+    on_deactivation_sweep: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 impl Default for RuntimeBuilder {
@@ -633,6 +648,7 @@ impl RuntimeBuilder {
             janitor_interval: Duration::from_millis(100),
             panic_policy: PanicPolicy::Keep,
             chaos: None,
+            on_deactivation_sweep: None,
         }
     }
 
@@ -695,6 +711,17 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Installs a hook that runs once after every deactivation sweep —
+    /// a janitor idle batch, the shutdown drain, or a single on-demand
+    /// deactivation. Wire it to the state store's `sync()` so
+    /// write-on-deactivate flushes performed with deferred puts get one
+    /// coalesced durability barrier per sweep instead of one fsync per
+    /// actor.
+    pub fn on_deactivation_sweep(mut self, hook: impl Fn() + Send + Sync + 'static) -> Self {
+        self.on_deactivation_sweep = Some(Arc::new(hook));
+        self
+    }
+
     /// Installs a seeded [`FaultPlan`]: its network faults apply to every
     /// message crossing the simulated network boundary (so a [`NetConfig`]
     /// with latency — e.g. [`NetConfig::lan`] — must be set for them to
@@ -727,6 +754,7 @@ impl RuntimeBuilder {
                 idle_timeout: self.idle_timeout,
                 janitor_interval: self.janitor_interval,
                 panic_policy: self.panic_policy,
+                on_deactivation_sweep: self.on_deactivation_sweep,
             },
             metrics: RuntimeMetrics::default(),
             chaos: chaos_dice,
@@ -924,6 +952,27 @@ impl Runtime {
         self.core.directory.len()
     }
 
+    /// The shared WAL metric cells `(groups, grouped_frames, fsyncs)`.
+    ///
+    /// The store crate cannot see [`RuntimeMetrics`](crate::metrics), so
+    /// platform code clones these `Arc`s into the WAL's counter mirror
+    /// (`mirror_wal_counters`) and the committer thread bumps them
+    /// directly — the same share-an-`Arc` pattern as `persist_retries`.
+    #[allow(clippy::type_complexity)]
+    pub fn wal_metric_cells(
+        &self,
+    ) -> (
+        Arc<std::sync::atomic::AtomicU64>,
+        Arc<std::sync::atomic::AtomicU64>,
+        Arc<std::sync::atomic::AtomicU64>,
+    ) {
+        (
+            Arc::clone(&self.core.metrics.wal_groups),
+            Arc::clone(&self.core.metrics.wal_grouped_frames),
+            Arc::clone(&self.core.metrics.wal_fsyncs),
+        )
+    }
+
     /// Runtime counter snapshot, including the parked-workers gauge.
     pub fn metrics(&self) -> RuntimeMetricsSnapshot {
         let mut snap = self.core.metrics.read();
@@ -1020,12 +1069,17 @@ impl Runtime {
                 break;
             }
             let mut progressed = false;
+            let mut batch = Vec::new();
             for act in &activations {
                 if act.mailbox.try_retire() {
-                    self.core.deactivate(act);
+                    self.core.directory.remove_entry(&act.id, act);
+                    batch.push(Arc::clone(act));
                     progressed = true;
                 }
             }
+            // One durability barrier for the whole shutdown wave of
+            // deactivation flushes (see `finalize_deactivation_sweep`).
+            crate::silo::finalize_deactivation_sweep(&self.core, &batch);
             if Instant::now() > deadline {
                 break; // stuck activations: abandon rather than hang
             }

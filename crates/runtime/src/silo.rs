@@ -563,6 +563,28 @@ pub(crate) fn discard_activation(core: &Arc<RuntimeCore>, act: &Arc<Activation>)
     }
 }
 
+/// Finalizes a batch of deactivations as one *sweep*: every actor's
+/// `on_deactivate` runs (where persistent actors flush state, typically
+/// via deferred puts that skip the per-write fsync), then the runtime's
+/// `on_deactivation_sweep` hook runs **once** to issue the single
+/// durability barrier covering all of them. This is the write-coalescing
+/// path for deactivation-time flushes: a janitor batch of N idle actors
+/// costs one group fsync, not N.
+///
+/// Callers must have retired every mailbox and unlinked the directory
+/// entries. An empty batch is a no-op (no spurious barrier).
+pub(crate) fn finalize_deactivation_sweep(core: &Arc<RuntimeCore>, acts: &[Arc<Activation>]) {
+    if acts.is_empty() {
+        return;
+    }
+    for act in acts {
+        finalize_deactivation(core, act);
+    }
+    if let Some(hook) = &core.config.on_deactivation_sweep {
+        hook();
+    }
+}
+
 /// Runs `on_deactivate` and drops the actor instance. The caller must have
 /// retired the mailbox first (so no worker can be executing the actor).
 pub(crate) fn finalize_deactivation(core: &Arc<RuntimeCore>, act: &Arc<Activation>) {

@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use aodb_core::{Persisted, PersistentState, WritePolicy};
 use aodb_runtime::ActorKey;
-use aodb_store::tseries::{SeriesStore, TsStore};
-use aodb_store::StateStore;
+use aodb_store::tseries::{SeriesStore, TsConfig, TsStore};
+use aodb_store::{StateStore, StoreResult, WalConfig};
 
 /// Everything an SHM actor factory needs: the state store and the write
 /// policies of the two durability classes the paper distinguishes in
@@ -41,6 +41,14 @@ pub struct ShmEnv {
     /// watermarks and running stats committing atomically alongside the
     /// points as series metadata.
     pub series: Option<Arc<dyn SeriesStore>>,
+    /// When true, `Ingest` handlers hand their reply off to the series
+    /// engine ([`SeriesStore::append_batch_async`]) instead of blocking
+    /// the turn on durability — the ack then rides the engine's group
+    /// commit and resolves on the WAL committer thread. Only set this
+    /// when `series` is an engine that actually defers (a
+    /// [`TsStore::with_wal`] instance); with the default synchronous
+    /// engines it is harmless but pointless.
+    pub deferred_acks: bool,
 }
 
 impl ShmEnv {
@@ -55,6 +63,7 @@ impl ShmEnv {
             window_capacity: 36_000,
             ingest_service_time: None,
             series: None,
+            deferred_acks: false,
         }
     }
 
@@ -64,6 +73,29 @@ impl ShmEnv {
     pub fn tseries_default(store: Arc<dyn StateStore>) -> Self {
         let series = Arc::new(TsStore::with_defaults(Arc::clone(&store)));
         ShmEnv::paper_default(store).with_series_store(series)
+    }
+
+    /// [`ShmEnv::tseries_default`] with the engine in group-commit mode
+    /// (see [`TsStore::with_wal`]): appends write compact delta frames
+    /// to a group-commit WAL at `wal_path`, ingest acks defer onto the
+    /// committer thread, and one fsync covers every concurrently
+    /// appending channel. Returns the engine alongside the env so the
+    /// platform can wire checkpoints, metric mirroring, and
+    /// deactivation-sweep sync barriers.
+    pub fn tseries_wal_default(
+        store: Arc<dyn StateStore>,
+        wal_path: impl Into<std::path::PathBuf>,
+        wal_config: WalConfig,
+    ) -> StoreResult<(Self, Arc<TsStore>)> {
+        let ts = Arc::new(TsStore::with_wal(
+            Arc::clone(&store),
+            TsConfig::default(),
+            wal_path,
+            wal_config,
+        )?);
+        let mut env = ShmEnv::paper_default(store).with_series_store(Arc::clone(&ts) as _);
+        env.deferred_acks = true;
+        Ok((env, ts))
     }
 
     /// Routes channel point streams through `series` (see

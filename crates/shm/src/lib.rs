@@ -58,6 +58,7 @@ mod organization;
 mod physical;
 mod platform;
 mod sensor;
+mod sidecar;
 #[cfg(test)]
 pub(crate) mod test_props;
 pub mod types;

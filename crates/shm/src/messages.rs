@@ -4,7 +4,8 @@ use aodb_runtime::{Message, ReplyTo};
 use serde::{Deserialize, Serialize};
 
 use crate::types::{
-    Aggregate, Alert, DataPoint, Equation, Position, Project, SensorKind, Threshold, User, UserRole,
+    Aggregate, Alert, DataPoint, Equation, PointBatch, Position, Project, SensorKind, Threshold,
+    User, UserRole,
 };
 
 // ------------------------------------------------------------ organization
@@ -195,8 +196,9 @@ impl Message for ConfigureVirtual {
 /// [`dedup`]: Ingest::dedup
 #[derive(Clone)]
 pub struct Ingest {
-    /// The new points, oldest first.
-    pub points: Vec<DataPoint>,
+    /// The new points, oldest first. A [`PointBatch`] so replay copies
+    /// and downstream fan-out share one allocation.
+    pub points: PointBatch,
     /// Optional idempotence token `(source, seq)`. The channel keeps a
     /// per-source high-watermark of the largest `seq` applied and
     /// ignores batches at or below it, so duplicate delivery (network
@@ -212,17 +214,17 @@ pub struct Ingest {
 
 impl Ingest {
     /// A plain batch with no idempotence token (at-most-once delivery).
-    pub fn new(points: Vec<DataPoint>) -> Self {
+    pub fn new(points: impl Into<PointBatch>) -> Self {
         Ingest {
-            points,
+            points: points.into(),
             dedup: None,
         }
     }
 
     /// A batch tagged `(source, seq)` for duplicate-safe redelivery.
-    pub fn deduped(points: Vec<DataPoint>, source: u64, seq: u64) -> Self {
+    pub fn deduped(points: impl Into<PointBatch>, source: u64, seq: u64) -> Self {
         Ingest {
-            points,
+            points: points.into(),
             dedup: Some((source, seq)),
         }
     }
@@ -237,8 +239,8 @@ impl Message for Ingest {
 pub struct PushDerived {
     /// The source physical channel.
     pub source: String,
-    /// Its new points.
-    pub points: Vec<DataPoint>,
+    /// Its new points (shared with the originating ingest batch).
+    pub points: PointBatch,
 }
 impl Message for PushDerived {
     type Reply = ();
@@ -295,8 +297,8 @@ pub struct ChannelStats {
 /// whole ingest batches to keep messaging overhead at one hop per
 /// request, not per point).
 pub struct RecordSamples {
-    /// The samples, oldest first.
-    pub points: Vec<DataPoint>,
+    /// The samples, oldest first (shared with the originating batch).
+    pub points: PointBatch,
 }
 impl Message for RecordSamples {
     type Reply = ();

@@ -13,7 +13,6 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use aodb_runtime::{Actor, ActorContext, Handler};
-use aodb_store::codec::{decode_state, encode_state};
 use aodb_store::tseries::SeriesStore;
 use serde::{Deserialize, Serialize};
 
@@ -24,6 +23,7 @@ use crate::messages::{
     ChannelStats, ConfigureChannel, GetChannelStats, GetLatest, Ingest, PushAlert, PushDerived,
     QueryRange, RecordSamples,
 };
+use crate::sidecar;
 use crate::types::{AggregateLevel, Alert, AlertKind, AlertSeverity, DataPoint, Threshold};
 use crate::virtual_channel::VirtualSensorChannel;
 use aodb_core::Persisted;
@@ -91,6 +91,35 @@ pub(crate) struct ChannelSideCar {
 }
 
 impl ChannelSideCar {
+    /// Compact fixed-layout encoding (the side-car rides every columnar
+    /// append, so this sits on the ingest hot path — see `sidecar.rs`).
+    fn encode(&self) -> Vec<u8> {
+        let mut w = sidecar::Writer::new();
+        w.u64(self.total_points);
+        w.f64(self.accumulated_change);
+        w.opt_f64(self.first_value);
+        w.opt_point(self.last);
+        w.bool(self.breaching_high);
+        w.bool(self.breaching_low);
+        w.bool(self.accumulated_alerted);
+        w.pairs(&self.ingest_watermarks);
+        w.finish()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, sidecar::SideCarDecodeError> {
+        let mut r = sidecar::Reader::new(bytes)?;
+        Ok(ChannelSideCar {
+            total_points: r.u64()?,
+            accumulated_change: r.f64()?,
+            first_value: r.opt_f64()?,
+            last: r.opt_point()?,
+            breaching_high: r.bool()?,
+            breaching_low: r.bool()?,
+            accumulated_alerted: r.bool()?,
+            ingest_watermarks: r.pairs()?,
+        })
+    }
+
     fn capture(s: &ChannelState) -> Self {
         ChannelSideCar {
             total_points: s.total_points,
@@ -129,6 +158,9 @@ pub struct PhysicalSensorChannel {
     service_time: Option<std::time::Duration>,
     /// Columnar point-stream engine; `None` = KV-blob mode.
     series: Option<Arc<dyn SeriesStore>>,
+    /// Hand ingest acks to the series engine's group commit instead of
+    /// blocking the turn on durability (see `ShmEnv::deferred_acks`).
+    deferred_acks: bool,
 }
 
 impl PhysicalSensorChannel {
@@ -139,6 +171,7 @@ impl PhysicalSensorChannel {
             window_capacity: env.window_capacity,
             service_time: env.ingest_service_time,
             series: env.series.clone(),
+            deferred_acks: env.deferred_acks,
         });
     }
 
@@ -263,10 +296,19 @@ impl Actor for PhysicalSensorChannel {
             // dedup watermarks) over whatever the KV blob held.
             let key = channel_series_key(Self::TYPE_NAME, &ctx.key().to_string());
             if let Ok(rec) = series.recover(&key) {
-                if !rec.meta.is_empty() {
-                    if let Ok(sidecar) = decode_state::<ChannelSideCar>(&rec.meta) {
-                        sidecar.apply(self.state.get_mut_untracked());
-                    }
+                // Empty meta means the series committed *nothing* — but
+                // the KV blob may still hold data-plane fields from a
+                // turn whose append never became durable (a WAL group
+                // wiped by a crash), so the overlay must reset them or
+                // the stale watermark would falsely reject the
+                // retransmitted batch forever.
+                let overlay = if rec.meta.is_empty() {
+                    Some(ChannelSideCar::default())
+                } else {
+                    ChannelSideCar::decode(&rec.meta).ok()
+                };
+                if let Some(sidecar) = overlay {
+                    sidecar.apply(self.state.get_mut_untracked());
                 }
             }
         }
@@ -302,6 +344,21 @@ impl Handler<Ingest> for PhysicalSensorChannel {
                 // Duplicate redelivery: drop it before the state mutation
                 // *and* before the downstream fan-out, so subscribers and
                 // aggregators see each batch exactly once too.
+                if self.deferred_acks {
+                    // A duplicate-reject ack asserts "this batch is
+                    // already durable" — under group commit the original
+                    // append may still be in flight, so the reject must
+                    // queue *behind* it and resolve only at the current
+                    // durability horizon. A barrier failure (e.g. dead
+                    // WAL) aborts instead: the safe direction is a
+                    // retransmit, never a false duplicate ack.
+                    if let (Some(reply), Some(series)) = (ctx.defer_reply::<u32>(), &self.series) {
+                        series.barrier_async(Box::new(move |result| match result {
+                            Ok(_) => reply.deliver(0),
+                            Err(_) => reply.abort(aodb_runtime::PromiseError::Lost),
+                        }));
+                    }
+                }
                 return 0;
             }
         }
@@ -323,16 +380,35 @@ impl Handler<Ingest> for PhysicalSensorChannel {
                 s.admit_dedup(source, seq);
             }
             let accepted = Self::apply_points(s, &msg.points, 0, &mut alerts, &channel_key);
-            let meta = encode_state(&ChannelSideCar::capture(s)).unwrap_or_default();
+            let meta = ChannelSideCar::capture(s).encode();
             let points: Vec<(u64, f64)> = msg.points.iter().map(|p| (p.ts_ms, p.value)).collect();
             // A failed append mirrors `Persisted`'s failed-save stance:
             // absorbed, with the points held in the in-memory tail until
             // the next committed tail record carries them.
-            let _ = series.append_batch(
-                &channel_series_key(Self::TYPE_NAME, &channel_key),
-                &points,
-                &meta,
-            );
+            let series_key = channel_series_key(Self::TYPE_NAME, &channel_key);
+            if self.deferred_acks {
+                // Group-commit path: hand the reply to the engine so the
+                // ack resolves when the append's WAL group fsyncs —
+                // acked ⇒ durable, without parking this worker on the
+                // fsync. An append error drops the sink (caller sees
+                // the turn abort, not a false ack).
+                let ack = ctx.defer_reply::<u32>();
+                series.append_batch_async(
+                    &series_key,
+                    &points,
+                    &meta,
+                    Box::new(move |result| {
+                        if let Some(reply) = ack {
+                            match result {
+                                Ok(_) => reply.deliver(accepted),
+                                Err(_) => reply.abort(aodb_runtime::PromiseError::Lost),
+                            }
+                        }
+                    }),
+                );
+            } else {
+                let _ = series.append_batch(&series_key, &points, &meta);
+            }
             accepted
         } else {
             self.state.mutate(|s| {
@@ -617,6 +693,45 @@ mod codec_tests {
                 accumulated_alerted,
                 ingest_watermarks,
             });
+        }
+
+        /// The side-car's compact binary codec round-trips every field
+        /// (it carries the dedup watermarks, so a lossy encode would
+        /// break exactly-once ingest after recovery).
+        #[test]
+        fn channel_sidecar_roundtrips(
+            (total_points, accumulated_change, first_value, last) in (
+                any::<u64>(),
+                -1e12f64..1e12,
+                proptest::option::of(-1e300f64..1e300),
+                proptest::option::of(data_point()),
+            ),
+            (breaching_high, breaching_low, accumulated_alerted, ingest_watermarks) in (
+                any::<bool>(),
+                any::<bool>(),
+                any::<bool>(),
+                proptest::collection::vec((any::<u64>(), any::<u64>()), 0..4),
+            ),
+        ) {
+            let sc = ChannelSideCar {
+                total_points,
+                accumulated_change,
+                first_value,
+                last,
+                breaching_high,
+                breaching_low,
+                accumulated_alerted,
+                ingest_watermarks,
+            };
+            let decoded = ChannelSideCar::decode(&sc.encode()).unwrap();
+            prop_assert_eq!(decoded.total_points, sc.total_points);
+            prop_assert_eq!(decoded.accumulated_change.to_bits(), sc.accumulated_change.to_bits());
+            prop_assert_eq!(decoded.first_value.map(f64::to_bits), sc.first_value.map(f64::to_bits));
+            prop_assert_eq!(decoded.last, sc.last);
+            prop_assert_eq!(decoded.breaching_high, sc.breaching_high);
+            prop_assert_eq!(decoded.breaching_low, sc.breaching_low);
+            prop_assert_eq!(decoded.accumulated_alerted, sc.accumulated_alerted);
+            prop_assert_eq!(decoded.ingest_watermarks, sc.ingest_watermarks);
         }
     }
 }

@@ -19,6 +19,87 @@ pub struct DataPoint {
     pub value: f64,
 }
 
+/// A shared, immutable batch of data points.
+///
+/// Ingest batches fan out along the hot path — channel → subscribed
+/// virtual channels → aggregator — and each hop used to deep-copy the
+/// `Vec`. A `PointBatch` is an `Arc`'d slice: cloning is a refcount
+/// bump, so one allocation made at the gateway serves every hop (and the
+/// chaos layer's replay copies). Dereferences to `[DataPoint]`;
+/// serializes exactly like a plain sequence of points, so the persisted
+/// format is unchanged.
+#[derive(Clone, Debug)]
+pub struct PointBatch(std::sync::Arc<[DataPoint]>);
+
+impl PointBatch {
+    /// Wraps a vector of points (single allocation move, no copy).
+    pub fn new(points: Vec<DataPoint>) -> Self {
+        PointBatch(points.into())
+    }
+
+    /// The points as a slice.
+    pub fn as_slice(&self) -> &[DataPoint] {
+        &self.0
+    }
+}
+
+impl Default for PointBatch {
+    fn default() -> Self {
+        PointBatch(std::sync::Arc::from(&[] as &[DataPoint]))
+    }
+}
+
+impl std::ops::Deref for PointBatch {
+    type Target = [DataPoint];
+    fn deref(&self) -> &[DataPoint] {
+        &self.0
+    }
+}
+
+impl PartialEq for PointBatch {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<DataPoint>> for PointBatch {
+    fn from(points: Vec<DataPoint>) -> Self {
+        PointBatch::new(points)
+    }
+}
+
+impl From<&[DataPoint]> for PointBatch {
+    fn from(points: &[DataPoint]) -> Self {
+        PointBatch(std::sync::Arc::from(points))
+    }
+}
+
+impl FromIterator<DataPoint> for PointBatch {
+    fn from_iter<I: IntoIterator<Item = DataPoint>>(iter: I) -> Self {
+        PointBatch(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a PointBatch {
+    type Item = &'a DataPoint;
+    type IntoIter = std::slice::Iter<'a, DataPoint>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl Serialize for PointBatch {
+    fn json_value(&self) -> serde::Value {
+        serde::Value::Array(self.iter().map(|p| p.json_value()).collect())
+    }
+}
+
+impl Deserialize for PointBatch {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Vec::<DataPoint>::from_json_value(v).map(PointBatch::new)
+    }
+}
+
 /// A passive construction-monitoring project owned by an organization
 /// (non-actor object).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]

@@ -11,7 +11,6 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use aodb_runtime::{Actor, ActorContext, Handler};
-use aodb_store::codec::{decode_state, encode_state};
 use aodb_store::tseries::SeriesStore;
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +21,7 @@ use crate::messages::{
     RecordSamples,
 };
 use crate::physical::{channel_series_key, query_window};
+use crate::sidecar;
 use crate::types::{AggregateLevel, DataPoint, Equation};
 use aodb_core::Persisted;
 
@@ -71,6 +71,29 @@ pub(crate) struct VirtualSideCar {
 }
 
 impl VirtualSideCar {
+    /// Compact fixed-layout encoding — same hot-path rationale as
+    /// `ChannelSideCar::encode` (see `sidecar.rs`).
+    fn encode(&self) -> Vec<u8> {
+        let mut w = sidecar::Writer::new();
+        w.u64(self.total_points);
+        w.f64(self.accumulated_change);
+        w.opt_f64(self.first_value);
+        w.opt_point(self.last);
+        w.opt_f64_list(&self.latest_inputs);
+        w.finish()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, sidecar::SideCarDecodeError> {
+        let mut r = sidecar::Reader::new(bytes)?;
+        Ok(VirtualSideCar {
+            total_points: r.u64()?,
+            accumulated_change: r.f64()?,
+            first_value: r.opt_f64()?,
+            last: r.opt_point()?,
+            latest_inputs: r.opt_f64_list()?,
+        })
+    }
+
     fn capture(s: &VirtualState) -> Self {
         VirtualSideCar {
             total_points: s.total_points,
@@ -164,10 +187,17 @@ impl Actor for VirtualSensorChannel {
         if let Some(series) = &self.series {
             let key = channel_series_key(Self::TYPE_NAME, &ctx.key().to_string());
             if let Ok(rec) = series.recover(&key) {
-                if !rec.meta.is_empty() {
-                    if let Ok(sidecar) = decode_state::<VirtualSideCar>(&rec.meta) {
-                        sidecar.apply(self.state.get_mut_untracked());
-                    }
+                // Empty meta: the series committed nothing, so reset
+                // the KV blob's data-plane fields, which may be ahead
+                // of the store after a crash wiped an in-flight append
+                // (see the physical channel's on_activate).
+                let overlay = if rec.meta.is_empty() {
+                    Some(VirtualSideCar::default())
+                } else {
+                    VirtualSideCar::decode(&rec.meta).ok()
+                };
+                if let Some(sidecar) = overlay {
+                    sidecar.apply(self.state.get_mut_untracked());
                 }
             }
         }
@@ -198,7 +228,7 @@ impl Handler<PushDerived> for VirtualSensorChannel {
             // points and the sidecar (stats + operands) in one append.
             let s = self.state.get_mut_untracked();
             let derived = derive_points(s, &msg, 0);
-            let meta = encode_state(&VirtualSideCar::capture(s)).unwrap_or_default();
+            let meta = VirtualSideCar::capture(s).encode();
             let points: Vec<(u64, f64)> = derived.iter().map(|p| (p.ts_ms, p.value)).collect();
             let _ = series.append_batch(
                 &channel_series_key(Self::TYPE_NAME, &ctx.key().to_string()),
@@ -211,9 +241,9 @@ impl Handler<PushDerived> for VirtualSensorChannel {
         };
         if !derived.is_empty() && self.state.get().aggregates {
             let key = aggregator_key(&ctx.key().to_string(), AggregateLevel::Hour);
-            let _ = ctx
-                .actor_ref::<Aggregator>(key)
-                .tell(RecordSamples { points: derived });
+            let _ = ctx.actor_ref::<Aggregator>(key).tell(RecordSamples {
+                points: derived.into(),
+            });
         }
     }
 }

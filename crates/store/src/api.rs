@@ -146,6 +146,20 @@ pub trait StateStore: Send + Sync + 'static {
     /// Writes `value` at `key`, replacing any previous value.
     fn put(&self, key: &Key, value: Bytes) -> StoreResult<()>;
 
+    /// Writes `value` at `key` without waiting for durability: the write
+    /// is immediately visible to reads, but may sit in a buffer until the
+    /// next [`StateStore::sync`] (or an implementation-chosen flush
+    /// point). Errors on the durability path surface at `sync`. Default:
+    /// plain [`StateStore::put`].
+    ///
+    /// This is the coalescing seam for deactivation-time state flushes:
+    /// a silo sweeping a batch of idle activations issues one
+    /// `put_deferred` per actor and a single `sync` for the whole batch,
+    /// so the batch shares one fsync instead of paying one each.
+    fn put_deferred(&self, key: &Key, value: Bytes) -> StoreResult<()> {
+        self.put(key, value)
+    }
+
     /// Deletes `key`. Deleting an absent key is not an error.
     fn delete(&self, key: &Key) -> StoreResult<()>;
 

@@ -15,6 +15,10 @@
 //!   latency (the paper provisions 200 RCU / 200 WCU).
 //! * [`ChaosStore`] — a seeded fault-injecting decorator (error bursts,
 //!   throttle windows, latency) for crash/recovery testing.
+//! * [`GroupWal`] — group-commit write-ahead log: a single committer
+//!   thread coalesces frames from concurrent turns into one write + one
+//!   fsync per group and resolves acks post-durability, with injectable
+//!   [`CrashPoint`]s at every write/fsync/ack boundary.
 //! * [`codec`] — value serialization and record framing helpers.
 //! * [`tseries`] — columnar time-series engine for the ingest hot path:
 //!   delta-of-delta + Gorilla-XOR compressed sealed blocks behind the
@@ -30,12 +34,17 @@ mod log;
 mod mem;
 mod provisioned;
 pub mod tseries;
+pub mod wal;
 
 pub use api::{Key, StateStore, StoreError, StoreResult};
 pub use chaos::{BurstWindow, ChaosStore, ChaosStoreConfig};
 pub use log::{LogStore, LogStoreConfig, SyncPolicy};
 pub use mem::MemStore;
 pub use tseries::{AppendOutcome, SeriesRecovery, SeriesStats, SeriesStore, TsConfig, TsStore};
+pub use wal::{
+    CrashPlan, CrashPoint, FsyncPolicy, GroupWal, WalConfig, WalCounters, WalStatsSnapshot,
+    WalTicket,
+};
 
 pub use provisioned::{
     ExhaustionBehavior, ProvisionedConfig, ProvisionedStats, ProvisionedStore, READ_UNIT_BYTES,

@@ -39,7 +39,8 @@
 //! and written after it drops (see DESIGN.md §11 on the
 //! `compact_locked` bug class this avoids).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -49,6 +50,7 @@ use crate::api::{Key, StateStore, StoreError, StoreResult};
 use crate::codec::crc32;
 use crate::tseries::codec::{decode_block, decode_index, BlockIndex, PointCompressor};
 use crate::tseries::SeriesError;
+use crate::wal::{FsyncPolicy, GroupWal, WalConfig, WalCounters, WalStatsSnapshot};
 
 /// Storage namespace of every series record.
 const SERIES_NAMESPACE: &str = "tseries";
@@ -57,6 +59,14 @@ const TAIL_SORT: &str = "tail";
 /// Magic prefix of a tail record; the last byte is the format version.
 // aodb-schema: layout(TST1) = magic[4] sealed_blocks:u64 sealed_points:u64 meta_len:u32 meta pending_count:u32 (seq:u64 len:u32 bytes)* tail_len:u32 tail_block crc32:u32
 const TAIL_MAGIC: &[u8; 4] = b"TST1";
+/// Magic prefix of a WAL delta frame (group-commit mode); the last byte
+/// is the format version. The frame rides inside a [`GroupWal`] record,
+/// whose CRC covers it — the delta carries no checksum of its own.
+// aodb-schema: layout(TSW1) = magic[4] base_points:u64 series_len:u32 series meta_len:u32 meta count:u32 (ts:u64 value_bits:u64)*
+const TS_WAL_MAGIC: &[u8; 4] = b"TSW1";
+/// WAL size that triggers a checkpoint (tail records for every dirty
+/// series + WAL reset) in group-commit mode.
+const TS_WAL_CHECKPOINT_BYTES: u64 = 8 * 1024 * 1024;
 
 fn block_sort(seq: u64) -> String {
     format!("b{seq:08}")
@@ -160,6 +170,12 @@ pub struct SeriesStats {
     pub tail_bytes: u64,
 }
 
+/// Completion callback of [`SeriesStore::append_batch_async`]. Runs on
+/// whatever thread resolves durability (possibly a WAL committer
+/// thread), so it must be cheap and non-blocking — the same contract as
+/// a `ReplyTo` callback.
+pub type AppendAck = Box<dyn FnOnce(StoreResult<AppendOutcome>) + Send>;
+
 /// The time-series storage seam: append-oriented, range-scannable,
 /// crash-recoverable. [`StateStore`] remains the seam for actor *state
 /// blobs*; this is the seam for high-rate *point streams*.
@@ -173,6 +189,27 @@ pub trait SeriesStore: Send + Sync + 'static {
         points: &[(u64, f64)],
         meta: &[u8],
     ) -> StoreResult<AppendOutcome>;
+
+    /// Like [`SeriesStore::append_batch`], but resolves the result
+    /// through `ack` instead of blocking. An engine doing group commit
+    /// overrides this so the calling turn can hand off its reply and
+    /// return — acks then resolve post-durability without a worker
+    /// thread parked per batch. Default: synchronous append, immediate
+    /// ack.
+    fn append_batch_async(&self, series: &str, points: &[(u64, f64)], meta: &[u8], ack: AppendAck) {
+        ack(self.append_batch(series, points, meta));
+    }
+
+    /// Resolves `ack` once every append submitted *before* this call is
+    /// at the engine's current durability horizon — without writing
+    /// anything. A group-commit engine queues the ack behind the
+    /// in-flight frames (callbacks resolve in submission order), so a
+    /// caller can ack a *duplicate-reject* only after the original
+    /// append it relies on is committed. Default: synchronous engines
+    /// commit on append, so the barrier is already satisfied.
+    fn barrier_async(&self, ack: AppendAck) {
+        ack(Ok(AppendOutcome::default()));
+    }
 
     /// All points with `from_ms ≤ ts ≤ to_ms`, in append order, at most
     /// `limit` of them (0 = unlimited). Sealed blocks whose sparse index
@@ -220,11 +257,38 @@ struct StagedWrites {
     blocks: Vec<(u64, Key, Bytes)>,
 }
 
+/// A recovered (or in-flight) WAL delta: one append's points + meta,
+/// tagged with the series' durable point count at submission time so
+/// replay can tell which deltas a later tail record already covers.
+struct WalDelta {
+    base_points: u64,
+    meta: Bytes,
+    points: Vec<(u64, f64)>,
+}
+
+/// Group-commit state of a [`TsStore`] opened via [`TsStore::with_wal`].
+struct WalState {
+    wal: GroupWal,
+    /// Appends hold this for read; a checkpoint holds it for write so
+    /// the tail-record sweep + WAL reset see no append in flight.
+    rotation: RwLock<()>,
+    /// Series with WAL deltas not yet covered by a durable tail record;
+    /// the checkpoint writes their tail records before resetting.
+    dirty: Mutex<HashSet<String>>,
+    /// Deltas recovered from the WAL, consumed on each series' first
+    /// touch (under its entry lock, so a racing discarded load can
+    /// never eat them).
+    replay: Mutex<HashMap<String, Vec<WalDelta>>>,
+    checkpoint_bytes: u64,
+    fsync: FsyncPolicy,
+}
+
 /// The columnar time-series engine.
 pub struct TsStore {
     backing: Arc<dyn StateStore>,
     config: TsConfig,
     series: RwLock<HashMap<String, Arc<Mutex<Series>>>>,
+    wal: Option<WalState>,
 }
 
 impl TsStore {
@@ -234,6 +298,7 @@ impl TsStore {
             backing,
             config,
             series: RwLock::new(HashMap::new()),
+            wal: None,
         }
     }
 
@@ -242,9 +307,72 @@ impl TsStore {
         TsStore::new(backing, TsConfig::default())
     }
 
+    /// Engine in **group-commit mode**: appends that do not seal a block
+    /// write a compact delta frame to a [`GroupWal`] at `wal_path`
+    /// instead of rewriting the whole tail record, and their acks
+    /// resolve when the delta's group commits — one coalesced write +
+    /// one fsync amortized over every concurrently-appending series.
+    /// Tail records are still written at seal time and at checkpoints
+    /// (when the WAL outgrows its threshold it is reset after a
+    /// tail-record sweep over the dirty series), so the backing store
+    /// remains the source of truth and the WAL stays short.
+    ///
+    /// Recovery replays WAL deltas on top of the backing store, using
+    /// each delta's durable-point watermark to skip those a later tail
+    /// record already covers — applying each committed append exactly
+    /// once.
+    pub fn with_wal(
+        backing: Arc<dyn StateStore>,
+        config: TsConfig,
+        wal_path: impl Into<PathBuf>,
+        wal_config: WalConfig,
+    ) -> StoreResult<Self> {
+        let (wal, frames) = GroupWal::open(wal_path, wal_config)?;
+        let mut replay: HashMap<String, Vec<WalDelta>> = HashMap::new();
+        for frame in frames {
+            let (series, delta) = decode_wal_delta(&frame)?;
+            replay.entry(series).or_default().push(delta);
+        }
+        Ok(TsStore {
+            backing,
+            config,
+            series: RwLock::new(HashMap::new()),
+            wal: Some(WalState {
+                wal,
+                rotation: RwLock::new(()),
+                dirty: Mutex::new(replay.keys().cloned().collect()),
+                replay: Mutex::new(replay),
+                checkpoint_bytes: TS_WAL_CHECKPOINT_BYTES,
+                fsync: wal_config.fsync_policy,
+            }),
+        })
+    }
+
     /// The engine's configuration.
     pub fn config(&self) -> TsConfig {
         self.config
+    }
+
+    /// The group-commit WAL, when enabled (chaos tests use this to arm
+    /// crash points and read counters).
+    pub fn wal(&self) -> Option<&GroupWal> {
+        self.wal.as_ref().map(|ws| &ws.wal)
+    }
+
+    /// Group-commit counters (zeros when not in group-commit mode).
+    pub fn wal_stats(&self) -> WalStatsSnapshot {
+        self.wal
+            .as_ref()
+            .map(|ws| ws.wal.stats())
+            .unwrap_or_default()
+    }
+
+    /// Mirrors group-commit counters into `counters` (no-op without a
+    /// WAL). See [`GroupWal::mirror_counters`].
+    pub fn mirror_wal_counters(&self, counters: WalCounters) {
+        if let Some(ws) = &self.wal {
+            ws.wal.mirror_counters(counters);
+        }
     }
 
     fn entry(&self, series: &str) -> Arc<Mutex<Series>> {
@@ -266,6 +394,14 @@ impl TsStore {
         let mut s = entry.lock();
         if !s.recovered {
             *s = loaded;
+            // Group-commit mode: replay WAL deltas on top of the backing
+            // image. Consumed under the entry lock so a racing load that
+            // loses the install race cannot eat them.
+            if let Some(ws) = &self.wal {
+                if let Some(deltas) = ws.replay.lock().remove(series) {
+                    apply_wal_deltas(series, &mut s, deltas)?;
+                }
+            }
         }
         Ok(())
     }
@@ -389,6 +525,167 @@ impl TsStore {
         Ok(outcome)
     }
 
+    /// Group-commit append. The fast path (no seal) stages the points
+    /// into the tail under the series lock and queues one delta frame to
+    /// the WAL committer; `ack` resolves when the delta's group commits.
+    /// Appends that seal a block (and force-seals) take the full
+    /// tail-record path synchronously — the tail record then covers
+    /// every queued delta of this series, so the ack⇒durable invariant
+    /// holds regardless of where the WAL fsync horizon sits.
+    fn append_via_wal(
+        &self,
+        series: &str,
+        points: &[(u64, f64)],
+        meta: Option<&[u8]>,
+        force_seal: bool,
+        ack: AppendAck,
+    ) {
+        let ws = self.wal.as_ref().expect("append_via_wal without wal");
+        let entry = self.entry(series);
+        if let Err(e) = self.ensure_recovered(series, &entry) {
+            ack(Err(e));
+            return;
+        }
+
+        let mut outcome = AppendOutcome {
+            appended: points.len() as u32,
+            sealed: 0,
+        };
+        enum Plan {
+            /// Ack handed to the WAL committer.
+            Deferred,
+            /// Nothing to persist (empty append).
+            Noop,
+            /// Full tail-record path.
+            Full(StagedWrites),
+        }
+        let mut ack = Some(ack);
+        let plan = {
+            let _rotation = ws.rotation.read();
+            let mut s = entry.lock();
+            let base = s.sealed_points + s.tail.count() as u64;
+            for &(ts, v) in points {
+                s.tail.append(ts, v);
+                if self.should_seal(&s.tail) {
+                    seal_tail(&mut s);
+                    outcome.sealed += 1;
+                }
+            }
+            if force_seal && s.tail.count() > 0 {
+                seal_tail(&mut s);
+                outcome.sealed += 1;
+            }
+            if let Some(meta) = meta {
+                s.meta = Bytes::copy_from_slice(meta);
+            }
+            if outcome.sealed > 0 {
+                let mut staged = StagedWrites {
+                    tail: Some((tail_key(series), Bytes::from(encode_tail_record(&s)))),
+                    ..StagedWrites::default()
+                };
+                for (seq, bytes) in &s.pending {
+                    staged
+                        .blocks
+                        .push((*seq, block_key(series, *seq), bytes.clone()));
+                }
+                Plan::Full(staged)
+            } else if points.is_empty() && meta.is_none() {
+                Plan::Noop
+            } else {
+                // Delta fast path: submitted under the series lock (so
+                // same-series deltas enqueue in apply order) and the
+                // rotation read guard (so a checkpoint can't reset the
+                // WAL between the tail mutation and the queue slot).
+                let frame = encode_wal_delta(series, base, &s.meta, points);
+                ws.dirty.lock().insert(series.to_string());
+                let ack = ack.take().expect("ack consumed once");
+                ws.wal.submit_with(frame, move |result| {
+                    ack(result.map(|_| outcome));
+                });
+                Plan::Deferred
+            }
+        };
+
+        match plan {
+            Plan::Deferred => {}
+            Plan::Noop => (ack.take().expect("ack consumed once"))(Ok(outcome)),
+            Plan::Full(staged) => {
+                let result = (|| {
+                    let _rotation = ws.rotation.read();
+                    if let Some((key, record)) = staged.tail {
+                        self.backing.put(&key, record)?;
+                    }
+                    for (seq, key, bytes) in staged.blocks {
+                        self.backing.put(&key, bytes)?;
+                        entry.lock().pending.retain(|(s2, _)| *s2 != seq);
+                    }
+                    // The tail record covers every queued delta of this
+                    // series; the checkpoint no longer needs to sweep it.
+                    ws.dirty.lock().remove(series);
+                    if ws.fsync == FsyncPolicy::PerGroup {
+                        self.backing.sync()?;
+                    }
+                    Ok(outcome)
+                })();
+                (ack.take().expect("ack consumed once"))(result);
+            }
+        }
+
+        if ws.wal.len() >= ws.checkpoint_bytes {
+            // Best-effort: a failed checkpoint leaves the WAL longer but
+            // never loses data (the dirty set is restored on error).
+            let _ = self.checkpoint();
+        }
+    }
+
+    /// Group-commit checkpoint: writes a tail record for every dirty
+    /// series (folding their WAL deltas into the backing store), then
+    /// resets the WAL. No-op without a WAL or when a checkpoint is
+    /// already in flight.
+    pub fn checkpoint(&self) -> StoreResult<()> {
+        let Some(ws) = &self.wal else {
+            return Ok(());
+        };
+        let Some(_rotation) = ws.rotation.try_write() else {
+            return Ok(());
+        };
+        // Materialize series whose recovered deltas were never touched:
+        // recovery folds them into the in-memory image, which the dirty
+        // sweep below then persists.
+        let leftover: Vec<String> = ws.replay.lock().keys().cloned().collect();
+        for name in leftover {
+            let entry = self.entry(&name);
+            self.ensure_recovered(&name, &entry)?;
+        }
+        let names: Vec<String> = {
+            let mut dirty = ws.dirty.lock();
+            let names = dirty.iter().cloned().collect();
+            dirty.clear();
+            names
+        };
+        let mut result = Ok(());
+        for (i, name) in names.iter().enumerate() {
+            let entry = self.entry(name);
+            let record = {
+                let s = entry.lock();
+                Bytes::from(encode_tail_record(&s))
+            };
+            if let Err(e) = self.backing.put(&tail_key(name), record) {
+                // Restore the unswept remainder (this series included)
+                // so the next checkpoint retries them; the WAL is not
+                // reset, so nothing is lost.
+                ws.dirty.lock().extend(names[i..].iter().cloned());
+                result = Err(e);
+                break;
+            }
+        }
+        result?;
+        if ws.fsync == FsyncPolicy::PerGroup {
+            self.backing.sync()?;
+        }
+        ws.wal.reset()
+    }
+
     fn should_seal(&self, tail: &PointCompressor) -> bool {
         if tail.count() == 0 {
             return false;
@@ -439,6 +736,35 @@ fn seal_tail(s: &mut Series) {
     s.tail = PointCompressor::new();
 }
 
+impl TsStore {
+    /// True when appends should take the group-commit delta path.
+    fn wal_appends(&self) -> bool {
+        self.wal.is_some() && self.config.durability == TailDurability::EveryAppend
+    }
+
+    /// Runs a WAL append synchronously (blocks on the group commit).
+    fn append_wal_blocking(
+        &self,
+        series: &str,
+        points: &[(u64, f64)],
+        meta: Option<&[u8]>,
+        force_seal: bool,
+    ) -> StoreResult<AppendOutcome> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.append_via_wal(
+            series,
+            points,
+            meta,
+            force_seal,
+            Box::new(move |result| {
+                let _ = tx.send(result);
+            }),
+        );
+        rx.recv()
+            .unwrap_or_else(|_| Err(StoreError::Io("wal append ack was dropped".into())))
+    }
+}
+
 impl SeriesStore for TsStore {
     fn append_batch(
         &self,
@@ -446,7 +772,31 @@ impl SeriesStore for TsStore {
         points: &[(u64, f64)],
         meta: &[u8],
     ) -> StoreResult<AppendOutcome> {
-        self.append_inner(series, points, Some(meta), false)
+        if self.wal_appends() {
+            self.append_wal_blocking(series, points, Some(meta), false)
+        } else {
+            self.append_inner(series, points, Some(meta), false)
+        }
+    }
+
+    fn append_batch_async(&self, series: &str, points: &[(u64, f64)], meta: &[u8], ack: AppendAck) {
+        if self.wal_appends() {
+            self.append_via_wal(series, points, Some(meta), false, ack);
+        } else {
+            ack(self.append_inner(series, points, Some(meta), false));
+        }
+    }
+
+    fn barrier_async(&self, ack: AppendAck) {
+        match &self.wal {
+            // Empty payloads are never written; the callback still
+            // resolves in submission order, after every frame queued
+            // ahead of it commits — the barrier contract.
+            Some(ws) if self.wal_appends() => ws.wal.submit_with(Bytes::new(), move |r| {
+                ack(r.map(|_| AppendOutcome::default()))
+            }),
+            _ => ack(Ok(AppendOutcome::default())),
+        }
     }
 
     fn scan_range(
@@ -496,7 +846,11 @@ impl SeriesStore for TsStore {
     }
 
     fn seal(&self, series: &str) -> StoreResult<()> {
-        self.append_inner(series, &[], None, true)?;
+        if self.wal_appends() {
+            self.append_wal_blocking(series, &[], None, true)?;
+        } else {
+            self.append_inner(series, &[], None, true)?;
+        }
         Ok(())
     }
 
@@ -601,6 +955,106 @@ fn decode_tail_record(buf: &[u8]) -> StoreResult<TailRecord> {
         pending,
         tail_block,
     })
+}
+
+// -------------------------------------------------------- wal delta codec
+
+/// `TSW1 | base_points u64 | series_len u32 | series | meta_len u32 |
+/// meta | count u32 | (ts u64, value_bits u64)*` — no CRC of its own;
+/// the enclosing [`GroupWal`] record frame carries one.
+fn encode_wal_delta(series: &str, base_points: u64, meta: &[u8], points: &[(u64, f64)]) -> Bytes {
+    let mut out =
+        Vec::with_capacity(4 + 8 + 4 + series.len() + 4 + meta.len() + 4 + 16 * points.len());
+    out.extend_from_slice(TS_WAL_MAGIC);
+    out.extend_from_slice(&base_points.to_le_bytes());
+    out.extend_from_slice(&(series.len() as u32).to_le_bytes());
+    out.extend_from_slice(series.as_bytes());
+    out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+    out.extend_from_slice(meta);
+    out.extend_from_slice(&(points.len() as u32).to_le_bytes());
+    for &(ts, v) in points {
+        out.extend_from_slice(&ts.to_le_bytes());
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+fn decode_wal_delta(buf: &[u8]) -> StoreResult<(String, WalDelta)> {
+    let fail = |m: &str| StoreError::Corrupt(format!("tseries wal delta: {m}"));
+    if buf.len() < 4 + 8 + 4 {
+        return Err(fail("truncated"));
+    }
+    if buf[0..3] != TS_WAL_MAGIC[0..3] {
+        return Err(fail("bad magic"));
+    }
+    if buf[3] != TS_WAL_MAGIC[3] {
+        return Err(SeriesError::UnsupportedVersion {
+            format: "TSW",
+            found: buf[3],
+            supported: TS_WAL_MAGIC[3],
+        }
+        .into());
+    }
+    let mut pos = 4usize;
+    let mut take = |n: usize| -> StoreResult<&[u8]> {
+        if buf.len() - pos < n {
+            return Err(fail("truncated field"));
+        }
+        let slice = &buf[pos..pos + n];
+        pos += n;
+        Ok(slice)
+    };
+    let base_points = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+    let series_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+    let series = String::from_utf8(take(series_len)?.to_vec())
+        .map_err(|_| fail("series name is not utf-8"))?;
+    let meta_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+    let meta = Bytes::copy_from_slice(take(meta_len)?);
+    let count = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+    let mut points = Vec::with_capacity(count);
+    for _ in 0..count {
+        let ts = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        let bits = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        points.push((ts, f64::from_bits(bits)));
+    }
+    if pos != buf.len() {
+        return Err(fail("trailing garbage"));
+    }
+    Ok((
+        series,
+        WalDelta {
+            base_points,
+            meta,
+            points,
+        },
+    ))
+}
+
+/// Folds recovered WAL deltas into a freshly-loaded series image. Each
+/// delta's `base_points` watermark says how many durable points the
+/// series had when it was submitted: below the current count means a
+/// later tail record already covers it (skip — this is what makes
+/// replay exactly-once); equal means apply; above means a gap — the WAL
+/// and backing store disagree, which recovery must not paper over.
+fn apply_wal_deltas(series: &str, s: &mut Series, deltas: Vec<WalDelta>) -> StoreResult<()> {
+    for delta in deltas {
+        let current = s.sealed_points + s.tail.count() as u64;
+        if delta.base_points < current {
+            continue;
+        }
+        if delta.base_points > current {
+            return Err(StoreError::Corrupt(format!(
+                "tseries {series}: wal delta expects {} durable points but the \
+                 backing store has {current}",
+                delta.base_points
+            )));
+        }
+        for &(ts, v) in &delta.points {
+            s.tail.append(ts, v);
+        }
+        s.meta = delta.meta;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -795,6 +1249,202 @@ mod tests {
         assert_eq!(ts.scan_range("a", 0, u64::MAX, 0).unwrap().len(), 5);
         assert_eq!(ts.scan_range("b", 0, u64::MAX, 0).unwrap().len(), 10);
         assert_eq!(ts.recover("a").unwrap().meta.as_ref(), b"ma");
+    }
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "aodb-tswal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.join("ts_wal.log")
+    }
+
+    #[test]
+    fn wal_mode_roundtrip_and_replay() {
+        let backing: Arc<dyn StateStore> = Arc::new(MemStore::new());
+        let path = temp_wal("roundtrip");
+        {
+            let ts = TsStore::with_wal(
+                Arc::clone(&backing),
+                TsConfig::default(),
+                &path,
+                WalConfig::default(),
+            )
+            .unwrap();
+            for chunk in pts(0..30).chunks(4) {
+                ts.append_batch("s", chunk, b"wm-30").unwrap();
+            }
+            assert!(ts.wal_stats().frames >= 8);
+            // No seal fired: the backing store has no tail record yet —
+            // the deltas alone must carry recovery.
+            assert!(backing.get(&tail_key("s")).unwrap().is_none());
+        }
+        let ts = TsStore::with_wal(
+            Arc::clone(&backing),
+            TsConfig::default(),
+            &path,
+            WalConfig::default(),
+        )
+        .unwrap();
+        let rec = ts.recover("s").unwrap();
+        assert_eq!(rec.points, 30);
+        assert_eq!(rec.meta.as_ref(), b"wm-30");
+        assert_eq!(ts.scan_range("s", 0, u64::MAX, 0).unwrap(), pts(0..30));
+    }
+
+    #[test]
+    fn wal_mode_seal_supersedes_deltas_exactly_once() {
+        let backing: Arc<dyn StateStore> = Arc::new(MemStore::new());
+        let path = temp_wal("seal");
+        {
+            let ts = TsStore::with_wal(
+                Arc::clone(&backing),
+                TsConfig::sealing_every(8),
+                &path,
+                WalConfig::default(),
+            )
+            .unwrap();
+            // 12 points: 8 seal (full tail-record path), 4 ride deltas.
+            for chunk in pts(0..12).chunks(2) {
+                ts.append_batch("s", chunk, b"m").unwrap();
+            }
+            assert!(backing.get(&tail_key("s")).unwrap().is_some());
+        }
+        // Recovery must not double-apply the deltas the seal-time tail
+        // record already covers.
+        let ts = TsStore::with_wal(
+            Arc::clone(&backing),
+            TsConfig::sealing_every(8),
+            &path,
+            WalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(ts.recover("s").unwrap().points, 12);
+        assert_eq!(ts.scan_range("s", 0, u64::MAX, 0).unwrap(), pts(0..12));
+    }
+
+    #[test]
+    fn wal_mode_checkpoint_folds_deltas_and_resets() {
+        let backing: Arc<dyn StateStore> = Arc::new(MemStore::new());
+        let path = temp_wal("checkpoint");
+        {
+            let ts = TsStore::with_wal(
+                Arc::clone(&backing),
+                TsConfig::default(),
+                &path,
+                WalConfig::default(),
+            )
+            .unwrap();
+            for series in ["a", "b"] {
+                ts.append_batch(series, &pts(0..10), b"ck").unwrap();
+            }
+            assert!(!ts.wal().unwrap().is_empty());
+            ts.checkpoint().unwrap();
+            assert_eq!(ts.wal().unwrap().len(), 0, "checkpoint resets the wal");
+            assert!(backing.get(&tail_key("a")).unwrap().is_some());
+            assert!(backing.get(&tail_key("b")).unwrap().is_some());
+        }
+        // Post-checkpoint recovery comes purely from the backing store.
+        let ts = TsStore::with_wal(
+            Arc::clone(&backing),
+            TsConfig::default(),
+            &path,
+            WalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(ts.recover("a").unwrap().points, 10);
+        assert_eq!(ts.recover("b").unwrap().points, 10);
+    }
+
+    #[test]
+    fn wal_mode_checkpoint_materializes_untouched_recovered_series() {
+        let backing: Arc<dyn StateStore> = Arc::new(MemStore::new());
+        let path = temp_wal("leftover");
+        {
+            let ts = TsStore::with_wal(
+                Arc::clone(&backing),
+                TsConfig::default(),
+                &path,
+                WalConfig::default(),
+            )
+            .unwrap();
+            ts.append_batch("s", &pts(0..5), b"m").unwrap();
+        }
+        {
+            // Reopen and checkpoint WITHOUT touching the series first:
+            // the recovered deltas must be folded into tail records, not
+            // dropped with the reset.
+            let ts = TsStore::with_wal(
+                Arc::clone(&backing),
+                TsConfig::default(),
+                &path,
+                WalConfig::default(),
+            )
+            .unwrap();
+            ts.checkpoint().unwrap();
+        }
+        let ts = TsStore::with_wal(
+            Arc::clone(&backing),
+            TsConfig::default(),
+            &path,
+            WalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(ts.recover("s").unwrap().points, 5);
+    }
+
+    #[test]
+    fn wal_delta_codec_roundtrip_and_version_gate() {
+        let frame = encode_wal_delta("sensor-1", 42, b"meta", &pts(0..7));
+        let (series, delta) = decode_wal_delta(&frame).unwrap();
+        assert_eq!(series, "sensor-1");
+        assert_eq!(delta.base_points, 42);
+        assert_eq!(delta.meta.as_ref(), b"meta");
+        assert_eq!(delta.points, pts(0..7));
+
+        let mut bumped = frame.to_vec();
+        bumped[3] = b'2';
+        assert!(matches!(
+            decode_wal_delta(&bumped),
+            Err(StoreError::UnsupportedVersion(_))
+        ));
+        let mut garbled = frame.to_vec();
+        garbled[0] = b'X';
+        assert!(matches!(
+            decode_wal_delta(&garbled),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn wal_mode_async_ack_resolves_after_commit() {
+        use std::sync::mpsc;
+        let backing: Arc<dyn StateStore> = Arc::new(MemStore::new());
+        let path = temp_wal("async");
+        let ts = TsStore::with_wal(
+            Arc::clone(&backing),
+            TsConfig::default(),
+            &path,
+            WalConfig::default(),
+        )
+        .unwrap();
+        let (tx, rx) = mpsc::channel();
+        ts.append_batch_async(
+            "s",
+            &pts(0..5),
+            b"m",
+            Box::new(move |result| {
+                let _ = tx.send(result);
+            }),
+        );
+        let outcome = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .unwrap()
+            .unwrap();
+        assert_eq!(outcome.appended, 5);
+        assert!(ts.wal_stats().groups >= 1);
     }
 
     #[test]

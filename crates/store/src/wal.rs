@@ -1,0 +1,1047 @@
+//! Group-commit write-ahead log.
+//!
+//! A [`GroupWal`] amortizes the two expensive parts of durable logging —
+//! the write syscall and the fsync — across concurrent writers. Callers
+//! submit opaque frames from any thread; a single **committer thread**
+//! drains the queue of pending frames, writes them as one coalesced
+//! buffer, issues one `fdatasync` for the whole group, and only then
+//! resolves each waiter's acknowledgement (a blocking [`WalTicket`] or a
+//! completion callback, in submission order). The result is the classic
+//! group-commit contract: *ack ⇒ durable*, at a per-frame cost that
+//! shrinks as concurrency grows.
+//!
+//! ## On-disk format
+//!
+//! The file is a flat sequence of [`frame_record`]-framed records
+//! (`len | crc32 | payload`) — grouping is purely a *write batching*
+//! concern and leaves no trace on disk. Recovery parses records from the
+//! front; a torn tail (crash mid-group-write) ends the committed prefix
+//! and is physically truncated, while a checksum mismatch anywhere
+//! earlier is reported as corruption. Because groups are written with a
+//! single `write_all`, a crash can only tear the *last* group, and the
+//! recovered frames are always a prefix of the submission order.
+//!
+//! ## Batching policy
+//!
+//! The committer takes whatever is queued the moment it becomes free
+//! (natural batching: the previous group's flush *is* the accumulation
+//! window). [`WalConfig::max_delay`] optionally stretches assembly —
+//! the committer waits up to that long for more frames before flushing
+//! a group smaller than [`WalConfig::max_batch`] — and also *bounds* it:
+//! no frame ever waits in an open group for longer than `max_delay`, so
+//! a waiter's ack latency is at most `max_delay` plus one group flush.
+//!
+//! ## Crash injection
+//!
+//! The group-commit path has exactly five externally-distinguishable
+//! write/fsync/ack boundaries, enumerated by [`CrashPoint`]. Tests arm
+//! one with [`GroupWal::arm_crash`]; when the committer reaches the
+//! armed point it emulates a process kill at that instant — un-synced
+//! bytes are dropped (the page cache is lost), a mid-group tear leaves
+//! partial frame bytes on disk, and every unresolved waiter errors out.
+//! The chaos suite reopens the file afterwards and asserts the
+//! invariant *acked ⇒ recovered, and recovered is a prefix of
+//! submitted*.
+
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::api::{StoreError, StoreResult};
+use crate::codec::{frame_record, parse_record};
+
+/// When the committer issues fsync.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FsyncPolicy {
+    /// One `fdatasync` per group (the group-commit contract: a resolved
+    /// ack means the frame is on durable media). The default.
+    #[default]
+    PerGroup,
+    /// Never fsync on the append path; [`GroupWal::sync`] forces one.
+    /// Acks then mean "written to the OS", mirroring
+    /// [`SyncPolicy::OnDemand`](crate::SyncPolicy).
+    OnDemand,
+}
+
+/// Tuning of a [`GroupWal`].
+#[derive(Clone, Copy, Debug)]
+pub struct WalConfig {
+    /// Largest number of frames coalesced into one group.
+    pub max_batch: usize,
+    /// How long the committer may hold a group open waiting for more
+    /// frames. Zero (the default) is pure natural batching: commit
+    /// whatever is queued, immediately. Non-zero trades ack latency for
+    /// larger groups; it is a *cap*, so the fairness bound
+    /// `ack wait ≤ max_delay + one group flush` always holds.
+    pub max_delay: Duration,
+    /// Fsync policy.
+    pub fsync_policy: FsyncPolicy,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            max_batch: 256,
+            max_delay: Duration::ZERO,
+            fsync_policy: FsyncPolicy::PerGroup,
+        }
+    }
+}
+
+/// The write/fsync/ack boundaries of the group-commit path, for fault
+/// injection. Each variant names the instant the emulated process kill
+/// happens.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CrashPoint {
+    /// The group is assembled but nothing reached the file: every frame
+    /// of the group (and everything queued behind it) is lost, none
+    /// were acked.
+    BeforeGroupWrite,
+    /// The kill lands mid-`write`: a prefix of the coalesced buffer is
+    /// on disk, tearing a frame. Recovery must truncate the tear and
+    /// keep the clean prefix.
+    MidGroupWrite,
+    /// The buffer was fully written but not fsynced: the page cache is
+    /// lost with the process, so the whole group evaporates. No acks
+    /// were resolved, so nothing acked is lost.
+    AfterWriteBeforeFsync,
+    /// Durable but unacknowledged: the fsync completed, the process
+    /// died before resolving waiters. The frames *must* survive
+    /// recovery (durable-but-unacked is the allowed direction).
+    AfterFsyncBeforeAck,
+    /// The group was durable and acked; the kill hits afterwards.
+    /// Recovery must observe every acked frame.
+    AfterAck,
+}
+
+impl CrashPoint {
+    /// Every crash point, in pipeline order — the chaos matrix iterates
+    /// this so no boundary is left untested.
+    pub const ALL: [CrashPoint; 5] = [
+        CrashPoint::BeforeGroupWrite,
+        CrashPoint::MidGroupWrite,
+        CrashPoint::AfterWriteBeforeFsync,
+        CrashPoint::AfterFsyncBeforeAck,
+        CrashPoint::AfterAck,
+    ];
+}
+
+/// Arms a crash at `point` when the committer processes group number
+/// `at_group` (0-based count of non-empty groups committed so far).
+#[derive(Clone, Copy, Debug)]
+pub struct CrashPlan {
+    /// Which boundary to kill at.
+    pub point: CrashPoint,
+    /// Which group to kill (lets seeded tests vary how much committed
+    /// prefix exists before the crash).
+    pub at_group: u64,
+}
+
+/// Live counters mirrored into by the committer, for wiring WAL
+/// observability into a metrics registry that cannot see this crate
+/// (the same share-an-`Arc` pattern as the runtime's `persist_retries`).
+#[derive(Clone)]
+pub struct WalCounters {
+    /// Groups committed (one coalesced write each).
+    pub groups: Arc<AtomicU64>,
+    /// Frames across all groups; `frames / groups` is the mean group
+    /// size.
+    pub frames: Arc<AtomicU64>,
+    /// Fsyncs issued.
+    pub fsyncs: Arc<AtomicU64>,
+}
+
+impl Default for WalCounters {
+    fn default() -> Self {
+        WalCounters {
+            groups: Arc::new(AtomicU64::new(0)),
+            frames: Arc::new(AtomicU64::new(0)),
+            fsyncs: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Point-in-time copy of the WAL's own counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStatsSnapshot {
+    /// Groups committed.
+    pub groups: u64,
+    /// Frames across all groups.
+    pub frames: u64,
+    /// Fsyncs issued.
+    pub fsyncs: u64,
+}
+
+impl WalStatsSnapshot {
+    /// Mean frames per group (0 when no group has committed).
+    pub fn mean_group_size(&self) -> f64 {
+        if self.groups == 0 {
+            0.0
+        } else {
+            self.frames as f64 / self.groups as f64
+        }
+    }
+}
+
+// ------------------------------------------------------------- completions
+
+struct TicketCell {
+    state: Mutex<Option<StoreResult<()>>>,
+    cv: Condvar,
+}
+
+impl TicketCell {
+    fn new() -> Arc<Self> {
+        Arc::new(TicketCell {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn resolve(&self, result: StoreResult<()>) {
+        *self.state.lock() = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// A pending acknowledgement: resolves once the submitted frame's group
+/// is committed (per the configured [`FsyncPolicy`]).
+pub struct WalTicket(Arc<TicketCell>);
+
+impl WalTicket {
+    /// Blocks until the frame's group commits; `Err` if the WAL died
+    /// (I/O error or injected crash) before that.
+    pub fn wait(self) -> StoreResult<()> {
+        let mut state = self.0.state.lock();
+        while state.is_none() {
+            state = self.0.cv.wait(state);
+        }
+        state.take().expect("ticket resolved")
+    }
+
+    fn failed(err: StoreError) -> WalTicket {
+        let cell = TicketCell::new();
+        cell.resolve(Err(err));
+        WalTicket(cell)
+    }
+}
+
+enum Done {
+    Ticket(Arc<TicketCell>),
+    Callback(Box<dyn FnOnce(StoreResult<()>) + Send>),
+}
+
+impl Done {
+    fn resolve(self, result: &StoreResult<()>) {
+        match self {
+            Done::Ticket(cell) => cell.resolve(result.clone()),
+            Done::Callback(f) => f(result.clone()),
+        }
+    }
+}
+
+enum Op {
+    /// A frame (empty payload = pure barrier). `force_sync` makes the
+    /// group fsync regardless of policy.
+    Frame {
+        payload: Bytes,
+        force_sync: bool,
+        done: Done,
+    },
+    /// Truncate the log to zero bytes, in queue order: frames submitted
+    /// before the reset are written (then wiped), frames submitted
+    /// after land in the fresh log. The caller must guarantee every
+    /// earlier frame is superseded by a checkpoint elsewhere.
+    Reset { done: Done },
+}
+
+struct Queue {
+    items: VecDeque<Op>,
+    shutdown: bool,
+    /// Set when the committer died (I/O error or injected crash); every
+    /// queued and future submission resolves with a clone of this.
+    dead: Option<StoreError>,
+    /// Which injected crash point fired, if any (diagnostics).
+    injected: Option<CrashPoint>,
+    crash_plan: Option<CrashPlan>,
+}
+
+struct Shared {
+    q: Mutex<Queue>,
+    work: Condvar,
+    config: WalConfig,
+    /// Bytes written to the log (observability + checkpoint triggers).
+    written_len: AtomicU64,
+    counters: WalCounters,
+    mirror: Mutex<Option<WalCounters>>,
+}
+
+impl Shared {
+    fn bump(&self, frames: u64, fsyncs: u64) {
+        self.counters.groups.fetch_add(1, Ordering::Relaxed);
+        self.counters.frames.fetch_add(frames, Ordering::Relaxed);
+        self.counters.fsyncs.fetch_add(fsyncs, Ordering::Relaxed);
+        if let Some(m) = &*self.mirror.lock() {
+            m.groups.fetch_add(1, Ordering::Relaxed);
+            m.frames.fetch_add(frames, Ordering::Relaxed);
+            m.fsyncs.fetch_add(fsyncs, Ordering::Relaxed);
+        }
+    }
+}
+
+// --------------------------------------------------------------- GroupWal
+
+/// The group-commit write-ahead log. See the module docs.
+pub struct GroupWal {
+    shared: Arc<Shared>,
+    committer: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl GroupWal {
+    /// Opens (or creates) the log at `path`, recovering the committed
+    /// frame prefix. A torn tail is truncated from the file; corruption
+    /// before the tail is an error. Returns the WAL and the recovered
+    /// frames in append order.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        config: WalConfig,
+    ) -> StoreResult<(GroupWal, Vec<Bytes>)> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let mut frames = Vec::new();
+        let mut offset = 0usize;
+        // `parse_record` returns None at end of file or on a torn tail.
+        while let Some((payload, consumed)) = parse_record(&buf[offset..])? {
+            frames.push(Bytes::copy_from_slice(payload));
+            offset += consumed;
+        }
+        if offset < buf.len() {
+            // Torn tail from a crash mid-group: drop it physically so
+            // new appends never land after garbage bytes.
+            file.set_len(offset as u64)?;
+        }
+        file.seek(SeekFrom::Start(offset as u64))?;
+
+        let shared = Arc::new(Shared {
+            q: Mutex::new(Queue {
+                items: VecDeque::new(),
+                shutdown: false,
+                dead: None,
+                injected: None,
+                crash_plan: None,
+            }),
+            work: Condvar::new(),
+            config,
+            written_len: AtomicU64::new(offset as u64),
+            counters: WalCounters::default(),
+            mirror: Mutex::new(None),
+        });
+        let committer = {
+            let shared = Arc::clone(&shared);
+            let durable = offset as u64;
+            std::thread::Builder::new()
+                .name("wal-committer".into())
+                .spawn(move || committer_loop(shared, file, durable, durable))
+                .map_err(|e| StoreError::Io(e.to_string()))?
+        };
+        Ok((
+            GroupWal {
+                shared,
+                committer: Mutex::new(Some(committer)),
+            },
+            frames,
+        ))
+    }
+
+    fn enqueue(&self, op: Op) {
+        let mut q = self.shared.q.lock();
+        q.items.push_back(op);
+        if q.items.len() == 1 {
+            self.shared.work.notify_one();
+        } else {
+            // The committer may be holding a group open under
+            // `max_delay`; any arrival should be allowed to fill it.
+            self.shared.work.notify_one();
+        }
+    }
+
+    fn dead_error(q: &Queue) -> Option<StoreError> {
+        if let Some(err) = &q.dead {
+            return Some(err.clone());
+        }
+        if q.shutdown {
+            return Some(StoreError::Io("wal is shut down".into()));
+        }
+        None
+    }
+
+    /// Queues `payload` for the next group; the returned ticket resolves
+    /// when the group commits.
+    pub fn submit(&self, payload: Bytes) -> WalTicket {
+        {
+            let q = self.shared.q.lock();
+            if let Some(err) = Self::dead_error(&q) {
+                return WalTicket::failed(err);
+            }
+        }
+        let cell = TicketCell::new();
+        self.enqueue(Op::Frame {
+            payload,
+            force_sync: false,
+            done: Done::Ticket(Arc::clone(&cell)),
+        });
+        WalTicket(cell)
+    }
+
+    /// Queues `payload` with a completion callback instead of a ticket.
+    /// The callback runs on the committer thread, after the group
+    /// commits, in submission order — it must be cheap and non-blocking
+    /// (the same contract as a `ReplyTo` callback).
+    pub fn submit_with(&self, payload: Bytes, done: impl FnOnce(StoreResult<()>) + Send + 'static) {
+        {
+            let q = self.shared.q.lock();
+            if let Some(err) = Self::dead_error(&q) {
+                drop(q);
+                done(Err(err));
+                return;
+            }
+        }
+        self.enqueue(Op::Frame {
+            payload,
+            force_sync: false,
+            done: Done::Callback(Box::new(done)),
+        });
+    }
+
+    /// Submits `payload` and blocks until its group commits.
+    pub fn append(&self, payload: Bytes) -> StoreResult<()> {
+        self.submit(payload).wait()
+    }
+
+    /// Durability barrier: blocks until everything queued before this
+    /// call is on durable media (forces an fsync even under
+    /// [`FsyncPolicy::OnDemand`]).
+    pub fn sync(&self) -> StoreResult<()> {
+        {
+            let q = self.shared.q.lock();
+            if let Some(err) = Self::dead_error(&q) {
+                return Err(err);
+            }
+        }
+        let cell = TicketCell::new();
+        self.enqueue(Op::Frame {
+            payload: Bytes::new(),
+            force_sync: true,
+            done: Done::Ticket(Arc::clone(&cell)),
+        });
+        WalTicket(cell).wait()
+    }
+
+    /// Truncates the log to zero bytes, in queue order (see [`Op::Reset`]
+    /// semantics): frames submitted before this call are written first
+    /// and then wiped, so the caller must have checkpointed their
+    /// effects elsewhere; frames submitted after land in the fresh log.
+    pub fn reset(&self) -> StoreResult<()> {
+        {
+            let q = self.shared.q.lock();
+            if let Some(err) = Self::dead_error(&q) {
+                return Err(err);
+            }
+        }
+        let cell = TicketCell::new();
+        self.enqueue(Op::Reset {
+            done: Done::Ticket(Arc::clone(&cell)),
+        });
+        WalTicket(cell).wait()
+    }
+
+    /// Bytes currently in the log file.
+    pub fn len(&self) -> u64 {
+        self.shared.written_len.load(Ordering::Relaxed)
+    }
+
+    /// True when the log holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Arms an injected crash (test instrumentation; see [`CrashPlan`]).
+    pub fn arm_crash(&self, plan: CrashPlan) {
+        self.shared.q.lock().crash_plan = Some(plan);
+    }
+
+    /// The injected crash point that fired, if any.
+    pub fn injected_crash(&self) -> Option<CrashPoint> {
+        self.shared.q.lock().injected
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WalStatsSnapshot {
+        WalStatsSnapshot {
+            groups: self.shared.counters.groups.load(Ordering::Relaxed),
+            frames: self.shared.counters.frames.load(Ordering::Relaxed),
+            fsyncs: self.shared.counters.fsyncs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Mirrors every future counter increment into `counters` (e.g. the
+    /// runtime's `wal_*` metrics).
+    pub fn mirror_counters(&self, counters: WalCounters) {
+        *self.shared.mirror.lock() = Some(counters);
+    }
+}
+
+impl Drop for GroupWal {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.q.lock();
+            q.shutdown = true;
+            self.shared.work.notify_one();
+        }
+        if let Some(handle) = self.committer.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+// --------------------------------------------------------------- committer
+
+struct Group {
+    frames: Vec<(Bytes, Done)>,
+    force_sync: bool,
+}
+
+/// The committer thread: assemble group → coalesced write → fsync →
+/// resolve acks, with the five [`CrashPoint`]s injectable in between.
+fn committer_loop(shared: Arc<Shared>, mut file: File, mut written: u64, mut durable: u64) {
+    let config = shared.config;
+    let mut group_seq: u64 = 0;
+    loop {
+        // ---- assemble the next group (or reset op) under the queue lock
+        let mut reset: Option<Done> = None;
+        let mut group = Group {
+            frames: Vec::new(),
+            force_sync: false,
+        };
+        let mut crash: Option<CrashPoint> = None;
+        {
+            let mut q = shared.q.lock();
+            loop {
+                if !q.items.is_empty() {
+                    break;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.work.wait(q);
+            }
+            if let Some(Op::Reset { .. }) = q.items.front() {
+                let Some(Op::Reset { done }) = q.items.pop_front() else {
+                    unreachable!()
+                };
+                reset = Some(done);
+            } else {
+                let opened = Instant::now();
+                loop {
+                    while group.frames.len() < config.max_batch {
+                        match q.items.front() {
+                            Some(Op::Frame { .. }) => {
+                                let Some(Op::Frame {
+                                    payload,
+                                    force_sync,
+                                    done,
+                                }) = q.items.pop_front()
+                                else {
+                                    unreachable!()
+                                };
+                                group.force_sync |= force_sync;
+                                group.frames.push((payload, done));
+                            }
+                            // A reset boundary ends the group; None ends
+                            // the drain.
+                            Some(Op::Reset { .. }) | None => break,
+                        }
+                    }
+                    if group.frames.len() >= config.max_batch
+                        || !q.items.is_empty()
+                        || q.shutdown
+                        || config.max_delay.is_zero()
+                    {
+                        break;
+                    }
+                    // Hold the group open for stragglers, never past
+                    // max_delay (the fairness bound).
+                    let Some(left) = config.max_delay.checked_sub(opened.elapsed()) else {
+                        break;
+                    };
+                    if left.is_zero() {
+                        break;
+                    }
+                    let (guard, timed_out) = shared.work.wait_for(q, left);
+                    q = guard;
+                    if timed_out {
+                        break;
+                    }
+                }
+                if let Some(plan) = q.crash_plan {
+                    // `at_group` counts *non-empty* groups, so a group
+                    // of pure barrier frames is not the armed group —
+                    // consuming the plan on one would silently skip
+                    // points that need bytes in flight (MidGroupWrite).
+                    if plan.at_group == group_seq
+                        && group.frames.iter().any(|(payload, _)| !payload.is_empty())
+                    {
+                        crash = Some(plan.point);
+                        q.crash_plan = None;
+                    }
+                }
+            }
+        }
+
+        // ---- reset op: truncate, in queue order
+        if let Some(done) = reset {
+            let result = (|| -> StoreResult<()> {
+                file.set_len(0)?;
+                file.seek(SeekFrom::Start(0))?;
+                Ok(())
+            })();
+            match result {
+                Ok(()) => {
+                    written = 0;
+                    durable = 0;
+                    shared.written_len.store(0, Ordering::Relaxed);
+                    done.resolve(&Ok(()));
+                }
+                Err(e) => {
+                    die(&shared, &mut file, durable, None, e, vec![done]);
+                    return;
+                }
+            }
+            continue;
+        }
+
+        // ---- coalesce
+        let mut buf = Vec::new();
+        let mut frame_count = 0u64;
+        for (payload, _) in &group.frames {
+            if !payload.is_empty() {
+                frame_record(payload, &mut buf);
+                frame_count += 1;
+            }
+        }
+
+        // ---- write (crash points 1–3)
+        let io = (|| -> Result<(), (StoreError, Option<CrashPoint>)> {
+            let injected = |p| (StoreError::Io(format!("injected crash at {p:?}")), Some(p));
+            if crash == Some(CrashPoint::BeforeGroupWrite) {
+                return Err(injected(CrashPoint::BeforeGroupWrite));
+            }
+            if crash == Some(CrashPoint::MidGroupWrite) && !buf.is_empty() {
+                // Tear the group: a prefix of the coalesced buffer
+                // reaches the file, everything unsynced before it is
+                // lost with the page cache.
+                let keep = buf.len() / 2;
+                emulate_kill(&mut file, durable, Some(&buf[..keep]));
+                return Err(injected(CrashPoint::MidGroupWrite));
+            }
+            file.write_all(&buf).map_err(|e| (e.into(), None))?;
+            written += buf.len() as u64;
+            shared.written_len.store(written, Ordering::Relaxed);
+            if crash == Some(CrashPoint::AfterWriteBeforeFsync) {
+                emulate_kill(&mut file, durable, None);
+                return Err(injected(CrashPoint::AfterWriteBeforeFsync));
+            }
+            let want_sync = (config.fsync_policy == FsyncPolicy::PerGroup && !buf.is_empty())
+                || (group.force_sync && durable < written);
+            let mut fsyncs = 0;
+            if want_sync {
+                file.sync_data().map_err(|e| (e.into(), None))?;
+                durable = written;
+                fsyncs = 1;
+            }
+            if frame_count > 0 {
+                shared.bump(frame_count, fsyncs);
+            } else if fsyncs > 0 {
+                shared.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(())
+        })();
+
+        if let Err((err, point)) = io {
+            if point.is_some() {
+                // Injected kills past the write may still need the
+                // page-cache-loss emulation for BeforeGroupWrite.
+                if point == Some(CrashPoint::BeforeGroupWrite) {
+                    emulate_kill(&mut file, durable, None);
+                }
+            }
+            let pending: Vec<Done> = group.frames.into_iter().map(|(_, d)| d).collect();
+            die(&shared, &mut file, durable, point, err, pending);
+            return;
+        }
+        if frame_count > 0 {
+            group_seq += 1;
+        }
+
+        // ---- ack (crash points 4–5)
+        if crash == Some(CrashPoint::AfterFsyncBeforeAck) {
+            // Durable but unacked: waiters observe an error even though
+            // the bytes survived — the allowed direction.
+            emulate_kill(&mut file, durable, None);
+            let err = StoreError::Io("injected crash at AfterFsyncBeforeAck".into());
+            let pending: Vec<Done> = group.frames.into_iter().map(|(_, d)| d).collect();
+            die(
+                &shared,
+                &mut file,
+                durable,
+                Some(CrashPoint::AfterFsyncBeforeAck),
+                err,
+                pending,
+            );
+            return;
+        }
+        for (_, done) in group.frames {
+            done.resolve(&Ok(()));
+        }
+        if crash == Some(CrashPoint::AfterAck) {
+            emulate_kill(&mut file, durable, None);
+            let err = StoreError::Io("injected crash at AfterAck".into());
+            die(
+                &shared,
+                &mut file,
+                durable,
+                Some(CrashPoint::AfterAck),
+                err,
+                Vec::new(),
+            );
+            return;
+        }
+    }
+}
+
+/// Emulates a process kill: bytes past the last fsync are lost (the
+/// page cache dies with the process), optionally leaving `torn` partial
+/// bytes of the in-flight group behind.
+fn emulate_kill(file: &mut File, durable: u64, torn: Option<&[u8]>) {
+    let _ = file.set_len(durable);
+    let _ = file.seek(SeekFrom::Start(durable));
+    if let Some(bytes) = torn {
+        let _ = file.write_all(bytes);
+    }
+}
+
+/// Marks the WAL dead and errors out every pending and queued waiter.
+fn die(
+    shared: &Shared,
+    file: &mut File,
+    durable: u64,
+    injected: Option<CrashPoint>,
+    err: StoreError,
+    pending: Vec<Done>,
+) {
+    let _ = file;
+    shared.written_len.store(
+        std::cmp::min(durable, shared.written_len.load(Ordering::Relaxed)),
+        Ordering::Relaxed,
+    );
+    let drained: Vec<Op> = {
+        let mut q = shared.q.lock();
+        q.dead = Some(err.clone());
+        q.injected = injected;
+        q.items.drain(..).collect()
+    };
+    let failed = Err(err);
+    for done in pending {
+        done.resolve(&failed);
+    }
+    for op in drained {
+        match op {
+            Op::Frame { done, .. } | Op::Reset { done } => done.resolve(&failed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "aodb-groupwal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.join("wal.log")
+    }
+
+    fn open(path: &PathBuf) -> (GroupWal, Vec<Bytes>) {
+        GroupWal::open(path, WalConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn append_and_recover_in_order() {
+        let path = temp_wal("order");
+        {
+            let (wal, recovered) = open(&path);
+            assert!(recovered.is_empty());
+            for i in 0..50u32 {
+                wal.append(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+            }
+        }
+        let (_, recovered) = open(&path);
+        assert_eq!(recovered.len(), 50);
+        for (i, frame) in recovered.iter().enumerate() {
+            assert_eq!(frame.as_ref(), (i as u32).to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn concurrent_submitters_coalesce() {
+        let path = temp_wal("coalesce");
+        let (wal, _) = open(&path);
+        let wal = Arc::new(wal);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    for i in 0..100u32 {
+                        wal.append(Bytes::from(format!("{t}:{i}"))).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.frames, 400);
+        assert!(
+            stats.groups <= stats.frames,
+            "groups {} > frames {}",
+            stats.groups,
+            stats.frames
+        );
+        // Per-group fsync: exactly one per group.
+        assert_eq!(stats.fsyncs, stats.groups);
+        drop(wal);
+        let (_, recovered) = open(&path);
+        assert_eq!(recovered.len(), 400);
+    }
+
+    #[test]
+    fn on_demand_skips_fsync_until_barrier() {
+        let path = temp_wal("ondemand");
+        let config = WalConfig {
+            fsync_policy: FsyncPolicy::OnDemand,
+            ..WalConfig::default()
+        };
+        let (wal, _) = GroupWal::open(&path, config).unwrap();
+        for _ in 0..10 {
+            wal.append(Bytes::from_static(b"x")).unwrap();
+        }
+        assert_eq!(wal.stats().fsyncs, 0);
+        wal.sync().unwrap();
+        assert_eq!(wal.stats().fsyncs, 1);
+    }
+
+    #[test]
+    fn reset_truncates_in_queue_order() {
+        let path = temp_wal("reset");
+        let (wal, _) = open(&path);
+        wal.append(Bytes::from_static(b"before")).unwrap();
+        assert!(!wal.is_empty());
+        wal.reset().unwrap();
+        assert_eq!(wal.len(), 0);
+        wal.append(Bytes::from_static(b"after")).unwrap();
+        drop(wal);
+        let (_, recovered) = open(&path);
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].as_ref(), b"after");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = temp_wal("torn");
+        {
+            let (wal, _) = open(&path);
+            wal.append(Bytes::from_static(b"committed")).unwrap();
+            wal.append(Bytes::from_static(b"torn-away")).unwrap();
+        }
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 5]).unwrap();
+        let (wal, recovered) = open(&path);
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].as_ref(), b"committed");
+        // The torn bytes are physically gone: appends land cleanly.
+        wal.append(Bytes::from_static(b"fresh")).unwrap();
+        drop(wal);
+        let (_, recovered) = open(&path);
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[1].as_ref(), b"fresh");
+    }
+
+    #[test]
+    fn mid_log_corruption_is_an_error() {
+        let path = temp_wal("corrupt");
+        {
+            let (wal, _) = open(&path);
+            wal.append(Bytes::from_static(b"aaaa")).unwrap();
+            wal.append(Bytes::from_static(b"bbbb")).unwrap();
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        data[9] ^= 0xA5; // payload byte of the first record
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(
+            GroupWal::open(&path, WalConfig::default()),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn crash_points_respect_ack_durability() {
+        for point in CrashPoint::ALL {
+            let path = temp_wal(&format!("crash-{point:?}"));
+            let acked: Vec<u32>;
+            {
+                let (wal, _) = open(&path);
+                // Commit a couple of groups first, then arm the crash.
+                for i in 0..3u32 {
+                    wal.append(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+                }
+                wal.arm_crash(CrashPlan { point, at_group: 3 });
+                let tickets: Vec<(u32, WalTicket)> = (3..6u32)
+                    .map(|i| (i, wal.submit(Bytes::from(i.to_le_bytes().to_vec()))))
+                    .collect();
+                acked = tickets
+                    .into_iter()
+                    .filter_map(|(i, t)| t.wait().ok().map(|_| i))
+                    .collect();
+                // For AfterAck the acks resolve an instant before the
+                // committer marks itself dead; give it a moment.
+                for _ in 0..1000 {
+                    if wal.injected_crash().is_some() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                assert_eq!(wal.injected_crash(), Some(point));
+                // Post-crash submissions fail fast.
+                assert!(wal.append(Bytes::from_static(b"late")).is_err());
+            }
+            let (_, recovered) = open(&path);
+            let frames: Vec<u32> = recovered
+                .iter()
+                .map(|f| u32::from_le_bytes(f.as_ref().try_into().unwrap()))
+                .collect();
+            // acked ⇒ durable.
+            for i in &acked {
+                assert!(
+                    frames.contains(i),
+                    "{point:?}: acked frame {i} lost; recovered {frames:?}"
+                );
+            }
+            // Recovered is a prefix of submission order.
+            let expected: Vec<u32> = (0..frames.len() as u32).collect();
+            assert_eq!(
+                frames, expected,
+                "{point:?}: recovery is not a clean prefix"
+            );
+            // The pre-crash groups survive unconditionally.
+            assert!(frames.len() >= 3, "{point:?}: committed prefix lost");
+            // The committer may split the three submissions across
+            // groups, so only the crashing group's membership is
+            // deterministic-free; the ack direction still is not.
+            match point {
+                CrashPoint::AfterAck => {
+                    assert!(!acked.is_empty(), "AfterAck must ack its group")
+                }
+                _ => assert!(acked.is_empty(), "{point:?} must not ack its group"),
+            }
+        }
+    }
+
+    #[test]
+    fn max_delay_holds_group_open_for_stragglers() {
+        let path = temp_wal("delay");
+        let config = WalConfig {
+            max_batch: 64,
+            max_delay: Duration::from_millis(30),
+            ..WalConfig::default()
+        };
+        let (wal, _) = GroupWal::open(&path, config).unwrap();
+        let wal = Arc::new(wal);
+        // Two frames submitted a few ms apart should usually coalesce
+        // into one group thanks to the assembly window.
+        let w = Arc::clone(&wal);
+        let t1 = std::thread::spawn(move || w.append(Bytes::from_static(b"a")).unwrap());
+        std::thread::sleep(Duration::from_millis(5));
+        let w = Arc::clone(&wal);
+        let t2 = std::thread::spawn(move || w.append(Bytes::from_static(b"b")).unwrap());
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.frames, 2);
+        // Not asserting groups == 1 (scheduling may split them), but the
+        // ack latency bound must hold: both appends returned, so the
+        // waiters were not held past the window. Sanity-check the bound
+        // directly with a lone frame:
+        let start = Instant::now();
+        wal.append(Bytes::from_static(b"lone")).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "single append must not wait for a full batch"
+        );
+    }
+
+    #[test]
+    fn callbacks_run_in_submission_order() {
+        let path = temp_wal("callbacks");
+        let (wal, _) = open(&path);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..20u32 {
+            let order = Arc::clone(&order);
+            wal.submit_with(Bytes::from(i.to_le_bytes().to_vec()), move |r| {
+                r.unwrap();
+                order.lock().push(i);
+            });
+        }
+        wal.sync().unwrap();
+        let got = order.lock().clone();
+        assert_eq!(got, (0..20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn counters_mirror_into_external_cells() {
+        let path = temp_wal("mirror");
+        let (wal, _) = open(&path);
+        let mirror = WalCounters::default();
+        wal.mirror_counters(mirror.clone());
+        for _ in 0..5 {
+            wal.append(Bytes::from_static(b"x")).unwrap();
+        }
+        assert_eq!(mirror.frames.load(Ordering::Relaxed), 5);
+        assert!(mirror.groups.load(Ordering::Relaxed) >= 1);
+        assert_eq!(
+            mirror.fsyncs.load(Ordering::Relaxed),
+            mirror.groups.load(Ordering::Relaxed)
+        );
+    }
+}

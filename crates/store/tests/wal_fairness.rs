@@ -1,0 +1,101 @@
+//! Group-commit fairness regression test: with a huge `max_batch` and a
+//! small `max_delay`, the committer must never hold a group open waiting
+//! for the batch to fill. One slow writer trickles frames while N fast
+//! writers hammer the queue; every ack — slow or fast — must resolve
+//! within `max_delay` plus one group flush (plus a generous CI margin
+//! for a loaded 1-CPU box). A committer that waited for `max_batch`
+//! frames would stall the slow writer for seconds and fail instantly.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aodb_store::{Bytes, FsyncPolicy, GroupWal, WalConfig};
+
+/// The contract is `max_delay + one group flush`; a tmpfs flush is
+/// microseconds, so the budget is dominated by `max_delay` — the rest is
+/// scheduling slack for CI.
+const MAX_DELAY: Duration = Duration::from_millis(20);
+const ACK_BUDGET: Duration = Duration::from_millis(1500);
+
+#[test]
+fn slow_writer_ack_bounded_by_max_delay_plus_one_flush() {
+    let dir = std::env::temp_dir().join(format!("aodb-wal-fairness-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (wal, _) = GroupWal::open(
+        dir.join("wal.log"),
+        WalConfig {
+            // Far more than the writers can ever queue: a committer that
+            // waits for a full batch will never flush.
+            max_batch: 1_000_000,
+            max_delay: MAX_DELAY,
+            fsync_policy: FsyncPolicy::PerGroup,
+        },
+    )
+    .unwrap();
+    let wal = Arc::new(wal);
+    let stop = Arc::new(AtomicBool::new(false));
+    let worst_ns = Arc::new(AtomicU64::new(0));
+
+    // N fast writers: append back-to-back, recording worst ack latency.
+    let fast: Vec<_> = (0..3)
+        .map(|t| {
+            let wal = Arc::clone(&wal);
+            let stop = Arc::clone(&stop);
+            let worst = Arc::clone(&worst_ns);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let payload = Bytes::from(format!("fast-{t}-{i}").into_bytes());
+                    let start = Instant::now();
+                    wal.append(payload).unwrap();
+                    worst.fetch_max(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    i += 1;
+                }
+                i
+            })
+        })
+        .collect();
+
+    // One slow writer: a frame every ~3× max_delay, so it regularly
+    // arrives into an already-open accumulation window and must not be
+    // held hostage until the window's group fills.
+    let slow_worst = {
+        let wal = Arc::clone(&wal);
+        let mut worst = Duration::ZERO;
+        for i in 0..8u32 {
+            std::thread::sleep(MAX_DELAY * 3);
+            let start = Instant::now();
+            wal.append(Bytes::from(format!("slow-{i}").into_bytes()))
+                .unwrap();
+            worst = worst.max(start.elapsed());
+        }
+        worst
+    };
+
+    stop.store(true, Ordering::Relaxed);
+    let fast_frames: u64 = fast.into_iter().map(|h| h.join().unwrap()).sum();
+    let fast_worst = Duration::from_nanos(worst_ns.load(Ordering::Relaxed));
+
+    assert!(
+        slow_worst < ACK_BUDGET,
+        "slow writer waited {slow_worst:?} for an ack (budget {ACK_BUDGET:?})"
+    );
+    assert!(
+        fast_worst < ACK_BUDGET,
+        "a fast writer waited {fast_worst:?} for an ack (budget {ACK_BUDGET:?})"
+    );
+    assert!(fast_frames > 0, "fast writers made no progress");
+
+    // Sanity: batching actually happened — the fast writers produced
+    // more frames than groups, otherwise this test exercises nothing.
+    let stats = wal.stats();
+    assert!(
+        stats.frames > stats.groups,
+        "expected coalescing, got {} frames in {} groups",
+        stats.frames,
+        stats.groups
+    );
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+}

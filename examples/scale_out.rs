@@ -46,7 +46,7 @@ fn main() {
             let client = ShmClient::new(rt.handle_on(SiloId(org_idx as u32)));
             for sensor in &org.sensors {
                 for channel in &sensor.physical {
-                    let points = (0..10)
+                    let points: Vec<DataPoint> = (0..10)
                         .map(|i| DataPoint {
                             ts_ms: round * 1000 + i * 100,
                             value: i as f64,

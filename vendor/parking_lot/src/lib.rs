@@ -47,6 +47,55 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable for use with [`Mutex`].
+///
+/// Deviates from the real `parking_lot` in one way: `wait` consumes and
+/// returns the guard (`std::sync::Condvar` style) instead of taking
+/// `&mut`, because the `&mut` form cannot be written safely on top of
+/// `std` guards. Like the rest of the shim it never poisons.
+#[derive(Default, Debug)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Atomically releases `guard` and blocks until notified; reacquires
+    /// the lock before returning. Spurious wakeups are possible — always
+    /// wait in a predicate loop.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Like [`Condvar::wait`] with a timeout; the boolean is `true` when
+    /// the wait timed out rather than being notified.
+    pub fn wait_for<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match self.0.wait_timeout(guard, timeout) {
+            Ok((g, r)) => (g, r.timed_out()),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r.timed_out())
+            }
+        }
+    }
+}
+
 /// A reader-writer lock with `parking_lot`'s non-poisoning API.
 #[derive(Default, Debug)]
 pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
@@ -115,6 +164,34 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn condvar_notifies_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_one();
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let (_g, timed_out) = cv.wait_for(m.lock(), std::time::Duration::from_millis(5));
+        assert!(timed_out);
     }
 
     #[test]
