@@ -20,10 +20,12 @@
 //!   [`crate::lockgraph::LockGraph`] for cycle detection and DOT dumps.
 //! * **`lock-across-blocking`** — a guard live across store/file I/O,
 //!   `park`/`sleep`, a condvar or promise wait, a channel `send`/`recv`,
-//!   or a dispatch into user actor code (`env.run(..)`, lifecycle
-//!   `activate`/`deactivate`, reply `deliver`) pins the lock while the
-//!   thread does unbounded work — every other thread touching that
-//!   class stalls behind it.
+//!   a group-commit WAL seam (`submit`/`submit_with` hand off through
+//!   the committer's queue mutex; `append`/`reset` block until the
+//!   group fsync), or a dispatch into user actor code (`env.run(..)`,
+//!   lifecycle `activate`/`deactivate`, reply `deliver`) pins the lock
+//!   while the thread does unbounded work — every other thread touching
+//!   that class stalls behind it.
 //!
 //! Soundness limits (documented in DESIGN.md §11): receivers are
 //! resolved by owner field, local binding, accessor method, or
@@ -77,6 +79,15 @@ const METHOD_BLOCKERS: &[(&str, &str)] = &[
     ("activate", "actor lifecycle dispatch"),
     ("deactivate", "actor lifecycle dispatch"),
     ("deliver", "reply dispatch"),
+    // Group-commit WAL seams (DESIGN.md §15). `submit`/`submit_with`
+    // take the committer's queue mutex (a cross-thread handoff: holding
+    // another lock across them creates a lock-order edge against the
+    // committer), and `append`/`reset` additionally block the caller
+    // until the group's fsync resolves the ack.
+    ("submit", "wal queue handoff"),
+    ("submit_with", "wal queue handoff"),
+    ("append", "wal group-commit append (blocks for fsync)"),
+    ("reset", "wal reset barrier"),
 ];
 
 /// Free/path calls (`sleep(..)`, `std::thread::park()`) that block.
@@ -1145,6 +1156,35 @@ mod tests {
             "{:#?}",
             a.findings
         );
+    }
+
+    #[test]
+    fn wal_seams_under_guard_are_flagged() {
+        // Known-dirty fixture for the WAL blocking taxonomy: an index
+        // lock held across the blocking append (waits for the group
+        // fsync) and across the non-blocking-but-handoff submit (takes
+        // the committer's queue mutex) must both fire.
+        let a = analyze(
+            "struct Idx { index: Mutex<u32> }\n\
+             impl Idx {\n\
+             fn durable_insert(&self) {\n\
+             let g = self.index.lock();\n\
+             self.wal.append(payload);\n\
+             }\n\
+             fn queued_insert(&self) {\n\
+             let g = self.index.lock();\n\
+             self.wal.submit(payload);\n\
+             }\n\
+             }\n",
+        );
+        let walish: Vec<_> = a
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::LockAcrossBlocking && f.detail.contains("wal"))
+            .collect();
+        assert_eq!(walish.len(), 2, "{:#?}", a.findings);
+        assert!(walish.iter().any(|f| f.detail.contains("append")));
+        assert!(walish.iter().any(|f| f.detail.contains("handoff")));
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! `modelcheck` — a deterministic schedule-controlled concurrency model
+//! checker in the style of loom/CHESS, built for this workspace's vendored
+//! sync primitives.
+//!
+//! A model is a closure spawning [`thread`] virtual threads that exercise
+//! [`sync`] / [`atomic`] primitives. [`model`] runs the closure under many
+//! interleavings — bounded-preemption DFS over the schedule tree by default,
+//! or a seeded random walk — with only one virtual thread running at a time,
+//! so every interleaving is deterministic and replayable. Deadlocks (no
+//! enabled thread), assertion failures, and panics inside model threads all
+//! fail the run with a `MODEL_SCHEDULE=name:…` line that pins the exact
+//! schedule for replay.
+//!
+//! Environment knobs: `MODEL_MODE` (`dfs`|`random`), `MODEL_SCHEDULES`,
+//! `MODEL_BUDGET_MS`, `MODEL_SEED`, `MODEL_PREEMPTIONS`, `MODEL_MAX_STEPS`,
+//! `MODEL_MIN_SCHEDULES`, `MODEL_SCHEDULE` (pinned replay). See DESIGN.md
+//! §16 for the soundness limits (sequentially-consistent atomics, FIFO
+//! notify, preemption bound).
+//!
+//! The primitives fall back transparently to their real `std` counterparts
+//! on threads that are not part of a model execution, so crates may be
+//! compiled with their `model` feature everywhere (test builds unify
+//! features) without behavioral change outside models.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod explorer;
+
+pub mod atomic;
+pub mod sync;
+pub mod thread;
+
+pub use explorer::{model, model_report, Report};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    fn expect_failure(f: impl FnOnce() + Send) -> String {
+        let err = catch_unwind(AssertUnwindSafe(f)).expect_err("model should fail");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn finds_lost_update_race() {
+        // Classic read-modify-write race through a non-atomic protocol:
+        // both threads load, then both store load+1. DFS must find the
+        // interleaving where one update is lost.
+        let msg = expect_failure(|| {
+            model("lost_update", || {
+                let c = Arc::new(atomic::AtomicU64::new(0));
+                let hs: Vec<_> = (0..2)
+                    .map(|_| {
+                        let c = Arc::clone(&c);
+                        thread::spawn(move || {
+                            let v = c.load(Ordering::SeqCst);
+                            c.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in hs {
+                    h.join().unwrap();
+                }
+                assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(msg.contains("MODEL_SCHEDULE=lost_update:"), "got: {msg}");
+        assert!(msg.contains("lost update"), "got: {msg}");
+    }
+
+    #[test]
+    fn mutex_protects_counter() {
+        // With a mutex the same pattern has no failing schedule.
+        let report = model_report("guarded_update", || {
+            let c = Arc::new(sync::Mutex::new(0u64));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        let mut g = c.lock();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(*c.lock(), 2);
+        });
+        assert!(report.schedules > 1, "expected exploration, got {report:?}");
+    }
+
+    #[test]
+    fn detects_ab_ba_deadlock() {
+        let msg = expect_failure(|| {
+            model("ab_ba", || {
+                let a = Arc::new(sync::Mutex::new(()));
+                let b = Arc::new(sync::Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let h1 = thread::spawn(move || {
+                    let _ga = a2.lock();
+                    let _gb = b2.lock();
+                });
+                let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+                let h2 = thread::spawn(move || {
+                    let _gb = b3.lock();
+                    let _ga = a3.lock();
+                });
+                h1.join().unwrap();
+                h2.join().unwrap();
+            });
+        });
+        assert!(msg.contains("deadlock"), "got: {msg}");
+    }
+
+    #[test]
+    fn detects_lost_wakeup() {
+        // Waiter checks the flag *before* taking the lock decision into
+        // account: signal may fire between check and wait -> lost wakeup,
+        // surfacing as a deadlock (waiter never notified again).
+        let msg = expect_failure(|| {
+            model("lost_wakeup", || {
+                let m = Arc::new(sync::Mutex::new(false));
+                let cv = Arc::new(sync::Condvar::new());
+                let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+                let waiter = thread::spawn(move || {
+                    let ready = { *m2.lock() };
+                    if !ready {
+                        // BUG: re-taking the lock after the check races the
+                        // signaller; wait unconditionally.
+                        let g = m2.lock();
+                        let _g = cv2.wait(g);
+                    }
+                });
+                {
+                    *m.lock() = true;
+                    cv.notify_one();
+                }
+                waiter.join().unwrap();
+            });
+        });
+        assert!(msg.contains("deadlock"), "got: {msg}");
+    }
+
+    #[test]
+    fn condvar_predicate_loop_is_safe() {
+        model("cv_predicate", || {
+            let m = Arc::new(sync::Mutex::new(false));
+            let cv = Arc::new(sync::Condvar::new());
+            let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+            let waiter = thread::spawn(move || {
+                let mut g = m2.lock();
+                while !*g {
+                    g = cv2.wait(g);
+                }
+            });
+            {
+                *m.lock() = true;
+                cv.notify_one();
+            }
+            waiter.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn timed_wait_can_fire_instead_of_notify() {
+        // The explorer must be able to fire the timeout before the notify
+        // arrives; count both outcomes over the exploration.
+        use std::sync::atomic::AtomicU64 as StdU64;
+        let timeouts = Arc::new(StdU64::new(0));
+        let wakes = Arc::new(StdU64::new(0));
+        let (t2, w2) = (Arc::clone(&timeouts), Arc::clone(&wakes));
+        model("timed_wait", move || {
+            let m = Arc::new(sync::Mutex::new(false));
+            let cv = Arc::new(sync::Condvar::new());
+            let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+            let (t3, w3) = (Arc::clone(&t2), Arc::clone(&w2));
+            let waiter = thread::spawn(move || {
+                let g = m2.lock();
+                let (_g, timed_out) = cv2.wait_for(g, std::time::Duration::from_millis(1));
+                if timed_out {
+                    t3.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    w3.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            {
+                let _g = m.lock();
+                cv.notify_one();
+            }
+            waiter.join().unwrap();
+        });
+        assert!(
+            timeouts.load(Ordering::Relaxed) > 0,
+            "timeout branch never explored"
+        );
+        assert!(
+            wakes.load(Ordering::Relaxed) > 0,
+            "notify branch never explored"
+        );
+    }
+
+    #[test]
+    fn park_unpark_token_is_sticky() {
+        model("park_token", || {
+            let h = thread::spawn(|| {
+                thread::park();
+            });
+            h.thread().unpark();
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn replay_env_reproduces_failure() {
+        // First find a failing schedule, then replay it via MODEL_SCHEDULE
+        // and require the same invariant violation on the first execution.
+        let msg = expect_failure(|| {
+            model("replay_probe", || {
+                let c = Arc::new(atomic::AtomicU64::new(0));
+                let c2 = Arc::clone(&c);
+                let h = thread::spawn(move || {
+                    let v = c2.load(Ordering::SeqCst);
+                    c2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = c.load(Ordering::SeqCst);
+                c.store(v + 1, Ordering::SeqCst);
+                h.join().unwrap();
+                assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        let line = msg
+            .lines()
+            .find(|l| l.contains("MODEL_SCHEDULE="))
+            .expect("failure prints a schedule");
+        let sched = line.trim().trim_start_matches("replay with: ");
+        let trace = sched.trim_start_matches("MODEL_SCHEDULE=").to_string();
+        // Env vars are process-global; this test is the only MODEL_SCHEDULE
+        // writer in the suite and removes it before returning.
+        std::env::set_var("MODEL_SCHEDULE", &trace);
+        let replay_msg = expect_failure(|| {
+            model("replay_probe", || {
+                let c = Arc::new(atomic::AtomicU64::new(0));
+                let c2 = Arc::clone(&c);
+                let h = thread::spawn(move || {
+                    let v = c2.load(Ordering::SeqCst);
+                    c2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = c.load(Ordering::SeqCst);
+                c.store(v + 1, Ordering::SeqCst);
+                h.join().unwrap();
+                assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        std::env::remove_var("MODEL_SCHEDULE");
+        assert!(replay_msg.contains("pinned replay"), "got: {replay_msg}");
+        assert!(replay_msg.contains("lost update"), "got: {replay_msg}");
+    }
+}

@@ -1,0 +1,204 @@
+//! Thread spawn/park shims. Outside a model execution these defer to
+//! `std::thread`; inside one, spawn creates a virtual thread under the
+//! explorer and park/unpark become modeled operations with std's sticky
+//! token semantics.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::explorer::{self, ExecShared};
+
+/// A handle to a thread, usable for `unpark`.
+#[derive(Clone)]
+pub struct Thread(Imp);
+
+#[derive(Clone)]
+enum Imp {
+    Real(std::thread::Thread),
+    Model { ex: Arc<ExecShared>, vid: usize },
+}
+
+impl Thread {
+    /// Atomically makes a token available and wakes the thread if parked.
+    pub fn unpark(&self) {
+        match &self.0 {
+            Imp::Real(t) => t.unpark(),
+            Imp::Model { ex, vid } => {
+                let caller = explorer::ctx().map(|(_, v)| v);
+                explorer::unpark(ex, caller, *vid);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Thread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Imp::Real(t) => t.fmt(f),
+            Imp::Model { vid, .. } => write!(f, "ModelThread(t{vid})"),
+        }
+    }
+}
+
+/// Handle to the calling thread.
+pub fn current() -> Thread {
+    match explorer::ctx() {
+        None => Thread(Imp::Real(std::thread::current())),
+        Some((ex, vid)) => Thread(Imp::Model { ex, vid }),
+    }
+}
+
+/// Blocks the calling thread until a token is available.
+pub fn park() {
+    match explorer::sched_ctx() {
+        None => std::thread::park(),
+        Some((ex, vid)) => explorer::park(&ex, vid, false),
+    }
+}
+
+/// Like [`park`] with a timeout. Inside a model the timeout is virtual: the
+/// explorer may fire it at any decision point.
+pub fn park_timeout(dur: Duration) {
+    match explorer::sched_ctx() {
+        None => std::thread::park_timeout(dur),
+        Some((ex, vid)) => explorer::park(&ex, vid, true),
+    }
+}
+
+/// Sleep. Inside a model this is a plain scheduling point (virtual time).
+pub fn sleep(dur: Duration) {
+    match explorer::sched_ctx() {
+        None => std::thread::sleep(dur),
+        Some((ex, vid)) => explorer::schedule_point(&ex, vid),
+    }
+}
+
+/// Yield. Inside a model this is a scheduling point.
+pub fn yield_now() {
+    match explorer::sched_ctx() {
+        None => std::thread::yield_now(),
+        Some((ex, vid)) => explorer::schedule_point(&ex, vid),
+    }
+}
+
+/// An owned handle to join a spawned thread.
+pub struct JoinHandle<T>(JImp<T>);
+
+enum JImp<T> {
+    Real(std::thread::JoinHandle<T>),
+    Model {
+        ex: Arc<ExecShared>,
+        target: usize,
+        result: Arc<Mutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result. Inside a model
+    /// a panicking thread fails the whole execution, so `Err` is only
+    /// produced on the real path.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            JImp::Real(h) => h.join(),
+            JImp::Model { ex, target, result } => {
+                if std::thread::panicking() {
+                    // Unwinding join (e.g. a model-owned handle dropped
+                    // during ModelAbort teardown): take the result if the
+                    // thread already finished, otherwise report it lost
+                    // rather than take a scheduling decision mid-unwind.
+                    return result
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .ok_or_else(|| {
+                            Box::new("model thread joined during unwind")
+                                as Box<dyn std::any::Any + Send>
+                        });
+                }
+                let vid = explorer::ctx()
+                    .map(|(_, v)| v)
+                    .expect("model JoinHandle joined outside its execution");
+                explorer::join(&ex, vid, target);
+                let v = result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined model thread left a result");
+                Ok(v)
+            }
+        }
+    }
+
+    /// Handle to the underlying thread.
+    pub fn thread(&self) -> Thread {
+        match &self.0 {
+            JImp::Real(h) => Thread(Imp::Real(h.thread().clone())),
+            JImp::Model { ex, target, .. } => Thread(Imp::Model {
+                ex: Arc::clone(ex),
+                vid: *target,
+            }),
+        }
+    }
+}
+
+/// Spawns a new thread (virtual inside a model execution).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match explorer::ctx() {
+        None => JoinHandle(JImp::Real(std::thread::spawn(f))),
+        Some((ex, vid)) => {
+            let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+            let slot = Arc::clone(&result);
+            let target = explorer::spawn_vthread(
+                &ex,
+                vid,
+                Box::new(move || {
+                    let v = f();
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                }),
+            );
+            JoinHandle(JImp::Model { ex, target, result })
+        }
+    }
+}
+
+/// Thread factory mirroring `std::thread::Builder` (name only).
+#[derive(Default, Debug)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Builder { name: None }
+    }
+
+    /// Names the thread (ignored inside model executions).
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns the thread.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match explorer::ctx() {
+            None => {
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = self.name {
+                    b = b.name(n);
+                }
+                b.spawn(f).map(|h| JoinHandle(JImp::Real(h)))
+            }
+            Some(_) => Ok(spawn(f)),
+        }
+    }
+}

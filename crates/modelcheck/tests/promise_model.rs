@@ -1,0 +1,122 @@
+//! Model suite for the promise / `ReplyTo` resolution protocol:
+//!
+//! * **exactly-one resolution** — a reply is delivered once, aborted
+//!   once, or lost to a dropped sink; no interleaving produces two
+//!   outcomes or zero (a waiter that never resolves is a deadlock the
+//!   checker reports).
+//! * **timeout race** — `wait_for`'s virtual timeout can fire at any
+//!   decision point, racing the resolver; both the delivered and the
+//!   timed-out branch must actually be explored.
+//! * **gather** — concurrent slot deliveries complete the collector
+//!   exactly once, and a dropped slot surfaces as `Lost`, not a hang.
+
+use std::sync::atomic::{AtomicUsize as StdUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use aodb_runtime::{gather, PromiseError, ReplyTo};
+use modelcheck::{model, model_report, thread};
+
+#[test]
+fn delivery_races_waiter_timeout() {
+    // Cross-schedule branch counters (std atomics, invisible to the
+    // explorer): every run resolves exactly one way, and across the
+    // exploration both ways must happen.
+    let delivered = Arc::new(StdUsize::new(0));
+    let timed_out = Arc::new(StdUsize::new(0));
+    let (d, t) = (Arc::clone(&delivered), Arc::clone(&timed_out));
+    let report = model_report("promise_timeout_race", move || {
+        let (reply, promise) = ReplyTo::promise();
+        let resolver = thread::spawn(move || {
+            reply.deliver(42u32);
+        });
+        match promise.wait_for(Duration::from_millis(1)) {
+            Ok(v) => {
+                assert_eq!(v, 42, "delivered value corrupted");
+                d.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(PromiseError::Timeout) => {
+                t.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => panic!("unexpected resolution: {e:?}"),
+        }
+        resolver.join().unwrap();
+    });
+    assert!(report.schedules > 1, "no exploration happened: {report:?}");
+    assert!(
+        delivered.load(Ordering::Relaxed) > 0,
+        "delivery branch never explored"
+    );
+    assert!(
+        timed_out.load(Ordering::Relaxed) > 0,
+        "timeout branch never explored"
+    );
+}
+
+#[test]
+fn abort_and_drop_resolve_the_waiter() {
+    // Explicit abort: the waiter sees exactly the aborted error.
+    model("promise_abort", || {
+        let (reply, promise) = ReplyTo::<u32>::promise();
+        let resolver = thread::spawn(move || {
+            reply.abort(PromiseError::Lost);
+        });
+        // A stranded waiter would deadlock the model; the only legal
+        // outcome of an aborted reply is its error.
+        assert!(matches!(promise.wait(), Err(PromiseError::Lost)));
+        resolver.join().unwrap();
+    });
+    // Implicit drop: a sink dropped without resolving must still wake the
+    // waiter (`Lost`), never leak the `ReplyTo` into a hang.
+    model("promise_dropped_sink", || {
+        let (reply, promise) = ReplyTo::<u32>::promise();
+        let resolver = thread::spawn(move || {
+            drop(reply);
+        });
+        assert!(matches!(promise.wait(), Err(PromiseError::Lost)));
+        resolver.join().unwrap();
+    });
+}
+
+#[test]
+fn gather_completes_exactly_once() {
+    model("promise_gather", || {
+        let (collector, promise) = gather::<u32>(2);
+        let a = {
+            let slot = collector.slot();
+            thread::spawn(move || slot.deliver(1))
+        };
+        let b = {
+            let slot = collector.slot();
+            thread::spawn(move || slot.deliver(2))
+        };
+        drop(collector);
+        let mut values = promise.wait().expect("both slots delivered");
+        values.sort_unstable();
+        assert_eq!(values, vec![1, 2], "gather lost or duplicated a delivery");
+        a.join().unwrap();
+        b.join().unwrap();
+    });
+}
+
+#[test]
+fn gather_dropped_slot_is_lost_not_hung() {
+    model("promise_gather_dropped_slot", || {
+        let (collector, promise) = gather::<u32>(2);
+        let delivers = {
+            let slot = collector.slot();
+            thread::spawn(move || slot.deliver(7))
+        };
+        let drops = {
+            let slot = collector.slot();
+            thread::spawn(move || drop(slot))
+        };
+        drop(collector);
+        // One slot died unresolved: the gather can never complete, and
+        // the only legal outcome is `Lost` — a hang is a deadlock the
+        // checker reports.
+        assert!(matches!(promise.wait(), Err(PromiseError::Lost)));
+        delivers.join().unwrap();
+        drops.join().unwrap();
+    });
+}

@@ -64,6 +64,7 @@ pub mod metrics;
 mod net;
 mod placement;
 mod promise;
+mod runq;
 mod runtime;
 mod silo;
 mod topology;
@@ -82,3 +83,18 @@ pub use runtime::{
 };
 pub use silo::SiloConfig;
 pub use topology::{ActorTopology, CallDecl, CallKind};
+
+/// Internal scheduler/mailbox surface re-exported for the `modelcheck`
+/// component models (feature `model` only; not a stable API).
+#[cfg(feature = "model")]
+pub mod model_api {
+    pub use crate::mailbox::{Mailbox, PushOutcome, TurnOutcome};
+    pub use crate::runq::{IdleSet, RunQueues, TaskSource, INJECTOR_FIRST_INTERVAL};
+
+    use crate::envelope::Envelope;
+
+    /// An inert envelope usable as an opaque mailbox token in models.
+    pub fn inert_envelope() -> Envelope {
+        Envelope::lifecycle_activate()
+    }
+}

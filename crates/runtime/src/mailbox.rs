@@ -45,7 +45,7 @@ struct Inner {
 
 /// Outcome of pushing an envelope.
 #[derive(Debug)]
-pub(crate) enum PushOutcome {
+pub enum PushOutcome {
     /// Enqueued; the activation was idle, so the caller must now put it on
     /// its silo's run queue.
     EnqueuedNeedsSchedule,
@@ -58,7 +58,7 @@ pub(crate) enum PushOutcome {
 
 /// Outcome of finishing a turn slice.
 #[derive(Debug, PartialEq, Eq)]
-pub(crate) enum TurnOutcome {
+pub enum TurnOutcome {
     /// Queue drained; mailbox returned to `Idle`.
     Drained,
     /// More messages pending; caller must re-enqueue the activation.
@@ -69,7 +69,7 @@ pub(crate) enum TurnOutcome {
 }
 
 /// FIFO mailbox + scheduling state for one activation.
-pub(crate) struct Mailbox {
+pub struct Mailbox {
     inner: Mutex<Inner>,
 }
 
@@ -166,6 +166,14 @@ impl Mailbox {
     #[allow(dead_code)] // used by tests and kept for debugging
     pub fn len(&self) -> usize {
         self.inner.lock().queue.len()
+    }
+
+    /// True when no envelopes are queued (diagnostics counterpart of
+    /// [`len`](Self::len); a turn may still be in flight — see
+    /// [`is_quiescent`](Self::is_quiescent) for the scheduler's notion).
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().queue.is_empty()
     }
 
     /// True when the mailbox holds no work and no turn is in flight

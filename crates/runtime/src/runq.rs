@@ -1,0 +1,255 @@
+//! The silo scheduler's run-queue fabric, extracted from `silo.rs` so the
+//! exact production protocol (deques + injector + park/unpark) can be
+//! driven by the model checker over a toy task type (`modelcheck`'s
+//! scheduler model instantiates [`RunQueues<usize>`]) while the silo
+//! instantiates it over `Arc<Activation>`.
+//!
+//! Under the `model` feature the thread handles used for park/unpark come
+//! from `modelcheck::thread`, so the lost-wakeup-free parking protocol is
+//! explored schedule-by-schedule; without it they are plain `std::thread`.
+
+use std::sync::OnceLock;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::Mutex;
+
+#[cfg(feature = "model")]
+use modelcheck::atomic::AtomicUsize;
+#[cfg(feature = "model")]
+use modelcheck::thread as mthread;
+#[cfg(not(feature = "model"))]
+use std::sync::atomic::AtomicUsize;
+#[cfg(not(feature = "model"))]
+use std::thread as mthread;
+
+use std::sync::atomic::Ordering;
+
+/// How often (in scan rounds) a worker checks the injector before its own
+/// deque. Prime, so the pattern does not resonate with workload periods
+/// (the same trick tokio's scheduler uses).
+pub const INJECTOR_FIRST_INTERVAL: u64 = 61;
+
+/// Which queue satisfied a [`RunQueues::find_task`] scan (metrics label).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskSource {
+    /// The worker's own LIFO deque.
+    Local,
+    /// The shared FIFO injector.
+    Injector,
+    /// A sibling worker's deque.
+    Steal,
+}
+
+/// Parked-worker registry of one silo: who is parked, and how to wake them.
+///
+/// The parking protocol closes the lost-wakeup race without a condvar:
+///
+/// 1. A worker that found no work **registers** itself here
+///    ([`IdleSet::prepare_park`], which publishes the incremented parked
+///    count), **re-checks** every queue, and only then parks. Queue pushes
+///    and the parked count are ordered by the queue mutexes, so if a
+///    producer's push was missed by the re-check, that producer's
+///    subsequent count read must observe the registration and wake.
+/// 2. A producer pushes work first, then calls [`IdleSet::wake_one`],
+///    which is a single relaxed load when nobody is parked.
+/// 3. `unpark` tokens are sticky, so an unpark delivered between re-check
+///    and `park()` is not lost; spurious `park` returns make the worker
+///    re-scan, which is always safe.
+pub struct IdleSet {
+    /// Worker slots currently parked (LIFO wake order: the most recently
+    /// parked worker has the warmest cache).
+    parked: Mutex<Vec<usize>>,
+    /// Cached `parked.len()`, readable without the lock on the push path.
+    count: AtomicUsize,
+    /// Thread handles, registered once by each worker at startup.
+    threads: Vec<OnceLock<mthread::Thread>>,
+}
+
+impl IdleSet {
+    /// Registry for `workers` worker slots.
+    pub fn new(workers: usize) -> Self {
+        IdleSet {
+            parked: Mutex::new(Vec::with_capacity(workers)),
+            count: AtomicUsize::new(0),
+            threads: (0..workers).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Called once per worker thread before its first scan.
+    pub fn register_thread(&self, worker: usize) {
+        let _ = self.threads[worker].set(mthread::current());
+    }
+
+    /// Registers `worker` as parked. The caller must re-check all work
+    /// sources afterwards and call [`IdleSet::cancel_park`] after waking
+    /// (or instead of parking).
+    pub fn prepare_park(&self, worker: usize) {
+        let mut parked = self.parked.lock();
+        parked.push(worker);
+        self.count.store(parked.len(), Ordering::SeqCst);
+    }
+
+    /// Removes `worker` from the parked set if a waker has not already.
+    pub fn cancel_park(&self, worker: usize) {
+        let mut parked = self.parked.lock();
+        if let Some(pos) = parked.iter().position(|&w| w == worker) {
+            parked.swap_remove(pos);
+            self.count.store(parked.len(), Ordering::SeqCst);
+        }
+    }
+
+    /// Parks the calling worker thread (sticky-token semantics).
+    pub fn park_current(&self) {
+        mthread::park();
+    }
+
+    /// Wakes one parked worker, if any. Cheap when none are parked.
+    pub fn wake_one(&self) {
+        if self.count.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let woken = {
+            let mut parked = self.parked.lock();
+            let woken = parked.pop();
+            self.count.store(parked.len(), Ordering::SeqCst);
+            woken
+        };
+        if let Some(w) = woken {
+            if let Some(t) = self.threads[w].get() {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Wakes every worker thread (shutdown). Ignores the parked set so a
+    /// worker between re-check and `park()` still gets its sticky token.
+    pub fn wake_all(&self) {
+        for slot in &self.threads {
+            if let Some(t) = slot.get() {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Number of currently parked workers (metrics gauge).
+    pub fn parked_count(&self) -> usize {
+        self.count.load(Ordering::SeqCst)
+    }
+}
+
+/// Work-stealing run queues of one silo: per-worker LIFO deques plus one
+/// shared FIFO injector.
+pub struct RunQueues<T> {
+    injector: Injector<T>,
+    locals: Vec<Worker<T>>,
+    stealers: Vec<Stealer<T>>,
+}
+
+impl<T> RunQueues<T> {
+    /// Queues for `workers` worker slots.
+    pub fn new(workers: usize) -> Self {
+        let locals: Vec<Worker<T>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+        let stealers = locals.iter().map(|w| w.stealer()).collect();
+        RunQueues {
+            injector: Injector::new(),
+            locals,
+            stealers,
+        }
+    }
+
+    /// Pushes onto `worker`'s own LIFO deque, returning its resulting
+    /// length (callers wake a sibling when it exceeds one).
+    pub fn push_local(&self, worker: usize, task: T) -> usize {
+        let local = &self.locals[worker];
+        local.push(task);
+        local.len()
+    }
+
+    /// Pushes onto the shared FIFO injector.
+    pub fn push_injector(&self, task: T) {
+        self.injector.push(task);
+    }
+
+    /// Injector backlog length.
+    pub fn injector_len(&self) -> usize {
+        self.injector.len()
+    }
+
+    /// Total queued tasks (diagnostics only).
+    pub fn queued_len(&self) -> usize {
+        self.injector.len() + self.locals.iter().map(|w| w.len()).sum::<usize>()
+    }
+
+    /// True when any queue holds runnable work for `worker`.
+    pub fn has_work(&self, worker: usize) -> bool {
+        !self.locals[worker].is_empty()
+            || !self.injector.is_empty()
+            || self
+                .stealers
+                .iter()
+                .enumerate()
+                .any(|(i, s)| i != worker && !s.is_empty())
+    }
+
+    /// Empties every queue, returning the tasks (crash-path drain; each
+    /// popped task is owned exclusively by the caller).
+    pub fn drain_all(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        loop {
+            match self.injector.steal() {
+                Steal::Success(task) => out.push(task),
+                Steal::Empty => break,
+                Steal::Retry => mthread::yield_now(),
+            }
+        }
+        for stealer in &self.stealers {
+            loop {
+                match stealer.steal() {
+                    Steal::Success(task) => out.push(task),
+                    Steal::Empty => break,
+                    Steal::Retry => mthread::yield_now(),
+                }
+            }
+        }
+        out
+    }
+
+    /// One scan for runnable work: own deque (cache-hot LIFO pop) →
+    /// injector (steal-half batch) → siblings' deques (steal-half,
+    /// rotating start). `injector_first` periodically prefers injected
+    /// work over the local deque (anti-starvation, see module docs).
+    pub fn find_task(&self, worker: usize, injector_first: bool) -> Option<(T, TaskSource)> {
+        let local = &self.locals[worker];
+        if !injector_first {
+            if let Some(task) = local.pop() {
+                return Some((task, TaskSource::Local));
+            }
+        }
+        loop {
+            match self.injector.steal_batch_and_pop(local) {
+                Steal::Success(task) => return Some((task, TaskSource::Injector)),
+                Steal::Empty => break,
+                Steal::Retry => mthread::yield_now(),
+            }
+        }
+        if injector_first {
+            if let Some(task) = local.pop() {
+                return Some((task, TaskSource::Local));
+            }
+        }
+        // Steal from siblings, starting after our own slot so victims
+        // rotate instead of every thief hammering worker 0.
+        let n = self.stealers.len();
+        for off in 1..n {
+            let victim = (worker + off) % n;
+            loop {
+                match self.stealers[victim].steal_batch_and_pop(local) {
+                    Steal::Success(task) => return Some((task, TaskSource::Steal)),
+                    Steal::Empty => break,
+                    Steal::Retry => mthread::yield_now(),
+                }
+            }
+        }
+        None
+    }
+}

@@ -27,23 +27,17 @@
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
-use std::thread::Thread;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::Mutex;
 
 use crate::actor::{ActorContext, AnyActor};
 use crate::envelope::{Envelope, EnvelopeKind};
 use crate::identity::{ActorId, SiloId};
 use crate::mailbox::{Mailbox, TurnOutcome};
+use crate::runq::{IdleSet, RunQueues, TaskSource, INJECTOR_FIRST_INTERVAL};
 use crate::runtime::RuntimeCore;
-
-/// How often (in scan rounds) a worker checks the injector before its own
-/// deque. Prime, so the pattern does not resonate with workload periods
-/// (the same trick tokio's scheduler uses).
-const INJECTOR_FIRST_INTERVAL: u64 = 61;
 
 thread_local! {
     /// Set for silo worker threads: which silo and worker slot this thread
@@ -104,108 +98,14 @@ impl Activation {
     }
 }
 
-/// Parked-worker registry of one silo: who is parked, and how to wake them.
-///
-/// The parking protocol closes the lost-wakeup race without a condvar:
-///
-/// 1. A worker that found no work **registers** itself here
-///    ([`IdleSet::prepare_park`], which publishes the incremented parked
-///    count), **re-checks** every queue, and only then parks. Queue pushes
-///    and the parked count are ordered by the queue mutexes, so if a
-///    producer's push was missed by the re-check, that producer's
-///    subsequent count read must observe the registration and wake.
-/// 2. A producer pushes work first, then calls [`IdleSet::wake_one`],
-///    which is a single relaxed load when nobody is parked.
-/// 3. `std::thread::unpark` tokens are sticky, so an unpark delivered
-///    between re-check and `park()` is not lost; spurious `park` returns
-///    make the worker re-scan, which is always safe.
-pub(crate) struct IdleSet {
-    /// Worker slots currently parked (LIFO wake order: the most recently
-    /// parked worker has the warmest cache).
-    parked: Mutex<Vec<usize>>,
-    /// Cached `parked.len()`, readable without the lock on the push path.
-    count: AtomicUsize,
-    /// Thread handles, registered once by each worker at startup.
-    threads: Vec<OnceLock<Thread>>,
-}
-
-impl IdleSet {
-    fn new(workers: usize) -> Self {
-        IdleSet {
-            parked: Mutex::new(Vec::with_capacity(workers)),
-            count: AtomicUsize::new(0),
-            threads: (0..workers).map(|_| OnceLock::new()).collect(),
-        }
-    }
-
-    /// Called once per worker thread before its first scan.
-    fn register_thread(&self, worker: usize) {
-        let _ = self.threads[worker].set(std::thread::current());
-    }
-
-    /// Registers `worker` as parked. The caller must re-check all work
-    /// sources afterwards and call [`IdleSet::cancel_park`] after waking
-    /// (or instead of parking).
-    fn prepare_park(&self, worker: usize) {
-        let mut parked = self.parked.lock();
-        parked.push(worker);
-        self.count.store(parked.len(), Ordering::SeqCst);
-    }
-
-    /// Removes `worker` from the parked set if a waker has not already.
-    fn cancel_park(&self, worker: usize) {
-        let mut parked = self.parked.lock();
-        if let Some(pos) = parked.iter().position(|&w| w == worker) {
-            parked.swap_remove(pos);
-            self.count.store(parked.len(), Ordering::SeqCst);
-        }
-    }
-
-    /// Wakes one parked worker, if any. Cheap when none are parked.
-    pub(crate) fn wake_one(&self) {
-        if self.count.load(Ordering::SeqCst) == 0 {
-            return;
-        }
-        let woken = {
-            let mut parked = self.parked.lock();
-            let woken = parked.pop();
-            self.count.store(parked.len(), Ordering::SeqCst);
-            woken
-        };
-        if let Some(w) = woken {
-            if let Some(t) = self.threads[w].get() {
-                t.unpark();
-            }
-        }
-    }
-
-    /// Wakes every worker thread (shutdown). Ignores the parked set so a
-    /// worker between re-check and `park()` still gets its sticky token.
-    fn wake_all(&self) {
-        for slot in &self.threads {
-            if let Some(t) = slot.get() {
-                t.unpark();
-            }
-        }
-    }
-
-    /// Number of currently parked workers (metrics gauge).
-    fn parked_count(&self) -> usize {
-        self.count.load(Ordering::SeqCst)
-    }
-}
-
 /// The shared (non-thread) part of a silo.
 pub(crate) struct SiloUnit {
     pub id: SiloId,
     pub config: SiloConfig,
-    /// FIFO queue for work injected from outside this silo's worker pool.
-    injector: Injector<Arc<Activation>>,
-    /// Per-worker LIFO deques. Shared so producers can fast-path push to
-    /// their own slot (the vendored `Worker` is `Sync`; see vendor docs).
-    locals: Vec<Worker<Arc<Activation>>>,
-    /// Steal handles onto `locals`, same indexing.
-    stealers: Vec<Stealer<Arc<Activation>>>,
+    /// Work-stealing run queues (per-worker LIFO deques + FIFO injector),
+    /// extracted to [`crate::runq`] so the model checker can drive the
+    /// identical protocol over a toy task type.
+    queues: RunQueues<Arc<Activation>>,
     idle: IdleSet,
     /// False after [`kill_silo`](crate::Runtime::kill_silo): the silo's
     /// workers abort (rather than run) anything they find, and dispatch
@@ -217,15 +117,10 @@ pub(crate) struct SiloUnit {
 
 impl SiloUnit {
     pub fn new(id: SiloId, config: SiloConfig) -> Self {
-        let locals: Vec<Worker<Arc<Activation>>> =
-            (0..config.workers).map(|_| Worker::new_lifo()).collect();
-        let stealers = locals.iter().map(|w| w.stealer()).collect();
         SiloUnit {
             id,
             config,
-            injector: Injector::new(),
-            locals,
-            stealers,
+            queues: RunQueues::new(config.workers),
             idle: IdleSet::new(config.workers),
             alive: AtomicBool::new(true),
         }
@@ -257,24 +152,7 @@ impl SiloUnit {
     /// mailbox state machine guarantees each popped activation is owned
     /// exclusively by whoever dequeued it, so the caller may retire them.
     pub fn drain_runnable(&self) -> Vec<Arc<Activation>> {
-        let mut out = Vec::new();
-        loop {
-            match self.injector.steal() {
-                Steal::Success(act) => out.push(act),
-                Steal::Empty => break,
-                Steal::Retry => std::thread::yield_now(),
-            }
-        }
-        for stealer in &self.stealers {
-            loop {
-                match stealer.steal() {
-                    Steal::Success(act) => out.push(act),
-                    Steal::Empty => break,
-                    Steal::Retry => std::thread::yield_now(),
-                }
-            }
-        }
-        out
+        self.queues.drain_all()
     }
 
     /// Puts an activation on this silo's run queue.
@@ -289,17 +167,15 @@ impl SiloUnit {
         let slot = CURRENT_WORKER.with(|cw| cw.get());
         if let Some((silo, w)) = slot {
             if silo == self.id {
-                let local = &self.locals[w];
-                local.push(act);
                 // Backlog beyond the task this worker will pop next:
                 // siblings can steal it, so make sure one is awake.
-                if local.len() > 1 {
+                if self.queues.push_local(w, act) > 1 {
                     self.idle.wake_one();
                 }
                 return;
             }
         }
-        self.injector.push(act);
+        self.queues.push_injector(act);
         self.idle.wake_one();
     }
 
@@ -314,18 +190,18 @@ impl SiloUnit {
     /// take. Unconditional waking here cost a wasted unpark/park futex
     /// pair per turn slice under saturated single-actor load.
     pub fn enqueue_yielded(&self, act: Arc<Activation>) {
-        self.injector.push(act);
+        self.queues.push_injector(act);
         let own_silo_worker = CURRENT_WORKER
             .with(|cw| cw.get())
             .is_some_and(|(s, _)| s == self.id);
-        if !own_silo_worker || self.injector.len() > 1 {
+        if !own_silo_worker || self.queues.injector_len() > 1 {
             self.idle.wake_one();
         }
     }
 
     /// Pending run-queue length (diagnostics only).
     pub fn queue_len(&self) -> usize {
-        self.injector.len() + self.locals.iter().map(|w| w.len()).sum::<usize>()
+        self.queues.queued_len()
     }
 
     /// Number of currently parked workers (metrics gauge).
@@ -340,66 +216,26 @@ impl SiloUnit {
 
     /// True when any queue holds runnable work for `worker`.
     fn has_work(&self, worker: usize) -> bool {
-        !self.locals[worker].is_empty()
-            || !self.injector.is_empty()
-            || self
-                .stealers
-                .iter()
-                .enumerate()
-                .any(|(i, s)| i != worker && !s.is_empty())
+        self.queues.has_work(worker)
     }
 
     /// One scan for runnable work. `injector_first` periodically prefers
-    /// injected work over the local deque (anti-starvation, see module
-    /// docs).
+    /// injected work over the local deque (anti-starvation, see
+    /// [`crate::runq`] docs).
     fn find_task(
         &self,
         worker: usize,
         injector_first: bool,
         metrics: &crate::metrics::RuntimeMetrics,
     ) -> Option<Arc<Activation>> {
-        let local = &self.locals[worker];
-        if !injector_first {
-            if let Some(act) = local.pop() {
-                metrics.scheduler_local_pops.fetch_add(1, Ordering::Relaxed);
-                return Some(act);
-            }
-        }
-        loop {
-            match self.injector.steal_batch_and_pop(local) {
-                Steal::Success(act) => {
-                    metrics
-                        .scheduler_injector_pops
-                        .fetch_add(1, Ordering::Relaxed);
-                    return Some(act);
-                }
-                Steal::Empty => break,
-                Steal::Retry => std::thread::yield_now(),
-            }
-        }
-        if injector_first {
-            if let Some(act) = local.pop() {
-                metrics.scheduler_local_pops.fetch_add(1, Ordering::Relaxed);
-                return Some(act);
-            }
-        }
-        // Steal from siblings, starting after our own slot so victims
-        // rotate instead of every thief hammering worker 0.
-        let n = self.stealers.len();
-        for off in 1..n {
-            let victim = (worker + off) % n;
-            loop {
-                match self.stealers[victim].steal_batch_and_pop(local) {
-                    Steal::Success(act) => {
-                        metrics.scheduler_steals.fetch_add(1, Ordering::Relaxed);
-                        return Some(act);
-                    }
-                    Steal::Empty => break,
-                    Steal::Retry => std::thread::yield_now(),
-                }
-            }
-        }
-        None
+        let (act, source) = self.queues.find_task(worker, injector_first)?;
+        let counter = match source {
+            TaskSource::Local => &metrics.scheduler_local_pops,
+            TaskSource::Injector => &metrics.scheduler_injector_pops,
+            TaskSource::Steal => &metrics.scheduler_steals,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Some(act)
     }
 }
 
@@ -439,7 +275,7 @@ pub(crate) fn worker_loop(core: Arc<RuntimeCore>, silo: SiloId, worker: usize) {
             continue;
         }
         core.metrics.worker_parks.fetch_add(1, Ordering::Relaxed);
-        std::thread::park();
+        unit.idle.park_current();
         unit.idle.cancel_park(worker);
     }
 }

@@ -47,9 +47,22 @@ use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+// Under the `model` feature the committer thread routes through the model
+// checker's shims, so spawn/join on the group-commit path are schedule
+// points. Off the feature this is exactly `std`. The WAL's `AtomicU64`s
+// stay on std in both modes: per the ordering policy on [`WalCounters`]
+// they are Relaxed monotonic statistics with no control-flow role, so
+// they would only inflate the schedule space — and `WalCounters` cells
+// are shared with the runtime's metrics registry, which is std-atomic.
+#[cfg(feature = "model")]
+use modelcheck::thread as mthread;
+use std::sync::atomic::AtomicU64;
+#[cfg(not(feature = "model"))]
+use std::thread as mthread;
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
@@ -147,6 +160,19 @@ pub struct CrashPlan {
 /// Live counters mirrored into by the committer, for wiring WAL
 /// observability into a metrics registry that cannot see this crate
 /// (the same share-an-`Arc` pattern as the runtime's `persist_retries`).
+///
+/// # Atomic-ordering policy
+///
+/// Every atomic here — and the WAL's `written_len` — is accessed with
+/// `Ordering::Relaxed`, the same policy as the runtime's metrics module:
+/// they are monotonic statistics, and no reader derives control flow or
+/// cross-thread ordering from them. The commit/ack handshake never
+/// touches these cells; it is ordered entirely by the queue mutex and
+/// each ticket's `Mutex`/`Condvar` pair, so a waiter that has observed
+/// its ack is already happens-after the group's write and fsync without
+/// any help from the counters. A snapshot taken mid-group may therefore
+/// be internally skewed (e.g. `frames` bumped, mirror not yet) — that is
+/// the accepted cost, as with the runtime histograms.
 #[derive(Clone)]
 pub struct WalCounters {
     /// Groups committed (one coalesced write each).
@@ -233,16 +259,47 @@ impl WalTicket {
     }
 }
 
-enum Done {
+enum DoneKind {
     Ticket(Arc<TicketCell>),
     Callback(Box<dyn FnOnce(StoreResult<()>) + Send>),
 }
 
+/// A pending acknowledgement. Resolving consumes it; if one is ever
+/// *dropped* unresolved — the committer panicking while unwinding through
+/// an assembled group — the drop resolves the waiter with an error. A
+/// crashed committer must wake its waiters, never strand them in
+/// [`WalTicket::wait`].
+struct Done(Option<DoneKind>);
+
 impl Done {
-    fn resolve(self, result: &StoreResult<()>) {
-        match self {
-            Done::Ticket(cell) => cell.resolve(result.clone()),
-            Done::Callback(f) => f(result.clone()),
+    fn ticket(cell: Arc<TicketCell>) -> Done {
+        Done(Some(DoneKind::Ticket(cell)))
+    }
+
+    fn callback(f: impl FnOnce(StoreResult<()>) + Send + 'static) -> Done {
+        Done(Some(DoneKind::Callback(Box::new(f))))
+    }
+
+    fn resolve(mut self, result: &StoreResult<()>) {
+        if let Some(kind) = self.0.take() {
+            match kind {
+                DoneKind::Ticket(cell) => cell.resolve(result.clone()),
+                DoneKind::Callback(f) => f(result.clone()),
+            }
+        }
+    }
+}
+
+impl Drop for Done {
+    fn drop(&mut self) {
+        if let Some(kind) = self.0.take() {
+            let lost = Err(StoreError::Io(
+                "wal committer died before resolving this ack".into(),
+            ));
+            match kind {
+                DoneKind::Ticket(cell) => cell.resolve(lost),
+                DoneKind::Callback(f) => f(lost),
+            }
         }
     }
 }
@@ -271,16 +328,25 @@ struct Queue {
     /// Which injected crash point fired, if any (diagnostics).
     injected: Option<CrashPoint>,
     crash_plan: Option<CrashPlan>,
+    /// Test hook: panic the committer when it assembles non-empty group
+    /// number N (see [`GroupWal::arm_panic`]).
+    panic_plan: Option<u64>,
 }
 
 struct Shared {
     q: Mutex<Queue>,
     work: Condvar,
     config: WalConfig,
-    /// Bytes written to the log (observability + checkpoint triggers).
+    /// Bytes written to the log (observability + checkpoint triggers;
+    /// Relaxed per the [`WalCounters`] ordering policy — never a
+    /// durability decision).
     written_len: AtomicU64,
     counters: WalCounters,
     mirror: Mutex<Option<WalCounters>>,
+    /// Teeth flag for the model suite: ack groups *before* the fsync,
+    /// deliberately breaking ack ⇒ durable. Plain `std` atomic on
+    /// purpose — it is test configuration, not a modeled sync point.
+    ack_early: AtomicBool,
 }
 
 impl Shared {
@@ -296,12 +362,116 @@ impl Shared {
     }
 }
 
+// ------------------------------------------------------------------ media
+
+/// The committer's view of durable media: positioned appends, fsync, and
+/// truncation. Production logs run over a real [`File`]; model tests use
+/// [`MemMedia`] so schedule exploration never touches a filesystem —
+/// every write/fsync is a pure in-memory state transition the checker
+/// can interleave.
+pub trait WalMedia: Send + 'static {
+    /// Writes `buf` at the current position, advancing it.
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()>;
+    /// Makes everything written so far durable.
+    fn sync_data(&mut self) -> std::io::Result<()>;
+    /// Truncates (or zero-extends) to `len` bytes without moving the
+    /// position.
+    fn set_len(&mut self, len: u64) -> std::io::Result<()>;
+    /// Moves the write position to `pos`.
+    fn seek_to(&mut self, pos: u64) -> std::io::Result<()>;
+}
+
+impl WalMedia for File {
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        Write::write_all(self, buf)
+    }
+
+    fn sync_data(&mut self) -> std::io::Result<()> {
+        File::sync_data(self)
+    }
+
+    fn set_len(&mut self, len: u64) -> std::io::Result<()> {
+        File::set_len(self, len)
+    }
+
+    fn seek_to(&mut self, pos: u64) -> std::io::Result<()> {
+        self.seek(SeekFrom::Start(pos)).map(|_| ())
+    }
+}
+
+/// In-memory [`WalMedia`] with an explicit durability watermark: only
+/// bytes covered by a `sync_data` survive an emulated kill, exactly like
+/// the page cache. Model tests read back [`MemMedia::durable`] to check
+/// acked frames against what an fsync actually covered.
+#[doc(hidden)]
+#[derive(Clone, Default)]
+pub struct MemMedia {
+    inner: Arc<Mutex<MemMediaState>>,
+}
+
+#[derive(Default)]
+struct MemMediaState {
+    data: Vec<u8>,
+    synced: usize,
+    pos: usize,
+}
+
+impl MemMedia {
+    /// Fresh, empty media.
+    pub fn new() -> MemMedia {
+        MemMedia::default()
+    }
+
+    /// The durable prefix: what the last `sync_data` made survivable.
+    pub fn durable(&self) -> Vec<u8> {
+        let st = self.inner.lock();
+        st.data[..st.synced].to_vec()
+    }
+
+    /// Everything written, synced or not.
+    pub fn written(&self) -> Vec<u8> {
+        self.inner.lock().data.clone()
+    }
+}
+
+impl WalMedia for MemMedia {
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        let mut st = self.inner.lock();
+        let pos = st.pos;
+        let end = pos + buf.len();
+        if st.data.len() < end {
+            st.data.resize(end, 0);
+        }
+        st.data[pos..end].copy_from_slice(buf);
+        st.pos = end;
+        Ok(())
+    }
+
+    fn sync_data(&mut self) -> std::io::Result<()> {
+        let mut st = self.inner.lock();
+        st.synced = st.data.len();
+        Ok(())
+    }
+
+    fn set_len(&mut self, len: u64) -> std::io::Result<()> {
+        let mut st = self.inner.lock();
+        st.data.resize(len as usize, 0);
+        st.synced = st.synced.min(len as usize);
+        Ok(())
+    }
+
+    fn seek_to(&mut self, pos: u64) -> std::io::Result<()> {
+        self.inner.lock().pos = pos as usize;
+        Ok(())
+    }
+}
+
 // --------------------------------------------------------------- GroupWal
 
 /// The group-commit write-ahead log. See the module docs.
 pub struct GroupWal {
     shared: Arc<Shared>,
-    committer: Mutex<Option<std::thread::JoinHandle<()>>>,
+    committer: Mutex<Option<mthread::JoinHandle<()>>>,
 }
 
 impl GroupWal {
@@ -339,6 +509,18 @@ impl GroupWal {
         }
         file.seek(SeekFrom::Start(offset as u64))?;
 
+        Ok((Self::launch(file, config, offset as u64)?, frames))
+    }
+
+    /// Opens a WAL over caller-provided media with no recovery pass (the
+    /// media must be empty). Model tests drive this with [`MemMedia`];
+    /// real logs go through [`GroupWal::open`].
+    #[doc(hidden)]
+    pub fn open_with_media<M: WalMedia>(media: M, config: WalConfig) -> StoreResult<GroupWal> {
+        Self::launch(media, config, 0)
+    }
+
+    fn launch<M: WalMedia>(media: M, config: WalConfig, durable: u64) -> StoreResult<GroupWal> {
         let shared = Arc::new(Shared {
             q: Mutex::new(Queue {
                 items: VecDeque::new(),
@@ -346,32 +528,41 @@ impl GroupWal {
                 dead: None,
                 injected: None,
                 crash_plan: None,
+                panic_plan: None,
             }),
             work: Condvar::new(),
             config,
-            written_len: AtomicU64::new(offset as u64),
+            written_len: AtomicU64::new(durable),
             counters: WalCounters::default(),
             mirror: Mutex::new(None),
+            ack_early: AtomicBool::new(false),
         });
         let committer = {
             let shared = Arc::clone(&shared);
-            let durable = offset as u64;
-            std::thread::Builder::new()
+            mthread::Builder::new()
                 .name("wal-committer".into())
-                .spawn(move || committer_loop(shared, file, durable, durable))
+                .spawn(move || run_committer(shared, media, durable))
                 .map_err(|e| StoreError::Io(e.to_string()))?
         };
-        Ok((
-            GroupWal {
-                shared,
-                committer: Mutex::new(Some(committer)),
-            },
-            frames,
-        ))
+        Ok(GroupWal {
+            shared,
+            committer: Mutex::new(Some(committer)),
+        })
     }
 
     fn enqueue(&self, op: Op) {
         let mut q = self.shared.q.lock();
+        // Re-check under the same lock that will publish the op: the
+        // committer can die between a caller's fail-fast check and this
+        // push, and an op pushed onto a dead queue strands its waiter
+        // forever (no drain will ever run). Found by the model checker
+        // (`wal_committer_panic`).
+        if let Some(err) = Self::dead_error(&q) {
+            drop(q);
+            let (Op::Frame { done, .. } | Op::Reset { done }) = op;
+            done.resolve(&Err(err));
+            return;
+        }
         q.items.push_back(op);
         if q.items.len() == 1 {
             self.shared.work.notify_one();
@@ -405,7 +596,7 @@ impl GroupWal {
         self.enqueue(Op::Frame {
             payload,
             force_sync: false,
-            done: Done::Ticket(Arc::clone(&cell)),
+            done: Done::ticket(Arc::clone(&cell)),
         });
         WalTicket(cell)
     }
@@ -426,7 +617,7 @@ impl GroupWal {
         self.enqueue(Op::Frame {
             payload,
             force_sync: false,
-            done: Done::Callback(Box::new(done)),
+            done: Done::callback(done),
         });
     }
 
@@ -449,7 +640,7 @@ impl GroupWal {
         self.enqueue(Op::Frame {
             payload: Bytes::new(),
             force_sync: true,
-            done: Done::Ticket(Arc::clone(&cell)),
+            done: Done::ticket(Arc::clone(&cell)),
         });
         WalTicket(cell).wait()
     }
@@ -467,7 +658,7 @@ impl GroupWal {
         }
         let cell = TicketCell::new();
         self.enqueue(Op::Reset {
-            done: Done::Ticket(Arc::clone(&cell)),
+            done: Done::ticket(Arc::clone(&cell)),
         });
         WalTicket(cell).wait()
     }
@@ -485,6 +676,24 @@ impl GroupWal {
     /// Arms an injected crash (test instrumentation; see [`CrashPlan`]).
     pub fn arm_crash(&self, plan: CrashPlan) {
         self.shared.q.lock().crash_plan = Some(plan);
+    }
+
+    /// Arms an injected committer *panic* when it assembles non-empty
+    /// group `at_group` — the crashed-committer path, where every
+    /// pending ack must resolve with an error rather than hang (test
+    /// instrumentation; the model and fairness suites drive this).
+    #[doc(hidden)]
+    pub fn arm_panic(&self, at_group: u64) {
+        self.shared.q.lock().panic_plan = Some(at_group);
+    }
+
+    /// Teeth hook for the model suite: makes the committer resolve acks
+    /// *before* the group fsync, deliberately breaking the ack ⇒ durable
+    /// contract so a checker run can prove it catches the missing edge.
+    /// Never call outside tests.
+    #[doc(hidden)]
+    pub fn ack_before_fsync_for_test(&self) {
+        self.shared.ack_early.store(true, Ordering::Relaxed);
     }
 
     /// The injected crash point that fired, if any.
@@ -528,9 +737,40 @@ struct Group {
     force_sync: bool,
 }
 
+/// Committer thread entry: runs the commit loop, and if it panics
+/// (injected via [`GroupWal::arm_panic`], or a real bug) marks the WAL
+/// dead and resolves every queued waiter with an error instead of
+/// stranding them. Acks in the group being assembled at the panic unwind
+/// through [`Done`]'s drop, which resolves them the same way.
+fn run_committer<M: WalMedia>(shared: Arc<Shared>, media: M, durable: u64) {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe({
+        let shared = Arc::clone(&shared);
+        move || committer_loop(shared, media, durable, durable)
+    }));
+    if caught.is_err() {
+        let err = StoreError::Io("wal committer panicked; pending acks lost".into());
+        let drained: Vec<Op> = {
+            let mut q = shared.q.lock();
+            q.dead = Some(err.clone());
+            q.items.drain(..).collect()
+        };
+        let failed = Err(err);
+        for op in drained {
+            match op {
+                Op::Frame { done, .. } | Op::Reset { done } => done.resolve(&failed),
+            }
+        }
+    }
+}
+
 /// The committer thread: assemble group → coalesced write → fsync →
 /// resolve acks, with the five [`CrashPoint`]s injectable in between.
-fn committer_loop(shared: Arc<Shared>, mut file: File, mut written: u64, mut durable: u64) {
+fn committer_loop<M: WalMedia>(
+    shared: Arc<Shared>,
+    mut file: M,
+    mut written: u64,
+    mut durable: u64,
+) {
     let config = shared.config;
     let mut group_seq: u64 = 0;
     loop {
@@ -612,6 +852,15 @@ fn committer_loop(shared: Arc<Shared>, mut file: File, mut written: u64, mut dur
                         q.crash_plan = None;
                     }
                 }
+                if q.panic_plan == Some(group_seq)
+                    && group.frames.iter().any(|(payload, _)| !payload.is_empty())
+                {
+                    // Injected committer death (see `arm_panic`): unwind
+                    // with the group in hand. The queue guard unlocks on
+                    // the way out; `run_committer` wakes everyone else.
+                    q.panic_plan = None;
+                    panic!("injected wal committer panic at group {group_seq}");
+                }
             }
         }
 
@@ -619,7 +868,7 @@ fn committer_loop(shared: Arc<Shared>, mut file: File, mut written: u64, mut dur
         if let Some(done) = reset {
             let result = (|| -> StoreResult<()> {
                 file.set_len(0)?;
-                file.seek(SeekFrom::Start(0))?;
+                file.seek_to(0)?;
                 Ok(())
             })();
             match result {
@@ -664,6 +913,14 @@ fn committer_loop(shared: Arc<Shared>, mut file: File, mut written: u64, mut dur
             file.write_all(&buf).map_err(|e| (e.into(), None))?;
             written += buf.len() as u64;
             shared.written_len.store(written, Ordering::Relaxed);
+            if shared.ack_early.load(Ordering::Relaxed) {
+                // Teeth for the model suite: resolve acks here, before
+                // the fsync, violating ack ⇒ durable on purpose so the
+                // checker can prove it notices the missing edge.
+                for (_, done) in group.frames.drain(..) {
+                    done.resolve(&Ok(()));
+                }
+            }
             if crash == Some(CrashPoint::AfterWriteBeforeFsync) {
                 emulate_kill(&mut file, durable, None);
                 return Err(injected(CrashPoint::AfterWriteBeforeFsync));
@@ -739,18 +996,18 @@ fn committer_loop(shared: Arc<Shared>, mut file: File, mut written: u64, mut dur
 /// Emulates a process kill: bytes past the last fsync are lost (the
 /// page cache dies with the process), optionally leaving `torn` partial
 /// bytes of the in-flight group behind.
-fn emulate_kill(file: &mut File, durable: u64, torn: Option<&[u8]>) {
+fn emulate_kill<M: WalMedia>(file: &mut M, durable: u64, torn: Option<&[u8]>) {
     let _ = file.set_len(durable);
-    let _ = file.seek(SeekFrom::Start(durable));
+    let _ = file.seek_to(durable);
     if let Some(bytes) = torn {
         let _ = file.write_all(bytes);
     }
 }
 
 /// Marks the WAL dead and errors out every pending and queued waiter.
-fn die(
+fn die<M: WalMedia>(
     shared: &Shared,
-    file: &mut File,
+    file: &mut M,
     durable: u64,
     injected: Option<CrashPoint>,
     err: StoreError,

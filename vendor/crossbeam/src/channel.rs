@@ -4,9 +4,15 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+#[cfg(feature = "model")]
+use modelcheck::atomic::AtomicUsize;
+use parking_lot::{Condvar, Mutex};
+#[cfg(not(feature = "model"))]
+use std::sync::atomic::AtomicUsize;
 
 struct Shared<T> {
     queue: Mutex<VecDeque<T>>,
@@ -122,7 +128,7 @@ impl<T> Drop for Sender<T> {
         if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last sender: wake all blocked receivers so they observe the
             // disconnect.
-            let _guard = self.shared.queue.lock().unwrap();
+            let _guard = self.shared.queue.lock();
             self.shared.recv_ready.notify_all();
         }
     }
@@ -132,14 +138,14 @@ impl<T> Sender<T> {
     /// Sends `msg`, blocking while a bounded channel is full. Fails only
     /// when every receiver is gone.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-        let mut queue = self.shared.queue.lock().unwrap();
+        let mut queue = self.shared.queue.lock();
         loop {
             if self.shared.disconnected_for_send() {
                 return Err(SendError(msg));
             }
             match self.shared.capacity {
                 Some(cap) if queue.len() >= cap => {
-                    queue = self.shared.send_ready.wait(queue).unwrap();
+                    queue = self.shared.send_ready.wait(queue);
                 }
                 _ => break,
             }
@@ -152,7 +158,7 @@ impl<T> Sender<T> {
 
     /// Queued message count.
     pub fn len(&self) -> usize {
-        self.shared.queue.lock().unwrap().len()
+        self.shared.queue.lock().len()
     }
 
     /// True when no message is queued.
@@ -179,7 +185,7 @@ impl<T> Clone for Receiver<T> {
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
         if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _guard = self.shared.queue.lock().unwrap();
+            let _guard = self.shared.queue.lock();
             self.shared.send_ready.notify_all();
         }
     }
@@ -194,7 +200,7 @@ impl<T> fmt::Debug for Receiver<T> {
 impl<T> Receiver<T> {
     /// Blocks until a message arrives or every sender disconnects.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut queue = self.shared.queue.lock().unwrap();
+        let mut queue = self.shared.queue.lock();
         loop {
             if let Some(msg) = queue.pop_front() {
                 self.shared.send_ready.notify_one();
@@ -203,14 +209,14 @@ impl<T> Receiver<T> {
             if self.shared.disconnected_for_recv() {
                 return Err(RecvError);
             }
-            queue = self.shared.recv_ready.wait(queue).unwrap();
+            queue = self.shared.recv_ready.wait(queue);
         }
     }
 
     /// Blocks up to `timeout` for a message.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         let deadline = Instant::now() + timeout;
-        let mut queue = self.shared.queue.lock().unwrap();
+        let mut queue = self.shared.queue.lock();
         loop {
             if let Some(msg) = queue.pop_front() {
                 self.shared.send_ready.notify_one();
@@ -223,13 +229,9 @@ impl<T> Receiver<T> {
             if now >= deadline {
                 return Err(RecvTimeoutError::Timeout);
             }
-            let (q, wait) = self
-                .shared
-                .recv_ready
-                .wait_timeout(queue, deadline - now)
-                .unwrap();
+            let (q, timed_out) = self.shared.recv_ready.wait_for(queue, deadline - now);
             queue = q;
-            if wait.timed_out() && queue.is_empty() {
+            if timed_out && queue.is_empty() {
                 return Err(RecvTimeoutError::Timeout);
             }
         }
@@ -237,7 +239,7 @@ impl<T> Receiver<T> {
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        let mut queue = self.shared.queue.lock().unwrap();
+        let mut queue = self.shared.queue.lock();
         if let Some(msg) = queue.pop_front() {
             self.shared.send_ready.notify_one();
             return Ok(msg);
@@ -251,7 +253,7 @@ impl<T> Receiver<T> {
 
     /// Queued message count.
     pub fn len(&self) -> usize {
-        self.shared.queue.lock().unwrap().len()
+        self.shared.queue.lock().len()
     }
 
     /// True when no message is queued.

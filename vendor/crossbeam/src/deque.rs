@@ -23,7 +23,9 @@
 //! cross-stealing workers cannot deadlock.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 /// The result of a steal attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,22 +95,22 @@ impl<T> Worker<T> {
 
     /// Pushes a task onto the owner end.
     pub fn push(&self, task: T) {
-        self.inner.lock().unwrap().push_back(task);
+        self.inner.lock().push_back(task);
     }
 
     /// Pops the most recently pushed task (LIFO).
     pub fn pop(&self) -> Option<T> {
-        self.inner.lock().unwrap().pop_back()
+        self.inner.lock().pop_back()
     }
 
     /// Number of queued tasks.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.inner.lock().len()
     }
 
     /// True when no task is queued.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().unwrap().is_empty()
+        self.inner.lock().is_empty()
     }
 }
 
@@ -133,7 +135,7 @@ impl<T> Stealer<T> {
     /// cheaper than returning [`Steal::Retry`] and making callers
     /// yield-spin. `Retry` is kept in the API but never produced.
     pub fn steal(&self) -> Steal<T> {
-        match self.inner.lock().unwrap().pop_front() {
+        match self.inner.lock().pop_front() {
             Some(task) => Steal::Success(task),
             None => Steal::Empty,
         }
@@ -145,7 +147,7 @@ impl<T> Stealer<T> {
     /// lock ordering).
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
         let batch: Vec<T> = {
-            let mut queue = self.inner.lock().unwrap();
+            let mut queue = self.inner.lock();
             if queue.is_empty() {
                 return Steal::Empty;
             }
@@ -154,19 +156,19 @@ impl<T> Stealer<T> {
         };
         let mut iter = batch.into_iter();
         let first = iter.next().expect("non-empty steal batch");
-        let mut dest_queue = dest.inner.lock().unwrap();
+        let mut dest_queue = dest.inner.lock();
         dest_queue.extend(iter);
         Steal::Success(first)
     }
 
     /// Number of queued tasks in the victim.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.inner.lock().len()
     }
 
     /// True when the victim has no queued task.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().unwrap().is_empty()
+        self.inner.lock().is_empty()
     }
 }
 
@@ -192,13 +194,13 @@ impl<T> Injector<T> {
 
     /// Pushes a task onto the back of the queue.
     pub fn push(&self, task: T) {
-        self.inner.lock().unwrap().push_back(task);
+        self.inner.lock().push_back(task);
     }
 
     /// Pops the oldest task (FIFO). Blocks on the mutex rather than
     /// producing [`Steal::Retry`] (see [`Stealer::steal`]).
     pub fn steal(&self) -> Steal<T> {
-        match self.inner.lock().unwrap().pop_front() {
+        match self.inner.lock().pop_front() {
             Some(task) => Steal::Success(task),
             None => Steal::Empty,
         }
@@ -208,7 +210,7 @@ impl<T> Injector<T> {
     /// first. Same two-phase locking as [`Stealer::steal_batch_and_pop`].
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
         let batch: Vec<T> = {
-            let mut queue = self.inner.lock().unwrap();
+            let mut queue = self.inner.lock();
             if queue.is_empty() {
                 return Steal::Empty;
             }
@@ -217,19 +219,19 @@ impl<T> Injector<T> {
         };
         let mut iter = batch.into_iter();
         let first = iter.next().expect("non-empty steal batch");
-        let mut dest_queue = dest.inner.lock().unwrap();
+        let mut dest_queue = dest.inner.lock();
         dest_queue.extend(iter);
         Steal::Success(first)
     }
 
     /// Number of queued tasks.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.inner.lock().len()
     }
 
     /// True when no task is queued.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().unwrap().is_empty()
+        self.inner.lock().is_empty()
     }
 }
 
